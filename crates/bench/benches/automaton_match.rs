@@ -1,0 +1,100 @@
+//! Criterion: cost of running the task-automaton matcher over noisy
+//! production logs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowdiff::prelude::*;
+use flowdiff_bench::LabEnv;
+use netsim::prelude::*;
+use workloads::prelude::*;
+
+fn library(env: &LabEnv) -> TaskLibrary {
+    let tasks: Vec<(&str, TaskKind)> = vec![
+        (
+            "vm_migration",
+            TaskKind::VmMigration {
+                src_host: env.ip("S1"),
+                dst_host: env.ip("S2"),
+            },
+        ),
+        (
+            "mount_nfs",
+            TaskKind::MountNfs {
+                host: env.ip("S1"),
+            },
+        ),
+        (
+            "vm_startup_ubuntu",
+            TaskKind::VmStartup {
+                vm: env.ip("VM1"),
+                image: VmImage::Ubuntu,
+            },
+        ),
+    ];
+    let mut lib = TaskLibrary::new();
+    for (name, task) in tasks {
+        let runs: Vec<Vec<FlowRecord>> = (0..15)
+            .map(|i| {
+                let mut sc = Scenario::new(
+                    env.topo.clone(),
+                    7_000 + i,
+                    Timestamp::from_secs(1),
+                    Timestamp::from_secs(25),
+                );
+                sc.services(env.catalog.clone());
+                sc.task(Timestamp::from_secs(2), task);
+                extract_records(&sc.run().log, &env.config)
+            })
+            .collect();
+        lib.add(learn_task(name, &runs, true, &env.config));
+    }
+    lib
+}
+
+fn noisy_log(env: &LabEnv, secs: u64) -> Vec<FlowRecord> {
+    let mut sc = Scenario::new(
+        env.topo.clone(),
+        9,
+        Timestamp::from_secs(1),
+        Timestamp::from_secs(1 + secs),
+    );
+    sc.services(env.catalog.clone())
+        .app(templates::two_tier(
+            "shop",
+            vec![env.ip("S7")],
+            vec![env.ip("S20")],
+        ))
+        .client(ClientWorkload {
+            client: env.ip("S23"),
+            entry_hosts: vec![env.ip("S7")],
+            entry_port: 80,
+            process: ArrivalProcess::poisson_per_sec(20.0),
+            request_bytes: 4_096,
+        })
+        .task(
+            Timestamp::from_secs(10),
+            TaskKind::VmMigration {
+                src_host: env.ip("S5"),
+                dst_host: env.ip("S6"),
+            },
+        );
+    extract_records(&sc.run().log, &env.config)
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let env = LabEnv::new();
+    let lib = library(&env);
+    let mut group = c.benchmark_group("automaton_matching");
+    group.sample_size(20);
+    for secs in [15u64, 60] {
+        let records = noisy_log(&env, secs);
+        group.bench_with_input(
+            BenchmarkId::new("log_seconds", secs),
+            &records,
+            |b, records| b.iter(|| lib.detect(records, &env.config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

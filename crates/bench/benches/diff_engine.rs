@@ -1,0 +1,28 @@
+//! Criterion: cost of diffing two behavior models and producing the
+//! diagnosis report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowdiff::prelude::*;
+use flowdiff_bench::{capture_case, table2_cases, LabEnv};
+
+fn bench_diff_and_diagnose(c: &mut Criterion) {
+    let env = LabEnv::new();
+    let (_, apps) = &table2_cases()[0];
+    let l1 = capture_case(&env, apps, 1, 60, 20.0);
+    let l2 = capture_case(&env, apps, 2, 60, 20.0);
+    let baseline = BehaviorModel::build(&l1, &env.config);
+    let current = BehaviorModel::build(&l2, &env.config);
+    let stability = analyze(&l1, &baseline, &env.config);
+
+    c.bench_function("model_diff", |b| {
+        b.iter(|| flowdiff::diff::compare(&baseline, &current, &stability, &env.config))
+    });
+
+    let diff = flowdiff::diff::compare(&baseline, &current, &stability, &env.config);
+    c.bench_function("diagnose", |b| {
+        b.iter(|| diagnose(&diff, &current, &[], &env.config))
+    });
+}
+
+criterion_group!(benches, bench_diff_and_diagnose);
+criterion_main!(benches);

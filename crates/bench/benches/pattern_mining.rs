@@ -1,0 +1,64 @@
+//! Criterion: cost of the task-signature learning pipeline — common-flow
+//! extraction, frequent-pattern mining, and automaton construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowdiff::prelude::*;
+use flowdiff::tasks::{common, mining};
+use flowdiff_bench::LabEnv;
+use netsim::prelude::*;
+use workloads::prelude::*;
+
+fn training_runs(env: &LabEnv, n: u64) -> Vec<Vec<FlowRecord>> {
+    (0..n)
+        .map(|i| {
+            let mut sc = Scenario::new(
+                env.topo.clone(),
+                5_000 + i,
+                Timestamp::from_secs(1),
+                Timestamp::from_secs(25),
+            );
+            sc.services(env.catalog.clone());
+            sc.task(
+                Timestamp::from_secs(2),
+                TaskKind::VmMigration {
+                    src_host: env.ip("S1"),
+                    dst_host: env.ip("S2"),
+                },
+            );
+            extract_records(&sc.run().log, &env.config)
+        })
+        .collect()
+}
+
+fn bench_learning(c: &mut Criterion) {
+    let env = LabEnv::new();
+    let mut group = c.benchmark_group("task_learning");
+    group.sample_size(20);
+    for n in [10u64, 50] {
+        let runs = training_runs(&env, n);
+        group.bench_with_input(BenchmarkId::new("runs", n), &runs, |b, runs| {
+            b.iter(|| learn_task("vm_migration", runs, true, &env.config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mining_only(c: &mut Criterion) {
+    let env = LabEnv::new();
+    let runs = training_runs(&env, 50);
+    let sequences: Vec<Vec<flowdiff::tasks::TaskFlow>> = runs
+        .iter()
+        .map(|r| common::canonical_sequence(r, &env.config, true))
+        .collect();
+    let common_set = common::common_flows(&sequences);
+    let filtered: Vec<Vec<flowdiff::tasks::TaskFlow>> = sequences
+        .iter()
+        .map(|s| common::filter_to_common(s, &common_set))
+        .collect();
+    c.bench_function("frequent_pattern_mining_50_runs", |b| {
+        b.iter(|| mining::mine_frequent(&filtered, 0.6))
+    });
+}
+
+criterion_group!(benches, bench_learning, bench_mining_only);
+criterion_main!(benches);

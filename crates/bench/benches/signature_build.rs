@@ -1,0 +1,60 @@
+//! Criterion: cost of building the full behavior model (all signatures)
+//! from a captured log, at two workload scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowdiff::prelude::*;
+use flowdiff_bench::{capture_case, table2_cases, LabEnv};
+use netsim::log::ControllerLog;
+
+fn logs() -> Vec<(usize, ControllerLog)> {
+    let env = LabEnv::new();
+    let (_, apps) = &table2_cases()[0];
+    vec![
+        (10, capture_case(&env, apps, 1, 20, 10.0)),
+        (40, capture_case(&env, apps, 2, 60, 40.0)),
+    ]
+}
+
+fn bench_model_build(c: &mut Criterion) {
+    let env = LabEnv::new();
+    let mut group = c.benchmark_group("behavior_model_build");
+    group.sample_size(20);
+    for (rate, log) in logs() {
+        group.bench_with_input(
+            BenchmarkId::new("req_per_sec", rate),
+            &log,
+            |b, log| b.iter(|| BehaviorModel::build(log, &env.config)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_record_extraction(c: &mut Criterion) {
+    let env = LabEnv::new();
+    let (_, apps) = &table2_cases()[0];
+    let log = capture_case(&env, apps, 3, 60, 20.0);
+    c.bench_function("record_extraction_60s_log", |b| {
+        b.iter(|| extract_records(&log, &env.config))
+    });
+}
+
+fn bench_stability_analysis(c: &mut Criterion) {
+    let env = LabEnv::new();
+    let (_, apps) = &table2_cases()[0];
+    let log = capture_case(&env, apps, 4, 30, 10.0);
+    let model = BehaviorModel::build(&log, &env.config);
+    let mut group = c.benchmark_group("stability_analysis");
+    group.sample_size(10);
+    group.bench_function("five_intervals_30s", |b| {
+        b.iter(|| analyze(&log, &model, &env.config))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_build,
+    bench_record_extraction,
+    bench_stability_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion: throughput of the discrete-event simulator and the wire
+//! codec — the substrates everything else stands on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::prelude::*;
+use openflow::match_fields::{FlowKey, OfMatch};
+use openflow::messages::{FlowMod, OfpMessage};
+use openflow::types::Xid;
+use std::net::Ipv4Addr;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for flows in [500u64, 2_000] {
+        group.bench_with_input(BenchmarkId::new("flows", flows), &flows, |b, &flows| {
+            b.iter(|| {
+                let topo = Topology::tree(4, 10);
+                let hosts: Vec<Ipv4Addr> =
+                    topo.hosts().map(|(id, _)| topo.host_ip(id)).collect();
+                let mut sim = Simulation::new(topo, SimConfig::default(), 1);
+                for i in 0..flows {
+                    let src = hosts[(i % hosts.len() as u64) as usize];
+                    let dst = hosts[((i + 13) % hosts.len() as u64) as usize];
+                    let key = FlowKey::tcp(src, 10_000 + (i % 50_000) as u16, dst, 80);
+                    sim.schedule_flow(
+                        Timestamp::from_millis(i * 10),
+                        FlowSpec::new(key, 8_192, 5_000),
+                    );
+                }
+                sim.run_until(Timestamp::from_secs(120));
+                sim.stats().packet_ins
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let key = FlowKey::tcp(
+        Ipv4Addr::new(10, 0, 0, 1),
+        40_000,
+        Ipv4Addr::new(10, 0, 1, 2),
+        443,
+    );
+    let msg = OfpMessage::FlowMod(
+        FlowMod::add(OfMatch::exact(&key, openflow::types::PortNo(3)), 100)
+            .idle_timeout(5)
+            .action(openflow::actions::Action::output(openflow::types::PortNo(2))),
+    );
+    let bytes = openflow::wire::encode(&msg, Xid(1));
+    c.bench_function("wire_encode_flow_mod", |b| {
+        b.iter(|| openflow::wire::encode(&msg, Xid(1)))
+    });
+    c.bench_function("wire_decode_flow_mod", |b| {
+        b.iter(|| openflow::wire::decode(&bytes).unwrap())
+    });
+    let frame = openflow::frame::build_frame(&key, 128);
+    c.bench_function("frame_parse", |b| {
+        b.iter(|| openflow::frame::parse_frame(&frame).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_simulation, bench_wire_codec);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! FlowDiff configuration: thresholds and domain knowledge.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable thresholds and operator-supplied domain knowledge.
+///
+/// Defaults follow the paper where it states values: 20 ms delay
+/// histogram bins, a 1-second task-interleaving bound, `min_sup = 0.6`
+/// for frequent-pattern mining, and operator-chosen χ²/latency
+/// thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowDiffConfig {
+    /// IPs of special-purpose service nodes (DNS, NFS, …). Application
+    /// nodes connected only through these are kept in separate groups.
+    pub special_ips: BTreeSet<Ipv4Addr>,
+    /// Epoch length for partial-correlation time series, microseconds.
+    pub epoch_us: u64,
+    /// Delay-distribution histogram bin width, microseconds (paper: 20 ms).
+    pub dd_bin_us: u64,
+    /// Maximum delay considered between dependent flows, microseconds.
+    pub dd_window_us: u64,
+    /// Task-automaton interleaving bound, microseconds (paper: 1 s).
+    pub interleave_us: u64,
+    /// Minimum support for frequent flow-sequence patterns (paper: 0.6).
+    pub min_sup: f64,
+    /// χ² threshold for component-interaction changes.
+    pub chi2_threshold: f64,
+    /// Alarm threshold on inter-switch latency shift, in multiples of the
+    /// baseline standard deviation.
+    pub isl_sigma: f64,
+    /// Alarm threshold on controller response time shift, in multiples of
+    /// the baseline standard deviation.
+    pub crt_sigma: f64,
+    /// Alarm threshold on partial-correlation change (absolute Δr).
+    pub pc_delta: f64,
+    /// Alarm threshold on relative flow-statistics change (e.g. 0.5 =
+    /// 50 % shift in mean bytes or flow rate).
+    pub fs_rel_change: f64,
+    /// Alarm threshold on delay-distribution peak shift, in bins.
+    pub dd_peak_shift_bins: u32,
+    /// Number of intervals the reference log is split into for stability
+    /// analysis.
+    pub stability_intervals: usize,
+    /// Minimum fraction of intervals that must agree for a signature to
+    /// be considered stable.
+    pub stability_quorum: f64,
+    /// Gap after which a recurring 5-tuple counts as a new flow episode,
+    /// microseconds.
+    pub episode_gap_us: u64,
+    /// Ports above this value are treated as ephemeral when canonicalizing
+    /// task flows (the `*` in Figure 4).
+    pub ephemeral_port_floor: u16,
+    /// Minimum flows per group edge for DD/PC statistics to be computed.
+    pub min_samples: usize,
+}
+
+impl Default for FlowDiffConfig {
+    fn default() -> Self {
+        FlowDiffConfig {
+            special_ips: BTreeSet::new(),
+            epoch_us: 1_000_000,
+            dd_bin_us: 20_000,
+            dd_window_us: 1_000_000,
+            interleave_us: 1_000_000,
+            min_sup: 0.6,
+            chi2_threshold: 3.84,
+            isl_sigma: 3.0,
+            crt_sigma: 3.0,
+            pc_delta: 0.35,
+            fs_rel_change: 0.5,
+            dd_peak_shift_bins: 1,
+            stability_intervals: 5,
+            stability_quorum: 0.8,
+            episode_gap_us: 2_000_000,
+            ephemeral_port_floor: 9_999,
+            min_samples: 5,
+        }
+    }
+}
+
+impl FlowDiffConfig {
+    /// Sets the special-purpose node list (builder style).
+    #[must_use]
+    pub fn with_special_ips(mut self, ips: impl IntoIterator<Item = Ipv4Addr>) -> Self {
+        self.special_ips = ips.into_iter().collect();
+        self
+    }
+
+    /// True if `ip` is a marked special-purpose node.
+    pub fn is_special(&self, ip: Ipv4Addr) -> bool {
+        self.special_ips.contains(&ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = FlowDiffConfig::default();
+        assert_eq!(c.dd_bin_us, 20_000);
+        assert_eq!(c.interleave_us, 1_000_000);
+        assert!((c.min_sup - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn special_ip_membership() {
+        let c = FlowDiffConfig::default()
+            .with_special_ips([Ipv4Addr::new(10, 200, 0, 1), Ipv4Addr::new(10, 200, 0, 2)]);
+        assert!(c.is_special(Ipv4Addr::new(10, 200, 0, 1)));
+        assert!(!c.is_special(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+}

@@ -1,0 +1,786 @@
+//! Diagnosis (Section IV): turning a model diff into debugging
+//! information — known vs. unknown changes, a dependency matrix, problem
+//! classes, and a ranked list of suspect components.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use openflow::types::{DatapathId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlowDiffConfig;
+use crate::diff::ModelDiff;
+use crate::model::BehaviorModel;
+use crate::tasks::TaskEvent;
+
+/// Which signature a change belongs to.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum SignatureKind {
+    /// Connectivity graph.
+    Cg,
+    /// Delay distribution.
+    Dd,
+    /// Component interaction.
+    Ci,
+    /// Partial correlation.
+    Pc,
+    /// Flow statistics.
+    Fs,
+    /// Physical topology.
+    Pt,
+    /// Inter-switch latency.
+    Isl,
+    /// Controller response time.
+    Crt,
+    /// Link utilization baseline.
+    Lu,
+}
+
+impl SignatureKind {
+    /// True for application-layer signatures (matrix rows).
+    pub fn is_application(self) -> bool {
+        matches!(
+            self,
+            SignatureKind::Cg
+                | SignatureKind::Dd
+                | SignatureKind::Ci
+                | SignatureKind::Pc
+                | SignatureKind::Fs
+        )
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SignatureKind::Cg => "CG",
+            SignatureKind::Dd => "DD",
+            SignatureKind::Ci => "CI",
+            SignatureKind::Pc => "PC",
+            SignatureKind::Fs => "FS",
+            SignatureKind::Pt => "PT",
+            SignatureKind::Isl => "ISL",
+            SignatureKind::Crt => "CRT",
+            SignatureKind::Lu => "LU",
+        }
+    }
+}
+
+/// A physical or logical component implicated in a change.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Component {
+    /// A server or VM.
+    Host(Ipv4Addr),
+    /// A switch.
+    Switch(DatapathId),
+    /// A switch-to-switch segment.
+    SwitchPair(DatapathId, DatapathId),
+    /// The OpenFlow controller.
+    Controller,
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Component::Host(ip) => write!(f, "host {ip}"),
+            Component::Switch(d) => write!(f, "switch {d}"),
+            Component::SwitchPair(a, b) => write!(f, "segment {a}~{b}"),
+            Component::Controller => write!(f, "controller"),
+        }
+    }
+}
+
+/// Whether a change adds or removes behavior (meaningful for CG/PT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeDirection {
+    /// New behavior appeared.
+    Added,
+    /// Known behavior disappeared.
+    Removed,
+    /// A statistic shifted.
+    Shifted,
+}
+
+/// One detected behavioral change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Change {
+    /// The signature that changed.
+    pub kind: SignatureKind,
+    /// Added/removed/shifted.
+    pub direction: ChangeDirection,
+    /// Human-readable description.
+    pub description: String,
+    /// Implicated components.
+    pub components: Vec<Component>,
+    /// When the new behavior first appeared, when known.
+    pub ts: Option<Timestamp>,
+}
+
+/// Flattens a [`ModelDiff`] into a list of changes with implicated
+/// components.
+pub fn collect_changes(diff: &ModelDiff, current: &BehaviorModel) -> Vec<Change> {
+    let mut out = Vec::new();
+    for g in &diff.group_diffs {
+        for added in &g.cg.added {
+            out.push(Change {
+                kind: SignatureKind::Cg,
+                direction: ChangeDirection::Added,
+                description: format!("new edge {}", added.edge),
+                components: vec![
+                    Component::Host(added.edge.src),
+                    Component::Host(added.edge.dst),
+                ],
+                ts: added.first_seen,
+            });
+        }
+        for removed in &g.cg.removed {
+            out.push(Change {
+                kind: SignatureKind::Cg,
+                direction: ChangeDirection::Removed,
+                description: format!("missing edge {}", removed.edge),
+                components: vec![
+                    Component::Host(removed.edge.src),
+                    Component::Host(removed.edge.dst),
+                ],
+                ts: None,
+            });
+        }
+        for fs in &g.fs {
+            let mut components = Vec::new();
+            if let Some(e) = fs.edge {
+                components.push(Component::Host(e.src));
+                components.push(Component::Host(e.dst));
+            }
+            // Byte-count changes carry a qualitative direction: a
+            // collapse means traffic disappeared (e.g. only SYN retries
+            // survive a firewall); an inflation means extra wire bytes
+            // appeared (retransmissions under loss).
+            let collapsed = fs.metric == "bytes" && fs.current < fs.reference * 0.3;
+            let inflated = fs.metric == "bytes" && fs.current > fs.reference * 1.2;
+            out.push(Change {
+                kind: SignatureKind::Fs,
+                direction: if collapsed {
+                    ChangeDirection::Removed
+                } else if inflated {
+                    ChangeDirection::Added
+                } else {
+                    ChangeDirection::Shifted
+                },
+                description: format!(
+                    "{} changed {:.3} -> {:.3}{}",
+                    fs.metric,
+                    fs.reference,
+                    fs.current,
+                    fs.edge.map_or(String::new(), |e| format!(" on {e}"))
+                ),
+                components,
+                ts: None,
+            });
+        }
+        for ci in &g.ci {
+            out.push(Change {
+                kind: SignatureKind::Ci,
+                direction: ChangeDirection::Shifted,
+                description: format!("interaction shift at {} (chi2 {:.2})", ci.node, ci.chi2),
+                components: vec![Component::Host(ci.node)],
+                ts: None,
+            });
+        }
+        for dd in &g.dd {
+            out.push(Change {
+                kind: SignatureKind::Dd,
+                direction: ChangeDirection::Shifted,
+                description: format!(
+                    "delay peak moved {}ms -> {}ms at {}",
+                    dd.reference_peak.0 / 1_000,
+                    dd.current_peak.0 / 1_000,
+                    dd.pair.0.dst
+                ),
+                components: vec![Component::Host(dd.pair.0.dst)],
+                ts: None,
+            });
+        }
+        for pc in &g.pc {
+            out.push(Change {
+                kind: SignatureKind::Pc,
+                direction: ChangeDirection::Shifted,
+                description: format!(
+                    "correlation {:.2} -> {:.2} at {}",
+                    pc.reference, pc.current, pc.pair.0.dst
+                ),
+                components: vec![Component::Host(pc.pair.0.dst)],
+                ts: None,
+            });
+        }
+    }
+    for gi in &diff.new_groups {
+        let group = &current.groups[*gi].group;
+        out.push(Change {
+            kind: SignatureKind::Cg,
+            direction: ChangeDirection::Added,
+            description: format!("new application group of {} nodes", group.members.len()),
+            components: group.members.iter().map(|ip| Component::Host(*ip)).collect(),
+            ts: None,
+        });
+    }
+    for adj in &diff.pt.added {
+        out.push(Change {
+            kind: SignatureKind::Pt,
+            direction: ChangeDirection::Added,
+            description: format!("new adjacency {} -> {}", adj.from, adj.to),
+            components: vec![Component::Switch(adj.from), Component::Switch(adj.to)],
+            ts: None,
+        });
+    }
+    for adj in &diff.pt.removed {
+        out.push(Change {
+            kind: SignatureKind::Pt,
+            direction: ChangeDirection::Removed,
+            description: format!("missing adjacency {} -> {}", adj.from, adj.to),
+            components: vec![Component::Switch(adj.from), Component::Switch(adj.to)],
+            ts: None,
+        });
+    }
+    for (host, old, new) in &diff.pt.moved_hosts {
+        out.push(Change {
+            kind: SignatureKind::Pt,
+            direction: ChangeDirection::Shifted,
+            description: format!("host {host} moved {old} -> {new}"),
+            components: vec![
+                Component::Host(*host),
+                Component::Switch(*old),
+                Component::Switch(*new),
+            ],
+            ts: None,
+        });
+    }
+    for sw in &diff.pt.vanished_switches {
+        out.push(Change {
+            kind: SignatureKind::Pt,
+            direction: ChangeDirection::Removed,
+            description: format!("switch {sw} vanished from all paths"),
+            components: vec![Component::Switch(*sw)],
+            ts: None,
+        });
+    }
+    for isl in &diff.isl {
+        out.push(Change {
+            kind: SignatureKind::Isl,
+            direction: ChangeDirection::Shifted,
+            description: format!(
+                "latency {:.0}us -> {:.0}us between {} and {} ({:.1} sigma)",
+                isl.reference.mean, isl.current.mean, isl.pair.0, isl.pair.1, isl.sigmas
+            ),
+            components: vec![Component::SwitchPair(isl.pair.0, isl.pair.1)],
+            ts: None,
+        });
+    }
+    for lu in &diff.lu {
+        out.push(Change {
+            kind: SignatureKind::Lu,
+            direction: ChangeDirection::Shifted,
+            description: format!(
+                "utilization {:.0} -> {:.0} bytes/s on {} {} ({:.1} sigma)",
+                lu.reference.mean, lu.current.mean, lu.port.0, lu.port.1, lu.sigmas
+            ),
+            components: vec![Component::Switch(lu.port.0)],
+            ts: None,
+        });
+    }
+    if let Some(crt) = &diff.crt {
+        let description = if crt.unanswered.1 > crt.unanswered.0 + 0.3 {
+            format!(
+                "controller stopped answering: {:.0}% of PacketIns unanswered (was {:.0}%)",
+                crt.unanswered.1 * 100.0,
+                crt.unanswered.0 * 100.0
+            )
+        } else {
+            format!(
+                "controller response {:.0}us -> {:.0}us ({:.1} sigma)",
+                crt.reference.mean, crt.current.mean, crt.sigmas
+            )
+        };
+        out.push(Change {
+            kind: SignatureKind::Crt,
+            direction: ChangeDirection::Shifted,
+            description,
+            components: vec![Component::Controller],
+            ts: None,
+        });
+    }
+    out
+}
+
+/// Splits changes into *known* (explained by a detected operator task)
+/// and *unknown* (Section IV-B, Figure 7).
+///
+/// A change is explained by a task occurrence when (a) its appearance
+/// timestamp falls within the task's span (with slack), or it has no
+/// timestamp but (b) every host it implicates was touched by the task.
+pub fn validate_changes(
+    changes: Vec<Change>,
+    tasks: &[TaskEvent],
+    slack_us: u64,
+) -> (Vec<(Change, TaskEvent)>, Vec<Change>) {
+    let mut known = Vec::new();
+    let mut unknown = Vec::new();
+    'next_change: for change in changes {
+        for task in tasks {
+            let time_ok = change.ts.is_some_and(|ts| task.covers(ts, slack_us));
+            let hosts_of_change: Vec<Ipv4Addr> = change
+                .components
+                .iter()
+                .filter_map(|c| match c {
+                    Component::Host(ip) => Some(*ip),
+                    _ => None,
+                })
+                .collect();
+            let hosts_ok = !hosts_of_change.is_empty()
+                && !task.hosts.is_empty()
+                && hosts_of_change.iter().any(|h| task.hosts.contains(h));
+            if time_ok || (change.ts.is_none() && hosts_ok) {
+                known.push((change, task.clone()));
+                continue 'next_change;
+            }
+        }
+        unknown.push(change);
+    }
+    (known, unknown)
+}
+
+/// The dependency matrix of Section IV-C: application signatures × infra
+/// signatures, with `A[i][j] = true` when both changed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependencyMatrix {
+    /// Row labels.
+    pub app_rows: [SignatureKind; 5],
+    /// Column labels.
+    pub infra_cols: [SignatureKind; 3],
+    /// The matrix cells.
+    pub cells: [[bool; 3]; 5],
+}
+
+impl DependencyMatrix {
+    /// Builds the matrix from the set of changed signatures.
+    pub fn from_changes(changes: &[Change]) -> DependencyMatrix {
+        let app_rows = [
+            SignatureKind::Cg,
+            SignatureKind::Dd,
+            SignatureKind::Ci,
+            SignatureKind::Pc,
+            SignatureKind::Fs,
+        ];
+        let infra_cols = [SignatureKind::Pt, SignatureKind::Isl, SignatureKind::Crt];
+        let changed = |k: SignatureKind| changes.iter().any(|c| c.kind == k);
+        let mut cells = [[false; 3]; 5];
+        for (i, row) in app_rows.iter().enumerate() {
+            for (j, col) in infra_cols.iter().enumerate() {
+                cells[i][j] = changed(*row) && changed(*col);
+            }
+        }
+        DependencyMatrix {
+            app_rows,
+            infra_cols,
+            cells,
+        }
+    }
+}
+
+impl fmt::Display for DependencyMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "     ")?;
+        for c in &self.infra_cols {
+            write!(f, "{:>5}", c.name())?;
+        }
+        writeln!(f)?;
+        for (i, r) in self.app_rows.iter().enumerate() {
+            write!(f, "{:>5}", r.name())?;
+            for j in 0..3 {
+                write!(f, "{:>5}", if self.cells[i][j] { 1 } else { 0 })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The problem classes of Figure 2(b) / Table I.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ProblemClass {
+    /// Extra processing delay on a host or application (logging
+    /// misconfiguration, CPU hog).
+    HostOrApplicationProblem,
+    /// Loss or congestion near a host (byte inflation + delay shift).
+    HostNetworkProblem,
+    /// An application component stopped responding.
+    ApplicationFailure,
+    /// A host went down entirely.
+    HostFailure,
+    /// Fabric-wide congestion (latency + volume + correlation shifts).
+    NetworkCongestion,
+    /// A switch failed or paths changed.
+    SwitchProblem,
+    /// The controller is slow or failing.
+    ControllerProblem,
+    /// Traffic from/to unexpected endpoints.
+    UnauthorizedAccess,
+}
+
+impl fmt::Display for ProblemClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProblemClass::HostOrApplicationProblem => "host or application problem",
+            ProblemClass::HostNetworkProblem => "host network problem / local congestion",
+            ProblemClass::ApplicationFailure => "application failure",
+            ProblemClass::HostFailure => "host failure",
+            ProblemClass::NetworkCongestion => "network congestion",
+            ProblemClass::SwitchProblem => "switch failure or path change",
+            ProblemClass::ControllerProblem => "controller problem",
+            ProblemClass::UnauthorizedAccess => "unauthorized access",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Infers problem classes from the unexplained changes (the dependency
+/// patterns of Figure 8 / the inference column of Table I).
+pub fn classify(changes: &[Change]) -> Vec<ProblemClass> {
+    let changed = |k: SignatureKind| changes.iter().any(|c| c.kind == k);
+    let cg_added = changes
+        .iter()
+        .any(|c| c.kind == SignatureKind::Cg && c.direction == ChangeDirection::Added);
+    let cg_removed = changes
+        .iter()
+        .any(|c| c.kind == SignatureKind::Cg && c.direction == ChangeDirection::Removed);
+
+    let mut out = Vec::new();
+    if changed(SignatureKind::Crt) {
+        out.push(ProblemClass::ControllerProblem);
+    }
+    if changed(SignatureKind::Pt) {
+        out.push(ProblemClass::SwitchProblem);
+    }
+    if changed(SignatureKind::Isl) || changed(SignatureKind::Lu) {
+        // Latency or utilization shifts mean the fabric is congested
+        // (or a segment degraded) whether or not applications already
+        // suffer; app-layer corroboration (FS/PC/DD) strengthens the
+        // verdict but is not required.
+        out.push(ProblemClass::NetworkCongestion);
+    }
+    if cg_added {
+        out.push(ProblemClass::UnauthorizedAccess);
+    }
+    if cg_removed {
+        // Distinguish host vs application failure: if every removed edge
+        // shares one node that lost *all* its edges, call it host
+        // failure; otherwise application failure.
+        let removed_hosts: Vec<Ipv4Addr> = changes
+            .iter()
+            .filter(|c| c.kind == SignatureKind::Cg && c.direction == ChangeDirection::Removed)
+            .flat_map(|c| {
+                c.components.iter().filter_map(|comp| match comp {
+                    Component::Host(ip) => Some(*ip),
+                    _ => None,
+                })
+            })
+            .collect();
+        let mut counts: BTreeMap<Ipv4Addr, usize> = BTreeMap::new();
+        for h in &removed_hosts {
+            *counts.entry(*h).or_insert(0) += 1;
+        }
+        let max_count = counts.values().copied().max().unwrap_or(0);
+        if max_count >= 2 {
+            out.push(ProblemClass::HostFailure);
+        } else {
+            out.push(ProblemClass::ApplicationFailure);
+        }
+    }
+    if changed(SignatureKind::Dd) && !changed(SignatureKind::Isl) {
+        if changed(SignatureKind::Fs) {
+            out.push(ProblemClass::HostNetworkProblem);
+        } else {
+            out.push(ProblemClass::HostOrApplicationProblem);
+        }
+    }
+    // A collapse of an edge's traffic volume (flows still appear — e.g.
+    // SYN retries against a firewalled port — but carry almost nothing)
+    // points at the serving host or application.
+    let fs_collapse = changes
+        .iter()
+        .any(|c| c.kind == SignatureKind::Fs && c.direction == ChangeDirection::Removed);
+    if fs_collapse {
+        out.push(ProblemClass::HostOrApplicationProblem);
+    }
+    // Inflated wire bytes without fabric-level latency shifts point at
+    // loss/retransmissions near a host (Table I #2).
+    let fs_inflation = changes
+        .iter()
+        .any(|c| c.kind == SignatureKind::Fs && c.direction == ChangeDirection::Added);
+    if fs_inflation && !changed(SignatureKind::Isl) && !changed(SignatureKind::Lu) {
+        out.push(ProblemClass::HostNetworkProblem);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Ranks components by how many unexplained changes implicate them
+/// (Section IV-C): higher count = more likely related to the problem.
+pub fn rank_components(changes: &[Change]) -> Vec<(Component, usize)> {
+    let mut counts: BTreeMap<Component, usize> = BTreeMap::new();
+    for c in changes {
+        for comp in &c.components {
+            *counts.entry(*comp).or_insert(0) += 1;
+        }
+    }
+    let mut ranked: Vec<(Component, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked
+}
+
+/// The full debugging report FlowDiff hands to operators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosisReport {
+    /// Changes explained by detected operator tasks.
+    pub known: Vec<(Change, TaskEvent)>,
+    /// Unexplained changes, the actual alarms.
+    pub unknown: Vec<Change>,
+    /// The dependency matrix over unexplained changes.
+    pub matrix: DependencyMatrix,
+    /// Inferred problem classes.
+    pub problems: Vec<ProblemClass>,
+    /// Components ranked by implication count.
+    pub ranking: Vec<(Component, usize)>,
+}
+
+impl DiagnosisReport {
+    /// True when nothing unexplained was found.
+    pub fn is_healthy(&self) -> bool {
+        self.unknown.is_empty()
+    }
+}
+
+impl fmt::Display for DiagnosisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FlowDiff diagnosis")?;
+        writeln!(f, "==================")?;
+        writeln!(f, "known changes (explained by operator tasks):")?;
+        for (c, t) in &self.known {
+            writeln!(f, "  - [{}] {} <= task {} @ {}", c.kind.name(), c.description, t.task, t.start)?;
+        }
+        writeln!(f, "unknown changes (alarms):")?;
+        for c in &self.unknown {
+            writeln!(f, "  - [{}] {}", c.kind.name(), c.description)?;
+        }
+        writeln!(f, "dependency matrix:")?;
+        write!(f, "{}", self.matrix)?;
+        writeln!(f, "inferred problems:")?;
+        for p in &self.problems {
+            writeln!(f, "  - {p}")?;
+        }
+        writeln!(f, "suspect components:")?;
+        for (comp, n) in self.ranking.iter().take(10) {
+            writeln!(f, "  - {comp} ({n} changes)")?;
+        }
+        Ok(())
+    }
+}
+
+/// End-to-end diagnosis: diff two models, validate against the task time
+/// series detected in the current log, classify, and rank.
+pub fn diagnose(
+    diff: &ModelDiff,
+    current: &BehaviorModel,
+    tasks: &[TaskEvent],
+    config: &FlowDiffConfig,
+) -> DiagnosisReport {
+    let changes = collect_changes(diff, current);
+    let (known, unknown) = validate_changes(changes, tasks, config.interleave_us);
+    let matrix = DependencyMatrix::from_changes(&unknown);
+    let problems = classify(&unknown);
+    let ranking = rank_components(&unknown);
+    DiagnosisReport {
+        known,
+        unknown,
+        matrix,
+        problems,
+        ranking,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::Edge;
+
+    fn ip(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    fn change(kind: SignatureKind, direction: ChangeDirection, hosts: &[u8]) -> Change {
+        Change {
+            kind,
+            direction,
+            description: "test".into(),
+            components: hosts.iter().map(|&h| Component::Host(ip(h))).collect(),
+            ts: None,
+        }
+    }
+
+    #[test]
+    fn congestion_pattern_classified() {
+        let changes = vec![
+            change(SignatureKind::Dd, ChangeDirection::Shifted, &[2]),
+            change(SignatureKind::Fs, ChangeDirection::Shifted, &[2]),
+            change(SignatureKind::Pc, ChangeDirection::Shifted, &[2]),
+            Change {
+                kind: SignatureKind::Isl,
+                direction: ChangeDirection::Shifted,
+                description: "latency".into(),
+                components: vec![Component::SwitchPair(DatapathId(1), DatapathId(2))],
+                ts: None,
+            },
+        ];
+        let problems = classify(&changes);
+        assert!(problems.contains(&ProblemClass::NetworkCongestion));
+        assert!(!problems.contains(&ProblemClass::HostOrApplicationProblem));
+    }
+
+    #[test]
+    fn dd_only_is_host_or_app_problem() {
+        let changes = vec![change(SignatureKind::Dd, ChangeDirection::Shifted, &[2])];
+        assert_eq!(
+            classify(&changes),
+            vec![ProblemClass::HostOrApplicationProblem]
+        );
+    }
+
+    #[test]
+    fn dd_plus_fs_is_host_network_problem() {
+        let changes = vec![
+            change(SignatureKind::Dd, ChangeDirection::Shifted, &[2]),
+            change(SignatureKind::Fs, ChangeDirection::Shifted, &[2]),
+        ];
+        assert_eq!(classify(&changes), vec![ProblemClass::HostNetworkProblem]);
+    }
+
+    #[test]
+    fn host_failure_when_one_node_loses_all_edges() {
+        // edges 1->2 and 2->3 both removed: node 2 in both
+        let changes = vec![
+            change(SignatureKind::Cg, ChangeDirection::Removed, &[1, 2]),
+            change(SignatureKind::Cg, ChangeDirection::Removed, &[2, 3]),
+            change(SignatureKind::Ci, ChangeDirection::Shifted, &[2]),
+        ];
+        let problems = classify(&changes);
+        assert!(problems.contains(&ProblemClass::HostFailure));
+    }
+
+    #[test]
+    fn single_edge_loss_is_application_failure() {
+        let changes = vec![change(SignatureKind::Cg, ChangeDirection::Removed, &[2, 3])];
+        assert!(classify(&changes).contains(&ProblemClass::ApplicationFailure));
+    }
+
+    #[test]
+    fn new_edge_is_unauthorized_access() {
+        let changes = vec![change(SignatureKind::Cg, ChangeDirection::Added, &[9, 2])];
+        assert!(classify(&changes).contains(&ProblemClass::UnauthorizedAccess));
+    }
+
+    #[test]
+    fn crt_change_is_controller_problem() {
+        let changes = vec![Change {
+            kind: SignatureKind::Crt,
+            direction: ChangeDirection::Shifted,
+            description: "crt".into(),
+            components: vec![Component::Controller],
+            ts: None,
+        }];
+        assert_eq!(classify(&changes), vec![ProblemClass::ControllerProblem]);
+    }
+
+    #[test]
+    fn validation_explains_timed_change_with_task() {
+        let task = TaskEvent {
+            task: "mount_nfs".into(),
+            start: Timestamp::from_secs(100),
+            end: Timestamp::from_secs(101),
+            hosts: vec![ip(5)],
+        };
+        let mut c = change(SignatureKind::Cg, ChangeDirection::Added, &[5, 200]);
+        c.ts = Some(Timestamp::from_secs(100));
+        let (known, unknown) = validate_changes(vec![c.clone()], &[task.clone()], 1_000_000);
+        assert_eq!(known.len(), 1);
+        assert!(unknown.is_empty());
+
+        // same change far from the task window: unexplained
+        c.ts = Some(Timestamp::from_secs(500));
+        // and not host-explainable because it has a timestamp
+        let (known, unknown) = validate_changes(vec![c], &[task], 1_000_000);
+        assert!(known.is_empty());
+        assert_eq!(unknown.len(), 1);
+    }
+
+    #[test]
+    fn validation_explains_untimed_change_by_hosts() {
+        let task = TaskEvent {
+            task: "vm_stop".into(),
+            start: Timestamp::from_secs(100),
+            end: Timestamp::from_secs(101),
+            hosts: vec![ip(5)],
+        };
+        let c = change(SignatureKind::Cg, ChangeDirection::Removed, &[5, 7]);
+        let (known, unknown) = validate_changes(vec![c], &[task], 0);
+        assert_eq!(known.len(), 1);
+        assert!(unknown.is_empty());
+    }
+
+    #[test]
+    fn ranking_counts_component_mentions() {
+        let changes = vec![
+            change(SignatureKind::Cg, ChangeDirection::Removed, &[2, 3]),
+            change(SignatureKind::Ci, ChangeDirection::Shifted, &[2]),
+            change(SignatureKind::Dd, ChangeDirection::Shifted, &[2]),
+        ];
+        let ranked = rank_components(&changes);
+        assert_eq!(ranked[0], (Component::Host(ip(2)), 3));
+        assert_eq!(ranked[1], (Component::Host(ip(3)), 1));
+    }
+
+    #[test]
+    fn matrix_marks_joint_changes() {
+        let changes = vec![
+            change(SignatureKind::Dd, ChangeDirection::Shifted, &[2]),
+            Change {
+                kind: SignatureKind::Isl,
+                direction: ChangeDirection::Shifted,
+                description: "l".into(),
+                components: vec![],
+                ts: None,
+            },
+        ];
+        let m = DependencyMatrix::from_changes(&changes);
+        // row DD (index 1), col ISL (index 1)
+        assert!(m.cells[1][1]);
+        assert!(!m.cells[0][0], "CG x PT untouched");
+        let text = m.to_string();
+        assert!(text.contains("DD"));
+        assert!(text.contains("ISL"));
+    }
+
+    #[test]
+    fn edge_display_used_in_description() {
+        let e = Edge {
+            src: ip(1),
+            dst: ip(2),
+        };
+        assert_eq!(e.to_string(), "10.0.0.1 -> 10.0.0.2");
+    }
+}

@@ -1,0 +1,264 @@
+//! The model diff engine (Section IV-A).
+//!
+//! Compares the signatures of two behavior models group by group,
+//! skipping signatures the stability analysis marked unreliable, and
+//! collects every difference.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlowDiffConfig;
+use crate::groups::match_groups;
+use crate::model::BehaviorModel;
+use crate::signatures::connectivity::{self, CgDiff};
+use crate::signatures::correlation::{self, PcChange};
+use crate::signatures::delay::{self, DdChange};
+use crate::signatures::flow_stats::{self, FsChange};
+use crate::signatures::infra::{diff_crt, diff_isl, diff_topology, CrtChange, IslChange, PtDiff};
+use crate::signatures::utilization::{diff_utilization, LuChange};
+use crate::signatures::interaction::{self, CiChange};
+use crate::stability::StabilityReport;
+
+/// Differences in one application group matched across the two models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupDiff {
+    /// Index of the group in the reference model.
+    pub ref_idx: usize,
+    /// Index of the matched group in the current model.
+    pub cur_idx: usize,
+    /// Connectivity graph changes.
+    pub cg: CgDiff,
+    /// Flow-statistics changes.
+    pub fs: Vec<FsChange>,
+    /// Component-interaction changes.
+    pub ci: Vec<CiChange>,
+    /// Delay-distribution changes.
+    pub dd: Vec<DdChange>,
+    /// Partial-correlation changes.
+    pub pc: Vec<PcChange>,
+}
+
+impl GroupDiff {
+    /// True when nothing changed in this group.
+    pub fn is_empty(&self) -> bool {
+        self.cg.is_empty()
+            && self.fs.is_empty()
+            && self.ci.is_empty()
+            && self.dd.is_empty()
+            && self.pc.is_empty()
+    }
+}
+
+/// The complete diff of two behavior models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelDiff {
+    /// Per-matched-group differences.
+    pub group_diffs: Vec<GroupDiff>,
+    /// Groups present only in the current model (indices into it).
+    pub new_groups: Vec<usize>,
+    /// Groups present only in the reference model (indices into it).
+    pub missing_groups: Vec<usize>,
+    /// Physical-topology changes.
+    pub pt: PtDiff,
+    /// Inter-switch latency changes.
+    pub isl: Vec<IslChange>,
+    /// Controller response-time change, if any.
+    pub crt: Option<CrtChange>,
+    /// Link-utilization changes.
+    pub lu: Vec<LuChange>,
+}
+
+impl ModelDiff {
+    /// True when the models agree on every stable signature.
+    pub fn is_empty(&self) -> bool {
+        self.group_diffs.iter().all(GroupDiff::is_empty)
+            && self.new_groups.is_empty()
+            && self.missing_groups.is_empty()
+            && self.pt.is_empty()
+            && self.isl.is_empty()
+            && self.crt.is_none()
+            && self.lu.is_empty()
+    }
+}
+
+/// Compares two models, gated by the reference model's stability report
+/// (index-aligned with `reference.groups`).
+pub fn compare(
+    reference: &BehaviorModel,
+    current: &BehaviorModel,
+    stability: &StabilityReport,
+    config: &FlowDiffConfig,
+) -> ModelDiff {
+    let ref_groups: Vec<_> = reference.groups.iter().map(|g| g.group.clone()).collect();
+    let cur_groups: Vec<_> = current.groups.iter().map(|g| g.group.clone()).collect();
+    let (pairs, missing_groups, new_groups) = match_groups(&ref_groups, &cur_groups);
+    // A current group whose members all belonged to one reference group
+    // is a *fragment* of it (e.g. a tier cut off by a failure), not a
+    // new application: the per-group CG diff already covers it.
+    let new_groups: Vec<usize> = new_groups
+        .into_iter()
+        .filter(|&gi| {
+            let members = &cur_groups[gi].members;
+            !ref_groups
+                .iter()
+                .any(|r| members.iter().all(|m| r.members.contains(m)))
+        })
+        .collect();
+
+    let group_diffs = pairs
+        .into_iter()
+        .map(|(ri, ci)| {
+            let r = &reference.groups[ri];
+            let c = &current.groups[ci];
+            let stab = &stability.per_group[ri];
+
+            let cg = if stab.cg {
+                connectivity::diff(&r.connectivity, &c.connectivity, &current.records)
+            } else {
+                CgDiff::default()
+            };
+            let fs = if stab.fs {
+                flow_stats::diff(&r.flow_stats, &c.flow_stats, config.fs_rel_change)
+            } else {
+                Vec::new()
+            };
+            let ci_changes = interaction::diff(&r.interaction, &c.interaction, config.chi2_threshold)
+                .into_iter()
+                .filter(|ch| stab.ci_nodes.get(&ch.node).copied().unwrap_or(false))
+                .collect();
+            let dd = delay::diff(&r.delay, &c.delay, config)
+                .into_iter()
+                .filter(|ch| stab.dd_pairs.get(&ch.pair).copied().unwrap_or(false))
+                .collect();
+            let pc = correlation::diff(&r.correlation, &c.correlation, config)
+                .into_iter()
+                .filter(|ch| stab.pc_pairs.get(&ch.pair).copied().unwrap_or(false))
+                .collect();
+
+            GroupDiff {
+                ref_idx: ri,
+                cur_idx: ci,
+                cg,
+                fs,
+                ci: ci_changes,
+                dd,
+                pc,
+            }
+        })
+        .collect();
+
+    ModelDiff {
+        group_diffs,
+        new_groups,
+        missing_groups,
+        pt: diff_topology(&reference.topology, &current.topology),
+        isl: diff_isl(&reference.latency, &current.latency, config),
+        crt: diff_crt(&reference.response, &current.response, config),
+        lu: diff_utilization(&reference.utilization, &current.utilization, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::topology::Topology;
+    use openflow::types::Timestamp;
+    use workloads::prelude::*;
+
+    fn scenario_log(seed: u64, fault: Option<(Timestamp, Fault)>) -> (ControllerLog, FlowDiffConfig) {
+        let mut topo = Topology::lab();
+        let (catalog, _) = install_services(&mut topo, "of7");
+        let ip = |n: &str| topo.host_ip(topo.node_by_name(n).unwrap());
+        let (s13, s4, s14, s25) = (ip("S13"), ip("S4"), ip("S14"), ip("S25"));
+        let mut sc = Scenario::new(topo, seed, Timestamp::from_secs(1), Timestamp::from_secs(41));
+        sc.services(catalog.clone())
+            .app(templates::three_tier(
+                "app",
+                vec![s13],
+                vec![s4],
+                vec![s14],
+                None,
+            ))
+            .client(ClientWorkload {
+                client: s25,
+                entry_hosts: vec![s13],
+                entry_port: 80,
+                process: ArrivalProcess::poisson_per_sec(10.0),
+                request_bytes: 2_048,
+            });
+        if let Some((at, f)) = fault {
+            sc.fault(at, f);
+        }
+        let result = sc.run();
+        let config = FlowDiffConfig::default().with_special_ips(catalog.special_ips());
+        (result.log, config)
+    }
+
+    #[test]
+    fn same_conditions_produce_empty_diff() {
+        let (log1, config) = scenario_log(1, None);
+        let (log2, _) = scenario_log(2, None);
+        let m1 = crate::model::BehaviorModel::build(&log1, &config);
+        let m2 = crate::model::BehaviorModel::build(&log2, &config);
+        let stability = crate::stability::analyze(&log1, &m1, &config);
+        let diff = compare(&m1, &m2, &stability, &config);
+        assert!(
+            diff.is_empty(),
+            "two healthy runs must not differ: {diff:#?}"
+        );
+    }
+
+    #[test]
+    fn host_slowdown_shifts_dd_only() {
+        let (log1, config) = scenario_log(1, None);
+        let mut topo = Topology::lab();
+        let (_, _) = install_services(&mut topo, "of7");
+        let s4 = topo.node_by_name("S4").unwrap();
+        let (log2, _) = scenario_log(
+            2,
+            Some((
+                Timestamp::ZERO,
+                Fault::HostSlowdown {
+                    host: s4,
+                    extra_us: 150_000,
+                },
+            )),
+        );
+        let m1 = crate::model::BehaviorModel::build(&log1, &config);
+        let m2 = crate::model::BehaviorModel::build(&log2, &config);
+        let stability = crate::stability::analyze(&log1, &m1, &config);
+        let diff = compare(&m1, &m2, &stability, &config);
+        let g = &diff.group_diffs[0];
+        assert!(!g.dd.is_empty(), "DD must shift under host slowdown");
+        assert!(g.cg.is_empty(), "CG must be unaffected");
+        assert!(diff.pt.is_empty());
+        assert!(diff.crt.is_none());
+    }
+
+    #[test]
+    fn app_crash_changes_cg_and_ci() {
+        let (log1, config) = scenario_log(1, None);
+        let mut topo = Topology::lab();
+        let (_, _) = install_services(&mut topo, "of7");
+        let s4 = topo.node_by_name("S4").unwrap();
+        let (log2, _) = scenario_log(
+            2,
+            Some((
+                Timestamp::ZERO,
+                Fault::AppCrash {
+                    host: s4,
+                    port: 8080,
+                },
+            )),
+        );
+        let m1 = crate::model::BehaviorModel::build(&log1, &config);
+        let m2 = crate::model::BehaviorModel::build(&log2, &config);
+        let stability = crate::stability::analyze(&log1, &m1, &config);
+        let diff = compare(&m1, &m2, &stability, &config);
+        let g = &diff.group_diffs[0];
+        assert!(
+            !g.cg.removed.is_empty(),
+            "app -> db edge must disappear: {:#?}",
+            g.cg
+        );
+    }
+}

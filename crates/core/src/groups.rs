@@ -1,0 +1,362 @@
+//! Application group discovery (Section III-B).
+//!
+//! Application nodes that form a connected communication graph are one
+//! *application group* — e.g. a three-tier app's web, application, and
+//! database servers. Nodes connected only through marked special-purpose
+//! nodes (DNS, NFS, …) stay in separate groups: service edges do not
+//! merge groups, but each group remembers its service edges.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlowDiffConfig;
+use crate::records::FlowRecord;
+
+/// A directed application-layer edge: who opens flows to whom.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Edge {
+    /// Flow initiator.
+    pub src: Ipv4Addr,
+    /// Flow target.
+    pub dst: Ipv4Addr,
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.src, self.dst)
+    }
+}
+
+/// One discovered application group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppGroup {
+    /// Member (non-special) node IPs, sorted.
+    pub members: BTreeSet<Ipv4Addr>,
+    /// Intra-group directed edges.
+    pub edges: BTreeSet<Edge>,
+    /// Edges from members to special-purpose nodes (kept for diagnosis
+    /// but not used for grouping).
+    pub service_edges: BTreeSet<Edge>,
+    /// Indexes (into the record list) of flows belonging to this group.
+    pub record_indices: Vec<usize>,
+}
+
+impl AppGroup {
+    /// A stable identifier: the smallest member IP.
+    pub fn group_key(&self) -> Option<Ipv4Addr> {
+        self.members.iter().next().copied()
+    }
+
+    /// Jaccard similarity of member sets, used to match groups across two
+    /// logs.
+    pub fn similarity(&self, other: &AppGroup) -> f64 {
+        let inter = self.members.intersection(&other.members).count();
+        let union = self.members.union(&other.members).count();
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+/// Union-find over IPs.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Discovers application groups from flow records.
+///
+/// Returns groups sorted by their smallest member IP. Special-purpose
+/// nodes never appear as members; flows between two special nodes are
+/// ignored.
+///
+/// ```
+/// use flowdiff::prelude::*;
+/// use flowdiff::records::FlowTuple;
+/// use openflow::types::{IpProto, Timestamp};
+///
+/// let record = |src: [u8; 4], dst: [u8; 4], dport: u16| FlowRecord {
+///     tuple: FlowTuple {
+///         src: src.into(), sport: 30_000, dst: dst.into(), dport,
+///         proto: IpProto::TCP,
+///     },
+///     first_seen: Timestamp::ZERO,
+///     hops: vec![],
+///     byte_count: 0, packet_count: 0, duration_s: 0.0,
+/// };
+/// // web -> app -> db chain plus an unrelated pair
+/// let records = vec![
+///     record([10, 0, 0, 1], [10, 0, 0, 2], 8080),
+///     record([10, 0, 0, 2], [10, 0, 0, 3], 3306),
+///     record([10, 0, 1, 1], [10, 0, 1, 2], 80),
+/// ];
+/// let groups = discover_groups(&records, &FlowDiffConfig::default());
+/// assert_eq!(groups.len(), 2);
+/// assert_eq!(groups[0].members.len(), 3);
+/// ```
+pub fn discover_groups(records: &[FlowRecord], config: &FlowDiffConfig) -> Vec<AppGroup> {
+    // Index all non-special endpoint IPs.
+    let mut ip_index: BTreeMap<Ipv4Addr, usize> = BTreeMap::new();
+    for r in records {
+        for ip in [r.tuple.src, r.tuple.dst] {
+            if !config.is_special(ip) {
+                let next = ip_index.len();
+                ip_index.entry(ip).or_insert(next);
+            }
+        }
+    }
+    let mut dsu = Dsu::new(ip_index.len());
+    for r in records {
+        let (s, d) = (r.tuple.src, r.tuple.dst);
+        if let (Some(&a), Some(&b)) = (ip_index.get(&s), ip_index.get(&d)) {
+            dsu.union(a, b);
+        }
+    }
+
+    // Gather groups.
+    let mut by_root: HashMap<usize, AppGroup> = HashMap::new();
+    for (&ip, &idx) in &ip_index {
+        let root = dsu.find(idx);
+        by_root
+            .entry(root)
+            .or_insert_with(|| AppGroup {
+                members: BTreeSet::new(),
+                edges: BTreeSet::new(),
+                service_edges: BTreeSet::new(),
+                record_indices: Vec::new(),
+            })
+            .members
+            .insert(ip);
+    }
+
+    for (i, r) in records.iter().enumerate() {
+        let (s, d) = (r.tuple.src, r.tuple.dst);
+        let s_special = config.is_special(s);
+        let d_special = config.is_special(d);
+        match (s_special, d_special) {
+            (false, false) => {
+                let root = dsu.find(ip_index[&s]);
+                let g = by_root.get_mut(&root).expect("root exists");
+                g.edges.insert(Edge { src: s, dst: d });
+                g.record_indices.push(i);
+            }
+            (false, true) => {
+                let root = dsu.find(ip_index[&s]);
+                let g = by_root.get_mut(&root).expect("root exists");
+                g.service_edges.insert(Edge { src: s, dst: d });
+                g.record_indices.push(i);
+            }
+            (true, false) => {
+                let root = dsu.find(ip_index[&d]);
+                let g = by_root.get_mut(&root).expect("root exists");
+                g.service_edges.insert(Edge { src: s, dst: d });
+                g.record_indices.push(i);
+            }
+            (true, true) => {} // service-to-service traffic: not an app flow
+        }
+    }
+
+    let mut groups: Vec<AppGroup> = by_root.into_values().collect();
+    groups.sort_by_key(|g| g.group_key());
+    groups
+}
+
+/// Matches groups of a current model to groups of a reference model by
+/// maximum member overlap. Returns `(ref_index, cur_index)` pairs plus
+/// the unmatched indices on each side.
+pub fn match_groups(
+    reference: &[AppGroup],
+    current: &[AppGroup],
+) -> (Vec<(usize, usize)>, Vec<usize>, Vec<usize>) {
+    let mut pairs = Vec::new();
+    let mut used_cur = vec![false; current.len()];
+    for (ri, r) in reference.iter().enumerate() {
+        let best = current
+            .iter()
+            .enumerate()
+            .filter(|(ci, _)| !used_cur[*ci])
+            .map(|(ci, c)| (ci, r.similarity(c)))
+            .filter(|(_, s)| *s > 0.0)
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((ci, _)) = best {
+            used_cur[ci] = true;
+            pairs.push((ri, ci));
+        }
+    }
+    let matched_ref: BTreeSet<usize> = pairs.iter().map(|(r, _)| *r).collect();
+    let unmatched_ref = (0..reference.len())
+        .filter(|i| !matched_ref.contains(i))
+        .collect();
+    let unmatched_cur = (0..current.len()).filter(|i| !used_cur[*i]).collect();
+    (pairs, unmatched_ref, unmatched_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::FlowTuple;
+    use openflow::types::{IpProto, Timestamp};
+
+    fn ip(a: u8, b: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, a, b)
+    }
+
+    fn record(src: Ipv4Addr, dst: Ipv4Addr, dport: u16) -> FlowRecord {
+        FlowRecord {
+            tuple: FlowTuple {
+                src,
+                sport: 30_000,
+                dst,
+                dport,
+                proto: IpProto::TCP,
+            },
+            first_seen: Timestamp::ZERO,
+            hops: vec![],
+            byte_count: 0,
+            packet_count: 0,
+            duration_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn chain_forms_one_group() {
+        let records = vec![
+            record(ip(0, 1), ip(0, 2), 80),
+            record(ip(0, 2), ip(0, 3), 8080),
+            record(ip(0, 3), ip(0, 4), 3306),
+        ];
+        let groups = discover_groups(&records, &FlowDiffConfig::default());
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members.len(), 4);
+        assert_eq!(groups[0].edges.len(), 3);
+        assert_eq!(groups[0].record_indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn disjoint_apps_form_separate_groups() {
+        let records = vec![
+            record(ip(0, 1), ip(0, 2), 80),
+            record(ip(1, 1), ip(1, 2), 80),
+        ];
+        let groups = discover_groups(&records, &FlowDiffConfig::default());
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn special_nodes_do_not_merge_groups() {
+        let dns = ip(200, 1);
+        let config = FlowDiffConfig::default().with_special_ips([dns]);
+        let records = vec![
+            record(ip(0, 1), ip(0, 2), 80),
+            record(ip(1, 1), ip(1, 2), 80),
+            // both groups talk to DNS
+            record(ip(0, 1), dns, 53),
+            record(ip(1, 1), dns, 53),
+        ];
+        let groups = discover_groups(&records, &config);
+        assert_eq!(groups.len(), 2, "shared DNS must not merge the groups");
+        for g in &groups {
+            assert!(!g.members.contains(&dns));
+            assert_eq!(g.service_edges.len(), 1);
+        }
+    }
+
+    #[test]
+    fn without_domain_knowledge_shared_node_merges() {
+        // Same traffic as above but DNS not marked: one merged group.
+        let dns = ip(200, 1);
+        let records = vec![
+            record(ip(0, 1), ip(0, 2), 80),
+            record(ip(1, 1), ip(1, 2), 80),
+            record(ip(0, 1), dns, 53),
+            record(ip(1, 1), dns, 53),
+        ];
+        let groups = discover_groups(&records, &FlowDiffConfig::default());
+        assert_eq!(groups.len(), 1, "unmarked shared node merges groups");
+    }
+
+    #[test]
+    fn service_to_service_flows_ignored() {
+        let nfs = ip(200, 1);
+        let dns = ip(200, 2);
+        let config = FlowDiffConfig::default().with_special_ips([nfs, dns]);
+        let records = vec![record(nfs, dns, 53)];
+        let groups = discover_groups(&records, &config);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn reply_flows_from_service_attach_to_member_group() {
+        let nfs = ip(200, 1);
+        let config = FlowDiffConfig::default().with_special_ips([nfs]);
+        let records = vec![
+            record(ip(0, 1), ip(0, 2), 80),
+            record(nfs, ip(0, 1), 40_000), // NFS reply into the group
+        ];
+        let groups = discover_groups(&records, &config);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].service_edges.len(), 1);
+        assert_eq!(groups[0].record_indices.len(), 2);
+    }
+
+    #[test]
+    fn group_matching_by_overlap() {
+        let g = |ips: &[Ipv4Addr]| AppGroup {
+            members: ips.iter().copied().collect(),
+            edges: BTreeSet::new(),
+            service_edges: BTreeSet::new(),
+            record_indices: vec![],
+        };
+        let reference = vec![g(&[ip(0, 1), ip(0, 2)]), g(&[ip(1, 1), ip(1, 2)])];
+        let current = vec![
+            g(&[ip(1, 1), ip(1, 2), ip(1, 3)]), // grew by one node
+            g(&[ip(2, 1), ip(2, 2)]),           // brand new app
+        ];
+        let (pairs, unmatched_ref, unmatched_cur) = match_groups(&reference, &current);
+        assert_eq!(pairs, vec![(1, 0)]);
+        assert_eq!(unmatched_ref, vec![0]);
+        assert_eq!(unmatched_cur, vec![1]);
+    }
+
+    #[test]
+    fn similarity_is_jaccard() {
+        let g = |ips: &[Ipv4Addr]| AppGroup {
+            members: ips.iter().copied().collect(),
+            edges: BTreeSet::new(),
+            service_edges: BTreeSet::new(),
+            record_indices: vec![],
+        };
+        let a = g(&[ip(0, 1), ip(0, 2), ip(0, 3)]);
+        let b = g(&[ip(0, 2), ip(0, 3), ip(0, 4)]);
+        assert!((a.similarity(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.similarity(&g(&[])), 0.0);
+    }
+}

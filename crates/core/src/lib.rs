@@ -1,0 +1,63 @@
+//! FlowDiff: diagnosing data center behavior flow by flow.
+//!
+//! A reproduction of the ICDCS 2013 paper by Arefin, Singh, Jiang,
+//! Zhang, and Lumezanu. FlowDiff passively captures the OpenFlow control
+//! traffic of a data center ([`netsim::log::ControllerLog`]), builds
+//! behavioral models from three perspectives — applications,
+//! infrastructure, and operators — and detects operational problems by
+//! *diffing* the current model against a known-good baseline, filtering
+//! out changes explained by learned operator-task automata.
+//!
+//! # Pipeline
+//!
+//! ```text
+//! log L1 (healthy) -> BehaviorModel + StabilityReport       (baseline)
+//! log L2 (current) -> BehaviorModel + task time series
+//! diff::compare(L1, L2) -> ModelDiff
+//! diagnosis::diagnose(..) -> known/unknown changes, problem classes,
+//!                            ranked suspect components
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use flowdiff::prelude::*;
+//! use netsim::log::ControllerLog;
+//!
+//! let config = FlowDiffConfig::default();
+//! let baseline_log = ControllerLog::new(); // normally: a captured log
+//! let current_log = ControllerLog::new();
+//!
+//! let baseline = BehaviorModel::build(&baseline_log, &config);
+//! let current = BehaviorModel::build(&current_log, &config);
+//! let stability = StabilityReport::all_stable(&baseline);
+//!
+//! let diff = flowdiff::diff::compare(&baseline, &current, &stability, &config);
+//! let report = flowdiff::diagnosis::diagnose(&diff, &current, &[], &config);
+//! assert!(report.is_healthy());
+//! ```
+
+pub mod config;
+pub mod diagnosis;
+pub mod diff;
+pub mod groups;
+pub mod model;
+pub mod records;
+pub mod signatures;
+pub mod stability;
+pub mod stats;
+pub mod tasks;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::config::FlowDiffConfig;
+    pub use crate::diagnosis::{
+        diagnose, Change, Component, DiagnosisReport, ProblemClass, SignatureKind,
+    };
+    pub use crate::diff::{compare, ModelDiff};
+    pub use crate::groups::{discover_groups, AppGroup, Edge};
+    pub use crate::model::{BehaviorModel, GroupSignatures};
+    pub use crate::records::{extract_records, FlowRecord, FlowTuple};
+    pub use crate::stability::{analyze, StabilityReport};
+    pub use crate::tasks::{learn_task, TaskAutomaton, TaskEvent, TaskLibrary};
+}

@@ -1,0 +1,183 @@
+//! The behavior model: all signatures of one log, bundled.
+
+use openflow::types::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlowDiffConfig;
+use crate::groups::{discover_groups, AppGroup};
+use crate::records::{extract_records, FlowRecord};
+use crate::signatures::connectivity::{self, ConnectivityGraph};
+use crate::signatures::correlation::{self, PartialCorrelation};
+use crate::signatures::delay::{self, DelayDistribution};
+use crate::signatures::flow_stats::{self, FlowStatsSig};
+use crate::signatures::infra::{
+    build_crt, build_isl, build_topology, ControllerResponse, InterSwitchLatency,
+    PhysicalTopology,
+};
+use crate::signatures::interaction::{self, ComponentInteraction};
+use crate::signatures::utilization::{build_utilization, LinkUtilization};
+use netsim::log::ControllerLog;
+
+/// All application signatures of one group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSignatures {
+    /// The group (members, edges, record indices).
+    pub group: AppGroup,
+    /// Connectivity graph (CG).
+    pub connectivity: ConnectivityGraph,
+    /// Flow statistics (FS).
+    pub flow_stats: FlowStatsSig,
+    /// Component interaction (CI).
+    pub interaction: ComponentInteraction,
+    /// Delay distribution (DD).
+    pub delay: DelayDistribution,
+    /// Partial correlation (PC).
+    pub correlation: PartialCorrelation,
+}
+
+/// The complete behavioral model of a data center over one log window
+/// (Section III): per-group application signatures plus the
+/// infrastructure signatures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorModel {
+    /// All extracted flow records, time-ordered.
+    pub records: Vec<FlowRecord>,
+    /// Per-application-group signatures.
+    pub groups: Vec<GroupSignatures>,
+    /// Inferred physical topology (PT).
+    pub topology: PhysicalTopology,
+    /// Inter-switch latency (ISL).
+    pub latency: InterSwitchLatency,
+    /// Controller response time (CRT).
+    pub response: ControllerResponse,
+    /// Link-utilization baseline (LU), from polled port counters.
+    pub utilization: LinkUtilization,
+    /// The log's time window.
+    pub span: (Timestamp, Timestamp),
+}
+
+impl BehaviorModel {
+    /// Builds the full model from a controller log.
+    pub fn build(log: &ControllerLog, config: &FlowDiffConfig) -> BehaviorModel {
+        let records = extract_records(log, config);
+        let span = log
+            .time_range()
+            .unwrap_or((Timestamp::ZERO, Timestamp::ZERO));
+        let mut model = Self::from_records(records, span, config);
+        // Every switch that sent *any* control message (echo keepalives
+        // included) is alive, even if no flow crossed it.
+        model.topology.live_switches.extend(
+            log.events()
+                .iter()
+                .filter(|e| e.direction == netsim::log::Direction::ToController)
+                .map(|e| e.dpid),
+        );
+        model.utilization = build_utilization(log);
+        model
+    }
+
+    /// Builds the model from already-extracted records (used by the
+    /// stability analysis, which re-segments one extraction).
+    pub fn from_records(
+        records: Vec<FlowRecord>,
+        span: (Timestamp, Timestamp),
+        config: &FlowDiffConfig,
+    ) -> BehaviorModel {
+        let groups = discover_groups(&records, config)
+            .into_iter()
+            .map(|group| {
+                let group_records: Vec<&FlowRecord> =
+                    group.record_indices.iter().map(|&i| &records[i]).collect();
+                GroupSignatures {
+                    connectivity: connectivity::ConnectivityGraph::build(&group),
+                    flow_stats: flow_stats::build(&group_records, span),
+                    interaction: interaction::build(&group_records),
+                    delay: delay::build(&group_records, config),
+                    correlation: correlation::build(&group_records, span, config),
+                    group,
+                }
+            })
+            .collect();
+        let topology = build_topology(&records);
+        let latency = build_isl(&records);
+        let response = build_crt(&records);
+        BehaviorModel {
+            records,
+            groups,
+            topology,
+            latency,
+            response,
+            utilization: LinkUtilization::default(),
+            span,
+        }
+    }
+
+    /// The group containing `ip` as a member, if any.
+    pub fn group_of(&self, ip: std::net::Ipv4Addr) -> Option<&GroupSignatures> {
+        self.groups.iter().find(|g| g.group.members.contains(&ip))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::topology::Topology;
+    use openflow::types::Timestamp;
+    use std::net::Ipv4Addr;
+    use workloads::prelude::*;
+
+    fn model_from_scenario() -> BehaviorModel {
+        let mut topo = Topology::lab();
+        let (catalog, _) = install_services(&mut topo, "of7");
+        let ip = |n: &str| topo.host_ip(topo.node_by_name(n).unwrap());
+        let (web, app, db, client) = (ip("S13"), ip("S4"), ip("S14"), ip("S25"));
+        let mut sc = Scenario::new(topo, 5, Timestamp::from_secs(1), Timestamp::from_secs(31));
+        sc.services(catalog.clone())
+            .app(templates::three_tier("rubis", vec![web], vec![app], vec![db], None))
+            .client(ClientWorkload {
+                client,
+                entry_hosts: vec![web],
+                entry_port: 80,
+                process: ArrivalProcess::poisson_per_sec(8.0),
+                request_bytes: 2_048,
+            });
+        let result = sc.run();
+        let config = FlowDiffConfig::default().with_special_ips(catalog.special_ips());
+        BehaviorModel::build(&result.log, &config)
+    }
+
+    #[test]
+    fn end_to_end_model_of_three_tier_app() {
+        let m = model_from_scenario();
+        assert!(!m.records.is_empty());
+        assert_eq!(m.groups.len(), 1, "one application group");
+        let g = &m.groups[0];
+        assert_eq!(g.group.members.len(), 4, "client+web+app+db");
+        assert_eq!(g.connectivity.edges.len(), 3, "three-edge chain");
+        assert!(g.flow_stats.flow_count > 50);
+        // DD: web->app against app->db should expose the 60ms app delay
+        let peaks = g.delay.peaks(5);
+        assert!(!peaks.is_empty());
+        // PT/ISL/CRT populated
+        assert!(!m.topology.adjacencies.is_empty());
+        assert!(!m.latency.per_pair.is_empty());
+        assert!(m.response.overall.n > 100);
+    }
+
+    #[test]
+    fn group_lookup_by_member() {
+        let m = model_from_scenario();
+        let member = *m.groups[0].group.members.iter().next().unwrap();
+        assert!(m.group_of(member).is_some());
+        assert!(m.group_of(Ipv4Addr::new(1, 2, 3, 4)).is_none());
+    }
+
+    #[test]
+    fn empty_log_builds_empty_model() {
+        let log = netsim::log::ControllerLog::new();
+        let m = BehaviorModel::build(&log, &FlowDiffConfig::default());
+        assert!(m.records.is_empty());
+        assert!(m.groups.is_empty());
+        assert_eq!(m.response.overall.n, 0);
+    }
+}

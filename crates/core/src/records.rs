@@ -1,0 +1,296 @@
+//! Flow record extraction from the controller log.
+//!
+//! FlowDiff's signatures are built not from raw control messages but from
+//! *flow records*: one record per flow episode, collecting the flow's
+//! 5-tuple, the time-ordered `PacketIn` reports from every switch on its
+//! path, the `FlowMod` replies, and the final counters from
+//! `FlowRemoved`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use netsim::log::ControllerLog;
+use openflow::frame;
+use openflow::types::{DatapathId, IpProto, PortNo, Timestamp, Xid};
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlowDiffConfig;
+
+/// A transport 5-tuple identifying a flow.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FlowTuple {
+    /// Source IP.
+    pub src: Ipv4Addr,
+    /// Source port.
+    pub sport: u16,
+    /// Destination IP.
+    pub dst: Ipv4Addr,
+    /// Destination port.
+    pub dport: u16,
+    /// IP protocol.
+    pub proto: IpProto,
+}
+
+impl FlowTuple {
+    /// Extracts the 5-tuple from a parsed flow key.
+    pub fn from_key(key: &openflow::match_fields::FlowKey) -> FlowTuple {
+        FlowTuple {
+            src: key.nw_src,
+            sport: key.tp_src,
+            dst: key.nw_dst,
+            dport: key.tp_dst,
+            proto: key.nw_proto,
+        }
+    }
+}
+
+impl fmt::Display for FlowTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{}",
+            self.proto, self.src, self.sport, self.dst, self.dport
+        )
+    }
+}
+
+/// One `PacketIn` report for a flow, at one switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HopReport {
+    /// Controller-side arrival time of the `PacketIn`.
+    pub ts: Timestamp,
+    /// Reporting switch.
+    pub dpid: DatapathId,
+    /// Ingress port at that switch.
+    pub in_port: PortNo,
+    /// Transaction id (pairs the `FlowMod` reply).
+    pub xid: Xid,
+    /// Send time of the paired `FlowMod`, when seen.
+    pub flow_mod_ts: Option<Timestamp>,
+    /// Egress port installed by the paired `FlowMod`, when seen.
+    pub out_port: Option<PortNo>,
+}
+
+/// One flow episode: a 5-tuple's appearance in the network, from its
+/// first `PacketIn` to its `FlowRemoved` counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// The flow's 5-tuple.
+    pub tuple: FlowTuple,
+    /// First `PacketIn` timestamp (the flow's appearance time).
+    pub first_seen: Timestamp,
+    /// `PacketIn`/`FlowMod` reports in time order, one per on-path switch.
+    pub hops: Vec<HopReport>,
+    /// Final byte count (max over per-switch `FlowRemoved`s).
+    pub byte_count: u64,
+    /// Final packet count.
+    pub packet_count: u64,
+    /// Flow-entry lifetime in seconds (from `FlowRemoved`).
+    pub duration_s: f64,
+}
+
+impl FlowRecord {
+    /// The dpid sequence of the flow's path, in traversal order.
+    pub fn switch_path(&self) -> Vec<DatapathId> {
+        self.hops.iter().map(|h| h.dpid).collect()
+    }
+}
+
+/// Extracts flow records from a controller log.
+///
+/// Recurring 5-tuples are split into episodes when consecutive
+/// `PacketIn`s are separated by more than `config.episode_gap_us`.
+/// `FlowRemoved` counters attach to the latest episode that started
+/// before them.
+pub fn extract_records(log: &ControllerLog, config: &FlowDiffConfig) -> Vec<FlowRecord> {
+    // xid -> (flow_mod send ts, installed output port)
+    let mut mods: HashMap<Xid, (Timestamp, Option<PortNo>)> = HashMap::new();
+    for (ts, _, xid, fm) in log.flow_mods() {
+        let out = openflow::actions::first_output(&fm.actions);
+        mods.entry(xid).or_insert((ts, out));
+    }
+
+    let mut by_tuple: HashMap<FlowTuple, Vec<FlowRecord>> = HashMap::new();
+    for (ts, dpid, xid, pi) in log.packet_ins() {
+        let Ok(key) = frame::parse_frame(&pi.data) else {
+            continue; // unparseable capture: skip, never fail extraction
+        };
+        let tuple = FlowTuple::from_key(&key);
+        let (fm_ts, out_port) = match mods.get(&xid) {
+            Some((t, p)) => (Some(*t), *p),
+            None => (None, None),
+        };
+        let hop = HopReport {
+            ts,
+            dpid,
+            in_port: pi.in_port,
+            xid,
+            flow_mod_ts: fm_ts,
+            out_port,
+        };
+        let episodes = by_tuple.entry(tuple).or_default();
+        let start_new = match episodes.last() {
+            Some(ep) => {
+                let last_ts = ep.hops.last().map_or(ep.first_seen, |h| h.ts);
+                ts.saturating_since(last_ts) > config.episode_gap_us
+            }
+            None => true,
+        };
+        if start_new {
+            episodes.push(FlowRecord {
+                tuple,
+                first_seen: ts,
+                hops: vec![hop],
+                byte_count: 0,
+                packet_count: 0,
+                duration_s: 0.0,
+            });
+        } else {
+            episodes.last_mut().expect("just checked").hops.push(hop);
+        }
+    }
+
+    // Attach FlowRemoved counters to the latest episode started before
+    // the removal.
+    for (ts, _, fr) in log.flow_removeds() {
+        let m = &fr.match_;
+        let tuple = FlowTuple {
+            src: m.nw_src,
+            sport: m.tp_src,
+            dst: m.nw_dst,
+            dport: m.tp_dst,
+            proto: m.nw_proto,
+        };
+        if let Some(episodes) = by_tuple.get_mut(&tuple) {
+            if let Some(ep) = episodes.iter_mut().rev().find(|ep| ep.first_seen <= ts) {
+                ep.byte_count = ep.byte_count.max(fr.byte_count);
+                ep.packet_count = ep.packet_count.max(fr.packet_count);
+                ep.duration_s = ep.duration_s.max(fr.duration_secs_f64());
+            }
+        }
+    }
+
+    let mut records: Vec<FlowRecord> = by_tuple.into_values().flatten().collect();
+    records.sort_by_key(|r| (r.first_seen, r.tuple));
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::config::SimConfig;
+    use netsim::engine::Simulation;
+    use openflow::messages::OfpMessage;
+    use netsim::flows::FlowSpec;
+    use netsim::topology::Topology;
+    use openflow::match_fields::FlowKey;
+
+    fn line_topology() -> Topology {
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1", Ipv4Addr::new(10, 0, 0, 1));
+        let h2 = t.add_host("h2", Ipv4Addr::new(10, 0, 0, 2));
+        let s1 = t.add_of_switch("s1");
+        let s2 = t.add_of_switch("s2");
+        let s3 = t.add_of_switch("s3");
+        t.connect(h1, s1, 50, 1_000_000_000);
+        t.connect(s1, s2, 20, 1_000_000_000);
+        t.connect(s2, s3, 20, 1_000_000_000);
+        t.connect(s3, h2, 50, 1_000_000_000);
+        t
+    }
+
+    fn key(sport: u16) -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            sport,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        )
+    }
+
+    #[test]
+    fn one_record_per_flow_with_full_path() {
+        let mut sim = Simulation::new(line_topology(), SimConfig::default(), 1);
+        sim.schedule_flow(Timestamp::from_secs(1), FlowSpec::new(key(4000), 6_000, 5_000));
+        sim.run_until(Timestamp::from_secs(30));
+        let log = sim.take_log();
+        let records = extract_records(&log, &FlowDiffConfig::default());
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.hops.len(), 3, "three OF switches on path");
+        assert_eq!(r.tuple.dport, 80);
+        assert!(r.hops.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert!(r.hops.iter().all(|h| h.flow_mod_ts.is_some()));
+        assert!(r.hops.iter().all(|h| h.out_port.is_some()));
+        assert_eq!(r.byte_count, 6_000);
+        assert!(r.duration_s > 4.9, "lifetime includes the idle timeout");
+    }
+
+    #[test]
+    fn episodes_split_on_gap() {
+        let mut sim = Simulation::new(line_topology(), SimConfig::default(), 1);
+        // Same 5-tuple, 60 s apart (entries expire in between).
+        sim.schedule_flow(Timestamp::from_secs(1), FlowSpec::new(key(4000), 3_000, 5_000));
+        sim.schedule_flow(Timestamp::from_secs(61), FlowSpec::new(key(4000), 3_000, 5_000));
+        sim.run_until(Timestamp::from_secs(120));
+        let log = sim.take_log();
+        let records = extract_records(&log, &FlowDiffConfig::default());
+        assert_eq!(records.len(), 2, "two episodes of the same tuple");
+        assert!(records[0].first_seen < records[1].first_seen);
+        assert_eq!(records[0].byte_count, 3_000);
+        assert_eq!(records[1].byte_count, 3_000);
+    }
+
+    #[test]
+    fn concurrent_flows_keep_separate_records() {
+        let mut sim = Simulation::new(line_topology(), SimConfig::default(), 1);
+        for sport in [4000, 4001, 4002] {
+            sim.schedule_flow(Timestamp::from_secs(1), FlowSpec::new(key(sport), 2_000, 5_000));
+        }
+        sim.run_until(Timestamp::from_secs(30));
+        let log = sim.take_log();
+        let records = extract_records(&log, &FlowDiffConfig::default());
+        assert_eq!(records.len(), 3);
+        let mut sports: Vec<u16> = records.iter().map(|r| r.tuple.sport).collect();
+        sports.sort_unstable();
+        assert_eq!(sports, vec![4000, 4001, 4002]);
+    }
+
+    #[test]
+    fn extraction_survives_corrupt_capture() {
+        let mut sim = Simulation::new(line_topology(), SimConfig::default(), 1);
+        sim.schedule_flow(Timestamp::from_secs(1), FlowSpec::new(key(4000), 2_000, 5_000));
+        sim.run_until(Timestamp::from_secs(30));
+        let mut log = sim.take_log();
+        // Corrupt one PacketIn's payload.
+        let mut events: Vec<_> = log.events().to_vec();
+        for e in &mut events {
+            if let OfpMessage::PacketIn(pi) = &mut e.msg {
+                pi.data.truncate(4);
+                break;
+            }
+        }
+        log = events.into_iter().collect();
+        let records = extract_records(&log, &FlowDiffConfig::default());
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].hops.len(), 2, "corrupt hop skipped");
+    }
+
+    #[test]
+    fn switch_path_in_traversal_order() {
+        let t = line_topology();
+        let dpids: Vec<DatapathId> = ["s1", "s2", "s3"]
+            .iter()
+            .map(|n| t.dpid_of(t.node_by_name(n).unwrap()).unwrap())
+            .collect();
+        let mut sim = Simulation::new(t, SimConfig::default(), 1);
+        sim.schedule_flow(Timestamp::from_secs(1), FlowSpec::new(key(4000), 2_000, 5_000));
+        sim.run_until(Timestamp::from_secs(30));
+        let log = sim.take_log();
+        let records = extract_records(&log, &FlowDiffConfig::default());
+        assert_eq!(records[0].switch_path(), dpids);
+    }
+}

@@ -1,0 +1,185 @@
+//! The connectivity graph (CG) signature.
+//!
+//! Captures which application nodes open flows to which (Section III-B).
+//! Robust to workload changes: the edge set depends only on the
+//! application's internal structure.
+
+use std::collections::BTreeSet;
+
+use openflow::types::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::groups::{AppGroup, Edge};
+use crate::records::FlowRecord;
+
+/// The connectivity graph of one application group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectivityGraph {
+    /// Directed member-to-member edges.
+    pub edges: BTreeSet<Edge>,
+    /// Edges touching special-purpose service nodes.
+    pub service_edges: BTreeSet<Edge>,
+}
+
+impl ConnectivityGraph {
+    /// Builds the CG of a group (the group discovery already collected
+    /// the edge sets).
+    pub fn build(group: &AppGroup) -> ConnectivityGraph {
+        ConnectivityGraph {
+            edges: group.edges.clone(),
+            service_edges: group.service_edges.clone(),
+        }
+    }
+
+    /// All edges including service edges.
+    pub fn all_edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().chain(self.service_edges.iter())
+    }
+}
+
+/// An edge present in one log but not the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeChange {
+    /// The edge.
+    pub edge: Edge,
+    /// When the edge first appeared in the log that has it (for added
+    /// edges: the current log; for removed: unknown, `None`).
+    pub first_seen: Option<Timestamp>,
+}
+
+/// Difference between two connectivity graphs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CgDiff {
+    /// Edges in the current graph missing from the reference.
+    pub added: Vec<EdgeChange>,
+    /// Edges in the reference missing from the current graph.
+    pub removed: Vec<EdgeChange>,
+}
+
+impl CgDiff {
+    /// True when the graphs are identical.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Graph-matching diff (Section IV-A): lists missing and new edges, with
+/// appearance timestamps for new edges pulled from the current records.
+///
+/// An edge counts as *removed* only when no flow with that source and
+/// destination exists anywhere in the current log — group fragmentation
+/// can move an edge into a different group without the traffic actually
+/// disappearing.
+pub fn diff(
+    reference: &ConnectivityGraph,
+    current: &ConnectivityGraph,
+    current_records: &[FlowRecord],
+) -> CgDiff {
+    let ref_all: BTreeSet<Edge> = reference.all_edges().copied().collect();
+    let cur_all: BTreeSet<Edge> = current.all_edges().copied().collect();
+    let first_seen_of = |e: &Edge| {
+        current_records
+            .iter()
+            .filter(|r| r.tuple.src == e.src && r.tuple.dst == e.dst)
+            .map(|r| r.first_seen)
+            .min()
+    };
+    CgDiff {
+        added: cur_all
+            .difference(&ref_all)
+            .map(|e| EdgeChange {
+                edge: *e,
+                first_seen: first_seen_of(e),
+            })
+            .collect(),
+        removed: ref_all
+            .difference(&cur_all)
+            .filter(|e| first_seen_of(e).is_none())
+            .map(|e| EdgeChange {
+                edge: *e,
+                first_seen: None,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::FlowTuple;
+    use openflow::types::IpProto;
+    use std::net::Ipv4Addr;
+
+    fn ip(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    fn edge(a: u8, b: u8) -> Edge {
+        Edge {
+            src: ip(a),
+            dst: ip(b),
+        }
+    }
+
+    fn cg(edges: &[Edge]) -> ConnectivityGraph {
+        ConnectivityGraph {
+            edges: edges.iter().copied().collect(),
+            service_edges: BTreeSet::new(),
+        }
+    }
+
+    fn record(e: Edge, at_us: u64) -> FlowRecord {
+        FlowRecord {
+            tuple: FlowTuple {
+                src: e.src,
+                sport: 1,
+                dst: e.dst,
+                dport: 80,
+                proto: IpProto::TCP,
+            },
+            first_seen: Timestamp::from_micros(at_us),
+            hops: vec![],
+            byte_count: 0,
+            packet_count: 0,
+            duration_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn identical_graphs_diff_empty() {
+        let g = cg(&[edge(1, 2), edge(2, 3)]);
+        assert!(diff(&g, &g, &[]).is_empty());
+    }
+
+    #[test]
+    fn added_edge_carries_first_seen() {
+        let reference = cg(&[edge(1, 2)]);
+        let current = cg(&[edge(1, 2), edge(2, 9)]);
+        let records = vec![record(edge(2, 9), 5_000), record(edge(2, 9), 2_000)];
+        let d = diff(&reference, &current, &records);
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].edge, edge(2, 9));
+        assert_eq!(d.added[0].first_seen, Some(Timestamp::from_micros(2_000)));
+        assert!(d.removed.is_empty());
+    }
+
+    #[test]
+    fn removed_edge_detected() {
+        let reference = cg(&[edge(1, 2), edge(2, 3)]);
+        let current = cg(&[edge(1, 2)]);
+        let d = diff(&reference, &current, &[]);
+        assert!(d.added.is_empty());
+        assert_eq!(d.removed.len(), 1);
+        assert_eq!(d.removed[0].edge, edge(2, 3));
+        assert_eq!(d.removed[0].first_seen, None);
+    }
+
+    #[test]
+    fn service_edges_participate_in_diff() {
+        let mut reference = cg(&[edge(1, 2)]);
+        reference.service_edges.insert(edge(1, 200));
+        let current = cg(&[edge(1, 2)]);
+        let d = diff(&reference, &current, &[]);
+        assert_eq!(d.removed.len(), 1, "lost service edge must be reported");
+    }
+}

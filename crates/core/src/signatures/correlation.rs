@@ -1,0 +1,244 @@
+//! The partial correlation (PC) signature.
+//!
+//! Quantifies the strength of dependencies that DD only locates: the log
+//! window is divided into equal epochs, flow counts per edge form a time
+//! series, and adjacent edges' series are correlated with Pearson's
+//! coefficient (Section III-B).
+
+use std::collections::BTreeMap;
+
+use openflow::types::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlowDiffConfig;
+use crate::groups::Edge;
+use crate::records::FlowRecord;
+use crate::signatures::delay::EdgePair;
+use crate::stats::pearson;
+
+/// The PC signature of one application group.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PartialCorrelation {
+    /// Pearson coefficient per adjacent edge pair.
+    pub per_pair: BTreeMap<EdgePair, f64>,
+}
+
+/// Builds the PC signature from a group's records over a log window.
+pub fn build(
+    records: &[&FlowRecord],
+    span: (Timestamp, Timestamp),
+    config: &FlowDiffConfig,
+) -> PartialCorrelation {
+    let start = span.0.as_micros();
+    let end = span.1.as_micros().max(start + 1);
+    let epochs = ((end - start).div_ceil(config.epoch_us)).max(1) as usize;
+
+    // Per-edge epoch count series.
+    let mut series: BTreeMap<Edge, Vec<f64>> = BTreeMap::new();
+    for r in records {
+        let edge = Edge {
+            src: r.tuple.src,
+            dst: r.tuple.dst,
+        };
+        let t = r.first_seen.as_micros();
+        if t < start || t >= end {
+            continue;
+        }
+        let idx = ((t - start) / config.epoch_us) as usize;
+        let s = series.entry(edge).or_insert_with(|| vec![0.0; epochs]);
+        s[idx.min(epochs - 1)] += 1.0;
+    }
+
+    let edges: Vec<Edge> = series.keys().copied().collect();
+    let mut per_pair = BTreeMap::new();
+    for in_edge in &edges {
+        for out_edge in &edges {
+            if in_edge.dst != out_edge.src || in_edge == out_edge {
+                continue;
+            }
+            if in_edge.src == out_edge.dst && in_edge.dst == out_edge.src {
+                continue;
+            }
+            if let Some(r) = pearson(&series[in_edge], &series[out_edge]) {
+                per_pair.insert((*in_edge, *out_edge), r);
+            }
+        }
+    }
+    PartialCorrelation { per_pair }
+}
+
+/// A weakened or strengthened dependency between adjacent edges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcChange {
+    /// The edge pair.
+    pub pair: EdgePair,
+    /// Reference coefficient.
+    pub reference: f64,
+    /// Current coefficient.
+    pub current: f64,
+}
+
+impl PcChange {
+    /// Magnitude of the change.
+    pub fn delta(&self) -> f64 {
+        (self.current - self.reference).abs()
+    }
+}
+
+/// Scalar comparison (Section IV-A): pairs whose coefficient moved by
+/// more than `config.pc_delta`.
+pub fn diff(
+    reference: &PartialCorrelation,
+    current: &PartialCorrelation,
+    config: &FlowDiffConfig,
+) -> Vec<PcChange> {
+    let mut out = Vec::new();
+    for (pair, &r_ref) in &reference.per_pair {
+        // A pair that lost its correlation signal entirely (constant or
+        // absent downstream series) counts as r = 0: the dependency is
+        // no longer observable.
+        let r_cur = current.per_pair.get(pair).copied().unwrap_or(0.0);
+        let change = PcChange {
+            pair: *pair,
+            reference: r_ref,
+            current: r_cur,
+        };
+        if change.delta() > config.pc_delta {
+            out.push(change);
+        }
+    }
+    out.sort_by(|a, b| b.delta().total_cmp(&a.delta()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::FlowTuple;
+    use openflow::types::IpProto;
+    use std::net::Ipv4Addr;
+
+    fn ip(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    fn record(s: u8, d: u8, at_us: u64, sport: u16) -> FlowRecord {
+        FlowRecord {
+            tuple: FlowTuple {
+                src: ip(s),
+                sport,
+                dst: ip(d),
+                dport: 80,
+                proto: IpProto::TCP,
+            },
+            first_seen: Timestamp::from_micros(at_us),
+            hops: vec![],
+            byte_count: 0,
+            packet_count: 0,
+            duration_s: 0.0,
+        }
+    }
+
+    fn span() -> (Timestamp, Timestamp) {
+        (Timestamp::ZERO, Timestamp::from_secs(20))
+    }
+
+    /// Bursty chain: epochs alternate busy/quiet, and node 2 forwards
+    /// `forward_per_burst` of each burst's requests downstream.
+    fn bursty_chain(bursts: usize, per_burst: usize, forward_per_burst: usize) -> Vec<FlowRecord> {
+        let mut out = Vec::new();
+        let mut sport = 1000u16;
+        for b in 0..bursts {
+            // busy epoch every other second, varying burst size
+            let t0 = b as u64 * 2_000_000;
+            let size = per_burst + (b % 3) * per_burst;
+            for i in 0..size {
+                out.push(record(1, 2, t0 + i as u64 * 500, sport));
+                sport += 1;
+            }
+            let fwd = forward_per_burst + (b % 3) * forward_per_burst;
+            for i in 0..fwd {
+                out.push(record(2, 3, t0 + 60_000 + i as u64 * 500, sport));
+                sport += 1;
+            }
+        }
+        out
+    }
+
+    fn pc_of(records: &[FlowRecord]) -> PartialCorrelation {
+        let refs: Vec<&FlowRecord> = records.iter().collect();
+        build(&refs, span(), &FlowDiffConfig::default())
+    }
+
+    #[test]
+    fn dependent_edges_correlate_strongly() {
+        let pc = pc_of(&bursty_chain(10, 10, 10));
+        assert_eq!(pc.per_pair.len(), 1);
+        let r = *pc.per_pair.values().next().unwrap();
+        assert!(r > 0.9, "fully dependent edges: r = {r}");
+    }
+
+    #[test]
+    fn partial_forwarding_still_correlates() {
+        // 50% connection reuse: half the downstream flows disappear but
+        // the visible ones still track the upstream bursts.
+        let pc = pc_of(&bursty_chain(10, 10, 5));
+        let r = *pc.per_pair.values().next().unwrap();
+        assert!(r > 0.8, "reuse should not destroy correlation: r = {r}");
+    }
+
+    #[test]
+    fn broken_dependency_detected() {
+        let healthy = pc_of(&bursty_chain(10, 10, 10));
+        // downstream stops tracking upstream: constant trickle instead
+        let mut broken_records = Vec::new();
+        let mut sport = 1000u16;
+        for b in 0..10u64 {
+            let t0 = b * 2_000_000;
+            let size = 10 + (b as usize % 3) * 10;
+            for i in 0..size {
+                broken_records.push(record(1, 2, t0 + i as u64 * 500, sport));
+                sport += 1;
+            }
+        }
+        // uncorrelated out-edge: one flow per epoch regardless of load
+        for e in 0..20u64 {
+            broken_records.push(record(2, 3, e * 1_000_000 + 123, sport + e as u16));
+        }
+        let broken = pc_of(&broken_records);
+        let changes = diff(&healthy, &broken, &FlowDiffConfig::default());
+        assert_eq!(changes.len(), 1);
+        assert!(changes[0].delta() > 0.35);
+    }
+
+    #[test]
+    fn stable_correlation_not_flagged() {
+        let a = pc_of(&bursty_chain(10, 10, 10));
+        let b = pc_of(&bursty_chain(10, 14, 14));
+        assert!(diff(&a, &b, &FlowDiffConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn empty_records_build_empty_signature() {
+        let pc = build(&[], span(), &FlowDiffConfig::default());
+        assert!(pc.per_pair.is_empty());
+    }
+
+    #[test]
+    fn constant_series_yields_no_coefficient() {
+        // one flow per epoch on both edges: zero variance, no r
+        let mut records = Vec::new();
+        for e in 0..10u64 {
+            records.push(record(1, 2, e * 1_000_000, 1000 + e as u16));
+            records.push(record(2, 3, e * 1_000_000 + 60_000, 2000 + e as u16));
+        }
+        // span exactly covers the ten active epochs
+        let refs: Vec<&FlowRecord> = records.iter().collect();
+        let pc = build(
+            &refs,
+            (Timestamp::ZERO, Timestamp::from_secs(10)),
+            &FlowDiffConfig::default(),
+        );
+        assert!(pc.per_pair.is_empty());
+    }
+}

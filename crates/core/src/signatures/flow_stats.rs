@@ -1,0 +1,276 @@
+//! The flow statistics (FS) signature.
+//!
+//! Per application group: flow durations, byte and packet counts (from
+//! `FlowRemoved` counters), and flow arrival rates, overall and per edge
+//! (Section III-B).
+
+use std::collections::BTreeMap;
+
+use openflow::types::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::groups::Edge;
+use crate::records::FlowRecord;
+use crate::stats::MeanStd;
+
+/// Per-edge flow statistics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EdgeStats {
+    /// Number of flows observed on the edge.
+    pub flow_count: usize,
+    /// Byte-count summary over those flows.
+    pub bytes: MeanStd,
+    /// Flow-entry lifetime summary, seconds.
+    pub duration_s: MeanStd,
+}
+
+/// The FS signature of one application group.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlowStatsSig {
+    /// Total flows in the group during the log window.
+    pub flow_count: usize,
+    /// Flow arrival rate, flows per second.
+    pub flows_per_sec: f64,
+    /// Byte counts over all group flows.
+    pub bytes: MeanStd,
+    /// Packet counts over all group flows.
+    pub packets: MeanStd,
+    /// Flow-entry lifetimes, seconds.
+    pub duration_s: MeanStd,
+    /// Per-edge breakdown.
+    pub per_edge: BTreeMap<Edge, EdgeStats>,
+}
+
+/// Builds the FS signature from a group's records over a log window.
+pub fn build(records: &[&FlowRecord], span: (Timestamp, Timestamp)) -> FlowStatsSig {
+    let span_s = ((span.1.as_micros().saturating_sub(span.0.as_micros())) as f64 / 1e6).max(1e-6);
+    let bytes: Vec<f64> = records.iter().map(|r| r.byte_count as f64).collect();
+    let packets: Vec<f64> = records.iter().map(|r| r.packet_count as f64).collect();
+    let durations: Vec<f64> = records.iter().map(|r| r.duration_s).collect();
+
+    let mut per_edge: BTreeMap<Edge, Vec<&FlowRecord>> = BTreeMap::new();
+    for r in records {
+        per_edge
+            .entry(Edge {
+                src: r.tuple.src,
+                dst: r.tuple.dst,
+            })
+            .or_default()
+            .push(r);
+    }
+    let per_edge = per_edge
+        .into_iter()
+        .map(|(e, rs)| {
+            let b: Vec<f64> = rs.iter().map(|r| r.byte_count as f64).collect();
+            let d: Vec<f64> = rs.iter().map(|r| r.duration_s).collect();
+            (
+                e,
+                EdgeStats {
+                    flow_count: rs.len(),
+                    bytes: MeanStd::of(&b),
+                    duration_s: MeanStd::of(&d),
+                },
+            )
+        })
+        .collect();
+
+    FlowStatsSig {
+        flow_count: records.len(),
+        flows_per_sec: records.len() as f64 / span_s,
+        bytes: MeanStd::of(&bytes),
+        packets: MeanStd::of(&packets),
+        duration_s: MeanStd::of(&durations),
+        per_edge,
+    }
+}
+
+/// One detected flow-statistics change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsChange {
+    /// Which metric shifted (`bytes`, `flow_rate`, `duration`).
+    pub metric: String,
+    /// The edge it shifted on (`None` = group-wide).
+    pub edge: Option<Edge>,
+    /// Reference value.
+    pub reference: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change `|cur - ref| / max(|ref|, ε)`.
+    pub rel_change: f64,
+}
+
+fn rel(reference: f64, current: f64) -> f64 {
+    (current - reference).abs() / reference.abs().max(1e-9)
+}
+
+/// True when a byte-count mean moved both materially (> 5 % relative)
+/// and significantly (> 5 baseline standard errors, with enough
+/// samples). Catches gradual inflation — e.g. retransmissions under a
+/// low loss rate — that stays below the coarse relative threshold.
+fn bytes_shifted(reference: &MeanStd, current: &MeanStd) -> bool {
+    if reference.n < 30 || current.n < 30 {
+        return false;
+    }
+    let se = reference.std / (reference.n as f64).sqrt();
+    let delta = (current.mean - reference.mean).abs();
+    rel(reference.mean, current.mean) > 0.05 && delta > 5.0 * se
+}
+
+/// Scalar comparison (Section IV-A): reports metrics whose relative
+/// change exceeds `threshold`, plus byte-count means that shifted
+/// significantly per the standard-error test above.
+pub fn diff(reference: &FlowStatsSig, current: &FlowStatsSig, threshold: f64) -> Vec<FsChange> {
+    fn push(out: &mut Vec<FsChange>, metric: &str, edge: Option<Edge>, a: f64, b: f64) {
+        out.push(FsChange {
+            metric: metric.to_owned(),
+            edge,
+            reference: a,
+            current: b,
+            rel_change: rel(a, b),
+        });
+    }
+    let mut out = Vec::new();
+    if rel(reference.flows_per_sec, current.flows_per_sec) > threshold {
+        push(
+            &mut out,
+            "flow_rate",
+            None,
+            reference.flows_per_sec,
+            current.flows_per_sec,
+        );
+    }
+    if rel(reference.bytes.mean, current.bytes.mean) > threshold
+        || bytes_shifted(&reference.bytes, &current.bytes)
+    {
+        push(
+            &mut out,
+            "bytes",
+            None,
+            reference.bytes.mean,
+            current.bytes.mean,
+        );
+    }
+    if rel(reference.duration_s.mean, current.duration_s.mean) > threshold {
+        push(
+            &mut out,
+            "duration",
+            None,
+            reference.duration_s.mean,
+            current.duration_s.mean,
+        );
+    }
+    for (edge, ref_stats) in &reference.per_edge {
+        if let Some(cur_stats) = current.per_edge.get(edge) {
+            if rel(ref_stats.bytes.mean, cur_stats.bytes.mean) > threshold
+                || bytes_shifted(&ref_stats.bytes, &cur_stats.bytes)
+            {
+                push(
+                    &mut out,
+                    "bytes",
+                    Some(*edge),
+                    ref_stats.bytes.mean,
+                    cur_stats.bytes.mean,
+                );
+            }
+            if rel(ref_stats.flow_count as f64, cur_stats.flow_count as f64) > threshold {
+                push(
+                    &mut out,
+                    "flow_rate",
+                    Some(*edge),
+                    ref_stats.flow_count as f64,
+                    cur_stats.flow_count as f64,
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::FlowTuple;
+    use openflow::types::IpProto;
+    use std::net::Ipv4Addr;
+
+    fn record(src_last: u8, dst_last: u8, bytes: u64, at_s: u64) -> FlowRecord {
+        FlowRecord {
+            tuple: FlowTuple {
+                src: Ipv4Addr::new(10, 0, 0, src_last),
+                sport: 1000 + bytes as u16 % 1000,
+                dst: Ipv4Addr::new(10, 0, 0, dst_last),
+                dport: 80,
+                proto: IpProto::TCP,
+            },
+            first_seen: Timestamp::from_secs(at_s),
+            hops: vec![],
+            byte_count: bytes,
+            packet_count: bytes / 1500 + 1,
+            duration_s: 5.0,
+        }
+    }
+
+    fn span() -> (Timestamp, Timestamp) {
+        (Timestamp::ZERO, Timestamp::from_secs(10))
+    }
+
+    #[test]
+    fn build_summarizes_counts_and_rates() {
+        let records = vec![
+            record(1, 2, 1_000, 1),
+            record(1, 2, 3_000, 2),
+            record(2, 3, 2_000, 3),
+        ];
+        let refs: Vec<&FlowRecord> = records.iter().collect();
+        let fs = build(&refs, span());
+        assert_eq!(fs.flow_count, 3);
+        assert!((fs.flows_per_sec - 0.3).abs() < 1e-9);
+        assert!((fs.bytes.mean - 2_000.0).abs() < 1e-9);
+        assert_eq!(fs.per_edge.len(), 2);
+        let e = Edge {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+        };
+        assert_eq!(fs.per_edge[&e].flow_count, 2);
+    }
+
+    #[test]
+    fn no_change_below_threshold() {
+        let records = vec![record(1, 2, 1_000, 1), record(1, 2, 1_100, 2)];
+        let refs: Vec<&FlowRecord> = records.iter().collect();
+        let fs1 = build(&refs, span());
+        let changes = diff(&fs1, &fs1, 0.5);
+        assert!(changes.is_empty());
+    }
+
+    #[test]
+    fn byte_inflation_detected_on_edge() {
+        let base = vec![record(1, 2, 1_000, 1), record(1, 2, 1_000, 2)];
+        let loss = vec![record(1, 2, 2_500, 1), record(1, 2, 2_700, 2)];
+        let fs1 = build(&base.iter().collect::<Vec<_>>(), span());
+        let fs2 = build(&loss.iter().collect::<Vec<_>>(), span());
+        let changes = diff(&fs1, &fs2, 0.5);
+        assert!(changes.iter().any(|c| c.metric == "bytes" && c.edge.is_some()));
+        assert!(changes
+            .iter()
+            .all(|c| c.metric != "flow_rate" || c.rel_change <= 0.5));
+    }
+
+    #[test]
+    fn empty_group_yields_default_signature() {
+        let fs = build(&[], span());
+        assert_eq!(fs.flow_count, 0);
+        assert_eq!(fs.bytes.n, 0);
+        assert!(diff(&fs, &fs, 0.1).is_empty());
+    }
+
+    #[test]
+    fn flow_rate_collapse_detected() {
+        let base: Vec<FlowRecord> = (0..10).map(|i| record(1, 2, 1_000, i)).collect();
+        let quiet = vec![record(1, 2, 1_000, 1)];
+        let fs1 = build(&base.iter().collect::<Vec<_>>(), span());
+        let fs2 = build(&quiet.iter().collect::<Vec<_>>(), span());
+        let changes = diff(&fs1, &fs2, 0.5);
+        assert!(changes.iter().any(|c| c.metric == "flow_rate"));
+    }
+}

@@ -1,0 +1,514 @@
+//! Infrastructure signatures (Section III-C): physical topology (PT),
+//! inter-switch latency (ISL), and controller response time (CRT).
+//!
+//! All three are inferred purely from control-message timestamps at the
+//! controller, following Figure 3 of the paper:
+//!
+//! * PT — a flow's ordered `PacketIn` reports (ingress ports) combined
+//!   with the `FlowMod` output ports reveal which switch port connects to
+//!   which;
+//! * ISL — for consecutive hops, the gap between the controller sending
+//!   the `FlowMod` to switch *i* and receiving the `PacketIn` from switch
+//!   *i + 1* estimates the latency between them;
+//! * CRT — the gap between a `PacketIn` and its paired `FlowMod`.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+use openflow::types::{DatapathId, PortNo};
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlowDiffConfig;
+use crate::records::FlowRecord;
+use crate::stats::MeanStd;
+
+/// An inferred switch-to-switch adjacency, with the connecting ports.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SwitchAdjacency {
+    /// Upstream switch.
+    pub from: DatapathId,
+    /// Upstream egress port.
+    pub from_port: PortNo,
+    /// Downstream switch.
+    pub to: DatapathId,
+    /// Downstream ingress port.
+    pub to_port: PortNo,
+}
+
+/// The inferred physical topology.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhysicalTopology {
+    /// Directed switch adjacencies observed on flow paths.
+    pub adjacencies: BTreeSet<SwitchAdjacency>,
+    /// First switch (and its ingress port) seen for each source host IP —
+    /// the host's attachment point.
+    pub host_attachment: BTreeMap<Ipv4Addr, (DatapathId, PortNo)>,
+    /// Switches known to be alive during the capture (any control
+    /// message, including echo keepalives, counts as a liveness proof).
+    pub live_switches: BTreeSet<DatapathId>,
+}
+
+/// Builds the PT signature from flow records.
+pub fn build_topology(records: &[FlowRecord]) -> PhysicalTopology {
+    let mut adjacencies = BTreeSet::new();
+    let mut host_attachment = BTreeMap::new();
+    let mut live_switches = BTreeSet::new();
+    for r in records {
+        live_switches.extend(r.hops.iter().map(|h| h.dpid));
+        if let Some(first) = r.hops.first() {
+            host_attachment
+                .entry(r.tuple.src)
+                .or_insert((first.dpid, first.in_port));
+        }
+        for w in r.hops.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if let Some(out_port) = a.out_port {
+                adjacencies.insert(SwitchAdjacency {
+                    from: a.dpid,
+                    from_port: out_port,
+                    to: b.dpid,
+                    to_port: b.in_port,
+                });
+            }
+        }
+    }
+    PhysicalTopology {
+        adjacencies,
+        host_attachment,
+        live_switches,
+    }
+}
+
+/// Difference between two inferred topologies.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PtDiff {
+    /// Adjacencies newly observed.
+    pub added: Vec<SwitchAdjacency>,
+    /// Adjacencies no longer observed.
+    pub removed: Vec<SwitchAdjacency>,
+    /// Hosts whose attachment switch changed `(host, old, new)`.
+    pub moved_hosts: Vec<(Ipv4Addr, DatapathId, DatapathId)>,
+    /// Switches that disappeared from all observed paths.
+    pub vanished_switches: Vec<DatapathId>,
+}
+
+impl PtDiff {
+    /// True when the topologies agree.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+            && self.removed.is_empty()
+            && self.moved_hosts.is_empty()
+            && self.vanished_switches.is_empty()
+    }
+}
+
+/// Compares two topologies.
+///
+/// An adjacency that merely stopped carrying traffic is *not* a topology
+/// change: removals are reported only when an endpoint switch also went
+/// silent (no liveness proof in the current capture). This keeps
+/// application-layer problems from masquerading as switch failures.
+pub fn diff_topology(reference: &PhysicalTopology, current: &PhysicalTopology) -> PtDiff {
+    let added = current
+        .adjacencies
+        .difference(&reference.adjacencies)
+        .copied()
+        .collect();
+    let removed: Vec<SwitchAdjacency> = reference
+        .adjacencies
+        .difference(&current.adjacencies)
+        .filter(|a| {
+            !current.live_switches.contains(&a.from) || !current.live_switches.contains(&a.to)
+        })
+        .copied()
+        .collect();
+    let mut moved_hosts = Vec::new();
+    for (host, (old_sw, _)) in &reference.host_attachment {
+        if let Some((new_sw, _)) = current.host_attachment.get(host) {
+            if new_sw != old_sw {
+                moved_hosts.push((*host, *old_sw, *new_sw));
+            }
+        }
+    }
+    let vanished_switches = reference
+        .live_switches
+        .difference(&current.live_switches)
+        .copied()
+        .collect();
+    PtDiff {
+        added,
+        removed,
+        moved_hosts,
+        vanished_switches,
+    }
+}
+
+/// The ISL signature: per ordered switch pair, the mean and standard
+/// deviation of the inferred latency (Section III-C uses exactly this
+/// statistical summary because individual samples vary with switch
+/// processing times).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct InterSwitchLatency {
+    /// Latency summary per `(upstream, downstream)` pair, microseconds.
+    pub per_pair: BTreeMap<(DatapathId, DatapathId), MeanStd>,
+}
+
+/// Builds the ISL signature from flow records (Figure 3: `t3 - t2`).
+pub fn build_isl(records: &[FlowRecord]) -> InterSwitchLatency {
+    let mut samples: HashMap<(DatapathId, DatapathId), Vec<f64>> = HashMap::new();
+    for r in records {
+        for w in r.hops.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let Some(fm_ts) = a.flow_mod_ts else {
+                continue;
+            };
+            if b.ts >= fm_ts {
+                samples
+                    .entry((a.dpid, b.dpid))
+                    .or_default()
+                    .push((b.ts.as_micros() - fm_ts.as_micros()) as f64);
+            }
+        }
+    }
+    InterSwitchLatency {
+        per_pair: samples
+            .into_iter()
+            .map(|(k, v)| (k, MeanStd::of(&v)))
+            .collect(),
+    }
+}
+
+/// A latency shift between a switch pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IslChange {
+    /// The switch pair.
+    pub pair: (DatapathId, DatapathId),
+    /// Baseline summary.
+    pub reference: MeanStd,
+    /// Current summary.
+    pub current: MeanStd,
+    /// Shift in baseline standard deviations.
+    pub sigmas: f64,
+}
+
+/// Flags pairs whose mean latency moved beyond `config.isl_sigma`
+/// baseline standard deviations.
+pub fn diff_isl(
+    reference: &InterSwitchLatency,
+    current: &InterSwitchLatency,
+    config: &FlowDiffConfig,
+) -> Vec<IslChange> {
+    let mut out = Vec::new();
+    for (pair, ref_stats) in &reference.per_pair {
+        let Some(cur_stats) = current.per_pair.get(pair) else {
+            continue;
+        };
+        if ref_stats.n < config.min_samples || cur_stats.n < config.min_samples {
+            continue;
+        }
+        let sigmas = ref_stats.shift_sigmas(cur_stats);
+        if sigmas > config.isl_sigma {
+            out.push(IslChange {
+                pair: *pair,
+                reference: *ref_stats,
+                current: *cur_stats,
+                sigmas,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.sigmas.total_cmp(&a.sigmas));
+    out
+}
+
+/// The CRT signature: controller response time summary, overall and per
+/// switch, plus the fraction of `PacketIn`s that never got a reply (the
+/// controller-failure symptom of Figure 2(b)).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControllerResponse {
+    /// Overall response-time summary, microseconds.
+    pub overall: MeanStd,
+    /// Per-switch response-time summaries.
+    pub per_switch: BTreeMap<DatapathId, MeanStd>,
+    /// `PacketIn`s with a paired `FlowMod`.
+    pub answered: usize,
+    /// `PacketIn`s that never got a reply.
+    pub unanswered: usize,
+}
+
+impl ControllerResponse {
+    /// Fraction of `PacketIn`s that went unanswered (0 when none seen).
+    pub fn unanswered_fraction(&self) -> f64 {
+        let total = self.answered + self.unanswered;
+        if total == 0 {
+            0.0
+        } else {
+            self.unanswered as f64 / total as f64
+        }
+    }
+}
+
+/// Builds the CRT signature (Figure 3: `t2 - t1` per `PacketIn`).
+pub fn build_crt(records: &[FlowRecord]) -> ControllerResponse {
+    let mut all = Vec::new();
+    let mut per_switch: HashMap<DatapathId, Vec<f64>> = HashMap::new();
+    let mut unanswered = 0usize;
+    for r in records {
+        for h in &r.hops {
+            match h.flow_mod_ts {
+                Some(fm_ts) if fm_ts >= h.ts => {
+                    let d = (fm_ts.as_micros() - h.ts.as_micros()) as f64;
+                    all.push(d);
+                    per_switch.entry(h.dpid).or_default().push(d);
+                }
+                Some(_) => {}
+                None => unanswered += 1,
+            }
+        }
+    }
+    ControllerResponse {
+        answered: all.len(),
+        unanswered,
+        overall: MeanStd::of(&all),
+        per_switch: per_switch
+            .into_iter()
+            .map(|(k, v)| (k, MeanStd::of(&v)))
+            .collect(),
+    }
+}
+
+/// A controller response-time shift or reply blackout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrtChange {
+    /// Baseline summary.
+    pub reference: MeanStd,
+    /// Current summary.
+    pub current: MeanStd,
+    /// Shift in baseline standard deviations.
+    pub sigmas: f64,
+    /// Unanswered-`PacketIn` fractions `(baseline, current)`.
+    pub unanswered: (f64, f64),
+}
+
+/// Flags an overall response-time shift beyond `config.crt_sigma`, or a
+/// jump in the unanswered-`PacketIn` fraction (the controller stopped
+/// replying — its failure mode).
+pub fn diff_crt(
+    reference: &ControllerResponse,
+    current: &ControllerResponse,
+    config: &FlowDiffConfig,
+) -> Option<CrtChange> {
+    let unanswered = (
+        reference.unanswered_fraction(),
+        current.unanswered_fraction(),
+    );
+    let blackout = current.answered + current.unanswered >= config.min_samples
+        && unanswered.1 > unanswered.0 + 0.3;
+    if blackout {
+        return Some(CrtChange {
+            reference: reference.overall,
+            current: current.overall,
+            sigmas: f64::MAX,
+            unanswered,
+        });
+    }
+    if reference.overall.n < config.min_samples || current.overall.n < config.min_samples {
+        return None;
+    }
+    let sigmas = reference.overall.shift_sigmas(&current.overall);
+    (sigmas > config.crt_sigma).then_some(CrtChange {
+        reference: reference.overall,
+        current: current.overall,
+        sigmas,
+        unanswered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::extract_records;
+    use netsim::config::SimConfig;
+    use netsim::engine::Simulation;
+    use netsim::faults::Fault;
+    use netsim::flows::FlowSpec;
+    use netsim::topology::Topology;
+    use openflow::match_fields::FlowKey;
+    use openflow::types::Timestamp;
+
+    fn line() -> Topology {
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1", Ipv4Addr::new(10, 0, 0, 1));
+        let h2 = t.add_host("h2", Ipv4Addr::new(10, 0, 0, 2));
+        let s1 = t.add_of_switch("s1");
+        let s2 = t.add_of_switch("s2");
+        t.connect(h1, s1, 50, 1_000_000_000);
+        t.connect(s1, s2, 200, 1_000_000_000);
+        t.connect(s2, h2, 50, 1_000_000_000);
+        t
+    }
+
+    fn records_for(n_flows: u64, seed: u64, fault: Option<(Timestamp, Fault)>) -> Vec<FlowRecord> {
+        let mut sim = Simulation::new(line(), SimConfig::default(), seed);
+        if let Some((at, f)) = fault {
+            sim.schedule_fault(at, f);
+        }
+        for i in 0..n_flows {
+            let key = FlowKey::tcp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                10_000 + i as u16,
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+            );
+            sim.schedule_flow(
+                Timestamp::from_millis(1_000 + i * 300),
+                FlowSpec::new(key, 3_000, 5_000),
+            );
+        }
+        sim.run_until(Timestamp::from_secs(600));
+        extract_records(&sim.take_log(), &FlowDiffConfig::default())
+    }
+
+    #[test]
+    fn topology_inference_recovers_switch_adjacency() {
+        let records = records_for(5, 1, None);
+        let pt = build_topology(&records);
+        assert_eq!(pt.adjacencies.len(), 1, "one s1->s2 adjacency");
+        let adj = pt.adjacencies.iter().next().unwrap();
+        assert_ne!(adj.from, adj.to);
+        // host attachment discovered for the single source
+        assert_eq!(pt.host_attachment.len(), 1);
+        assert_eq!(
+            pt.host_attachment[&Ipv4Addr::new(10, 0, 0, 1)].0,
+            adj.from
+        );
+    }
+
+    #[test]
+    fn pt_diff_empty_for_same_runs() {
+        let a = build_topology(&records_for(5, 1, None));
+        let b = build_topology(&records_for(5, 2, None));
+        assert!(diff_topology(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn isl_mean_tracks_link_latency() {
+        let records = records_for(30, 1, None);
+        let isl = build_isl(&records);
+        assert_eq!(isl.per_pair.len(), 1);
+        let stats = isl.per_pair.values().next().unwrap();
+        assert_eq!(stats.n, 30);
+        // controller->switch (500±100) + switch proc 25 + link 200 +
+        // switch->controller (500±100) ≈ 1325us
+        assert!(
+            (1_100.0..1_600.0).contains(&stats.mean),
+            "mean {}",
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn crt_tracks_controller_service_time() {
+        let records = records_for(30, 1, None);
+        let crt = build_crt(&records);
+        assert_eq!(crt.overall.n, 60, "two hops per flow");
+        assert!(
+            (100.0..400.0).contains(&crt.overall.mean),
+            "mean {}",
+            crt.overall.mean
+        );
+        assert_eq!(crt.per_switch.len(), 2);
+    }
+
+    #[test]
+    fn crt_diff_detects_controller_blackout() {
+        let base = build_crt(&records_for(30, 1, None));
+        assert_eq!(base.unanswered, 0);
+        let dead = build_crt(&records_for(
+            30,
+            1,
+            Some((Timestamp::ZERO, Fault::ControllerDown)),
+        ));
+        assert!(dead.unanswered_fraction() > 0.9);
+        let change = diff_crt(&base, &dead, &FlowDiffConfig::default()).expect("blackout");
+        assert!(change.unanswered.1 > 0.9);
+    }
+
+    #[test]
+    fn crt_diff_detects_overload() {
+        let base = build_crt(&records_for(30, 1, None));
+        let overloaded = build_crt(&records_for(
+            30,
+            1,
+            Some((Timestamp::ZERO, Fault::ControllerOverload { factor: 30.0 })),
+        ));
+        let change = diff_crt(&base, &overloaded, &FlowDiffConfig::default());
+        assert!(change.is_some());
+        assert!(change.unwrap().sigmas > 3.0);
+        // identical runs: no change
+        assert!(diff_crt(&base, &base, &FlowDiffConfig::default()).is_none());
+    }
+
+    #[test]
+    fn isl_diff_quiet_on_identical_conditions() {
+        let a = build_isl(&records_for(30, 1, None));
+        let b = build_isl(&records_for(30, 7, None));
+        let changes = diff_isl(&a, &b, &FlowDiffConfig::default());
+        assert!(changes.is_empty(), "{changes:?}");
+    }
+
+    #[test]
+    fn vanished_switch_reported() {
+        // diamond: h1 - s1 - {s2 | s3} - s4 - h2; failing s2 forces the
+        // detour via s3, so s2 vanishes and new adjacencies appear.
+        let diamond = || {
+            let mut t = Topology::new();
+            let h1 = t.add_host("h1", Ipv4Addr::new(10, 0, 0, 1));
+            let h2 = t.add_host("h2", Ipv4Addr::new(10, 0, 0, 2));
+            let s1 = t.add_of_switch("s1");
+            let s2 = t.add_of_switch("s2");
+            let s3 = t.add_of_switch("s3");
+            let s4 = t.add_of_switch("s4");
+            t.connect(h1, s1, 10, 1_000_000_000);
+            t.connect(s1, s2, 10, 1_000_000_000);
+            t.connect(s1, s3, 10, 1_000_000_000);
+            t.connect(s2, s4, 10, 1_000_000_000);
+            t.connect(s3, s4, 10, 1_000_000_000);
+            t.connect(s4, h2, 10, 1_000_000_000);
+            t
+        };
+        let run = |fail: bool| {
+            let t = diamond();
+            let s2 = t.node_by_name("s2").unwrap();
+            let mut sim = Simulation::new(t, SimConfig::default(), 1);
+            if fail {
+                sim.schedule_fault(Timestamp::ZERO, Fault::SwitchFailure { switch: s2 });
+            }
+            for i in 0..5u64 {
+                let key = FlowKey::tcp(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    10_000 + i as u16,
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    80,
+                );
+                sim.schedule_flow(
+                    Timestamp::from_millis(1_000 + i * 300),
+                    FlowSpec::new(key, 3_000, 5_000),
+                );
+            }
+            sim.run_until(Timestamp::from_secs(60));
+            extract_records(&sim.take_log(), &FlowDiffConfig::default())
+        };
+        let a = build_topology(&run(false));
+        let b = build_topology(&run(true));
+        let d = diff_topology(&a, &b);
+        assert!(!d.is_empty());
+        let t = diamond();
+        let s2_dpid = t.dpid_of(t.node_by_name("s2").unwrap()).unwrap();
+        // healthy paths may use either arm; with BFS determinism they use
+        // s2, so failing it vanishes s2 and adds the s3 adjacencies.
+        assert_eq!(d.vanished_switches, vec![s2_dpid]);
+        assert!(!d.added.is_empty());
+    }
+}

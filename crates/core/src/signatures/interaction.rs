@@ -1,0 +1,237 @@
+//! The component interaction (CI) signature.
+//!
+//! At each application node, the number of flows on each incoming and
+//! outgoing edge, normalized by the node's total (Section III-B).
+//! Compared across logs with a χ² fitness test on the flow-count
+//! distributions (Section IV-A).
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::groups::Edge;
+use crate::records::FlowRecord;
+use crate::stats::chi_squared;
+
+/// Flow counts on the edges incident to one node.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeInteraction {
+    /// Per-incident-edge flow counts (directed edges; incoming edges have
+    /// `dst == node`, outgoing have `src == node`).
+    pub edge_counts: BTreeMap<Edge, u64>,
+}
+
+impl NodeInteraction {
+    /// Total flows through the node.
+    pub fn total(&self) -> u64 {
+        self.edge_counts.values().sum()
+    }
+
+    /// Normalized frequency of each edge (fractions summing to 1).
+    pub fn normalized(&self) -> BTreeMap<Edge, f64> {
+        let total = self.total() as f64;
+        self.edge_counts
+            .iter()
+            .map(|(e, c)| (*e, if total > 0.0 { *c as f64 / total } else { 0.0 }))
+            .collect()
+    }
+}
+
+/// The CI signature of one application group.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ComponentInteraction {
+    /// Per-node interaction profiles.
+    pub per_node: BTreeMap<Ipv4Addr, NodeInteraction>,
+}
+
+/// Builds the CI signature from a group's records.
+pub fn build(records: &[&FlowRecord]) -> ComponentInteraction {
+    let mut per_node: BTreeMap<Ipv4Addr, NodeInteraction> = BTreeMap::new();
+    for r in records {
+        let edge = Edge {
+            src: r.tuple.src,
+            dst: r.tuple.dst,
+        };
+        for node in [r.tuple.src, r.tuple.dst] {
+            *per_node
+                .entry(node)
+                .or_default()
+                .edge_counts
+                .entry(edge)
+                .or_insert(0) += 1;
+        }
+    }
+    ComponentInteraction { per_node }
+}
+
+/// A node whose interaction distribution shifted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CiChange {
+    /// The node.
+    pub node: Ipv4Addr,
+    /// The χ² statistic of the shift.
+    pub chi2: f64,
+}
+
+/// χ² fitness test per node (Section IV-A). Nodes present in only one
+/// log are reported with an infinite-equivalent χ² (`f64::MAX`) only if
+/// they carry flows; the CG diff covers new/removed nodes more precisely.
+pub fn diff(
+    reference: &ComponentInteraction,
+    current: &ComponentInteraction,
+    threshold: f64,
+) -> Vec<CiChange> {
+    let mut out = Vec::new();
+    for (node, ref_ni) in &reference.per_node {
+        let Some(cur_ni) = current.per_node.get(node) else {
+            continue;
+        };
+        // Union of edges, in stable order.
+        let edges: Vec<Edge> = ref_ni
+            .edge_counts
+            .keys()
+            .chain(cur_ni.edge_counts.keys())
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let expected: Vec<f64> = edges
+            .iter()
+            .map(|e| *ref_ni.edge_counts.get(e).unwrap_or(&0) as f64)
+            .collect();
+        let observed: Vec<f64> = edges
+            .iter()
+            .map(|e| *cur_ni.edge_counts.get(e).unwrap_or(&0) as f64)
+            .collect();
+        let chi2 = chi_squared(&observed, &expected);
+        if chi2 > threshold {
+            out.push(CiChange { node: *node, chi2 });
+        }
+    }
+    out.sort_by(|a, b| b.chi2.total_cmp(&a.chi2));
+    out
+}
+
+/// The χ² statistic for a single node across two CIs (used by the
+/// robustness experiments of Figure 12).
+pub fn node_chi2(
+    reference: &ComponentInteraction,
+    current: &ComponentInteraction,
+    node: Ipv4Addr,
+) -> Option<f64> {
+    let r = reference.per_node.get(&node)?;
+    let c = current.per_node.get(&node)?;
+    let edges: Vec<Edge> = r
+        .edge_counts
+        .keys()
+        .chain(c.edge_counts.keys())
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let expected: Vec<f64> = edges
+        .iter()
+        .map(|e| *r.edge_counts.get(e).unwrap_or(&0) as f64)
+        .collect();
+    let observed: Vec<f64> = edges
+        .iter()
+        .map(|e| *c.edge_counts.get(e).unwrap_or(&0) as f64)
+        .collect();
+    Some(chi_squared(&observed, &expected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::FlowTuple;
+    use openflow::types::{IpProto, Timestamp};
+
+    fn ip(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    fn records(counts: &[(u8, u8, usize)]) -> Vec<FlowRecord> {
+        let mut out = Vec::new();
+        for &(s, d, n) in counts {
+            for i in 0..n {
+                out.push(FlowRecord {
+                    tuple: FlowTuple {
+                        src: ip(s),
+                        sport: 1000 + i as u16,
+                        dst: ip(d),
+                        dport: 80,
+                        proto: IpProto::TCP,
+                    },
+                    first_seen: Timestamp::from_secs(i as u64),
+                    hops: vec![],
+                    byte_count: 100,
+                    packet_count: 1,
+                    duration_s: 1.0,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn build_counts_in_and_out_edges() {
+        let rs = records(&[(1, 2, 10), (2, 3, 8)]);
+        let refs: Vec<&FlowRecord> = rs.iter().collect();
+        let ci = build(&refs);
+        let n2 = &ci.per_node[&ip(2)];
+        assert_eq!(n2.total(), 18);
+        let norm = n2.normalized();
+        let in_edge = Edge { src: ip(1), dst: ip(2) };
+        let out_edge = Edge { src: ip(2), dst: ip(3) };
+        assert!((norm[&in_edge] - 10.0 / 18.0).abs() < 1e-12);
+        assert!((norm[&out_edge] - 8.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_shape_different_volume_not_flagged() {
+        let a = records(&[(1, 2, 10), (2, 3, 10)]);
+        let b = records(&[(1, 2, 50), (2, 3, 50)]);
+        let ci_a = build(&a.iter().collect::<Vec<_>>());
+        let ci_b = build(&b.iter().collect::<Vec<_>>());
+        assert!(diff(&ci_a, &ci_b, 3.84).is_empty());
+    }
+
+    #[test]
+    fn skewed_distribution_flagged() {
+        let a = records(&[(1, 2, 50), (2, 3, 50)]);
+        // node 2 stops forwarding most requests
+        let b = records(&[(1, 2, 50), (2, 3, 5)]);
+        let ci_a = build(&a.iter().collect::<Vec<_>>());
+        let ci_b = build(&b.iter().collect::<Vec<_>>());
+        let changes = diff(&ci_a, &ci_b, 3.84);
+        assert!(changes.iter().any(|c| c.node == ip(2)));
+        // results sorted by severity
+        assert!(changes.windows(2).all(|w| w[0].chi2 >= w[1].chi2));
+    }
+
+    #[test]
+    fn node_chi2_zero_for_identical() {
+        let a = records(&[(1, 2, 10), (2, 3, 10)]);
+        let ci = build(&a.iter().collect::<Vec<_>>());
+        assert!(node_chi2(&ci, &ci, ip(2)).unwrap() < 1e-9);
+        assert!(node_chi2(&ci, &ci, ip(99)).is_none());
+    }
+
+    #[test]
+    fn missing_node_in_current_is_skipped() {
+        let a = records(&[(1, 2, 10)]);
+        let b = records(&[(3, 4, 10)]);
+        let ci_a = build(&a.iter().collect::<Vec<_>>());
+        let ci_b = build(&b.iter().collect::<Vec<_>>());
+        // CG diff owns missing-node reporting; CI diff must not panic.
+        assert!(diff(&ci_a, &ci_b, 3.84).is_empty());
+    }
+
+    #[test]
+    fn empty_interaction_normalizes_to_empty() {
+        let ni = NodeInteraction::default();
+        assert_eq!(ni.total(), 0);
+        assert!(ni.normalized().is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+//! The application and infrastructure signatures of Section III.
+//!
+//! Application signatures (per application group):
+//! * [`connectivity`] — the connectivity graph (CG);
+//! * [`flow_stats`] — flow statistics (FS);
+//! * [`interaction`] — component interaction (CI);
+//! * [`delay`] — delay distribution (DD);
+//! * [`correlation`] — partial correlation (PC).
+//!
+//! Infrastructure signatures (whole data center): [`infra`] — physical
+//! topology (PT), inter-switch latency (ISL), and controller response
+//! time (CRT) — plus the [`utilization`] baseline (LU) from polled port
+//! counters.
+
+pub mod connectivity;
+pub mod correlation;
+pub mod delay;
+pub mod flow_stats;
+pub mod infra;
+pub mod interaction;
+pub mod utilization;

@@ -1,0 +1,179 @@
+//! The link-utilization (LU) baseline — part of the infrastructure
+//! signature (Section III-C lists "baseline performance parameters
+//! (such as link utilization …)").
+//!
+//! The controller periodically polls per-port byte counters
+//! (`StatsRequest`/`StatsReply`); the deltas between consecutive polls
+//! give a byte-rate series per switch port, summarized as mean ± std.
+
+use std::collections::{BTreeMap, HashMap};
+
+use netsim::log::ControllerLog;
+use openflow::messages::{OfpMessage, StatsReply};
+use openflow::types::{DatapathId, PortNo, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlowDiffConfig;
+use crate::stats::MeanStd;
+
+/// The LU signature: transmitted byte-rate summary per switch port.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinkUtilization {
+    /// Byte-rate summary (bytes/second) per `(switch, egress port)`.
+    pub per_port: BTreeMap<(DatapathId, PortNo), MeanStd>,
+}
+
+/// Builds the LU signature from the port-stats replies in a log.
+pub fn build_utilization(log: &ControllerLog) -> LinkUtilization {
+    // (dpid, port) -> [(poll time, cumulative tx bytes)]
+    let mut series: HashMap<(DatapathId, PortNo), Vec<(Timestamp, u64)>> = HashMap::new();
+    for ev in log.events() {
+        if let OfpMessage::StatsReply(StatsReply::Port(ports)) = &ev.msg {
+            for p in ports {
+                series
+                    .entry((ev.dpid, p.port_no))
+                    .or_default()
+                    .push((ev.ts, p.tx_bytes));
+            }
+        }
+    }
+    let per_port = series
+        .into_iter()
+        .filter_map(|(key, points)| {
+            let rates: Vec<f64> = points
+                .windows(2)
+                .filter_map(|w| {
+                    let dt = w[1].0.saturating_since(w[0].0) as f64 / 1e6;
+                    let db = w[1].1.saturating_sub(w[0].1) as f64;
+                    (dt > 0.0).then_some(db / dt)
+                })
+                .collect();
+            (!rates.is_empty()).then(|| (key, MeanStd::of(&rates)))
+        })
+        .collect();
+    LinkUtilization { per_port }
+}
+
+/// A shifted link-utilization baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LuChange {
+    /// The switch and egress port.
+    pub port: (DatapathId, PortNo),
+    /// Baseline rate summary, bytes/second.
+    pub reference: MeanStd,
+    /// Current rate summary.
+    pub current: MeanStd,
+    /// Shift in baseline standard deviations.
+    pub sigmas: f64,
+}
+
+/// Flags ports whose mean byte rate moved beyond `config.isl_sigma`
+/// baseline standard deviations (utilization shares the infrastructure
+/// latency threshold).
+pub fn diff_utilization(
+    reference: &LinkUtilization,
+    current: &LinkUtilization,
+    config: &FlowDiffConfig,
+) -> Vec<LuChange> {
+    let mut out = Vec::new();
+    for (port, ref_stats) in &reference.per_port {
+        let Some(cur_stats) = current.per_port.get(port) else {
+            continue;
+        };
+        if ref_stats.n < config.min_samples || cur_stats.n < config.min_samples {
+            continue;
+        }
+        let sigmas = ref_stats.shift_sigmas(cur_stats);
+        // Also require a material relative change: port rates are bursty
+        // and a tight baseline std would otherwise make noise alarm.
+        let rel = (cur_stats.mean - ref_stats.mean).abs() / ref_stats.mean.abs().max(1.0);
+        if sigmas > config.isl_sigma && rel > config.fs_rel_change {
+            out.push(LuChange {
+                port: *port,
+                reference: *ref_stats,
+                current: *cur_stats,
+                sigmas,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.sigmas.total_cmp(&a.sigmas));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::log::{ControlEvent, Direction};
+    use openflow::messages::PortStats;
+    use openflow::types::Xid;
+
+    fn reply(ts_s: u64, dpid: u64, port: u16, tx_bytes: u64) -> ControlEvent {
+        ControlEvent {
+            ts: Timestamp::from_secs(ts_s),
+            dpid: DatapathId(dpid),
+            direction: Direction::ToController,
+            xid: Xid(0),
+            msg: OfpMessage::StatsReply(StatsReply::Port(vec![PortStats {
+                port_no: PortNo(port),
+                tx_bytes,
+                tx_packets: tx_bytes / 1_000,
+                ..PortStats::default()
+            }])),
+        }
+    }
+
+    #[test]
+    fn rates_from_cumulative_counters() {
+        let log: ControllerLog = vec![
+            reply(10, 1, 2, 0),
+            reply(20, 1, 2, 1_000_000),
+            reply(30, 1, 2, 2_000_000),
+            reply(40, 1, 2, 3_000_000),
+        ]
+        .into_iter()
+        .collect();
+        let lu = build_utilization(&log);
+        let stats = &lu.per_port[&(DatapathId(1), PortNo(2))];
+        assert_eq!(stats.n, 3);
+        assert!((stats.mean - 100_000.0).abs() < 1.0, "100 KB/s");
+        assert!(stats.std < 1.0);
+    }
+
+    #[test]
+    fn single_poll_yields_no_rate() {
+        let log: ControllerLog = vec![reply(10, 1, 2, 500)].into_iter().collect();
+        assert!(build_utilization(&log).per_port.is_empty());
+    }
+
+    #[test]
+    fn diff_flags_big_rate_jump_only() {
+        let steady = |rate: u64| -> LinkUtilization {
+            let log: ControllerLog = (0..8u64)
+                .map(|i| reply(10 * (i + 1), 1, 2, rate * 10 * i))
+                .collect();
+            build_utilization(&log)
+        };
+        let config = FlowDiffConfig::default();
+        let base = steady(100_000);
+        let same = steady(101_000);
+        let busy = steady(5_000_000);
+        assert!(diff_utilization(&base, &same, &config).is_empty());
+        let changes = diff_utilization(&base, &busy, &config);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].port, (DatapathId(1), PortNo(2)));
+        assert!(changes[0].sigmas > config.isl_sigma);
+    }
+
+    #[test]
+    fn ports_present_in_one_log_only_are_skipped() {
+        let log_a: ControllerLog = (0..4u64)
+            .map(|i| reply(10 * (i + 1), 1, 2, 1_000 * i))
+            .collect();
+        let log_b: ControllerLog = (0..4u64)
+            .map(|i| reply(10 * (i + 1), 9, 9, 1_000 * i))
+            .collect();
+        let a = build_utilization(&log_a);
+        let b = build_utilization(&log_b);
+        assert!(diff_utilization(&a, &b, &FlowDiffConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! Signature stability analysis (Section III-B).
+//!
+//! Unstable signatures cause false positives, so FlowDiff partitions the
+//! reference log into several intervals, computes each signature per
+//! interval, and only keeps signatures that agree across (a quorum of)
+//! intervals for use in problem detection.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlowDiffConfig;
+use crate::groups::match_groups;
+use crate::model::BehaviorModel;
+use crate::signatures::delay::EdgePair;
+use crate::signatures::interaction::node_chi2;
+use netsim::log::ControllerLog;
+
+/// Which signatures of one group are stable enough to diff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupStability {
+    /// Connectivity graph stability.
+    pub cg: bool,
+    /// Flow statistics stability.
+    pub fs: bool,
+    /// Component interaction stability per node (nodes with non-linear
+    /// decision logic, e.g. skewed load balancing, come out unstable).
+    pub ci_nodes: BTreeMap<std::net::Ipv4Addr, bool>,
+    /// Delay distribution stability per edge pair.
+    pub dd_pairs: BTreeMap<EdgePair, bool>,
+    /// Partial correlation stability per edge pair.
+    pub pc_pairs: BTreeMap<EdgePair, bool>,
+}
+
+impl GroupStability {
+    /// True when CI is stable at every observed node.
+    pub fn ci(&self) -> bool {
+        self.ci_nodes.values().all(|&s| s)
+    }
+
+    /// True when DD is stable on every pair.
+    pub fn dd(&self) -> bool {
+        self.dd_pairs.values().all(|&s| s)
+    }
+
+    /// True when PC is stable on every pair.
+    pub fn pc(&self) -> bool {
+        self.pc_pairs.values().all(|&s| s)
+    }
+}
+
+/// Stability of every group in a reference model, index-aligned with
+/// `BehaviorModel::groups`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilityReport {
+    /// Per-group stability, aligned with the model's group list.
+    pub per_group: Vec<GroupStability>,
+}
+
+impl StabilityReport {
+    /// A report marking everything stable (used when no stability pass
+    /// was run, e.g. for quick interactive diffs).
+    pub fn all_stable(model: &BehaviorModel) -> StabilityReport {
+        StabilityReport {
+            per_group: model
+                .groups
+                .iter()
+                .map(|g| GroupStability {
+                    cg: true,
+                    fs: true,
+                    ci_nodes: g
+                        .interaction
+                        .per_node
+                        .keys()
+                        .map(|ip| (*ip, true))
+                        .collect(),
+                    dd_pairs: g.delay.per_pair.keys().map(|p| (*p, true)).collect(),
+                    pc_pairs: g.correlation.per_pair.keys().map(|p| (*p, true)).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Runs the stability analysis: splits `log` into
+/// `config.stability_intervals` segments, builds a model per segment, and
+/// checks each signature of `full_model` for agreement across segments.
+pub fn analyze(
+    log: &ControllerLog,
+    full_model: &BehaviorModel,
+    config: &FlowDiffConfig,
+) -> StabilityReport {
+    let segments = log.split(config.stability_intervals.max(1));
+    let interval_models: Vec<BehaviorModel> = segments
+        .iter()
+        .map(|seg| BehaviorModel::build(seg, config))
+        .collect();
+
+    let per_group = full_model
+        .groups
+        .iter()
+        .map(|full_group| {
+            // Locate this group in each interval model.
+            let full_groups = std::slice::from_ref(&full_group.group);
+            let mut matches = Vec::new();
+            for im in &interval_models {
+                let im_groups: Vec<_> = im.groups.iter().map(|g| g.group.clone()).collect();
+                let (pairs, _, _) = match_groups(full_groups, &im_groups);
+                matches.push(pairs.first().map(|(_, ci)| &im.groups[*ci]));
+            }
+            // A signature can only be judged on intervals where the
+            // group produced traffic at all: quiet capture tails (e.g.
+            // after the workload stopped) are no evidence of
+            // instability. At least two active intervals are required.
+            let observed = matches.iter().flatten().count();
+            let quorum = ((config.stability_quorum * observed as f64).ceil() as usize).max(2);
+
+            // CG: interval edge sets must largely agree with the full set.
+            let cg_votes = matches
+                .iter()
+                .flatten()
+                .filter(|g| {
+                    let inter = g
+                        .connectivity
+                        .edges
+                        .intersection(&full_group.connectivity.edges)
+                        .count();
+                    let union = g
+                        .connectivity
+                        .edges
+                        .union(&full_group.connectivity.edges)
+                        .count();
+                    union > 0 && inter as f64 / union as f64 >= 0.8
+                })
+                .count();
+            let cg = cg_votes >= quorum;
+
+            // FS: coefficient of variation of interval mean byte counts.
+            let byte_means: Vec<f64> = matches
+                .iter()
+                .flatten()
+                .filter(|g| g.flow_stats.flow_count > 0)
+                .map(|g| g.flow_stats.bytes.mean)
+                .collect();
+            let fs = if byte_means.len() >= quorum.min(2) {
+                let s = crate::stats::MeanStd::of(&byte_means);
+                s.mean > 0.0 && s.std / s.mean < 0.5
+            } else {
+                false
+            };
+
+            // CI per node: χ² of each interval against the full profile.
+            let ci_nodes = full_group
+                .interaction
+                .per_node
+                .keys()
+                .map(|node| {
+                    let votes = matches
+                        .iter()
+                        .flatten()
+                        .filter(|g| {
+                            node_chi2(&full_group.interaction, &g.interaction, *node)
+                                .is_some_and(|c| c < config.chi2_threshold)
+                        })
+                        .count();
+                    (*node, votes >= quorum)
+                })
+                .collect();
+
+            // DD per pair: interval peak bin must match the full peak.
+            let full_peaks = full_group.delay.peaks(config.min_samples);
+            let dd_pairs = full_group
+                .delay
+                .per_pair
+                .keys()
+                .map(|pair| {
+                    let Some(full_peak) = full_peaks.get(pair) else {
+                        return (*pair, false);
+                    };
+                    let mut votes = 0;
+                    let mut observed = 0;
+                    for g in matches.iter().flatten() {
+                        let peaks = g.delay.peaks(1);
+                        if let Some(p) = peaks.get(pair) {
+                            observed += 1;
+                            if p.0.abs_diff(full_peak.0) <= config.dd_bin_us {
+                                votes += 1;
+                            }
+                        }
+                    }
+                    let stable =
+                        observed > 0 && votes as f64 / observed as f64 >= config.stability_quorum;
+                    (*pair, stable)
+                })
+                .collect();
+
+            // PC per pair: dispersion of interval coefficients.
+            let pc_pairs = full_group
+                .correlation
+                .per_pair
+                .keys()
+                .map(|pair| {
+                    let rs: Vec<f64> = matches
+                        .iter()
+                        .flatten()
+                        .filter_map(|g| g.correlation.per_pair.get(pair).copied())
+                        .collect();
+                    let stable = rs.len() >= quorum.min(2) && {
+                        let s = crate::stats::MeanStd::of(&rs);
+                        s.std < 0.25
+                    };
+                    (*pair, stable)
+                })
+                .collect();
+
+            GroupStability {
+                cg,
+                fs,
+                ci_nodes,
+                dd_pairs,
+                pc_pairs,
+            }
+        })
+        .collect();
+
+    StabilityReport { per_group }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::topology::Topology;
+    use openflow::types::Timestamp;
+    use workloads::prelude::*;
+
+    fn steady_scenario(seed: u64) -> (netsim::log::ControllerLog, FlowDiffConfig) {
+        let mut topo = Topology::lab();
+        let (catalog, _) = install_services(&mut topo, "of7");
+        let ip = |n: &str| topo.host_ip(topo.node_by_name(n).unwrap());
+        let (s13, s4, s14, s25) = (ip("S13"), ip("S4"), ip("S14"), ip("S25"));
+        let mut sc = Scenario::new(topo, seed, Timestamp::from_secs(1), Timestamp::from_secs(61));
+        sc.services(catalog.clone())
+            .app(templates::three_tier(
+                "app",
+                vec![s13],
+                vec![s4],
+                vec![s14],
+                None,
+            ))
+            .client(ClientWorkload {
+                client: s25,
+                entry_hosts: vec![s13],
+                entry_port: 80,
+                process: ArrivalProcess::poisson_per_sec(10.0),
+                request_bytes: 2_048,
+            });
+        let result = sc.run();
+        let config = FlowDiffConfig::default().with_special_ips(catalog.special_ips());
+        (result.log, config)
+    }
+
+    #[test]
+    fn steady_workload_is_stable() {
+        let (log, config) = steady_scenario(3);
+        let model = BehaviorModel::build(&log, &config);
+        let report = analyze(&log, &model, &config);
+        assert_eq!(report.per_group.len(), model.groups.len());
+        let g = &report.per_group[0];
+        assert!(g.cg, "CG must be stable under steady workload");
+        assert!(g.fs, "FS must be stable under steady workload");
+        assert!(g.ci(), "CI must be stable under steady workload");
+    }
+
+    #[test]
+    fn all_stable_marks_everything() {
+        let (log, config) = steady_scenario(4);
+        let model = BehaviorModel::build(&log, &config);
+        let report = StabilityReport::all_stable(&model);
+        let g = &report.per_group[0];
+        assert!(g.cg && g.fs && g.ci() && g.dd() && g.pc());
+    }
+
+    #[test]
+    fn flapping_edge_destabilizes_cg() {
+        // An app whose web server only appears in the last fifth of the
+        // log: interval CGs disagree.
+        let mut topo = Topology::lab();
+        let (catalog, _) = install_services(&mut topo, "of7");
+        let ip = |n: &str| topo.host_ip(topo.node_by_name(n).unwrap());
+        let (s13, s4, s14, s25) = (ip("S13"), ip("S4"), ip("S14"), ip("S25"));
+        let mut sc = Scenario::new(topo, 9, Timestamp::from_secs(1), Timestamp::from_secs(61));
+        sc.services(catalog.clone())
+            .app(templates::three_tier(
+                "app",
+                vec![s13],
+                vec![s4],
+                vec![s14],
+                None,
+            ))
+            // steady client on web only
+            .client(ClientWorkload {
+                client: s25,
+                entry_hosts: vec![s13],
+                entry_port: 80,
+                process: ArrivalProcess::poisson_per_sec(10.0),
+                request_bytes: 2_048,
+            });
+        let result = sc.run();
+        let config = FlowDiffConfig::default().with_special_ips(catalog.special_ips());
+
+        // Splice in a burst of S24 -> S13 traffic only near the end.
+        let mut events: Vec<_> = result.log.events().to_vec();
+        let late = Timestamp::from_secs(55);
+        let burst_log = {
+            let mut topo2 = Topology::lab();
+            let (_c2, _) = install_services(&mut topo2, "of7");
+            let s24 = topo2.host_ip(topo2.node_by_name("S24").unwrap());
+            let s13 = topo2.host_ip(topo2.node_by_name("S13").unwrap());
+            let mut sim = netsim::engine::Simulation::new(
+                topo2,
+                netsim::config::SimConfig::default(),
+                11,
+            );
+            for i in 0..10u64 {
+                let key = openflow::match_fields::FlowKey::tcp(s24, 7_000 + i as u16, s13, 80);
+                sim.schedule_flow(
+                    late + i * 200_000,
+                    netsim::flows::FlowSpec::new(key, 2_000, 5_000),
+                );
+            }
+            sim.run_until(Timestamp::from_secs(90));
+            sim.take_log()
+        };
+        events.extend(burst_log.events().iter().cloned());
+        let log: netsim::log::ControllerLog = events.into_iter().collect();
+
+        let model = BehaviorModel::build(&log, &config);
+        let report = analyze(&log, &model, &config);
+        assert!(
+            !report.per_group[0].cg,
+            "an edge present in one interval only must destabilize CG"
+        );
+    }
+}

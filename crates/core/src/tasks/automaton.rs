@@ -1,0 +1,257 @@
+//! Task automaton construction (Figure 6b).
+//!
+//! The mined closed frequent patterns become automaton states. Each
+//! training sequence is segmented greedily — longest pattern first, then
+//! most frequent (the paper's two ordering rules) — and the segment
+//! adjacencies become transitions. First segments are start states, last
+//! segments are final states, so every training sequence is accepted by
+//! construction.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use super::common::TaskFlow;
+use super::mining::Pattern;
+
+/// A learned finite-state automaton for one operator task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskAutomaton {
+    /// Task name (e.g. `vm_migration`).
+    pub name: String,
+    /// Whether host IPs were masked during learning.
+    pub masked: bool,
+    states: Vec<Vec<TaskFlow>>,
+    start_states: BTreeSet<usize>,
+    final_states: BTreeSet<usize>,
+    transitions: BTreeMap<usize, BTreeSet<usize>>,
+}
+
+impl TaskAutomaton {
+    /// The state patterns.
+    pub fn states(&self) -> &[Vec<TaskFlow>] {
+        &self.states
+    }
+
+    /// Indices of the start states.
+    pub fn start_states(&self) -> &BTreeSet<usize> {
+        &self.start_states
+    }
+
+    /// Indices of the accepting states.
+    pub fn final_states(&self) -> &BTreeSet<usize> {
+        &self.final_states
+    }
+
+    /// Successors of a state.
+    pub fn next_of(&self, state: usize) -> Option<&BTreeSet<usize>> {
+        self.transitions.get(&state)
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Exact acceptance check for a (noise-free) flow sequence: true if
+    /// the whole sequence can be segmented along automaton transitions
+    /// from a start state to a final state. Used to verify the paper's
+    /// claim that every training sequence is representable.
+    pub fn accepts(&self, seq: &[TaskFlow]) -> bool {
+        // positions = set of (state, offset) after consuming i flows
+        let mut frontier: Vec<(usize, usize)> = self
+            .start_states
+            .iter()
+            .map(|&s| (s, 0usize))
+            .collect();
+        for flow in seq {
+            let mut next = Vec::new();
+            for (state, offset) in frontier {
+                // candidates: continue inside this state, or jump to a
+                // successor when the state is complete
+                if offset < self.states[state].len() {
+                    if self.states[state][offset] == *flow {
+                        next.push((state, offset + 1));
+                    }
+                } else if let Some(succs) = self.transitions.get(&state) {
+                    for &s2 in succs {
+                        if self.states[s2].first() == Some(flow) {
+                            next.push((s2, 1));
+                        }
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            if next.is_empty() {
+                return false;
+            }
+            frontier = next;
+        }
+        frontier.iter().any(|&(state, offset)| {
+            offset == self.states[state].len() && self.final_states.contains(&state)
+        })
+    }
+}
+
+/// Greedily segments `seq` using `patterns` (already sorted longest-
+/// first, most-frequent-first). Unmatchable flows are skipped as noise.
+fn segment(seq: &[TaskFlow], patterns: &[Pattern]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < seq.len() {
+        let hit = patterns.iter().position(|p| {
+            p.flows.len() <= seq.len() - pos && seq[pos..pos + p.flows.len()] == p.flows[..]
+        });
+        match hit {
+            Some(idx) => {
+                out.push(idx);
+                pos += patterns[idx].flows.len();
+            }
+            None => pos += 1,
+        }
+    }
+    out
+}
+
+/// Builds the automaton from the filtered training sequences and the
+/// mined patterns (sorted longest-first, most-frequent-first).
+///
+/// Only patterns actually used by some segmentation become states; the
+/// rest (e.g. singletons always covered by longer patterns) drop out,
+/// which is what the paper's closed-pattern pruning achieves.
+pub fn build(
+    name: &str,
+    sequences: &[Vec<TaskFlow>],
+    patterns: &[Pattern],
+    masked: bool,
+) -> TaskAutomaton {
+    let mut start_states = BTreeSet::new();
+    let mut final_states = BTreeSet::new();
+    let mut transitions: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for seq in sequences {
+        let segs = segment(seq, patterns);
+        if let (Some(&first), Some(&last)) = (segs.first(), segs.last()) {
+            start_states.insert(first);
+            final_states.insert(last);
+        }
+        for w in segs.windows(2) {
+            transitions.entry(w[0]).or_default().insert(w[1]);
+        }
+    }
+
+    // Re-index to the used patterns only.
+    let used: Vec<usize> = {
+        let mut u: BTreeSet<usize> = BTreeSet::new();
+        u.extend(start_states.iter().copied());
+        u.extend(final_states.iter().copied());
+        for (from, tos) in &transitions {
+            u.insert(*from);
+            u.extend(tos.iter().copied());
+        }
+        u.into_iter().collect()
+    };
+    let reindex = |old: usize| used.binary_search(&old).expect("used state");
+    TaskAutomaton {
+        name: name.to_owned(),
+        masked,
+        states: used.iter().map(|&i| patterns[i].flows.clone()).collect(),
+        start_states: start_states.iter().map(|&s| reindex(s)).collect(),
+        final_states: final_states.iter().map(|&s| reindex(s)).collect(),
+        transitions: transitions
+            .into_iter()
+            .map(|(from, tos)| {
+                (
+                    reindex(from),
+                    tos.into_iter().map(reindex).collect::<BTreeSet<usize>>(),
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::common::{HostRef, PortClass};
+    use crate::tasks::mining::mine_frequent;
+
+    fn f(i: u16) -> TaskFlow {
+        TaskFlow {
+            src: HostRef::Masked(0),
+            sport: PortClass::Ephemeral,
+            dst: HostRef::Masked(1),
+            dport: PortClass::Fixed(i),
+        }
+    }
+
+    fn seq(ids: &[u16]) -> Vec<TaskFlow> {
+        ids.iter().map(|&i| f(i)).collect()
+    }
+
+    fn paper_automaton() -> (TaskAutomaton, Vec<Vec<TaskFlow>>) {
+        let sequences = vec![
+            seq(&[1, 2, 3, 4, 5]),
+            seq(&[3, 4, 5, 1]),
+            seq(&[3, 4, 5, 2, 1]),
+        ];
+        let patterns = mine_frequent(&sequences, 0.6);
+        (build("t", &sequences, &patterns, true), sequences)
+    }
+
+    #[test]
+    fn all_training_sequences_accepted() {
+        let (a, sequences) = paper_automaton();
+        for s in &sequences {
+            assert!(a.accepts(s), "training sequence {s:?} must be accepted");
+        }
+    }
+
+    #[test]
+    fn non_training_orders_rejected() {
+        let (a, _) = paper_automaton();
+        assert!(!a.accepts(&seq(&[5, 4, 3])), "reversed order rejected");
+        assert!(!a.accepts(&seq(&[2, 2, 2])));
+        assert!(!a.accepts(&[]), "empty sequence is not a task run");
+    }
+
+    #[test]
+    fn structure_matches_figure_6b() {
+        let (a, _) = paper_automaton();
+        // states: f3f4f5, f1, f2
+        assert_eq!(a.state_count(), 3);
+        // starts: f1 (from T1') and f3f4f5 (from T2', T3')
+        assert_eq!(a.start_states().len(), 2);
+        // finals: f5? no — finals are f3f4f5 (T1'), f1 (T2', T3')
+        assert_eq!(a.final_states().len(), 2);
+    }
+
+    #[test]
+    fn segment_skips_noise() {
+        let patterns = mine_frequent(&vec![seq(&[1, 2]); 3], 0.6);
+        // pattern list contains only [1,2]; flow 9 is noise
+        let segs = segment(&seq(&[9, 1, 2, 9]), &patterns);
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn single_run_yields_linear_automaton() {
+        let sequences = vec![seq(&[1, 2, 3])];
+        let patterns = mine_frequent(&sequences, 0.6);
+        let a = build("linear", &sequences, &patterns, false);
+        assert!(a.accepts(&seq(&[1, 2, 3])));
+        assert!(!a.accepts(&seq(&[1, 2])));
+        assert!(!a.accepts(&seq(&[1, 2, 3, 3])));
+    }
+
+    #[test]
+    fn accepts_handles_branching() {
+        // Two run shapes sharing a prefix.
+        let sequences = vec![seq(&[1, 2]), seq(&[1, 3]), seq(&[1, 2]), seq(&[1, 3])];
+        let patterns = mine_frequent(&sequences, 0.4);
+        let a = build("branch", &sequences, &patterns, false);
+        assert!(a.accepts(&seq(&[1, 2])));
+        assert!(a.accepts(&seq(&[1, 3])));
+        assert!(!a.accepts(&seq(&[2, 3])));
+    }
+}

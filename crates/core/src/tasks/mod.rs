@@ -1,0 +1,60 @@
+//! Task signatures (Section III-D): learning finite-state automata for
+//! operator tasks from example runs, and detecting those tasks in live
+//! logs to build the task time series used for change validation.
+//!
+//! The pipeline has three learning stages (Figure 5) and one detection
+//! stage:
+//!
+//! 1. [`common`] — canonicalize flows (ephemeral ports become `*`,
+//!    optionally mask host IPs positionally) and intersect the flow sets
+//!    of all training runs;
+//! 2. [`mining`] — mine closed frequent flow sub-sequences (Figure 6a);
+//! 3. [`automaton`] — assemble the patterns into a task automaton
+//!    (Figure 6b);
+//! 4. [`matching`] — run all automata over a live log with bounded
+//!    interleaving (1 s), producing the task time series.
+
+pub mod automaton;
+pub mod common;
+pub mod matching;
+pub mod mining;
+
+pub use automaton::TaskAutomaton;
+pub use common::{HostRef, PortClass, TaskFlow};
+pub use matching::{TaskEvent, TaskLibrary};
+
+use crate::config::FlowDiffConfig;
+use crate::records::FlowRecord;
+
+/// Learns a task automaton from example runs (each run is the flow
+/// records captured while the task executed).
+///
+/// With `masked = true`, host IPs are replaced by positional references
+/// so the automaton matches the task on *any* host (Table III's masked
+/// mode); special-purpose IPs from the config stay concrete.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty.
+pub fn learn_task(
+    name: &str,
+    runs: &[Vec<FlowRecord>],
+    masked: bool,
+    config: &FlowDiffConfig,
+) -> TaskAutomaton {
+    assert!(!runs.is_empty(), "need at least one training run");
+    let sequences: Vec<Vec<TaskFlow>> = runs
+        .iter()
+        .map(|run| common::canonical_sequence(run, config, masked))
+        .collect();
+    let common_set = common::common_flows(&sequences);
+    let filtered: Vec<Vec<TaskFlow>> = sequences
+        .iter()
+        .map(|s| common::filter_to_common(s, &common_set))
+        .collect();
+    // The automaton segments with the *full* frequent list so every
+    // training flow stays coverable; closed-pattern pruning is applied
+    // to the states that actually get used (inside `build`).
+    let patterns = mining::mine_frequent_all(&filtered, config.min_sup);
+    automaton::build(name, &filtered, &patterns, masked)
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for FlowDiff's algorithms: mining invariants,
+//! automaton acceptance, grouping partition laws, and statistics.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use flowdiff::config::FlowDiffConfig;
+use flowdiff::groups::discover_groups;
+use flowdiff::records::{FlowRecord, FlowTuple};
+use flowdiff::stats::{chi_squared, pearson, Histogram, MeanStd};
+use flowdiff::tasks::automaton::build;
+use flowdiff::tasks::common::{HostRef, PortClass, TaskFlow};
+use flowdiff::tasks::mining::{contains_subsequence, mine_frequent, mine_frequent_all};
+use openflow::types::{IpProto, Timestamp};
+
+fn flow(i: u8) -> TaskFlow {
+    TaskFlow {
+        src: HostRef::Masked(0),
+        sport: PortClass::Ephemeral,
+        dst: HostRef::Masked(1),
+        dport: PortClass::Fixed(i as u16 + 1),
+    }
+}
+
+fn arb_sequences() -> impl Strategy<Value = Vec<Vec<TaskFlow>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..6).prop_map(flow), 1..10),
+        1..8,
+    )
+}
+
+fn support_of(pattern: &[TaskFlow], sequences: &[Vec<TaskFlow>]) -> usize {
+    sequences
+        .iter()
+        .filter(|s| contains_subsequence(s, pattern))
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mined_support_counts_are_exact(seqs in arb_sequences(), min_sup in 0.2f64..1.0) {
+        let min_count = ((min_sup * seqs.len() as f64).ceil() as usize).max(1);
+        for p in mine_frequent_all(&seqs, min_sup) {
+            let actual = support_of(&p.flows, &seqs);
+            prop_assert_eq!(p.support, actual, "claimed support must be real");
+            prop_assert!(p.support >= min_count);
+        }
+    }
+
+    #[test]
+    fn closed_patterns_are_closed(seqs in arb_sequences(), min_sup in 0.2f64..1.0) {
+        let closed = mine_frequent(&seqs, min_sup);
+        for (i, p) in closed.iter().enumerate() {
+            for (j, q) in closed.iter().enumerate() {
+                if i != j && q.flows.len() > p.flows.len() && p.support == q.support {
+                    prop_assert!(
+                        !p.is_contained_in(q),
+                        "{:?} should have been pruned into {:?}",
+                        p.flows,
+                        q.flows
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn substring_support_is_monotone(seqs in arb_sequences(), min_sup in 0.2f64..1.0) {
+        // Apriori property: any contiguous substring of a frequent
+        // pattern is at least as frequent.
+        for p in mine_frequent_all(&seqs, min_sup) {
+            if p.flows.len() >= 2 {
+                let prefix = &p.flows[..p.flows.len() - 1];
+                prop_assert!(support_of(prefix, &seqs) >= p.support);
+            }
+        }
+    }
+
+    #[test]
+    fn automaton_accepts_every_training_sequence(seqs in arb_sequences(), min_sup in 0.2f64..0.9) {
+        // Reproduces the paper's claim: "all extracted logs can be
+        // precisely represented by the constructed automata" — for
+        // sequences fully composed of frequent flows.
+        let patterns = mine_frequent_all(&seqs, min_sup);
+        // keep only sequences whose every flow is a frequent singleton
+        // (i.e. survives the common-flow filter)
+        let singles: BTreeSet<&TaskFlow> = patterns
+            .iter()
+            .filter(|p| p.flows.len() == 1)
+            .map(|p| &p.flows[0])
+            .collect();
+        let trainable: Vec<Vec<TaskFlow>> = seqs
+            .iter()
+            .filter(|s| s.iter().all(|f| singles.contains(f)))
+            .cloned()
+            .collect();
+        if trainable.is_empty() {
+            return Ok(());
+        }
+        let a = build("t", &trainable, &patterns, true);
+        for s in &trainable {
+            prop_assert!(a.accepts(s), "training sequence {:?} rejected", s);
+        }
+    }
+
+    #[test]
+    fn pearson_stays_in_unit_interval(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..50),
+        noise in prop::collection::vec(-1e6f64..1e6, 2..50),
+    ) {
+        let n = xs.len().min(noise.len());
+        if let Some(r) = pearson(&xs[..n], &noise[..n]) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn chi_squared_is_nonnegative_and_zero_on_self(
+        counts in prop::collection::vec(0f64..1e4, 1..12),
+    ) {
+        let chi = chi_squared(&counts, &counts);
+        prop_assert!(chi >= 0.0);
+        prop_assert!(chi < 1e-6, "self-comparison must be ~0, got {chi}");
+    }
+
+    #[test]
+    fn chi_squared_scale_invariant(
+        counts in prop::collection::vec(1f64..1e4, 1..12),
+        scale in 0.1f64..100.0,
+    ) {
+        let scaled: Vec<f64> = counts.iter().map(|c| c * scale).collect();
+        let chi = chi_squared(&scaled, &counts);
+        prop_assert!(chi < 1e-6, "same shape at any scale must be ~0, got {chi}");
+    }
+
+    #[test]
+    fn histogram_total_matches_inserts(values in prop::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut h = Histogram::new(1_000);
+        for v in &values {
+            h.add(*v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        if !values.is_empty() {
+            let peak = h.peak_bin().expect("non-empty histogram has a peak");
+            prop_assert!(h.counts()[peak] >= 1);
+            let max = *h.counts().iter().max().unwrap();
+            prop_assert_eq!(h.counts()[peak], max);
+        }
+    }
+
+    #[test]
+    fn mean_std_of_constant_is_exact(x in -1e6f64..1e6, n in 2usize..50) {
+        let s = MeanStd::of(&vec![x; n]);
+        let tol = 1e-9 * x.abs().max(1.0);
+        prop_assert!((s.mean - x).abs() <= tol);
+        prop_assert!(s.std.abs() <= tol);
+        prop_assert_eq!(s.n, n);
+    }
+
+    #[test]
+    fn groups_partition_non_special_endpoints(
+        edges in prop::collection::vec((0u8..12, 0u8..12, 1u16..5), 1..30),
+    ) {
+        let config = FlowDiffConfig::default();
+        let records: Vec<FlowRecord> = edges
+            .iter()
+            .enumerate()
+            .filter(|(_, (s, d, _))| s != d)
+            .map(|(i, (s, d, port))| FlowRecord {
+                tuple: FlowTuple {
+                    src: Ipv4Addr::new(10, 0, 0, *s + 1),
+                    sport: 20_000 + i as u16,
+                    dst: Ipv4Addr::new(10, 0, 0, *d + 1),
+                    dport: *port,
+                    proto: IpProto::TCP,
+                },
+                first_seen: Timestamp::from_millis(i as u64),
+                hops: vec![],
+                byte_count: 1,
+                packet_count: 1,
+                duration_s: 0.1,
+            })
+            .collect();
+        let groups = discover_groups(&records, &config);
+
+        // every endpoint appears in exactly one group
+        let mut seen = BTreeSet::new();
+        for g in &groups {
+            for m in &g.members {
+                prop_assert!(seen.insert(*m), "member {m} in two groups");
+            }
+        }
+        let endpoints: BTreeSet<Ipv4Addr> = records
+            .iter()
+            .flat_map(|r| [r.tuple.src, r.tuple.dst])
+            .collect();
+        prop_assert_eq!(seen, endpoints);
+
+        // group edges connect members of the same group
+        for g in &groups {
+            for e in &g.edges {
+                prop_assert!(g.members.contains(&e.src));
+                prop_assert!(g.members.contains(&e.dst));
+            }
+        }
+        // every record lands in exactly one group's record list
+        let total: usize = groups.iter().map(|g| g.record_indices.len()).sum();
+        prop_assert_eq!(total, records.len());
+    }
+}

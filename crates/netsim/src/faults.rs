@@ -1,0 +1,271 @@
+//! Fault injection.
+//!
+//! Reproduces the seven operational problems of Table I plus the
+//! additional problem classes of Figure 2(b): each fault perturbs a
+//! specific mechanism of the simulator, and FlowDiff must recover the
+//! perturbation purely from the control-traffic log.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{LinkId, NodeId};
+
+/// A fault to inject at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Packet loss on a link (Table I #2, emulating `tc`): inflates byte
+    /// counts via retransmissions and delays delivery.
+    LinkLoss {
+        /// The lossy link.
+        link: LinkId,
+        /// Loss probability per packet in `[0, 1]`.
+        rate: f64,
+    },
+    /// Extra request-processing latency on a host, e.g. debug ("INFO")
+    /// logging enabled by misconfiguration (Table I #1).
+    HostSlowdown {
+        /// The slowed host.
+        host: NodeId,
+        /// Extra per-request processing delay, microseconds.
+        extra_us: u64,
+    },
+    /// A host or VM goes down entirely (Table I #5): originates nothing,
+    /// answers nothing.
+    HostDown {
+        /// The dead host.
+        host: NodeId,
+    },
+    /// An application on `host` listening on `port` crashes (Table I #4):
+    /// requests still reach the host but trigger no processing.
+    AppCrash {
+        /// Host running the application.
+        host: NodeId,
+        /// Crashed service port.
+        port: u16,
+    },
+    /// A firewall silently drops traffic to `host:port` (Table I #6).
+    PortBlock {
+        /// Protected host.
+        host: NodeId,
+        /// Blocked destination port.
+        port: u16,
+    },
+    /// An OpenFlow switch fails (Figure 2(b), "switch failure"): flows
+    /// are re-routed around it; in-flight packets die.
+    SwitchFailure {
+        /// The failed switch.
+        switch: NodeId,
+    },
+    /// The controller becomes slow (Figure 2(b), "controller overhead"):
+    /// service time multiplied by `factor`.
+    ControllerOverload {
+        /// Service-time multiplier (> 1).
+        factor: f64,
+    },
+    /// The controller crashes (Figure 2(b), "controller failure"):
+    /// `PacketIn` messages go unanswered, so new flows stall and die.
+    ControllerDown,
+    /// Clears a previously injected fault of the same shape (used to
+    /// model transient problems).
+    Clear(Box<Fault>),
+}
+
+/// The set of currently active faults, consulted by the engine on every
+/// relevant decision.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveFaults {
+    link_loss: HashMap<LinkId, f64>,
+    host_slowdown: HashMap<NodeId, u64>,
+    hosts_down: HashSet<NodeId>,
+    crashed_apps: HashSet<(NodeId, u16)>,
+    blocked_ports: HashSet<(NodeId, u16)>,
+    failed_switches: HashSet<NodeId>,
+    controller_factor: f64,
+    controller_down: bool,
+}
+
+impl ActiveFaults {
+    /// No faults active.
+    pub fn new() -> ActiveFaults {
+        ActiveFaults {
+            controller_factor: 1.0,
+            ..ActiveFaults::default()
+        }
+    }
+
+    /// Applies (or clears) a fault.
+    pub fn apply(&mut self, fault: &Fault) {
+        match fault {
+            Fault::LinkLoss { link, rate } => {
+                self.link_loss.insert(*link, rate.clamp(0.0, 1.0));
+            }
+            Fault::HostSlowdown { host, extra_us } => {
+                self.host_slowdown.insert(*host, *extra_us);
+            }
+            Fault::HostDown { host } => {
+                self.hosts_down.insert(*host);
+            }
+            Fault::AppCrash { host, port } => {
+                self.crashed_apps.insert((*host, *port));
+            }
+            Fault::PortBlock { host, port } => {
+                self.blocked_ports.insert((*host, *port));
+            }
+            Fault::SwitchFailure { switch } => {
+                self.failed_switches.insert(*switch);
+            }
+            Fault::ControllerOverload { factor } => {
+                self.controller_factor = factor.max(1.0);
+            }
+            Fault::ControllerDown => {
+                self.controller_down = true;
+            }
+            Fault::Clear(inner) => self.clear(inner),
+        }
+    }
+
+    fn clear(&mut self, fault: &Fault) {
+        match fault {
+            Fault::LinkLoss { link, .. } => {
+                self.link_loss.remove(link);
+            }
+            Fault::HostSlowdown { host, .. } => {
+                self.host_slowdown.remove(host);
+            }
+            Fault::HostDown { host } => {
+                self.hosts_down.remove(host);
+            }
+            Fault::AppCrash { host, port } => {
+                self.crashed_apps.remove(&(*host, *port));
+            }
+            Fault::PortBlock { host, port } => {
+                self.blocked_ports.remove(&(*host, *port));
+            }
+            Fault::SwitchFailure { switch } => {
+                self.failed_switches.remove(switch);
+            }
+            Fault::ControllerOverload { .. } => {
+                self.controller_factor = 1.0;
+            }
+            Fault::ControllerDown => {
+                self.controller_down = false;
+            }
+            Fault::Clear(inner) => self.apply(inner),
+        }
+    }
+
+    /// Loss rate of a link (0.0 when healthy).
+    pub fn loss_on(&self, link: LinkId) -> f64 {
+        self.link_loss.get(&link).copied().unwrap_or(0.0)
+    }
+
+    /// Extra processing delay on a host, microseconds.
+    pub fn slowdown_of(&self, host: NodeId) -> u64 {
+        self.host_slowdown.get(&host).copied().unwrap_or(0)
+    }
+
+    /// True when the host is down.
+    pub fn is_host_down(&self, host: NodeId) -> bool {
+        self.hosts_down.contains(&host)
+    }
+
+    /// True when the application at `host:port` is crashed or firewalled.
+    pub fn is_service_dead(&self, host: NodeId, port: u16) -> bool {
+        self.crashed_apps.contains(&(host, port)) || self.blocked_ports.contains(&(host, port))
+    }
+
+    /// True when the switch is failed.
+    pub fn is_switch_failed(&self, switch: NodeId) -> bool {
+        self.failed_switches.contains(&switch)
+    }
+
+    /// Current controller service-time multiplier.
+    pub fn controller_factor(&self) -> f64 {
+        self.controller_factor
+    }
+
+    /// True when the controller is down.
+    pub fn is_controller_down(&self) -> bool {
+        self.controller_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_and_clear_roundtrip() {
+        let mut f = ActiveFaults::new();
+        let fault = Fault::LinkLoss {
+            link: LinkId(3),
+            rate: 0.01,
+        };
+        f.apply(&fault);
+        assert!((f.loss_on(LinkId(3)) - 0.01).abs() < 1e-12);
+        f.apply(&Fault::Clear(Box::new(fault)));
+        assert_eq!(f.loss_on(LinkId(3)), 0.0);
+    }
+
+    #[test]
+    fn loss_rate_is_clamped() {
+        let mut f = ActiveFaults::new();
+        f.apply(&Fault::LinkLoss {
+            link: LinkId(0),
+            rate: 7.0,
+        });
+        assert_eq!(f.loss_on(LinkId(0)), 1.0);
+    }
+
+    #[test]
+    fn service_dead_covers_crash_and_firewall() {
+        let mut f = ActiveFaults::new();
+        f.apply(&Fault::AppCrash {
+            host: NodeId(1),
+            port: 8080,
+        });
+        f.apply(&Fault::PortBlock {
+            host: NodeId(2),
+            port: 3306,
+        });
+        assert!(f.is_service_dead(NodeId(1), 8080));
+        assert!(f.is_service_dead(NodeId(2), 3306));
+        assert!(!f.is_service_dead(NodeId(1), 80));
+        assert!(!f.is_service_dead(NodeId(3), 8080));
+    }
+
+    #[test]
+    fn controller_factor_floor_is_one() {
+        let mut f = ActiveFaults::new();
+        assert_eq!(f.controller_factor(), 1.0);
+        f.apply(&Fault::ControllerOverload { factor: 0.1 });
+        assert_eq!(f.controller_factor(), 1.0);
+        f.apply(&Fault::ControllerOverload { factor: 12.0 });
+        assert_eq!(f.controller_factor(), 12.0);
+        f.apply(&Fault::Clear(Box::new(Fault::ControllerOverload {
+            factor: 12.0,
+        })));
+        assert_eq!(f.controller_factor(), 1.0);
+    }
+
+    #[test]
+    fn controller_down_toggles() {
+        let mut f = ActiveFaults::new();
+        assert!(!f.is_controller_down());
+        f.apply(&Fault::ControllerDown);
+        assert!(f.is_controller_down());
+        f.apply(&Fault::Clear(Box::new(Fault::ControllerDown)));
+        assert!(!f.is_controller_down());
+    }
+
+    #[test]
+    fn double_clear_is_idempotent() {
+        let mut f = ActiveFaults::new();
+        let fault = Fault::HostDown { host: NodeId(5) };
+        f.apply(&Fault::Clear(Box::new(fault.clone())));
+        assert!(!f.is_host_down(NodeId(5)));
+        f.apply(&fault);
+        assert!(f.is_host_down(NodeId(5)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Flow specifications and runtime flow state.
+
+use std::fmt;
+
+use openflow::match_fields::FlowKey;
+use openflow::types::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::topology::NodeId;
+
+/// Identifier of a flow inside one simulation run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+/// A flow to inject into the network.
+///
+/// Source and destination hosts are resolved from the key's IP addresses
+/// against the topology's host registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// The 5-tuple (and L2 headers) of the flow.
+    pub key: FlowKey,
+    /// Application payload bytes carried by the flow.
+    pub bytes: u64,
+    /// Transmission duration once the path is set up, microseconds.
+    pub duration_us: u64,
+}
+
+impl FlowSpec {
+    /// Creates a spec with the given key, size, and duration.
+    pub fn new(key: FlowKey, bytes: u64, duration_us: u64) -> FlowSpec {
+        FlowSpec {
+            key,
+            bytes,
+            duration_us,
+        }
+    }
+}
+
+/// Lifecycle phase of a flow in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowPhase {
+    /// First packet still traversing the path.
+    InTransit,
+    /// Delivered to the destination host, payload transferring.
+    Delivered,
+    /// All bytes sent; counters accounted.
+    Completed,
+    /// Dropped (failed switch, down host, or unreachable destination).
+    Dead,
+}
+
+/// Notification handed to application logic when a flow's first packet
+/// reaches its destination host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveredFlow {
+    /// The flow's id.
+    pub id: FlowId,
+    /// The flow's spec.
+    pub spec: FlowSpec,
+    /// Source host node.
+    pub src: NodeId,
+    /// Destination host node.
+    pub dst: NodeId,
+    /// When the flow was injected.
+    pub started_at: Timestamp,
+    /// When the first packet arrived at `dst`.
+    pub delivered_at: Timestamp,
+}
+
+/// Internal runtime state of a flow (exposed read-only for inspection and
+/// tests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowState {
+    /// The spec as injected.
+    pub spec: FlowSpec,
+    /// Node path: `[src_host, switches.., dst_host]`.
+    pub path: Vec<NodeId>,
+    /// Injection time.
+    pub started_at: Timestamp,
+    /// Delivery time of the first packet, once known.
+    pub delivered_at: Option<Timestamp>,
+    /// Completion time, once known.
+    pub completed_at: Option<Timestamp>,
+    /// Bytes actually transferred, including loss retransmissions.
+    pub wire_bytes: u64,
+    /// Packets actually transferred.
+    pub wire_packets: u64,
+    /// Current phase.
+    pub phase: FlowPhase,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn spec_construction() {
+        let key = FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
+        let spec = FlowSpec::new(key, 4096, 10_000);
+        assert_eq!(spec.bytes, 4096);
+        assert_eq!(spec.key.tp_dst, 80);
+    }
+
+    #[test]
+    fn flow_id_display() {
+        assert_eq!(FlowId(9).to_string(), "flow#9");
+    }
+}

@@ -1,0 +1,362 @@
+//! The controller-side control-traffic log.
+//!
+//! This is the *only* interface between the simulated data center and
+//! FlowDiff: a time-ordered list of control messages as seen at the
+//! controller, exactly what a passive tap on the OpenFlow control channel
+//! would capture (Section III-A of the paper).
+
+use openflow::messages::OfpMessage;
+use openflow::types::{DatapathId, Timestamp, Xid};
+use serde::{Deserialize, Serialize};
+
+/// Which way a control message traveled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Switch-to-controller (e.g. `PacketIn`, `FlowRemoved`).
+    ToController,
+    /// Controller-to-switch (e.g. `FlowMod`, `PacketOut`).
+    FromController,
+}
+
+/// One captured control message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlEvent {
+    /// Controller-side capture timestamp: arrival time for
+    /// switch-to-controller messages, send time for controller-to-switch
+    /// messages (this is what Figure 3 of the paper assumes).
+    pub ts: Timestamp,
+    /// The switch this message came from or went to.
+    pub dpid: DatapathId,
+    /// Message direction.
+    pub direction: Direction,
+    /// Transaction id; replies echo the request's.
+    pub xid: Xid,
+    /// The message itself.
+    pub msg: OfpMessage,
+}
+
+/// A time-ordered capture of control traffic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ControllerLog {
+    events: Vec<ControlEvent>,
+}
+
+impl ControllerLog {
+    /// Creates an empty log.
+    pub fn new() -> ControllerLog {
+        ControllerLog::default()
+    }
+
+    /// Appends an event.
+    ///
+    /// Events may be pushed slightly out of order by the simulator (it
+    /// stamps send and receive times); call [`ControllerLog::finish`] once
+    /// when the capture ends to restore time order.
+    pub fn push(&mut self, ev: ControlEvent) {
+        self.events.push(ev);
+    }
+
+    /// Sorts the capture by timestamp (stable, so simultaneous events keep
+    /// their generation order).
+    pub fn finish(&mut self) {
+        self.events.sort_by_key(|e| e.ts);
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[ControlEvent] {
+        &self.events
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The capture's time span, if non-empty.
+    pub fn time_range(&self) -> Option<(Timestamp, Timestamp)> {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => Some((a.ts, b.ts)),
+            _ => None,
+        }
+    }
+
+    /// Iterates over `PacketIn` events as `(ts, dpid, xid, &PacketIn)`.
+    pub fn packet_ins(
+        &self,
+    ) -> impl Iterator<
+        Item = (
+            Timestamp,
+            DatapathId,
+            Xid,
+            &openflow::messages::PacketIn,
+        ),
+    > + '_ {
+        self.events.iter().filter_map(|e| match &e.msg {
+            OfpMessage::PacketIn(pi) => Some((e.ts, e.dpid, e.xid, pi)),
+            _ => None,
+        })
+    }
+
+    /// Iterates over `FlowRemoved` events as `(ts, dpid, &FlowRemoved)`.
+    pub fn flow_removeds(
+        &self,
+    ) -> impl Iterator<Item = (Timestamp, DatapathId, &openflow::messages::FlowRemoved)> + '_
+    {
+        self.events.iter().filter_map(|e| match &e.msg {
+            OfpMessage::FlowRemoved(fr) => Some((e.ts, e.dpid, fr)),
+            _ => None,
+        })
+    }
+
+    /// Iterates over `FlowMod` events as `(ts, dpid, xid, &FlowMod)`.
+    pub fn flow_mods(
+        &self,
+    ) -> impl Iterator<Item = (Timestamp, DatapathId, Xid, &openflow::messages::FlowMod)> + '_
+    {
+        self.events.iter().filter_map(|e| match &e.msg {
+            OfpMessage::FlowMod(fm) => Some((e.ts, e.dpid, e.xid, fm)),
+            _ => None,
+        })
+    }
+
+    /// Returns the sub-log with timestamps in `[from, to)`.
+    pub fn slice(&self, from: Timestamp, to: Timestamp) -> ControllerLog {
+        ControllerLog {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.ts >= from && e.ts < to)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Splits the log into `n` equal-duration segments (used by FlowDiff's
+    /// stability analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn split(&self, n: usize) -> Vec<ControllerLog> {
+        assert!(n > 0, "cannot split into zero segments");
+        let Some((start, end)) = self.time_range() else {
+            return vec![ControllerLog::new(); n];
+        };
+        let span = (end.as_micros() - start.as_micros()).max(1) + 1;
+        let step = span.div_ceil(n as u64);
+        let mut out = vec![ControllerLog::new(); n];
+        for ev in &self.events {
+            let idx = ((ev.ts.as_micros() - start.as_micros()) / step) as usize;
+            out[idx.min(n - 1)].events.push(ev.clone());
+        }
+        out
+    }
+}
+
+/// Magic bytes of the capture file format.
+const CAPTURE_MAGIC: &[u8; 8] = b"FDIFFCAP";
+
+impl ControllerLog {
+    /// Serializes the capture to a self-contained binary format: a magic
+    /// header followed by one record per event —
+    /// `[ts: u64][dpid: u64][direction: u8][openflow wire message]` —
+    /// with all integers big-endian and the message length taken from the
+    /// OpenFlow header. Suitable for writing to disk and re-analyzing
+    /// later.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 * self.events.len() + 8);
+        out.extend_from_slice(CAPTURE_MAGIC);
+        for ev in &self.events {
+            out.extend_from_slice(&ev.ts.as_micros().to_be_bytes());
+            out.extend_from_slice(&ev.dpid.0.to_be_bytes());
+            out.push(match ev.direction {
+                Direction::ToController => 0,
+                Direction::FromController => 1,
+            });
+            out.extend_from_slice(&openflow::wire::encode(&ev.msg, ev.xid));
+        }
+        out
+    }
+
+    /// Parses a capture produced by [`ControllerLog::to_wire_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`openflow::error::DecodeError`] on a bad magic header,
+    /// truncation, or any malformed embedded message.
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<ControllerLog, openflow::error::DecodeError> {
+        use openflow::error::DecodeError;
+        if bytes.len() < CAPTURE_MAGIC.len() || &bytes[..8] != CAPTURE_MAGIC {
+            return Err(DecodeError::BadField {
+                context: "capture.magic",
+                value: bytes.first().copied().unwrap_or(0) as u64,
+            });
+        }
+        let mut rest = &bytes[8..];
+        let mut log = ControllerLog::new();
+        while !rest.is_empty() {
+            if rest.len() < 17 {
+                return Err(DecodeError::Truncated {
+                    needed: 17,
+                    available: rest.len(),
+                });
+            }
+            let ts = u64::from_be_bytes(rest[0..8].try_into().expect("8 bytes"));
+            let dpid = u64::from_be_bytes(rest[8..16].try_into().expect("8 bytes"));
+            let direction = match rest[16] {
+                0 => Direction::ToController,
+                1 => Direction::FromController,
+                other => {
+                    return Err(DecodeError::BadField {
+                        context: "capture.direction",
+                        value: other as u64,
+                    })
+                }
+            };
+            rest = &rest[17..];
+            let (msg, xid, used) = openflow::wire::decode(rest)?;
+            rest = &rest[used..];
+            log.push(ControlEvent {
+                ts: Timestamp::from_micros(ts),
+                dpid: DatapathId(dpid),
+                direction,
+                xid,
+                msg,
+            });
+        }
+        log.finish();
+        Ok(log)
+    }
+}
+
+impl Extend<ControlEvent> for ControllerLog {
+    fn extend<T: IntoIterator<Item = ControlEvent>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+impl FromIterator<ControlEvent> for ControllerLog {
+    fn from_iter<T: IntoIterator<Item = ControlEvent>>(iter: T) -> Self {
+        let mut log = ControllerLog::new();
+        log.extend(iter);
+        log.finish();
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::match_fields::OfMatch;
+    use openflow::messages::FlowMod;
+
+    fn ev(ts_us: u64, kind: u8) -> ControlEvent {
+        let msg = match kind {
+            0 => OfpMessage::Hello,
+            1 => OfpMessage::FlowMod(FlowMod::add(OfMatch::any(), 1)),
+            _ => OfpMessage::BarrierRequest,
+        };
+        ControlEvent {
+            ts: Timestamp::from_micros(ts_us),
+            dpid: DatapathId(1),
+            direction: Direction::FromController,
+            xid: Xid(0),
+            msg,
+        }
+    }
+
+    #[test]
+    fn finish_sorts_by_time() {
+        let mut log = ControllerLog::new();
+        log.push(ev(30, 0));
+        log.push(ev(10, 0));
+        log.push(ev(20, 0));
+        log.finish();
+        let ts: Vec<u64> = log.events().iter().map(|e| e.ts.as_micros()).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn slice_is_half_open() {
+        let log: ControllerLog = (0..10u64).map(|i| ev(i * 10, 0)).collect();
+        let s = log.slice(Timestamp::from_micros(20), Timestamp::from_micros(50));
+        let ts: Vec<u64> = s.events().iter().map(|e| e.ts.as_micros()).collect();
+        assert_eq!(ts, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn split_covers_all_events_without_duplication() {
+        let log: ControllerLog = (0..100u64).map(|i| ev(i, 0)).collect();
+        let parts = log.split(7);
+        assert_eq!(parts.len(), 7);
+        let total: usize = parts.iter().map(ControllerLog::len).sum();
+        assert_eq!(total, 100);
+        // segments are time-ordered and non-overlapping
+        let mut last_end = 0;
+        for p in &parts {
+            if let Some((a, b)) = p.time_range() {
+                assert!(a.as_micros() >= last_end);
+                last_end = b.as_micros();
+            }
+        }
+    }
+
+    #[test]
+    fn split_of_empty_log_yields_empty_segments() {
+        let log = ControllerLog::new();
+        let parts = log.split(3);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(ControllerLog::is_empty));
+    }
+
+    #[test]
+    fn typed_iterators_filter_kinds() {
+        let log: ControllerLog = vec![ev(0, 0), ev(1, 1), ev(2, 1), ev(3, 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(log.flow_mods().count(), 2);
+        assert_eq!(log.packet_ins().count(), 0);
+        assert_eq!(log.flow_removeds().count(), 0);
+    }
+
+    #[test]
+    fn wire_capture_roundtrips() {
+        let log: ControllerLog = vec![ev(5, 0), ev(10, 1), ev(15, 2), ev(20, 1)]
+            .into_iter()
+            .collect();
+        let bytes = log.to_wire_bytes();
+        let parsed = ControllerLog::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn wire_capture_rejects_garbage() {
+        assert!(ControllerLog::from_wire_bytes(b"not a capture").is_err());
+        let log: ControllerLog = vec![ev(5, 1)].into_iter().collect();
+        let mut bytes = log.to_wire_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert!(ControllerLog::from_wire_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_capture_roundtrips() {
+        let log = ControllerLog::new();
+        let parsed = ControllerLog::from_wire_bytes(&log.to_wire_bytes()).unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn time_range_reports_extremes() {
+        let log: ControllerLog = vec![ev(5, 0), ev(95, 0)].into_iter().collect();
+        assert_eq!(
+            log.time_range(),
+            Some((Timestamp::from_micros(5), Timestamp::from_micros(95)))
+        );
+        assert_eq!(ControllerLog::new().time_range(), None);
+    }
+}

@@ -1,0 +1,54 @@
+//! A self-contained implementation of the subset of the OpenFlow 1.0
+//! protocol needed to drive a reactive software-defined data center.
+//!
+//! The FlowDiff paper (ICDCS 2013) builds all of its behavioral models from
+//! three control messages exchanged between programmable switches and a
+//! logically centralized controller: [`messages::PacketIn`],
+//! [`messages::FlowMod`], and [`messages::FlowRemoved`]. This crate provides
+//! those messages (plus the handshake and statistics messages surrounding
+//! them), the 12-tuple [`match_fields::OfMatch`] structure with wildcard
+//! support, a binary wire codec compatible in layout with OpenFlow 1.0, and
+//! a [`flow_table::FlowTable`] with priority matching, idle/hard timeouts,
+//! and per-entry counters.
+//!
+//! # Example
+//!
+//! ```
+//! use openflow::prelude::*;
+//!
+//! // A concrete packet header, as seen by a switch.
+//! let key = FlowKey::tcp("10.0.0.1".parse()?, 80, "10.0.0.2".parse()?, 12345);
+//!
+//! // The controller installs an exact-match (microflow) rule for it.
+//! let m = OfMatch::exact(&key, PortNo(1));
+//! let fm = FlowMod::add(m, 100).idle_timeout(5).hard_timeout(30);
+//!
+//! let mut table = FlowTable::new();
+//! table.apply(&fm, Timestamp::ZERO)?;
+//! assert!(table.lookup(&key, PortNo(1)).is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod actions;
+pub mod error;
+pub mod flow_table;
+pub mod frame;
+pub mod match_fields;
+pub mod messages;
+pub mod types;
+pub mod wire;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::actions::Action;
+    pub use crate::error::{DecodeError, FlowTableError};
+    pub use crate::flow_table::{FlowEntry, FlowTable};
+    pub use crate::match_fields::{FlowKey, OfMatch, Wildcards};
+    pub use crate::messages::{
+        ErrorMsg, FlowMod, FlowModCommand, FlowRemoved, FlowRemovedReason, OfpMessage, PacketIn,
+        PacketInReason, PacketOut,
+    };
+    pub use crate::types::{
+        BufferId, Cookie, DatapathId, IpProto, MacAddr, PortNo, Timestamp, VlanId, Xid,
+    };
+}

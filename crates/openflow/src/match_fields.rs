@@ -1,0 +1,510 @@
+//! The OpenFlow 1.0 12-tuple match structure and concrete flow keys.
+//!
+//! [`FlowKey`] describes the headers of an actual packet; [`OfMatch`]
+//! describes a (possibly wildcarded) predicate over flow keys, as stored in
+//! switch flow tables and carried by `FlowMod`, `FlowRemoved`, and flow
+//! statistics messages.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{ether_type, IpProto, MacAddr, PortNo, VlanId};
+
+/// Wildcard bits for [`OfMatch`], with the OpenFlow 1.0 bit layout.
+///
+/// The IP source/destination wildcards are 6-bit CIDR-style counters: a
+/// value of `n` ignores the `n` least-significant bits of the address, so
+/// `0` is an exact match and `>= 32` ignores the address entirely.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
+)]
+pub struct Wildcards(pub u32);
+
+impl Wildcards {
+    /// Ignore the ingress port.
+    pub const IN_PORT: u32 = 1 << 0;
+    /// Ignore the VLAN id.
+    pub const DL_VLAN: u32 = 1 << 1;
+    /// Ignore the Ethernet source address.
+    pub const DL_SRC: u32 = 1 << 2;
+    /// Ignore the Ethernet destination address.
+    pub const DL_DST: u32 = 1 << 3;
+    /// Ignore the EtherType.
+    pub const DL_TYPE: u32 = 1 << 4;
+    /// Ignore the IP protocol.
+    pub const NW_PROTO: u32 = 1 << 5;
+    /// Ignore the transport source port.
+    pub const TP_SRC: u32 = 1 << 6;
+    /// Ignore the transport destination port.
+    pub const TP_DST: u32 = 1 << 7;
+    const NW_SRC_SHIFT: u32 = 8;
+    const NW_SRC_MASK: u32 = 0x3f << Self::NW_SRC_SHIFT;
+    const NW_DST_SHIFT: u32 = 14;
+    const NW_DST_MASK: u32 = 0x3f << Self::NW_DST_SHIFT;
+    /// Ignore the VLAN priority.
+    pub const DL_VLAN_PCP: u32 = 1 << 20;
+    /// Ignore the IP type-of-service bits.
+    pub const NW_TOS: u32 = 1 << 21;
+
+    /// All fields wildcarded: matches every packet.
+    pub const ALL: Wildcards = Wildcards(
+        Self::IN_PORT
+            | Self::DL_VLAN
+            | Self::DL_SRC
+            | Self::DL_DST
+            | Self::DL_TYPE
+            | Self::NW_PROTO
+            | Self::TP_SRC
+            | Self::TP_DST
+            | Self::NW_SRC_MASK
+            | Self::NW_DST_MASK
+            | Self::DL_VLAN_PCP
+            | Self::NW_TOS,
+    );
+
+    /// No field wildcarded: an exact-match (microflow) predicate.
+    pub const NONE: Wildcards = Wildcards(0);
+
+    /// Returns true if the flag bit(s) in `flag` are all set.
+    pub fn contains(self, flag: u32) -> bool {
+        self.0 & flag == flag
+    }
+
+    /// Returns a copy with the given flag bits set.
+    #[must_use]
+    pub fn with(self, flag: u32) -> Wildcards {
+        Wildcards(self.0 | flag)
+    }
+
+    /// Number of low bits of the IP source address to ignore (0–63,
+    /// saturating at "the whole address" for values >= 32).
+    pub fn nw_src_bits(self) -> u32 {
+        (self.0 & Self::NW_SRC_MASK) >> Self::NW_SRC_SHIFT
+    }
+
+    /// Number of low bits of the IP destination address to ignore.
+    pub fn nw_dst_bits(self) -> u32 {
+        (self.0 & Self::NW_DST_MASK) >> Self::NW_DST_SHIFT
+    }
+
+    /// Returns a copy with the IP source wildcard set to `bits` (clamped to
+    /// 63 as on the wire).
+    #[must_use]
+    pub fn with_nw_src_bits(self, bits: u32) -> Wildcards {
+        let bits = bits.min(63);
+        Wildcards((self.0 & !Self::NW_SRC_MASK) | (bits << Self::NW_SRC_SHIFT))
+    }
+
+    /// Returns a copy with the IP destination wildcard set to `bits`.
+    #[must_use]
+    pub fn with_nw_dst_bits(self, bits: u32) -> Wildcards {
+        let bits = bits.min(63);
+        Wildcards((self.0 & !Self::NW_DST_MASK) | (bits << Self::NW_DST_SHIFT))
+    }
+
+    /// True when every field is wildcarded.
+    pub fn is_all(self) -> bool {
+        self.0 & Self::ALL.0 == Self::ALL.0
+    }
+
+    /// True when no field is wildcarded.
+    pub fn is_exact(self) -> bool {
+        self.0 & Self::ALL.0 == 0
+    }
+}
+
+impl Default for Wildcards {
+    fn default() -> Self {
+        Self::ALL
+    }
+}
+
+impl fmt::Display for Wildcards {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wildcards:{:#x}", self.0)
+    }
+}
+
+/// The concrete header fields of one packet, as observed by a switch data
+/// plane. This is what gets matched against [`OfMatch`] predicates.
+///
+/// FlowDiff's flow records are derived from flow keys carried inside
+/// `PacketIn` payloads.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
+)]
+pub struct FlowKey {
+    /// Ethernet source address.
+    pub dl_src: MacAddr,
+    /// Ethernet destination address.
+    pub dl_dst: MacAddr,
+    /// VLAN id, `VlanId::NONE` when untagged.
+    pub dl_vlan: VlanId,
+    /// VLAN priority bits.
+    pub dl_vlan_pcp: u8,
+    /// EtherType (e.g. `0x0800` for IPv4).
+    pub dl_type: u16,
+    /// IP type of service.
+    pub nw_tos: u8,
+    /// IP protocol.
+    pub nw_proto: IpProto,
+    /// IP source address.
+    pub nw_src: Ipv4Addr,
+    /// IP destination address.
+    pub nw_dst: Ipv4Addr,
+    /// Transport source port.
+    pub tp_src: u16,
+    /// Transport destination port.
+    pub tp_dst: u16,
+}
+
+impl FlowKey {
+    /// Builds a TCP/IPv4 flow key with MAC addresses derived from the IPs,
+    /// which is the simulator's convention for host NICs.
+    pub fn tcp(nw_src: Ipv4Addr, tp_src: u16, nw_dst: Ipv4Addr, tp_dst: u16) -> FlowKey {
+        Self::with_proto(IpProto::TCP, nw_src, tp_src, nw_dst, tp_dst)
+    }
+
+    /// Builds a UDP/IPv4 flow key.
+    pub fn udp(nw_src: Ipv4Addr, tp_src: u16, nw_dst: Ipv4Addr, tp_dst: u16) -> FlowKey {
+        Self::with_proto(IpProto::UDP, nw_src, tp_src, nw_dst, tp_dst)
+    }
+
+    /// Builds an IPv4 flow key with an explicit transport protocol.
+    pub fn with_proto(
+        nw_proto: IpProto,
+        nw_src: Ipv4Addr,
+        tp_src: u16,
+        nw_dst: Ipv4Addr,
+        tp_dst: u16,
+    ) -> FlowKey {
+        FlowKey {
+            dl_src: MacAddr::from_u64(u32::from(nw_src) as u64),
+            dl_dst: MacAddr::from_u64(u32::from(nw_dst) as u64),
+            dl_vlan: VlanId::NONE,
+            dl_vlan_pcp: 0,
+            dl_type: ether_type::IPV4,
+            nw_tos: 0,
+            nw_proto,
+            nw_src,
+            nw_dst,
+            tp_src,
+            tp_dst,
+        }
+    }
+
+    /// The flow key of the reverse direction (src/dst swapped).
+    #[must_use]
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            dl_src: self.dl_dst,
+            dl_dst: self.dl_src,
+            nw_src: self.nw_dst,
+            nw_dst: self.nw_src,
+            tp_src: self.tp_dst,
+            tp_dst: self.tp_src,
+            ..*self
+        }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{}",
+            self.nw_proto, self.nw_src, self.tp_src, self.nw_dst, self.tp_dst
+        )
+    }
+}
+
+/// The OpenFlow 1.0 12-tuple match predicate.
+///
+/// Fields whose wildcard bit is set are ignored; IP addresses support
+/// CIDR-style partial wildcarding. An all-wildcard match (`OfMatch::any()`)
+/// matches every packet.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
+)]
+pub struct OfMatch {
+    /// Wildcard bits controlling which fields participate in matching.
+    pub wildcards: Wildcards,
+    /// Ingress port.
+    pub in_port: PortNo,
+    /// Ethernet source address.
+    pub dl_src: MacAddr,
+    /// Ethernet destination address.
+    pub dl_dst: MacAddr,
+    /// VLAN id.
+    pub dl_vlan: VlanId,
+    /// VLAN priority.
+    pub dl_vlan_pcp: u8,
+    /// EtherType.
+    pub dl_type: u16,
+    /// IP type of service.
+    pub nw_tos: u8,
+    /// IP protocol.
+    pub nw_proto: IpProto,
+    /// IP source address.
+    pub nw_src: Ipv4Addr,
+    /// IP destination address.
+    pub nw_dst: Ipv4Addr,
+    /// Transport source port.
+    pub tp_src: u16,
+    /// Transport destination port.
+    pub tp_dst: u16,
+}
+
+impl Default for OfMatch {
+    fn default() -> Self {
+        Self::any()
+    }
+}
+
+impl OfMatch {
+    /// A match that accepts every packet (all fields wildcarded).
+    pub fn any() -> OfMatch {
+        OfMatch {
+            wildcards: Wildcards::ALL,
+            in_port: PortNo(0),
+            dl_src: MacAddr::default(),
+            dl_dst: MacAddr::default(),
+            dl_vlan: VlanId::NONE,
+            dl_vlan_pcp: 0,
+            dl_type: 0,
+            nw_tos: 0,
+            nw_proto: IpProto(0),
+            nw_src: Ipv4Addr::UNSPECIFIED,
+            nw_dst: Ipv4Addr::UNSPECIFIED,
+            tp_src: 0,
+            tp_dst: 0,
+        }
+    }
+
+    /// An exact-match (microflow) predicate for `key` entering on
+    /// `in_port`. This is what a reactive controller installs per flow.
+    pub fn exact(key: &FlowKey, in_port: PortNo) -> OfMatch {
+        OfMatch {
+            wildcards: Wildcards::NONE,
+            in_port,
+            dl_src: key.dl_src,
+            dl_dst: key.dl_dst,
+            dl_vlan: key.dl_vlan,
+            dl_vlan_pcp: key.dl_vlan_pcp,
+            dl_type: key.dl_type,
+            nw_tos: key.nw_tos,
+            nw_proto: key.nw_proto,
+            nw_src: key.nw_src,
+            nw_dst: key.nw_dst,
+            tp_src: key.tp_src,
+            tp_dst: key.tp_dst,
+        }
+    }
+
+    /// A destination-prefix wildcard rule: match IPv4 traffic whose
+    /// destination falls in `prefix/prefix_len`, ignoring all other fields.
+    ///
+    /// Used to model the proactive / wildcard deployment modes of Section
+    /// VI of the paper.
+    pub fn ipv4_dst_prefix(prefix: Ipv4Addr, prefix_len: u32) -> OfMatch {
+        let wildcards = Wildcards::ALL
+            .with_nw_dst_bits(32 - prefix_len.min(32))
+            .with(0) // keep remaining bits; DL_TYPE must be matched:
+            ;
+        let mut m = OfMatch::any();
+        // Clear the DL_TYPE wildcard so the EtherType is significant.
+        m.wildcards = Wildcards(wildcards.0 & !Wildcards::DL_TYPE);
+        m.dl_type = ether_type::IPV4;
+        m.nw_dst = prefix;
+        m
+    }
+
+    /// Evaluates this predicate against a concrete packet.
+    pub fn matches(&self, key: &FlowKey, in_port: PortNo) -> bool {
+        let w = self.wildcards;
+        if !w.contains(Wildcards::IN_PORT) && self.in_port != in_port {
+            return false;
+        }
+        if !w.contains(Wildcards::DL_SRC) && self.dl_src != key.dl_src {
+            return false;
+        }
+        if !w.contains(Wildcards::DL_DST) && self.dl_dst != key.dl_dst {
+            return false;
+        }
+        if !w.contains(Wildcards::DL_VLAN) && self.dl_vlan != key.dl_vlan {
+            return false;
+        }
+        if !w.contains(Wildcards::DL_VLAN_PCP) && self.dl_vlan_pcp != key.dl_vlan_pcp {
+            return false;
+        }
+        if !w.contains(Wildcards::DL_TYPE) && self.dl_type != key.dl_type {
+            return false;
+        }
+        if !w.contains(Wildcards::NW_TOS) && self.nw_tos != key.nw_tos {
+            return false;
+        }
+        if !w.contains(Wildcards::NW_PROTO) && self.nw_proto != key.nw_proto {
+            return false;
+        }
+        if !ip_matches(self.nw_src, key.nw_src, w.nw_src_bits()) {
+            return false;
+        }
+        if !ip_matches(self.nw_dst, key.nw_dst, w.nw_dst_bits()) {
+            return false;
+        }
+        if !w.contains(Wildcards::TP_SRC) && self.tp_src != key.tp_src {
+            return false;
+        }
+        if !w.contains(Wildcards::TP_DST) && self.tp_dst != key.tp_dst {
+            return false;
+        }
+        true
+    }
+
+    /// Number of exactly matched fields; used by the flow table to break
+    /// priority ties in favor of more specific rules.
+    pub fn specificity(&self) -> u32 {
+        let w = self.wildcards;
+        let mut s = 0;
+        for flag in [
+            Wildcards::IN_PORT,
+            Wildcards::DL_VLAN,
+            Wildcards::DL_SRC,
+            Wildcards::DL_DST,
+            Wildcards::DL_TYPE,
+            Wildcards::NW_PROTO,
+            Wildcards::TP_SRC,
+            Wildcards::TP_DST,
+            Wildcards::DL_VLAN_PCP,
+            Wildcards::NW_TOS,
+        ] {
+            if !w.contains(flag) {
+                s += 1;
+            }
+        }
+        s += 32u32.saturating_sub(w.nw_src_bits());
+        s += 32u32.saturating_sub(w.nw_dst_bits());
+        s
+    }
+}
+
+impl fmt::Display for OfMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.wildcards.is_all() {
+            return write!(f, "match:any");
+        }
+        if self.wildcards.is_exact() {
+            return write!(
+                f,
+                "match:[{} {}:{} -> {}:{} @{}]",
+                self.nw_proto, self.nw_src, self.tp_src, self.nw_dst, self.tp_dst, self.in_port
+            );
+        }
+        write!(f, "match:[{} partial]", self.wildcards)
+    }
+}
+
+/// CIDR-style address comparison: ignore the `ignored_bits` low bits.
+fn ip_matches(pattern: Ipv4Addr, actual: Ipv4Addr, ignored_bits: u32) -> bool {
+    if ignored_bits >= 32 {
+        return true;
+    }
+    let mask = u32::MAX << ignored_bits;
+    (u32::from(pattern) & mask) == (u32::from(actual) & mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            4321,
+            Ipv4Addr::new(10, 0, 1, 2),
+            80,
+        )
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        let m = OfMatch::any();
+        assert!(m.matches(&key(), PortNo(1)));
+        assert!(m.matches(&key().reversed(), PortNo::LOCAL));
+        assert_eq!(m.specificity(), 0);
+    }
+
+    #[test]
+    fn exact_matches_only_same_key_and_port() {
+        let m = OfMatch::exact(&key(), PortNo(2));
+        assert!(m.matches(&key(), PortNo(2)));
+        assert!(!m.matches(&key(), PortNo(3)));
+        assert!(!m.matches(&key().reversed(), PortNo(2)));
+        let mut other = key();
+        other.tp_src += 1;
+        assert!(!m.matches(&other, PortNo(2)));
+    }
+
+    #[test]
+    fn exact_has_max_specificity() {
+        let m = OfMatch::exact(&key(), PortNo(2));
+        assert_eq!(m.specificity(), 10 + 64);
+    }
+
+    #[test]
+    fn dst_prefix_wildcard_matches_subnet_only() {
+        let m = OfMatch::ipv4_dst_prefix(Ipv4Addr::new(10, 0, 1, 0), 24);
+        assert!(m.matches(&key(), PortNo(9)), "in-subnet dst should match");
+        let mut outside = key();
+        outside.nw_dst = Ipv4Addr::new(10, 0, 2, 2);
+        assert!(!m.matches(&outside, PortNo(9)));
+        // EtherType is significant: an ARP packet must not match.
+        let mut arp = key();
+        arp.dl_type = ether_type::ARP;
+        assert!(!m.matches(&arp, PortNo(9)));
+    }
+
+    #[test]
+    fn prefix_specificity_counts_prefix_bits() {
+        let m24 = OfMatch::ipv4_dst_prefix(Ipv4Addr::new(10, 0, 1, 0), 24);
+        let m16 = OfMatch::ipv4_dst_prefix(Ipv4Addr::new(10, 0, 0, 0), 16);
+        assert!(m24.specificity() > m16.specificity());
+    }
+
+    #[test]
+    fn wildcard_bit_accessors_roundtrip() {
+        let w = Wildcards::NONE.with_nw_src_bits(8).with_nw_dst_bits(63);
+        assert_eq!(w.nw_src_bits(), 8);
+        assert_eq!(w.nw_dst_bits(), 63);
+        let w2 = w.with_nw_src_bits(99);
+        assert_eq!(w2.nw_src_bits(), 63, "bits clamp at 63");
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let k = key();
+        let r = k.reversed();
+        assert_eq!(r.nw_src, k.nw_dst);
+        assert_eq!(r.tp_dst, k.tp_src);
+        assert_eq!(r.reversed(), k);
+    }
+
+    #[test]
+    fn vlan_field_participates_when_unwildcarded() {
+        let mut m = OfMatch::exact(&key(), PortNo(1));
+        m.dl_vlan = VlanId(5);
+        assert!(!m.matches(&key(), PortNo(1)));
+        let mut tagged = key();
+        tagged.dl_vlan = VlanId(5);
+        assert!(m.matches(&tagged, PortNo(1)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(OfMatch::any().to_string(), "match:any");
+        let m = OfMatch::exact(&key(), PortNo(1));
+        assert!(m.to_string().contains("10.0.0.1:4321"));
+    }
+}

@@ -1,0 +1,1069 @@
+//! Binary wire codec with OpenFlow 1.0 layout.
+//!
+//! Every message is framed by the common 8-byte header
+//! `(version, type, length, xid)`. Structures follow the field layout of
+//! the OpenFlow 1.0 specification, so the codec interoperates at the byte
+//! level with standard tooling for the message subset implemented.
+//!
+//! ```
+//! use openflow::prelude::*;
+//! use openflow::wire;
+//!
+//! let msg = OfpMessage::EchoRequest(vec![1, 2, 3]);
+//! let bytes = wire::encode(&msg, Xid(7));
+//! let (decoded, xid, used) = wire::decode(&bytes)?;
+//! assert_eq!(decoded, msg);
+//! assert_eq!(xid, Xid(7));
+//! assert_eq!(used, bytes.len());
+//! # Ok::<(), openflow::error::DecodeError>(())
+//! ```
+
+use std::net::Ipv4Addr;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::actions::Action;
+use crate::error::DecodeError;
+use crate::match_fields::{OfMatch, Wildcards};
+use crate::messages::{
+    AggregateStats, ErrorMsg, FlowMod, FlowModCommand, FlowModFlags, FlowRemoved,
+    FlowRemovedReason, FlowStats, OfpMessage, PacketIn, PacketInReason, PacketOut, PhyPort,
+    PortReason, PortStats, PortStatus, StatsReply, StatsRequest, SwitchFeatures,
+};
+use crate::types::{BufferId, Cookie, DatapathId, IpProto, MacAddr, PortNo, VlanId, Xid};
+
+/// The protocol version byte for OpenFlow 1.0.
+pub const OFP_VERSION: u8 = 0x01;
+
+/// Size of the common message header.
+pub const HEADER_LEN: usize = 8;
+
+/// Size of the `ofp_match` structure.
+pub const MATCH_LEN: usize = 40;
+
+/// Encodes a message with the given transaction id into a framed byte
+/// buffer.
+pub fn encode(msg: &OfpMessage, xid: Xid) -> Bytes {
+    let mut body = BytesMut::new();
+    encode_body(msg, &mut body);
+    let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
+    out.put_u8(OFP_VERSION);
+    out.put_u8(msg.type_code());
+    out.put_u16((HEADER_LEN + body.len()) as u16);
+    out.put_u32(xid.0);
+    out.extend_from_slice(&body);
+    out.freeze()
+}
+
+/// Decodes one message from the front of `input`.
+///
+/// Returns the message, its transaction id, and the number of bytes
+/// consumed, so that callers can decode streams of back-to-back messages.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the input is truncated, has the wrong
+/// version, or contains an unknown type code or malformed structure.
+pub fn decode(input: &[u8]) -> Result<(OfpMessage, Xid, usize), DecodeError> {
+    if input.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            needed: HEADER_LEN,
+            available: input.len(),
+        });
+    }
+    let mut hdr = &input[..HEADER_LEN];
+    let version = hdr.get_u8();
+    if version != OFP_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let type_code = hdr.get_u8();
+    let length = hdr.get_u16() as usize;
+    let xid = Xid(hdr.get_u32());
+    if length < HEADER_LEN {
+        return Err(DecodeError::BadLength {
+            context: "header.length",
+            claimed: length,
+        });
+    }
+    if input.len() < length {
+        return Err(DecodeError::Truncated {
+            needed: length,
+            available: input.len(),
+        });
+    }
+    let body = &input[HEADER_LEN..length];
+    let msg = decode_body(type_code, body)?;
+    Ok((msg, xid, length))
+}
+
+fn encode_body(msg: &OfpMessage, buf: &mut BytesMut) {
+    match msg {
+        OfpMessage::Hello
+        | OfpMessage::FeaturesRequest
+        | OfpMessage::BarrierRequest
+        | OfpMessage::BarrierReply => {}
+        OfpMessage::EchoRequest(payload) | OfpMessage::EchoReply(payload) => {
+            buf.put_slice(payload);
+        }
+        OfpMessage::Error(e) => {
+            buf.put_u16(e.err_type);
+            buf.put_u16(e.code);
+            buf.put_slice(&e.data);
+        }
+        OfpMessage::FeaturesReply(features) => encode_features(features, buf),
+        OfpMessage::PacketIn(pi) => encode_packet_in(pi, buf),
+        OfpMessage::PacketOut(po) => encode_packet_out(po, buf),
+        OfpMessage::FlowMod(fm) => encode_flow_mod(fm, buf),
+        OfpMessage::FlowRemoved(fr) => encode_flow_removed(fr, buf),
+        OfpMessage::PortStatus(ps) => encode_port_status(ps, buf),
+        OfpMessage::StatsRequest(req) => encode_stats_request(req, buf),
+        OfpMessage::StatsReply(rep) => encode_stats_reply(rep, buf),
+    }
+}
+
+fn decode_body(type_code: u8, body: &[u8]) -> Result<OfpMessage, DecodeError> {
+    match type_code {
+        0 => Ok(OfpMessage::Hello),
+        1 => {
+            let mut b = body;
+            need(b, 4, "error")?;
+            let err_type = b.get_u16();
+            let code = b.get_u16();
+            Ok(OfpMessage::Error(ErrorMsg {
+                err_type,
+                code,
+                data: b.to_vec(),
+            }))
+        }
+        2 => Ok(OfpMessage::EchoRequest(body.to_vec())),
+        3 => Ok(OfpMessage::EchoReply(body.to_vec())),
+        5 => Ok(OfpMessage::FeaturesRequest),
+        6 => decode_features(body).map(OfpMessage::FeaturesReply),
+        10 => decode_packet_in(body).map(OfpMessage::PacketIn),
+        11 => decode_flow_removed(body).map(OfpMessage::FlowRemoved),
+        12 => decode_port_status(body).map(OfpMessage::PortStatus),
+        13 => decode_packet_out(body).map(OfpMessage::PacketOut),
+        14 => decode_flow_mod(body).map(OfpMessage::FlowMod),
+        16 => decode_stats_request(body).map(OfpMessage::StatsRequest),
+        17 => decode_stats_reply(body).map(OfpMessage::StatsReply),
+        18 => Ok(OfpMessage::BarrierRequest),
+        19 => Ok(OfpMessage::BarrierReply),
+        other => Err(DecodeError::UnknownMessageType(other)),
+    }
+}
+
+fn need(buf: &[u8], needed: usize, _context: &'static str) -> Result<(), DecodeError> {
+    if buf.remaining() < needed {
+        Err(DecodeError::Truncated {
+            needed,
+            available: buf.remaining(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- ofp_match
+
+/// Encodes an [`OfMatch`] (40 bytes).
+pub fn encode_match(m: &OfMatch, buf: &mut BytesMut) {
+    buf.put_u32(m.wildcards.0);
+    buf.put_u16(m.in_port.0);
+    buf.put_slice(&m.dl_src.0);
+    buf.put_slice(&m.dl_dst.0);
+    buf.put_u16(m.dl_vlan.0);
+    buf.put_u8(m.dl_vlan_pcp);
+    buf.put_u8(0); // pad
+    buf.put_u16(m.dl_type);
+    buf.put_u8(m.nw_tos);
+    buf.put_u8(m.nw_proto.0);
+    buf.put_u16(0); // pad
+    buf.put_u32(u32::from(m.nw_src));
+    buf.put_u32(u32::from(m.nw_dst));
+    buf.put_u16(m.tp_src);
+    buf.put_u16(m.tp_dst);
+}
+
+/// Decodes an [`OfMatch`] from the front of `buf`, advancing it.
+pub fn decode_match(buf: &mut &[u8]) -> Result<OfMatch, DecodeError> {
+    need(buf, MATCH_LEN, "match")?;
+    let wildcards = Wildcards(buf.get_u32());
+    let in_port = PortNo(buf.get_u16());
+    let mut dl_src = [0u8; 6];
+    let mut dl_dst = [0u8; 6];
+    buf.copy_to_slice(&mut dl_src);
+    buf.copy_to_slice(&mut dl_dst);
+    let dl_vlan = VlanId(buf.get_u16());
+    let dl_vlan_pcp = buf.get_u8();
+    buf.advance(1);
+    let dl_type = buf.get_u16();
+    let nw_tos = buf.get_u8();
+    let nw_proto = IpProto(buf.get_u8());
+    buf.advance(2);
+    let nw_src = Ipv4Addr::from(buf.get_u32());
+    let nw_dst = Ipv4Addr::from(buf.get_u32());
+    let tp_src = buf.get_u16();
+    let tp_dst = buf.get_u16();
+    Ok(OfMatch {
+        wildcards,
+        in_port,
+        dl_src: MacAddr(dl_src),
+        dl_dst: MacAddr(dl_dst),
+        dl_vlan,
+        dl_vlan_pcp,
+        dl_type,
+        nw_tos,
+        nw_proto,
+        nw_src,
+        nw_dst,
+        tp_src,
+        tp_dst,
+    })
+}
+
+// --------------------------------------------------------------- actions
+
+fn encode_action(a: &Action, buf: &mut BytesMut) {
+    buf.put_u16(a.type_code());
+    buf.put_u16(a.wire_len());
+    match *a {
+        Action::Output { port, max_len } => {
+            buf.put_u16(port.0);
+            buf.put_u16(max_len);
+        }
+        Action::SetVlanVid(v) => {
+            buf.put_u16(v.0);
+            buf.put_u16(0);
+        }
+        Action::SetVlanPcp(p) => {
+            buf.put_u8(p);
+            buf.put_slice(&[0; 3]);
+        }
+        Action::StripVlan => buf.put_u32(0),
+        Action::SetDlSrc(mac) | Action::SetDlDst(mac) => {
+            buf.put_slice(&mac.0);
+            buf.put_slice(&[0; 6]);
+        }
+        Action::SetNwSrc(ip) | Action::SetNwDst(ip) => buf.put_u32(u32::from(ip)),
+        Action::SetNwTos(t) => {
+            buf.put_u8(t);
+            buf.put_slice(&[0; 3]);
+        }
+        Action::SetTpSrc(p) | Action::SetTpDst(p) => {
+            buf.put_u16(p);
+            buf.put_u16(0);
+        }
+        Action::Enqueue { port, queue_id } => {
+            buf.put_u16(port.0);
+            buf.put_slice(&[0; 6]);
+            buf.put_u32(queue_id);
+        }
+    }
+}
+
+fn decode_action(buf: &mut &[u8]) -> Result<Action, DecodeError> {
+    need(buf, 4, "action header")?;
+    let type_code = buf.get_u16();
+    let len = buf.get_u16() as usize;
+    if len < 4 || !len.is_multiple_of(8) {
+        return Err(DecodeError::BadLength {
+            context: "action.len",
+            claimed: len,
+        });
+    }
+    let body_len = len - 4;
+    need(buf, body_len, "action body")?;
+    let mut body = &buf[..body_len];
+    buf.advance(body_len);
+    let action = match type_code {
+        0 => Action::Output {
+            port: PortNo(body.get_u16()),
+            max_len: body.get_u16(),
+        },
+        1 => Action::SetVlanVid(VlanId(body.get_u16())),
+        2 => Action::SetVlanPcp(body.get_u8()),
+        3 => Action::StripVlan,
+        4 | 5 => {
+            let mut mac = [0u8; 6];
+            body.copy_to_slice(&mut mac);
+            if type_code == 4 {
+                Action::SetDlSrc(MacAddr(mac))
+            } else {
+                Action::SetDlDst(MacAddr(mac))
+            }
+        }
+        6 => Action::SetNwSrc(Ipv4Addr::from(body.get_u32())),
+        7 => Action::SetNwDst(Ipv4Addr::from(body.get_u32())),
+        8 => Action::SetNwTos(body.get_u8()),
+        9 => Action::SetTpSrc(body.get_u16()),
+        10 => Action::SetTpDst(body.get_u16()),
+        11 => {
+            let port = PortNo(body.get_u16());
+            body.advance(6);
+            Action::Enqueue {
+                port,
+                queue_id: body.get_u32(),
+            }
+        }
+        other => return Err(DecodeError::UnknownActionType(other)),
+    };
+    Ok(action)
+}
+
+fn encode_actions(actions: &[Action], buf: &mut BytesMut) {
+    for a in actions {
+        encode_action(a, buf);
+    }
+}
+
+fn decode_actions(mut buf: &[u8]) -> Result<Vec<Action>, DecodeError> {
+    let mut actions = Vec::new();
+    while !buf.is_empty() {
+        actions.push(decode_action(&mut buf)?);
+    }
+    Ok(actions)
+}
+
+// --------------------------------------------------------------- packet_in
+
+fn encode_packet_in(pi: &PacketIn, buf: &mut BytesMut) {
+    buf.put_u32(pi.buffer_id.0);
+    buf.put_u16(pi.total_len);
+    buf.put_u16(pi.in_port.0);
+    buf.put_u8(match pi.reason {
+        PacketInReason::NoMatch => 0,
+        PacketInReason::Action => 1,
+    });
+    buf.put_u8(0); // pad
+    buf.put_slice(&pi.data);
+}
+
+fn decode_packet_in(mut body: &[u8]) -> Result<PacketIn, DecodeError> {
+    need(body, 10, "packet_in")?;
+    let buffer_id = BufferId(body.get_u32());
+    let total_len = body.get_u16();
+    let in_port = PortNo(body.get_u16());
+    let reason = match body.get_u8() {
+        0 => PacketInReason::NoMatch,
+        1 => PacketInReason::Action,
+        other => {
+            return Err(DecodeError::BadField {
+                context: "packet_in.reason",
+                value: other as u64,
+            })
+        }
+    };
+    body.advance(1);
+    Ok(PacketIn {
+        buffer_id,
+        total_len,
+        in_port,
+        reason,
+        data: body.to_vec(),
+    })
+}
+
+// -------------------------------------------------------------- packet_out
+
+fn encode_packet_out(po: &PacketOut, buf: &mut BytesMut) {
+    buf.put_u32(po.buffer_id.0);
+    buf.put_u16(po.in_port.0);
+    let actions_len: u16 = po.actions.iter().map(Action::wire_len).sum();
+    buf.put_u16(actions_len);
+    encode_actions(&po.actions, buf);
+    buf.put_slice(&po.data);
+}
+
+fn decode_packet_out(mut body: &[u8]) -> Result<PacketOut, DecodeError> {
+    need(body, 8, "packet_out")?;
+    let buffer_id = BufferId(body.get_u32());
+    let in_port = PortNo(body.get_u16());
+    let actions_len = body.get_u16() as usize;
+    need(body, actions_len, "packet_out.actions")?;
+    let actions = decode_actions(&body[..actions_len])?;
+    body.advance(actions_len);
+    Ok(PacketOut {
+        buffer_id,
+        in_port,
+        actions,
+        data: body.to_vec(),
+    })
+}
+
+// ---------------------------------------------------------------- flow_mod
+
+fn encode_flow_mod(fm: &FlowMod, buf: &mut BytesMut) {
+    encode_match(&fm.match_, buf);
+    buf.put_u64(fm.cookie.0);
+    buf.put_u16(match fm.command {
+        FlowModCommand::Add => 0,
+        FlowModCommand::Modify => 1,
+        FlowModCommand::ModifyStrict => 2,
+        FlowModCommand::Delete => 3,
+        FlowModCommand::DeleteStrict => 4,
+    });
+    buf.put_u16(fm.idle_timeout);
+    buf.put_u16(fm.hard_timeout);
+    buf.put_u16(fm.priority);
+    buf.put_u32(fm.buffer_id.0);
+    buf.put_u16(fm.out_port.0);
+    let mut flags = 0u16;
+    if fm.flags.send_flow_rem {
+        flags |= 1;
+    }
+    if fm.flags.check_overlap {
+        flags |= 2;
+    }
+    if fm.flags.emergency {
+        flags |= 4;
+    }
+    buf.put_u16(flags);
+    encode_actions(&fm.actions, buf);
+}
+
+fn decode_flow_mod(mut body: &[u8]) -> Result<FlowMod, DecodeError> {
+    let match_ = decode_match(&mut body)?;
+    need(body, 24, "flow_mod")?;
+    let cookie = Cookie(body.get_u64());
+    let command = match body.get_u16() {
+        0 => FlowModCommand::Add,
+        1 => FlowModCommand::Modify,
+        2 => FlowModCommand::ModifyStrict,
+        3 => FlowModCommand::Delete,
+        4 => FlowModCommand::DeleteStrict,
+        other => {
+            return Err(DecodeError::BadField {
+                context: "flow_mod.command",
+                value: other as u64,
+            })
+        }
+    };
+    let idle_timeout = body.get_u16();
+    let hard_timeout = body.get_u16();
+    let priority = body.get_u16();
+    let buffer_id = BufferId(body.get_u32());
+    let out_port = PortNo(body.get_u16());
+    let raw_flags = body.get_u16();
+    let actions = decode_actions(body)?;
+    Ok(FlowMod {
+        match_,
+        cookie,
+        command,
+        idle_timeout,
+        hard_timeout,
+        priority,
+        buffer_id,
+        out_port,
+        flags: FlowModFlags {
+            send_flow_rem: raw_flags & 1 != 0,
+            check_overlap: raw_flags & 2 != 0,
+            emergency: raw_flags & 4 != 0,
+        },
+        actions,
+    })
+}
+
+// ------------------------------------------------------------ flow_removed
+
+fn encode_flow_removed(fr: &FlowRemoved, buf: &mut BytesMut) {
+    encode_match(&fr.match_, buf);
+    buf.put_u64(fr.cookie.0);
+    buf.put_u16(fr.priority);
+    buf.put_u8(match fr.reason {
+        FlowRemovedReason::IdleTimeout => 0,
+        FlowRemovedReason::HardTimeout => 1,
+        FlowRemovedReason::Delete => 2,
+    });
+    buf.put_u8(0); // pad
+    buf.put_u32(fr.duration_sec);
+    buf.put_u32(fr.duration_nsec);
+    buf.put_u16(fr.idle_timeout);
+    buf.put_slice(&[0; 2]); // pad
+    buf.put_u64(fr.packet_count);
+    buf.put_u64(fr.byte_count);
+}
+
+fn decode_flow_removed(mut body: &[u8]) -> Result<FlowRemoved, DecodeError> {
+    let match_ = decode_match(&mut body)?;
+    need(body, 40, "flow_removed")?;
+    let cookie = Cookie(body.get_u64());
+    let priority = body.get_u16();
+    let reason = match body.get_u8() {
+        0 => FlowRemovedReason::IdleTimeout,
+        1 => FlowRemovedReason::HardTimeout,
+        2 => FlowRemovedReason::Delete,
+        other => {
+            return Err(DecodeError::BadField {
+                context: "flow_removed.reason",
+                value: other as u64,
+            })
+        }
+    };
+    body.advance(1);
+    let duration_sec = body.get_u32();
+    let duration_nsec = body.get_u32();
+    let idle_timeout = body.get_u16();
+    body.advance(2);
+    let packet_count = body.get_u64();
+    let byte_count = body.get_u64();
+    Ok(FlowRemoved {
+        match_,
+        cookie,
+        priority,
+        reason,
+        duration_sec,
+        duration_nsec,
+        idle_timeout,
+        packet_count,
+        byte_count,
+    })
+}
+
+// ---------------------------------------------------------------- features
+
+const PORT_NAME_LEN: usize = 16;
+
+fn encode_phy_port(p: &PhyPort, buf: &mut BytesMut) {
+    buf.put_u16(p.port_no.0);
+    buf.put_slice(&p.hw_addr.0);
+    let mut name = [0u8; PORT_NAME_LEN];
+    let bytes = p.name.as_bytes();
+    let n = bytes.len().min(PORT_NAME_LEN - 1);
+    name[..n].copy_from_slice(&bytes[..n]);
+    buf.put_slice(&name);
+    // config(4) + state(4): we encode only link state in the state word.
+    buf.put_u32(0);
+    buf.put_u32(if p.link_up { 0 } else { 1 }); // OFPPS_LINK_DOWN = 1 << 0
+    // curr/advertised/supported/peer feature words, unused.
+    buf.put_slice(&[0; 16]);
+}
+
+fn decode_phy_port(buf: &mut &[u8]) -> Result<PhyPort, DecodeError> {
+    need(buf, 48, "phy_port")?;
+    let port_no = PortNo(buf.get_u16());
+    let mut mac = [0u8; 6];
+    buf.copy_to_slice(&mut mac);
+    let mut name = [0u8; PORT_NAME_LEN];
+    buf.copy_to_slice(&mut name);
+    let end = name.iter().position(|&b| b == 0).unwrap_or(PORT_NAME_LEN);
+    let name = String::from_utf8_lossy(&name[..end]).into_owned();
+    let _config = buf.get_u32();
+    let state = buf.get_u32();
+    buf.advance(16);
+    Ok(PhyPort {
+        port_no,
+        hw_addr: MacAddr(mac),
+        name,
+        link_up: state & 1 == 0,
+    })
+}
+
+fn encode_features(f: &SwitchFeatures, buf: &mut BytesMut) {
+    buf.put_u64(f.datapath_id.0);
+    buf.put_u32(f.n_buffers);
+    buf.put_u8(f.n_tables);
+    buf.put_slice(&[0; 3]); // pad
+    buf.put_u32(0); // capabilities
+    buf.put_u32(0); // actions bitmap
+    for p in &f.ports {
+        encode_phy_port(p, buf);
+    }
+}
+
+fn decode_features(mut body: &[u8]) -> Result<SwitchFeatures, DecodeError> {
+    need(body, 24, "features_reply")?;
+    let datapath_id = DatapathId(body.get_u64());
+    let n_buffers = body.get_u32();
+    let n_tables = body.get_u8();
+    body.advance(3 + 4 + 4);
+    let mut ports = Vec::new();
+    while !body.is_empty() {
+        ports.push(decode_phy_port(&mut body)?);
+    }
+    Ok(SwitchFeatures {
+        datapath_id,
+        n_buffers,
+        n_tables,
+        ports,
+    })
+}
+
+// -------------------------------------------------------------- port_status
+
+fn encode_port_status(ps: &PortStatus, buf: &mut BytesMut) {
+    buf.put_u8(match ps.reason {
+        PortReason::Add => 0,
+        PortReason::Delete => 1,
+        PortReason::Modify => 2,
+    });
+    buf.put_slice(&[0; 7]); // pad
+    encode_phy_port(&ps.port, buf);
+}
+
+fn decode_port_status(mut body: &[u8]) -> Result<PortStatus, DecodeError> {
+    need(body, 8, "port_status")?;
+    let reason = match body.get_u8() {
+        0 => PortReason::Add,
+        1 => PortReason::Delete,
+        2 => PortReason::Modify,
+        other => {
+            return Err(DecodeError::BadField {
+                context: "port_status.reason",
+                value: other as u64,
+            })
+        }
+    };
+    body.advance(7);
+    let port = decode_phy_port(&mut body)?;
+    Ok(PortStatus { reason, port })
+}
+
+// -------------------------------------------------------------- statistics
+
+const STATS_FLOW: u16 = 1;
+const STATS_AGGREGATE: u16 = 2;
+const STATS_PORT: u16 = 4;
+
+fn encode_stats_request(req: &StatsRequest, buf: &mut BytesMut) {
+    match req {
+        StatsRequest::Flow { match_, out_port } => {
+            buf.put_u16(STATS_FLOW);
+            buf.put_u16(0); // flags
+            encode_match(match_, buf);
+            buf.put_u8(0xff); // table_id: all
+            buf.put_u8(0); // pad
+            buf.put_u16(out_port.0);
+        }
+        StatsRequest::Aggregate { match_, out_port } => {
+            buf.put_u16(STATS_AGGREGATE);
+            buf.put_u16(0);
+            encode_match(match_, buf);
+            buf.put_u8(0xff);
+            buf.put_u8(0);
+            buf.put_u16(out_port.0);
+        }
+        StatsRequest::Port { port_no } => {
+            buf.put_u16(STATS_PORT);
+            buf.put_u16(0);
+            buf.put_u16(port_no.0);
+            buf.put_slice(&[0; 6]);
+        }
+    }
+}
+
+fn decode_stats_request(mut body: &[u8]) -> Result<StatsRequest, DecodeError> {
+    need(body, 4, "stats_request")?;
+    let kind = body.get_u16();
+    let _flags = body.get_u16();
+    match kind {
+        STATS_FLOW | STATS_AGGREGATE => {
+            let match_ = decode_match(&mut body)?;
+            need(body, 4, "stats_request.flow")?;
+            body.advance(2);
+            let out_port = PortNo(body.get_u16());
+            Ok(if kind == STATS_FLOW {
+                StatsRequest::Flow { match_, out_port }
+            } else {
+                StatsRequest::Aggregate { match_, out_port }
+            })
+        }
+        STATS_PORT => {
+            need(body, 8, "stats_request.port")?;
+            let port_no = PortNo(body.get_u16());
+            Ok(StatsRequest::Port { port_no })
+        }
+        other => Err(DecodeError::BadField {
+            context: "stats_request.type",
+            value: other as u64,
+        }),
+    }
+}
+
+fn encode_stats_reply(rep: &StatsReply, buf: &mut BytesMut) {
+    match rep {
+        StatsReply::Flow(entries) => {
+            buf.put_u16(STATS_FLOW);
+            buf.put_u16(0);
+            for e in entries {
+                // length of this entry: 88 bytes fixed (no actions encoded).
+                buf.put_u16(88);
+                buf.put_u8(0); // table_id
+                buf.put_u8(0); // pad
+                encode_match(&e.match_, buf);
+                buf.put_u32(e.duration_sec);
+                buf.put_u32(0); // duration_nsec
+                buf.put_u16(e.priority);
+                buf.put_u16(e.idle_timeout);
+                buf.put_u16(e.hard_timeout);
+                buf.put_slice(&[0; 6]); // pad
+                buf.put_u64(e.cookie.0);
+                buf.put_u64(e.packet_count);
+                buf.put_u64(e.byte_count);
+            }
+        }
+        StatsReply::Aggregate(agg) => {
+            buf.put_u16(STATS_AGGREGATE);
+            buf.put_u16(0);
+            buf.put_u64(agg.packet_count);
+            buf.put_u64(agg.byte_count);
+            buf.put_u32(agg.flow_count);
+            buf.put_u32(0); // pad
+        }
+        StatsReply::Port(ports) => {
+            buf.put_u16(STATS_PORT);
+            buf.put_u16(0);
+            for p in ports {
+                buf.put_u16(p.port_no.0);
+                buf.put_slice(&[0; 6]);
+                buf.put_u64(p.rx_packets);
+                buf.put_u64(p.tx_packets);
+                buf.put_u64(p.rx_bytes);
+                buf.put_u64(p.tx_bytes);
+                buf.put_u64(p.rx_dropped);
+                buf.put_u64(p.tx_dropped);
+            }
+        }
+    }
+}
+
+fn decode_stats_reply(mut body: &[u8]) -> Result<StatsReply, DecodeError> {
+    need(body, 4, "stats_reply")?;
+    let kind = body.get_u16();
+    let _flags = body.get_u16();
+    match kind {
+        STATS_FLOW => {
+            let mut entries = Vec::new();
+            while !body.is_empty() {
+                need(body, 88, "stats_reply.flow_entry")?;
+                let len = body.get_u16() as usize;
+                if len != 88 {
+                    return Err(DecodeError::BadLength {
+                        context: "stats_reply.flow_entry.len",
+                        claimed: len,
+                    });
+                }
+                body.advance(2);
+                let match_ = decode_match(&mut body)?;
+                let duration_sec = body.get_u32();
+                let _dnsec = body.get_u32();
+                let priority = body.get_u16();
+                let idle_timeout = body.get_u16();
+                let hard_timeout = body.get_u16();
+                body.advance(6);
+                let cookie = Cookie(body.get_u64());
+                let packet_count = body.get_u64();
+                let byte_count = body.get_u64();
+                entries.push(FlowStats {
+                    match_,
+                    priority,
+                    duration_sec,
+                    idle_timeout,
+                    hard_timeout,
+                    cookie,
+                    packet_count,
+                    byte_count,
+                });
+            }
+            Ok(StatsReply::Flow(entries))
+        }
+        STATS_AGGREGATE => {
+            need(body, 24, "stats_reply.aggregate")?;
+            let packet_count = body.get_u64();
+            let byte_count = body.get_u64();
+            let flow_count = body.get_u32();
+            Ok(StatsReply::Aggregate(AggregateStats {
+                packet_count,
+                byte_count,
+                flow_count,
+            }))
+        }
+        STATS_PORT => {
+            let mut ports = Vec::new();
+            while !body.is_empty() {
+                need(body, 56, "stats_reply.port_entry")?;
+                let port_no = PortNo(body.get_u16());
+                body.advance(6);
+                ports.push(PortStats {
+                    port_no,
+                    rx_packets: body.get_u64(),
+                    tx_packets: body.get_u64(),
+                    rx_bytes: body.get_u64(),
+                    tx_bytes: body.get_u64(),
+                    rx_dropped: body.get_u64(),
+                    tx_dropped: body.get_u64(),
+                });
+            }
+            Ok(StatsReply::Port(ports))
+        }
+        other => Err(DecodeError::BadField {
+            context: "stats_reply.type",
+            value: other as u64,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::match_fields::FlowKey;
+
+    fn sample_key() -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 1, 2, 3),
+            40000,
+            Ipv4Addr::new(10, 4, 5, 6),
+            443,
+        )
+    }
+
+    fn roundtrip(msg: OfpMessage) {
+        let bytes = encode(&msg, Xid(99));
+        let (decoded, xid, used) = decode(&bytes).expect("decode");
+        assert_eq!(decoded, msg);
+        assert_eq!(xid, Xid(99));
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn roundtrip_bodyless_messages() {
+        roundtrip(OfpMessage::Hello);
+        roundtrip(OfpMessage::FeaturesRequest);
+        roundtrip(OfpMessage::BarrierRequest);
+        roundtrip(OfpMessage::BarrierReply);
+    }
+
+    #[test]
+    fn roundtrip_echo() {
+        roundtrip(OfpMessage::EchoRequest(vec![0xde, 0xad]));
+        roundtrip(OfpMessage::EchoReply(vec![]));
+    }
+
+    #[test]
+    fn roundtrip_error() {
+        roundtrip(OfpMessage::Error(ErrorMsg::table_full()));
+        roundtrip(OfpMessage::Error(ErrorMsg {
+            err_type: 2,
+            code: 5,
+            data: vec![1, 2, 3, 4],
+        }));
+        assert!(ErrorMsg::table_full().is_table_full());
+    }
+
+    #[test]
+    fn roundtrip_packet_in_with_frame() {
+        let frame = crate::frame::build_frame(&sample_key(), 96);
+        roundtrip(OfpMessage::PacketIn(PacketIn {
+            buffer_id: BufferId(1234),
+            total_len: 96,
+            in_port: PortNo(7),
+            reason: PacketInReason::NoMatch,
+            data: frame.to_vec(),
+        }));
+    }
+
+    #[test]
+    fn roundtrip_packet_out() {
+        roundtrip(OfpMessage::PacketOut(PacketOut {
+            buffer_id: BufferId::NO_BUFFER,
+            in_port: PortNo(3),
+            actions: vec![Action::output(PortNo(5)), Action::SetNwTos(8)],
+            data: vec![1, 2, 3, 4],
+        }));
+    }
+
+    #[test]
+    fn roundtrip_flow_mod_all_commands() {
+        for command in [
+            FlowModCommand::Add,
+            FlowModCommand::Modify,
+            FlowModCommand::ModifyStrict,
+            FlowModCommand::Delete,
+            FlowModCommand::DeleteStrict,
+        ] {
+            let mut fm = FlowMod::add(OfMatch::exact(&sample_key(), PortNo(1)), 17)
+                .idle_timeout(5)
+                .hard_timeout(30)
+                .cookie(Cookie(0xfeed))
+                .action(Action::output(PortNo(2)));
+            fm.command = command;
+            roundtrip(OfpMessage::FlowMod(fm));
+        }
+    }
+
+    #[test]
+    fn roundtrip_flow_mod_every_action_kind() {
+        let mut fm = FlowMod::add(OfMatch::any(), 1);
+        fm.actions = vec![
+            Action::Output {
+                port: PortNo::CONTROLLER,
+                max_len: 128,
+            },
+            Action::SetVlanVid(VlanId(99)),
+            Action::SetVlanPcp(5),
+            Action::StripVlan,
+            Action::SetDlSrc(MacAddr::from_u64(1)),
+            Action::SetDlDst(MacAddr::from_u64(2)),
+            Action::SetNwSrc(Ipv4Addr::new(1, 2, 3, 4)),
+            Action::SetNwDst(Ipv4Addr::new(5, 6, 7, 8)),
+            Action::SetNwTos(16),
+            Action::SetTpSrc(8080),
+            Action::SetTpDst(9090),
+            Action::Enqueue {
+                port: PortNo(4),
+                queue_id: 2,
+            },
+        ];
+        roundtrip(OfpMessage::FlowMod(fm));
+    }
+
+    #[test]
+    fn roundtrip_flow_removed() {
+        roundtrip(OfpMessage::FlowRemoved(FlowRemoved {
+            match_: OfMatch::exact(&sample_key(), PortNo(2)),
+            cookie: Cookie(42),
+            priority: 100,
+            reason: FlowRemovedReason::IdleTimeout,
+            duration_sec: 12,
+            duration_nsec: 345_678,
+            idle_timeout: 5,
+            packet_count: 1000,
+            byte_count: 1_500_000,
+        }));
+    }
+
+    #[test]
+    fn roundtrip_features_reply() {
+        roundtrip(OfpMessage::FeaturesReply(SwitchFeatures {
+            datapath_id: DatapathId(0xaabb),
+            n_buffers: 256,
+            n_tables: 1,
+            ports: vec![
+                PhyPort {
+                    port_no: PortNo(1),
+                    hw_addr: MacAddr::from_u64(11),
+                    name: "eth1".to_owned(),
+                    link_up: true,
+                },
+                PhyPort {
+                    port_no: PortNo(2),
+                    hw_addr: MacAddr::from_u64(12),
+                    name: "eth2".to_owned(),
+                    link_up: false,
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn roundtrip_port_status() {
+        roundtrip(OfpMessage::PortStatus(PortStatus {
+            reason: PortReason::Modify,
+            port: PhyPort {
+                port_no: PortNo(9),
+                hw_addr: MacAddr::from_u64(9),
+                name: "tor-uplink".to_owned(),
+                link_up: false,
+            },
+        }));
+    }
+
+    #[test]
+    fn roundtrip_stats_messages() {
+        roundtrip(OfpMessage::StatsRequest(StatsRequest::Flow {
+            match_: OfMatch::any(),
+            out_port: PortNo::NONE,
+        }));
+        roundtrip(OfpMessage::StatsRequest(StatsRequest::Aggregate {
+            match_: OfMatch::exact(&sample_key(), PortNo(1)),
+            out_port: PortNo(3),
+        }));
+        roundtrip(OfpMessage::StatsRequest(StatsRequest::Port {
+            port_no: PortNo::NONE,
+        }));
+        roundtrip(OfpMessage::StatsReply(StatsReply::Flow(vec![FlowStats {
+            match_: OfMatch::exact(&sample_key(), PortNo(1)),
+            priority: 5,
+            duration_sec: 30,
+            idle_timeout: 5,
+            hard_timeout: 0,
+            cookie: Cookie(77),
+            packet_count: 10,
+            byte_count: 10_000,
+        }])));
+        roundtrip(OfpMessage::StatsReply(StatsReply::Aggregate(
+            AggregateStats {
+                packet_count: 5,
+                byte_count: 500,
+                flow_count: 2,
+            },
+        )));
+        roundtrip(OfpMessage::StatsReply(StatsReply::Port(vec![PortStats {
+            port_no: PortNo(1),
+            rx_packets: 1,
+            tx_packets: 2,
+            rx_bytes: 3,
+            tx_bytes: 4,
+            rx_dropped: 5,
+            tx_dropped: 6,
+        }])));
+    }
+
+    #[test]
+    fn decode_stream_of_messages() {
+        let a = encode(&OfpMessage::Hello, Xid(1));
+        let b = encode(&OfpMessage::EchoRequest(vec![7]), Xid(2));
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+        let (m1, x1, used1) = decode(&stream).unwrap();
+        assert_eq!(m1, OfpMessage::Hello);
+        assert_eq!(x1, Xid(1));
+        let (m2, x2, used2) = decode(&stream[used1..]).unwrap();
+        assert_eq!(m2, OfpMessage::EchoRequest(vec![7]));
+        assert_eq!(x2, Xid(2));
+        assert_eq!(used1 + used2, stream.len());
+    }
+
+    #[test]
+    fn decode_rejects_bad_version() {
+        let mut bytes = encode(&OfpMessage::Hello, Xid(0)).to_vec();
+        bytes[0] = 4; // OpenFlow 1.3
+        assert_eq!(decode(&bytes).unwrap_err(), DecodeError::BadVersion(4));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_type() {
+        let mut bytes = encode(&OfpMessage::Hello, Xid(0)).to_vec();
+        bytes[1] = 200;
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            DecodeError::UnknownMessageType(200)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = encode(
+            &OfpMessage::FlowMod(FlowMod::add(OfMatch::any(), 1)),
+            Xid(0),
+        );
+        for cut in [0, 4, HEADER_LEN + 3, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    decode(&bytes[..cut]).unwrap_err(),
+                    DecodeError::Truncated { .. }
+                ),
+                "cut at {cut} should report truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn header_length_is_total_message_length() {
+        let msg = OfpMessage::EchoRequest(vec![0; 10]);
+        let bytes = encode(&msg, Xid(0));
+        let claimed = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+        assert_eq!(claimed, bytes.len());
+        assert_eq!(claimed, HEADER_LEN + 10);
+    }
+}

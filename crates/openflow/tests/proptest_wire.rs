@@ -1,0 +1,188 @@
+//! Property-based tests for the wire codec, frame codec, and flow table.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use openflow::actions::Action;
+use openflow::flow_table::FlowTable;
+use openflow::frame;
+use openflow::match_fields::{FlowKey, OfMatch, Wildcards};
+use openflow::messages::{
+    FlowMod, FlowRemoved, FlowRemovedReason, OfpMessage, PacketIn, PacketInReason,
+};
+use openflow::types::{BufferId, Cookie, IpProto, MacAddr, PortNo, Timestamp, VlanId, Xid};
+use openflow::wire;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_flow_key() -> impl Strategy<Value = FlowKey> {
+    (
+        arb_ip(),
+        any::<u16>(),
+        arb_ip(),
+        any::<u16>(),
+        prop_oneof![Just(IpProto::TCP), Just(IpProto::UDP), Just(IpProto::ICMP)],
+    )
+        .prop_map(|(src, sport, dst, dport, proto)| {
+            FlowKey::with_proto(proto, src, sport, dst, dport)
+        })
+}
+
+fn arb_match() -> impl Strategy<Value = OfMatch> {
+    (arb_flow_key(), any::<u16>(), any::<u32>()).prop_map(|(key, port, wild)| {
+        let mut m = OfMatch::exact(&key, PortNo(port));
+        m.wildcards = Wildcards(wild & Wildcards::ALL.0);
+        m
+    })
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<u16>()).prop_map(|(p, l)| Action::Output {
+                port: PortNo(p),
+                max_len: l
+            }),
+            any::<u16>().prop_map(|v| Action::SetVlanVid(VlanId(v))),
+            (0u8..8).prop_map(Action::SetVlanPcp),
+            Just(Action::StripVlan),
+            arb_mac().prop_map(Action::SetDlSrc),
+            arb_mac().prop_map(Action::SetDlDst),
+            arb_ip().prop_map(Action::SetNwSrc),
+            arb_ip().prop_map(Action::SetNwDst),
+            any::<u8>().prop_map(Action::SetNwTos),
+            any::<u16>().prop_map(Action::SetTpSrc),
+            any::<u16>().prop_map(Action::SetTpDst),
+            (any::<u16>(), any::<u32>()).prop_map(|(p, q)| Action::Enqueue {
+                port: PortNo(p),
+                queue_id: q
+            }),
+        ],
+        0..6,
+    )
+}
+
+proptest! {
+    #[test]
+    fn wire_roundtrip_flow_mod(m in arb_match(), actions in arb_actions(),
+                               prio in any::<u16>(), idle in any::<u16>(),
+                               hard in any::<u16>(), cookie in any::<u64>(),
+                               xid in any::<u32>()) {
+        let mut fm = FlowMod::add(m, prio)
+            .idle_timeout(idle)
+            .hard_timeout(hard)
+            .cookie(Cookie(cookie));
+        fm.actions = actions;
+        let msg = OfpMessage::FlowMod(fm);
+        let bytes = wire::encode(&msg, Xid(xid));
+        let (decoded, got_xid, used) = wire::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(got_xid, Xid(xid));
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn wire_roundtrip_packet_in(key in arb_flow_key(), port in any::<u16>(),
+                                total in 62u16..1500, buffered in any::<bool>()) {
+        let data = frame::build_frame(&key, total as usize).to_vec();
+        let msg = OfpMessage::PacketIn(PacketIn {
+            buffer_id: if buffered { BufferId(1) } else { BufferId::NO_BUFFER },
+            total_len: total,
+            in_port: PortNo(port),
+            reason: PacketInReason::NoMatch,
+            data,
+        });
+        let bytes = wire::encode(&msg, Xid(0));
+        let (decoded, _, _) = wire::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn wire_roundtrip_flow_removed(m in arb_match(), pkts in any::<u64>(),
+                                   bytes_count in any::<u64>(), dur in any::<u32>()) {
+        let msg = OfpMessage::FlowRemoved(FlowRemoved {
+            match_: m,
+            cookie: Cookie(9),
+            priority: 1,
+            reason: FlowRemovedReason::IdleTimeout,
+            duration_sec: dur,
+            duration_nsec: 0,
+            idle_timeout: 5,
+            packet_count: pkts,
+            byte_count: bytes_count,
+        });
+        let encoded = wire::encode(&msg, Xid(3));
+        let (decoded, _, _) = wire::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn frame_roundtrip(key in arb_flow_key(), len in 0usize..2000) {
+        let bytes = frame::build_frame(&key, len);
+        let parsed = frame::parse_frame(&bytes).unwrap();
+        prop_assert_eq!(parsed, key);
+    }
+
+    #[test]
+    fn decode_never_panics_on_noise(noise in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode(&noise);
+    }
+
+    #[test]
+    fn decode_never_panics_on_corrupted_valid_message(
+        m in arb_match(), flip_at in any::<usize>(), flip_bits in any::<u8>()) {
+        let msg = OfpMessage::FlowMod(FlowMod::add(m, 5));
+        let mut bytes = wire::encode(&msg, Xid(1)).to_vec();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= flip_bits;
+        let _ = wire::decode(&bytes);
+    }
+
+    #[test]
+    fn exact_match_always_matches_own_key(key in arb_flow_key(), port in 1u16..1000) {
+        let m = OfMatch::exact(&key, PortNo(port));
+        prop_assert!(m.matches(&key, PortNo(port)));
+        prop_assert!(!m.matches(&key, PortNo(port + 1000)));
+    }
+
+    #[test]
+    fn table_lookup_agrees_with_match_packet(keys in prop::collection::vec(arb_flow_key(), 1..20)) {
+        let mut table = FlowTable::new();
+        let now = Timestamp::ZERO;
+        for key in &keys {
+            let fm = FlowMod::add(OfMatch::exact(key, PortNo(1)), 1)
+                .idle_timeout(5)
+                .action(Action::output(PortNo(2)));
+            table.apply(&fm, now).unwrap();
+        }
+        for key in &keys {
+            let found = table.lookup(key, PortNo(1)).is_some();
+            let matched = table.match_packet(key, PortNo(1), 1, now).is_some();
+            prop_assert_eq!(found, matched);
+            prop_assert!(found);
+        }
+    }
+
+    #[test]
+    fn expiry_is_monotone(idle in 1u16..30, activity_ms in 0u64..60_000) {
+        // An entry active at time A with idle timeout I must still be
+        // installed at any time < A + I and gone at any time >= A + I.
+        let key = FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2);
+        let mut table = FlowTable::new();
+        let fm = FlowMod::add(OfMatch::exact(&key, PortNo(1)), 1).idle_timeout(idle);
+        table.apply(&fm, Timestamp::ZERO).unwrap();
+        let active_at = Timestamp::from_millis(activity_ms);
+        table.match_packet(&key, PortNo(1), 1, active_at);
+        let deadline = active_at + u64::from(idle) * 1_000_000;
+        prop_assert!(table.expire(Timestamp(deadline.0 - 1)).is_empty());
+        prop_assert_eq!(table.expire(deadline).len(), 1);
+        prop_assert!(table.is_empty());
+    }
+}

@@ -1,0 +1,400 @@
+//! Multi-tier application models.
+//!
+//! Reproduces the deployments of Section V: Petstore, RUBiS, RUBBoS
+//! (three-tier), osCommerce (two-tier), and the custom three-tier
+//! application used for the robustness case studies, with configurable
+//! request workloads and connection-reuse behavior.
+//!
+//! A [`MultiTierApp`] reacts to request deliveries: a request reaching a
+//! tier host triggers, after that tier's processing delay, a request to a
+//! host of the next tier — unless the connection to the next tier is
+//! *reused*, in which case no new flow appears (flow-based switches only
+//! report new flows, so reuse hides dependent requests from the
+//! controller, exactly as discussed in Section V-B).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netsim::apps::{AppCtx, AppLogic};
+use netsim::engine::Simulation;
+use netsim::flows::{DeliveredFlow, FlowSpec};
+use openflow::match_fields::FlowKey;
+use openflow::types::Timestamp;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::arrival::{log_normal, ArrivalProcess};
+
+/// Allocator of ephemeral source ports, shared across workload generators
+/// so concurrent flows get distinct 5-tuples.
+#[derive(Debug, Clone)]
+pub struct PortAlloc {
+    next: u16,
+}
+
+impl Default for PortAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PortAlloc {
+    /// Starts allocating at the bottom of the ephemeral range.
+    pub fn new() -> PortAlloc {
+        PortAlloc { next: 10_000 }
+    }
+
+    /// Returns the next ephemeral port, cycling through 10000..60000.
+    pub fn next_port(&mut self) -> u16 {
+        let p = self.next;
+        self.next = if self.next >= 59_999 {
+            10_000
+        } else {
+            self.next + 1
+        };
+        p
+    }
+}
+
+/// Configuration of one application tier.
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    /// Tier label (e.g. `web`, `app`, `db`).
+    pub name: String,
+    /// Hosts serving this tier.
+    pub hosts: Vec<Ipv4Addr>,
+    /// Service port this tier listens on.
+    pub port: u16,
+    /// Intrinsic request processing delay before contacting the next
+    /// tier, microseconds.
+    pub proc_delay_us: u64,
+    /// Probability that a request to the next tier reuses an existing
+    /// connection (and therefore creates no observable flow).
+    pub reuse_prob: f64,
+    /// Per-upstream-source reuse overrides: the paper's `R(m, n)` varies
+    /// reuse by which web server the request came through.
+    pub reuse_by_source: HashMap<Ipv4Addr, f64>,
+    /// Selection weights over the next tier's hosts (empty = uniform).
+    pub next_weights: Vec<f64>,
+    /// Mean bytes of requests this tier sends to the next tier.
+    pub request_bytes: u64,
+}
+
+impl TierConfig {
+    /// A tier with uniform next-tier selection and no reuse.
+    pub fn new(name: &str, hosts: Vec<Ipv4Addr>, port: u16, proc_delay_us: u64) -> TierConfig {
+        TierConfig {
+            name: name.to_owned(),
+            hosts,
+            port,
+            proc_delay_us,
+            reuse_prob: 0.0,
+            reuse_by_source: HashMap::new(),
+            next_weights: Vec::new(),
+            request_bytes: 4_096,
+        }
+    }
+
+    fn reuse_for(&self, source: Ipv4Addr) -> f64 {
+        self.reuse_by_source
+            .get(&source)
+            .copied()
+            .unwrap_or(self.reuse_prob)
+    }
+}
+
+/// A chain of tiers forming one application group.
+///
+/// Tier 0 is the entry tier (where client requests land); each request at
+/// tier `i` triggers at most one request to tier `i + 1`.
+#[derive(Debug, Clone)]
+pub struct MultiTierApp {
+    /// Application name, for reports.
+    pub name: String,
+    tiers: Vec<TierConfig>,
+    ports: PortAlloc,
+}
+
+impl MultiTierApp {
+    /// Creates an application from its tier chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty or any tier has no hosts.
+    pub fn new(name: &str, tiers: Vec<TierConfig>) -> MultiTierApp {
+        assert!(!tiers.is_empty(), "an application needs at least one tier");
+        assert!(
+            tiers.iter().all(|t| !t.hosts.is_empty()),
+            "every tier needs at least one host"
+        );
+        MultiTierApp {
+            name: name.to_owned(),
+            tiers,
+            ports: PortAlloc::new(),
+        }
+    }
+
+    /// The tier configurations.
+    pub fn tiers(&self) -> &[TierConfig] {
+        &self.tiers
+    }
+
+    /// The entry (client-facing) hosts and port.
+    pub fn entry(&self) -> (&[Ipv4Addr], u16) {
+        (&self.tiers[0].hosts, self.tiers[0].port)
+    }
+
+    fn tier_of(&self, ip: Ipv4Addr, port: u16) -> Option<usize> {
+        self.tiers
+            .iter()
+            .position(|t| t.port == port && t.hosts.contains(&ip))
+    }
+}
+
+/// Weighted index choice; uniform when `weights` is empty or mismatched.
+fn choose_weighted(rng: &mut StdRng, n: usize, weights: &[f64]) -> usize {
+    if n == 1 {
+        return 0;
+    }
+    if weights.len() != n || weights.iter().any(|w| *w < 0.0) {
+        return rng.gen_range(0..n);
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..n);
+    }
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// Samples a request size around `mean` (log-normal, 30 % dispersion).
+fn request_size(rng: &mut StdRng, mean: u64) -> u64 {
+    log_normal(rng, mean as f64, mean as f64 * 0.3).max(64.0) as u64
+}
+
+/// Transmission duration of a request of `bytes` bytes at ~1 Gbps.
+fn transfer_duration_us(bytes: u64) -> u64 {
+    (bytes / 125).max(1_000)
+}
+
+impl AppLogic for MultiTierApp {
+    fn on_flow_delivered(&mut self, flow: &DeliveredFlow, ctx: &mut AppCtx<'_>) {
+        let key = flow.spec.key;
+        let Some(tier_idx) = self.tier_of(key.nw_dst, key.tp_dst) else {
+            return;
+        };
+        if tier_idx + 1 >= self.tiers.len() {
+            return; // last tier: request chain ends here
+        }
+        let (reuse, proc_delay, req_mean) = {
+            let tier = &self.tiers[tier_idx];
+            (
+                tier.reuse_for(key.nw_src),
+                tier.proc_delay_us,
+                tier.request_bytes,
+            )
+        };
+        if ctx.rng().gen::<f64>() < reuse {
+            // Connection reused: the dependent request rides an existing
+            // TCP connection and triggers no PacketIn anywhere.
+            return;
+        }
+        let next_idx = {
+            let tier = &self.tiers[tier_idx];
+            let next = &self.tiers[tier_idx + 1];
+            choose_weighted(ctx.rng(), next.hosts.len(), &tier.next_weights)
+        };
+        let next = &self.tiers[tier_idx + 1];
+        let dst = next.hosts[next_idx];
+        let dport = next.port;
+        let sport = self.ports.next_port();
+        let bytes = request_size(ctx.rng(), req_mean);
+        let spec = FlowSpec::new(
+            FlowKey::tcp(key.nw_dst, sport, dst, dport),
+            bytes,
+            transfer_duration_us(bytes),
+        );
+        ctx.schedule_flow_after(proc_delay, spec);
+    }
+}
+
+/// A client-side request generator for one application entry point.
+#[derive(Debug, Clone)]
+pub struct ClientWorkload {
+    /// Client host IP.
+    pub client: Ipv4Addr,
+    /// Entry hosts (web servers) requests are sent to.
+    pub entry_hosts: Vec<Ipv4Addr>,
+    /// Entry port.
+    pub entry_port: u16,
+    /// Request arrival process.
+    pub process: ArrivalProcess,
+    /// Mean request size in bytes.
+    pub request_bytes: u64,
+}
+
+impl ClientWorkload {
+    /// Schedules this workload's requests on the simulation over
+    /// `[start, end)`. Returns the number of requests scheduled.
+    pub fn schedule(
+        &self,
+        sim: &mut Simulation,
+        rng: &mut StdRng,
+        ports: &mut PortAlloc,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> usize {
+        let arrivals = self.process.sample(rng, start, end);
+        let n = arrivals.len();
+        for (i, at) in arrivals.into_iter().enumerate() {
+            let dst = self.entry_hosts[i % self.entry_hosts.len()];
+            let bytes = request_size(rng, self.request_bytes);
+            let key = FlowKey::tcp(self.client, ports.next_port(), dst, self.entry_port);
+            sim.schedule_flow(at, FlowSpec::new(key, bytes, transfer_duration_us(bytes)));
+        }
+        n
+    }
+}
+
+/// Named application templates matching the paper's deployments.
+pub mod templates {
+    use super::*;
+
+    /// Standard tier ports.
+    pub mod ports {
+        /// Web tier (HTTP).
+        pub const WEB: u16 = 80;
+        /// Application tier (JBoss/Tomcat AJP-ish).
+        pub const APP: u16 = 8080;
+        /// Database tier (MySQL).
+        pub const DB: u16 = 3306;
+        /// Database replication (master to slave).
+        pub const DB_SLAVE: u16 = 3307;
+    }
+
+    /// Builds a classic three-tier application: `web -> app -> db`, with
+    /// an optional replication slave behind the database.
+    pub fn three_tier(
+        name: &str,
+        web: Vec<Ipv4Addr>,
+        app: Vec<Ipv4Addr>,
+        db: Vec<Ipv4Addr>,
+        slave: Option<Ipv4Addr>,
+    ) -> MultiTierApp {
+        let mut tiers = vec![
+            TierConfig {
+                request_bytes: 4_096,
+                ..TierConfig::new("web", web, ports::WEB, 10_000)
+            },
+            TierConfig {
+                request_bytes: 8_192,
+                ..TierConfig::new("app", app, ports::APP, 60_000)
+            },
+        ];
+        let mut db_tier = TierConfig::new("db", db, ports::DB, 20_000);
+        db_tier.request_bytes = 8_192;
+        tiers.push(db_tier);
+        if let Some(s) = slave {
+            tiers.push(TierConfig::new("db-slave", vec![s], ports::DB_SLAVE, 5_000));
+        }
+        MultiTierApp::new(name, tiers)
+    }
+
+    /// A two-tier merchant application (osCommerce): `web -> db`.
+    pub fn two_tier(name: &str, web: Vec<Ipv4Addr>, db: Vec<Ipv4Addr>) -> MultiTierApp {
+        MultiTierApp::new(
+            name,
+            vec![
+                TierConfig {
+                    request_bytes: 6_144,
+                    ..TierConfig::new("web", web, ports::WEB, 15_000)
+                },
+                TierConfig::new("db", db, ports::DB, 20_000),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 9, 0, last)
+    }
+
+    #[test]
+    fn port_alloc_cycles_in_ephemeral_range() {
+        let mut p = PortAlloc::new();
+        let first = p.next_port();
+        assert_eq!(first, 10_000);
+        for _ in 0..60_000 {
+            let port = p.next_port();
+            assert!((10_000..60_000).contains(&port));
+        }
+    }
+
+    #[test]
+    fn tier_lookup_requires_ip_and_port() {
+        let app = templates::three_tier("t", vec![ip(1)], vec![ip(2)], vec![ip(3)], None);
+        assert_eq!(app.tier_of(ip(1), 80), Some(0));
+        assert_eq!(app.tier_of(ip(2), 8080), Some(1));
+        assert_eq!(app.tier_of(ip(1), 8080), None);
+        assert_eq!(app.tier_of(ip(9), 80), None);
+    }
+
+    #[test]
+    fn three_tier_with_slave_has_four_tiers() {
+        let app =
+            templates::three_tier("rubis", vec![ip(1)], vec![ip(2)], vec![ip(3)], Some(ip(4)));
+        assert_eq!(app.tiers().len(), 4);
+        assert_eq!(app.tiers()[3].port, templates::ports::DB_SLAVE);
+        let (entry, port) = app.entry();
+        assert_eq!(entry, &[ip(1)]);
+        assert_eq!(port, 80);
+    }
+
+    #[test]
+    fn reuse_override_by_source() {
+        let mut tier = TierConfig::new("app", vec![ip(2)], 8080, 1_000);
+        tier.reuse_prob = 0.1;
+        tier.reuse_by_source.insert(ip(1), 0.9);
+        assert_eq!(tier.reuse_for(ip(1)), 0.9);
+        assert_eq!(tier.reuse_for(ip(7)), 0.1);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [0.9, 0.1];
+        let picks: Vec<usize> = (0..1000).map(|_| choose_weighted(&mut rng, 2, &weights)).collect();
+        let zeros = picks.iter().filter(|&&i| i == 0).count();
+        assert!((850..950).contains(&zeros), "90% weight got {zeros}/1000");
+        // degenerate cases fall back to uniform / only choice
+        assert_eq!(choose_weighted(&mut rng, 1, &[]), 0);
+        let u = choose_weighted(&mut rng, 3, &[1.0]); // mismatched length
+        assert!(u < 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn empty_app_rejected() {
+        let _ = MultiTierApp::new("x", vec![]);
+    }
+
+    #[test]
+    fn request_sizes_positive_and_near_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sizes: Vec<u64> = (0..5000).map(|_| request_size(&mut rng, 8_192)).collect();
+        assert!(sizes.iter().all(|&s| s >= 64));
+        let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+        assert!((7_000.0..9_500.0).contains(&mean), "mean {mean}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Traffic arrival processes.
+//!
+//! The paper drives its lab experiments with Poisson request workloads
+//! (`P(x, y)` in Section V-B) and its scalability simulation with ON/OFF
+//! traffic whose ON and OFF periods are log-normal with mean 100 ms and
+//! standard deviation 30 ms, following Benson et al.'s measurement study.
+
+use openflow::types::Timestamp;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An inter-arrival process for request generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals with the given mean inter-arrival gap.
+    Poisson {
+        /// Mean gap between requests, microseconds.
+        mean_gap_us: u64,
+    },
+    /// Fixed-rate arrivals.
+    Constant {
+        /// Gap between requests, microseconds.
+        gap_us: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `rate` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn poisson_per_sec(rate: f64) -> ArrivalProcess {
+        assert!(rate > 0.0, "rate must be positive");
+        ArrivalProcess::Poisson {
+            mean_gap_us: (1e6 / rate) as u64,
+        }
+    }
+
+    /// Samples the arrival times in `[start, end)`.
+    pub fn sample(&self, rng: &mut StdRng, start: Timestamp, end: Timestamp) -> Vec<Timestamp> {
+        let mut out = Vec::new();
+        let mut t = start;
+        loop {
+            let gap = match *self {
+                ArrivalProcess::Poisson { mean_gap_us } => {
+                    exponential(rng, mean_gap_us.max(1) as f64) as u64
+                }
+                ArrivalProcess::Constant { gap_us } => gap_us.max(1),
+            };
+            t = t + gap;
+            if t >= end {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+}
+
+/// The ON/OFF process of Section V-C: alternating log-normal ON and OFF
+/// periods; each ON period carries one flow lasting the whole period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnOffProcess {
+    /// Mean of the ON and OFF period lengths, microseconds.
+    pub mean_us: f64,
+    /// Standard deviation of the period lengths, microseconds.
+    pub std_us: f64,
+}
+
+impl Default for OnOffProcess {
+    /// The paper's parameters: mean 100 ms, standard deviation 30 ms.
+    fn default() -> Self {
+        OnOffProcess {
+            mean_us: 100_000.0,
+            std_us: 30_000.0,
+        }
+    }
+}
+
+impl OnOffProcess {
+    /// Samples `(flow start, flow duration)` pairs covering `[start, end)`.
+    pub fn sample(
+        &self,
+        rng: &mut StdRng,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Vec<(Timestamp, u64)> {
+        let mut out = Vec::new();
+        let mut t = start;
+        // Random initial phase: start inside an OFF period.
+        t = t + (log_normal(rng, self.mean_us, self.std_us) as u64 / 2);
+        while t < end {
+            let on = log_normal(rng, self.mean_us, self.std_us) as u64;
+            out.push((t, on.max(1_000)));
+            let off = log_normal(rng, self.mean_us, self.std_us) as u64;
+            t = t + on + off.max(1);
+        }
+        out
+    }
+}
+
+/// Draws from Exp(mean).
+pub fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    -mean * u.ln()
+}
+
+/// Draws from a log-normal distribution parameterized by the mean and
+/// standard deviation of the *resulting* variable (not of its log).
+pub fn log_normal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let var_ratio = (std / mean).powi(2);
+    let sigma2 = (1.0 + var_ratio).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    let z = standard_normal(rng);
+    (mu + sigma2.sqrt() * z).exp()
+}
+
+/// Draws from N(0, 1) by Box–Muller.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut r = rng();
+        let p = ArrivalProcess::poisson_per_sec(100.0);
+        let arrivals = p.sample(&mut r, Timestamp::ZERO, Timestamp::from_secs(60));
+        let per_sec = arrivals.len() as f64 / 60.0;
+        assert!(
+            (80.0..120.0).contains(&per_sec),
+            "100/s requested, got {per_sec}/s"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_range() {
+        let mut r = rng();
+        let p = ArrivalProcess::poisson_per_sec(500.0);
+        let start = Timestamp::from_secs(5);
+        let end = Timestamp::from_secs(6);
+        let arrivals = p.sample(&mut r, start, end);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arrivals.iter().all(|&t| t >= start && t < end));
+    }
+
+    #[test]
+    fn constant_process_is_evenly_spaced() {
+        let mut r = rng();
+        let p = ArrivalProcess::Constant { gap_us: 10_000 };
+        let arrivals = p.sample(&mut r, Timestamp::ZERO, Timestamp::from_millis(100));
+        assert_eq!(arrivals.len(), 9);
+        assert!(arrivals
+            .windows(2)
+            .all(|w| w[1].as_micros() - w[0].as_micros() == 10_000));
+    }
+
+    #[test]
+    fn log_normal_matches_requested_moments() {
+        let mut r = rng();
+        let draws: Vec<f64> = (0..20_000)
+            .map(|_| log_normal(&mut r, 100_000.0, 30_000.0))
+            .collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var =
+            draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (draws.len() - 1) as f64;
+        let std = var.sqrt();
+        assert!((95_000.0..105_000.0).contains(&mean), "mean {mean}");
+        assert!((27_000.0..33_000.0).contains(&std), "std {std}");
+        assert!(draws.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn onoff_periods_average_half_duty_cycle() {
+        let mut r = rng();
+        let p = OnOffProcess::default();
+        let flows = p.sample(&mut r, Timestamp::ZERO, Timestamp::from_secs(100));
+        // mean cycle = 200 ms -> ~500 flows in 100 s
+        assert!(
+            (380..620).contains(&flows.len()),
+            "expected ~500 ON periods, got {}",
+            flows.len()
+        );
+        let mean_on =
+            flows.iter().map(|(_, d)| *d).sum::<u64>() as f64 / flows.len() as f64;
+        assert!((80_000.0..120_000.0).contains(&mean_on), "mean ON {mean_on}");
+    }
+
+    #[test]
+    fn onoff_flows_do_not_overlap() {
+        let mut r = rng();
+        let p = OnOffProcess::default();
+        let flows = p.sample(&mut r, Timestamp::ZERO, Timestamp::from_secs(20));
+        for w in flows.windows(2) {
+            let (t0, d0) = w[0];
+            let (t1, _) = w[1];
+            assert!(t0 + d0 <= t1, "ON periods must not overlap");
+        }
+    }
+
+    #[test]
+    fn exponential_is_positive_with_requested_mean() {
+        let mut r = rng();
+        let draws: Vec<f64> = (0..20_000).map(|_| exponential(&mut r, 50.0)).collect();
+        assert!(draws.iter().all(|&x| x >= 0.0));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((47.0..53.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = ArrivalProcess::poisson_per_sec(0.0);
+    }
+}

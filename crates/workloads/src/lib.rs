@@ -1,0 +1,46 @@
+//! Workload generation for the FlowDiff reproduction: multi-tier
+//! applications, request arrival processes, special-purpose service
+//! nodes, operator task flow sequences, and scenario composition.
+//!
+//! The paper exercises FlowDiff with retail/auction/bulletin-board
+//! three-tier applications under Poisson workloads (lab), VM lifecycle
+//! tasks (lab and EC2), and ON/OFF mesh traffic on a 320-server tree
+//! (simulation). This crate generates all of them against the `netsim`
+//! simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::prelude::*;
+//!
+//! let mut topo = Topology::lab();
+//! let (catalog, _) = install_services(&mut topo, "of7");
+//! let web = topo.host_ip(topo.node_by_name("S13").unwrap());
+//!
+//! let mut scenario = Scenario::new(
+//!     topo,
+//!     42,
+//!     Timestamp::from_secs(1),
+//!     Timestamp::from_secs(11),
+//! );
+//! scenario.services(catalog);
+//! // ... add apps, clients, tasks, faults, then:
+//! let result = scenario.run();
+//! assert!(result.stats.flows_dead == 0);
+//! ```
+
+pub mod apps;
+pub mod arrival;
+pub mod scenario;
+pub mod services;
+pub mod tasks;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::apps::{templates, ClientWorkload, MultiTierApp, PortAlloc, TierConfig};
+    pub use crate::arrival::{ArrivalProcess, OnOffProcess};
+    pub use crate::scenario::{OnOffMesh, Scenario, ScenarioResult};
+    pub use crate::services::{install_services, ports as service_ports, ServiceCatalog};
+    pub use crate::tasks::{generate_flows, TaskKind, VmImage};
+    pub use netsim::prelude::*;
+}

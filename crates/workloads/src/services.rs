@@ -1,0 +1,123 @@
+//! Special-purpose data center service nodes.
+//!
+//! FlowDiff uses domain knowledge to mark special-purpose nodes (network
+//! storage, DNS, DHCP, NTP, software repositories) so that application
+//! groups connected only through them are not merged into one (Section
+//! III-B). This module installs those services into a topology and hands
+//! out the "domain knowledge" IP list.
+
+use std::net::Ipv4Addr;
+
+use netsim::topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Well-known service ports used by workloads and operator tasks.
+pub mod ports {
+    /// DNS.
+    pub const DNS: u16 = 53;
+    /// DHCP server side.
+    pub const DHCP: u16 = 67;
+    /// NTP.
+    pub const NTP: u16 = 123;
+    /// NetBIOS name service.
+    pub const NETBIOS: u16 = 137;
+    /// Sun RPC portmapper (NFS mount prelude).
+    pub const PORTMAP: u16 = 111;
+    /// NFS mount daemon.
+    pub const MOUNTD: u16 = 635;
+    /// NFS.
+    pub const NFS: u16 = 2049;
+    /// Software repository / update server (HTTP).
+    pub const REPO: u16 = 80;
+    /// Live-migration channel used by the hypervisor (Figure 4).
+    pub const MIGRATION: u16 = 8002;
+}
+
+/// The directory of installed service nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceCatalog {
+    /// NFS server (VM images, shared storage).
+    pub nfs: Ipv4Addr,
+    /// DNS server.
+    pub dns: Ipv4Addr,
+    /// DHCP server.
+    pub dhcp: Ipv4Addr,
+    /// NTP server.
+    pub ntp: Ipv4Addr,
+    /// Software repository / update server.
+    pub repo: Ipv4Addr,
+}
+
+impl ServiceCatalog {
+    /// The IPs FlowDiff should treat as special-purpose nodes.
+    pub fn special_ips(&self) -> Vec<Ipv4Addr> {
+        vec![self.nfs, self.dns, self.dhcp, self.ntp, self.repo]
+    }
+}
+
+/// Adds the five service hosts to `topo`, attached to the named switch,
+/// and returns the catalog plus the created node ids.
+///
+/// # Panics
+///
+/// Panics if `attach_to` does not name a switch in the topology.
+pub fn install_services(topo: &mut Topology, attach_to: &str) -> (ServiceCatalog, Vec<NodeId>) {
+    let sw = topo
+        .node_by_name(attach_to)
+        .unwrap_or_else(|| panic!("no such switch: {attach_to}"));
+    assert!(
+        topo.node(sw).is_switch(),
+        "services must attach to a switch"
+    );
+    let defs = [
+        ("nfs", Ipv4Addr::new(10, 200, 0, 1)),
+        ("dns", Ipv4Addr::new(10, 200, 0, 2)),
+        ("dhcp", Ipv4Addr::new(10, 200, 0, 3)),
+        ("ntp", Ipv4Addr::new(10, 200, 0, 4)),
+        ("repo", Ipv4Addr::new(10, 200, 0, 5)),
+    ];
+    let mut nodes = Vec::new();
+    for (name, ip) in defs {
+        let n = topo.add_host(name, ip);
+        topo.connect(n, sw, 50, 1_000_000_000);
+        nodes.push(n);
+    }
+    let catalog = ServiceCatalog {
+        nfs: defs[0].1,
+        dns: defs[1].1,
+        dhcp: defs[2].1,
+        ntp: defs[3].1,
+        repo: defs[4].1,
+    };
+    (catalog, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_into_lab_topology() {
+        let mut t = Topology::lab();
+        let before = t.hosts().count();
+        let (catalog, nodes) = install_services(&mut t, "of7");
+        assert_eq!(t.hosts().count(), before + 5);
+        assert_eq!(nodes.len(), 5);
+        assert_eq!(t.host_by_ip(catalog.nfs), Some(nodes[0]));
+        assert_eq!(catalog.special_ips().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such switch")]
+    fn unknown_switch_rejected() {
+        let mut t = Topology::lab();
+        let _ = install_services(&mut t, "of99");
+    }
+
+    #[test]
+    #[should_panic(expected = "must attach to a switch")]
+    fn attaching_to_host_rejected() {
+        let mut t = Topology::lab();
+        let _ = install_services(&mut t, "S1");
+    }
+}

@@ -1,0 +1,421 @@
+//! Operator task flow-sequence generators.
+//!
+//! Each operational task (VM migration, VM startup, …) produces a
+//! characteristic sequence of network flows with realistic run-to-run
+//! variation: optional steps, repeated steps, timing jitter, and —
+//! crucially for Table III — *shared optional behavior* across Amazon
+//! AMI image variants that makes masked task automata occasionally match
+//! the wrong VM, while a Ubuntu image never matches an AMI automaton.
+
+use std::net::Ipv4Addr;
+
+use netsim::flows::FlowSpec;
+use openflow::match_fields::FlowKey;
+use openflow::types::Timestamp;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::services::{ports, ServiceCatalog};
+
+/// A VM disk image; determines the startup flow sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmImage {
+    /// An Amazon-Linux-style image; the variant index picks its
+    /// image-specific marker behavior. Variants share a base OS, so
+    /// masked automata of different variants occasionally cross-match.
+    AmazonAmi(u8),
+    /// A Ubuntu image with a distinct startup sequence.
+    Ubuntu,
+}
+
+/// An operator task to perform on the data center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Boot a VM (Table III / the EC2 experiment).
+    VmStartup {
+        /// The VM's IP.
+        vm: Ipv4Addr,
+        /// Its disk image.
+        image: VmImage,
+    },
+    /// Shut a VM down.
+    VmStop {
+        /// The VM's IP.
+        vm: Ipv4Addr,
+    },
+    /// Live-migrate a VM from one physical host to another (Figure 4).
+    VmMigration {
+        /// Source physical host.
+        src_host: Ipv4Addr,
+        /// Destination physical host.
+        dst_host: Ipv4Addr,
+    },
+    /// Mount the shared network storage on a host.
+    MountNfs {
+        /// The mounting host.
+        host: Ipv4Addr,
+    },
+    /// Unmount the shared network storage.
+    UnmountNfs {
+        /// The unmounting host.
+        host: Ipv4Addr,
+    },
+}
+
+impl TaskKind {
+    /// Short name for reports and task time series.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskKind::VmStartup { .. } => "vm_startup",
+            TaskKind::VmStop { .. } => "vm_stop",
+            TaskKind::VmMigration { .. } => "vm_migration",
+            TaskKind::MountNfs { .. } => "mount_nfs",
+            TaskKind::UnmountNfs { .. } => "unmount_nfs",
+        }
+    }
+}
+
+/// Generates the flow sequence of one run of `task` starting at `start`.
+///
+/// Every run differs slightly: steps jitter in time, optional steps come
+/// and go, and some steps repeat — the variation the task-signature miner
+/// must be robust to (Section III-D).
+pub fn generate_flows(
+    task: &TaskKind,
+    services: &ServiceCatalog,
+    start: Timestamp,
+    rng: &mut StdRng,
+) -> Vec<(Timestamp, FlowSpec)> {
+    let mut seq = SeqBuilder::new(start, rng);
+    match *task {
+        TaskKind::VmStartup { vm, image } => startup_sequence(&mut seq, vm, image, services),
+        TaskKind::VmStop { vm } => {
+            seq.flow(vm, ports::NFS, services.nfs, 16_384); // final state sync
+            seq.reply(services.nfs, ports::NFS, vm, 4_096);
+            seq.flow(vm, ports::DNS, services.dns, 256); // deregistration
+        }
+        TaskKind::VmMigration { src_host, dst_host } => {
+            // Figure 4: update image at NFS (a, b; possibly repeated),
+            // migration handshake on 8002 (c, d), state transfer, then
+            // the destination syncs with NFS (e, f).
+            let updates = seq.rng.gen_range(1..=3);
+            for _ in 0..updates {
+                seq.flow(src_host, ports::NFS, services.nfs, 65_536);
+                seq.reply(services.nfs, ports::NFS, src_host, 8_192);
+            }
+            seq.fixed_port_flow(src_host, ports::MIGRATION, dst_host, ports::MIGRATION, 4_096);
+            seq.fixed_port_flow(dst_host, ports::MIGRATION, src_host, ports::MIGRATION, 1_024);
+            let syncs = seq.rng.gen_range(1..=2);
+            for _ in 0..syncs {
+                seq.flow(dst_host, ports::NFS, services.nfs, 32_768);
+                seq.reply(services.nfs, ports::NFS, dst_host, 8_192);
+            }
+        }
+        TaskKind::MountNfs { host } => {
+            seq.flow(host, ports::PORTMAP, services.nfs, 256);
+            seq.flow(host, ports::MOUNTD, services.nfs, 512);
+            seq.flow(host, ports::NFS, services.nfs, 1_024);
+        }
+        TaskKind::UnmountNfs { host } => {
+            seq.flow(host, ports::NFS, services.nfs, 512);
+            seq.flow(host, ports::MOUNTD, services.nfs, 256);
+        }
+    }
+    seq.out
+}
+
+/// Probability an AMI variant emits *another* variant's marker (shared
+/// base-OS behavior) — the source of masked false positives in Table III.
+const MARKER_CROSS_PROB: f64 = 0.08;
+/// Probability a startup step stalls beyond the 1-second interleave
+/// bound (cloud-init/apt hangs); the source of sub-100% true positives.
+const STARTUP_STALL_PROB: f64 = 0.05;
+/// Number of modeled AMI variants.
+pub const AMI_VARIANTS: u8 = 4;
+/// Base port of the AMI variant marker flows.
+const MARKER_PORT_BASE: u16 = 8440;
+
+fn startup_sequence(seq: &mut SeqBuilder<'_>, vm: Ipv4Addr, image: VmImage, sv: &ServiceCatalog) {
+    seq.stall_prob = STARTUP_STALL_PROB;
+    // Common boot prologue for every OS.
+    seq.flow(vm, ports::DHCP, sv.dhcp, 590);
+    match image {
+        VmImage::AmazonAmi(variant) => {
+            let dns_lookups = seq.rng.gen_range(1..=2);
+            for _ in 0..dns_lookups {
+                seq.flow(vm, ports::DNS, sv.dns, 128);
+            }
+            seq.flow(vm, ports::NTP, sv.ntp, 90);
+            seq.flow(vm, ports::REPO, sv.repo, 24_576); // yum metadata
+            // Variant markers: the image always fetches its own variant
+            // package; sibling AMI variants occasionally fetch it too
+            // (shared base-OS behavior).
+            for v in 0..AMI_VARIANTS {
+                let own = v == variant % AMI_VARIANTS;
+                if own || seq.rng.gen::<f64>() < MARKER_CROSS_PROB {
+                    seq.flow(vm, MARKER_PORT_BASE + v as u16, sv.repo, 2_048);
+                }
+            }
+        }
+        VmImage::Ubuntu => {
+            seq.flow(vm, ports::DNS, sv.dns, 128);
+            seq.flow(vm, ports::NETBIOS, sv.dns, 256); // avahi/netbios probe
+            seq.flow(vm, ports::NTP, sv.ntp, 90);
+            seq.flow(vm, ports::REPO, sv.repo, 48_128); // apt update
+            seq.flow(vm, ports::REPO, sv.repo, 16_384); // apt lists, second fetch
+        }
+    }
+}
+
+/// Builds a jittered flow sequence.
+struct SeqBuilder<'a> {
+    t: Timestamp,
+    rng: &'a mut StdRng,
+    eph: u16,
+    /// Probability that a step stalls for over a second.
+    stall_prob: f64,
+    out: Vec<(Timestamp, FlowSpec)>,
+}
+
+impl<'a> SeqBuilder<'a> {
+    fn new(start: Timestamp, rng: &'a mut StdRng) -> SeqBuilder<'a> {
+        let eph = rng.gen_range(20_000..50_000);
+        SeqBuilder {
+            t: start,
+            rng,
+            eph,
+            stall_prob: 0.0,
+            out: Vec::new(),
+        }
+    }
+
+    fn step(&mut self) -> Timestamp {
+        // 20-120 ms between consecutive task steps, with an occasional
+        // stall past the 1 s interleave bound.
+        if self.stall_prob > 0.0 && self.rng.gen::<f64>() < self.stall_prob {
+            self.t = self.t + self.rng.gen_range(1_200_000..2_000_000);
+        } else {
+            self.t = self.t + self.rng.gen_range(20_000..120_000);
+        }
+        self.t
+    }
+
+    fn next_eph(&mut self) -> u16 {
+        self.eph = if self.eph >= 59_999 { 20_000 } else { self.eph + 1 };
+        self.eph
+    }
+
+    /// A flow from an ephemeral port on `src` to `dst:dport`.
+    fn flow(&mut self, src: Ipv4Addr, dport: u16, dst: Ipv4Addr, bytes: u64) {
+        let at = self.step();
+        let sport = self.next_eph();
+        let key = FlowKey::tcp(src, sport, dst, dport);
+        self.out
+            .push((at, FlowSpec::new(key, bytes, (bytes / 125).max(1_000))));
+    }
+
+    /// A reply flow from a *fixed* source port (e.g. NFS 2049) to an
+    /// ephemeral destination port.
+    fn reply(&mut self, src: Ipv4Addr, sport: u16, dst: Ipv4Addr, bytes: u64) {
+        let at = self.step();
+        let dport = self.next_eph();
+        let key = FlowKey::tcp(src, sport, dst, dport);
+        self.out
+            .push((at, FlowSpec::new(key, bytes, (bytes / 125).max(1_000))));
+    }
+
+    /// A flow with both ports fixed (e.g. the 8002<->8002 migration
+    /// channel of Figure 4).
+    fn fixed_port_flow(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        bytes: u64,
+    ) {
+        let at = self.step();
+        let key = FlowKey::tcp(src, sport, dst, dport);
+        self.out
+            .push((at, FlowSpec::new(key, bytes, (bytes / 125).max(1_000))));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn catalog() -> ServiceCatalog {
+        ServiceCatalog {
+            nfs: Ipv4Addr::new(10, 200, 0, 1),
+            dns: Ipv4Addr::new(10, 200, 0, 2),
+            dhcp: Ipv4Addr::new(10, 200, 0, 3),
+            ntp: Ipv4Addr::new(10, 200, 0, 4),
+            repo: Ipv4Addr::new(10, 200, 0, 5),
+        }
+    }
+
+    fn vm() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 10, 1)
+    }
+
+    #[test]
+    fn startup_begins_with_dhcp_and_is_time_ordered() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let flows = generate_flows(
+            &TaskKind::VmStartup {
+                vm: vm(),
+                image: VmImage::AmazonAmi(0),
+            },
+            &catalog(),
+            Timestamp::from_secs(10),
+            &mut rng,
+        );
+        assert!(flows.len() >= 4);
+        assert_eq!(flows[0].1.key.tp_dst, ports::DHCP);
+        assert!(flows.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(flows.iter().all(|(t, _)| *t > Timestamp::from_secs(10)));
+    }
+
+    #[test]
+    fn ami_variants_differ_from_ubuntu() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ami = generate_flows(
+            &TaskKind::VmStartup {
+                vm: vm(),
+                image: VmImage::AmazonAmi(1),
+            },
+            &catalog(),
+            Timestamp::ZERO,
+            &mut rng,
+        );
+        let ubuntu = generate_flows(
+            &TaskKind::VmStartup {
+                vm: vm(),
+                image: VmImage::Ubuntu,
+            },
+            &catalog(),
+            Timestamp::ZERO,
+            &mut rng,
+        );
+        let ports_of = |v: &[(Timestamp, FlowSpec)]| -> Vec<u16> {
+            v.iter().map(|(_, f)| f.key.tp_dst).collect()
+        };
+        assert!(ports_of(&ubuntu).contains(&ports::NETBIOS));
+        assert!(!ports_of(&ami).contains(&ports::NETBIOS));
+        // Ubuntu never emits AMI markers.
+        assert!(ports_of(&ubuntu)
+            .iter()
+            .all(|p| !(MARKER_PORT_BASE..MARKER_PORT_BASE + AMI_VARIANTS as u16).contains(p)));
+    }
+
+    #[test]
+    fn ami_always_emits_own_marker_and_rarely_others() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let runs = 200;
+        let mut cross = 0;
+        for _ in 0..runs {
+            let flows = generate_flows(
+                &TaskKind::VmStartup {
+                    vm: vm(),
+                    image: VmImage::AmazonAmi(2),
+                },
+                &catalog(),
+                Timestamp::ZERO,
+                &mut rng,
+            );
+            assert!(
+                flows
+                    .iter()
+                    .any(|(_, f)| f.key.tp_dst == MARKER_PORT_BASE + 2),
+                "own marker must be present in every run"
+            );
+            if flows
+                .iter()
+                .any(|(_, f)| f.key.tp_dst == MARKER_PORT_BASE) // variant 0's marker
+            {
+                cross += 1;
+            }
+        }
+        assert!(
+            cross > 2 && cross < runs / 4,
+            "cross markers should be occasional: {cross}/{runs}"
+        );
+    }
+
+    #[test]
+    fn migration_contains_8002_handshake_and_nfs_sync() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 2);
+        let flows = generate_flows(
+            &TaskKind::VmMigration {
+                src_host: a,
+                dst_host: b,
+            },
+            &catalog(),
+            Timestamp::ZERO,
+            &mut rng,
+        );
+        let has = |pred: &dyn Fn(&FlowSpec) -> bool| flows.iter().any(|(_, f)| pred(f));
+        assert!(has(&|f| f.key.tp_src == ports::MIGRATION
+            && f.key.tp_dst == ports::MIGRATION
+            && f.key.nw_src == a));
+        assert!(has(&|f| f.key.nw_src == b && f.key.tp_dst == ports::NFS));
+        assert!(has(&|f| f.key.tp_src == ports::NFS));
+        // Handshake (a -> b on 8002) precedes destination's NFS sync.
+        let hs = flows
+            .iter()
+            .position(|(_, f)| f.key.tp_src == ports::MIGRATION && f.key.nw_src == a)
+            .unwrap();
+        let sync = flows
+            .iter()
+            .position(|(_, f)| f.key.nw_src == b && f.key.tp_dst == ports::NFS)
+            .unwrap();
+        assert!(hs < sync);
+    }
+
+    #[test]
+    fn mount_and_unmount_have_distinct_orders() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let h = vm();
+        let mount = generate_flows(&TaskKind::MountNfs { host: h }, &catalog(), Timestamp::ZERO, &mut rng);
+        let umount =
+            generate_flows(&TaskKind::UnmountNfs { host: h }, &catalog(), Timestamp::ZERO, &mut rng);
+        let mp: Vec<u16> = mount.iter().map(|(_, f)| f.key.tp_dst).collect();
+        let up: Vec<u16> = umount.iter().map(|(_, f)| f.key.tp_dst).collect();
+        assert_eq!(mp, vec![ports::PORTMAP, ports::MOUNTD, ports::NFS]);
+        assert_eq!(up, vec![ports::NFS, ports::MOUNTD]);
+    }
+
+    #[test]
+    fn runs_vary_but_share_structure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = TaskKind::VmMigration {
+            src_host: Ipv4Addr::new(10, 0, 0, 1),
+            dst_host: Ipv4Addr::new(10, 0, 0, 2),
+        };
+        let lens: Vec<usize> = (0..50)
+            .map(|_| generate_flows(&t, &catalog(), Timestamp::ZERO, &mut rng).len())
+            .collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        assert!(min >= 6, "even the shortest run has the mandatory steps");
+        assert!(max > min, "runs must vary in length");
+    }
+
+    #[test]
+    fn task_names_are_stable() {
+        assert_eq!(
+            TaskKind::VmStartup {
+                vm: vm(),
+                image: VmImage::Ubuntu
+            }
+            .name(),
+            "vm_startup"
+        );
+        assert_eq!(TaskKind::MountNfs { host: vm() }.name(), "mount_nfs");
+    }
+}

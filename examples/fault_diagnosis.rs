@@ -1,0 +1,141 @@
+//! Fault diagnosis tour: injects the operational problems of Table I one
+//! by one and prints, for each, the signatures that changed and the
+//! inferred problem class.
+//!
+//! Run with: `cargo run --example fault_diagnosis`
+
+use std::collections::BTreeSet;
+
+use flowdiff::prelude::*;
+use netsim::prelude::*;
+use workloads::prelude::*;
+
+struct Lab {
+    topo: Topology,
+    catalog: ServiceCatalog,
+    config: FlowDiffConfig,
+}
+
+impl Lab {
+    fn new() -> Lab {
+        let mut topo = Topology::lab();
+        let (catalog, _) = install_services(&mut topo, "of7");
+        let config = FlowDiffConfig::default().with_special_ips(catalog.special_ips());
+        Lab {
+            topo,
+            catalog,
+            config,
+        }
+    }
+
+    fn ip(&self, n: &str) -> std::net::Ipv4Addr {
+        self.topo.host_ip(self.topo.node_by_name(n).unwrap())
+    }
+
+    fn node(&self, n: &str) -> NodeId {
+        self.topo.node_by_name(n).unwrap()
+    }
+
+    fn capture(&self, seed: u64, fault: Option<Fault>) -> ControllerLog {
+        let mut sc = Scenario::new(
+            self.topo.clone(),
+            seed,
+            Timestamp::from_secs(1),
+            Timestamp::from_secs(61),
+        );
+        sc.services(self.catalog.clone())
+            .app(templates::three_tier(
+                "webshop",
+                vec![self.ip("S13")],
+                vec![self.ip("S4")],
+                vec![self.ip("S14")],
+                None,
+            ))
+            .client(ClientWorkload {
+                client: self.ip("S25"),
+                entry_hosts: vec![self.ip("S13")],
+                entry_port: 80,
+                process: ArrivalProcess::poisson_per_sec(10.0),
+                request_bytes: 2_048,
+            });
+        if let Some(f) = fault {
+            sc.fault(Timestamp::ZERO, f);
+        }
+        sc.run().log
+    }
+}
+
+fn main() {
+    let lab = Lab::new();
+
+    // Baseline model from a healthy capture.
+    let l1 = lab.capture(1, None);
+    let baseline = BehaviorModel::build(&l1, &lab.config);
+    let stability = analyze(&l1, &baseline, &lab.config);
+
+    let backbone = lab
+        .topo
+        .link_between(lab.node("of1"), lab.node("of7"))
+        .unwrap();
+    let faults: Vec<(&str, Fault)> = vec![
+        (
+            "#1 misconfigured INFO logging on the app server",
+            Fault::HostSlowdown {
+                host: lab.node("S4"),
+                extra_us: 120_000,
+            },
+        ),
+        (
+            "#2 packet loss on the web-app path (tc)",
+            Fault::LinkLoss {
+                link: backbone,
+                rate: 0.05,
+            },
+        ),
+        (
+            "#4 application crash on the app server",
+            Fault::AppCrash {
+                host: lab.node("S4"),
+                port: 8080,
+            },
+        ),
+        (
+            "#5 host shutdown (database server)",
+            Fault::HostDown {
+                host: lab.node("S14"),
+            },
+        ),
+        (
+            "#6 firewall blocks the database port",
+            Fault::PortBlock {
+                host: lab.node("S14"),
+                port: 3306,
+            },
+        ),
+        (
+            "controller overload",
+            Fault::ControllerOverload { factor: 40.0 },
+        ),
+    ];
+
+    for (i, (label, fault)) in faults.into_iter().enumerate() {
+        let l2 = lab.capture(100 + i as u64, Some(fault));
+        let current = BehaviorModel::build(&l2, &lab.config);
+        let diff = flowdiff::diff::compare(&baseline, &current, &stability, &lab.config);
+        let report = diagnose(&diff, &current, &[], &lab.config);
+
+        let impacted: BTreeSet<&str> = report.unknown.iter().map(|c| c.kind.name()).collect();
+        println!("== {label}");
+        println!(
+            "   impacted signatures: {}",
+            impacted.into_iter().collect::<Vec<_>>().join(", ")
+        );
+        for p in &report.problems {
+            println!("   inference: {p}");
+        }
+        if let Some((comp, n)) = report.ranking.first() {
+            println!("   top suspect: {comp} ({n} changes)");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,288 @@
+//! End-to-end integration: simulate the lab data center, inject the
+//! paper's Table I faults, and verify that the full FlowDiff pipeline
+//! (capture -> model -> stability -> diff -> diagnosis) identifies each.
+
+use flowdiff::prelude::*;
+use netsim::prelude::*;
+use workloads::prelude::*;
+
+struct Lab {
+    topo: Topology,
+    catalog: ServiceCatalog,
+    config: FlowDiffConfig,
+}
+
+impl Lab {
+    fn new() -> Lab {
+        let mut topo = Topology::lab();
+        let (catalog, _) = install_services(&mut topo, "of7");
+        let config = FlowDiffConfig::default().with_special_ips(catalog.special_ips());
+        Lab {
+            topo,
+            catalog,
+            config,
+        }
+    }
+
+    fn ip(&self, n: &str) -> std::net::Ipv4Addr {
+        self.topo.host_ip(self.topo.node_by_name(n).unwrap())
+    }
+
+    fn node(&self, n: &str) -> NodeId {
+        self.topo.node_by_name(n).unwrap()
+    }
+
+    fn capture(&self, seed: u64, fault: Option<Fault>) -> ControllerLog {
+        let mut sc = Scenario::new(
+            self.topo.clone(),
+            seed,
+            Timestamp::from_secs(1),
+            Timestamp::from_secs(61),
+        );
+        sc.services(self.catalog.clone())
+            .app(templates::three_tier(
+                "webshop",
+                vec![self.ip("S13")],
+                vec![self.ip("S4")],
+                vec![self.ip("S14")],
+                None,
+            ))
+            .client(ClientWorkload {
+                client: self.ip("S25"),
+                entry_hosts: vec![self.ip("S13")],
+                entry_port: 80,
+                process: ArrivalProcess::poisson_per_sec(10.0),
+                request_bytes: 2_048,
+            });
+        if let Some(f) = fault {
+            sc.fault(Timestamp::ZERO, f);
+        }
+        sc.run().log
+    }
+
+    fn diagnose_against_baseline(&self, fault: Option<Fault>) -> DiagnosisReport {
+        let l1 = self.capture(1, None);
+        let baseline = BehaviorModel::build(&l1, &self.config);
+        let stability = analyze(&l1, &baseline, &self.config);
+        let l2 = self.capture(2, fault);
+        let current = BehaviorModel::build(&l2, &self.config);
+        let diff = flowdiff::diff::compare(&baseline, &current, &stability, &self.config);
+        diagnose(&diff, &current, &[], &self.config)
+    }
+}
+
+#[test]
+fn healthy_run_raises_no_alarm() {
+    let lab = Lab::new();
+    let report = lab.diagnose_against_baseline(None);
+    assert!(
+        report.is_healthy(),
+        "healthy L2 must produce no alarms: {report}"
+    );
+}
+
+#[test]
+fn logging_misconfiguration_detected_as_host_problem() {
+    let lab = Lab::new();
+    let report = lab.diagnose_against_baseline(Some(Fault::HostSlowdown {
+        host: lab.node("S4"),
+        extra_us: 120_000,
+    }));
+    assert!(!report.is_healthy());
+    assert!(report
+        .unknown
+        .iter()
+        .any(|c| c.kind == SignatureKind::Dd));
+    assert!(report
+        .problems
+        .contains(&ProblemClass::HostOrApplicationProblem));
+    // localization: the slowed host must top the suspect ranking
+    assert_eq!(
+        report.ranking.first().map(|(c, _)| *c),
+        Some(Component::Host(lab.ip("S4")))
+    );
+}
+
+#[test]
+fn app_crash_detected_with_missing_edge() {
+    let lab = Lab::new();
+    let report = lab.diagnose_against_baseline(Some(Fault::AppCrash {
+        host: lab.node("S4"),
+        port: 8080,
+    }));
+    assert!(!report.is_healthy());
+    assert!(report
+        .unknown
+        .iter()
+        .any(|c| c.kind == SignatureKind::Cg));
+    assert!(
+        report.problems.contains(&ProblemClass::ApplicationFailure)
+            || report.problems.contains(&ProblemClass::HostFailure)
+    );
+}
+
+#[test]
+fn host_shutdown_detected() {
+    let lab = Lab::new();
+    // Shut down the app server: its outgoing edge to the database
+    // vanishes (a dead host originates nothing), while inbound
+    // connection attempts from the web tier still appear as SYN retries.
+    let report = lab.diagnose_against_baseline(Some(Fault::HostDown {
+        host: lab.node("S4"),
+    }));
+    assert!(!report.is_healthy());
+    let cg_removed = report
+        .unknown
+        .iter()
+        .filter(|c| c.kind == SignatureKind::Cg)
+        .count();
+    assert!(cg_removed >= 1, "the app->db edge must disappear: {report}");
+    assert!(report
+        .ranking
+        .iter()
+        .any(|(c, _)| *c == Component::Host(lab.ip("S4"))));
+}
+
+#[test]
+fn controller_overload_detected() {
+    let lab = Lab::new();
+    let report = lab.diagnose_against_baseline(Some(Fault::ControllerOverload { factor: 40.0 }));
+    assert!(report
+        .unknown
+        .iter()
+        .any(|c| c.kind == SignatureKind::Crt));
+    assert!(report.problems.contains(&ProblemClass::ControllerProblem));
+    assert!(report
+        .ranking
+        .iter()
+        .any(|(c, _)| *c == Component::Controller));
+}
+
+#[test]
+fn controller_failure_detected_as_blackout() {
+    let lab = Lab::new();
+    let report = lab.diagnose_against_baseline(Some(Fault::ControllerDown));
+    assert!(!report.is_healthy());
+    let crt = report
+        .unknown
+        .iter()
+        .find(|c| c.kind == SignatureKind::Crt)
+        .expect("CRT change");
+    assert!(
+        crt.description.contains("stopped answering"),
+        "blackout must be named: {}",
+        crt.description
+    );
+    assert!(report.problems.contains(&ProblemClass::ControllerProblem));
+}
+
+#[test]
+fn unauthorized_access_detected_as_new_edge() {
+    let lab = Lab::new();
+    // Craft L2 with an extra scanner host probing the db server.
+    let l1 = lab.capture(1, None);
+    let baseline = BehaviorModel::build(&l1, &lab.config);
+    let stability = analyze(&l1, &baseline, &lab.config);
+
+    let mut sc = Scenario::new(
+        lab.topo.clone(),
+        2,
+        Timestamp::from_secs(1),
+        Timestamp::from_secs(61),
+    );
+    sc.services(lab.catalog.clone())
+        .app(templates::three_tier(
+            "webshop",
+            vec![lab.ip("S13")],
+            vec![lab.ip("S4")],
+            vec![lab.ip("S14")],
+            None,
+        ))
+        .client(ClientWorkload {
+            client: lab.ip("S25"),
+            entry_hosts: vec![lab.ip("S13")],
+            entry_port: 80,
+            process: ArrivalProcess::poisson_per_sec(10.0),
+            request_bytes: 2_048,
+        })
+        // the intruder: S24 talks straight to the database
+        .client(ClientWorkload {
+            client: lab.ip("S24"),
+            entry_hosts: vec![lab.ip("S14")],
+            entry_port: 3306,
+            process: ArrivalProcess::poisson_per_sec(2.0),
+            request_bytes: 512,
+        });
+    let l2 = sc.run().log;
+    let current = BehaviorModel::build(&l2, &lab.config);
+    let diff = flowdiff::diff::compare(&baseline, &current, &stability, &lab.config);
+    let report = diagnose(&diff, &current, &[], &lab.config);
+
+    assert!(report.problems.contains(&ProblemClass::UnauthorizedAccess));
+    let added: Vec<&Change> = report
+        .unknown
+        .iter()
+        .filter(|c| c.kind == SignatureKind::Cg)
+        .collect();
+    assert!(!added.is_empty());
+    assert!(added
+        .iter()
+        .any(|c| c.components.contains(&Component::Host(lab.ip("S24")))));
+}
+
+#[test]
+fn congestion_detected_with_isl_shift() {
+    let lab = Lab::new();
+    // Saturate the of1-of7 backbone with iperf-like background traffic
+    // (Table I #7) — injected as a mesh between two otherwise idle hosts
+    // whose path crosses the same core switch.
+    let l1 = lab.capture(1, None);
+    let baseline = BehaviorModel::build(&l1, &lab.config);
+    let stability = analyze(&l1, &baseline, &lab.config);
+
+    let mut sc = Scenario::new(
+        lab.topo.clone(),
+        2,
+        Timestamp::from_secs(1),
+        Timestamp::from_secs(61),
+    );
+    sc.services(lab.catalog.clone())
+        .app(templates::three_tier(
+            "webshop",
+            vec![lab.ip("S13")],
+            vec![lab.ip("S4")],
+            vec![lab.ip("S14")],
+            None,
+        ))
+        .client(ClientWorkload {
+            client: lab.ip("S25"),
+            entry_hosts: vec![lab.ip("S13")],
+            entry_port: 80,
+            process: ArrivalProcess::poisson_per_sec(10.0),
+            request_bytes: 2_048,
+        });
+    // One giant long-lived iperf transfer: S1 (on of1) -> S20, fully
+    // saturating the of1-of7 backbone shared with the app paths.
+    let key = openflow::match_fields::FlowKey::udp(lab.ip("S1"), 9_999, lab.ip("S20"), 5_001);
+    sc.flow(
+        Timestamp::from_secs(2),
+        FlowSpec::new(key, 70_000_000_000, 58_000_000),
+    );
+    let l2 = sc.run().log;
+    let current = BehaviorModel::build(&l2, &lab.config);
+    let diff = flowdiff::diff::compare(&baseline, &current, &stability, &lab.config);
+    let report = diagnose(&diff, &current, &[], &lab.config);
+
+    assert!(
+        report.unknown.iter().any(|c| c.kind == SignatureKind::Isl),
+        "backbone saturation must shift inter-switch latency: {report}"
+    );
+    assert!(
+        report.unknown.iter().any(|c| c.kind == SignatureKind::Lu),
+        "the saturated port's utilization baseline must shift: {report}"
+    );
+    assert!(
+        report.problems.contains(&ProblemClass::NetworkCongestion),
+        "classification must be congestion: {report}"
+    );
+}

@@ -1,0 +1,327 @@
+//! Integration: the full task-signature pipeline — learn automata from
+//! simulated task runs, detect tasks inside noisy logs, and use the task
+//! time series to turn would-be alarms into known changes (Figure 7).
+
+use flowdiff::prelude::*;
+use netsim::prelude::*;
+use workloads::prelude::*;
+
+fn lab() -> (Topology, ServiceCatalog, FlowDiffConfig) {
+    let mut topo = Topology::lab();
+    let (catalog, _) = install_services(&mut topo, "of7");
+    let config = FlowDiffConfig::default().with_special_ips(catalog.special_ips());
+    (topo, catalog, config)
+}
+
+fn ip(topo: &Topology, n: &str) -> std::net::Ipv4Addr {
+    topo.host_ip(topo.node_by_name(n).unwrap())
+}
+
+/// Records of one isolated task run.
+fn task_run(
+    topo: &Topology,
+    catalog: &ServiceCatalog,
+    config: &FlowDiffConfig,
+    task: TaskKind,
+    seed: u64,
+) -> Vec<FlowRecord> {
+    let mut sc = Scenario::new(
+        topo.clone(),
+        seed,
+        Timestamp::from_secs(1),
+        Timestamp::from_secs(30),
+    );
+    sc.services(catalog.clone());
+    sc.task(Timestamp::from_secs(2), task);
+    extract_records(&sc.run().log, config)
+}
+
+#[test]
+fn learned_migration_automaton_detects_in_noise() {
+    let (topo, catalog, config) = lab();
+    let migration = TaskKind::VmMigration {
+        src_host: ip(&topo, "S1"),
+        dst_host: ip(&topo, "S2"),
+    };
+    let runs: Vec<Vec<FlowRecord>> = (0..20)
+        .map(|i| task_run(&topo, &catalog, &config, migration, 500 + i))
+        .collect();
+    let automaton = learn_task("vm_migration", &runs, true, &config);
+    assert!(automaton.state_count() > 0);
+
+    // Production log with background traffic and a migration between
+    // two different hosts at t=30s.
+    let mut sc = Scenario::new(
+        topo.clone(),
+        9,
+        Timestamp::from_secs(1),
+        Timestamp::from_secs(60),
+    );
+    sc.services(catalog.clone())
+        .app(templates::two_tier(
+            "shop",
+            vec![ip(&topo, "S7")],
+            vec![ip(&topo, "S20")],
+        ))
+        .client(ClientWorkload {
+            client: ip(&topo, "S23"),
+            entry_hosts: vec![ip(&topo, "S7")],
+            entry_port: 80,
+            process: ArrivalProcess::poisson_per_sec(5.0),
+            request_bytes: 4_096,
+        })
+        .task(
+            Timestamp::from_secs(30),
+            TaskKind::VmMigration {
+                src_host: ip(&topo, "S5"),
+                dst_host: ip(&topo, "S6"),
+            },
+        );
+    let records = extract_records(&sc.run().log, &config);
+
+    let mut library = TaskLibrary::new();
+    library.add(automaton);
+    let events = library.detect(&records, &config);
+    assert_eq!(events.len(), 1, "exactly one migration: {events:?}");
+    assert_eq!(events[0].task, "vm_migration");
+    assert!(events[0].start >= Timestamp::from_secs(30));
+    assert!(events[0].hosts.contains(&ip(&topo, "S5")));
+    assert!(events[0].hosts.contains(&ip(&topo, "S6")));
+}
+
+#[test]
+fn no_false_detection_without_task() {
+    let (topo, catalog, config) = lab();
+    let migration = TaskKind::VmMigration {
+        src_host: ip(&topo, "S1"),
+        dst_host: ip(&topo, "S2"),
+    };
+    let runs: Vec<Vec<FlowRecord>> = (0..20)
+        .map(|i| task_run(&topo, &catalog, &config, migration, 500 + i))
+        .collect();
+    let automaton = learn_task("vm_migration", &runs, true, &config);
+
+    // Pure application traffic: no migration anywhere.
+    let mut sc = Scenario::new(
+        topo.clone(),
+        11,
+        Timestamp::from_secs(1),
+        Timestamp::from_secs(60),
+    );
+    sc.services(catalog.clone())
+        .app(templates::two_tier(
+            "shop",
+            vec![ip(&topo, "S7")],
+            vec![ip(&topo, "S20")],
+        ))
+        .client(ClientWorkload {
+            client: ip(&topo, "S23"),
+            entry_hosts: vec![ip(&topo, "S7")],
+            entry_port: 80,
+            process: ArrivalProcess::poisson_per_sec(10.0),
+            request_bytes: 4_096,
+        });
+    let records = extract_records(&sc.run().log, &config);
+    let mut library = TaskLibrary::new();
+    library.add(automaton);
+    assert!(library.detect(&records, &config).is_empty());
+}
+
+#[test]
+fn full_task_library_builds_ordered_time_series() {
+    // Learn five task automata, perform four different tasks during one
+    // capture, and verify the detected time series is complete and
+    // chronological (the "task time series" of Section III-D).
+    let (topo, catalog, config) = lab();
+    let train = |name: &str, task: TaskKind, base_seed: u64| {
+        let runs: Vec<Vec<FlowRecord>> = (0..15)
+            .map(|i| task_run(&topo, &catalog, &config, task, base_seed + i))
+            .collect();
+        learn_task(name, &runs, true, &config)
+    };
+    let mut library = TaskLibrary::new();
+    library
+        .add(train(
+            "vm_migration",
+            TaskKind::VmMigration {
+                src_host: ip(&topo, "S1"),
+                dst_host: ip(&topo, "S2"),
+            },
+            2_000,
+        ))
+        .add(train(
+            "mount_nfs",
+            TaskKind::MountNfs {
+                host: ip(&topo, "S1"),
+            },
+            3_000,
+        ))
+        .add(train(
+            "unmount_nfs",
+            TaskKind::UnmountNfs {
+                host: ip(&topo, "S1"),
+            },
+            4_000,
+        ))
+        .add(train(
+            "vm_stop",
+            TaskKind::VmStop {
+                vm: ip(&topo, "VM1"),
+            },
+            5_000,
+        ));
+
+    // One production capture with all four tasks, well separated, plus
+    // background app traffic.
+    let mut sc = Scenario::new(
+        topo.clone(),
+        42,
+        Timestamp::from_secs(1),
+        Timestamp::from_secs(120),
+    );
+    sc.services(catalog.clone())
+        .app(templates::two_tier(
+            "shop",
+            vec![ip(&topo, "S7")],
+            vec![ip(&topo, "S20")],
+        ))
+        .client(ClientWorkload {
+            client: ip(&topo, "S23"),
+            entry_hosts: vec![ip(&topo, "S7")],
+            entry_port: 80,
+            process: ArrivalProcess::poisson_per_sec(4.0),
+            request_bytes: 4_096,
+        })
+        .task(
+            Timestamp::from_secs(15),
+            TaskKind::MountNfs {
+                host: ip(&topo, "S9"),
+            },
+        )
+        .task(
+            Timestamp::from_secs(40),
+            TaskKind::VmMigration {
+                src_host: ip(&topo, "S5"),
+                dst_host: ip(&topo, "S6"),
+            },
+        )
+        .task(
+            Timestamp::from_secs(70),
+            TaskKind::VmStop {
+                vm: ip(&topo, "VM3"),
+            },
+        )
+        .task(
+            Timestamp::from_secs(95),
+            TaskKind::UnmountNfs {
+                host: ip(&topo, "S9"),
+            },
+        );
+    let records = extract_records(&sc.run().log, &config);
+    let events = library.detect(&records, &config);
+
+    let names: Vec<&str> = events.iter().map(|e| e.task.as_str()).collect();
+    assert!(names.contains(&"mount_nfs"), "series: {names:?}");
+    assert!(names.contains(&"vm_migration"), "series: {names:?}");
+    assert!(names.contains(&"vm_stop"), "series: {names:?}");
+    assert!(names.contains(&"unmount_nfs"), "series: {names:?}");
+
+    // chronological and matching the schedule
+    let pos = |n: &str| events.iter().position(|e| e.task == n).unwrap();
+    assert!(pos("mount_nfs") < pos("vm_migration"));
+    assert!(pos("vm_migration") < pos("vm_stop"));
+    assert!(pos("vm_stop") < pos("unmount_nfs"));
+    assert!(events.windows(2).all(|w| w[0].start <= w[1].start));
+}
+
+#[test]
+fn task_validation_suppresses_known_changes() {
+    let (topo, catalog, config) = lab();
+
+    // Baseline: app traffic only.
+    let capture = |seed: u64, with_mount: bool| {
+        let mut sc = Scenario::new(
+            topo.clone(),
+            seed,
+            Timestamp::from_secs(1),
+            Timestamp::from_secs(61),
+        );
+        sc.services(catalog.clone())
+            .app(templates::three_tier(
+                "webshop",
+                vec![ip(&topo, "S13")],
+                vec![ip(&topo, "S4")],
+                vec![ip(&topo, "S14")],
+                None,
+            ))
+            .client(ClientWorkload {
+                client: ip(&topo, "S25"),
+                entry_hosts: vec![ip(&topo, "S13")],
+                entry_port: 80,
+                process: ArrivalProcess::poisson_per_sec(10.0),
+                request_bytes: 2_048,
+            });
+        if with_mount {
+            // The operator mounts network storage on the web server
+            // during L2: new S13 -> NFS service edges appear.
+            sc.task(
+                Timestamp::from_secs(20),
+                TaskKind::MountNfs {
+                    host: ip(&topo, "S13"),
+                },
+            );
+        }
+        sc.run().log
+    };
+
+    let l1 = capture(1, false);
+    let baseline = BehaviorModel::build(&l1, &config);
+    let stability = analyze(&l1, &baseline, &config);
+    let l2 = capture(2, true);
+    let current = BehaviorModel::build(&l2, &config);
+    let current_records = current.records.clone();
+
+    // Learn the mount task and detect it in L2.
+    let mount = TaskKind::MountNfs {
+        host: ip(&topo, "S1"),
+    };
+    let runs: Vec<Vec<FlowRecord>> = (0..15)
+        .map(|i| task_run(&topo, &catalog, &config, mount, 700 + i))
+        .collect();
+    let automaton = learn_task("mount_nfs", &runs, true, &config);
+    let mut library = TaskLibrary::new();
+    library.add(automaton);
+    let tasks = library.detect(&current_records, &config);
+    assert!(
+        tasks.iter().any(|t| t.task == "mount_nfs"),
+        "the mount must be detected in L2: {tasks:?}"
+    );
+
+    // Without the task series the new edges raise alarms...
+    let diff = flowdiff::diff::compare(&baseline, &current, &stability, &config);
+    let unexplained = diagnose(&diff, &current, &[], &config);
+    assert!(
+        unexplained
+            .unknown
+            .iter()
+            .any(|c| c.kind == SignatureKind::Cg),
+        "without task knowledge the new NFS edge is an alarm"
+    );
+
+    // ...with the task series they become known changes (Figure 7).
+    let explained = diagnose(&diff, &current, &tasks, &config);
+    assert!(
+        explained
+            .known
+            .iter()
+            .any(|(c, t)| c.kind == SignatureKind::Cg && t.task == "mount_nfs"),
+        "the mount task must explain the new edge: {explained}"
+    );
+    assert!(
+        !explained
+            .unknown
+            .iter()
+            .any(|c| c.kind == SignatureKind::Cg),
+        "no CG alarm should survive task validation: {explained}"
+    );
+}
