@@ -16,12 +16,7 @@ fn library(env: &LabEnv) -> TaskLibrary {
                 dst_host: env.ip("S2"),
             },
         ),
-        (
-            "mount_nfs",
-            TaskKind::MountNfs {
-                host: env.ip("S1"),
-            },
-        ),
+        ("mount_nfs", TaskKind::MountNfs { host: env.ip("S1") }),
         (
             "vm_startup_ubuntu",
             TaskKind::VmStartup {

@@ -1,10 +1,15 @@
 //! Criterion: cost of building the full behavior model (all signatures)
 //! from a captured log, at two workload scales.
 
+use std::net::Ipv4Addr;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flowdiff::prelude::*;
 use flowdiff_bench::{capture_case, table2_cases, LabEnv};
 use netsim::log::ControllerLog;
+use netsim::topology::Topology;
+use openflow::types::Timestamp;
+use workloads::prelude::*;
 
 fn logs() -> Vec<(usize, ControllerLog)> {
     let env = LabEnv::new();
@@ -20,11 +25,9 @@ fn bench_model_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("behavior_model_build");
     group.sample_size(20);
     for (rate, log) in logs() {
-        group.bench_with_input(
-            BenchmarkId::new("req_per_sec", rate),
-            &log,
-            |b, log| b.iter(|| BehaviorModel::build(log, &env.config)),
-        );
+        group.bench_with_input(BenchmarkId::new("req_per_sec", rate), &log, |b, log| {
+            b.iter(|| BehaviorModel::build(log, &env.config))
+        });
     }
     group.finish();
 }
@@ -51,10 +54,71 @@ fn bench_stability_analysis(c: &mut Criterion) {
     group.finish();
 }
 
+/// A capture on the paper's 320-server tree (16 racks x 20 servers)
+/// with `n_apps` disjoint three-tier applications — the Fig. 13b
+/// workload the parallel build targets.
+fn tree_capture(n_apps: usize, seed: u64, secs: u64) -> (ControllerLog, FlowDiffConfig) {
+    let topo = Topology::tree(16, 20);
+    let hosts: Vec<Ipv4Addr> = topo.hosts().map(|(id, _)| topo.host_ip(id)).collect();
+    let mut sc = Scenario::new(
+        topo,
+        seed,
+        Timestamp::from_secs(1),
+        Timestamp::from_secs(1 + secs),
+    );
+    for a in 0..n_apps {
+        let pick = |tier: usize, k: usize| hosts[(a * 9 + tier * 3 + k) % hosts.len()];
+        let mut pairs = Vec::new();
+        for tier in 0..2 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    let dport = if tier == 0 { 8080 } else { 3306 };
+                    pairs.push((pick(tier, i), pick(tier + 1, j), dport));
+                }
+            }
+        }
+        sc.mesh(OnOffMesh {
+            pairs,
+            process: OnOffProcess::default(),
+            reuse_prob: 0.6,
+            bytes_per_flow: 30_000,
+        });
+    }
+    (sc.run().log, FlowDiffConfig::default())
+}
+
+/// Serial vs. parallel `BehaviorModel::from_records` on the 320-server
+/// log: the group x signature fan-out is embarrassingly parallel, so on
+/// a multi-core runner the `parallel` rows should beat `serial` by the
+/// worker count (up to the number of build tasks).
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let (log, config) = tree_capture(9, 42, 20);
+    let records = extract_records(&log, &config);
+    let span = log
+        .time_range()
+        .unwrap_or((Timestamp::ZERO, Timestamp::ZERO));
+    let mut group = c.benchmark_group("from_records_320_servers");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| BehaviorModel::from_records_serial(records.clone(), span, &config))
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| BehaviorModel::from_records_with(records.clone(), span, &config, workers))
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_model_build,
     bench_record_extraction,
-    bench_stability_analysis
+    bench_stability_analysis,
+    bench_serial_vs_parallel
 );
 criterion_main!(benches);

@@ -15,8 +15,7 @@ fn bench_simulation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("flows", flows), &flows, |b, &flows| {
             b.iter(|| {
                 let topo = Topology::tree(4, 10);
-                let hosts: Vec<Ipv4Addr> =
-                    topo.hosts().map(|(id, _)| topo.host_ip(id)).collect();
+                let hosts: Vec<Ipv4Addr> = topo.hosts().map(|(id, _)| topo.host_ip(id)).collect();
                 let mut sim = Simulation::new(topo, SimConfig::default(), 1);
                 for i in 0..flows {
                     let src = hosts[(i % hosts.len() as u64) as usize];
@@ -45,7 +44,9 @@ fn bench_wire_codec(c: &mut Criterion) {
     let msg = OfpMessage::FlowMod(
         FlowMod::add(OfMatch::exact(&key, openflow::types::PortNo(3)), 100)
             .idle_timeout(5)
-            .action(openflow::actions::Action::output(openflow::types::PortNo(2))),
+            .action(openflow::actions::Action::output(openflow::types::PortNo(
+                2,
+            ))),
     );
     let bytes = openflow::wire::encode(&msg, Xid(1));
     c.bench_function("wire_encode_flow_mod", |b| {

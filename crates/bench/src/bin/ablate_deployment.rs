@@ -66,11 +66,31 @@ fn main() {
     assert_eq!(hybrid_catalog, env.catalog, "same service addressing");
 
     let modes = [
-        Mode { label: "reactive microflow", deployment: Deployment::Reactive, hybrid_topo: false },
-        Mode { label: "wildcard /24", deployment: Deployment::Wildcard { prefix_len: 24 }, hybrid_topo: false },
-        Mode { label: "wildcard /16", deployment: Deployment::Wildcard { prefix_len: 16 }, hybrid_topo: false },
-        Mode { label: "hybrid (core-only OF)", deployment: Deployment::Reactive, hybrid_topo: true },
-        Mode { label: "proactive", deployment: Deployment::Proactive, hybrid_topo: false },
+        Mode {
+            label: "reactive microflow",
+            deployment: Deployment::Reactive,
+            hybrid_topo: false,
+        },
+        Mode {
+            label: "wildcard /24",
+            deployment: Deployment::Wildcard { prefix_len: 24 },
+            hybrid_topo: false,
+        },
+        Mode {
+            label: "wildcard /16",
+            deployment: Deployment::Wildcard { prefix_len: 16 },
+            hybrid_topo: false,
+        },
+        Mode {
+            label: "hybrid (core-only OF)",
+            deployment: Deployment::Reactive,
+            hybrid_topo: true,
+        },
+        Mode {
+            label: "proactive",
+            deployment: Deployment::Proactive,
+            hybrid_topo: false,
+        },
     ];
 
     println!("Ablation - deployment modes (Section VI)\n");
@@ -85,7 +105,9 @@ fn main() {
             let l2 = capture(&env, topo, mode.deployment, seed, Some(fault));
             let current = BehaviorModel::build(&l2, &env.config);
             let diff = flowdiff::diff::compare(&baseline, &current, &stability, &env.config);
-            !diagnose(&diff, &current, &[], &env.config).unknown.is_empty()
+            !diagnose(&diff, &current, &[], &env.config)
+                .unknown
+                .is_empty()
         };
         let slowdown_detected = detect(
             Fault::HostSlowdown {
@@ -102,11 +124,7 @@ fn main() {
             200 + i as u64,
         );
 
-        let group_edges: usize = baseline
-            .groups
-            .iter()
-            .map(|g| g.group.edges.len())
-            .sum();
+        let group_edges: usize = baseline.groups.iter().map(|g| g.group.edges.len()).sum();
         rows.push(vec![
             mode.label.to_string(),
             l1.packet_ins().count().to_string(),

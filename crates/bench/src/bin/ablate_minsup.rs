@@ -104,12 +104,20 @@ fn main() {
             format!("{fp}/20"),
         ]);
     }
-    print_table(&["interleave bound", "TP (same image)", "FP (other AMI)"], &rows2);
+    print_table(
+        &["interleave bound", "TP (same image)", "FP (other AMI)"],
+        &rows2,
+    );
     println!("\n(boot stalls of 1.2-2 s cause the misses at tight bounds; a loose");
     println!(" bound recovers them without raising cross-variant false positives)");
 
     let tight: usize = rows2[0][1].split('/').next().unwrap().parse().unwrap();
-    let loose: usize = rows2.last().unwrap()[1].split('/').next().unwrap().parse().unwrap();
+    let loose: usize = rows2.last().unwrap()[1]
+        .split('/')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!(
         loose > tight,
         "loosening the bound must recover stalled matches: {tight} -> {loose}"

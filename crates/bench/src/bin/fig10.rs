@@ -58,12 +58,12 @@ fn main() {
 
     // The paper's six (P, R) combinations, rates scaled to our workload.
     let combos: [((f64, f64), (f64, f64)); 6] = [
-        ((10.0, 10.0), (0.0, 0.0)),  // P(500,500) R(0,0)
-        ((10.0, 2.0), (0.0, 0.2)),   // P(500,100) R(0,20)
-        ((10.0, 2.0), (0.0, 0.5)),   // P(500,100) R(0,50)
-        ((2.0, 10.0), (0.0, 0.9)),   // P(100,500) R(0,90)
-        ((2.0, 10.0), (0.5, 0.5)),   // P(100,500) R(50,50)
-        ((2.0, 10.0), (0.9, 0.1)),   // P(100,500) R(90,10)
+        ((10.0, 10.0), (0.0, 0.0)), // P(500,500) R(0,0)
+        ((10.0, 2.0), (0.0, 0.2)),  // P(500,100) R(0,20)
+        ((10.0, 2.0), (0.0, 0.5)),  // P(500,100) R(0,50)
+        ((2.0, 10.0), (0.0, 0.9)),  // P(100,500) R(0,90)
+        ((2.0, 10.0), (0.5, 0.5)),  // P(100,500) R(50,50)
+        ((2.0, 10.0), (0.9, 0.1)),  // P(100,500) R(90,10)
     ];
 
     let s2 = env.ip("S2");

@@ -62,7 +62,8 @@ fn main() {
     // (b) case 5, interval-by-interval stability across configurations.
     println!("Figure 11(b) - PC of S2-S3 / S3-S8 per log interval, case 5\n");
     let (s2, s3, s8) = (env.ip("S2"), env.ip("S3"), env.ip("S8"));
-    let configs: [((f64, f64), (f64, f64), &str); 3] = [
+    type CaseConfig = ((f64, f64), (f64, f64), &'static str);
+    let configs: [CaseConfig; 3] = [
         ((10.0, 10.0), (0.0, 0.0), "P(500,500) R(0,0)"),
         ((10.0, 4.0), (0.0, 0.2), "P(500,200) R(0,20)"),
         ((4.0, 10.0), (0.5, 0.5), "P(200,500) R(50,50)"),
@@ -121,10 +122,15 @@ fn main() {
         rows_b.push(cells);
     }
     print_table(
-        &["Config", "i1", "i2", "i3", "i4", "i5", "i6", "i7", "i8", "i9"],
+        &[
+            "Config", "i1", "i2", "i3", "i4", "i5", "i6", "i7", "i8", "i9",
+        ],
         &rows_b,
     );
-    let min_b = all_interval_rs.iter().copied().fold(f64::INFINITY, f64::min);
+    let min_b = all_interval_rs
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
     let mean_b = all_interval_rs.iter().sum::<f64>() / all_interval_rs.len().max(1) as f64;
     println!(
         "\nintervals with data: {}, mean {mean_b:.3}, minimum {min_b:.3}",

@@ -107,7 +107,12 @@ fn main() {
     }
 
     print_table(
-        &["apps", "packet-ins", "PacketIn rate (1/s)", "processing (ms)"],
+        &[
+            "apps",
+            "packet-ins",
+            "PacketIn rate (1/s)",
+            "processing (ms)",
+        ],
         &rows,
     );
 

@@ -38,12 +38,7 @@ fn capture(env: &LabEnv, seed: u64, fault: Option<Fault>, background: bool) -> C
     if background {
         // Problem 7: a single long-lived iperf transfer saturating the
         // of1-of7 backbone shared with the application paths.
-        let key = openflow::match_fields::FlowKey::tcp(
-            env.ip("S1"),
-            9_999,
-            env.ip("S20"),
-            5_001,
-        );
+        let key = openflow::match_fields::FlowKey::tcp(env.ip("S1"), 9_999, env.ip("S20"), 5_001);
         sc.flow(
             Timestamp::from_secs(2),
             FlowSpec::new(key, 70_000_000_000, 58_000_000),

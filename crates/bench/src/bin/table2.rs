@@ -23,9 +23,7 @@ fn main() {
         let diff = flowdiff::diff::compare(&baseline, &current, &stability, &env.config);
         let report = diagnose(&diff, &current, &[], &env.config);
 
-        let count_kind = |k: SignatureKind| {
-            report.unknown.iter().filter(|c| c.kind == k).count()
-        };
+        let count_kind = |k: SignatureKind| report.unknown.iter().filter(|c| c.kind == k).count();
         let groups = baseline.groups.len();
         let stable_sig = |changes: usize| if changes == 0 { "stable" } else { "CHANGED" };
         rows.push(vec![
@@ -44,7 +42,14 @@ fn main() {
 
     print_table(
         &[
-            "Case", "Applications", "Groups", "CG", "DD", "CI", "PC", "FS changes",
+            "Case",
+            "Applications",
+            "Groups",
+            "CG",
+            "DD",
+            "CI",
+            "PC",
+            "FS changes",
         ],
         &rows,
     );

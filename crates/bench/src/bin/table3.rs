@@ -41,10 +41,30 @@ fn startup_records(env: &LabEnv, vm: &Vm, seed: u64) -> Vec<FlowRecord> {
 fn main() {
     let env = LabEnv::new();
     let vms = [
-        Vm { label: "i-3486634d (AMI)", host: "VM1", image: VmImage::AmazonAmi(0), test_runs: 20 },
-        Vm { label: "i-5d021f3b (AMI)", host: "VM2", image: VmImage::AmazonAmi(1), test_runs: 20 },
-        Vm { label: "i-c5ebf1a3 (Ubuntu)", host: "VM3", image: VmImage::Ubuntu, test_runs: 5 },
-        Vm { label: "i-d55066b3 (AMI)", host: "VM4", image: VmImage::AmazonAmi(2), test_runs: 20 },
+        Vm {
+            label: "i-3486634d (AMI)",
+            host: "VM1",
+            image: VmImage::AmazonAmi(0),
+            test_runs: 20,
+        },
+        Vm {
+            label: "i-5d021f3b (AMI)",
+            host: "VM2",
+            image: VmImage::AmazonAmi(1),
+            test_runs: 20,
+        },
+        Vm {
+            label: "i-c5ebf1a3 (Ubuntu)",
+            host: "VM3",
+            image: VmImage::Ubuntu,
+            test_runs: 5,
+        },
+        Vm {
+            label: "i-d55066b3 (AMI)",
+            host: "VM4",
+            image: VmImage::AmazonAmi(2),
+            test_runs: 20,
+        },
     ];
     const TRAIN_RUNS: u64 = 50;
 
@@ -93,8 +113,7 @@ fn main() {
                 continue;
             }
             for r in 0..other.test_runs {
-                let records =
-                    startup_records(&env, other, 800_000 + 1_000 * vj as u64 + r);
+                let records = startup_records(&env, other, 800_000 + 1_000 * vj as u64 + r);
                 foreign += 1;
                 if detect_with(&masked[vi], &records) {
                     fp += 1;
@@ -112,7 +131,13 @@ fn main() {
     }
 
     print_table(
-        &["ID", "AMI name", "TP (not masked)", "TP (masked)", "FP (masked)"],
+        &[
+            "ID",
+            "AMI name",
+            "TP (not masked)",
+            "TP (masked)",
+            "FP (masked)",
+        ],
         &rows,
     );
     println!("\npaper: TP 17-20/20 (5/5 Ubuntu) unmasked, 14-19/20 masked;");

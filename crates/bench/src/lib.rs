@@ -87,38 +87,122 @@ pub fn table2_cases() -> Vec<(&'static str, Vec<CaseApp>)> {
         (
             "case 1",
             vec![
-                CaseApp { name: "Rubbis", client: "S25", web: "S13", app: Some("S4"), db: "S14", slave: Some("S15") },
-                CaseApp { name: "Rubbis-2", client: "S24", web: "S12", app: Some("S10"), db: "S20", slave: None },
-                CaseApp { name: "osCommerce", client: "S23", web: "S7", app: None, db: "S17", slave: None },
+                CaseApp {
+                    name: "Rubbis",
+                    client: "S25",
+                    web: "S13",
+                    app: Some("S4"),
+                    db: "S14",
+                    slave: Some("S15"),
+                },
+                CaseApp {
+                    name: "Rubbis-2",
+                    client: "S24",
+                    web: "S12",
+                    app: Some("S10"),
+                    db: "S20",
+                    slave: None,
+                },
+                CaseApp {
+                    name: "osCommerce",
+                    client: "S23",
+                    web: "S7",
+                    app: None,
+                    db: "S17",
+                    slave: None,
+                },
             ],
         ),
         (
             "case 2",
             vec![
-                CaseApp { name: "Rubbis", client: "S25", web: "S12", app: Some("S4"), db: "S14", slave: Some("S15") },
-                CaseApp { name: "osCommerce", client: "S23", web: "S7", app: Some("S10"), db: "S20", slave: None },
+                CaseApp {
+                    name: "Rubbis",
+                    client: "S25",
+                    web: "S12",
+                    app: Some("S4"),
+                    db: "S14",
+                    slave: Some("S15"),
+                },
+                CaseApp {
+                    name: "osCommerce",
+                    client: "S23",
+                    web: "S7",
+                    app: Some("S10"),
+                    db: "S20",
+                    slave: None,
+                },
             ],
         ),
         (
             "case 3",
             vec![
-                CaseApp { name: "Rubbis", client: "S25", web: "S12", app: Some("S4"), db: "S14", slave: Some("S15") },
-                CaseApp { name: "Rubbos", client: "S24", web: "S16", app: Some("S10"), db: "S20", slave: None },
+                CaseApp {
+                    name: "Rubbis",
+                    client: "S25",
+                    web: "S12",
+                    app: Some("S4"),
+                    db: "S14",
+                    slave: Some("S15"),
+                },
+                CaseApp {
+                    name: "Rubbos",
+                    client: "S24",
+                    web: "S16",
+                    app: Some("S10"),
+                    db: "S20",
+                    slave: None,
+                },
             ],
         ),
         (
             "case 4",
             vec![
-                CaseApp { name: "Rubbis", client: "S25", web: "S12", app: Some("S4"), db: "S14", slave: Some("S15") },
-                CaseApp { name: "Petstore", client: "S24", web: "S16", app: Some("S21"), db: "S19", slave: None },
+                CaseApp {
+                    name: "Rubbis",
+                    client: "S25",
+                    web: "S12",
+                    app: Some("S4"),
+                    db: "S14",
+                    slave: Some("S15"),
+                },
+                CaseApp {
+                    name: "Petstore",
+                    client: "S24",
+                    web: "S16",
+                    app: Some("S21"),
+                    db: "S19",
+                    slave: None,
+                },
             ],
         ),
         (
             "case 5",
             vec![
-                CaseApp { name: "Custom-a", client: "S22", web: "S1", app: Some("S3"), db: "S8", slave: None },
-                CaseApp { name: "Custom-b", client: "S21", web: "S2", app: Some("S3"), db: "S8", slave: None },
-                CaseApp { name: "Custom-c", client: "S23", web: "S5", app: Some("S11"), db: "S18", slave: None },
+                CaseApp {
+                    name: "Custom-a",
+                    client: "S22",
+                    web: "S1",
+                    app: Some("S3"),
+                    db: "S8",
+                    slave: None,
+                },
+                CaseApp {
+                    name: "Custom-b",
+                    client: "S21",
+                    web: "S2",
+                    app: Some("S3"),
+                    db: "S8",
+                    slave: None,
+                },
+                CaseApp {
+                    name: "Custom-c",
+                    client: "S23",
+                    web: "S5",
+                    app: Some("S11"),
+                    db: "S18",
+                    slave: None,
+                },
             ],
         ),
     ]
@@ -182,12 +266,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", s.trim_end());
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }

@@ -5,14 +5,35 @@ fn main() {
     println!("FlowDiff reproduction harness. Run one experiment binary:");
     println!();
     let experiments = [
-        ("table1", "Table I  - debugging with FlowDiff (7 injected problems)"),
-        ("table2", "Table II - robustness of application signatures (5 cases)"),
-        ("table3", "Table III- task-signature matching accuracy (TP/FP)"),
-        ("fig9", "Fig. 9   - byte count & delay CDFs under loss/logging"),
-        ("fig10", "Fig. 10  - delay-distribution robustness across P(x,y)/R(m,n)"),
+        (
+            "table1",
+            "Table I  - debugging with FlowDiff (7 injected problems)",
+        ),
+        (
+            "table2",
+            "Table II - robustness of application signatures (5 cases)",
+        ),
+        (
+            "table3",
+            "Table III- task-signature matching accuracy (TP/FP)",
+        ),
+        (
+            "fig9",
+            "Fig. 9   - byte count & delay CDFs under loss/logging",
+        ),
+        (
+            "fig10",
+            "Fig. 10  - delay-distribution robustness across P(x,y)/R(m,n)",
+        ),
         ("fig11", "Fig. 11  - partial-correlation stability"),
-        ("fig12", "Fig. 12  - component interaction at node S4 + chi-squared"),
-        ("fig13", "Fig. 13  - scalability: PacketIn rate & processing time"),
+        (
+            "fig12",
+            "Fig. 12  - component interaction at node S4 + chi-squared",
+        ),
+        (
+            "fig13",
+            "Fig. 13  - scalability: PacketIn rate & processing time",
+        ),
     ];
     for (bin, desc) in experiments {
         println!("  cargo run --release -p flowdiff-bench --bin {bin:<7}  # {desc}");

@@ -1,0 +1,172 @@
+//! The shared change vocabulary.
+//!
+//! Every signature's diff output is rendered into a [`Change`] tagged
+//! with its [`SignatureKind`], so the downstream layers — gating by
+//! stability, task validation, the dependency matrix, classification,
+//! component ranking — treat all nine signatures uniformly instead of
+//! pattern-matching on nine concrete change types.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use openflow::types::{DatapathId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::signatures::delay::EdgePair;
+
+/// Which signature a change belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SignatureKind {
+    /// Connectivity graph.
+    Cg,
+    /// Delay distribution.
+    Dd,
+    /// Component interaction.
+    Ci,
+    /// Partial correlation.
+    Pc,
+    /// Flow statistics.
+    Fs,
+    /// Physical topology.
+    Pt,
+    /// Inter-switch latency.
+    Isl,
+    /// Controller response time.
+    Crt,
+    /// Link utilization baseline.
+    Lu,
+}
+
+impl SignatureKind {
+    /// True for application-layer signatures (matrix rows).
+    pub fn is_application(self) -> bool {
+        matches!(
+            self,
+            SignatureKind::Cg
+                | SignatureKind::Dd
+                | SignatureKind::Ci
+                | SignatureKind::Pc
+                | SignatureKind::Fs
+        )
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SignatureKind::Cg => "CG",
+            SignatureKind::Dd => "DD",
+            SignatureKind::Ci => "CI",
+            SignatureKind::Pc => "PC",
+            SignatureKind::Fs => "FS",
+            SignatureKind::Pt => "PT",
+            SignatureKind::Isl => "ISL",
+            SignatureKind::Crt => "CRT",
+            SignatureKind::Lu => "LU",
+        }
+    }
+}
+
+/// A physical or logical component implicated in a change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// A server or VM.
+    Host(Ipv4Addr),
+    /// A switch.
+    Switch(DatapathId),
+    /// A switch-to-switch segment.
+    SwitchPair(DatapathId, DatapathId),
+    /// The OpenFlow controller.
+    Controller,
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Component::Host(ip) => write!(f, "host {ip}"),
+            Component::Switch(d) => write!(f, "switch {d}"),
+            Component::SwitchPair(a, b) => write!(f, "segment {a}~{b}"),
+            Component::Controller => write!(f, "controller"),
+        }
+    }
+}
+
+/// Whether a change adds or removes behavior (meaningful for CG/PT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeDirection {
+    /// New behavior appeared.
+    Added,
+    /// Known behavior disappeared.
+    Removed,
+    /// A statistic shifted.
+    Shifted,
+}
+
+/// Where inside a signature a change (or a stability verdict) applies.
+///
+/// Stability is judged at this granularity: CG and FS are accepted or
+/// rejected wholesale, CI per application node, DD and PC per adjacent
+/// edge pair. Infrastructure signatures are always gated wholesale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Locus {
+    /// The signature as a whole.
+    Whole,
+    /// One application node.
+    Node(Ipv4Addr),
+    /// One adjacent edge pair.
+    Pair(EdgePair),
+}
+
+/// One detected behavioral change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Change {
+    /// The signature that changed.
+    pub kind: SignatureKind,
+    /// Added/removed/shifted.
+    pub direction: ChangeDirection,
+    /// Human-readable description.
+    pub description: String,
+    /// Implicated components.
+    pub components: Vec<Component>,
+    /// When the new behavior first appeared, when known.
+    pub ts: Option<Timestamp>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn application_kinds_partition() {
+        let app = [
+            SignatureKind::Cg,
+            SignatureKind::Dd,
+            SignatureKind::Ci,
+            SignatureKind::Pc,
+            SignatureKind::Fs,
+        ];
+        let infra = [
+            SignatureKind::Pt,
+            SignatureKind::Isl,
+            SignatureKind::Crt,
+            SignatureKind::Lu,
+        ];
+        assert!(app.iter().all(|k| k.is_application()));
+        assert!(infra.iter().all(|k| !k.is_application()));
+    }
+
+    #[test]
+    fn component_display_names() {
+        assert_eq!(
+            Component::Host(Ipv4Addr::new(10, 0, 0, 1)).to_string(),
+            "host 10.0.0.1"
+        );
+        assert_eq!(Component::Controller.to_string(), "controller");
+    }
+
+    #[test]
+    fn locus_orders_whole_first() {
+        let mut loci = [Locus::Node(Ipv4Addr::new(10, 0, 0, 1)), Locus::Whole];
+        loci.sort();
+        assert_eq!(loci[0], Locus::Whole);
+    }
+}

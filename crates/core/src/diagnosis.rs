@@ -1,317 +1,48 @@
 //! Diagnosis (Section IV): turning a model diff into debugging
 //! information — known vs. unknown changes, a dependency matrix, problem
 //! classes, and a ranked list of suspect components.
+//!
+//! The change vocabulary itself ([`Change`], [`SignatureKind`], …) lives
+//! in [`crate::change`]; this module consumes the tagged change lists
+//! the diff engine produced through the [`crate::signatures::Signature`]
+//! trait.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use openflow::types::{DatapathId, Timestamp};
 use serde::{Deserialize, Serialize};
 
+pub use crate::change::{Change, ChangeDirection, Component, SignatureKind};
 use crate::config::FlowDiffConfig;
 use crate::diff::ModelDiff;
 use crate::model::BehaviorModel;
 use crate::tasks::TaskEvent;
 
-/// Which signature a change belongs to.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-pub enum SignatureKind {
-    /// Connectivity graph.
-    Cg,
-    /// Delay distribution.
-    Dd,
-    /// Component interaction.
-    Ci,
-    /// Partial correlation.
-    Pc,
-    /// Flow statistics.
-    Fs,
-    /// Physical topology.
-    Pt,
-    /// Inter-switch latency.
-    Isl,
-    /// Controller response time.
-    Crt,
-    /// Link utilization baseline.
-    Lu,
-}
-
-impl SignatureKind {
-    /// True for application-layer signatures (matrix rows).
-    pub fn is_application(self) -> bool {
-        matches!(
-            self,
-            SignatureKind::Cg
-                | SignatureKind::Dd
-                | SignatureKind::Ci
-                | SignatureKind::Pc
-                | SignatureKind::Fs
-        )
-    }
-
-    /// Short display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            SignatureKind::Cg => "CG",
-            SignatureKind::Dd => "DD",
-            SignatureKind::Ci => "CI",
-            SignatureKind::Pc => "PC",
-            SignatureKind::Fs => "FS",
-            SignatureKind::Pt => "PT",
-            SignatureKind::Isl => "ISL",
-            SignatureKind::Crt => "CRT",
-            SignatureKind::Lu => "LU",
-        }
-    }
-}
-
-/// A physical or logical component implicated in a change.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-pub enum Component {
-    /// A server or VM.
-    Host(Ipv4Addr),
-    /// A switch.
-    Switch(DatapathId),
-    /// A switch-to-switch segment.
-    SwitchPair(DatapathId, DatapathId),
-    /// The OpenFlow controller.
-    Controller,
-}
-
-impl fmt::Display for Component {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Component::Host(ip) => write!(f, "host {ip}"),
-            Component::Switch(d) => write!(f, "switch {d}"),
-            Component::SwitchPair(a, b) => write!(f, "segment {a}~{b}"),
-            Component::Controller => write!(f, "controller"),
-        }
-    }
-}
-
-/// Whether a change adds or removes behavior (meaningful for CG/PT).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ChangeDirection {
-    /// New behavior appeared.
-    Added,
-    /// Known behavior disappeared.
-    Removed,
-    /// A statistic shifted.
-    Shifted,
-}
-
-/// One detected behavioral change.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Change {
-    /// The signature that changed.
-    pub kind: SignatureKind,
-    /// Added/removed/shifted.
-    pub direction: ChangeDirection,
-    /// Human-readable description.
-    pub description: String,
-    /// Implicated components.
-    pub components: Vec<Component>,
-    /// When the new behavior first appeared, when known.
-    pub ts: Option<Timestamp>,
-}
-
 /// Flattens a [`ModelDiff`] into a list of changes with implicated
-/// components.
+/// components: the per-group gated changes, a synthetic change per new
+/// application group, and the infrastructure changes.
 pub fn collect_changes(diff: &ModelDiff, current: &BehaviorModel) -> Vec<Change> {
-    let mut out = Vec::new();
-    for g in &diff.group_diffs {
-        for added in &g.cg.added {
-            out.push(Change {
-                kind: SignatureKind::Cg,
-                direction: ChangeDirection::Added,
-                description: format!("new edge {}", added.edge),
-                components: vec![
-                    Component::Host(added.edge.src),
-                    Component::Host(added.edge.dst),
-                ],
-                ts: added.first_seen,
-            });
-        }
-        for removed in &g.cg.removed {
-            out.push(Change {
-                kind: SignatureKind::Cg,
-                direction: ChangeDirection::Removed,
-                description: format!("missing edge {}", removed.edge),
-                components: vec![
-                    Component::Host(removed.edge.src),
-                    Component::Host(removed.edge.dst),
-                ],
-                ts: None,
-            });
-        }
-        for fs in &g.fs {
-            let mut components = Vec::new();
-            if let Some(e) = fs.edge {
-                components.push(Component::Host(e.src));
-                components.push(Component::Host(e.dst));
-            }
-            // Byte-count changes carry a qualitative direction: a
-            // collapse means traffic disappeared (e.g. only SYN retries
-            // survive a firewall); an inflation means extra wire bytes
-            // appeared (retransmissions under loss).
-            let collapsed = fs.metric == "bytes" && fs.current < fs.reference * 0.3;
-            let inflated = fs.metric == "bytes" && fs.current > fs.reference * 1.2;
-            out.push(Change {
-                kind: SignatureKind::Fs,
-                direction: if collapsed {
-                    ChangeDirection::Removed
-                } else if inflated {
-                    ChangeDirection::Added
-                } else {
-                    ChangeDirection::Shifted
-                },
-                description: format!(
-                    "{} changed {:.3} -> {:.3}{}",
-                    fs.metric,
-                    fs.reference,
-                    fs.current,
-                    fs.edge.map_or(String::new(), |e| format!(" on {e}"))
-                ),
-                components,
-                ts: None,
-            });
-        }
-        for ci in &g.ci {
-            out.push(Change {
-                kind: SignatureKind::Ci,
-                direction: ChangeDirection::Shifted,
-                description: format!("interaction shift at {} (chi2 {:.2})", ci.node, ci.chi2),
-                components: vec![Component::Host(ci.node)],
-                ts: None,
-            });
-        }
-        for dd in &g.dd {
-            out.push(Change {
-                kind: SignatureKind::Dd,
-                direction: ChangeDirection::Shifted,
-                description: format!(
-                    "delay peak moved {}ms -> {}ms at {}",
-                    dd.reference_peak.0 / 1_000,
-                    dd.current_peak.0 / 1_000,
-                    dd.pair.0.dst
-                ),
-                components: vec![Component::Host(dd.pair.0.dst)],
-                ts: None,
-            });
-        }
-        for pc in &g.pc {
-            out.push(Change {
-                kind: SignatureKind::Pc,
-                direction: ChangeDirection::Shifted,
-                description: format!(
-                    "correlation {:.2} -> {:.2} at {}",
-                    pc.reference, pc.current, pc.pair.0.dst
-                ),
-                components: vec![Component::Host(pc.pair.0.dst)],
-                ts: None,
-            });
-        }
-    }
+    let mut out: Vec<Change> = diff
+        .group_diffs
+        .iter()
+        .flat_map(|g| g.changes.iter().cloned())
+        .collect();
     for gi in &diff.new_groups {
         let group = &current.groups[*gi].group;
         out.push(Change {
             kind: SignatureKind::Cg,
             direction: ChangeDirection::Added,
             description: format!("new application group of {} nodes", group.members.len()),
-            components: group.members.iter().map(|ip| Component::Host(*ip)).collect(),
+            components: group
+                .members
+                .iter()
+                .map(|ip| Component::Host(*ip))
+                .collect(),
             ts: None,
         });
     }
-    for adj in &diff.pt.added {
-        out.push(Change {
-            kind: SignatureKind::Pt,
-            direction: ChangeDirection::Added,
-            description: format!("new adjacency {} -> {}", adj.from, adj.to),
-            components: vec![Component::Switch(adj.from), Component::Switch(adj.to)],
-            ts: None,
-        });
-    }
-    for adj in &diff.pt.removed {
-        out.push(Change {
-            kind: SignatureKind::Pt,
-            direction: ChangeDirection::Removed,
-            description: format!("missing adjacency {} -> {}", adj.from, adj.to),
-            components: vec![Component::Switch(adj.from), Component::Switch(adj.to)],
-            ts: None,
-        });
-    }
-    for (host, old, new) in &diff.pt.moved_hosts {
-        out.push(Change {
-            kind: SignatureKind::Pt,
-            direction: ChangeDirection::Shifted,
-            description: format!("host {host} moved {old} -> {new}"),
-            components: vec![
-                Component::Host(*host),
-                Component::Switch(*old),
-                Component::Switch(*new),
-            ],
-            ts: None,
-        });
-    }
-    for sw in &diff.pt.vanished_switches {
-        out.push(Change {
-            kind: SignatureKind::Pt,
-            direction: ChangeDirection::Removed,
-            description: format!("switch {sw} vanished from all paths"),
-            components: vec![Component::Switch(*sw)],
-            ts: None,
-        });
-    }
-    for isl in &diff.isl {
-        out.push(Change {
-            kind: SignatureKind::Isl,
-            direction: ChangeDirection::Shifted,
-            description: format!(
-                "latency {:.0}us -> {:.0}us between {} and {} ({:.1} sigma)",
-                isl.reference.mean, isl.current.mean, isl.pair.0, isl.pair.1, isl.sigmas
-            ),
-            components: vec![Component::SwitchPair(isl.pair.0, isl.pair.1)],
-            ts: None,
-        });
-    }
-    for lu in &diff.lu {
-        out.push(Change {
-            kind: SignatureKind::Lu,
-            direction: ChangeDirection::Shifted,
-            description: format!(
-                "utilization {:.0} -> {:.0} bytes/s on {} {} ({:.1} sigma)",
-                lu.reference.mean, lu.current.mean, lu.port.0, lu.port.1, lu.sigmas
-            ),
-            components: vec![Component::Switch(lu.port.0)],
-            ts: None,
-        });
-    }
-    if let Some(crt) = &diff.crt {
-        let description = if crt.unanswered.1 > crt.unanswered.0 + 0.3 {
-            format!(
-                "controller stopped answering: {:.0}% of PacketIns unanswered (was {:.0}%)",
-                crt.unanswered.1 * 100.0,
-                crt.unanswered.0 * 100.0
-            )
-        } else {
-            format!(
-                "controller response {:.0}us -> {:.0}us ({:.1} sigma)",
-                crt.reference.mean, crt.current.mean, crt.sigmas
-            )
-        };
-        out.push(Change {
-            kind: SignatureKind::Crt,
-            direction: ChangeDirection::Shifted,
-            description,
-            components: vec![Component::Controller],
-            ts: None,
-        });
-    }
+    out.extend(diff.infra.iter().cloned());
     out
 }
 
@@ -409,9 +140,7 @@ impl fmt::Display for DependencyMatrix {
 }
 
 /// The problem classes of Figure 2(b) / Table I.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ProblemClass {
     /// Extra processing delay on a host or application (logging
     /// misconfiguration, CPU hog).
@@ -572,7 +301,14 @@ impl fmt::Display for DiagnosisReport {
         writeln!(f, "==================")?;
         writeln!(f, "known changes (explained by operator tasks):")?;
         for (c, t) in &self.known {
-            writeln!(f, "  - [{}] {} <= task {} @ {}", c.kind.name(), c.description, t.task, t.start)?;
+            writeln!(
+                f,
+                "  - [{}] {} <= task {} @ {}",
+                c.kind.name(),
+                c.description,
+                t.task,
+                t.start
+            )?;
         }
         writeln!(f, "unknown changes (alarms):")?;
         for c in &self.unknown {
@@ -618,6 +354,7 @@ pub fn diagnose(
 mod tests {
     use super::*;
     use crate::groups::Edge;
+    use openflow::types::{DatapathId, Timestamp};
 
     fn ip(x: u8) -> Ipv4Addr {
         Ipv4Addr::new(10, 0, 0, x)
@@ -716,7 +453,8 @@ mod tests {
         };
         let mut c = change(SignatureKind::Cg, ChangeDirection::Added, &[5, 200]);
         c.ts = Some(Timestamp::from_secs(100));
-        let (known, unknown) = validate_changes(vec![c.clone()], &[task.clone()], 1_000_000);
+        let (known, unknown) =
+            validate_changes(vec![c.clone()], std::slice::from_ref(&task), 1_000_000);
         assert_eq!(known.len(), 1);
         assert!(unknown.is_empty());
 

@@ -1,21 +1,19 @@
 //! The model diff engine (Section IV-A).
 //!
-//! Compares the signatures of two behavior models group by group,
-//! skipping signatures the stability analysis marked unreliable, and
-//! collects every difference.
+//! Compares the signatures of two behavior models group by group through
+//! the [`Signature`] trait: each signature diffs itself, gates the
+//! result through its [`StabilityMask`], and renders the survivors into
+//! the tagged [`Change`] vocabulary. The engine never pattern-matches on
+//! concrete change types — adding a tenth signature means implementing
+//! the trait, not editing this file.
 
 use serde::{Deserialize, Serialize};
 
+use crate::change::{Change, SignatureKind};
 use crate::config::FlowDiffConfig;
 use crate::groups::match_groups;
 use crate::model::BehaviorModel;
-use crate::signatures::connectivity::{self, CgDiff};
-use crate::signatures::correlation::{self, PcChange};
-use crate::signatures::delay::{self, DdChange};
-use crate::signatures::flow_stats::{self, FsChange};
-use crate::signatures::infra::{diff_crt, diff_isl, diff_topology, CrtChange, IslChange, PtDiff};
-use crate::signatures::utilization::{diff_utilization, LuChange};
-use crate::signatures::interaction::{self, CiChange};
+use crate::signatures::{DiffCtx, Signature, StabilityMask};
 use crate::stability::StabilityReport;
 
 /// Differences in one application group matched across the two models.
@@ -25,26 +23,19 @@ pub struct GroupDiff {
     pub ref_idx: usize,
     /// Index of the matched group in the current model.
     pub cur_idx: usize,
-    /// Connectivity graph changes.
-    pub cg: CgDiff,
-    /// Flow-statistics changes.
-    pub fs: Vec<FsChange>,
-    /// Component-interaction changes.
-    pub ci: Vec<CiChange>,
-    /// Delay-distribution changes.
-    pub dd: Vec<DdChange>,
-    /// Partial-correlation changes.
-    pub pc: Vec<PcChange>,
+    /// All stability-gated changes of this group, tagged by signature.
+    pub changes: Vec<Change>,
 }
 
 impl GroupDiff {
     /// True when nothing changed in this group.
     pub fn is_empty(&self) -> bool {
-        self.cg.is_empty()
-            && self.fs.is_empty()
-            && self.ci.is_empty()
-            && self.dd.is_empty()
-            && self.pc.is_empty()
+        self.changes.is_empty()
+    }
+
+    /// The changes of one signature kind.
+    pub fn of_kind(&self, kind: SignatureKind) -> impl Iterator<Item = &Change> {
+        self.changes.iter().filter(move |c| c.kind == kind)
     }
 }
 
@@ -57,14 +48,8 @@ pub struct ModelDiff {
     pub new_groups: Vec<usize>,
     /// Groups present only in the reference model (indices into it).
     pub missing_groups: Vec<usize>,
-    /// Physical-topology changes.
-    pub pt: PtDiff,
-    /// Inter-switch latency changes.
-    pub isl: Vec<IslChange>,
-    /// Controller response-time change, if any.
-    pub crt: Option<CrtChange>,
-    /// Link-utilization changes.
-    pub lu: Vec<LuChange>,
+    /// Infrastructure changes (PT, ISL, LU, CRT), tagged by signature.
+    pub infra: Vec<Change>,
 }
 
 impl ModelDiff {
@@ -73,10 +58,27 @@ impl ModelDiff {
         self.group_diffs.iter().all(GroupDiff::is_empty)
             && self.new_groups.is_empty()
             && self.missing_groups.is_empty()
-            && self.pt.is_empty()
-            && self.isl.is_empty()
-            && self.crt.is_none()
-            && self.lu.is_empty()
+            && self.infra.is_empty()
+    }
+
+    /// The infrastructure changes of one signature kind.
+    pub fn infra_of_kind(&self, kind: SignatureKind) -> impl Iterator<Item = &Change> {
+        self.infra.iter().filter(move |c| c.kind == kind)
+    }
+}
+
+/// Diffs one signature pair through the trait, gated by the stability
+/// mask when the stability pass produced one (a missing mask means the
+/// signature was not judged: fall back to its own all-stable mask).
+fn gated<S: Signature>(
+    reference: &S,
+    current: &S,
+    ctx: &DiffCtx<'_>,
+    mask: Option<&StabilityMask>,
+) -> Vec<Change> {
+    match mask {
+        Some(m) => reference.tagged_diff(current, ctx, m),
+        None => reference.tagged_diff(current, ctx, &reference.stable_mask()),
     }
 }
 
@@ -104,6 +106,11 @@ pub fn compare(
         })
         .collect();
 
+    let ctx = DiffCtx {
+        config,
+        current_records: &current.records,
+    };
+
     let group_diffs = pairs
         .into_iter()
         .map(|(ri, ci)| {
@@ -111,65 +118,89 @@ pub fn compare(
             let c = &current.groups[ci];
             let stab = &stability.per_group[ri];
 
-            let cg = if stab.cg {
-                connectivity::diff(&r.connectivity, &c.connectivity, &current.records)
-            } else {
-                CgDiff::default()
-            };
-            let fs = if stab.fs {
-                flow_stats::diff(&r.flow_stats, &c.flow_stats, config.fs_rel_change)
-            } else {
-                Vec::new()
-            };
-            let ci_changes = interaction::diff(&r.interaction, &c.interaction, config.chi2_threshold)
-                .into_iter()
-                .filter(|ch| stab.ci_nodes.get(&ch.node).copied().unwrap_or(false))
-                .collect();
-            let dd = delay::diff(&r.delay, &c.delay, config)
-                .into_iter()
-                .filter(|ch| stab.dd_pairs.get(&ch.pair).copied().unwrap_or(false))
-                .collect();
-            let pc = correlation::diff(&r.correlation, &c.correlation, config)
-                .into_iter()
-                .filter(|ch| stab.pc_pairs.get(&ch.pair).copied().unwrap_or(false))
-                .collect();
+            let mut changes = Vec::new();
+            changes.extend(gated(
+                &r.connectivity,
+                &c.connectivity,
+                &ctx,
+                stab.mask(SignatureKind::Cg),
+            ));
+            changes.extend(gated(
+                &r.flow_stats,
+                &c.flow_stats,
+                &ctx,
+                stab.mask(SignatureKind::Fs),
+            ));
+            changes.extend(gated(
+                &r.interaction,
+                &c.interaction,
+                &ctx,
+                stab.mask(SignatureKind::Ci),
+            ));
+            changes.extend(gated(
+                &r.delay,
+                &c.delay,
+                &ctx,
+                stab.mask(SignatureKind::Dd),
+            ));
+            changes.extend(gated(
+                &r.correlation,
+                &c.correlation,
+                &ctx,
+                stab.mask(SignatureKind::Pc),
+            ));
 
             GroupDiff {
                 ref_idx: ri,
                 cur_idx: ci,
-                cg,
-                fs,
-                ci: ci_changes,
-                dd,
-                pc,
+                changes,
             }
         })
         .collect();
+
+    // Infrastructure signatures are judged wholesale and never gated by
+    // the application stability pass.
+    let mut infra = Vec::new();
+    infra.extend(gated(&reference.topology, &current.topology, &ctx, None));
+    infra.extend(gated(&reference.latency, &current.latency, &ctx, None));
+    infra.extend(gated(
+        &reference.utilization,
+        &current.utilization,
+        &ctx,
+        None,
+    ));
+    infra.extend(gated(&reference.response, &current.response, &ctx, None));
 
     ModelDiff {
         group_diffs,
         new_groups,
         missing_groups,
-        pt: diff_topology(&reference.topology, &current.topology),
-        isl: diff_isl(&reference.latency, &current.latency, config),
-        crt: diff_crt(&reference.response, &current.response, config),
-        lu: diff_utilization(&reference.utilization, &current.utilization, config),
+        infra,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::change::ChangeDirection;
     use netsim::topology::Topology;
     use openflow::types::Timestamp;
     use workloads::prelude::*;
 
-    fn scenario_log(seed: u64, fault: Option<(Timestamp, Fault)>) -> (ControllerLog, FlowDiffConfig) {
+    fn scenario_log(
+        seed: u64,
+        fault: Option<(Timestamp, Fault)>,
+    ) -> (ControllerLog, FlowDiffConfig) {
         let mut topo = Topology::lab();
         let (catalog, _) = install_services(&mut topo, "of7");
         let ip = |n: &str| topo.host_ip(topo.node_by_name(n).unwrap());
         let (s13, s4, s14, s25) = (ip("S13"), ip("S4"), ip("S14"), ip("S25"));
-        let mut sc = Scenario::new(topo, seed, Timestamp::from_secs(1), Timestamp::from_secs(41));
+        let mut sc = Scenario::new(
+            topo,
+            seed,
+            Timestamp::from_secs(1),
+            Timestamp::from_secs(41),
+        );
         sc.services(catalog.clone())
             .app(templates::three_tier(
                 "app",
@@ -228,10 +259,17 @@ mod tests {
         let stability = crate::stability::analyze(&log1, &m1, &config);
         let diff = compare(&m1, &m2, &stability, &config);
         let g = &diff.group_diffs[0];
-        assert!(!g.dd.is_empty(), "DD must shift under host slowdown");
-        assert!(g.cg.is_empty(), "CG must be unaffected");
-        assert!(diff.pt.is_empty());
-        assert!(diff.crt.is_none());
+        assert!(
+            g.of_kind(SignatureKind::Dd).count() > 0,
+            "DD must shift under host slowdown"
+        );
+        assert_eq!(
+            g.of_kind(SignatureKind::Cg).count(),
+            0,
+            "CG must be unaffected"
+        );
+        assert_eq!(diff.infra_of_kind(SignatureKind::Pt).count(), 0);
+        assert_eq!(diff.infra_of_kind(SignatureKind::Crt).count(), 0);
     }
 
     #[test]
@@ -256,9 +294,10 @@ mod tests {
         let diff = compare(&m1, &m2, &stability, &config);
         let g = &diff.group_diffs[0];
         assert!(
-            !g.cg.removed.is_empty(),
+            g.of_kind(SignatureKind::Cg)
+                .any(|c| c.direction == ChangeDirection::Removed),
             "app -> db edge must disappear: {:#?}",
-            g.cg
+            g.changes
         );
     }
 }

@@ -15,9 +15,7 @@ use crate::config::FlowDiffConfig;
 use crate::records::FlowRecord;
 
 /// A directed application-layer edge: who opens flows to whom.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Edge {
     /// Flow initiator.
     pub src: Ipv4Addr,

@@ -37,6 +37,7 @@
 //! assert!(report.is_healthy());
 //! ```
 
+pub mod change;
 pub mod config;
 pub mod diagnosis;
 pub mod diff;
@@ -50,6 +51,7 @@ pub mod tasks;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::change::Locus;
     pub use crate::config::FlowDiffConfig;
     pub use crate::diagnosis::{
         diagnose, Change, Component, DiagnosisReport, ProblemClass, SignatureKind,
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use crate::groups::{discover_groups, AppGroup, Edge};
     pub use crate::model::{BehaviorModel, GroupSignatures};
     pub use crate::records::{extract_records, FlowRecord, FlowTuple};
+    pub use crate::signatures::{DiffCtx, Signature, SignatureInputs, StabilityCtx, StabilityMask};
     pub use crate::stability::{analyze, StabilityReport};
     pub use crate::tasks::{learn_task, TaskAutomaton, TaskEvent, TaskLibrary};
 }

@@ -1,4 +1,15 @@
 //! The behavior model: all signatures of one log, bundled.
+//!
+//! Signature construction is embarrassingly parallel — each of the five
+//! application signatures per group and each infrastructure signature is
+//! a pure function of the (shared, read-only) records — so
+//! [`BehaviorModel::from_records`] fans the builds out over a scoped
+//! thread pool. Work items are claimed from an atomic counter and the
+//! results reassembled in deterministic task order, so the parallel
+//! build is `PartialEq`-identical to the serial one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use openflow::types::Timestamp;
 use serde::{Deserialize, Serialize};
@@ -6,16 +17,14 @@ use serde::{Deserialize, Serialize};
 use crate::config::FlowDiffConfig;
 use crate::groups::{discover_groups, AppGroup};
 use crate::records::{extract_records, FlowRecord};
-use crate::signatures::connectivity::{self, ConnectivityGraph};
-use crate::signatures::correlation::{self, PartialCorrelation};
-use crate::signatures::delay::{self, DelayDistribution};
-use crate::signatures::flow_stats::{self, FlowStatsSig};
-use crate::signatures::infra::{
-    build_crt, build_isl, build_topology, ControllerResponse, InterSwitchLatency,
-    PhysicalTopology,
-};
-use crate::signatures::interaction::{self, ComponentInteraction};
-use crate::signatures::utilization::{build_utilization, LinkUtilization};
+use crate::signatures::connectivity::ConnectivityGraph;
+use crate::signatures::correlation::PartialCorrelation;
+use crate::signatures::delay::DelayDistribution;
+use crate::signatures::flow_stats::FlowStatsSig;
+use crate::signatures::infra::{ControllerResponse, InterSwitchLatency, PhysicalTopology};
+use crate::signatures::interaction::ComponentInteraction;
+use crate::signatures::utilization::LinkUtilization;
+use crate::signatures::{Signature, SignatureInputs};
 use netsim::log::ControllerLog;
 
 /// All application signatures of one group.
@@ -56,6 +65,56 @@ pub struct BehaviorModel {
     pub span: (Timestamp, Timestamp),
 }
 
+/// Application signatures built per group, in task order.
+const SIGS_PER_GROUP: usize = 5;
+/// Infrastructure signatures built once per model (PT, ISL, CRT; LU
+/// needs the raw log and is attached by [`BehaviorModel::build`]).
+const INFRA_SIGS: usize = 3;
+
+/// One completed signature build, tagged for reassembly.
+enum Built {
+    Cg(ConnectivityGraph),
+    Fs(FlowStatsSig),
+    Ci(ComponentInteraction),
+    Dd(DelayDistribution),
+    Pc(PartialCorrelation),
+    Pt(PhysicalTopology),
+    Isl(InterSwitchLatency),
+    Crt(ControllerResponse),
+}
+
+/// Executes work item `task`: tasks `[0, 5G)` build application
+/// signature `task % 5` of group `task / 5`; the last three build the
+/// record-derived infrastructure signatures.
+fn build_part(
+    task: usize,
+    groups: &[AppGroup],
+    group_records: &[Vec<&FlowRecord>],
+    all_records: &[&FlowRecord],
+    span: (Timestamp, Timestamp),
+    config: &FlowDiffConfig,
+) -> Built {
+    let app_tasks = groups.len() * SIGS_PER_GROUP;
+    if task < app_tasks {
+        let (gi, si) = (task / SIGS_PER_GROUP, task % SIGS_PER_GROUP);
+        let inputs = SignatureInputs::new(&group_records[gi], span, config).with_group(&groups[gi]);
+        match si {
+            0 => Built::Cg(ConnectivityGraph::build(&inputs)),
+            1 => Built::Fs(FlowStatsSig::build(&inputs)),
+            2 => Built::Ci(ComponentInteraction::build(&inputs)),
+            3 => Built::Dd(DelayDistribution::build(&inputs)),
+            _ => Built::Pc(PartialCorrelation::build(&inputs)),
+        }
+    } else {
+        let inputs = SignatureInputs::new(all_records, span, config);
+        match task - app_tasks {
+            0 => Built::Pt(PhysicalTopology::build(&inputs)),
+            1 => Built::Isl(InterSwitchLatency::build(&inputs)),
+            _ => Built::Crt(ControllerResponse::build(&inputs)),
+        }
+    }
+}
+
 impl BehaviorModel {
     /// Builds the full model from a controller log.
     pub fn build(log: &ControllerLog, config: &FlowDiffConfig) -> BehaviorModel {
@@ -72,38 +131,131 @@ impl BehaviorModel {
                 .filter(|e| e.direction == netsim::log::Direction::ToController)
                 .map(|e| e.dpid),
         );
-        model.utilization = build_utilization(log);
+        model.utilization =
+            LinkUtilization::build(&SignatureInputs::new(&[], span, config).with_log(log));
         model
     }
 
     /// Builds the model from already-extracted records (used by the
-    /// stability analysis, which re-segments one extraction).
+    /// stability analysis, which re-segments one extraction), fanning
+    /// the signature builds out over the available cores.
     pub fn from_records(
         records: Vec<FlowRecord>,
         span: (Timestamp, Timestamp),
         config: &FlowDiffConfig,
     ) -> BehaviorModel {
-        let groups = discover_groups(&records, config)
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::from_records_with(records, span, config, workers)
+    }
+
+    /// Single-threaded [`Self::from_records`], for baseline comparisons.
+    pub fn from_records_serial(
+        records: Vec<FlowRecord>,
+        span: (Timestamp, Timestamp),
+        config: &FlowDiffConfig,
+    ) -> BehaviorModel {
+        Self::from_records_with(records, span, config, 1)
+    }
+
+    /// Builds the model with an explicit worker count. `workers <= 1`
+    /// runs the builds inline; otherwise scoped threads claim work items
+    /// from a shared counter. Either way the signatures are reassembled
+    /// in task order, so the result is identical.
+    pub fn from_records_with(
+        records: Vec<FlowRecord>,
+        span: (Timestamp, Timestamp),
+        config: &FlowDiffConfig,
+        workers: usize,
+    ) -> BehaviorModel {
+        let groups = discover_groups(&records, config);
+        let group_records: Vec<Vec<&FlowRecord>> = groups
+            .iter()
+            .map(|g| g.record_indices.iter().map(|&i| &records[i]).collect())
+            .collect();
+        let all_records: Vec<&FlowRecord> = records.iter().collect();
+        let n_tasks = groups.len() * SIGS_PER_GROUP + INFRA_SIGS;
+
+        let built: Vec<Built> = if workers <= 1 {
+            (0..n_tasks)
+                .map(|t| build_part(t, &groups, &group_records, &all_records, span, config))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, Built)>();
+            std::thread::scope(|s| {
+                for _ in 0..workers.min(n_tasks) {
+                    let tx = tx.clone();
+                    let (next, groups, group_records, all_records) =
+                        (&next, &groups, &group_records, &all_records);
+                    s.spawn(move || loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= n_tasks {
+                            break;
+                        }
+                        let part = build_part(t, groups, group_records, all_records, span, config);
+                        if tx.send((t, part)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                let mut slots: Vec<Option<Built>> = (0..n_tasks).map(|_| None).collect();
+                for (t, part) in rx {
+                    slots[t] = Some(part);
+                }
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every task completes"))
+                    .collect()
+            })
+        };
+
+        // Reassemble in task order: per group [CG, FS, CI, DD, PC], then
+        // PT, ISL, CRT.
+        let mut parts = built.into_iter();
+        let group_sigs: Vec<GroupSignatures> = groups
             .into_iter()
             .map(|group| {
-                let group_records: Vec<&FlowRecord> =
-                    group.record_indices.iter().map(|&i| &records[i]).collect();
+                let Some(Built::Cg(connectivity)) = parts.next() else {
+                    unreachable!("task order: CG first per group")
+                };
+                let Some(Built::Fs(flow_stats)) = parts.next() else {
+                    unreachable!("task order: FS second per group")
+                };
+                let Some(Built::Ci(interaction)) = parts.next() else {
+                    unreachable!("task order: CI third per group")
+                };
+                let Some(Built::Dd(delay)) = parts.next() else {
+                    unreachable!("task order: DD fourth per group")
+                };
+                let Some(Built::Pc(correlation)) = parts.next() else {
+                    unreachable!("task order: PC fifth per group")
+                };
                 GroupSignatures {
-                    connectivity: connectivity::ConnectivityGraph::build(&group),
-                    flow_stats: flow_stats::build(&group_records, span),
-                    interaction: interaction::build(&group_records),
-                    delay: delay::build(&group_records, config),
-                    correlation: correlation::build(&group_records, span, config),
                     group,
+                    connectivity,
+                    flow_stats,
+                    interaction,
+                    delay,
+                    correlation,
                 }
             })
             .collect();
-        let topology = build_topology(&records);
-        let latency = build_isl(&records);
-        let response = build_crt(&records);
+        let Some(Built::Pt(topology)) = parts.next() else {
+            unreachable!("task order: PT after groups")
+        };
+        let Some(Built::Isl(latency)) = parts.next() else {
+            unreachable!("task order: ISL after PT")
+        };
+        let Some(Built::Crt(response)) = parts.next() else {
+            unreachable!("task order: CRT last")
+        };
+
         BehaviorModel {
             records,
-            groups,
+            groups: group_sigs,
             topology,
             latency,
             response,
@@ -126,14 +278,20 @@ mod tests {
     use std::net::Ipv4Addr;
     use workloads::prelude::*;
 
-    fn model_from_scenario() -> BehaviorModel {
+    fn scenario_log() -> (ControllerLog, FlowDiffConfig) {
         let mut topo = Topology::lab();
         let (catalog, _) = install_services(&mut topo, "of7");
         let ip = |n: &str| topo.host_ip(topo.node_by_name(n).unwrap());
         let (web, app, db, client) = (ip("S13"), ip("S4"), ip("S14"), ip("S25"));
         let mut sc = Scenario::new(topo, 5, Timestamp::from_secs(1), Timestamp::from_secs(31));
         sc.services(catalog.clone())
-            .app(templates::three_tier("rubis", vec![web], vec![app], vec![db], None))
+            .app(templates::three_tier(
+                "rubis",
+                vec![web],
+                vec![app],
+                vec![db],
+                None,
+            ))
             .client(ClientWorkload {
                 client,
                 entry_hosts: vec![web],
@@ -143,7 +301,12 @@ mod tests {
             });
         let result = sc.run();
         let config = FlowDiffConfig::default().with_special_ips(catalog.special_ips());
-        BehaviorModel::build(&result.log, &config)
+        (result.log, config)
+    }
+
+    fn model_from_scenario() -> BehaviorModel {
+        let (log, config) = scenario_log();
+        BehaviorModel::build(&log, &config)
     }
 
     #[test]
@@ -179,5 +342,30 @@ mod tests {
         assert!(m.records.is_empty());
         assert!(m.groups.is_empty());
         assert_eq!(m.response.overall.n, 0);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let (log, config) = scenario_log();
+        let records = extract_records(&log, &config);
+        let span = log
+            .time_range()
+            .unwrap_or((Timestamp::ZERO, Timestamp::ZERO));
+        let serial = BehaviorModel::from_records_serial(records.clone(), span, &config);
+        let parallel = BehaviorModel::from_records_with(records, span, &config, 4);
+        assert_eq!(serial, parallel, "task-order reassembly must be identical");
+        assert!(!serial.groups.is_empty());
+    }
+
+    #[test]
+    fn live_switches_deduplicate_repeated_liveness_proofs() {
+        // Every switch sends many control messages over the capture; the
+        // liveness set must hold each datapath id exactly once (it is a
+        // set keyed by DatapathId, not an append-only list).
+        let m = model_from_scenario();
+        assert!(!m.topology.live_switches.is_empty());
+        let unique: std::collections::BTreeSet<_> =
+            m.topology.live_switches.iter().copied().collect();
+        assert_eq!(unique.len(), m.topology.live_switches.len());
     }
 }

@@ -18,9 +18,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::FlowDiffConfig;
 
 /// A transport 5-tuple identifying a flow.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowTuple {
     /// Source IP.
     pub src: Ipv4Addr,
@@ -183,10 +181,10 @@ mod tests {
     use super::*;
     use netsim::config::SimConfig;
     use netsim::engine::Simulation;
-    use openflow::messages::OfpMessage;
     use netsim::flows::FlowSpec;
     use netsim::topology::Topology;
     use openflow::match_fields::FlowKey;
+    use openflow::messages::OfpMessage;
 
     fn line_topology() -> Topology {
         let mut t = Topology::new();
@@ -214,7 +212,10 @@ mod tests {
     #[test]
     fn one_record_per_flow_with_full_path() {
         let mut sim = Simulation::new(line_topology(), SimConfig::default(), 1);
-        sim.schedule_flow(Timestamp::from_secs(1), FlowSpec::new(key(4000), 6_000, 5_000));
+        sim.schedule_flow(
+            Timestamp::from_secs(1),
+            FlowSpec::new(key(4000), 6_000, 5_000),
+        );
         sim.run_until(Timestamp::from_secs(30));
         let log = sim.take_log();
         let records = extract_records(&log, &FlowDiffConfig::default());
@@ -233,8 +234,14 @@ mod tests {
     fn episodes_split_on_gap() {
         let mut sim = Simulation::new(line_topology(), SimConfig::default(), 1);
         // Same 5-tuple, 60 s apart (entries expire in between).
-        sim.schedule_flow(Timestamp::from_secs(1), FlowSpec::new(key(4000), 3_000, 5_000));
-        sim.schedule_flow(Timestamp::from_secs(61), FlowSpec::new(key(4000), 3_000, 5_000));
+        sim.schedule_flow(
+            Timestamp::from_secs(1),
+            FlowSpec::new(key(4000), 3_000, 5_000),
+        );
+        sim.schedule_flow(
+            Timestamp::from_secs(61),
+            FlowSpec::new(key(4000), 3_000, 5_000),
+        );
         sim.run_until(Timestamp::from_secs(120));
         let log = sim.take_log();
         let records = extract_records(&log, &FlowDiffConfig::default());
@@ -248,7 +255,10 @@ mod tests {
     fn concurrent_flows_keep_separate_records() {
         let mut sim = Simulation::new(line_topology(), SimConfig::default(), 1);
         for sport in [4000, 4001, 4002] {
-            sim.schedule_flow(Timestamp::from_secs(1), FlowSpec::new(key(sport), 2_000, 5_000));
+            sim.schedule_flow(
+                Timestamp::from_secs(1),
+                FlowSpec::new(key(sport), 2_000, 5_000),
+            );
         }
         sim.run_until(Timestamp::from_secs(30));
         let log = sim.take_log();
@@ -262,7 +272,10 @@ mod tests {
     #[test]
     fn extraction_survives_corrupt_capture() {
         let mut sim = Simulation::new(line_topology(), SimConfig::default(), 1);
-        sim.schedule_flow(Timestamp::from_secs(1), FlowSpec::new(key(4000), 2_000, 5_000));
+        sim.schedule_flow(
+            Timestamp::from_secs(1),
+            FlowSpec::new(key(4000), 2_000, 5_000),
+        );
         sim.run_until(Timestamp::from_secs(30));
         let mut log = sim.take_log();
         // Corrupt one PacketIn's payload.
@@ -287,7 +300,10 @@ mod tests {
             .map(|n| t.dpid_of(t.node_by_name(n).unwrap()).unwrap())
             .collect();
         let mut sim = Simulation::new(t, SimConfig::default(), 1);
-        sim.schedule_flow(Timestamp::from_secs(1), FlowSpec::new(key(4000), 2_000, 5_000));
+        sim.schedule_flow(
+            Timestamp::from_secs(1),
+            FlowSpec::new(key(4000), 2_000, 5_000),
+        );
         sim.run_until(Timestamp::from_secs(30));
         let log = sim.take_log();
         let records = extract_records(&log, &FlowDiffConfig::default());

@@ -9,11 +9,12 @@ use std::collections::BTreeSet;
 use openflow::types::Timestamp;
 use serde::{Deserialize, Serialize};
 
-use crate::groups::{AppGroup, Edge};
-use crate::records::FlowRecord;
+use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
+use crate::groups::Edge;
+use crate::signatures::{DiffCtx, Signature, SignatureInputs, StabilityCtx, StabilityMask};
 
 /// The connectivity graph of one application group.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ConnectivityGraph {
     /// Directed member-to-member edges.
     pub edges: BTreeSet<Edge>,
@@ -22,15 +23,6 @@ pub struct ConnectivityGraph {
 }
 
 impl ConnectivityGraph {
-    /// Builds the CG of a group (the group discovery already collected
-    /// the edge sets).
-    pub fn build(group: &AppGroup) -> ConnectivityGraph {
-        ConnectivityGraph {
-            edges: group.edges.clone(),
-            service_edges: group.service_edges.clone(),
-        }
-    }
-
     /// All edges including service edges.
     pub fn all_edges(&self) -> impl Iterator<Item = &Edge> {
         self.edges.iter().chain(self.service_edges.iter())
@@ -39,74 +31,121 @@ impl ConnectivityGraph {
 
 /// An edge present in one log but not the other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct EdgeChange {
+pub struct CgChange {
     /// The edge.
     pub edge: Edge,
-    /// When the edge first appeared in the log that has it (for added
-    /// edges: the current log; for removed: unknown, `None`).
+    /// True when the edge is new in the current graph, false when it
+    /// disappeared from the reference.
+    pub added: bool,
+    /// When the edge first appeared in the current log (added edges
+    /// only; removed edges have no appearance time).
     pub first_seen: Option<Timestamp>,
 }
 
-/// Difference between two connectivity graphs.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CgDiff {
-    /// Edges in the current graph missing from the reference.
-    pub added: Vec<EdgeChange>,
-    /// Edges in the reference missing from the current graph.
-    pub removed: Vec<EdgeChange>,
-}
+impl Signature for ConnectivityGraph {
+    type Change = CgChange;
+    const KIND: SignatureKind = SignatureKind::Cg;
 
-impl CgDiff {
-    /// True when the graphs are identical.
-    pub fn is_empty(&self) -> bool {
-        self.added.is_empty() && self.removed.is_empty()
+    /// Builds the CG of a group (the group discovery already collected
+    /// the edge sets). Without a group the graph is empty.
+    fn build(inputs: &SignatureInputs<'_>) -> Self {
+        inputs
+            .group
+            .map(|g| ConnectivityGraph {
+                edges: g.edges.clone(),
+                service_edges: g.service_edges.clone(),
+            })
+            .unwrap_or_default()
     }
-}
 
-/// Graph-matching diff (Section IV-A): lists missing and new edges, with
-/// appearance timestamps for new edges pulled from the current records.
-///
-/// An edge counts as *removed* only when no flow with that source and
-/// destination exists anywhere in the current log — group fragmentation
-/// can move an edge into a different group without the traffic actually
-/// disappearing.
-pub fn diff(
-    reference: &ConnectivityGraph,
-    current: &ConnectivityGraph,
-    current_records: &[FlowRecord],
-) -> CgDiff {
-    let ref_all: BTreeSet<Edge> = reference.all_edges().copied().collect();
-    let cur_all: BTreeSet<Edge> = current.all_edges().copied().collect();
-    let first_seen_of = |e: &Edge| {
-        current_records
-            .iter()
-            .filter(|r| r.tuple.src == e.src && r.tuple.dst == e.dst)
-            .map(|r| r.first_seen)
-            .min()
-    };
-    CgDiff {
-        added: cur_all
+    /// Graph-matching diff (Section IV-A): lists new and missing edges,
+    /// with appearance timestamps for new edges pulled from the current
+    /// records.
+    ///
+    /// An edge counts as *removed* only when no flow with that source
+    /// and destination exists anywhere in the current log — group
+    /// fragmentation can move an edge into a different group without the
+    /// traffic actually disappearing.
+    fn diff(&self, current: &Self, ctx: &DiffCtx<'_>) -> Vec<CgChange> {
+        let ref_all: BTreeSet<Edge> = self.all_edges().copied().collect();
+        let cur_all: BTreeSet<Edge> = current.all_edges().copied().collect();
+        let first_seen_of = |e: &Edge| {
+            ctx.current_records
+                .iter()
+                .filter(|r| r.tuple.src == e.src && r.tuple.dst == e.dst)
+                .map(|r| r.first_seen)
+                .min()
+        };
+        let mut out: Vec<CgChange> = cur_all
             .difference(&ref_all)
-            .map(|e| EdgeChange {
+            .map(|e| CgChange {
                 edge: *e,
+                added: true,
                 first_seen: first_seen_of(e),
             })
-            .collect(),
-        removed: ref_all
-            .difference(&cur_all)
-            .filter(|e| first_seen_of(e).is_none())
-            .map(|e| EdgeChange {
-                edge: *e,
-                first_seen: None,
+            .collect();
+        out.extend(
+            ref_all
+                .difference(&cur_all)
+                .filter(|e| first_seen_of(e).is_none())
+                .map(|e| CgChange {
+                    edge: *e,
+                    added: false,
+                    first_seen: None,
+                }),
+        );
+        out
+    }
+
+    /// CG is accepted or rejected wholesale.
+    fn locus(_change: &CgChange) -> Locus {
+        Locus::Whole
+    }
+
+    fn render(change: &CgChange) -> Change {
+        let components = vec![
+            Component::Host(change.edge.src),
+            Component::Host(change.edge.dst),
+        ];
+        if change.added {
+            Change {
+                kind: Self::KIND,
+                direction: ChangeDirection::Added,
+                description: format!("new edge {}", change.edge),
+                components,
+                ts: change.first_seen,
+            }
+        } else {
+            Change {
+                kind: Self::KIND,
+                direction: ChangeDirection::Removed,
+                description: format!("missing edge {}", change.edge),
+                components,
+                ts: None,
+            }
+        }
+    }
+
+    /// CG stability: a quorum of interval edge sets must largely agree
+    /// (Jaccard similarity ≥ 0.8) with the full-log edge set.
+    fn stability(&self, intervals: &[&Self], ctx: &StabilityCtx<'_>) -> StabilityMask {
+        let votes = intervals
+            .iter()
+            .filter(|g| {
+                let inter = g.edges.intersection(&self.edges).count();
+                let union = g.edges.union(&self.edges).count();
+                union > 0 && inter as f64 / union as f64 >= 0.8
             })
-            .collect(),
+            .count();
+        StabilityMask::whole(Self::KIND, votes >= ctx.quorum)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::records::FlowTuple;
+    use crate::config::FlowDiffConfig;
+    use crate::records::{FlowRecord, FlowTuple};
     use openflow::types::IpProto;
     use std::net::Ipv4Addr;
 
@@ -145,10 +184,25 @@ mod tests {
         }
     }
 
+    fn diff_cg(
+        reference: &ConnectivityGraph,
+        current: &ConnectivityGraph,
+        records: &[FlowRecord],
+    ) -> Vec<CgChange> {
+        let config = FlowDiffConfig::default();
+        reference.diff(
+            current,
+            &DiffCtx {
+                config: &config,
+                current_records: records,
+            },
+        )
+    }
+
     #[test]
     fn identical_graphs_diff_empty() {
         let g = cg(&[edge(1, 2), edge(2, 3)]);
-        assert!(diff(&g, &g, &[]).is_empty());
+        assert!(diff_cg(&g, &g, &[]).is_empty());
     }
 
     #[test]
@@ -156,22 +210,22 @@ mod tests {
         let reference = cg(&[edge(1, 2)]);
         let current = cg(&[edge(1, 2), edge(2, 9)]);
         let records = vec![record(edge(2, 9), 5_000), record(edge(2, 9), 2_000)];
-        let d = diff(&reference, &current, &records);
-        assert_eq!(d.added.len(), 1);
-        assert_eq!(d.added[0].edge, edge(2, 9));
-        assert_eq!(d.added[0].first_seen, Some(Timestamp::from_micros(2_000)));
-        assert!(d.removed.is_empty());
+        let d = diff_cg(&reference, &current, &records);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].added);
+        assert_eq!(d[0].edge, edge(2, 9));
+        assert_eq!(d[0].first_seen, Some(Timestamp::from_micros(2_000)));
     }
 
     #[test]
     fn removed_edge_detected() {
         let reference = cg(&[edge(1, 2), edge(2, 3)]);
         let current = cg(&[edge(1, 2)]);
-        let d = diff(&reference, &current, &[]);
-        assert!(d.added.is_empty());
-        assert_eq!(d.removed.len(), 1);
-        assert_eq!(d.removed[0].edge, edge(2, 3));
-        assert_eq!(d.removed[0].first_seen, None);
+        let d = diff_cg(&reference, &current, &[]);
+        assert_eq!(d.len(), 1);
+        assert!(!d[0].added);
+        assert_eq!(d[0].edge, edge(2, 3));
+        assert_eq!(d[0].first_seen, None);
     }
 
     #[test]
@@ -179,7 +233,58 @@ mod tests {
         let mut reference = cg(&[edge(1, 2)]);
         reference.service_edges.insert(edge(1, 200));
         let current = cg(&[edge(1, 2)]);
-        let d = diff(&reference, &current, &[]);
-        assert_eq!(d.removed.len(), 1, "lost service edge must be reported");
+        let d = diff_cg(&reference, &current, &[]);
+        assert_eq!(d.len(), 1, "lost service edge must be reported");
+        assert!(!d[0].added);
+    }
+
+    #[test]
+    fn render_tags_direction_and_hosts() {
+        let added = CgChange {
+            edge: edge(1, 2),
+            added: true,
+            first_seen: Some(Timestamp::from_secs(7)),
+        };
+        let c = ConnectivityGraph::render(&added);
+        assert_eq!(c.kind, SignatureKind::Cg);
+        assert_eq!(c.direction, ChangeDirection::Added);
+        assert_eq!(c.ts, Some(Timestamp::from_secs(7)));
+        assert_eq!(
+            c.components,
+            vec![Component::Host(ip(1)), Component::Host(ip(2))]
+        );
+        assert!(c.description.contains("new edge"));
+
+        let removed = CgChange {
+            edge: edge(1, 2),
+            added: false,
+            first_seen: None,
+        };
+        let c = ConnectivityGraph::render(&removed);
+        assert_eq!(c.direction, ChangeDirection::Removed);
+        assert!(c.description.contains("missing edge"));
+    }
+
+    #[test]
+    fn build_without_group_is_empty() {
+        let config = FlowDiffConfig::default();
+        let inputs = SignatureInputs::new(&[], (Timestamp::ZERO, Timestamp::ZERO), &config);
+        let g = ConnectivityGraph::build(&inputs);
+        assert!(g.edges.is_empty() && g.service_edges.is_empty());
+    }
+
+    #[test]
+    fn unstable_mask_gates_whole_diff() {
+        let reference = cg(&[edge(1, 2), edge(2, 3)]);
+        let current = cg(&[edge(1, 2)]);
+        let config = FlowDiffConfig::default();
+        let ctx = DiffCtx {
+            config: &config,
+            current_records: &[],
+        };
+        let unstable = StabilityMask::whole(SignatureKind::Cg, false);
+        assert!(reference.tagged_diff(&current, &ctx, &unstable).is_empty());
+        let stable = reference.stable_mask();
+        assert_eq!(reference.tagged_diff(&current, &ctx, &stable).len(), 1);
     }
 }

@@ -7,13 +7,12 @@
 
 use std::collections::BTreeMap;
 
-use openflow::types::Timestamp;
 use serde::{Deserialize, Serialize};
 
-use crate::config::FlowDiffConfig;
+use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
-use crate::records::FlowRecord;
 use crate::signatures::delay::EdgePair;
+use crate::signatures::{DiffCtx, Signature, SignatureInputs, StabilityCtx, StabilityMask};
 use crate::stats::pearson;
 
 /// The PC signature of one application group.
@@ -21,50 +20,6 @@ use crate::stats::pearson;
 pub struct PartialCorrelation {
     /// Pearson coefficient per adjacent edge pair.
     pub per_pair: BTreeMap<EdgePair, f64>,
-}
-
-/// Builds the PC signature from a group's records over a log window.
-pub fn build(
-    records: &[&FlowRecord],
-    span: (Timestamp, Timestamp),
-    config: &FlowDiffConfig,
-) -> PartialCorrelation {
-    let start = span.0.as_micros();
-    let end = span.1.as_micros().max(start + 1);
-    let epochs = ((end - start).div_ceil(config.epoch_us)).max(1) as usize;
-
-    // Per-edge epoch count series.
-    let mut series: BTreeMap<Edge, Vec<f64>> = BTreeMap::new();
-    for r in records {
-        let edge = Edge {
-            src: r.tuple.src,
-            dst: r.tuple.dst,
-        };
-        let t = r.first_seen.as_micros();
-        if t < start || t >= end {
-            continue;
-        }
-        let idx = ((t - start) / config.epoch_us) as usize;
-        let s = series.entry(edge).or_insert_with(|| vec![0.0; epochs]);
-        s[idx.min(epochs - 1)] += 1.0;
-    }
-
-    let edges: Vec<Edge> = series.keys().copied().collect();
-    let mut per_pair = BTreeMap::new();
-    for in_edge in &edges {
-        for out_edge in &edges {
-            if in_edge.dst != out_edge.src || in_edge == out_edge {
-                continue;
-            }
-            if in_edge.src == out_edge.dst && in_edge.dst == out_edge.src {
-                continue;
-            }
-            if let Some(r) = pearson(&series[in_edge], &series[out_edge]) {
-                per_pair.insert((*in_edge, *out_edge), r);
-            }
-        }
-    }
-    PartialCorrelation { per_pair }
 }
 
 /// A weakened or strengthened dependency between adjacent edges.
@@ -85,37 +40,129 @@ impl PcChange {
     }
 }
 
-/// Scalar comparison (Section IV-A): pairs whose coefficient moved by
-/// more than `config.pc_delta`.
-pub fn diff(
-    reference: &PartialCorrelation,
-    current: &PartialCorrelation,
-    config: &FlowDiffConfig,
-) -> Vec<PcChange> {
-    let mut out = Vec::new();
-    for (pair, &r_ref) in &reference.per_pair {
-        // A pair that lost its correlation signal entirely (constant or
-        // absent downstream series) counts as r = 0: the dependency is
-        // no longer observable.
-        let r_cur = current.per_pair.get(pair).copied().unwrap_or(0.0);
-        let change = PcChange {
-            pair: *pair,
-            reference: r_ref,
-            current: r_cur,
-        };
-        if change.delta() > config.pc_delta {
-            out.push(change);
+impl Signature for PartialCorrelation {
+    type Change = PcChange;
+    const KIND: SignatureKind = SignatureKind::Pc;
+
+    /// Builds the PC signature from a group's records over a log window.
+    fn build(inputs: &SignatureInputs<'_>) -> Self {
+        let config = inputs.config;
+        let start = inputs.span.0.as_micros();
+        let end = inputs.span.1.as_micros().max(start + 1);
+        let epochs = ((end - start).div_ceil(config.epoch_us)).max(1) as usize;
+
+        // Per-edge epoch count series.
+        let mut series: BTreeMap<Edge, Vec<f64>> = BTreeMap::new();
+        for r in inputs.records {
+            let edge = Edge {
+                src: r.tuple.src,
+                dst: r.tuple.dst,
+            };
+            let t = r.first_seen.as_micros();
+            if t < start || t >= end {
+                continue;
+            }
+            let idx = ((t - start) / config.epoch_us) as usize;
+            let s = series.entry(edge).or_insert_with(|| vec![0.0; epochs]);
+            s[idx.min(epochs - 1)] += 1.0;
+        }
+
+        let edges: Vec<Edge> = series.keys().copied().collect();
+        let mut per_pair = BTreeMap::new();
+        for in_edge in &edges {
+            for out_edge in &edges {
+                if in_edge.dst != out_edge.src || in_edge == out_edge {
+                    continue;
+                }
+                if in_edge.src == out_edge.dst && in_edge.dst == out_edge.src {
+                    continue;
+                }
+                if let Some(r) = pearson(&series[in_edge], &series[out_edge]) {
+                    per_pair.insert((*in_edge, *out_edge), r);
+                }
+            }
+        }
+        PartialCorrelation { per_pair }
+    }
+
+    /// Scalar comparison (Section IV-A): pairs whose coefficient moved by
+    /// more than `config.pc_delta`.
+    fn diff(&self, current: &Self, ctx: &DiffCtx<'_>) -> Vec<PcChange> {
+        let mut out = Vec::new();
+        for (pair, &r_ref) in &self.per_pair {
+            // A pair that lost its correlation signal entirely (constant
+            // or absent downstream series) counts as r = 0: the
+            // dependency is no longer observable.
+            let r_cur = current.per_pair.get(pair).copied().unwrap_or(0.0);
+            let change = PcChange {
+                pair: *pair,
+                reference: r_ref,
+                current: r_cur,
+            };
+            if change.delta() > ctx.config.pc_delta {
+                out.push(change);
+            }
+        }
+        out.sort_by(|a, b| b.delta().total_cmp(&a.delta()));
+        out
+    }
+
+    /// PC is gated per adjacent edge pair.
+    fn locus(change: &PcChange) -> Locus {
+        Locus::Pair(change.pair)
+    }
+
+    fn render(change: &PcChange) -> Change {
+        Change {
+            kind: Self::KIND,
+            direction: ChangeDirection::Shifted,
+            description: format!(
+                "correlation {:.2} -> {:.2} at {}",
+                change.reference, change.current, change.pair.0.dst
+            ),
+            components: vec![Component::Host(change.pair.0.dst)],
+            ts: None,
         }
     }
-    out.sort_by(|a, b| b.delta().total_cmp(&a.delta()));
-    out
+
+    fn stable_mask(&self) -> StabilityMask {
+        StabilityMask::per_locus(
+            Self::KIND,
+            self.per_pair
+                .keys()
+                .map(|p| (Locus::Pair(*p), true))
+                .collect(),
+        )
+    }
+
+    /// PC stability per pair: the interval coefficients must be tight
+    /// (standard deviation below 0.25) across a quorum of intervals.
+    fn stability(&self, intervals: &[&Self], ctx: &StabilityCtx<'_>) -> StabilityMask {
+        let loci = self
+            .per_pair
+            .keys()
+            .map(|pair| {
+                let rs: Vec<f64> = intervals
+                    .iter()
+                    .filter_map(|g| g.per_pair.get(pair).copied())
+                    .collect();
+                let stable = rs.len() >= ctx.quorum.min(2) && {
+                    let s = crate::stats::MeanStd::of(&rs);
+                    s.std < 0.25
+                };
+                (Locus::Pair(*pair), stable)
+            })
+            .collect();
+        StabilityMask::per_locus(Self::KIND, loci)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::records::FlowTuple;
-    use openflow::types::IpProto;
+    use crate::config::FlowDiffConfig;
+    use crate::records::{FlowRecord, FlowTuple};
+    use openflow::types::{IpProto, Timestamp};
     use std::net::Ipv4Addr;
 
     fn ip(x: u8) -> Ipv4Addr {
@@ -165,9 +212,25 @@ mod tests {
         out
     }
 
-    fn pc_of(records: &[FlowRecord]) -> PartialCorrelation {
+    fn build_pc(records: &[FlowRecord], sp: (Timestamp, Timestamp)) -> PartialCorrelation {
         let refs: Vec<&FlowRecord> = records.iter().collect();
-        build(&refs, span(), &FlowDiffConfig::default())
+        let config = FlowDiffConfig::default();
+        PartialCorrelation::build(&SignatureInputs::new(&refs, sp, &config))
+    }
+
+    fn pc_of(records: &[FlowRecord]) -> PartialCorrelation {
+        build_pc(records, span())
+    }
+
+    fn diff_pc(a: &PartialCorrelation, b: &PartialCorrelation) -> Vec<PcChange> {
+        let config = FlowDiffConfig::default();
+        a.diff(
+            b,
+            &DiffCtx {
+                config: &config,
+                current_records: &[],
+            },
+        )
     }
 
     #[test]
@@ -206,7 +269,7 @@ mod tests {
             broken_records.push(record(2, 3, e * 1_000_000 + 123, sport + e as u16));
         }
         let broken = pc_of(&broken_records);
-        let changes = diff(&healthy, &broken, &FlowDiffConfig::default());
+        let changes = diff_pc(&healthy, &broken);
         assert_eq!(changes.len(), 1);
         assert!(changes[0].delta() > 0.35);
     }
@@ -215,12 +278,12 @@ mod tests {
     fn stable_correlation_not_flagged() {
         let a = pc_of(&bursty_chain(10, 10, 10));
         let b = pc_of(&bursty_chain(10, 14, 14));
-        assert!(diff(&a, &b, &FlowDiffConfig::default()).is_empty());
+        assert!(diff_pc(&a, &b).is_empty());
     }
 
     #[test]
     fn empty_records_build_empty_signature() {
-        let pc = build(&[], span(), &FlowDiffConfig::default());
+        let pc = build_pc(&[], span());
         assert!(pc.per_pair.is_empty());
     }
 
@@ -233,12 +296,22 @@ mod tests {
             records.push(record(2, 3, e * 1_000_000 + 60_000, 2000 + e as u16));
         }
         // span exactly covers the ten active epochs
-        let refs: Vec<&FlowRecord> = records.iter().collect();
-        let pc = build(
-            &refs,
-            (Timestamp::ZERO, Timestamp::from_secs(10)),
-            &FlowDiffConfig::default(),
-        );
+        let pc = build_pc(&records, (Timestamp::ZERO, Timestamp::from_secs(10)));
         assert!(pc.per_pair.is_empty());
+    }
+
+    #[test]
+    fn render_names_the_shared_node() {
+        let healthy = pc_of(&bursty_chain(10, 10, 10));
+        let change = PcChange {
+            pair: *healthy.per_pair.keys().next().unwrap(),
+            reference: 0.95,
+            current: 0.10,
+        };
+        let c = PartialCorrelation::render(&change);
+        assert_eq!(c.kind, SignatureKind::Pc);
+        assert_eq!(c.direction, ChangeDirection::Shifted);
+        assert_eq!(c.components, vec![Component::Host(ip(2))]);
+        assert!(c.description.contains("correlation 0.95 -> 0.10"));
     }
 }

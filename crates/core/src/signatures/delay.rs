@@ -10,9 +10,9 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::config::FlowDiffConfig;
+use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
-use crate::records::FlowRecord;
+use crate::signatures::{DiffCtx, Signature, SignatureInputs, StabilityCtx, StabilityMask};
 use crate::stats::{Histogram, MeanStd};
 
 /// An adjacent edge pair `(incoming, outgoing)` sharing a middle node.
@@ -42,73 +42,6 @@ impl DelayDistribution {
     }
 }
 
-/// Builds the DD signature from a group's records.
-///
-/// For each adjacent edge pair, every incoming flow is paired with every
-/// outgoing flow that starts within `config.dd_window_us` after it; the
-/// true processing delay emerges as the histogram mode (dependent flows
-/// recur at a fixed lag, unrelated pairs spread uniformly).
-pub fn build(records: &[&FlowRecord], config: &FlowDiffConfig) -> DelayDistribution {
-    // Arrivals per edge, sorted by time.
-    let mut per_edge: BTreeMap<Edge, Vec<u64>> = BTreeMap::new();
-    for r in records {
-        per_edge
-            .entry(Edge {
-                src: r.tuple.src,
-                dst: r.tuple.dst,
-            })
-            .or_default()
-            .push(r.first_seen.as_micros());
-    }
-    for times in per_edge.values_mut() {
-        times.sort_unstable();
-    }
-
-    let edges: Vec<Edge> = per_edge.keys().copied().collect();
-    let mut per_pair = BTreeMap::new();
-    let mut nearest = BTreeMap::new();
-    for in_edge in &edges {
-        for out_edge in &edges {
-            if in_edge.dst != out_edge.src || in_edge == out_edge {
-                continue;
-            }
-            // Skip trivial reverse pairs (B -> A after A -> B would
-            // measure RTTs, not processing time, when symmetric).
-            if in_edge.src == out_edge.dst && in_edge.dst == out_edge.src {
-                continue;
-            }
-            let ins = &per_edge[in_edge];
-            let outs = &per_edge[out_edge];
-            let mut hist = Histogram::new(config.dd_bin_us);
-            let mut nearest_samples = Vec::new();
-            let mut start_idx = 0usize;
-            for &t_in in ins {
-                // advance to the first outgoing flow at or after t_in
-                while start_idx < outs.len() && outs[start_idx] < t_in {
-                    start_idx += 1;
-                }
-                let mut first = true;
-                for &t_out in &outs[start_idx..] {
-                    let d = t_out - t_in;
-                    if d >= config.dd_window_us {
-                        break;
-                    }
-                    hist.add(d);
-                    if first {
-                        nearest_samples.push(d as f64);
-                        first = false;
-                    }
-                }
-            }
-            if hist.total() > 0 {
-                per_pair.insert((*in_edge, *out_edge), hist);
-                nearest.insert((*in_edge, *out_edge), MeanStd::of(&nearest_samples));
-            }
-        }
-    }
-    DelayDistribution { per_pair, nearest }
-}
-
 /// A shifted delay distribution at one edge pair.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DdChange {
@@ -124,51 +57,188 @@ pub struct DdChange {
     pub mean_shift_us: f64,
 }
 
-/// Delay-distribution comparison (Section IV-A): reports pairs whose
-/// histogram peak moved by at least `config.dd_peak_shift_bins` bins.
-/// The nearest-pair mean shift is reported alongside for context.
-pub fn diff(
-    reference: &DelayDistribution,
-    current: &DelayDistribution,
-    config: &FlowDiffConfig,
-) -> Vec<DdChange> {
-    let ref_peaks = reference.peaks(config.min_samples);
-    let cur_peaks = current.peaks(config.min_samples);
-    let mut out = Vec::new();
-    for (pair, ref_peak) in &ref_peaks {
-        let Some(cur_peak) = cur_peaks.get(pair) else {
-            continue;
-        };
-        let ref_bin = ref_peak.0 / config.dd_bin_us;
-        let cur_bin = cur_peak.0 / config.dd_bin_us;
-        let shift = ref_bin.abs_diff(cur_bin) as u32;
+impl Signature for DelayDistribution {
+    type Change = DdChange;
+    const KIND: SignatureKind = SignatureKind::Dd;
 
-        let mean_shift_us = match (reference.nearest.get(pair), current.nearest.get(pair)) {
-            (Some(r), Some(c)) if r.n >= config.min_samples && c.n >= config.min_samples => {
-                c.mean - r.mean
+    /// Builds the DD signature from a group's records.
+    ///
+    /// For each adjacent edge pair, every incoming flow is paired with
+    /// every outgoing flow that starts within `config.dd_window_us` after
+    /// it; the true processing delay emerges as the histogram mode
+    /// (dependent flows recur at a fixed lag, unrelated pairs spread
+    /// uniformly).
+    fn build(inputs: &SignatureInputs<'_>) -> Self {
+        let config = inputs.config;
+        // Arrivals per edge, sorted by time.
+        let mut per_edge: BTreeMap<Edge, Vec<u64>> = BTreeMap::new();
+        for r in inputs.records {
+            per_edge
+                .entry(Edge {
+                    src: r.tuple.src,
+                    dst: r.tuple.dst,
+                })
+                .or_default()
+                .push(r.first_seen.as_micros());
+        }
+        for times in per_edge.values_mut() {
+            times.sort_unstable();
+        }
+
+        let edges: Vec<Edge> = per_edge.keys().copied().collect();
+        let mut per_pair = BTreeMap::new();
+        let mut nearest = BTreeMap::new();
+        for in_edge in &edges {
+            for out_edge in &edges {
+                if in_edge.dst != out_edge.src || in_edge == out_edge {
+                    continue;
+                }
+                // Skip trivial reverse pairs (B -> A after A -> B would
+                // measure RTTs, not processing time, when symmetric).
+                if in_edge.src == out_edge.dst && in_edge.dst == out_edge.src {
+                    continue;
+                }
+                let ins = &per_edge[in_edge];
+                let outs = &per_edge[out_edge];
+                let mut hist = Histogram::new(config.dd_bin_us);
+                let mut nearest_samples = Vec::new();
+                let mut start_idx = 0usize;
+                for &t_in in ins {
+                    // advance to the first outgoing flow at or after t_in
+                    while start_idx < outs.len() && outs[start_idx] < t_in {
+                        start_idx += 1;
+                    }
+                    let mut first = true;
+                    for &t_out in &outs[start_idx..] {
+                        let d = t_out - t_in;
+                        if d >= config.dd_window_us {
+                            break;
+                        }
+                        hist.add(d);
+                        if first {
+                            nearest_samples.push(d as f64);
+                            first = false;
+                        }
+                    }
+                }
+                if hist.total() > 0 {
+                    per_pair.insert((*in_edge, *out_edge), hist);
+                    nearest.insert((*in_edge, *out_edge), MeanStd::of(&nearest_samples));
+                }
             }
-            _ => 0.0,
-        };
-        if shift >= config.dd_peak_shift_bins {
-            out.push(DdChange {
-                pair: *pair,
-                reference_peak: *ref_peak,
-                current_peak: *cur_peak,
-                shift_bins: shift,
-                mean_shift_us,
-            });
+        }
+        DelayDistribution { per_pair, nearest }
+    }
+
+    /// Delay-distribution comparison (Section IV-A): reports pairs whose
+    /// histogram peak moved by at least `config.dd_peak_shift_bins` bins.
+    /// The nearest-pair mean shift is reported alongside for context.
+    fn diff(&self, current: &Self, ctx: &DiffCtx<'_>) -> Vec<DdChange> {
+        let config = ctx.config;
+        let ref_peaks = self.peaks(config.min_samples);
+        let cur_peaks = current.peaks(config.min_samples);
+        let mut out = Vec::new();
+        for (pair, ref_peak) in &ref_peaks {
+            let Some(cur_peak) = cur_peaks.get(pair) else {
+                continue;
+            };
+            let ref_bin = ref_peak.0 / config.dd_bin_us;
+            let cur_bin = cur_peak.0 / config.dd_bin_us;
+            let shift = ref_bin.abs_diff(cur_bin) as u32;
+
+            let mean_shift_us = match (self.nearest.get(pair), current.nearest.get(pair)) {
+                (Some(r), Some(c)) if r.n >= config.min_samples && c.n >= config.min_samples => {
+                    c.mean - r.mean
+                }
+                _ => 0.0,
+            };
+            if shift >= config.dd_peak_shift_bins {
+                out.push(DdChange {
+                    pair: *pair,
+                    reference_peak: *ref_peak,
+                    current_peak: *cur_peak,
+                    shift_bins: shift,
+                    mean_shift_us,
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            (b.shift_bins, b.mean_shift_us.abs())
+                .partial_cmp(&(a.shift_bins, a.mean_shift_us.abs()))
+                .expect("finite")
+        });
+        out
+    }
+
+    /// DD is gated per adjacent edge pair.
+    fn locus(change: &DdChange) -> Locus {
+        Locus::Pair(change.pair)
+    }
+
+    fn render(change: &DdChange) -> Change {
+        Change {
+            kind: Self::KIND,
+            direction: ChangeDirection::Shifted,
+            description: format!(
+                "delay peak moved {}ms -> {}ms at {}",
+                change.reference_peak.0 / 1_000,
+                change.current_peak.0 / 1_000,
+                change.pair.0.dst
+            ),
+            components: vec![Component::Host(change.pair.0.dst)],
+            ts: None,
         }
     }
-    out.sort_by(|a, b| {
-        (b.shift_bins, b.mean_shift_us.abs()).partial_cmp(&(a.shift_bins, a.mean_shift_us.abs())).expect("finite")
-    });
-    out
+
+    fn stable_mask(&self) -> StabilityMask {
+        StabilityMask::per_locus(
+            Self::KIND,
+            self.per_pair
+                .keys()
+                .map(|p| (Locus::Pair(*p), true))
+                .collect(),
+        )
+    }
+
+    /// DD stability per pair: each interval's peak bin must land within
+    /// one bin of the full-log peak for a quorum fraction of the
+    /// intervals that observed the pair at all. A pair without a
+    /// full-log peak (too few samples) has no diffing license.
+    fn stability(&self, intervals: &[&Self], ctx: &StabilityCtx<'_>) -> StabilityMask {
+        let config = ctx.config;
+        let full_peaks = self.peaks(config.min_samples);
+        let loci = self
+            .per_pair
+            .keys()
+            .map(|pair| {
+                let Some(full_peak) = full_peaks.get(pair) else {
+                    return (Locus::Pair(*pair), false);
+                };
+                let mut votes = 0;
+                let mut observed = 0;
+                for g in intervals {
+                    let peaks = g.peaks(1);
+                    if let Some(p) = peaks.get(pair) {
+                        observed += 1;
+                        if p.0.abs_diff(full_peak.0) <= config.dd_bin_us {
+                            votes += 1;
+                        }
+                    }
+                }
+                let stable =
+                    observed > 0 && votes as f64 / observed as f64 >= config.stability_quorum;
+                (Locus::Pair(*pair), stable)
+            })
+            .collect();
+        StabilityMask::per_locus(Self::KIND, loci)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::records::FlowTuple;
+    use crate::config::FlowDiffConfig;
+    use crate::records::{FlowRecord, FlowTuple};
     use openflow::types::{IpProto, Timestamp};
     use std::net::Ipv4Addr;
 
@@ -200,14 +270,35 @@ mod tests {
         for i in 0..n {
             let t = 1_000_000 + i as u64 * gap_us;
             out.push(record(1, 2, t, 1000 + i as u16));
-            out.push(record(2, 3, t + delay_us + (i as u64 % 5) * 1_000, 2000 + i as u16));
+            out.push(record(
+                2,
+                3,
+                t + delay_us + (i as u64 % 5) * 1_000,
+                2000 + i as u16,
+            ));
         }
         out
     }
 
     fn dd_of(records: &[FlowRecord]) -> DelayDistribution {
         let refs: Vec<&FlowRecord> = records.iter().collect();
-        build(&refs, &FlowDiffConfig::default())
+        let config = FlowDiffConfig::default();
+        DelayDistribution::build(&SignatureInputs::new(
+            &refs,
+            (Timestamp::ZERO, Timestamp::ZERO),
+            &config,
+        ))
+    }
+
+    fn diff_dd(a: &DelayDistribution, b: &DelayDistribution) -> Vec<DdChange> {
+        let config = FlowDiffConfig::default();
+        a.diff(
+            b,
+            &DiffCtx {
+                config: &config,
+                current_records: &[],
+            },
+        )
     }
 
     #[test]
@@ -226,7 +317,7 @@ mod tests {
     fn peak_shift_detected_when_node_slows() {
         let base = dd_of(&chain(100, 60_000, 50_000));
         let slowed = dd_of(&chain(100, 160_000, 50_000));
-        let changes = diff(&base, &slowed, &FlowDiffConfig::default());
+        let changes = diff_dd(&base, &slowed);
         assert_eq!(changes.len(), 1);
         assert_eq!(changes[0].shift_bins, 5, "100ms shift = 5 bins of 20ms");
         assert_eq!(changes[0].pair.0.dst, ip(2));
@@ -236,7 +327,7 @@ mod tests {
     fn stable_delay_not_flagged() {
         let a = dd_of(&chain(100, 60_000, 50_000));
         let b = dd_of(&chain(80, 61_000, 70_000));
-        let d = diff(&a, &b, &FlowDiffConfig::default());
+        let d = diff_dd(&a, &b);
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -283,5 +374,33 @@ mod tests {
         let dd = dd_of(&records);
         assert!(dd.per_pair.is_empty());
     }
-}
 
+    #[test]
+    fn render_names_the_middle_node() {
+        let base = dd_of(&chain(100, 60_000, 50_000));
+        let slowed = dd_of(&chain(100, 160_000, 50_000));
+        let changes = diff_dd(&base, &slowed);
+        let c = DelayDistribution::render(&changes[0]);
+        assert_eq!(c.kind, SignatureKind::Dd);
+        assert_eq!(c.direction, ChangeDirection::Shifted);
+        assert_eq!(c.components, vec![Component::Host(ip(2))]);
+        assert!(c.description.contains("delay peak moved 60ms -> 160ms"));
+    }
+
+    #[test]
+    fn per_pair_mask_gates_the_shifted_pair() {
+        let base = dd_of(&chain(100, 60_000, 50_000));
+        let slowed = dd_of(&chain(100, 160_000, 50_000));
+        let config = FlowDiffConfig::default();
+        let ctx = DiffCtx {
+            config: &config,
+            current_records: &[],
+        };
+        let stable = base.stable_mask();
+        assert_eq!(base.tagged_diff(&slowed, &ctx, &stable).len(), 1);
+        let pair = *base.per_pair.keys().next().unwrap();
+        let mut gated = base.stable_mask();
+        gated.loci.insert(Locus::Pair(pair), false);
+        assert!(base.tagged_diff(&slowed, &ctx, &gated).is_empty());
+    }
+}

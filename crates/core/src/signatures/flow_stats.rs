@@ -6,11 +6,12 @@
 
 use std::collections::BTreeMap;
 
-use openflow::types::Timestamp;
 use serde::{Deserialize, Serialize};
 
+use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
 use crate::records::FlowRecord;
+use crate::signatures::{DiffCtx, Signature, SignatureInputs, StabilityCtx, StabilityMask};
 use crate::stats::MeanStd;
 
 /// Per-edge flow statistics.
@@ -39,49 +40,6 @@ pub struct FlowStatsSig {
     pub duration_s: MeanStd,
     /// Per-edge breakdown.
     pub per_edge: BTreeMap<Edge, EdgeStats>,
-}
-
-/// Builds the FS signature from a group's records over a log window.
-pub fn build(records: &[&FlowRecord], span: (Timestamp, Timestamp)) -> FlowStatsSig {
-    let span_s = ((span.1.as_micros().saturating_sub(span.0.as_micros())) as f64 / 1e6).max(1e-6);
-    let bytes: Vec<f64> = records.iter().map(|r| r.byte_count as f64).collect();
-    let packets: Vec<f64> = records.iter().map(|r| r.packet_count as f64).collect();
-    let durations: Vec<f64> = records.iter().map(|r| r.duration_s).collect();
-
-    let mut per_edge: BTreeMap<Edge, Vec<&FlowRecord>> = BTreeMap::new();
-    for r in records {
-        per_edge
-            .entry(Edge {
-                src: r.tuple.src,
-                dst: r.tuple.dst,
-            })
-            .or_default()
-            .push(r);
-    }
-    let per_edge = per_edge
-        .into_iter()
-        .map(|(e, rs)| {
-            let b: Vec<f64> = rs.iter().map(|r| r.byte_count as f64).collect();
-            let d: Vec<f64> = rs.iter().map(|r| r.duration_s).collect();
-            (
-                e,
-                EdgeStats {
-                    flow_count: rs.len(),
-                    bytes: MeanStd::of(&b),
-                    duration_s: MeanStd::of(&d),
-                },
-            )
-        })
-        .collect();
-
-    FlowStatsSig {
-        flow_count: records.len(),
-        flows_per_sec: records.len() as f64 / span_s,
-        bytes: MeanStd::of(&bytes),
-        packets: MeanStd::of(&packets),
-        duration_s: MeanStd::of(&durations),
-        per_edge,
-    }
 }
 
 /// One detected flow-statistics change.
@@ -116,81 +74,182 @@ fn bytes_shifted(reference: &MeanStd, current: &MeanStd) -> bool {
     rel(reference.mean, current.mean) > 0.05 && delta > 5.0 * se
 }
 
-/// Scalar comparison (Section IV-A): reports metrics whose relative
-/// change exceeds `threshold`, plus byte-count means that shifted
-/// significantly per the standard-error test above.
-pub fn diff(reference: &FlowStatsSig, current: &FlowStatsSig, threshold: f64) -> Vec<FsChange> {
-    fn push(out: &mut Vec<FsChange>, metric: &str, edge: Option<Edge>, a: f64, b: f64) {
-        out.push(FsChange {
-            metric: metric.to_owned(),
-            edge,
-            reference: a,
-            current: b,
-            rel_change: rel(a, b),
-        });
-    }
-    let mut out = Vec::new();
-    if rel(reference.flows_per_sec, current.flows_per_sec) > threshold {
-        push(
-            &mut out,
-            "flow_rate",
-            None,
-            reference.flows_per_sec,
-            current.flows_per_sec,
-        );
-    }
-    if rel(reference.bytes.mean, current.bytes.mean) > threshold
-        || bytes_shifted(&reference.bytes, &current.bytes)
-    {
-        push(
-            &mut out,
-            "bytes",
-            None,
-            reference.bytes.mean,
-            current.bytes.mean,
-        );
-    }
-    if rel(reference.duration_s.mean, current.duration_s.mean) > threshold {
-        push(
-            &mut out,
-            "duration",
-            None,
-            reference.duration_s.mean,
-            current.duration_s.mean,
-        );
-    }
-    for (edge, ref_stats) in &reference.per_edge {
-        if let Some(cur_stats) = current.per_edge.get(edge) {
-            if rel(ref_stats.bytes.mean, cur_stats.bytes.mean) > threshold
-                || bytes_shifted(&ref_stats.bytes, &cur_stats.bytes)
-            {
-                push(
-                    &mut out,
-                    "bytes",
-                    Some(*edge),
-                    ref_stats.bytes.mean,
-                    cur_stats.bytes.mean,
-                );
-            }
-            if rel(ref_stats.flow_count as f64, cur_stats.flow_count as f64) > threshold {
-                push(
-                    &mut out,
-                    "flow_rate",
-                    Some(*edge),
-                    ref_stats.flow_count as f64,
-                    cur_stats.flow_count as f64,
-                );
-            }
+impl Signature for FlowStatsSig {
+    type Change = FsChange;
+    const KIND: SignatureKind = SignatureKind::Fs;
+
+    /// Builds the FS signature from a group's records over a log window.
+    fn build(inputs: &SignatureInputs<'_>) -> Self {
+        let (records, span) = (inputs.records, inputs.span);
+        let span_s =
+            ((span.1.as_micros().saturating_sub(span.0.as_micros())) as f64 / 1e6).max(1e-6);
+        let bytes: Vec<f64> = records.iter().map(|r| r.byte_count as f64).collect();
+        let packets: Vec<f64> = records.iter().map(|r| r.packet_count as f64).collect();
+        let durations: Vec<f64> = records.iter().map(|r| r.duration_s).collect();
+
+        let mut per_edge: BTreeMap<Edge, Vec<&FlowRecord>> = BTreeMap::new();
+        for r in records {
+            per_edge
+                .entry(Edge {
+                    src: r.tuple.src,
+                    dst: r.tuple.dst,
+                })
+                .or_default()
+                .push(r);
+        }
+        let per_edge = per_edge
+            .into_iter()
+            .map(|(e, rs)| {
+                let b: Vec<f64> = rs.iter().map(|r| r.byte_count as f64).collect();
+                let d: Vec<f64> = rs.iter().map(|r| r.duration_s).collect();
+                (
+                    e,
+                    EdgeStats {
+                        flow_count: rs.len(),
+                        bytes: MeanStd::of(&b),
+                        duration_s: MeanStd::of(&d),
+                    },
+                )
+            })
+            .collect();
+
+        FlowStatsSig {
+            flow_count: records.len(),
+            flows_per_sec: records.len() as f64 / span_s,
+            bytes: MeanStd::of(&bytes),
+            packets: MeanStd::of(&packets),
+            duration_s: MeanStd::of(&durations),
+            per_edge,
         }
     }
-    out
+
+    /// Scalar comparison (Section IV-A): reports metrics whose relative
+    /// change exceeds `config.fs_rel_change`, plus byte-count means that
+    /// shifted significantly per the standard-error test above.
+    fn diff(&self, current: &Self, ctx: &DiffCtx<'_>) -> Vec<FsChange> {
+        fn push(out: &mut Vec<FsChange>, metric: &str, edge: Option<Edge>, a: f64, b: f64) {
+            out.push(FsChange {
+                metric: metric.to_owned(),
+                edge,
+                reference: a,
+                current: b,
+                rel_change: rel(a, b),
+            });
+        }
+        let threshold = ctx.config.fs_rel_change;
+        let mut out = Vec::new();
+        if rel(self.flows_per_sec, current.flows_per_sec) > threshold {
+            push(
+                &mut out,
+                "flow_rate",
+                None,
+                self.flows_per_sec,
+                current.flows_per_sec,
+            );
+        }
+        if rel(self.bytes.mean, current.bytes.mean) > threshold
+            || bytes_shifted(&self.bytes, &current.bytes)
+        {
+            push(&mut out, "bytes", None, self.bytes.mean, current.bytes.mean);
+        }
+        if rel(self.duration_s.mean, current.duration_s.mean) > threshold {
+            push(
+                &mut out,
+                "duration",
+                None,
+                self.duration_s.mean,
+                current.duration_s.mean,
+            );
+        }
+        for (edge, ref_stats) in &self.per_edge {
+            if let Some(cur_stats) = current.per_edge.get(edge) {
+                if rel(ref_stats.bytes.mean, cur_stats.bytes.mean) > threshold
+                    || bytes_shifted(&ref_stats.bytes, &cur_stats.bytes)
+                {
+                    push(
+                        &mut out,
+                        "bytes",
+                        Some(*edge),
+                        ref_stats.bytes.mean,
+                        cur_stats.bytes.mean,
+                    );
+                }
+                if rel(ref_stats.flow_count as f64, cur_stats.flow_count as f64) > threshold {
+                    push(
+                        &mut out,
+                        "flow_rate",
+                        Some(*edge),
+                        ref_stats.flow_count as f64,
+                        cur_stats.flow_count as f64,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// FS is accepted or rejected wholesale.
+    fn locus(_change: &FsChange) -> Locus {
+        Locus::Whole
+    }
+
+    fn render(change: &FsChange) -> Change {
+        let mut components = Vec::new();
+        if let Some(e) = change.edge {
+            components.push(Component::Host(e.src));
+            components.push(Component::Host(e.dst));
+        }
+        // Byte-count changes carry a qualitative direction: a collapse
+        // means traffic disappeared (e.g. only SYN retries survive a
+        // firewall); an inflation means extra wire bytes appeared
+        // (retransmissions under loss).
+        let collapsed = change.metric == "bytes" && change.current < change.reference * 0.3;
+        let inflated = change.metric == "bytes" && change.current > change.reference * 1.2;
+        Change {
+            kind: Self::KIND,
+            direction: if collapsed {
+                ChangeDirection::Removed
+            } else if inflated {
+                ChangeDirection::Added
+            } else {
+                ChangeDirection::Shifted
+            },
+            description: format!(
+                "{} changed {:.3} -> {:.3}{}",
+                change.metric,
+                change.reference,
+                change.current,
+                change.edge.map_or(String::new(), |e| format!(" on {e}"))
+            ),
+            components,
+            ts: None,
+        }
+    }
+
+    /// FS stability: the coefficient of variation of the interval mean
+    /// byte counts must stay small across a quorum of active intervals.
+    fn stability(&self, intervals: &[&Self], ctx: &StabilityCtx<'_>) -> StabilityMask {
+        let byte_means: Vec<f64> = intervals
+            .iter()
+            .filter(|g| g.flow_count > 0)
+            .map(|g| g.bytes.mean)
+            .collect();
+        let stable = if byte_means.len() >= ctx.quorum.min(2) {
+            let s = MeanStd::of(&byte_means);
+            s.mean > 0.0 && s.std / s.mean < 0.5
+        } else {
+            false
+        };
+        StabilityMask::whole(Self::KIND, stable)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::FlowDiffConfig;
     use crate::records::FlowTuple;
-    use openflow::types::IpProto;
+    use openflow::types::{IpProto, Timestamp};
     use std::net::Ipv4Addr;
 
     fn record(src_last: u8, dst_last: u8, bytes: u64, at_s: u64) -> FlowRecord {
@@ -214,6 +273,26 @@ mod tests {
         (Timestamp::ZERO, Timestamp::from_secs(10))
     }
 
+    fn build_fs(records: &[FlowRecord]) -> FlowStatsSig {
+        let refs: Vec<&FlowRecord> = records.iter().collect();
+        let config = FlowDiffConfig::default();
+        FlowStatsSig::build(&SignatureInputs::new(&refs, span(), &config))
+    }
+
+    fn diff_fs(a: &FlowStatsSig, b: &FlowStatsSig, threshold: f64) -> Vec<FsChange> {
+        let config = FlowDiffConfig {
+            fs_rel_change: threshold,
+            ..FlowDiffConfig::default()
+        };
+        a.diff(
+            b,
+            &DiffCtx {
+                config: &config,
+                current_records: &[],
+            },
+        )
+    }
+
     #[test]
     fn build_summarizes_counts_and_rates() {
         let records = vec![
@@ -221,8 +300,7 @@ mod tests {
             record(1, 2, 3_000, 2),
             record(2, 3, 2_000, 3),
         ];
-        let refs: Vec<&FlowRecord> = records.iter().collect();
-        let fs = build(&refs, span());
+        let fs = build_fs(&records);
         assert_eq!(fs.flow_count, 3);
         assert!((fs.flows_per_sec - 0.3).abs() < 1e-9);
         assert!((fs.bytes.mean - 2_000.0).abs() < 1e-9);
@@ -237,20 +315,20 @@ mod tests {
     #[test]
     fn no_change_below_threshold() {
         let records = vec![record(1, 2, 1_000, 1), record(1, 2, 1_100, 2)];
-        let refs: Vec<&FlowRecord> = records.iter().collect();
-        let fs1 = build(&refs, span());
-        let changes = diff(&fs1, &fs1, 0.5);
-        assert!(changes.is_empty());
+        let fs1 = build_fs(&records);
+        assert!(diff_fs(&fs1, &fs1, 0.5).is_empty());
     }
 
     #[test]
     fn byte_inflation_detected_on_edge() {
         let base = vec![record(1, 2, 1_000, 1), record(1, 2, 1_000, 2)];
         let loss = vec![record(1, 2, 2_500, 1), record(1, 2, 2_700, 2)];
-        let fs1 = build(&base.iter().collect::<Vec<_>>(), span());
-        let fs2 = build(&loss.iter().collect::<Vec<_>>(), span());
-        let changes = diff(&fs1, &fs2, 0.5);
-        assert!(changes.iter().any(|c| c.metric == "bytes" && c.edge.is_some()));
+        let fs1 = build_fs(&base);
+        let fs2 = build_fs(&loss);
+        let changes = diff_fs(&fs1, &fs2, 0.5);
+        assert!(changes
+            .iter()
+            .any(|c| c.metric == "bytes" && c.edge.is_some()));
         assert!(changes
             .iter()
             .all(|c| c.metric != "flow_rate" || c.rel_change <= 0.5));
@@ -258,19 +336,56 @@ mod tests {
 
     #[test]
     fn empty_group_yields_default_signature() {
-        let fs = build(&[], span());
+        let fs = build_fs(&[]);
         assert_eq!(fs.flow_count, 0);
         assert_eq!(fs.bytes.n, 0);
-        assert!(diff(&fs, &fs, 0.1).is_empty());
+        assert!(diff_fs(&fs, &fs, 0.1).is_empty());
     }
 
     #[test]
     fn flow_rate_collapse_detected() {
         let base: Vec<FlowRecord> = (0..10).map(|i| record(1, 2, 1_000, i)).collect();
         let quiet = vec![record(1, 2, 1_000, 1)];
-        let fs1 = build(&base.iter().collect::<Vec<_>>(), span());
-        let fs2 = build(&quiet.iter().collect::<Vec<_>>(), span());
-        let changes = diff(&fs1, &fs2, 0.5);
+        let fs1 = build_fs(&base);
+        let fs2 = build_fs(&quiet);
+        let changes = diff_fs(&fs1, &fs2, 0.5);
         assert!(changes.iter().any(|c| c.metric == "flow_rate"));
+    }
+
+    #[test]
+    fn render_classifies_byte_collapse_and_inflation() {
+        let collapse = FsChange {
+            metric: "bytes".into(),
+            edge: None,
+            reference: 1_000.0,
+            current: 100.0,
+            rel_change: 0.9,
+        };
+        assert_eq!(
+            FlowStatsSig::render(&collapse).direction,
+            ChangeDirection::Removed
+        );
+        let inflation = FsChange {
+            metric: "bytes".into(),
+            edge: None,
+            reference: 1_000.0,
+            current: 2_500.0,
+            rel_change: 1.5,
+        };
+        assert_eq!(
+            FlowStatsSig::render(&inflation).direction,
+            ChangeDirection::Added
+        );
+        let rate = FsChange {
+            metric: "flow_rate".into(),
+            edge: None,
+            reference: 10.0,
+            current: 1.0,
+            rel_change: 0.9,
+        };
+        assert_eq!(
+            FlowStatsSig::render(&rate).direction,
+            ChangeDirection::Shifted
+        );
     }
 }

@@ -18,14 +18,12 @@ use std::net::Ipv4Addr;
 use openflow::types::{DatapathId, PortNo};
 use serde::{Deserialize, Serialize};
 
-use crate::config::FlowDiffConfig;
-use crate::records::FlowRecord;
+use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
+use crate::signatures::{DiffCtx, Signature, SignatureInputs};
 use crate::stats::MeanStd;
 
 /// An inferred switch-to-switch adjacency, with the connecting ports.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SwitchAdjacency {
     /// Upstream switch.
     pub from: DatapathId,
@@ -50,98 +48,142 @@ pub struct PhysicalTopology {
     pub live_switches: BTreeSet<DatapathId>,
 }
 
-/// Builds the PT signature from flow records.
-pub fn build_topology(records: &[FlowRecord]) -> PhysicalTopology {
-    let mut adjacencies = BTreeSet::new();
-    let mut host_attachment = BTreeMap::new();
-    let mut live_switches = BTreeSet::new();
-    for r in records {
-        live_switches.extend(r.hops.iter().map(|h| h.dpid));
-        if let Some(first) = r.hops.first() {
-            host_attachment
-                .entry(r.tuple.src)
-                .or_insert((first.dpid, first.in_port));
-        }
-        for w in r.hops.windows(2) {
-            let (a, b) = (&w[0], &w[1]);
-            if let Some(out_port) = a.out_port {
-                adjacencies.insert(SwitchAdjacency {
-                    from: a.dpid,
-                    from_port: out_port,
-                    to: b.dpid,
-                    to_port: b.in_port,
-                });
+/// One physical-topology change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PtChange {
+    /// A switch-to-switch adjacency newly observed.
+    AdjacencyAdded(SwitchAdjacency),
+    /// An adjacency no longer observed, with an endpoint gone silent.
+    AdjacencyRemoved(SwitchAdjacency),
+    /// A host whose attachment switch changed.
+    HostMoved {
+        /// The host.
+        host: Ipv4Addr,
+        /// Previous attachment switch.
+        old: DatapathId,
+        /// Current attachment switch.
+        new: DatapathId,
+    },
+    /// A switch that disappeared from all observed paths.
+    SwitchVanished(DatapathId),
+}
+
+impl Signature for PhysicalTopology {
+    type Change = PtChange;
+    const KIND: SignatureKind = SignatureKind::Pt;
+
+    /// Builds the PT signature from flow records.
+    fn build(inputs: &SignatureInputs<'_>) -> Self {
+        let mut adjacencies = BTreeSet::new();
+        let mut host_attachment = BTreeMap::new();
+        let mut live_switches = BTreeSet::new();
+        for r in inputs.records {
+            live_switches.extend(r.hops.iter().map(|h| h.dpid));
+            if let Some(first) = r.hops.first() {
+                host_attachment
+                    .entry(r.tuple.src)
+                    .or_insert((first.dpid, first.in_port));
+            }
+            for w in r.hops.windows(2) {
+                let (a, b) = (&w[0], &w[1]);
+                if let Some(out_port) = a.out_port {
+                    adjacencies.insert(SwitchAdjacency {
+                        from: a.dpid,
+                        from_port: out_port,
+                        to: b.dpid,
+                        to_port: b.in_port,
+                    });
+                }
             }
         }
-    }
-    PhysicalTopology {
-        adjacencies,
-        host_attachment,
-        live_switches,
-    }
-}
-
-/// Difference between two inferred topologies.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PtDiff {
-    /// Adjacencies newly observed.
-    pub added: Vec<SwitchAdjacency>,
-    /// Adjacencies no longer observed.
-    pub removed: Vec<SwitchAdjacency>,
-    /// Hosts whose attachment switch changed `(host, old, new)`.
-    pub moved_hosts: Vec<(Ipv4Addr, DatapathId, DatapathId)>,
-    /// Switches that disappeared from all observed paths.
-    pub vanished_switches: Vec<DatapathId>,
-}
-
-impl PtDiff {
-    /// True when the topologies agree.
-    pub fn is_empty(&self) -> bool {
-        self.added.is_empty()
-            && self.removed.is_empty()
-            && self.moved_hosts.is_empty()
-            && self.vanished_switches.is_empty()
-    }
-}
-
-/// Compares two topologies.
-///
-/// An adjacency that merely stopped carrying traffic is *not* a topology
-/// change: removals are reported only when an endpoint switch also went
-/// silent (no liveness proof in the current capture). This keeps
-/// application-layer problems from masquerading as switch failures.
-pub fn diff_topology(reference: &PhysicalTopology, current: &PhysicalTopology) -> PtDiff {
-    let added = current
-        .adjacencies
-        .difference(&reference.adjacencies)
-        .copied()
-        .collect();
-    let removed: Vec<SwitchAdjacency> = reference
-        .adjacencies
-        .difference(&current.adjacencies)
-        .filter(|a| {
-            !current.live_switches.contains(&a.from) || !current.live_switches.contains(&a.to)
-        })
-        .copied()
-        .collect();
-    let mut moved_hosts = Vec::new();
-    for (host, (old_sw, _)) in &reference.host_attachment {
-        if let Some((new_sw, _)) = current.host_attachment.get(host) {
-            if new_sw != old_sw {
-                moved_hosts.push((*host, *old_sw, *new_sw));
-            }
+        PhysicalTopology {
+            adjacencies,
+            host_attachment,
+            live_switches,
         }
     }
-    let vanished_switches = reference
-        .live_switches
-        .difference(&current.live_switches)
-        .copied()
-        .collect();
-    PtDiff {
-        added,
-        removed,
-        moved_hosts,
-        vanished_switches,
+
+    /// Compares two topologies.
+    ///
+    /// An adjacency that merely stopped carrying traffic is *not* a
+    /// topology change: removals are reported only when an endpoint
+    /// switch also went silent (no liveness proof in the current
+    /// capture). This keeps application-layer problems from masquerading
+    /// as switch failures.
+    fn diff(&self, current: &Self, _ctx: &DiffCtx<'_>) -> Vec<PtChange> {
+        let mut out: Vec<PtChange> = current
+            .adjacencies
+            .difference(&self.adjacencies)
+            .map(|a| PtChange::AdjacencyAdded(*a))
+            .collect();
+        out.extend(
+            self.adjacencies
+                .difference(&current.adjacencies)
+                .filter(|a| {
+                    !current.live_switches.contains(&a.from)
+                        || !current.live_switches.contains(&a.to)
+                })
+                .map(|a| PtChange::AdjacencyRemoved(*a)),
+        );
+        for (host, (old_sw, _)) in &self.host_attachment {
+            if let Some((new_sw, _)) = current.host_attachment.get(host) {
+                if new_sw != old_sw {
+                    out.push(PtChange::HostMoved {
+                        host: *host,
+                        old: *old_sw,
+                        new: *new_sw,
+                    });
+                }
+            }
+        }
+        out.extend(
+            self.live_switches
+                .difference(&current.live_switches)
+                .map(|sw| PtChange::SwitchVanished(*sw)),
+        );
+        out
+    }
+
+    /// PT is never gated: topology evidence is cumulative.
+    fn locus(_change: &PtChange) -> Locus {
+        Locus::Whole
+    }
+
+    fn render(change: &PtChange) -> Change {
+        match change {
+            PtChange::AdjacencyAdded(adj) => Change {
+                kind: Self::KIND,
+                direction: ChangeDirection::Added,
+                description: format!("new adjacency {} -> {}", adj.from, adj.to),
+                components: vec![Component::Switch(adj.from), Component::Switch(adj.to)],
+                ts: None,
+            },
+            PtChange::AdjacencyRemoved(adj) => Change {
+                kind: Self::KIND,
+                direction: ChangeDirection::Removed,
+                description: format!("missing adjacency {} -> {}", adj.from, adj.to),
+                components: vec![Component::Switch(adj.from), Component::Switch(adj.to)],
+                ts: None,
+            },
+            PtChange::HostMoved { host, old, new } => Change {
+                kind: Self::KIND,
+                direction: ChangeDirection::Shifted,
+                description: format!("host {host} moved {old} -> {new}"),
+                components: vec![
+                    Component::Host(*host),
+                    Component::Switch(*old),
+                    Component::Switch(*new),
+                ],
+                ts: None,
+            },
+            PtChange::SwitchVanished(sw) => Change {
+                kind: Self::KIND,
+                direction: ChangeDirection::Removed,
+                description: format!("switch {sw} vanished from all paths"),
+                components: vec![Component::Switch(*sw)],
+                ts: None,
+            },
+        }
     }
 }
 
@@ -153,31 +195,6 @@ pub fn diff_topology(reference: &PhysicalTopology, current: &PhysicalTopology) -
 pub struct InterSwitchLatency {
     /// Latency summary per `(upstream, downstream)` pair, microseconds.
     pub per_pair: BTreeMap<(DatapathId, DatapathId), MeanStd>,
-}
-
-/// Builds the ISL signature from flow records (Figure 3: `t3 - t2`).
-pub fn build_isl(records: &[FlowRecord]) -> InterSwitchLatency {
-    let mut samples: HashMap<(DatapathId, DatapathId), Vec<f64>> = HashMap::new();
-    for r in records {
-        for w in r.hops.windows(2) {
-            let (a, b) = (&w[0], &w[1]);
-            let Some(fm_ts) = a.flow_mod_ts else {
-                continue;
-            };
-            if b.ts >= fm_ts {
-                samples
-                    .entry((a.dpid, b.dpid))
-                    .or_default()
-                    .push((b.ts.as_micros() - fm_ts.as_micros()) as f64);
-            }
-        }
-    }
-    InterSwitchLatency {
-        per_pair: samples
-            .into_iter()
-            .map(|(k, v)| (k, MeanStd::of(&v)))
-            .collect(),
-    }
 }
 
 /// A latency shift between a switch pair.
@@ -193,33 +210,82 @@ pub struct IslChange {
     pub sigmas: f64,
 }
 
-/// Flags pairs whose mean latency moved beyond `config.isl_sigma`
-/// baseline standard deviations.
-pub fn diff_isl(
-    reference: &InterSwitchLatency,
-    current: &InterSwitchLatency,
-    config: &FlowDiffConfig,
-) -> Vec<IslChange> {
-    let mut out = Vec::new();
-    for (pair, ref_stats) in &reference.per_pair {
-        let Some(cur_stats) = current.per_pair.get(pair) else {
-            continue;
-        };
-        if ref_stats.n < config.min_samples || cur_stats.n < config.min_samples {
-            continue;
+impl Signature for InterSwitchLatency {
+    type Change = IslChange;
+    const KIND: SignatureKind = SignatureKind::Isl;
+
+    /// Builds the ISL signature from flow records (Figure 3: `t3 - t2`).
+    fn build(inputs: &SignatureInputs<'_>) -> Self {
+        let mut samples: HashMap<(DatapathId, DatapathId), Vec<f64>> = HashMap::new();
+        for r in inputs.records {
+            for w in r.hops.windows(2) {
+                let (a, b) = (&w[0], &w[1]);
+                let Some(fm_ts) = a.flow_mod_ts else {
+                    continue;
+                };
+                if b.ts >= fm_ts {
+                    samples
+                        .entry((a.dpid, b.dpid))
+                        .or_default()
+                        .push((b.ts.as_micros() - fm_ts.as_micros()) as f64);
+                }
+            }
         }
-        let sigmas = ref_stats.shift_sigmas(cur_stats);
-        if sigmas > config.isl_sigma {
-            out.push(IslChange {
-                pair: *pair,
-                reference: *ref_stats,
-                current: *cur_stats,
-                sigmas,
-            });
+        InterSwitchLatency {
+            per_pair: samples
+                .into_iter()
+                .map(|(k, v)| (k, MeanStd::of(&v)))
+                .collect(),
         }
     }
-    out.sort_by(|a, b| b.sigmas.total_cmp(&a.sigmas));
-    out
+
+    /// Flags pairs whose mean latency moved beyond `config.isl_sigma`
+    /// baseline standard deviations.
+    fn diff(&self, current: &Self, ctx: &DiffCtx<'_>) -> Vec<IslChange> {
+        let config = ctx.config;
+        let mut out = Vec::new();
+        for (pair, ref_stats) in &self.per_pair {
+            let Some(cur_stats) = current.per_pair.get(pair) else {
+                continue;
+            };
+            if ref_stats.n < config.min_samples || cur_stats.n < config.min_samples {
+                continue;
+            }
+            let sigmas = ref_stats.shift_sigmas(cur_stats);
+            if sigmas > config.isl_sigma {
+                out.push(IslChange {
+                    pair: *pair,
+                    reference: *ref_stats,
+                    current: *cur_stats,
+                    sigmas,
+                });
+            }
+        }
+        out.sort_by(|a, b| b.sigmas.total_cmp(&a.sigmas));
+        out
+    }
+
+    /// ISL is already gated by `min_samples`.
+    fn locus(_change: &IslChange) -> Locus {
+        Locus::Whole
+    }
+
+    fn render(change: &IslChange) -> Change {
+        Change {
+            kind: Self::KIND,
+            direction: ChangeDirection::Shifted,
+            description: format!(
+                "latency {:.0}us -> {:.0}us between {} and {} ({:.1} sigma)",
+                change.reference.mean,
+                change.current.mean,
+                change.pair.0,
+                change.pair.1,
+                change.sigmas
+            ),
+            components: vec![Component::SwitchPair(change.pair.0, change.pair.1)],
+            ts: None,
+        }
+    }
 }
 
 /// The CRT signature: controller response time summary, overall and per
@@ -249,35 +315,6 @@ impl ControllerResponse {
     }
 }
 
-/// Builds the CRT signature (Figure 3: `t2 - t1` per `PacketIn`).
-pub fn build_crt(records: &[FlowRecord]) -> ControllerResponse {
-    let mut all = Vec::new();
-    let mut per_switch: HashMap<DatapathId, Vec<f64>> = HashMap::new();
-    let mut unanswered = 0usize;
-    for r in records {
-        for h in &r.hops {
-            match h.flow_mod_ts {
-                Some(fm_ts) if fm_ts >= h.ts => {
-                    let d = (fm_ts.as_micros() - h.ts.as_micros()) as f64;
-                    all.push(d);
-                    per_switch.entry(h.dpid).or_default().push(d);
-                }
-                Some(_) => {}
-                None => unanswered += 1,
-            }
-        }
-    }
-    ControllerResponse {
-        answered: all.len(),
-        unanswered,
-        overall: MeanStd::of(&all),
-        per_switch: per_switch
-            .into_iter()
-            .map(|(k, v)| (k, MeanStd::of(&v)))
-            .collect(),
-    }
-}
-
 /// A controller response-time shift or reply blackout.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CrtChange {
@@ -291,44 +328,105 @@ pub struct CrtChange {
     pub unanswered: (f64, f64),
 }
 
-/// Flags an overall response-time shift beyond `config.crt_sigma`, or a
-/// jump in the unanswered-`PacketIn` fraction (the controller stopped
-/// replying — its failure mode).
-pub fn diff_crt(
-    reference: &ControllerResponse,
-    current: &ControllerResponse,
-    config: &FlowDiffConfig,
-) -> Option<CrtChange> {
-    let unanswered = (
-        reference.unanswered_fraction(),
-        current.unanswered_fraction(),
-    );
-    let blackout = current.answered + current.unanswered >= config.min_samples
-        && unanswered.1 > unanswered.0 + 0.3;
-    if blackout {
-        return Some(CrtChange {
-            reference: reference.overall,
-            current: current.overall,
-            sigmas: f64::MAX,
+impl Signature for ControllerResponse {
+    type Change = CrtChange;
+    const KIND: SignatureKind = SignatureKind::Crt;
+
+    /// Builds the CRT signature (Figure 3: `t2 - t1` per `PacketIn`).
+    fn build(inputs: &SignatureInputs<'_>) -> Self {
+        let mut all = Vec::new();
+        let mut per_switch: HashMap<DatapathId, Vec<f64>> = HashMap::new();
+        let mut unanswered = 0usize;
+        for r in inputs.records {
+            for h in &r.hops {
+                match h.flow_mod_ts {
+                    Some(fm_ts) if fm_ts >= h.ts => {
+                        let d = (fm_ts.as_micros() - h.ts.as_micros()) as f64;
+                        all.push(d);
+                        per_switch.entry(h.dpid).or_default().push(d);
+                    }
+                    Some(_) => {}
+                    None => unanswered += 1,
+                }
+            }
+        }
+        ControllerResponse {
+            answered: all.len(),
             unanswered,
-        });
+            overall: MeanStd::of(&all),
+            per_switch: per_switch
+                .into_iter()
+                .map(|(k, v)| (k, MeanStd::of(&v)))
+                .collect(),
+        }
     }
-    if reference.overall.n < config.min_samples || current.overall.n < config.min_samples {
-        return None;
+
+    /// Flags an overall response-time shift beyond `config.crt_sigma`, or
+    /// a jump in the unanswered-`PacketIn` fraction (the controller
+    /// stopped replying — its failure mode). At most one change is
+    /// produced: the controller is a single component.
+    fn diff(&self, current: &Self, ctx: &DiffCtx<'_>) -> Vec<CrtChange> {
+        let config = ctx.config;
+        let unanswered = (self.unanswered_fraction(), current.unanswered_fraction());
+        let blackout = current.answered + current.unanswered >= config.min_samples
+            && unanswered.1 > unanswered.0 + 0.3;
+        if blackout {
+            return vec![CrtChange {
+                reference: self.overall,
+                current: current.overall,
+                sigmas: f64::MAX,
+                unanswered,
+            }];
+        }
+        if self.overall.n < config.min_samples || current.overall.n < config.min_samples {
+            return Vec::new();
+        }
+        let sigmas = self.overall.shift_sigmas(&current.overall);
+        if sigmas > config.crt_sigma {
+            vec![CrtChange {
+                reference: self.overall,
+                current: current.overall,
+                sigmas,
+                unanswered,
+            }]
+        } else {
+            Vec::new()
+        }
     }
-    let sigmas = reference.overall.shift_sigmas(&current.overall);
-    (sigmas > config.crt_sigma).then_some(CrtChange {
-        reference: reference.overall,
-        current: current.overall,
-        sigmas,
-        unanswered,
-    })
+
+    /// CRT is a single global statistic.
+    fn locus(_change: &CrtChange) -> Locus {
+        Locus::Whole
+    }
+
+    fn render(change: &CrtChange) -> Change {
+        let description = if change.unanswered.1 > change.unanswered.0 + 0.3 {
+            format!(
+                "controller stopped answering: {:.0}% of PacketIns unanswered (was {:.0}%)",
+                change.unanswered.1 * 100.0,
+                change.unanswered.0 * 100.0
+            )
+        } else {
+            format!(
+                "controller response {:.0}us -> {:.0}us ({:.1} sigma)",
+                change.reference.mean, change.current.mean, change.sigmas
+            )
+        };
+        Change {
+            kind: Self::KIND,
+            direction: ChangeDirection::Shifted,
+            description,
+            components: vec![Component::Controller],
+            ts: None,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::records::extract_records;
+    use crate::config::FlowDiffConfig;
+    use crate::records::{extract_records, FlowRecord};
     use netsim::config::SimConfig;
     use netsim::engine::Simulation;
     use netsim::faults::Fault;
@@ -370,32 +468,50 @@ mod tests {
         extract_records(&sim.take_log(), &FlowDiffConfig::default())
     }
 
+    fn sig_of<S: Signature>(records: &[FlowRecord]) -> S {
+        let refs: Vec<&FlowRecord> = records.iter().collect();
+        let config = FlowDiffConfig::default();
+        S::build(&SignatureInputs::new(
+            &refs,
+            (Timestamp::ZERO, Timestamp::ZERO),
+            &config,
+        ))
+    }
+
+    fn diff_of<S: Signature>(a: &S, b: &S) -> Vec<S::Change> {
+        let config = FlowDiffConfig::default();
+        a.diff(
+            b,
+            &DiffCtx {
+                config: &config,
+                current_records: &[],
+            },
+        )
+    }
+
     #[test]
     fn topology_inference_recovers_switch_adjacency() {
         let records = records_for(5, 1, None);
-        let pt = build_topology(&records);
+        let pt: PhysicalTopology = sig_of(&records);
         assert_eq!(pt.adjacencies.len(), 1, "one s1->s2 adjacency");
         let adj = pt.adjacencies.iter().next().unwrap();
         assert_ne!(adj.from, adj.to);
         // host attachment discovered for the single source
         assert_eq!(pt.host_attachment.len(), 1);
-        assert_eq!(
-            pt.host_attachment[&Ipv4Addr::new(10, 0, 0, 1)].0,
-            adj.from
-        );
+        assert_eq!(pt.host_attachment[&Ipv4Addr::new(10, 0, 0, 1)].0, adj.from);
     }
 
     #[test]
     fn pt_diff_empty_for_same_runs() {
-        let a = build_topology(&records_for(5, 1, None));
-        let b = build_topology(&records_for(5, 2, None));
-        assert!(diff_topology(&a, &b).is_empty());
+        let a: PhysicalTopology = sig_of(&records_for(5, 1, None));
+        let b: PhysicalTopology = sig_of(&records_for(5, 2, None));
+        assert!(diff_of(&a, &b).is_empty());
     }
 
     #[test]
     fn isl_mean_tracks_link_latency() {
         let records = records_for(30, 1, None);
-        let isl = build_isl(&records);
+        let isl: InterSwitchLatency = sig_of(&records);
         assert_eq!(isl.per_pair.len(), 1);
         let stats = isl.per_pair.values().next().unwrap();
         assert_eq!(stats.n, 30);
@@ -411,7 +527,7 @@ mod tests {
     #[test]
     fn crt_tracks_controller_service_time() {
         let records = records_for(30, 1, None);
-        let crt = build_crt(&records);
+        let crt: ControllerResponse = sig_of(&records);
         assert_eq!(crt.overall.n, 60, "two hops per flow");
         assert!(
             (100.0..400.0).contains(&crt.overall.mean),
@@ -423,38 +539,44 @@ mod tests {
 
     #[test]
     fn crt_diff_detects_controller_blackout() {
-        let base = build_crt(&records_for(30, 1, None));
+        let base: ControllerResponse = sig_of(&records_for(30, 1, None));
         assert_eq!(base.unanswered, 0);
-        let dead = build_crt(&records_for(
+        let dead: ControllerResponse = sig_of(&records_for(
             30,
             1,
             Some((Timestamp::ZERO, Fault::ControllerDown)),
         ));
         assert!(dead.unanswered_fraction() > 0.9);
-        let change = diff_crt(&base, &dead, &FlowDiffConfig::default()).expect("blackout");
-        assert!(change.unanswered.1 > 0.9);
+        let changes = diff_of(&base, &dead);
+        assert_eq!(changes.len(), 1, "blackout");
+        assert!(changes[0].unanswered.1 > 0.9);
+        let rendered = ControllerResponse::render(&changes[0]);
+        assert!(rendered
+            .description
+            .contains("controller stopped answering"));
+        assert_eq!(rendered.components, vec![Component::Controller]);
     }
 
     #[test]
     fn crt_diff_detects_overload() {
-        let base = build_crt(&records_for(30, 1, None));
-        let overloaded = build_crt(&records_for(
+        let base: ControllerResponse = sig_of(&records_for(30, 1, None));
+        let overloaded: ControllerResponse = sig_of(&records_for(
             30,
             1,
             Some((Timestamp::ZERO, Fault::ControllerOverload { factor: 30.0 })),
         ));
-        let change = diff_crt(&base, &overloaded, &FlowDiffConfig::default());
-        assert!(change.is_some());
-        assert!(change.unwrap().sigmas > 3.0);
+        let changes = diff_of(&base, &overloaded);
+        assert_eq!(changes.len(), 1);
+        assert!(changes[0].sigmas > 3.0);
         // identical runs: no change
-        assert!(diff_crt(&base, &base, &FlowDiffConfig::default()).is_none());
+        assert!(diff_of(&base, &base).is_empty());
     }
 
     #[test]
     fn isl_diff_quiet_on_identical_conditions() {
-        let a = build_isl(&records_for(30, 1, None));
-        let b = build_isl(&records_for(30, 7, None));
-        let changes = diff_isl(&a, &b, &FlowDiffConfig::default());
+        let a: InterSwitchLatency = sig_of(&records_for(30, 1, None));
+        let b: InterSwitchLatency = sig_of(&records_for(30, 7, None));
+        let changes = diff_of(&a, &b);
         assert!(changes.is_empty(), "{changes:?}");
     }
 
@@ -500,15 +622,22 @@ mod tests {
             sim.run_until(Timestamp::from_secs(60));
             extract_records(&sim.take_log(), &FlowDiffConfig::default())
         };
-        let a = build_topology(&run(false));
-        let b = build_topology(&run(true));
-        let d = diff_topology(&a, &b);
+        let a: PhysicalTopology = sig_of(&run(false));
+        let b: PhysicalTopology = sig_of(&run(true));
+        let d = diff_of(&a, &b);
         assert!(!d.is_empty());
         let t = diamond();
         let s2_dpid = t.dpid_of(t.node_by_name("s2").unwrap()).unwrap();
         // healthy paths may use either arm; with BFS determinism they use
         // s2, so failing it vanishes s2 and adds the s3 adjacencies.
-        assert_eq!(d.vanished_switches, vec![s2_dpid]);
-        assert!(!d.added.is_empty());
+        let vanished: Vec<DatapathId> = d
+            .iter()
+            .filter_map(|c| match c {
+                PtChange::SwitchVanished(sw) => Some(*sw),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vanished, vec![s2_dpid]);
+        assert!(d.iter().any(|c| matches!(c, PtChange::AdjacencyAdded(_))));
     }
 }

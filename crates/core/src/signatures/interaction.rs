@@ -10,8 +10,9 @@ use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
 
+use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
-use crate::records::FlowRecord;
+use crate::signatures::{DiffCtx, Signature, SignatureInputs, StabilityCtx, StabilityMask};
 use crate::stats::chi_squared;
 
 /// Flow counts on the edges incident to one node.
@@ -45,26 +46,6 @@ pub struct ComponentInteraction {
     pub per_node: BTreeMap<Ipv4Addr, NodeInteraction>,
 }
 
-/// Builds the CI signature from a group's records.
-pub fn build(records: &[&FlowRecord]) -> ComponentInteraction {
-    let mut per_node: BTreeMap<Ipv4Addr, NodeInteraction> = BTreeMap::new();
-    for r in records {
-        let edge = Edge {
-            src: r.tuple.src,
-            dst: r.tuple.dst,
-        };
-        for node in [r.tuple.src, r.tuple.dst] {
-            *per_node
-                .entry(node)
-                .or_default()
-                .edge_counts
-                .entry(edge)
-                .or_insert(0) += 1;
-        }
-    }
-    ComponentInteraction { per_node }
-}
-
 /// A node whose interaction distribution shifted.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CiChange {
@@ -74,47 +55,101 @@ pub struct CiChange {
     pub chi2: f64,
 }
 
-/// χ² fitness test per node (Section IV-A). Nodes present in only one
-/// log are reported with an infinite-equivalent χ² (`f64::MAX`) only if
-/// they carry flows; the CG diff covers new/removed nodes more precisely.
-pub fn diff(
-    reference: &ComponentInteraction,
-    current: &ComponentInteraction,
-    threshold: f64,
-) -> Vec<CiChange> {
-    let mut out = Vec::new();
-    for (node, ref_ni) in &reference.per_node {
-        let Some(cur_ni) = current.per_node.get(node) else {
-            continue;
-        };
-        // Union of edges, in stable order.
-        let edges: Vec<Edge> = ref_ni
-            .edge_counts
-            .keys()
-            .chain(cur_ni.edge_counts.keys())
-            .copied()
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
-            .collect();
-        let expected: Vec<f64> = edges
-            .iter()
-            .map(|e| *ref_ni.edge_counts.get(e).unwrap_or(&0) as f64)
-            .collect();
-        let observed: Vec<f64> = edges
-            .iter()
-            .map(|e| *cur_ni.edge_counts.get(e).unwrap_or(&0) as f64)
-            .collect();
-        let chi2 = chi_squared(&observed, &expected);
-        if chi2 > threshold {
-            out.push(CiChange { node: *node, chi2 });
+impl Signature for ComponentInteraction {
+    type Change = CiChange;
+    const KIND: SignatureKind = SignatureKind::Ci;
+
+    /// Builds the CI signature from a group's records.
+    fn build(inputs: &SignatureInputs<'_>) -> Self {
+        let mut per_node: BTreeMap<Ipv4Addr, NodeInteraction> = BTreeMap::new();
+        for r in inputs.records {
+            let edge = Edge {
+                src: r.tuple.src,
+                dst: r.tuple.dst,
+            };
+            for node in [r.tuple.src, r.tuple.dst] {
+                *per_node
+                    .entry(node)
+                    .or_default()
+                    .edge_counts
+                    .entry(edge)
+                    .or_insert(0) += 1;
+            }
+        }
+        ComponentInteraction { per_node }
+    }
+
+    /// χ² fitness test per node (Section IV-A). Nodes present in only
+    /// one log are skipped; the CG diff covers new/removed nodes more
+    /// precisely.
+    fn diff(&self, current: &Self, ctx: &DiffCtx<'_>) -> Vec<CiChange> {
+        let mut out = Vec::new();
+        for node in self.per_node.keys() {
+            if !current.per_node.contains_key(node) {
+                continue;
+            }
+            let chi2 = node_chi2(self, current, *node).expect("node present in both");
+            if chi2 > ctx.config.chi2_threshold {
+                out.push(CiChange { node: *node, chi2 });
+            }
+        }
+        out.sort_by(|a, b| b.chi2.total_cmp(&a.chi2));
+        out
+    }
+
+    /// CI is gated per application node.
+    fn locus(change: &CiChange) -> Locus {
+        Locus::Node(change.node)
+    }
+
+    fn render(change: &CiChange) -> Change {
+        Change {
+            kind: Self::KIND,
+            direction: ChangeDirection::Shifted,
+            description: format!(
+                "interaction shift at {} (chi2 {:.2})",
+                change.node, change.chi2
+            ),
+            components: vec![Component::Host(change.node)],
+            ts: None,
         }
     }
-    out.sort_by(|a, b| b.chi2.total_cmp(&a.chi2));
-    out
+
+    fn stable_mask(&self) -> StabilityMask {
+        StabilityMask::per_locus(
+            Self::KIND,
+            self.per_node
+                .keys()
+                .map(|ip| (Locus::Node(*ip), true))
+                .collect(),
+        )
+    }
+
+    /// CI stability per node: a quorum of intervals must fit the
+    /// full-log profile (χ² below the alarm threshold). Nodes with
+    /// non-linear decision logic, e.g. skewed load balancing, come out
+    /// unstable.
+    fn stability(&self, intervals: &[&Self], ctx: &StabilityCtx<'_>) -> StabilityMask {
+        let loci = self
+            .per_node
+            .keys()
+            .map(|node| {
+                let votes = intervals
+                    .iter()
+                    .filter(|g| {
+                        node_chi2(self, g, *node).is_some_and(|c| c < ctx.config.chi2_threshold)
+                    })
+                    .count();
+                (Locus::Node(*node), votes >= ctx.quorum)
+            })
+            .collect();
+        StabilityMask::per_locus(Self::KIND, loci)
+    }
 }
 
 /// The χ² statistic for a single node across two CIs (used by the
-/// robustness experiments of Figure 12).
+/// per-node diff and stability votes, and by the robustness experiments
+/// of Figure 12).
 pub fn node_chi2(
     reference: &ComponentInteraction,
     current: &ComponentInteraction,
@@ -144,7 +179,8 @@ pub fn node_chi2(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::records::FlowTuple;
+    use crate::config::FlowDiffConfig;
+    use crate::records::{FlowRecord, FlowTuple};
     use openflow::types::{IpProto, Timestamp};
 
     fn ip(x: u8) -> Ipv4Addr {
@@ -174,37 +210,58 @@ mod tests {
         out
     }
 
+    fn build_ci(rs: &[FlowRecord]) -> ComponentInteraction {
+        let refs: Vec<&FlowRecord> = rs.iter().collect();
+        let config = FlowDiffConfig::default();
+        ComponentInteraction::build(&SignatureInputs::new(
+            &refs,
+            (Timestamp::ZERO, Timestamp::ZERO),
+            &config,
+        ))
+    }
+
+    fn diff_ci(a: &ComponentInteraction, b: &ComponentInteraction) -> Vec<CiChange> {
+        let config = FlowDiffConfig::default();
+        a.diff(
+            b,
+            &DiffCtx {
+                config: &config,
+                current_records: &[],
+            },
+        )
+    }
+
     #[test]
     fn build_counts_in_and_out_edges() {
-        let rs = records(&[(1, 2, 10), (2, 3, 8)]);
-        let refs: Vec<&FlowRecord> = rs.iter().collect();
-        let ci = build(&refs);
+        let ci = build_ci(&records(&[(1, 2, 10), (2, 3, 8)]));
         let n2 = &ci.per_node[&ip(2)];
         assert_eq!(n2.total(), 18);
         let norm = n2.normalized();
-        let in_edge = Edge { src: ip(1), dst: ip(2) };
-        let out_edge = Edge { src: ip(2), dst: ip(3) };
+        let in_edge = Edge {
+            src: ip(1),
+            dst: ip(2),
+        };
+        let out_edge = Edge {
+            src: ip(2),
+            dst: ip(3),
+        };
         assert!((norm[&in_edge] - 10.0 / 18.0).abs() < 1e-12);
         assert!((norm[&out_edge] - 8.0 / 18.0).abs() < 1e-12);
     }
 
     #[test]
     fn same_shape_different_volume_not_flagged() {
-        let a = records(&[(1, 2, 10), (2, 3, 10)]);
-        let b = records(&[(1, 2, 50), (2, 3, 50)]);
-        let ci_a = build(&a.iter().collect::<Vec<_>>());
-        let ci_b = build(&b.iter().collect::<Vec<_>>());
-        assert!(diff(&ci_a, &ci_b, 3.84).is_empty());
+        let ci_a = build_ci(&records(&[(1, 2, 10), (2, 3, 10)]));
+        let ci_b = build_ci(&records(&[(1, 2, 50), (2, 3, 50)]));
+        assert!(diff_ci(&ci_a, &ci_b).is_empty());
     }
 
     #[test]
     fn skewed_distribution_flagged() {
-        let a = records(&[(1, 2, 50), (2, 3, 50)]);
+        let ci_a = build_ci(&records(&[(1, 2, 50), (2, 3, 50)]));
         // node 2 stops forwarding most requests
-        let b = records(&[(1, 2, 50), (2, 3, 5)]);
-        let ci_a = build(&a.iter().collect::<Vec<_>>());
-        let ci_b = build(&b.iter().collect::<Vec<_>>());
-        let changes = diff(&ci_a, &ci_b, 3.84);
+        let ci_b = build_ci(&records(&[(1, 2, 50), (2, 3, 5)]));
+        let changes = diff_ci(&ci_a, &ci_b);
         assert!(changes.iter().any(|c| c.node == ip(2)));
         // results sorted by severity
         assert!(changes.windows(2).all(|w| w[0].chi2 >= w[1].chi2));
@@ -212,20 +269,17 @@ mod tests {
 
     #[test]
     fn node_chi2_zero_for_identical() {
-        let a = records(&[(1, 2, 10), (2, 3, 10)]);
-        let ci = build(&a.iter().collect::<Vec<_>>());
+        let ci = build_ci(&records(&[(1, 2, 10), (2, 3, 10)]));
         assert!(node_chi2(&ci, &ci, ip(2)).unwrap() < 1e-9);
         assert!(node_chi2(&ci, &ci, ip(99)).is_none());
     }
 
     #[test]
     fn missing_node_in_current_is_skipped() {
-        let a = records(&[(1, 2, 10)]);
-        let b = records(&[(3, 4, 10)]);
-        let ci_a = build(&a.iter().collect::<Vec<_>>());
-        let ci_b = build(&b.iter().collect::<Vec<_>>());
+        let ci_a = build_ci(&records(&[(1, 2, 10)]));
+        let ci_b = build_ci(&records(&[(3, 4, 10)]));
         // CG diff owns missing-node reporting; CI diff must not panic.
-        assert!(diff(&ci_a, &ci_b, 3.84).is_empty());
+        assert!(diff_ci(&ci_a, &ci_b).is_empty());
     }
 
     #[test]
@@ -233,5 +287,27 @@ mod tests {
         let ni = NodeInteraction::default();
         assert_eq!(ni.total(), 0);
         assert!(ni.normalized().is_empty());
+    }
+
+    #[test]
+    fn per_node_mask_gates_only_unstable_nodes() {
+        let ci_a = build_ci(&records(&[(1, 2, 50), (2, 3, 50)]));
+        let ci_b = build_ci(&records(&[(1, 2, 50), (2, 3, 5)]));
+        let config = FlowDiffConfig::default();
+        let ctx = DiffCtx {
+            config: &config,
+            current_records: &[],
+        };
+        // All shifted nodes stable: every change survives.
+        let all = ci_a.tagged_diff(&ci_b, &ctx, &ci_a.stable_mask());
+        assert!(!all.is_empty());
+        // Mark node 2 unstable: its change is filtered out.
+        let mut mask = ci_a.stable_mask();
+        mask.loci.insert(Locus::Node(ip(2)), false);
+        let gated = ci_a.tagged_diff(&ci_b, &ctx, &mask);
+        assert!(gated.len() < all.len());
+        assert!(gated
+            .iter()
+            .all(|c| c.components != vec![Component::Host(ip(2))]));
     }
 }

@@ -11,6 +11,12 @@
 //! topology (PT), inter-switch latency (ISL), and controller response
 //! time (CRT) — plus the [`utilization`] baseline (LU) from polled port
 //! counters.
+//!
+//! All nine implement the [`Signature`] trait, which is the only
+//! interface the model builder, stability analysis, diff engine, and
+//! diagnosis layers use: build from [`SignatureInputs`], diff under a
+//! [`DiffCtx`], judge stability into a [`StabilityMask`], and render
+//! typed changes into the tagged [`Change`] vocabulary.
 
 pub mod connectivity;
 pub mod correlation;
@@ -19,3 +25,225 @@ pub mod flow_stats;
 pub mod infra;
 pub mod interaction;
 pub mod utilization;
+
+use std::collections::BTreeMap;
+
+use openflow::types::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::change::{Change, Locus, SignatureKind};
+use crate::config::FlowDiffConfig;
+use crate::groups::AppGroup;
+use crate::records::FlowRecord;
+use netsim::log::ControllerLog;
+
+/// Everything a signature may need to build itself. Each signature picks
+/// the fields it cares about: application signatures use the group and
+/// its records, infrastructure signatures use all records, and LU reads
+/// the raw log (port-stats replies never become flow records).
+#[derive(Clone, Copy)]
+pub struct SignatureInputs<'a> {
+    /// The application group (application signatures only).
+    pub group: Option<&'a AppGroup>,
+    /// The records to build from: the group's records for application
+    /// signatures, every record in the log for infrastructure ones.
+    pub records: &'a [&'a FlowRecord],
+    /// The log's time window.
+    pub span: (Timestamp, Timestamp),
+    /// Thresholds and domain knowledge.
+    pub config: &'a FlowDiffConfig,
+    /// The raw controller log (LU only).
+    pub log: Option<&'a ControllerLog>,
+}
+
+impl<'a> SignatureInputs<'a> {
+    /// Inputs with records, span, and config — the common case.
+    pub fn new(
+        records: &'a [&'a FlowRecord],
+        span: (Timestamp, Timestamp),
+        config: &'a FlowDiffConfig,
+    ) -> Self {
+        SignatureInputs {
+            group: None,
+            records,
+            span,
+            config,
+            log: None,
+        }
+    }
+
+    /// Attaches the application group (builder style).
+    #[must_use]
+    pub fn with_group(mut self, group: &'a AppGroup) -> Self {
+        self.group = Some(group);
+        self
+    }
+
+    /// Attaches the raw controller log (builder style).
+    #[must_use]
+    pub fn with_log(mut self, log: &'a ControllerLog) -> Self {
+        self.log = Some(log);
+        self
+    }
+}
+
+/// Context for diffing two signatures of the same kind.
+#[derive(Clone, Copy)]
+pub struct DiffCtx<'a> {
+    /// Thresholds (χ², σ multiples, relative-change bounds, …).
+    pub config: &'a FlowDiffConfig,
+    /// The current log's records. CG uses them to distinguish an edge
+    /// that truly vanished from one that merely moved to another group.
+    pub current_records: &'a [FlowRecord],
+}
+
+/// Context for judging one signature's stability across interval models.
+#[derive(Clone, Copy)]
+pub struct StabilityCtx<'a> {
+    /// Thresholds shared with the diff stage.
+    pub config: &'a FlowDiffConfig,
+    /// Minimum number of agreeing intervals for a stability vote.
+    pub quorum: usize,
+}
+
+/// The stability verdict for one signature of one group, at the
+/// granularity the signature is judged at ([`Locus`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilityMask {
+    /// The signature this mask gates.
+    pub kind: SignatureKind,
+    /// Whole-signature verdict. For per-locus kinds this is the
+    /// conjunction of all locus verdicts.
+    pub stable: bool,
+    /// Per-locus verdicts (CI: per node; DD/PC: per edge pair). Empty
+    /// for signatures judged wholesale.
+    pub loci: BTreeMap<Locus, bool>,
+}
+
+impl StabilityMask {
+    /// A mask passing everything (no stability evidence against it).
+    pub fn all_stable(kind: SignatureKind) -> StabilityMask {
+        StabilityMask {
+            kind,
+            stable: true,
+            loci: BTreeMap::new(),
+        }
+    }
+
+    /// A wholesale verdict with no per-locus detail.
+    pub fn whole(kind: SignatureKind, stable: bool) -> StabilityMask {
+        StabilityMask {
+            kind,
+            stable,
+            loci: BTreeMap::new(),
+        }
+    }
+
+    /// A per-locus verdict; the wholesale bit is the conjunction.
+    pub fn per_locus(kind: SignatureKind, loci: BTreeMap<Locus, bool>) -> StabilityMask {
+        StabilityMask {
+            kind,
+            stable: loci.values().all(|&s| s),
+            loci,
+        }
+    }
+
+    /// Whether a change at `locus` survives the gate. Unknown loci are
+    /// rejected: no stability evidence means no diffing license.
+    pub fn allows(&self, locus: &Locus) -> bool {
+        match locus {
+            Locus::Whole => self.stable,
+            other => self.loci.get(other).copied().unwrap_or(false),
+        }
+    }
+}
+
+/// The uniform interface of the nine FlowDiff signatures.
+///
+/// A signature is a pure function of a log window ([`Self::build`]) that
+/// can be compared against another instance of itself ([`Self::diff`]),
+/// judged for stability across log intervals ([`Self::stability`]), and
+/// rendered into the shared [`Change`] vocabulary ([`Self::render`]).
+/// The provided [`Self::tagged_diff`] composes diff → stability gate →
+/// render, which is the only path the diff engine uses.
+pub trait Signature: Sized {
+    /// The signature's typed change (e.g. a peak shift, an edge delta).
+    type Change;
+
+    /// The kind tag attached to rendered changes.
+    const KIND: SignatureKind;
+
+    /// Builds the signature from a log window.
+    fn build(inputs: &SignatureInputs<'_>) -> Self;
+
+    /// Compares `self` (the reference) against `current`.
+    fn diff(&self, current: &Self, ctx: &DiffCtx<'_>) -> Vec<Self::Change>;
+
+    /// Where a change applies, for stability gating.
+    fn locus(change: &Self::Change) -> Locus;
+
+    /// Renders a typed change into the tagged vocabulary.
+    fn render(change: &Self::Change) -> Change;
+
+    /// A mask marking every locus of this signature stable (used when no
+    /// stability pass was run). Per-locus signatures override this to
+    /// enumerate their loci.
+    fn stable_mask(&self) -> StabilityMask {
+        StabilityMask::all_stable(Self::KIND)
+    }
+
+    /// Judges stability of `self` (built from the full log) against the
+    /// per-interval rebuilds. Infrastructure signatures keep the default
+    /// — they are statistical summaries already gated by `min_samples`.
+    fn stability(&self, _intervals: &[&Self], _ctx: &StabilityCtx<'_>) -> StabilityMask {
+        self.stable_mask()
+    }
+
+    /// Diff, gate each change through the stability mask, and render the
+    /// survivors.
+    fn tagged_diff(&self, current: &Self, ctx: &DiffCtx<'_>, mask: &StabilityMask) -> Vec<Change> {
+        self.diff(current, ctx)
+            .into_iter()
+            .filter(|ch| mask.allows(&Self::locus(ch)))
+            .map(|ch| Self::render(&ch))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn whole_mask_gates_whole_locus() {
+        let stable = StabilityMask::whole(SignatureKind::Cg, true);
+        let unstable = StabilityMask::whole(SignatureKind::Cg, false);
+        assert!(stable.allows(&Locus::Whole));
+        assert!(!unstable.allows(&Locus::Whole));
+    }
+
+    #[test]
+    fn per_locus_mask_rejects_unknown_loci() {
+        let node = Locus::Node(Ipv4Addr::new(10, 0, 0, 1));
+        let other = Locus::Node(Ipv4Addr::new(10, 0, 0, 2));
+        let mask =
+            StabilityMask::per_locus(SignatureKind::Ci, [(node, true)].into_iter().collect());
+        assert!(mask.allows(&node));
+        assert!(!mask.allows(&other), "no evidence, no license");
+        assert!(mask.stable);
+    }
+
+    #[test]
+    fn per_locus_conjunction_sets_whole_bit() {
+        let a = Locus::Node(Ipv4Addr::new(10, 0, 0, 1));
+        let b = Locus::Node(Ipv4Addr::new(10, 0, 0, 2));
+        let mask = StabilityMask::per_locus(
+            SignatureKind::Ci,
+            [(a, true), (b, false)].into_iter().collect(),
+        );
+        assert!(!mask.stable);
+        assert!(mask.allows(&a));
+        assert!(!mask.allows(&b));
+    }
+}

@@ -8,12 +8,12 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use netsim::log::ControllerLog;
 use openflow::messages::{OfpMessage, StatsReply};
 use openflow::types::{DatapathId, PortNo, Timestamp};
 use serde::{Deserialize, Serialize};
 
-use crate::config::FlowDiffConfig;
+use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
+use crate::signatures::{DiffCtx, Signature, SignatureInputs};
 use crate::stats::MeanStd;
 
 /// The LU signature: transmitted byte-rate summary per switch port.
@@ -21,37 +21,6 @@ use crate::stats::MeanStd;
 pub struct LinkUtilization {
     /// Byte-rate summary (bytes/second) per `(switch, egress port)`.
     pub per_port: BTreeMap<(DatapathId, PortNo), MeanStd>,
-}
-
-/// Builds the LU signature from the port-stats replies in a log.
-pub fn build_utilization(log: &ControllerLog) -> LinkUtilization {
-    // (dpid, port) -> [(poll time, cumulative tx bytes)]
-    let mut series: HashMap<(DatapathId, PortNo), Vec<(Timestamp, u64)>> = HashMap::new();
-    for ev in log.events() {
-        if let OfpMessage::StatsReply(StatsReply::Port(ports)) = &ev.msg {
-            for p in ports {
-                series
-                    .entry((ev.dpid, p.port_no))
-                    .or_default()
-                    .push((ev.ts, p.tx_bytes));
-            }
-        }
-    }
-    let per_port = series
-        .into_iter()
-        .filter_map(|(key, points)| {
-            let rates: Vec<f64> = points
-                .windows(2)
-                .filter_map(|w| {
-                    let dt = w[1].0.saturating_since(w[0].0) as f64 / 1e6;
-                    let db = w[1].1.saturating_sub(w[0].1) as f64;
-                    (dt > 0.0).then_some(db / dt)
-                })
-                .collect();
-            (!rates.is_empty()).then(|| (key, MeanStd::of(&rates)))
-        })
-        .collect();
-    LinkUtilization { per_port }
 }
 
 /// A shifted link-utilization baseline.
@@ -67,43 +36,105 @@ pub struct LuChange {
     pub sigmas: f64,
 }
 
-/// Flags ports whose mean byte rate moved beyond `config.isl_sigma`
-/// baseline standard deviations (utilization shares the infrastructure
-/// latency threshold).
-pub fn diff_utilization(
-    reference: &LinkUtilization,
-    current: &LinkUtilization,
-    config: &FlowDiffConfig,
-) -> Vec<LuChange> {
-    let mut out = Vec::new();
-    for (port, ref_stats) in &reference.per_port {
-        let Some(cur_stats) = current.per_port.get(port) else {
-            continue;
+impl Signature for LinkUtilization {
+    type Change = LuChange;
+    const KIND: SignatureKind = SignatureKind::Lu;
+
+    /// Builds the LU signature from the port-stats replies in the raw
+    /// log (`inputs.log`; port counters never become flow records).
+    /// Without a log the signature is empty.
+    fn build(inputs: &SignatureInputs<'_>) -> Self {
+        let Some(log) = inputs.log else {
+            return LinkUtilization::default();
         };
-        if ref_stats.n < config.min_samples || cur_stats.n < config.min_samples {
-            continue;
+        // (dpid, port) -> [(poll time, cumulative tx bytes)]
+        let mut series: HashMap<(DatapathId, PortNo), Vec<(Timestamp, u64)>> = HashMap::new();
+        for ev in log.events() {
+            if let OfpMessage::StatsReply(StatsReply::Port(ports)) = &ev.msg {
+                for p in ports {
+                    series
+                        .entry((ev.dpid, p.port_no))
+                        .or_default()
+                        .push((ev.ts, p.tx_bytes));
+                }
+            }
         }
-        let sigmas = ref_stats.shift_sigmas(cur_stats);
-        // Also require a material relative change: port rates are bursty
-        // and a tight baseline std would otherwise make noise alarm.
-        let rel = (cur_stats.mean - ref_stats.mean).abs() / ref_stats.mean.abs().max(1.0);
-        if sigmas > config.isl_sigma && rel > config.fs_rel_change {
-            out.push(LuChange {
-                port: *port,
-                reference: *ref_stats,
-                current: *cur_stats,
-                sigmas,
-            });
+        let per_port = series
+            .into_iter()
+            .filter_map(|(key, points)| {
+                let rates: Vec<f64> = points
+                    .windows(2)
+                    .filter_map(|w| {
+                        let dt = w[1].0.saturating_since(w[0].0) as f64 / 1e6;
+                        let db = w[1].1.saturating_sub(w[0].1) as f64;
+                        (dt > 0.0).then_some(db / dt)
+                    })
+                    .collect();
+                (!rates.is_empty()).then(|| (key, MeanStd::of(&rates)))
+            })
+            .collect();
+        LinkUtilization { per_port }
+    }
+
+    /// Flags ports whose mean byte rate moved beyond `config.isl_sigma`
+    /// baseline standard deviations (utilization shares the
+    /// infrastructure latency threshold).
+    fn diff(&self, current: &Self, ctx: &DiffCtx<'_>) -> Vec<LuChange> {
+        let config = ctx.config;
+        let mut out = Vec::new();
+        for (port, ref_stats) in &self.per_port {
+            let Some(cur_stats) = current.per_port.get(port) else {
+                continue;
+            };
+            if ref_stats.n < config.min_samples || cur_stats.n < config.min_samples {
+                continue;
+            }
+            let sigmas = ref_stats.shift_sigmas(cur_stats);
+            // Also require a material relative change: port rates are
+            // bursty and a tight baseline std would otherwise make noise
+            // alarm.
+            let rel = (cur_stats.mean - ref_stats.mean).abs() / ref_stats.mean.abs().max(1.0);
+            if sigmas > config.isl_sigma && rel > config.fs_rel_change {
+                out.push(LuChange {
+                    port: *port,
+                    reference: *ref_stats,
+                    current: *cur_stats,
+                    sigmas,
+                });
+            }
+        }
+        out.sort_by(|a, b| b.sigmas.total_cmp(&a.sigmas));
+        out
+    }
+
+    /// LU is already gated by `min_samples` and the relative-change bar.
+    fn locus(_change: &LuChange) -> Locus {
+        Locus::Whole
+    }
+
+    fn render(change: &LuChange) -> Change {
+        Change {
+            kind: Self::KIND,
+            direction: ChangeDirection::Shifted,
+            description: format!(
+                "utilization {:.0} -> {:.0} bytes/s on {} {} ({:.1} sigma)",
+                change.reference.mean,
+                change.current.mean,
+                change.port.0,
+                change.port.1,
+                change.sigmas
+            ),
+            components: vec![Component::Switch(change.port.0)],
+            ts: None,
         }
     }
-    out.sort_by(|a, b| b.sigmas.total_cmp(&a.sigmas));
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::log::{ControlEvent, Direction};
+    use crate::config::FlowDiffConfig;
+    use netsim::log::{ControlEvent, ControllerLog, Direction};
     use openflow::messages::PortStats;
     use openflow::types::Xid;
 
@@ -122,6 +153,24 @@ mod tests {
         }
     }
 
+    fn lu_of(log: &ControllerLog) -> LinkUtilization {
+        let config = FlowDiffConfig::default();
+        LinkUtilization::build(
+            &SignatureInputs::new(&[], (Timestamp::ZERO, Timestamp::ZERO), &config).with_log(log),
+        )
+    }
+
+    fn diff_lu(a: &LinkUtilization, b: &LinkUtilization) -> Vec<LuChange> {
+        let config = FlowDiffConfig::default();
+        a.diff(
+            b,
+            &DiffCtx {
+                config: &config,
+                current_records: &[],
+            },
+        )
+    }
+
     #[test]
     fn rates_from_cumulative_counters() {
         let log: ControllerLog = vec![
@@ -132,7 +181,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let lu = build_utilization(&log);
+        let lu = lu_of(&log);
         let stats = &lu.per_port[&(DatapathId(1), PortNo(2))];
         assert_eq!(stats.n, 3);
         assert!((stats.mean - 100_000.0).abs() < 1.0, "100 KB/s");
@@ -142,7 +191,18 @@ mod tests {
     #[test]
     fn single_poll_yields_no_rate() {
         let log: ControllerLog = vec![reply(10, 1, 2, 500)].into_iter().collect();
-        assert!(build_utilization(&log).per_port.is_empty());
+        assert!(lu_of(&log).per_port.is_empty());
+    }
+
+    #[test]
+    fn missing_log_builds_empty_signature() {
+        let config = FlowDiffConfig::default();
+        let lu = LinkUtilization::build(&SignatureInputs::new(
+            &[],
+            (Timestamp::ZERO, Timestamp::ZERO),
+            &config,
+        ));
+        assert!(lu.per_port.is_empty());
     }
 
     #[test]
@@ -151,17 +211,20 @@ mod tests {
             let log: ControllerLog = (0..8u64)
                 .map(|i| reply(10 * (i + 1), 1, 2, rate * 10 * i))
                 .collect();
-            build_utilization(&log)
+            lu_of(&log)
         };
         let config = FlowDiffConfig::default();
         let base = steady(100_000);
         let same = steady(101_000);
         let busy = steady(5_000_000);
-        assert!(diff_utilization(&base, &same, &config).is_empty());
-        let changes = diff_utilization(&base, &busy, &config);
+        assert!(diff_lu(&base, &same).is_empty());
+        let changes = diff_lu(&base, &busy);
         assert_eq!(changes.len(), 1);
         assert_eq!(changes[0].port, (DatapathId(1), PortNo(2)));
         assert!(changes[0].sigmas > config.isl_sigma);
+        let rendered = LinkUtilization::render(&changes[0]);
+        assert_eq!(rendered.kind, SignatureKind::Lu);
+        assert_eq!(rendered.components, vec![Component::Switch(DatapathId(1))]);
     }
 
     #[test]
@@ -172,8 +235,6 @@ mod tests {
         let log_b: ControllerLog = (0..4u64)
             .map(|i| reply(10 * (i + 1), 9, 9, 1_000 * i))
             .collect();
-        let a = build_utilization(&log_a);
-        let b = build_utilization(&log_b);
-        assert!(diff_utilization(&a, &b, &FlowDiffConfig::default()).is_empty());
+        assert!(diff_lu(&lu_of(&log_a), &lu_of(&log_b)).is_empty());
     }
 }

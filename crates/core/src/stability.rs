@@ -3,49 +3,65 @@
 //! Unstable signatures cause false positives, so FlowDiff partitions the
 //! reference log into several intervals, computes each signature per
 //! interval, and only keeps signatures that agree across (a quorum of)
-//! intervals for use in problem detection.
+//! intervals for use in problem detection. Each signature judges its own
+//! stability through [`Signature::stability`], at its own granularity
+//! ([`crate::change::Locus`]); this module only segments the log,
+//! matches groups across intervals, and collects the resulting
+//! [`StabilityMask`]s.
 
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::change::SignatureKind;
 use crate::config::FlowDiffConfig;
 use crate::groups::match_groups;
-use crate::model::BehaviorModel;
-use crate::signatures::delay::EdgePair;
-use crate::signatures::interaction::node_chi2;
+use crate::model::{BehaviorModel, GroupSignatures};
+use crate::signatures::{Signature, StabilityCtx, StabilityMask};
 use netsim::log::ControllerLog;
 
-/// Which signatures of one group are stable enough to diff.
+/// Which signatures of one group are stable enough to diff, as one
+/// [`StabilityMask`] per application signature.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroupStability {
-    /// Connectivity graph stability.
-    pub cg: bool,
-    /// Flow statistics stability.
-    pub fs: bool,
-    /// Component interaction stability per node (nodes with non-linear
-    /// decision logic, e.g. skewed load balancing, come out unstable).
-    pub ci_nodes: BTreeMap<std::net::Ipv4Addr, bool>,
-    /// Delay distribution stability per edge pair.
-    pub dd_pairs: BTreeMap<EdgePair, bool>,
-    /// Partial correlation stability per edge pair.
-    pub pc_pairs: BTreeMap<EdgePair, bool>,
+    /// Per-signature stability masks. A missing kind means the signature
+    /// was not judged and passes by default.
+    pub masks: BTreeMap<SignatureKind, StabilityMask>,
 }
 
 impl GroupStability {
+    fn whole(&self, kind: SignatureKind) -> bool {
+        self.masks.get(&kind).is_none_or(|m| m.stable)
+    }
+
+    /// True when the connectivity graph is stable.
+    pub fn cg(&self) -> bool {
+        self.whole(SignatureKind::Cg)
+    }
+
+    /// True when the flow statistics are stable.
+    pub fn fs(&self) -> bool {
+        self.whole(SignatureKind::Fs)
+    }
+
     /// True when CI is stable at every observed node.
     pub fn ci(&self) -> bool {
-        self.ci_nodes.values().all(|&s| s)
+        self.whole(SignatureKind::Ci)
     }
 
     /// True when DD is stable on every pair.
     pub fn dd(&self) -> bool {
-        self.dd_pairs.values().all(|&s| s)
+        self.whole(SignatureKind::Dd)
     }
 
     /// True when PC is stable on every pair.
     pub fn pc(&self) -> bool {
-        self.pc_pairs.values().all(|&s| s)
+        self.whole(SignatureKind::Pc)
+    }
+
+    /// The mask for one signature kind, if it was judged.
+    pub fn mask(&self, kind: SignatureKind) -> Option<&StabilityMask> {
+        self.masks.get(&kind)
     }
 }
 
@@ -66,16 +82,15 @@ impl StabilityReport {
                 .groups
                 .iter()
                 .map(|g| GroupStability {
-                    cg: true,
-                    fs: true,
-                    ci_nodes: g
-                        .interaction
-                        .per_node
-                        .keys()
-                        .map(|ip| (*ip, true))
-                        .collect(),
-                    dd_pairs: g.delay.per_pair.keys().map(|p| (*p, true)).collect(),
-                    pc_pairs: g.correlation.per_pair.keys().map(|p| (*p, true)).collect(),
+                    masks: [
+                        (SignatureKind::Cg, g.connectivity.stable_mask()),
+                        (SignatureKind::Fs, g.flow_stats.stable_mask()),
+                        (SignatureKind::Ci, g.interaction.stable_mask()),
+                        (SignatureKind::Dd, g.delay.stable_mask()),
+                        (SignatureKind::Pc, g.correlation.stable_mask()),
+                    ]
+                    .into_iter()
+                    .collect(),
                 })
                 .collect(),
         }
@@ -84,7 +99,7 @@ impl StabilityReport {
 
 /// Runs the stability analysis: splits `log` into
 /// `config.stability_intervals` segments, builds a model per segment, and
-/// checks each signature of `full_model` for agreement across segments.
+/// lets each signature of `full_model` judge its agreement across them.
 pub fn analyze(
     log: &ControllerLog,
     full_model: &BehaviorModel,
@@ -102,7 +117,7 @@ pub fn analyze(
         .map(|full_group| {
             // Locate this group in each interval model.
             let full_groups = std::slice::from_ref(&full_group.group);
-            let mut matches = Vec::new();
+            let mut matches: Vec<Option<&GroupSignatures>> = Vec::new();
             for im in &interval_models {
                 let im_groups: Vec<_> = im.groups.iter().map(|g| g.group.clone()).collect();
                 let (pairs, _, _) = match_groups(full_groups, &im_groups);
@@ -112,114 +127,36 @@ pub fn analyze(
             // group produced traffic at all: quiet capture tails (e.g.
             // after the workload stopped) are no evidence of
             // instability. At least two active intervals are required.
-            let observed = matches.iter().flatten().count();
+            let present: Vec<&GroupSignatures> = matches.iter().flatten().copied().collect();
+            let observed = present.len();
             let quorum = ((config.stability_quorum * observed as f64).ceil() as usize).max(2);
+            let ctx = StabilityCtx { config, quorum };
 
-            // CG: interval edge sets must largely agree with the full set.
-            let cg_votes = matches
-                .iter()
-                .flatten()
-                .filter(|g| {
-                    let inter = g
-                        .connectivity
-                        .edges
-                        .intersection(&full_group.connectivity.edges)
-                        .count();
-                    let union = g
-                        .connectivity
-                        .edges
-                        .union(&full_group.connectivity.edges)
-                        .count();
-                    union > 0 && inter as f64 / union as f64 >= 0.8
-                })
-                .count();
-            let cg = cg_votes >= quorum;
+            let mut masks = BTreeMap::new();
+            let ivs: Vec<_> = present.iter().map(|g| &g.connectivity).collect();
+            masks.insert(
+                SignatureKind::Cg,
+                full_group.connectivity.stability(&ivs, &ctx),
+            );
+            let ivs: Vec<_> = present.iter().map(|g| &g.flow_stats).collect();
+            masks.insert(
+                SignatureKind::Fs,
+                full_group.flow_stats.stability(&ivs, &ctx),
+            );
+            let ivs: Vec<_> = present.iter().map(|g| &g.interaction).collect();
+            masks.insert(
+                SignatureKind::Ci,
+                full_group.interaction.stability(&ivs, &ctx),
+            );
+            let ivs: Vec<_> = present.iter().map(|g| &g.delay).collect();
+            masks.insert(SignatureKind::Dd, full_group.delay.stability(&ivs, &ctx));
+            let ivs: Vec<_> = present.iter().map(|g| &g.correlation).collect();
+            masks.insert(
+                SignatureKind::Pc,
+                full_group.correlation.stability(&ivs, &ctx),
+            );
 
-            // FS: coefficient of variation of interval mean byte counts.
-            let byte_means: Vec<f64> = matches
-                .iter()
-                .flatten()
-                .filter(|g| g.flow_stats.flow_count > 0)
-                .map(|g| g.flow_stats.bytes.mean)
-                .collect();
-            let fs = if byte_means.len() >= quorum.min(2) {
-                let s = crate::stats::MeanStd::of(&byte_means);
-                s.mean > 0.0 && s.std / s.mean < 0.5
-            } else {
-                false
-            };
-
-            // CI per node: χ² of each interval against the full profile.
-            let ci_nodes = full_group
-                .interaction
-                .per_node
-                .keys()
-                .map(|node| {
-                    let votes = matches
-                        .iter()
-                        .flatten()
-                        .filter(|g| {
-                            node_chi2(&full_group.interaction, &g.interaction, *node)
-                                .is_some_and(|c| c < config.chi2_threshold)
-                        })
-                        .count();
-                    (*node, votes >= quorum)
-                })
-                .collect();
-
-            // DD per pair: interval peak bin must match the full peak.
-            let full_peaks = full_group.delay.peaks(config.min_samples);
-            let dd_pairs = full_group
-                .delay
-                .per_pair
-                .keys()
-                .map(|pair| {
-                    let Some(full_peak) = full_peaks.get(pair) else {
-                        return (*pair, false);
-                    };
-                    let mut votes = 0;
-                    let mut observed = 0;
-                    for g in matches.iter().flatten() {
-                        let peaks = g.delay.peaks(1);
-                        if let Some(p) = peaks.get(pair) {
-                            observed += 1;
-                            if p.0.abs_diff(full_peak.0) <= config.dd_bin_us {
-                                votes += 1;
-                            }
-                        }
-                    }
-                    let stable =
-                        observed > 0 && votes as f64 / observed as f64 >= config.stability_quorum;
-                    (*pair, stable)
-                })
-                .collect();
-
-            // PC per pair: dispersion of interval coefficients.
-            let pc_pairs = full_group
-                .correlation
-                .per_pair
-                .keys()
-                .map(|pair| {
-                    let rs: Vec<f64> = matches
-                        .iter()
-                        .flatten()
-                        .filter_map(|g| g.correlation.per_pair.get(pair).copied())
-                        .collect();
-                    let stable = rs.len() >= quorum.min(2) && {
-                        let s = crate::stats::MeanStd::of(&rs);
-                        s.std < 0.25
-                    };
-                    (*pair, stable)
-                })
-                .collect();
-
-            GroupStability {
-                cg,
-                fs,
-                ci_nodes,
-                dd_pairs,
-                pc_pairs,
-            }
+            GroupStability { masks }
         })
         .collect();
 
@@ -238,7 +175,12 @@ mod tests {
         let (catalog, _) = install_services(&mut topo, "of7");
         let ip = |n: &str| topo.host_ip(topo.node_by_name(n).unwrap());
         let (s13, s4, s14, s25) = (ip("S13"), ip("S4"), ip("S14"), ip("S25"));
-        let mut sc = Scenario::new(topo, seed, Timestamp::from_secs(1), Timestamp::from_secs(61));
+        let mut sc = Scenario::new(
+            topo,
+            seed,
+            Timestamp::from_secs(1),
+            Timestamp::from_secs(61),
+        );
         sc.services(catalog.clone())
             .app(templates::three_tier(
                 "app",
@@ -266,8 +208,8 @@ mod tests {
         let report = analyze(&log, &model, &config);
         assert_eq!(report.per_group.len(), model.groups.len());
         let g = &report.per_group[0];
-        assert!(g.cg, "CG must be stable under steady workload");
-        assert!(g.fs, "FS must be stable under steady workload");
+        assert!(g.cg(), "CG must be stable under steady workload");
+        assert!(g.fs(), "FS must be stable under steady workload");
         assert!(g.ci(), "CI must be stable under steady workload");
     }
 
@@ -277,7 +219,14 @@ mod tests {
         let model = BehaviorModel::build(&log, &config);
         let report = StabilityReport::all_stable(&model);
         let g = &report.per_group[0];
-        assert!(g.cg && g.fs && g.ci() && g.dd() && g.pc());
+        assert!(g.cg() && g.fs() && g.ci() && g.dd() && g.pc());
+        // The per-locus masks enumerate the loci the model observed, so
+        // gated diffs can license each change individually.
+        let ci_mask = g.mask(SignatureKind::Ci).unwrap();
+        assert_eq!(
+            ci_mask.loci.len(),
+            model.groups[0].interaction.per_node.len()
+        );
     }
 
     #[test]
@@ -316,11 +265,8 @@ mod tests {
             let (_c2, _) = install_services(&mut topo2, "of7");
             let s24 = topo2.host_ip(topo2.node_by_name("S24").unwrap());
             let s13 = topo2.host_ip(topo2.node_by_name("S13").unwrap());
-            let mut sim = netsim::engine::Simulation::new(
-                topo2,
-                netsim::config::SimConfig::default(),
-                11,
-            );
+            let mut sim =
+                netsim::engine::Simulation::new(topo2, netsim::config::SimConfig::default(), 11);
             for i in 0..10u64 {
                 let key = openflow::match_fields::FlowKey::tcp(s24, 7_000 + i as u16, s13, 80);
                 sim.schedule_flow(
@@ -337,7 +283,7 @@ mod tests {
         let model = BehaviorModel::build(&log, &config);
         let report = analyze(&log, &model, &config);
         assert!(
-            !report.per_group[0].cg,
+            !report.per_group[0].cg(),
             "an edge present in one interval only must destabilize CG"
         );
     }

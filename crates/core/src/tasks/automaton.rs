@@ -59,11 +59,8 @@ impl TaskAutomaton {
     /// claim that every training sequence is representable.
     pub fn accepts(&self, seq: &[TaskFlow]) -> bool {
         // positions = set of (state, offset) after consuming i flows
-        let mut frontier: Vec<(usize, usize)> = self
-            .start_states
-            .iter()
-            .map(|&s| (s, 0usize))
-            .collect();
+        let mut frontier: Vec<(usize, usize)> =
+            self.start_states.iter().map(|&s| (s, 0usize)).collect();
         for flow in seq {
             let mut next = Vec::new();
             for (state, offset) in frontier {

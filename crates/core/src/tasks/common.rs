@@ -15,9 +15,7 @@ use crate::config::FlowDiffConfig;
 use crate::records::FlowRecord;
 
 /// A port, possibly generalized to "any ephemeral port" (`*`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PortClass {
     /// A fixed, well-known port (e.g. 2049).
     Fixed(u16),
@@ -35,9 +33,7 @@ impl fmt::Display for PortClass {
 }
 
 /// A host, either concrete or masked to a positional reference.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum HostRef {
     /// A concrete IP (always used for special-purpose nodes).
     Ip(Ipv4Addr),
@@ -56,9 +52,7 @@ impl fmt::Display for HostRef {
 }
 
 /// A canonicalized task flow template.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TaskFlow {
     /// Source host.
     pub src: HostRef,

@@ -280,18 +280,17 @@ impl TaskLibrary {
                 .flat_map(|a| detect_one(a, &flows, config))
                 .collect()
         } else {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .automata
                     .iter()
-                    .map(|a| scope.spawn(|_| detect_one(a, &flows, config)))
+                    .map(|a| scope.spawn(|| detect_one(a, &flows, config)))
                     .collect();
                 handles
                     .into_iter()
                     .flat_map(|h| h.join().expect("matcher thread panicked"))
                     .collect()
             })
-            .expect("crossbeam scope")
         };
         events.sort_by_key(|e| (e.start, e.task.clone()));
         events
@@ -494,9 +493,7 @@ mod tests {
             .flat_map(|s| s.iter().map(|f| f.to_string()))
             .collect();
         assert!(
-            rendered
-                .iter()
-                .any(|r| r == "[#0:* - 10.200.0.1:2049]"),
+            rendered.iter().any(|r| r == "[#0:* - 10.200.0.1:2049]"),
             "states: {rendered:?}"
         );
         // fixed well-known ports stay concrete, ephemeral sources are *

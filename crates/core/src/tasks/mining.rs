@@ -116,9 +116,7 @@ fn close_patterns(frequent: Vec<Pattern>) -> Vec<Pattern> {
         .iter()
         .filter(|p| {
             !frequent.iter().any(|q| {
-                q.flows.len() > p.flows.len()
-                    && q.support == p.support
-                    && p.is_contained_in(q)
+                q.flows.len() > p.flows.len() && q.support == p.support && p.is_contained_in(q)
             })
         })
         .cloned()
@@ -188,8 +186,7 @@ mod tests {
         for w in patterns.windows(2) {
             assert!(
                 w[0].flows.len() > w[1].flows.len()
-                    || (w[0].flows.len() == w[1].flows.len()
-                        && w[0].support >= w[1].support)
+                    || (w[0].flows.len() == w[1].flows.len() && w[0].support >= w[1].support)
             );
         }
     }
@@ -217,7 +214,9 @@ mod tests {
         let sequences = vec![seq(&[1, 1, 1]), seq(&[2]), seq(&[2])];
         let patterns = mine_frequent(&sequences, 0.6);
         assert!(patterns.iter().all(|p| p.flows != seq(&[1])));
-        assert!(patterns.iter().any(|p| p.flows == seq(&[2]) && p.support == 2));
+        assert!(patterns
+            .iter()
+            .any(|p| p.flows == seq(&[2]) && p.support == 2));
     }
 
     #[test]
@@ -230,7 +229,10 @@ mod tests {
     fn contains_subsequence_is_contiguous() {
         let hay = seq(&[1, 2, 3, 4]);
         assert!(contains_subsequence(&hay, &seq(&[2, 3])));
-        assert!(!contains_subsequence(&hay, &seq(&[1, 3])), "gaps not allowed");
+        assert!(
+            !contains_subsequence(&hay, &seq(&[1, 3])),
+            "gaps not allowed"
+        );
         assert!(contains_subsequence(&hay, &[]));
         assert!(!contains_subsequence(&seq(&[1]), &seq(&[1, 2])));
     }

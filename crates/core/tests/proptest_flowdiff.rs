@@ -25,10 +25,7 @@ fn flow(i: u8) -> TaskFlow {
 }
 
 fn arb_sequences() -> impl Strategy<Value = Vec<Vec<TaskFlow>>> {
-    prop::collection::vec(
-        prop::collection::vec((0u8..6).prop_map(flow), 1..10),
-        1..8,
-    )
+    prop::collection::vec(prop::collection::vec((0u8..6).prop_map(flow), 1..10), 1..8)
 }
 
 fn support_of(pattern: &[TaskFlow], sequences: &[Vec<TaskFlow>]) -> usize {

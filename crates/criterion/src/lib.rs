@@ -1,0 +1,252 @@
+//! In-tree micro-benchmark harness.
+//!
+//! The build environment is offline, so the real criterion crate is
+//! unavailable; this crate supplies the API subset the workspace's
+//! benches use — `Criterion`, `benchmark_group` (with `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, `finish`),
+//! `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: one warm-up call sizes the
+//! workload, then the timed loop runs for a minimum wall-clock budget
+//! (or `sample_size` iterations, whichever is larger) and reports
+//! mean/min per-iteration time. No statistical analysis, baselines,
+//! or HTML reports — enough to compare configurations by eye.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    min_iters: u64,
+    min_time: Duration,
+    mean: Duration,
+    fastest: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(min_iters: u64) -> Self {
+        Bencher {
+            min_iters,
+            min_time: Duration::from_millis(200),
+            mean: Duration::ZERO,
+            fastest: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up call; also sizes the timed loop for slow routines.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let warm = warm_start.elapsed();
+
+        let mut total = Duration::ZERO;
+        let mut fastest = warm;
+        let mut iters = 0u64;
+        while (iters < self.min_iters || total < self.min_time)
+            && !(iters >= 1 && total + warm > Duration::from_secs(10))
+        {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            fastest = fastest.min(elapsed);
+            iters += 1;
+        }
+        self.mean = total / iters.max(1) as u32;
+        self.fastest = fastest;
+        self.iters = iters;
+    }
+}
+
+fn report(label: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{label:<48} time: [mean {:>12?}  min {:>12?}]  ({} iters)",
+        b.mean, b.fastest, b.iters
+    );
+    if let Some(t) = throughput {
+        let secs = b.mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => {
+                line += &format!("  thrpt: {:.0} elem/s", n as f64 / secs);
+            }
+            Throughput::Bytes(n) => {
+                line += &format!("  thrpt: {:.1} MiB/s", n as f64 / secs / (1024.0 * 1024.0));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        report(&id.label, &b, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.label), &b, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &b, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("sum", |b| {
+            b.iter(|| {
+                calls += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        assert!(calls >= 2, "warm-up plus at least one timed iteration");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("n", 3), &3u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

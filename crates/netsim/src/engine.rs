@@ -17,7 +17,9 @@ use openflow::actions::Action;
 use openflow::flow_table::FlowTable;
 use openflow::frame;
 use openflow::match_fields::OfMatch;
-use openflow::messages::{FlowMod, OfpMessage, PacketIn, PacketInReason, PortStats, StatsReply, StatsRequest};
+use openflow::messages::{
+    FlowMod, OfpMessage, PacketIn, PacketInReason, PortStats, StatsReply, StatsRequest,
+};
 use openflow::types::{BufferId, PortNo, Timestamp, Xid};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -183,8 +185,7 @@ impl Simulation {
             // Proactive deployment: a permanent catch-all entry on every
             // switch. Nothing ever misses, so the controller sees no
             // PacketIn/FlowRemoved traffic (Section VI).
-            let mut fm = FlowMod::add(OfMatch::any(), 1)
-                .action(Action::output(PortNo::NORMAL));
+            let mut fm = FlowMod::add(OfMatch::any(), 1).action(Action::output(PortNo::NORMAL));
             fm.flags.send_flow_rem = false;
             for state in sim.switches.values_mut() {
                 state
@@ -198,7 +199,12 @@ impl Simulation {
 
     /// The rule the controller installs for a missed flow, per the
     /// configured deployment mode.
-    fn installed_rule(&self, key: &openflow::match_fields::FlowKey, in_port: PortNo, out_port: PortNo) -> FlowMod {
+    fn installed_rule(
+        &self,
+        key: &openflow::match_fields::FlowKey,
+        in_port: PortNo,
+        out_port: PortNo,
+    ) -> FlowMod {
         let match_ = match self.config.deployment {
             Deployment::Wildcard { prefix_len } => {
                 let masked = mask_ip(key.nw_dst, prefix_len);
@@ -544,11 +550,7 @@ impl Simulation {
         };
         let is_of = self.topo.node(node).is_of_switch();
         if is_of {
-            let table = &mut self
-                .switches
-                .get_mut(&node)
-                .expect("switch state")
-                .table;
+            let table = &mut self.switches.get_mut(&node).expect("switch state").table;
             let hit = table
                 .match_packet(&key, in_port, self.config.packet_size, self.now)
                 .is_some();
@@ -566,10 +568,7 @@ impl Simulation {
             let flow = &self.flows[id.0 as usize];
             (flow.path[hop], flow.path[hop + 1])
         };
-        let link = self
-            .topo
-            .link_between(node, next)
-            .expect("path adjacency");
+        let link = self.topo.link_between(node, next).expect("path adjacency");
         let latency = self.config.switch_proc_us + self.link_latency(link);
         self.push_event(
             self.now + latency,
@@ -588,8 +587,7 @@ impl Simulation {
         let buffer_id = BufferId(self.next_buffer);
         self.next_buffer = self.next_buffer.wrapping_add(1).max(1);
 
-        let capture =
-            frame::build_frame(&key, self.config.miss_send_len as usize).to_vec();
+        let capture = frame::build_frame(&key, self.config.miss_send_len as usize).to_vec();
         let arrival = self.now + self.ctrl_latency();
         self.log.push(ControlEvent {
             ts: arrival,
@@ -694,8 +692,8 @@ impl Simulation {
 
     fn on_delivery(&mut self, id: FlowId, dst: NodeId) {
         let key = self.flows[id.0 as usize].spec.key;
-        let service_dead = self.faults.is_host_down(dst)
-            || self.faults.is_service_dead(dst, key.tp_dst);
+        let service_dead =
+            self.faults.is_host_down(dst) || self.faults.is_service_dead(dst, key.tp_dst);
         if service_dead {
             // The connection attempt dies at the host: a handful of SYN
             // retransmissions cross the wire, then the client gives up.
@@ -751,10 +749,7 @@ impl Simulation {
             lost * (self.config.rto_us / 8)
         };
         let duration = self.flows[id.0 as usize].spec.duration_us;
-        self.push_event(
-            self.now + duration + loss_tail,
-            Ev::Complete { flow: id },
-        );
+        self.push_event(self.now + duration + loss_tail, Ev::Complete { flow: id });
     }
 
     fn on_complete(&mut self, id: FlowId) {
@@ -787,10 +782,7 @@ impl Simulation {
             if !self.topo.node(node).is_of_switch() {
                 continue;
             }
-            let in_port = self
-                .topo
-                .port_towards(node, w[0])
-                .expect("path adjacency");
+            let in_port = self.topo.port_towards(node, w[0]).expect("path adjacency");
             let out_port = self
                 .topo
                 .port_towards(node, path[i + 2])
@@ -1028,7 +1020,10 @@ mod tests {
 
         let mut sim = Simulation::new(t, SimConfig::default(), 1);
         sim.schedule_flow(Timestamp::from_secs(1), flow_1_to_2(4000));
-        sim.schedule_fault(Timestamp::from_secs(10), Fault::SwitchFailure { switch: s2 });
+        sim.schedule_fault(
+            Timestamp::from_secs(10),
+            Fault::SwitchFailure { switch: s2 },
+        );
         sim.schedule_flow(Timestamp::from_secs(11), flow_1_to_2(4001));
         let log = run_one(&mut sim);
 
@@ -1051,10 +1046,7 @@ mod tests {
     fn link_loss_inflates_bytes_and_delays() {
         let (t, _, _) = two_host_line();
         let link = t
-            .link_between(
-                t.node_by_name("s1").unwrap(),
-                t.node_by_name("s2").unwrap(),
-            )
+            .link_between(t.node_by_name("s1").unwrap(), t.node_by_name("s2").unwrap())
             .unwrap();
 
         // Baseline.
@@ -1072,7 +1064,10 @@ mod tests {
         let mut lossy = Simulation::new(t, SimConfig::default(), 42);
         lossy.schedule_fault(Timestamp::ZERO, Fault::LinkLoss { link, rate: 0.3 });
         for i in 0..10 {
-            lossy.schedule_flow(Timestamp::from_secs(1 + i * 2), flow_1_to_2(4000 + i as u16));
+            lossy.schedule_flow(
+                Timestamp::from_secs(1 + i * 2),
+                flow_1_to_2(4000 + i as u16),
+            );
         }
         lossy.run_until(Timestamp::from_secs(120));
         let lossy_log = lossy.take_log();
@@ -1102,9 +1097,7 @@ mod tests {
         // Pair PacketIn -> FlowMod by xid, compare response times.
         let mut crt = Vec::new();
         for (ts_pi, _, xid, _) in log.packet_ins() {
-            if let Some((ts_fm, _, _, _)) =
-                log.flow_mods().find(|(_, _, x, _)| *x == xid)
-            {
+            if let Some((ts_fm, _, _, _)) = log.flow_mods().find(|(_, _, x, _)| *x == xid) {
                 crt.push((ts_pi, ts_fm - ts_pi));
             }
         }
@@ -1130,12 +1123,8 @@ mod tests {
             fn on_flow_delivered(&mut self, flow: &DeliveredFlow, ctx: &mut AppCtx<'_>) {
                 // h2 relays every request on port 80 back to h1:9000.
                 if flow.spec.key.tp_dst == 80 {
-                    let key = FlowKey::tcp(
-                        flow.spec.key.nw_dst,
-                        30_000,
-                        flow.spec.key.nw_src,
-                        9000,
-                    );
+                    let key =
+                        FlowKey::tcp(flow.spec.key.nw_dst, 30_000, flow.spec.key.nw_src, 9000);
                     ctx.schedule_flow_after(60_000, FlowSpec::new(key, 2_000, 5_000));
                 }
             }
@@ -1163,12 +1152,8 @@ mod tests {
         impl AppLogic for Relay {
             fn on_flow_delivered(&mut self, flow: &DeliveredFlow, ctx: &mut AppCtx<'_>) {
                 if flow.spec.key.tp_dst == 80 {
-                    let key = FlowKey::tcp(
-                        flow.spec.key.nw_dst,
-                        30_000,
-                        flow.spec.key.nw_src,
-                        9000,
-                    );
+                    let key =
+                        FlowKey::tcp(flow.spec.key.nw_dst, 30_000, flow.spec.key.nw_src, 9000);
                     ctx.schedule_flow_after(60_000, FlowSpec::new(key, 2_000, 5_000));
                 }
             }
@@ -1240,7 +1225,10 @@ mod tests {
         assert_eq!(log.flow_removeds().count(), 0);
         assert_eq!(sim.stats().flows_delivered, 5, "forwarding still works");
         // liveness keepalives remain
-        assert!(log.events().iter().any(|e| matches!(e.msg, OfpMessage::EchoReply(_))));
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e.msg, OfpMessage::EchoReply(_))));
     }
 
     #[test]
@@ -1262,7 +1250,10 @@ mod tests {
                 );
             }
             sim.run_until(Timestamp::from_secs(60));
-            (sim.take_log().packet_ins().count(), sim.stats().flows_delivered)
+            (
+                sim.take_log().packet_ins().count(),
+                sim.stats().flows_delivered,
+            )
         };
         let (reactive, d1) = count_for(crate::config::Deployment::Reactive);
         let (wildcard, d2) = count_for(crate::config::Deployment::Wildcard { prefix_len: 24 });
@@ -1291,7 +1282,10 @@ mod tests {
         }
         let log = run_one(&mut sim);
         // one aggregated removal per switch carrying all five flows
-        let totals: Vec<u64> = log.flow_removeds().map(|(_, _, fr)| fr.byte_count).collect();
+        let totals: Vec<u64> = log
+            .flow_removeds()
+            .map(|(_, _, fr)| fr.byte_count)
+            .collect();
         assert_eq!(totals.len(), 2);
         assert!(totals.iter().all(|&b| b == 5 * 15_000));
     }
@@ -1301,7 +1295,10 @@ mod tests {
         let (t, _, _) = two_host_line();
         let mut sim = Simulation::new(t, SimConfig::default(), 1);
         for i in 0..6 {
-            sim.schedule_flow(Timestamp::from_secs(2 + i * 5), flow_1_to_2(4000 + i as u16));
+            sim.schedule_flow(
+                Timestamp::from_secs(2 + i * 5),
+                flow_1_to_2(4000 + i as u16),
+            );
         }
         sim.run_until(Timestamp::from_secs(40));
         let log = sim.take_log();
@@ -1312,7 +1309,11 @@ mod tests {
                 replies.push((ev.ts, ev.dpid, ports.clone()));
             }
         }
-        assert!(replies.len() >= 6, "two switches x >=3 polls: {}", replies.len());
+        assert!(
+            replies.len() >= 6,
+            "two switches x >=3 polls: {}",
+            replies.len()
+        );
         // counters are cumulative per (switch, port): never decreasing
         use std::collections::HashMap;
         let mut last: HashMap<(openflow::types::DatapathId, PortNo), u64> = HashMap::new();
@@ -1364,9 +1365,7 @@ mod tests {
         let errors = log
             .events()
             .iter()
-            .filter(|e| {
-                matches!(&e.msg, OfpMessage::Error(err) if err.is_table_full())
-            })
+            .filter(|e| matches!(&e.msg, OfpMessage::Error(err) if err.is_table_full()))
             .count();
         assert!(errors > 0, "overflow must be reported");
         // forwarding survives regardless

@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 use crate::topology::NodeId;
 
 /// Identifier of a flow inside one simulation run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId(pub u64);
 
 impl fmt::Display for FlowId {

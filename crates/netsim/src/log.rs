@@ -88,14 +88,8 @@ impl ControllerLog {
     /// Iterates over `PacketIn` events as `(ts, dpid, xid, &PacketIn)`.
     pub fn packet_ins(
         &self,
-    ) -> impl Iterator<
-        Item = (
-            Timestamp,
-            DatapathId,
-            Xid,
-            &openflow::messages::PacketIn,
-        ),
-    > + '_ {
+    ) -> impl Iterator<Item = (Timestamp, DatapathId, Xid, &openflow::messages::PacketIn)> + '_
+    {
         self.events.iter().filter_map(|e| match &e.msg {
             OfpMessage::PacketIn(pi) => Some((e.ts, e.dpid, e.xid, pi)),
             _ => None,
@@ -105,8 +99,7 @@ impl ControllerLog {
     /// Iterates over `FlowRemoved` events as `(ts, dpid, &FlowRemoved)`.
     pub fn flow_removeds(
         &self,
-    ) -> impl Iterator<Item = (Timestamp, DatapathId, &openflow::messages::FlowRemoved)> + '_
-    {
+    ) -> impl Iterator<Item = (Timestamp, DatapathId, &openflow::messages::FlowRemoved)> + '_ {
         self.events.iter().filter_map(|e| match &e.msg {
             OfpMessage::FlowRemoved(fr) => Some((e.ts, e.dpid, fr)),
             _ => None,
@@ -116,8 +109,7 @@ impl ControllerLog {
     /// Iterates over `FlowMod` events as `(ts, dpid, xid, &FlowMod)`.
     pub fn flow_mods(
         &self,
-    ) -> impl Iterator<Item = (Timestamp, DatapathId, Xid, &openflow::messages::FlowMod)> + '_
-    {
+    ) -> impl Iterator<Item = (Timestamp, DatapathId, Xid, &openflow::messages::FlowMod)> + '_ {
         self.events.iter().filter_map(|e| match &e.msg {
             OfpMessage::FlowMod(fm) => Some((e.ts, e.dpid, e.xid, fm)),
             _ => None,

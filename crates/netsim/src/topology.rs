@@ -18,9 +18,7 @@ use openflow::types::{DatapathId, PortNo};
 use serde::{Deserialize, Serialize};
 
 /// Index of a node in a [`Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -36,9 +34,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Index of a link in a [`Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -437,7 +433,10 @@ impl Topology {
     ///
     /// Panics if `racks` is zero or not a multiple of 4.
     pub fn tree(racks: u32, hosts_per_rack: u32) -> Topology {
-        assert!(racks > 0 && racks.is_multiple_of(4), "racks must be a multiple of 4");
+        assert!(
+            racks > 0 && racks.is_multiple_of(4),
+            "racks must be a multiple of 4"
+        );
         let mut t = Topology::new();
         let core1 = t.add_of_switch("core1");
         let core2 = t.add_of_switch("core2");

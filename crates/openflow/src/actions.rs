@@ -11,9 +11,7 @@ use crate::types::{MacAddr, PortNo, VlanId};
 ///
 /// Only the OpenFlow 1.0 standard actions are modeled; vendor extensions
 /// are out of scope for the FlowDiff reproduction.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Action {
     /// Forward out a port, sending at most `max_len` bytes to the
     /// controller when `port == PortNo::CONTROLLER`.

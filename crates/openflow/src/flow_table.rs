@@ -185,7 +185,8 @@ impl FlowTable {
                 let mut touched = false;
                 for e in &mut self.entries {
                     let hit = if strict {
-                        e.match_ == fm.match_ && e.priority == effective_priority(&fm.match_, fm.priority)
+                        e.match_ == fm.match_
+                            && e.priority == effective_priority(&fm.match_, fm.priority)
                     } else {
                         covers(&fm.match_, &e.match_)
                     };
@@ -390,9 +391,13 @@ mod tests {
     fn miss_then_hit_after_install() {
         let mut t = FlowTable::new();
         let k = key(1000);
-        assert!(t.match_packet(&k, PortNo(1), 100, Timestamp::ZERO).is_none());
+        assert!(t
+            .match_packet(&k, PortNo(1), 100, Timestamp::ZERO)
+            .is_none());
         add_exact(&mut t, &k, Timestamp::ZERO);
-        assert!(t.match_packet(&k, PortNo(1), 100, Timestamp::ZERO).is_some());
+        assert!(t
+            .match_packet(&k, PortNo(1), 100, Timestamp::ZERO)
+            .is_some());
         assert_eq!(t.len(), 1);
     }
 
@@ -563,8 +568,14 @@ mod tests {
         let mut t = FlowTable::new();
         assert!(!t.account(&key(1), PortNo(1), 1, 100, Timestamp::ZERO));
         add_exact(&mut t, &key(1), Timestamp::ZERO);
-        assert!(!t.account(&key(1), PortNo(9), 1, 100, Timestamp::ZERO), "wrong port");
-        assert!(!t.account(&key(2), PortNo(1), 1, 100, Timestamp::ZERO), "wrong key");
+        assert!(
+            !t.account(&key(1), PortNo(9), 1, 100, Timestamp::ZERO),
+            "wrong port"
+        );
+        assert!(
+            !t.account(&key(2), PortNo(1), 1, 100, Timestamp::ZERO),
+            "wrong key"
+        );
     }
 
     #[test]
@@ -582,7 +593,7 @@ mod tests {
     }
 
     #[test]
-    fn account_prefers_higher_priority_cover(){
+    fn account_prefers_higher_priority_cover() {
         let mut t = FlowTable::new();
         let k = key(1);
         let lo = FlowMod::add(OfMatch::any(), 1).action(Action::output(PortNo(5)));

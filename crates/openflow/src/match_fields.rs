@@ -17,9 +17,7 @@ use crate::types::{ether_type, IpProto, MacAddr, PortNo, VlanId};
 /// The IP source/destination wildcards are 6-bit CIDR-style counters: a
 /// value of `n` ignores the `n` least-significant bits of the address, so
 /// `0` is an exact match and `>= 32` ignores the address entirely.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Wildcards(pub u32);
 
 impl Wildcards {
@@ -132,9 +130,7 @@ impl fmt::Display for Wildcards {
 ///
 /// FlowDiff's flow records are derived from flow keys carried inside
 /// `PacketIn` payloads.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FlowKey {
     /// Ethernet source address.
     pub dl_src: MacAddr,
@@ -225,9 +221,7 @@ impl fmt::Display for FlowKey {
 /// Fields whose wildcard bit is set are ignored; IP addresses support
 /// CIDR-style partial wildcarding. An all-wildcard match (`OfMatch::any()`)
 /// matches every packet.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct OfMatch {
     /// Wildcard bits controlling which fields participate in matching.
     pub wildcards: Wildcards,

@@ -107,9 +107,7 @@ impl fmt::Display for Xid {
 }
 
 /// A 32-bit id referencing a packet buffered on the switch.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BufferId(pub u32);
 
 impl BufferId {
@@ -152,9 +150,7 @@ impl fmt::Display for Cookie {
 }
 
 /// An 802.1Q VLAN identifier. `VlanId::NONE` means "no VLAN tag present".
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VlanId(pub u16);
 
 impl VlanId {

@@ -534,7 +534,7 @@ fn encode_phy_port(p: &PhyPort, buf: &mut BytesMut) {
     // config(4) + state(4): we encode only link state in the state word.
     buf.put_u32(0);
     buf.put_u32(if p.link_up { 0 } else { 1 }); // OFPPS_LINK_DOWN = 1 << 0
-    // curr/advertised/supported/peer feature words, unused.
+                                                // curr/advertised/supported/peer feature words, unused.
     buf.put_slice(&[0; 16]);
 }
 

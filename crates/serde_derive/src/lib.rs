@@ -1,0 +1,335 @@
+//! Derive macros for the in-tree `serde` facade.
+//!
+//! The build environment is offline, so the real serde_derive (and its
+//! syn/quote dependency tree) is unavailable. This crate implements
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` with a hand-rolled
+//! token walker instead. The generated code targets the simplified
+//! traits in the in-tree `serde` crate: a field-declaration-order
+//! binary format, so only the *names* of fields matter — field types
+//! are resolved by inference at the use site.
+//!
+//! Supported shapes: unit/tuple/named structs and enums whose variants
+//! are unit, tuple, or struct-like. Generics are not supported (the
+//! workspace derives only on concrete types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum keyword, got {:?}", other)),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {:?}", other)),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the in-tree derive"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {:?}", other)),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unexpected enum body: {:?}", other)),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Split a token stream on commas that sit outside `<...>` nesting.
+/// Groups are single trees, so parens/brackets/braces nest for free.
+fn split_top_level(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tt in ts {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn count_top_level(ts: TokenStream) -> usize {
+    split_top_level(ts).len()
+}
+
+/// Extract field names from the body of a braced struct (or struct variant).
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(ts) {
+        let mut it = chunk.into_iter().peekable();
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, got {:?}", other)),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(ts) {
+        let mut it = chunk.into_iter().peekable();
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {:?}", other)),
+        };
+        let fields = match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_top_level(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            // `= <discriminant>` or nothing: unit variant either way; the
+            // wire tag is the declaration index, not the discriminant.
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            match fields {
+                Fields::Named(fs) => {
+                    for f in fs {
+                        body += &format!("::serde::Serialize::serialize(&self.{f}, out);\n");
+                    }
+                }
+                Fields::Tuple(n) => {
+                    for i in 0..*n {
+                        body += &format!("::serde::Serialize::serialize(&self.{i}, out);\n");
+                    }
+                }
+                Fields::Unit => {}
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self, out: &mut ::std::vec::Vec<u8>) {{\n\
+                 let _ = out;\n{body}}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms += &format!(
+                            "{name}::{vn} => {{ out.extend_from_slice(&({tag}u32).to_le_bytes()); }}\n"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binds.join(", ");
+                        let mut ser = String::new();
+                        for b in &binds {
+                            ser += &format!("::serde::Serialize::serialize({b}, out);\n");
+                        }
+                        arms += &format!(
+                            "{name}::{vn}({pat}) => {{ out.extend_from_slice(&({tag}u32).to_le_bytes());\n{ser}}}\n"
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let pat = fs.join(", ");
+                        let mut ser = String::new();
+                        for f in fs {
+                            ser += &format!("::serde::Serialize::serialize({f}, out);\n");
+                        }
+                        arms += &format!(
+                            "{name}::{vn} {{ {pat} }} => {{ out.extend_from_slice(&({tag}u32).to_le_bytes());\n{ser}}}\n"
+                        );
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self, out: &mut ::std::vec::Vec<u8>) {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let expr = match fields {
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::Deserialize::deserialize(input)?"))
+                        .collect();
+                    format!("{name} {{ {} }}", inits.join(", "))
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|_| "::serde::Deserialize::deserialize(input)?".to_string())
+                        .collect();
+                    format!("{name}({})", inits.join(", "))
+                }
+                Fields::Unit => name.clone(),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(input: &mut &[u8]) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({expr})\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                let expr = match &v.fields {
+                    Fields::Unit => format!("{name}::{vn}"),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|_| "::serde::Deserialize::deserialize(input)?".to_string())
+                            .collect();
+                        format!("{name}::{vn}({})", inits.join(", "))
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::Deserialize::deserialize(input)?"))
+                            .collect();
+                        format!("{name}::{vn} {{ {} }}", inits.join(", "))
+                    }
+                };
+                arms += &format!("{tag}u32 => ::std::result::Result::Ok({expr}),\n");
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(input: &mut &[u8]) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __tag = <u32 as ::serde::Deserialize>::deserialize(input)?;\n\
+                 match __tag {{\n{arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"invalid tag {{}} for enum {name}\", __tag))),\n}}\n}}\n}}\n"
+            )
+        }
+    }
+}

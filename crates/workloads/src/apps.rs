@@ -374,7 +374,9 @@ mod tests {
     fn weighted_choice_respects_weights() {
         let mut rng = StdRng::seed_from_u64(3);
         let weights = [0.9, 0.1];
-        let picks: Vec<usize> = (0..1000).map(|_| choose_weighted(&mut rng, 2, &weights)).collect();
+        let picks: Vec<usize> = (0..1000)
+            .map(|_| choose_weighted(&mut rng, 2, &weights))
+            .collect();
         let zeros = picks.iter().filter(|&&i| i == 0).count();
         assert!((850..950).contains(&zeros), "90% weight got {zeros}/1000");
         // degenerate cases fall back to uniform / only choice

@@ -173,8 +173,7 @@ mod tests {
             .map(|_| log_normal(&mut r, 100_000.0, 30_000.0))
             .collect();
         let mean = draws.iter().sum::<f64>() / draws.len() as f64;
-        let var =
-            draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (draws.len() - 1) as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (draws.len() - 1) as f64;
         let std = var.sqrt();
         assert!((95_000.0..105_000.0).contains(&mean), "mean {mean}");
         assert!((27_000.0..33_000.0).contains(&std), "std {std}");
@@ -192,9 +191,11 @@ mod tests {
             "expected ~500 ON periods, got {}",
             flows.len()
         );
-        let mean_on =
-            flows.iter().map(|(_, d)| *d).sum::<u64>() as f64 / flows.len() as f64;
-        assert!((80_000.0..120_000.0).contains(&mean_on), "mean ON {mean_on}");
+        let mean_on = flows.iter().map(|(_, d)| *d).sum::<u64>() as f64 / flows.len() as f64;
+        assert!(
+            (80_000.0..120_000.0).contains(&mean_on),
+            "mean ON {mean_on}"
+        );
     }
 
     #[test]

@@ -206,9 +206,8 @@ impl Scenario {
                         continue; // reused connection: invisible
                     }
                     eph = if eph >= 64_500 { 60_000 } else { eph + 1 };
-                    let bytes = (mesh.bytes_per_flow as f64
-                        * (0.5 + rng.gen::<f64>()))
-                        .max(64.0) as u64;
+                    let bytes =
+                        (mesh.bytes_per_flow as f64 * (0.5 + rng.gen::<f64>())).max(64.0) as u64;
                     let key = FlowKey::tcp(src, eph, dst, dport);
                     sim.schedule_flow(at, FlowSpec::new(key, bytes, duration));
                 }
@@ -251,12 +250,7 @@ mod tests {
         let db = ip_of(&topo, "S14");
         let client = ip_of(&topo, "S25");
 
-        let mut sc = Scenario::new(
-            topo,
-            7,
-            Timestamp::from_secs(1),
-            Timestamp::from_secs(21),
-        );
+        let mut sc = Scenario::new(topo, 7, Timestamp::from_secs(1), Timestamp::from_secs(21));
         sc.services(catalog)
             .app(templates::three_tier(
                 "rubis",
@@ -301,10 +295,7 @@ mod tests {
         let (topo, _) = lab_with_services();
         let vm = ip_of(&topo, "VM1");
         let mut sc = Scenario::new(topo, 7, Timestamp::ZERO, Timestamp::from_secs(5));
-        sc.task(
-            Timestamp::from_secs(1),
-            TaskKind::VmStop { vm },
-        );
+        sc.task(Timestamp::from_secs(1), TaskKind::VmStop { vm });
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sc.run()));
         assert!(result.is_err());
     }
@@ -314,10 +305,8 @@ mod tests {
         let (topo, catalog) = lab_with_services();
         let vm = ip_of(&topo, "VM1");
         let mut sc = Scenario::new(topo, 7, Timestamp::ZERO, Timestamp::from_secs(10));
-        sc.services(catalog).task(
-            Timestamp::from_secs(1),
-            TaskKind::MountNfs { host: vm },
-        );
+        sc.services(catalog)
+            .task(Timestamp::from_secs(1), TaskKind::MountNfs { host: vm });
         let result = sc.run();
         let nfs_flows = result
             .log
@@ -336,12 +325,7 @@ mod tests {
         let a = ip_of(&topo, "S1");
         let b = ip_of(&topo, "S2");
         let count_with_reuse = |reuse: f64| {
-            let mut sc = Scenario::new(
-                topo.clone(),
-                7,
-                Timestamp::ZERO,
-                Timestamp::from_secs(30),
-            );
+            let mut sc = Scenario::new(topo.clone(), 7, Timestamp::ZERO, Timestamp::from_secs(30));
             sc.mesh(OnOffMesh {
                 pairs: vec![(a, b, 5001)],
                 process: OnOffProcess::default(),
@@ -362,12 +346,7 @@ mod tests {
     fn deterministic_given_seed() {
         let (topo, catalog) = lab_with_services();
         let run = || {
-            let mut sc = Scenario::new(
-                topo.clone(),
-                99,
-                Timestamp::ZERO,
-                Timestamp::from_secs(10),
-            );
+            let mut sc = Scenario::new(topo.clone(), 99, Timestamp::ZERO, Timestamp::from_secs(10));
             sc.services(catalog.clone()).task(
                 Timestamp::from_secs(1),
                 TaskKind::VmStartup {

@@ -104,8 +104,20 @@ pub fn generate_flows(
                 seq.flow(src_host, ports::NFS, services.nfs, 65_536);
                 seq.reply(services.nfs, ports::NFS, src_host, 8_192);
             }
-            seq.fixed_port_flow(src_host, ports::MIGRATION, dst_host, ports::MIGRATION, 4_096);
-            seq.fixed_port_flow(dst_host, ports::MIGRATION, src_host, ports::MIGRATION, 1_024);
+            seq.fixed_port_flow(
+                src_host,
+                ports::MIGRATION,
+                dst_host,
+                ports::MIGRATION,
+                4_096,
+            );
+            seq.fixed_port_flow(
+                dst_host,
+                ports::MIGRATION,
+                src_host,
+                ports::MIGRATION,
+                1_024,
+            );
             let syncs = seq.rng.gen_range(1..=2);
             for _ in 0..syncs {
                 seq.flow(dst_host, ports::NFS, services.nfs, 32_768);
@@ -148,9 +160,9 @@ fn startup_sequence(seq: &mut SeqBuilder<'_>, vm: Ipv4Addr, image: VmImage, sv: 
             }
             seq.flow(vm, ports::NTP, sv.ntp, 90);
             seq.flow(vm, ports::REPO, sv.repo, 24_576); // yum metadata
-            // Variant markers: the image always fetches its own variant
-            // package; sibling AMI variants occasionally fetch it too
-            // (shared base-OS behavior).
+                                                        // Variant markers: the image always fetches its own variant
+                                                        // package; sibling AMI variants occasionally fetch it too
+                                                        // (shared base-OS behavior).
             for v in 0..AMI_VARIANTS {
                 let own = v == variant % AMI_VARIANTS;
                 if own || seq.rng.gen::<f64>() < MARKER_CROSS_PROB {
@@ -202,7 +214,11 @@ impl<'a> SeqBuilder<'a> {
     }
 
     fn next_eph(&mut self) -> u16 {
-        self.eph = if self.eph >= 59_999 { 20_000 } else { self.eph + 1 };
+        self.eph = if self.eph >= 59_999 {
+            20_000
+        } else {
+            self.eph + 1
+        };
         self.eph
     }
 
@@ -332,9 +348,8 @@ mod tests {
                     .any(|(_, f)| f.key.tp_dst == MARKER_PORT_BASE + 2),
                 "own marker must be present in every run"
             );
-            if flows
-                .iter()
-                .any(|(_, f)| f.key.tp_dst == MARKER_PORT_BASE) // variant 0's marker
+            if flows.iter().any(|(_, f)| f.key.tp_dst == MARKER_PORT_BASE)
+            // variant 0's marker
             {
                 cross += 1;
             }
@@ -381,9 +396,18 @@ mod tests {
     fn mount_and_unmount_have_distinct_orders() {
         let mut rng = StdRng::seed_from_u64(4);
         let h = vm();
-        let mount = generate_flows(&TaskKind::MountNfs { host: h }, &catalog(), Timestamp::ZERO, &mut rng);
-        let umount =
-            generate_flows(&TaskKind::UnmountNfs { host: h }, &catalog(), Timestamp::ZERO, &mut rng);
+        let mount = generate_flows(
+            &TaskKind::MountNfs { host: h },
+            &catalog(),
+            Timestamp::ZERO,
+            &mut rng,
+        );
+        let umount = generate_flows(
+            &TaskKind::UnmountNfs { host: h },
+            &catalog(),
+            Timestamp::ZERO,
+            &mut rng,
+        );
         let mp: Vec<u16> = mount.iter().map(|(_, f)| f.key.tp_dst).collect();
         let up: Vec<u16> = umount.iter().map(|(_, f)| f.key.tp_dst).collect();
         assert_eq!(mp, vec![ports::PORTMAP, ports::MOUNTD, ports::NFS]);

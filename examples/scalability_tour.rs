@@ -49,7 +49,10 @@ fn main() {
         topo.hosts().count(),
         topo.of_switches().count()
     );
-    println!("{:>6} {:>12} {:>14} {:>12}", "apps", "packet-ins", "rate (1/s)", "model (ms)");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "apps", "packet-ins", "rate (1/s)", "model (ms)"
+    );
 
     let config = FlowDiffConfig::default();
     for n_apps in [1, 3, 5, 9, 13, 19] {

@@ -12,8 +12,7 @@ use workloads::prelude::*;
 /// A moderate tree scenario with mesh traffic.
 fn tree_scenario(seed: u64) -> (Topology, ControllerLog) {
     let topo = Topology::tree(4, 5);
-    let hosts: Vec<std::net::Ipv4Addr> =
-        topo.hosts().map(|(id, _)| topo.host_ip(id)).collect();
+    let hosts: Vec<std::net::Ipv4Addr> = topo.hosts().map(|(id, _)| topo.host_ip(id)).collect();
     let mut sc = Scenario::new(
         topo.clone(),
         seed,
@@ -234,6 +233,11 @@ fn lab_and_tree_builders_are_routable() {
         let b = *hosts.last().unwrap();
         let path = topo.shortest_path(a, b, |_| false).expect("connected");
         assert!(path.len() >= 3);
-        assert!(path.iter().skip(1).rev().skip(1).all(|n| topo.node(*n).is_switch()));
+        assert!(path
+            .iter()
+            .skip(1)
+            .rev()
+            .skip(1)
+            .all(|n| topo.node(*n).is_switch()));
     }
 }

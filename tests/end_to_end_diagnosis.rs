@@ -89,10 +89,7 @@ fn logging_misconfiguration_detected_as_host_problem() {
         extra_us: 120_000,
     }));
     assert!(!report.is_healthy());
-    assert!(report
-        .unknown
-        .iter()
-        .any(|c| c.kind == SignatureKind::Dd));
+    assert!(report.unknown.iter().any(|c| c.kind == SignatureKind::Dd));
     assert!(report
         .problems
         .contains(&ProblemClass::HostOrApplicationProblem));
@@ -111,10 +108,7 @@ fn app_crash_detected_with_missing_edge() {
         port: 8080,
     }));
     assert!(!report.is_healthy());
-    assert!(report
-        .unknown
-        .iter()
-        .any(|c| c.kind == SignatureKind::Cg));
+    assert!(report.unknown.iter().any(|c| c.kind == SignatureKind::Cg));
     assert!(
         report.problems.contains(&ProblemClass::ApplicationFailure)
             || report.problems.contains(&ProblemClass::HostFailure)
@@ -147,10 +141,7 @@ fn host_shutdown_detected() {
 fn controller_overload_detected() {
     let lab = Lab::new();
     let report = lab.diagnose_against_baseline(Some(Fault::ControllerOverload { factor: 40.0 }));
-    assert!(report
-        .unknown
-        .iter()
-        .any(|c| c.kind == SignatureKind::Crt));
+    assert!(report.unknown.iter().any(|c| c.kind == SignatureKind::Crt));
     assert!(report.problems.contains(&ProblemClass::ControllerProblem));
     assert!(report
         .ranking

@@ -168,13 +168,15 @@ fn skewed_load_balancing_marks_ci_unstable() {
         Timestamp::from_secs(1),
         Timestamp::from_secs(41),
     );
-    sc.services(catalog.clone()).app(custom).client(ClientWorkload {
-        client: ip(&topo, "S23"),
-        entry_hosts: vec![s5],
-        entry_port: 80,
-        process: ArrivalProcess::poisson_per_sec(4.0),
-        request_bytes: 2_048,
-    });
+    sc.services(catalog.clone())
+        .app(custom)
+        .client(ClientWorkload {
+            client: ip(&topo, "S23"),
+            entry_hosts: vec![s5],
+            entry_port: 80,
+            process: ArrivalProcess::poisson_per_sec(4.0),
+            request_bytes: 2_048,
+        });
     let log = sc.run().log;
     let model = BehaviorModel::build(&log, &config);
     let report = analyze(&log, &model, &config);
