@@ -16,6 +16,23 @@ cargo build --release
 step "cargo test -q"
 cargo test -q
 
+step "flowdiff-bench watch smoke test (online mode)"
+demo_dir="$(mktemp -d)"
+trap 'rm -rf "$demo_dir"' EXIT
+cargo run --release -q -p flowdiff-bench --bin flowdiff_cli -- demo "$demo_dir" >/dev/null
+watch_out="$(cargo run --release -q -p flowdiff-bench --bin flowdiff-bench -- \
+    watch "$demo_dir/baseline.fcap" "$demo_dir/current.fcap")"
+printf '%s\n' "$watch_out" | tail -n 3
+epochs="$(printf '%s\n' "$watch_out" | grep -c '^epoch ' || true)"
+if [ "$epochs" -lt 1 ]; then
+    echo "FAIL: watch emitted no epoch snapshots" >&2
+    exit 1
+fi
+echo "watch emitted $epochs epoch snapshots"
+
+step "cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 if cargo clippy --version >/dev/null 2>&1; then
     step "cargo clippy --all-targets -- -D warnings"
     cargo clippy --all-targets -- -D warnings

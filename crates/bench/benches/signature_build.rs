@@ -1,15 +1,11 @@
 //! Criterion: cost of building the full behavior model (all signatures)
 //! from a captured log, at two workload scales.
 
-use std::net::Ipv4Addr;
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flowdiff::prelude::*;
-use flowdiff_bench::{capture_case, table2_cases, LabEnv};
+use flowdiff_bench::{capture_case, table2_cases, tree_capture, LabEnv};
 use netsim::log::ControllerLog;
-use netsim::topology::Topology;
 use openflow::types::Timestamp;
-use workloads::prelude::*;
 
 fn logs() -> Vec<(usize, ControllerLog)> {
     let env = LabEnv::new();
@@ -52,39 +48,6 @@ fn bench_stability_analysis(c: &mut Criterion) {
         b.iter(|| analyze(&log, &model, &env.config))
     });
     group.finish();
-}
-
-/// A capture on the paper's 320-server tree (16 racks x 20 servers)
-/// with `n_apps` disjoint three-tier applications — the Fig. 13b
-/// workload the parallel build targets.
-fn tree_capture(n_apps: usize, seed: u64, secs: u64) -> (ControllerLog, FlowDiffConfig) {
-    let topo = Topology::tree(16, 20);
-    let hosts: Vec<Ipv4Addr> = topo.hosts().map(|(id, _)| topo.host_ip(id)).collect();
-    let mut sc = Scenario::new(
-        topo,
-        seed,
-        Timestamp::from_secs(1),
-        Timestamp::from_secs(1 + secs),
-    );
-    for a in 0..n_apps {
-        let pick = |tier: usize, k: usize| hosts[(a * 9 + tier * 3 + k) % hosts.len()];
-        let mut pairs = Vec::new();
-        for tier in 0..2 {
-            for i in 0..3 {
-                for j in 0..3 {
-                    let dport = if tier == 0 { 8080 } else { 3306 };
-                    pairs.push((pick(tier, i), pick(tier + 1, j), dport));
-                }
-            }
-        }
-        sc.mesh(OnOffMesh {
-            pairs,
-            process: OnOffProcess::default(),
-            reuse_prob: 0.6,
-            bytes_per_flow: 30_000,
-        });
-    }
-    (sc.run().log, FlowDiffConfig::default())
 }
 
 /// Serial vs. parallel `BehaviorModel::from_records` on the 320-server

@@ -1,0 +1,79 @@
+//! Criterion: batch vs. streaming model construction on the 320-server
+//! tree capture (Fig. 13b workload): same work either way — the batch
+//! entry point is a wrapper over the streaming pipeline — so the
+//! comparison measures the per-event dispatch overhead, and a trailing
+//! report shows the streaming path's bounded in-flight footprint.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use flowdiff::prelude::*;
+use flowdiff_bench::tree_capture;
+use netsim::log::ControllerLog;
+
+fn bench_batch_vs_streaming(c: &mut Criterion) {
+    let (log, config) = tree_capture(9, 42, 20);
+    let mut group = c.benchmark_group("streaming_build_320_servers");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(log.len() as u64));
+    group.bench_function("batch_build", |b| {
+        b.iter(|| BehaviorModel::build(black_box(&log), &config))
+    });
+    group.bench_function("streaming_fold", |b| {
+        b.iter(|| {
+            // The hand-rolled online loop: assemble records and fold
+            // them as they complete, exactly as a live consumer would.
+            let mut assembler = RecordAssembler::new(&config);
+            let mut builder = IncrementalModelBuilder::new(&config);
+            for event in log.events() {
+                assembler.observe(event);
+                builder.observe_event(event);
+                for record in assembler.take_completed() {
+                    builder.observe_record(record);
+                }
+            }
+            for record in assembler.finish() {
+                builder.observe_record(record);
+            }
+            if let Some(span) = log.time_range() {
+                builder.set_span(span);
+            }
+            black_box(builder.into_snapshot())
+        })
+    });
+    group.finish();
+    peak_state_report(&log, &config);
+}
+
+/// How much state the streaming assembler actually holds: the peak
+/// in-flight episode count against the full record count a batch
+/// extraction materializes at once, plus the process high-water mark.
+fn peak_state_report(log: &ControllerLog, config: &FlowDiffConfig) {
+    let mut assembler = RecordAssembler::new(config);
+    let mut peak_open = 0usize;
+    let mut total_records = 0usize;
+    for event in log.events() {
+        assembler.observe(event);
+        peak_open = peak_open.max(assembler.open_len());
+        total_records += assembler.take_completed().len();
+    }
+    total_records += assembler.finish().len();
+    println!(
+        "peak in-flight episodes: {peak_open} of {total_records} records ({} events)",
+        log.len()
+    );
+    if let Some(kb) = vm_hwm_kb() {
+        println!("process peak RSS (VmHWM): {kb} kB");
+    }
+}
+
+/// Best-effort peak resident set size from /proc (Linux only).
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+criterion_group!(benches, bench_batch_vs_streaming);
+criterion_main!(benches);

@@ -1,7 +1,43 @@
 //! Index of the experiment harness: lists the binaries that regenerate
-//! each table and figure of the paper.
+//! each table and figure of the paper — plus `watch`, the online diff
+//! mode over on-disk captures.
 
-fn main() {
+use std::process::ExitCode;
+
+use flowdiff::prelude::*;
+use netsim::log::LogStream;
+use netsim::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("watch") => match cmd_watch(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Some(other) => {
+            eprintln!("unknown subcommand: {other}");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            print_index();
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: flowdiff-bench [watch <baseline.fcap> <current.fcap> \
+         [--special ip,ip] [--epoch-secs N] [--window-secs N]]"
+    );
+}
+
+fn print_index() {
     println!("FlowDiff reproduction harness. Run one experiment binary:");
     println!();
     let experiments = [
@@ -39,5 +75,115 @@ fn main() {
         println!("  cargo run --release -p flowdiff-bench --bin {bin:<7}  # {desc}");
     }
     println!();
+    println!("Online mode over captures (see flowdiff_cli demo to make them):");
+    println!("  cargo run --release -p flowdiff-bench -- watch baseline.fcap current.fcap");
+    println!();
     println!("Criterion benchmarks: cargo bench --workspace");
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// `watch`: model a baseline capture, then stream the current capture
+/// through the online differ, printing one line per epoch as each
+/// sliding-window model is diffed against the baseline.
+fn cmd_watch(args: &[String]) -> CliResult {
+    if args.len() < 2 {
+        usage();
+        return Err("watch needs <baseline.fcap> <current.fcap>".into());
+    }
+    let mut config = FlowDiffConfig::default();
+    let mut it = args[2..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--special" => {
+                let list = it.next().ok_or("--special needs a comma-separated list")?;
+                let mut specials = Vec::new();
+                for ip in list.split(',') {
+                    specials.push(ip.trim().parse::<std::net::Ipv4Addr>()?);
+                }
+                config = config.with_special_ips(specials);
+            }
+            "--epoch-secs" => {
+                let n: u64 = it.next().ok_or("--epoch-secs needs a number")?.parse()?;
+                config.online_epoch_us = n.max(1) * 1_000_000;
+            }
+            "--window-secs" => {
+                let n: u64 = it.next().ok_or("--window-secs needs a number")?.parse()?;
+                config.online_window_us = n.max(1) * 1_000_000;
+            }
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+    }
+
+    let baseline_bytes = std::fs::read(&args[0]).map_err(|e| format!("{}: {e}", args[0]))?;
+    let baseline_log =
+        ControllerLog::from_wire_bytes(&baseline_bytes).map_err(|e| format!("{}: {e}", args[0]))?;
+    let baseline = BehaviorModel::build(&baseline_log, &config);
+    let stability = analyze(&baseline_log, &baseline, &config);
+    println!(
+        "baseline: {} events, {} flows, {} groups",
+        baseline_log.len(),
+        baseline.records.len(),
+        baseline.groups.len()
+    );
+
+    // The current capture is never materialized: events are decoded one
+    // at a time off the wire bytes and fed straight into the differ.
+    let current_bytes = std::fs::read(&args[1]).map_err(|e| format!("{}: {e}", args[1]))?;
+    let mut differ = OnlineDiffer::new(baseline, stability, &config);
+    for event in
+        LogStream::from_wire_bytes(&current_bytes).map_err(|e| format!("{}: {e}", args[1]))?
+    {
+        let event = event.map_err(|e| format!("{}: {e}", args[1]))?;
+        for snapshot in differ.observe(event.as_ref()) {
+            report(&snapshot, &config);
+        }
+    }
+    if let Some(snapshot) = differ.finish() {
+        report(&snapshot, &config);
+    } else {
+        return Err(format!("{}: capture holds no events", args[1]).into());
+    }
+    Ok(())
+}
+
+/// One status line per epoch snapshot.
+fn report(snapshot: &EpochSnapshot, config: &FlowDiffConfig) {
+    let diagnosis = snapshot.diagnose(&[], config);
+    let changes = snapshot
+        .diff
+        .group_diffs
+        .iter()
+        .map(|g| g.changes.len())
+        .sum::<usize>()
+        + snapshot.diff.infra.len()
+        + snapshot.diff.new_groups.len()
+        + snapshot.diff.missing_groups.len();
+    let verdict = if diagnosis.is_healthy() {
+        "healthy".to_string()
+    } else {
+        let problems = diagnosis
+            .problems
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        let suspects = diagnosis
+            .ranking
+            .iter()
+            .take(3)
+            .map(|(c, n)| format!("{c}({n})"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!("ALARM [{problems}] suspects: {suspects}")
+    };
+    println!(
+        "epoch {:>3}  [{:>7.1}s .. {:>7.1}s]  {:>5} flows  {:>3} changes  {}",
+        snapshot.epoch,
+        snapshot.window.0.as_secs_f64(),
+        snapshot.window.1.as_secs_f64(),
+        snapshot.records,
+        changes,
+        verdict
+    );
 }

@@ -55,6 +55,20 @@ pub struct FlowDiffConfig {
     pub ephemeral_port_floor: u16,
     /// Minimum flows per group edge for DD/PC statistics to be computed.
     pub min_samples: usize,
+    /// Streaming record assembly: a partial flow with no activity for
+    /// this long is finalized and emitted, bounding the assembler's
+    /// in-flight state. Events pairing with a flow later than this (a
+    /// `FlowMod` or `FlowRemoved` arriving more than the timeout after
+    /// the flow's last report) no longer attach. The effective horizon
+    /// is clamped to at least `episode_gap_us` so eviction can never
+    /// merge what the batch extractor would split.
+    pub partial_flow_timeout_us: u64,
+    /// Online mode: how often the live window is snapshotted and diffed
+    /// against the baseline, microseconds.
+    pub online_epoch_us: u64,
+    /// Online mode: length of the sliding window the live model is
+    /// built over, microseconds.
+    pub online_window_us: u64,
 }
 
 impl Default for FlowDiffConfig {
@@ -77,6 +91,9 @@ impl Default for FlowDiffConfig {
             episode_gap_us: 2_000_000,
             ephemeral_port_floor: 9_999,
             min_samples: 5,
+            partial_flow_timeout_us: 60_000_000,
+            online_epoch_us: 5_000_000,
+            online_window_us: 30_000_000,
         }
     }
 }

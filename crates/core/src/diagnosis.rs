@@ -350,6 +350,15 @@ pub fn diagnose(
     }
 }
 
+impl crate::diff::EpochSnapshot {
+    /// Diagnoses this epoch: validates the window's changes against the
+    /// operator task series, classifies, and ranks — the online
+    /// counterpart of the batch [`diagnose`] entry point.
+    pub fn diagnose(&self, tasks: &[TaskEvent], config: &FlowDiffConfig) -> DiagnosisReport {
+        diagnose(&self.diff, &self.model, tasks, config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

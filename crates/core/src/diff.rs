@@ -7,14 +7,17 @@
 //! concrete change types — adding a tenth signature means implementing
 //! the trait, not editing this file.
 
+use openflow::types::Timestamp;
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, SignatureKind};
 use crate::config::FlowDiffConfig;
 use crate::groups::match_groups;
-use crate::model::BehaviorModel;
+use crate::model::{BehaviorModel, IncrementalModelBuilder};
+use crate::records::RecordAssembler;
 use crate::signatures::{DiffCtx, Signature, StabilityMask};
 use crate::stability::StabilityReport;
+use netsim::log::ControlEvent;
 
 /// Differences in one application group matched across the two models.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -179,6 +182,155 @@ pub fn compare(
     }
 }
 
+/// One sliding-window comparison emitted by the [`OnlineDiffer`] at an
+/// epoch boundary: the model of the trailing window and its diff
+/// against the reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochSnapshot {
+    /// Zero-based epoch index.
+    pub epoch: u64,
+    /// The trailing window this snapshot models, `[start, end)`.
+    pub window: (Timestamp, Timestamp),
+    /// Flow records in the window model (in-flight flows included).
+    pub records: usize,
+    /// The window's behavior model.
+    pub model: BehaviorModel,
+    /// Its diff against the reference model.
+    pub diff: ModelDiff,
+}
+
+/// Online diff mode (the streaming counterpart of one-shot
+/// [`compare`]): feed control events as they arrive; every
+/// `config.online_epoch_us` of log time it models the trailing
+/// `config.online_window_us` window and diffs it against a fixed
+/// reference model.
+///
+/// Internally an incremental pipeline — a [`RecordAssembler`] turns
+/// events into flow records, an [`IncrementalModelBuilder`] accumulates
+/// them, and `retire_before` keeps memory proportional to the window.
+/// At each boundary the builder is cloned and the assembler's in-flight
+/// episodes are added to the clone, so long-running flows show up in
+/// window models without disturbing (or double-counting in) the real
+/// accumulation.
+#[derive(Debug, Clone)]
+pub struct OnlineDiffer {
+    reference: BehaviorModel,
+    stability: StabilityReport,
+    config: FlowDiffConfig,
+    assembler: RecordAssembler,
+    builder: IncrementalModelBuilder,
+    epoch_us: u64,
+    window_us: u64,
+    next_boundary: Option<Timestamp>,
+    epoch: u64,
+}
+
+impl OnlineDiffer {
+    /// A differ against `reference`, gated by `stability` (use
+    /// [`StabilityReport::all_stable`] to diff ungated).
+    pub fn new(
+        reference: BehaviorModel,
+        stability: StabilityReport,
+        config: &FlowDiffConfig,
+    ) -> OnlineDiffer {
+        OnlineDiffer {
+            reference,
+            stability,
+            config: config.clone(),
+            assembler: RecordAssembler::new(config),
+            builder: IncrementalModelBuilder::new(config),
+            epoch_us: config.online_epoch_us.max(1),
+            window_us: config.online_window_us.max(1),
+            next_boundary: None,
+            epoch: 0,
+        }
+    }
+
+    /// Feeds one event; returns the snapshots of every epoch boundary
+    /// the event's timestamp crossed (usually none, one if the stream
+    /// just entered a new epoch, several after a quiet stretch).
+    pub fn observe(&mut self, event: &ControlEvent) -> Vec<EpochSnapshot> {
+        if self.next_boundary.is_none() {
+            self.next_boundary = Some(event.ts + self.epoch_us);
+        }
+        let mut out = Vec::new();
+        while let Some(boundary) = self.next_boundary {
+            if event.ts < boundary {
+                break;
+            }
+            out.push(self.snapshot_at(boundary));
+            self.next_boundary = Some(boundary + self.epoch_us);
+        }
+        self.assembler.observe(event);
+        self.builder.observe_event(event);
+        for record in self.assembler.take_completed() {
+            self.builder.observe_record(record);
+        }
+        out
+    }
+
+    /// Flushes the final partial epoch, completing every in-flight
+    /// episode. None when no event was ever observed.
+    pub fn finish(self) -> Option<EpochSnapshot> {
+        let OnlineDiffer {
+            reference,
+            stability,
+            config,
+            assembler,
+            mut builder,
+            window_us,
+            epoch,
+            ..
+        } = self;
+        let (_, end) = builder.observed_span()?;
+        for record in assembler.finish() {
+            builder.observe_record(record);
+        }
+        let start = Timestamp::from_micros(end.as_micros().saturating_sub(window_us));
+        builder.retire_before(start);
+        builder.set_span((start, end));
+        let model = builder.into_snapshot();
+        let diff = compare(&reference, &model, &stability, &config);
+        Some(EpochSnapshot {
+            epoch,
+            window: (start, end),
+            records: model.records.len(),
+            model,
+            diff,
+        })
+    }
+
+    /// Models the window ending at `boundary` and diffs it against the
+    /// reference.
+    fn snapshot_at(&mut self, boundary: Timestamp) -> EpochSnapshot {
+        for record in self.assembler.take_completed() {
+            self.builder.observe_record(record);
+        }
+        let start = Timestamp::from_micros(boundary.as_micros().saturating_sub(self.window_us));
+        self.builder.retire_before(start);
+        // Snapshot through a clone with the in-flight episodes added:
+        // they belong in this window's picture, but must complete into
+        // the real builder exactly once.
+        let mut probe = self.builder.clone();
+        for record in self.assembler.open_records() {
+            probe.observe_record(record);
+        }
+        probe.retire_before(start);
+        probe.set_span((start, boundary));
+        let model = probe.into_snapshot();
+        let diff = compare(&self.reference, &model, &self.stability, &self.config);
+        let snapshot = EpochSnapshot {
+            epoch: self.epoch,
+            window: (start, boundary),
+            records: model.records.len(),
+            model,
+            diff,
+        };
+        self.epoch += 1;
+        snapshot
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +374,67 @@ mod tests {
         let result = sc.run();
         let config = FlowDiffConfig::default().with_special_ips(catalog.special_ips());
         (result.log, config)
+    }
+
+    #[test]
+    fn online_differ_snapshots_every_epoch() {
+        let (log1, config) = scenario_log(1, None);
+        let m1 = crate::model::BehaviorModel::build(&log1, &config);
+        let stability = crate::stability::analyze(&log1, &m1, &config);
+        let (log2, _) = scenario_log(2, None);
+        let mut differ = OnlineDiffer::new(m1, stability, &config);
+        let mut snaps = Vec::new();
+        for event in log2.events() {
+            snaps.extend(differ.observe(event));
+        }
+        let last = differ.finish().expect("events were observed");
+        assert!(
+            snaps.len() >= 5,
+            "40s log at 5s epochs: {} snaps",
+            snaps.len()
+        );
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.epoch, i as u64, "epochs count up from zero");
+            assert!(s.window.0 <= s.window.1);
+            assert!(s.window.1.saturating_since(s.window.0) <= config.online_window_us);
+            assert_eq!(s.records, s.model.records.len());
+        }
+        for w in snaps.windows(2) {
+            assert_eq!(
+                w[1].window.1.saturating_since(w[0].window.1),
+                config.online_epoch_us,
+                "window end advances by exactly one epoch"
+            );
+        }
+        assert_eq!(last.epoch, snaps.len() as u64);
+        let peak = snaps.iter().map(|s| s.records).max().unwrap();
+        assert!(peak > 100, "steady traffic fills the windows: peak {peak}");
+        // The capture has a quiet tail (flow-entry expirations trail the
+        // last request): the sliding window must retire the old flows
+        // rather than accumulate forever.
+        assert!(
+            snaps.last().unwrap().records < peak / 2,
+            "trailing windows shrink as traffic stops"
+        );
+    }
+
+    #[test]
+    fn online_flush_with_full_width_window_matches_batch_build() {
+        // With the window sized to the whole capture, nothing is ever
+        // retired, so the final flush must reproduce the batch model
+        // bit for bit — and diff empty against itself.
+        let (log, mut config) = scenario_log(1, None);
+        let (t0, t1) = log.time_range().unwrap();
+        config.online_window_us = t1.saturating_since(t0);
+        let batch = crate::model::BehaviorModel::build(&log, &config);
+        let stability = crate::stability::StabilityReport::all_stable(&batch);
+        let mut differ = OnlineDiffer::new(batch.clone(), stability, &config);
+        for event in log.events() {
+            differ.observe(event);
+        }
+        let last = differ.finish().unwrap();
+        assert_eq!(last.model, batch, "streamed window model == batch model");
+        assert!(last.diff.is_empty(), "a model diffed against itself");
     }
 
     #[test]

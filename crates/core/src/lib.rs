@@ -18,6 +18,13 @@
 //!                            ranked suspect components
 //! ```
 //!
+//! The pipeline is streaming end to end: events flow through a
+//! [`records::RecordAssembler`] into a
+//! [`model::IncrementalModelBuilder`], and the batch calls above are
+//! thin wrappers that feed a whole log through it and snapshot once.
+//! [`diff::OnlineDiffer`] drives the same machinery continuously,
+//! diffing a sliding window against the baseline at epoch boundaries.
+//!
 //! # Example
 //!
 //! ```
@@ -56,11 +63,13 @@ pub mod prelude {
     pub use crate::diagnosis::{
         diagnose, Change, Component, DiagnosisReport, ProblemClass, SignatureKind,
     };
-    pub use crate::diff::{compare, ModelDiff};
+    pub use crate::diff::{compare, EpochSnapshot, ModelDiff, OnlineDiffer};
     pub use crate::groups::{discover_groups, AppGroup, Edge};
-    pub use crate::model::{BehaviorModel, GroupSignatures};
-    pub use crate::records::{extract_records, FlowRecord, FlowTuple};
-    pub use crate::signatures::{DiffCtx, Signature, SignatureInputs, StabilityCtx, StabilityMask};
+    pub use crate::model::{BehaviorModel, GroupSignatures, IncrementalModelBuilder};
+    pub use crate::records::{extract_records, FlowRecord, FlowTuple, RecordAssembler};
+    pub use crate::signatures::{
+        DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
+    };
     pub use crate::stability::{analyze, StabilityReport};
     pub use crate::tasks::{learn_task, TaskAutomaton, TaskEvent, TaskLibrary};
 }

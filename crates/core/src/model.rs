@@ -7,25 +7,34 @@
 //! thread pool. Work items are claimed from an atomic counter and the
 //! results reassembled in deterministic task order, so the parallel
 //! build is `PartialEq`-identical to the serial one.
+//!
+//! There is exactly one model-building implementation: the streaming
+//! [`IncrementalModelBuilder`], which folds records and raw control
+//! events as they arrive and can snapshot a [`BehaviorModel`] at any
+//! point (the online differ snapshots at epoch boundaries). The batch
+//! entry points — [`BehaviorModel::build`] and the `from_records*`
+//! family — are thin wrappers that feed everything through one builder
+//! and snapshot once.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-use openflow::types::Timestamp;
+use openflow::types::{DatapathId, Timestamp};
 use serde::{Deserialize, Serialize};
 
 use crate::config::FlowDiffConfig;
 use crate::groups::{discover_groups, AppGroup};
-use crate::records::{extract_records, FlowRecord};
+use crate::records::{FlowRecord, RecordAssembler};
 use crate::signatures::connectivity::ConnectivityGraph;
 use crate::signatures::correlation::PartialCorrelation;
 use crate::signatures::delay::DelayDistribution;
 use crate::signatures::flow_stats::FlowStatsSig;
 use crate::signatures::infra::{ControllerResponse, InterSwitchLatency, PhysicalTopology};
 use crate::signatures::interaction::ComponentInteraction;
-use crate::signatures::utilization::LinkUtilization;
-use crate::signatures::{Signature, SignatureInputs};
-use netsim::log::ControllerLog;
+use crate::signatures::utilization::{LinkUtilization, LuBuilder};
+use crate::signatures::{Signature, SignatureBuilder, SignatureInputs};
+use netsim::log::{ControlEvent, ControllerLog, Direction};
 
 /// All application signatures of one group.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,7 +77,8 @@ pub struct BehaviorModel {
 /// Application signatures built per group, in task order.
 const SIGS_PER_GROUP: usize = 5;
 /// Infrastructure signatures built once per model (PT, ISL, CRT; LU
-/// needs the raw log and is attached by [`BehaviorModel::build`]).
+/// needs the raw log and is accumulated by the
+/// [`IncrementalModelBuilder`] from `StatsReply` events).
 const INFRA_SIGS: usize = 3;
 
 /// One completed signature build, tagged for reassembly.
@@ -115,25 +125,276 @@ fn build_part(
     }
 }
 
-impl BehaviorModel {
-    /// Builds the full model from a controller log.
-    pub fn build(log: &ControllerLog, config: &FlowDiffConfig) -> BehaviorModel {
-        let records = extract_records(log, config);
-        let span = log
-            .time_range()
+/// The number of worker threads used by the parallel entry points.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The shared signature fan-out: discovers groups over `records` and
+/// builds every record-derived signature with `workers` threads.
+/// `workers <= 1` runs the builds inline; otherwise scoped threads claim
+/// work items from a shared counter. Either way the signatures are
+/// reassembled in task order, so the result is identical.
+///
+/// This is the single assembly point — both the batch entry points and
+/// [`IncrementalModelBuilder::snapshot`] land here.
+fn assemble(
+    records: Vec<FlowRecord>,
+    span: (Timestamp, Timestamp),
+    config: &FlowDiffConfig,
+    workers: usize,
+) -> BehaviorModel {
+    let groups = discover_groups(&records, config);
+    let group_records: Vec<Vec<&FlowRecord>> = groups
+        .iter()
+        .map(|g| g.record_indices.iter().map(|&i| &records[i]).collect())
+        .collect();
+    let all_records: Vec<&FlowRecord> = records.iter().collect();
+    let n_tasks = groups.len() * SIGS_PER_GROUP + INFRA_SIGS;
+
+    let built: Vec<Built> = if workers <= 1 {
+        (0..n_tasks)
+            .map(|t| build_part(t, &groups, &group_records, &all_records, span, config))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Built)>();
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(n_tasks) {
+                let tx = tx.clone();
+                let (next, groups, group_records, all_records) =
+                    (&next, &groups, &group_records, &all_records);
+                s.spawn(move || loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= n_tasks {
+                        break;
+                    }
+                    let part = build_part(t, groups, group_records, all_records, span, config);
+                    if tx.send((t, part)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<Built>> = (0..n_tasks).map(|_| None).collect();
+            for (t, part) in rx {
+                slots[t] = Some(part);
+            }
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every task completes"))
+                .collect()
+        })
+    };
+
+    // Reassemble in task order: per group [CG, FS, CI, DD, PC], then
+    // PT, ISL, CRT.
+    let mut parts = built.into_iter();
+    let group_sigs: Vec<GroupSignatures> = groups
+        .into_iter()
+        .map(|group| {
+            let Some(Built::Cg(connectivity)) = parts.next() else {
+                unreachable!("task order: CG first per group")
+            };
+            let Some(Built::Fs(flow_stats)) = parts.next() else {
+                unreachable!("task order: FS second per group")
+            };
+            let Some(Built::Ci(interaction)) = parts.next() else {
+                unreachable!("task order: CI third per group")
+            };
+            let Some(Built::Dd(delay)) = parts.next() else {
+                unreachable!("task order: DD fourth per group")
+            };
+            let Some(Built::Pc(correlation)) = parts.next() else {
+                unreachable!("task order: PC fifth per group")
+            };
+            GroupSignatures {
+                group,
+                connectivity,
+                flow_stats,
+                interaction,
+                delay,
+                correlation,
+            }
+        })
+        .collect();
+    let Some(Built::Pt(topology)) = parts.next() else {
+        unreachable!("task order: PT after groups")
+    };
+    let Some(Built::Isl(latency)) = parts.next() else {
+        unreachable!("task order: ISL after PT")
+    };
+    let Some(Built::Crt(response)) = parts.next() else {
+        unreachable!("task order: CRT last")
+    };
+
+    BehaviorModel {
+        records,
+        groups: group_sigs,
+        topology,
+        latency,
+        response,
+        utilization: LinkUtilization::default(),
+        span,
+    }
+}
+
+/// Streaming model builder: folds flow records (from a
+/// [`RecordAssembler`]) and raw control events as they arrive, and can
+/// snapshot a full [`BehaviorModel`] at any point.
+///
+/// Records carry the bulk of the model; only two facts must come from
+/// the raw event stream because they never become flow records —
+/// switch liveness (any `ToController` message is a liveness proof) and
+/// the link-utilization counter series. Both are accumulated
+/// incrementally, so a snapshot costs one signature fan-out over the
+/// records held, nothing proportional to the events seen.
+///
+/// The builder is `Clone`, which the online differ uses to snapshot
+/// "what the model would be if the in-flight flows completed now"
+/// without disturbing the real accumulation, and supports
+/// [`retire_before`](Self::retire_before) for sliding-window operation.
+#[derive(Debug, Clone)]
+pub struct IncrementalModelBuilder {
+    config: FlowDiffConfig,
+    records: Vec<FlowRecord>,
+    /// Span forced by the caller (batch wrappers use the log's time
+    /// range; the online differ uses the window bounds).
+    span_override: Option<(Timestamp, Timestamp)>,
+    /// Min/max event timestamp seen, the fallback span.
+    observed_span: Option<(Timestamp, Timestamp)>,
+    /// Liveness proofs: datapath -> last `ToController` message seen.
+    live: BTreeMap<DatapathId, Timestamp>,
+    /// Port-counter series for the LU signature.
+    lu: LuBuilder,
+}
+
+impl IncrementalModelBuilder {
+    /// A fresh builder; `config` is cloned so the builder is
+    /// self-contained (it outlives batch call frames in online mode).
+    pub fn new(config: &FlowDiffConfig) -> IncrementalModelBuilder {
+        IncrementalModelBuilder {
+            config: config.clone(),
+            records: Vec::new(),
+            span_override: None,
+            observed_span: None,
+            live: BTreeMap::new(),
+            lu: LuBuilder::default(),
+        }
+    }
+
+    /// Folds one completed flow record into the model state.
+    pub fn observe_record(&mut self, record: FlowRecord) {
+        self.records.push(record);
+    }
+
+    /// Folds one raw control event: tracks the observed span, switch
+    /// liveness, and the LU counter series. Events that also drive flow
+    /// records go through the [`RecordAssembler`] separately.
+    pub fn observe_event(&mut self, event: &ControlEvent) {
+        match &mut self.observed_span {
+            Some((lo, hi)) => {
+                *lo = (*lo).min(event.ts);
+                *hi = (*hi).max(event.ts);
+            }
+            None => self.observed_span = Some((event.ts, event.ts)),
+        }
+        if event.direction == Direction::ToController {
+            self.live.insert(event.dpid, event.ts);
+        }
+        self.lu.observe_event(event);
+    }
+
+    /// Forces the snapshot span (overrides the observed event range).
+    pub fn set_span(&mut self, span: (Timestamp, Timestamp)) {
+        self.span_override = Some(span);
+    }
+
+    /// Drops state older than `cutoff`: records first seen before it,
+    /// counter samples polled before it, and liveness proofs not
+    /// refreshed since. This is what keeps a sliding-window online
+    /// builder's memory proportional to the window, not the stream.
+    pub fn retire_before(&mut self, cutoff: Timestamp) {
+        self.records.retain(|r| r.first_seen >= cutoff);
+        self.lu.retire_before(cutoff);
+        self.live.retain(|_, ts| *ts >= cutoff);
+    }
+
+    /// Records currently held (post-retirement).
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The min/max event timestamp observed so far (None before the
+    /// first event).
+    pub fn observed_span(&self) -> Option<(Timestamp, Timestamp)> {
+        self.observed_span
+    }
+
+    /// Snapshots the model over all state held, using the default
+    /// worker count.
+    pub fn snapshot(&self) -> BehaviorModel {
+        self.snapshot_with(default_workers())
+    }
+
+    /// Snapshots with an explicit worker count (clones the held
+    /// records; the builder keeps accumulating afterwards).
+    pub fn snapshot_with(&self, workers: usize) -> BehaviorModel {
+        self.finish_records(self.records.clone(), workers)
+    }
+
+    /// Consumes the builder into a final snapshot without cloning the
+    /// record set — the batch wrappers' path.
+    pub fn into_snapshot(self) -> BehaviorModel {
+        self.into_snapshot_with(default_workers())
+    }
+
+    /// [`Self::into_snapshot`] with an explicit worker count.
+    pub fn into_snapshot_with(mut self, workers: usize) -> BehaviorModel {
+        let records = std::mem::take(&mut self.records);
+        self.finish_records(records, workers)
+    }
+
+    /// The snapshot core: canonicalizes record order (streaming
+    /// completion order differs from batch extraction order), runs the
+    /// shared fan-out, then attaches the two event-derived facts.
+    fn finish_records(&self, mut records: Vec<FlowRecord>, workers: usize) -> BehaviorModel {
+        records.sort_by_key(|r| (r.first_seen, r.tuple));
+        let span = self
+            .span_override
+            .or(self.observed_span)
             .unwrap_or((Timestamp::ZERO, Timestamp::ZERO));
-        let mut model = Self::from_records(records, span, config);
-        // Every switch that sent *any* control message (echo keepalives
-        // included) is alive, even if no flow crossed it.
-        model.topology.live_switches.extend(
-            log.events()
-                .iter()
-                .filter(|e| e.direction == netsim::log::Direction::ToController)
-                .map(|e| e.dpid),
-        );
-        model.utilization =
-            LinkUtilization::build(&SignatureInputs::new(&[], span, config).with_log(log));
+        let mut model = assemble(records, span, &self.config, workers);
         model
+            .topology
+            .live_switches
+            .extend(self.live.keys().copied());
+        model.utilization = self.lu.finalize();
+        model
+    }
+}
+
+impl BehaviorModel {
+    /// Builds the full model from a controller log by streaming its
+    /// events through a [`RecordAssembler`] and an
+    /// [`IncrementalModelBuilder`] — the batch API is a thin wrapper
+    /// over the streaming path.
+    pub fn build(log: &ControllerLog, config: &FlowDiffConfig) -> BehaviorModel {
+        let mut assembler = RecordAssembler::new(config);
+        let mut builder = IncrementalModelBuilder::new(config);
+        for event in log.events() {
+            assembler.observe(event);
+            builder.observe_event(event);
+        }
+        for record in assembler.finish() {
+            builder.observe_record(record);
+        }
+        if let Some(span) = log.time_range() {
+            builder.set_span(span);
+        }
+        builder.into_snapshot()
     }
 
     /// Builds the model from already-extracted records (used by the
@@ -144,10 +405,7 @@ impl BehaviorModel {
         span: (Timestamp, Timestamp),
         config: &FlowDiffConfig,
     ) -> BehaviorModel {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::from_records_with(records, span, config, workers)
+        Self::from_records_with(records, span, config, default_workers())
     }
 
     /// Single-threaded [`Self::from_records`], for baseline comparisons.
@@ -159,109 +417,21 @@ impl BehaviorModel {
         Self::from_records_with(records, span, config, 1)
     }
 
-    /// Builds the model with an explicit worker count. `workers <= 1`
-    /// runs the builds inline; otherwise scoped threads claim work items
-    /// from a shared counter. Either way the signatures are reassembled
-    /// in task order, so the result is identical.
+    /// Builds the model with an explicit worker count: a wrapper that
+    /// folds the records through an [`IncrementalModelBuilder`] and
+    /// snapshots once.
     pub fn from_records_with(
         records: Vec<FlowRecord>,
         span: (Timestamp, Timestamp),
         config: &FlowDiffConfig,
         workers: usize,
     ) -> BehaviorModel {
-        let groups = discover_groups(&records, config);
-        let group_records: Vec<Vec<&FlowRecord>> = groups
-            .iter()
-            .map(|g| g.record_indices.iter().map(|&i| &records[i]).collect())
-            .collect();
-        let all_records: Vec<&FlowRecord> = records.iter().collect();
-        let n_tasks = groups.len() * SIGS_PER_GROUP + INFRA_SIGS;
-
-        let built: Vec<Built> = if workers <= 1 {
-            (0..n_tasks)
-                .map(|t| build_part(t, &groups, &group_records, &all_records, span, config))
-                .collect()
-        } else {
-            let next = AtomicUsize::new(0);
-            let (tx, rx) = mpsc::channel::<(usize, Built)>();
-            std::thread::scope(|s| {
-                for _ in 0..workers.min(n_tasks) {
-                    let tx = tx.clone();
-                    let (next, groups, group_records, all_records) =
-                        (&next, &groups, &group_records, &all_records);
-                    s.spawn(move || loop {
-                        let t = next.fetch_add(1, Ordering::Relaxed);
-                        if t >= n_tasks {
-                            break;
-                        }
-                        let part = build_part(t, groups, group_records, all_records, span, config);
-                        if tx.send((t, part)).is_err() {
-                            break;
-                        }
-                    });
-                }
-                drop(tx);
-                let mut slots: Vec<Option<Built>> = (0..n_tasks).map(|_| None).collect();
-                for (t, part) in rx {
-                    slots[t] = Some(part);
-                }
-                slots
-                    .into_iter()
-                    .map(|slot| slot.expect("every task completes"))
-                    .collect()
-            })
-        };
-
-        // Reassemble in task order: per group [CG, FS, CI, DD, PC], then
-        // PT, ISL, CRT.
-        let mut parts = built.into_iter();
-        let group_sigs: Vec<GroupSignatures> = groups
-            .into_iter()
-            .map(|group| {
-                let Some(Built::Cg(connectivity)) = parts.next() else {
-                    unreachable!("task order: CG first per group")
-                };
-                let Some(Built::Fs(flow_stats)) = parts.next() else {
-                    unreachable!("task order: FS second per group")
-                };
-                let Some(Built::Ci(interaction)) = parts.next() else {
-                    unreachable!("task order: CI third per group")
-                };
-                let Some(Built::Dd(delay)) = parts.next() else {
-                    unreachable!("task order: DD fourth per group")
-                };
-                let Some(Built::Pc(correlation)) = parts.next() else {
-                    unreachable!("task order: PC fifth per group")
-                };
-                GroupSignatures {
-                    group,
-                    connectivity,
-                    flow_stats,
-                    interaction,
-                    delay,
-                    correlation,
-                }
-            })
-            .collect();
-        let Some(Built::Pt(topology)) = parts.next() else {
-            unreachable!("task order: PT after groups")
-        };
-        let Some(Built::Isl(latency)) = parts.next() else {
-            unreachable!("task order: ISL after PT")
-        };
-        let Some(Built::Crt(response)) = parts.next() else {
-            unreachable!("task order: CRT last")
-        };
-
-        BehaviorModel {
-            records,
-            groups: group_sigs,
-            topology,
-            latency,
-            response,
-            utilization: LinkUtilization::default(),
-            span,
+        let mut builder = IncrementalModelBuilder::new(config);
+        builder.set_span(span);
+        for record in records {
+            builder.observe_record(record);
         }
+        builder.into_snapshot_with(workers)
     }
 
     /// The group containing `ip` as a member, if any.
@@ -273,6 +443,7 @@ impl BehaviorModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::records::extract_records;
     use netsim::topology::Topology;
     use openflow::types::Timestamp;
     use std::net::Ipv4Addr;
@@ -355,6 +526,72 @@ mod tests {
         let parallel = BehaviorModel::from_records_with(records, span, &config, 4);
         assert_eq!(serial, parallel, "task-order reassembly must be identical");
         assert!(!serial.groups.is_empty());
+    }
+
+    #[test]
+    fn incremental_builder_matches_batch_from_records() {
+        let (log, config) = scenario_log();
+        let records = extract_records(&log, &config);
+        let span = log
+            .time_range()
+            .unwrap_or((Timestamp::ZERO, Timestamp::ZERO));
+        let batch = BehaviorModel::from_records(records.clone(), span, &config);
+        let mut builder = IncrementalModelBuilder::new(&config);
+        builder.set_span(span);
+        for record in records {
+            builder.observe_record(record);
+        }
+        assert!(builder.record_count() > 0);
+        let streamed = builder.snapshot();
+        assert_eq!(batch, streamed, "streamed model must equal from_records");
+    }
+
+    #[test]
+    fn event_streamed_builder_matches_batch_build() {
+        // Feed events one at a time (record assembly, liveness, and LU
+        // accumulation all incremental) and compare against the one-shot
+        // build of the same log.
+        let (log, config) = scenario_log();
+        let batch = BehaviorModel::build(&log, &config);
+        let mut assembler = RecordAssembler::new(&config);
+        let mut builder = IncrementalModelBuilder::new(&config);
+        for event in log.events() {
+            assembler.observe(event);
+            builder.observe_event(event);
+            for record in assembler.take_completed() {
+                builder.observe_record(record);
+            }
+        }
+        for record in assembler.finish() {
+            builder.observe_record(record);
+        }
+        if let Some(span) = log.time_range() {
+            builder.set_span(span);
+        }
+        let streamed = builder.snapshot();
+        assert_eq!(batch, streamed, "mid-stream draining must not matter");
+        assert!(!streamed.utilization.per_port.is_empty() || log.events().is_empty());
+    }
+
+    #[test]
+    fn retire_before_drops_old_state() {
+        let (log, config) = scenario_log();
+        let mut builder = IncrementalModelBuilder::new(&config);
+        for event in log.events() {
+            builder.observe_event(event);
+        }
+        for record in extract_records(&log, &config) {
+            builder.observe_record(record);
+        }
+        let before = builder.record_count();
+        assert!(before > 0);
+        let (_, end) = log.time_range().unwrap();
+        builder.retire_before(end + 1);
+        assert_eq!(builder.record_count(), 0);
+        let m = builder.snapshot();
+        assert!(m.groups.is_empty());
+        assert!(m.utilization.per_port.is_empty());
+        assert!(m.topology.live_switches.is_empty());
     }
 
     #[test]

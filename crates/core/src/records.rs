@@ -6,12 +6,13 @@
 //! path, the `FlowMod` replies, and the final counters from
 //! `FlowRemoved`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use netsim::log::ControllerLog;
+use netsim::log::{ControlEvent, ControllerLog};
 use openflow::frame;
+use openflow::messages::OfpMessage;
 use openflow::types::{DatapathId, IpProto, PortNo, Timestamp, Xid};
 use serde::{Deserialize, Serialize};
 
@@ -103,77 +104,324 @@ impl FlowRecord {
 /// `PacketIn`s are separated by more than `config.episode_gap_us`.
 /// `FlowRemoved` counters attach to the latest episode that started
 /// before them.
+///
+/// This is a thin wrapper over [`RecordAssembler`]: the whole log is
+/// fed through the streaming state machine one event at a time. The
+/// batch and streaming paths are one implementation.
 pub fn extract_records(log: &ControllerLog, config: &FlowDiffConfig) -> Vec<FlowRecord> {
-    // xid -> (flow_mod send ts, installed output port)
-    let mut mods: HashMap<Xid, (Timestamp, Option<PortNo>)> = HashMap::new();
-    for (ts, _, xid, fm) in log.flow_mods() {
-        let out = openflow::actions::first_output(&fm.actions);
-        mods.entry(xid).or_insert((ts, out));
+    let mut asm = RecordAssembler::new(config);
+    for ev in log.events() {
+        asm.observe(ev);
+    }
+    asm.finish()
+}
+
+/// One in-flight flow episode inside the assembler.
+#[derive(Debug, Clone)]
+struct OpenEpisode {
+    /// Creation sequence number; pairs pending `FlowMod` patches with
+    /// the episode they belong to even after sibling episodes close.
+    seq: u64,
+    record: FlowRecord,
+    /// Latest event timestamp that touched this episode (hop, `FlowMod`
+    /// patch, or `FlowRemoved`); drives idle eviction.
+    last_activity: Timestamp,
+}
+
+/// Location of a hop that is still waiting for its `FlowMod` reply.
+#[derive(Debug, Clone, Copy)]
+struct PendingHop {
+    tuple: FlowTuple,
+    seq: u64,
+    hop_idx: usize,
+    registered: Timestamp,
+}
+
+/// Streaming flow-record assembly: a state machine that consumes
+/// control events one at a time and emits completed [`FlowRecord`]s
+/// with bounded memory.
+///
+/// The assembler tracks three kinds of in-flight state, each evicted
+/// once it falls idle past the horizon (`partial_flow_timeout_us`
+/// clamped to at least `episode_gap_us`):
+///
+/// - **open episodes** — flows whose `PacketIn` hops are still
+///   accumulating; evicted episodes are *emitted* (not dropped), so no
+///   flow is ever lost,
+/// - **seen `FlowMod`s** — xid → (send ts, installed output port),
+///   first reply wins, consulted by `PacketIn`s arriving after the mod,
+/// - **pending hops** — hops whose `FlowMod` has not arrived yet,
+///   patched in place when it does.
+///
+/// Input events must be in non-decreasing time order (a
+/// [`ControllerLog`] guarantees this). The result is identical to the
+/// historical whole-log extraction as long as every event pairing with
+/// a flow arrives within the horizon of the flow's last activity; a
+/// `FlowMod` or `FlowRemoved` straggling in later than that no longer
+/// attaches. Because the horizon is at least the episode gap, eviction
+/// can never merge two episodes the batch extractor would split.
+#[derive(Debug, Clone)]
+pub struct RecordAssembler {
+    episode_gap_us: u64,
+    horizon_us: u64,
+    /// xid -> (flow_mod send ts, installed output port); first wins.
+    seen_mods: HashMap<Xid, (Timestamp, Option<PortNo>)>,
+    /// xid -> hops still waiting for that FlowMod.
+    pending_mods: HashMap<Xid, Vec<PendingHop>>,
+    /// Open episodes per tuple, oldest first. BTreeMap so any
+    /// whole-state iteration is deterministic.
+    open: BTreeMap<FlowTuple, Vec<OpenEpisode>>,
+    next_seq: u64,
+    completed: Vec<FlowRecord>,
+    now: Timestamp,
+    last_prune: Timestamp,
+}
+
+impl RecordAssembler {
+    /// New assembler using `config.episode_gap_us` and
+    /// `config.partial_flow_timeout_us`.
+    pub fn new(config: &FlowDiffConfig) -> RecordAssembler {
+        RecordAssembler {
+            episode_gap_us: config.episode_gap_us,
+            horizon_us: config.partial_flow_timeout_us.max(config.episode_gap_us),
+            seen_mods: HashMap::new(),
+            pending_mods: HashMap::new(),
+            open: BTreeMap::new(),
+            next_seq: 0,
+            completed: Vec::new(),
+            now: Timestamp::ZERO,
+            last_prune: Timestamp::ZERO,
+        }
     }
 
-    let mut by_tuple: HashMap<FlowTuple, Vec<FlowRecord>> = HashMap::new();
-    for (ts, dpid, xid, pi) in log.packet_ins() {
-        let Ok(key) = frame::parse_frame(&pi.data) else {
-            continue; // unparseable capture: skip, never fail extraction
-        };
-        let tuple = FlowTuple::from_key(&key);
-        let (fm_ts, out_port) = match mods.get(&xid) {
+    /// Feeds one control event through the state machine.
+    pub fn observe(&mut self, ev: &ControlEvent) {
+        if ev.ts > self.now {
+            self.now = ev.ts;
+        }
+        match &ev.msg {
+            OfpMessage::PacketIn(pi) => {
+                let Ok(key) = frame::parse_frame(&pi.data) else {
+                    return; // unparseable capture: skip, never fail
+                };
+                let tuple = FlowTuple::from_key(&key);
+                self.on_packet_in(ev.ts, ev.dpid, ev.xid, pi.in_port, tuple);
+            }
+            OfpMessage::FlowMod(fm) => {
+                let out = openflow::actions::first_output(&fm.actions);
+                self.on_flow_mod(ev.ts, ev.xid, out);
+            }
+            OfpMessage::FlowRemoved(fr) => {
+                let m = &fr.match_;
+                let tuple = FlowTuple {
+                    src: m.nw_src,
+                    sport: m.tp_src,
+                    dst: m.nw_dst,
+                    dport: m.tp_dst,
+                    proto: m.nw_proto,
+                };
+                self.on_flow_removed(
+                    ev.ts,
+                    tuple,
+                    fr.byte_count,
+                    fr.packet_count,
+                    fr.duration_secs_f64(),
+                );
+            }
+            _ => {}
+        }
+        if self.now.saturating_since(self.last_prune) > self.horizon_us {
+            self.prune();
+            self.last_prune = self.now;
+        }
+    }
+
+    fn on_packet_in(
+        &mut self,
+        ts: Timestamp,
+        dpid: DatapathId,
+        xid: Xid,
+        in_port: PortNo,
+        tuple: FlowTuple,
+    ) {
+        let (fm_ts, out_port) = match self.seen_mods.get(&xid) {
             Some((t, p)) => (Some(*t), *p),
             None => (None, None),
         };
         let hop = HopReport {
             ts,
             dpid,
-            in_port: pi.in_port,
+            in_port,
             xid,
             flow_mod_ts: fm_ts,
             out_port,
         };
-        let episodes = by_tuple.entry(tuple).or_default();
+        let episodes = self.open.entry(tuple).or_default();
         let start_new = match episodes.last() {
             Some(ep) => {
-                let last_ts = ep.hops.last().map_or(ep.first_seen, |h| h.ts);
-                ts.saturating_since(last_ts) > config.episode_gap_us
+                let last_ts = ep.record.hops.last().map_or(ep.record.first_seen, |h| h.ts);
+                ts.saturating_since(last_ts) > self.episode_gap_us
             }
             None => true,
         };
+        let (seq, hop_idx);
         if start_new {
-            episodes.push(FlowRecord {
-                tuple,
-                first_seen: ts,
-                hops: vec![hop],
-                byte_count: 0,
-                packet_count: 0,
-                duration_s: 0.0,
+            seq = self.next_seq;
+            self.next_seq += 1;
+            hop_idx = 0;
+            episodes.push(OpenEpisode {
+                seq,
+                record: FlowRecord {
+                    tuple,
+                    first_seen: ts,
+                    hops: vec![hop],
+                    byte_count: 0,
+                    packet_count: 0,
+                    duration_s: 0.0,
+                },
+                last_activity: ts,
             });
         } else {
-            episodes.last_mut().expect("just checked").hops.push(hop);
+            let ep = episodes.last_mut().expect("just checked");
+            ep.record.hops.push(hop);
+            if ts > ep.last_activity {
+                ep.last_activity = ts;
+            }
+            seq = ep.seq;
+            hop_idx = ep.record.hops.len() - 1;
+        }
+        if fm_ts.is_none() {
+            self.pending_mods.entry(xid).or_default().push(PendingHop {
+                tuple,
+                seq,
+                hop_idx,
+                registered: ts,
+            });
         }
     }
 
-    // Attach FlowRemoved counters to the latest episode started before
-    // the removal.
-    for (ts, _, fr) in log.flow_removeds() {
-        let m = &fr.match_;
-        let tuple = FlowTuple {
-            src: m.nw_src,
-            sport: m.tp_src,
-            dst: m.nw_dst,
-            dport: m.tp_dst,
-            proto: m.nw_proto,
+    fn on_flow_mod(&mut self, ts: Timestamp, xid: Xid, out: Option<PortNo>) {
+        use std::collections::hash_map::Entry;
+        // First FlowMod per xid wins, matching the batch pre-scan.
+        let Entry::Vacant(slot) = self.seen_mods.entry(xid) else {
+            return;
         };
-        if let Some(episodes) = by_tuple.get_mut(&tuple) {
-            if let Some(ep) = episodes.iter_mut().rev().find(|ep| ep.first_seen <= ts) {
-                ep.byte_count = ep.byte_count.max(fr.byte_count);
-                ep.packet_count = ep.packet_count.max(fr.packet_count);
-                ep.duration_s = ep.duration_s.max(fr.duration_secs_f64());
+        slot.insert((ts, out));
+        let Some(waiting) = self.pending_mods.remove(&xid) else {
+            return;
+        };
+        for p in waiting {
+            let Some(episodes) = self.open.get_mut(&p.tuple) else {
+                continue; // episode already evicted: tolerated straggler
+            };
+            let Some(ep) = episodes.iter_mut().find(|e| e.seq == p.seq) else {
+                continue;
+            };
+            if let Some(h) = ep.record.hops.get_mut(p.hop_idx) {
+                h.flow_mod_ts = Some(ts);
+                h.out_port = out;
+            }
+            if ts > ep.last_activity {
+                ep.last_activity = ts;
             }
         }
     }
 
-    let mut records: Vec<FlowRecord> = by_tuple.into_values().flatten().collect();
-    records.sort_by_key(|r| (r.first_seen, r.tuple));
-    records
+    fn on_flow_removed(
+        &mut self,
+        ts: Timestamp,
+        tuple: FlowTuple,
+        byte_count: u64,
+        packet_count: u64,
+        duration_s: f64,
+    ) {
+        // Attach to the latest episode started before the removal;
+        // counters merge with max over per-switch FlowRemoveds.
+        let Some(episodes) = self.open.get_mut(&tuple) else {
+            return;
+        };
+        let Some(ep) = episodes
+            .iter_mut()
+            .rev()
+            .find(|ep| ep.record.first_seen <= ts)
+        else {
+            return;
+        };
+        ep.record.byte_count = ep.record.byte_count.max(byte_count);
+        ep.record.packet_count = ep.record.packet_count.max(packet_count);
+        ep.record.duration_s = ep.record.duration_s.max(duration_s);
+        if ts > ep.last_activity {
+            ep.last_activity = ts;
+        }
+    }
+
+    /// Evicts state idle past the horizon. Idle episodes are *emitted*
+    /// into the completed set; stale xid bookkeeping is dropped.
+    fn prune(&mut self) {
+        let now = self.now;
+        let horizon = self.horizon_us;
+        let mut evicted: Vec<FlowRecord> = Vec::new();
+        self.open.retain(|_, episodes| {
+            let mut i = 0;
+            while i < episodes.len() {
+                if now.saturating_since(episodes[i].last_activity) > horizon {
+                    evicted.push(episodes.remove(i).record);
+                } else {
+                    i += 1;
+                }
+            }
+            !episodes.is_empty()
+        });
+        self.completed.extend(evicted);
+        self.seen_mods
+            .retain(|_, (ts, _)| now.saturating_since(*ts) <= horizon);
+        self.pending_mods.retain(|_, hops| {
+            hops.retain(|p| now.saturating_since(p.registered) <= horizon);
+            !hops.is_empty()
+        });
+    }
+
+    /// Takes the records completed (evicted) so far, leaving in-flight
+    /// state untouched. Order is unspecified; callers that need the
+    /// batch order sort by `(first_seen, tuple)`.
+    pub fn take_completed(&mut self) -> Vec<FlowRecord> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Clones the current in-flight episodes as best-effort records —
+    /// the live view an online consumer folds into its window model
+    /// before the episodes finish.
+    pub fn open_records(&self) -> Vec<FlowRecord> {
+        self.open
+            .values()
+            .flat_map(|eps| eps.iter().map(|ep| ep.record.clone()))
+            .collect()
+    }
+
+    /// Number of in-flight episodes (bounded-memory diagnostics).
+    pub fn open_len(&self) -> usize {
+        self.open.values().map(Vec::len).sum()
+    }
+
+    /// Number of completed records not yet taken.
+    pub fn completed_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Drains everything: remaining open episodes are finalized and the
+    /// full record set is returned in `(first_seen, tuple)` order —
+    /// exactly the batch extraction order.
+    pub fn finish(mut self) -> Vec<FlowRecord> {
+        let mut records = std::mem::take(&mut self.completed);
+        records.extend(
+            std::mem::take(&mut self.open)
+                .into_values()
+                .flatten()
+                .map(|ep| ep.record),
+        );
+        records.sort_by_key(|r| (r.first_seen, r.tuple));
+        records
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +538,102 @@ mod tests {
         let records = extract_records(&log, &FlowDiffConfig::default());
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].hops.len(), 2, "corrupt hop skipped");
+    }
+
+    #[test]
+    fn assembler_with_midstream_drain_matches_batch() {
+        let mut sim = Simulation::new(line_topology(), SimConfig::default(), 1);
+        for (i, sport) in [4000u16, 4001, 4002, 4003].iter().enumerate() {
+            sim.schedule_flow(
+                Timestamp::from_secs(1 + 20 * i as u64),
+                FlowSpec::new(key(*sport), 3_000, 5_000),
+            );
+        }
+        sim.run_until(Timestamp::from_secs(120));
+        let log = sim.take_log();
+        let config = FlowDiffConfig::default();
+        let batch = extract_records(&log, &config);
+
+        // Stream the same events, draining completed records as we go —
+        // the way an online consumer uses the assembler.
+        let mut asm = RecordAssembler::new(&config);
+        let mut streamed: Vec<FlowRecord> = Vec::new();
+        for (i, ev) in log.events().iter().enumerate() {
+            asm.observe(ev);
+            if i % 7 == 0 {
+                streamed.extend(asm.take_completed());
+            }
+        }
+        streamed.extend(asm.finish());
+        streamed.sort_by_key(|r| (r.first_seen, r.tuple));
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn assembler_evicts_idle_partials_and_stays_bounded() {
+        let mut sim = Simulation::new(line_topology(), SimConfig::default(), 1);
+        // Two episodes of the same tuple, 60 s apart.
+        sim.schedule_flow(
+            Timestamp::from_secs(1),
+            FlowSpec::new(key(4000), 3_000, 5_000),
+        );
+        sim.schedule_flow(
+            Timestamp::from_secs(61),
+            FlowSpec::new(key(4000), 3_000, 5_000),
+        );
+        sim.run_until(Timestamp::from_secs(120));
+        let log = sim.take_log();
+
+        // A 10 s timeout is far shorter than the 60 s quiet stretch, so
+        // the first episode must be evicted (emitted) mid-stream, yet
+        // every event still pairs within the horizon: the result must
+        // match the default-timeout batch extraction.
+        let tight = FlowDiffConfig {
+            partial_flow_timeout_us: 10_000_000,
+            ..FlowDiffConfig::default()
+        };
+        let mut asm = RecordAssembler::new(&tight);
+        let mut evicted_midstream = 0;
+        for ev in log.events() {
+            asm.observe(ev);
+            evicted_midstream = evicted_midstream.max(asm.completed_len());
+        }
+        assert!(
+            evicted_midstream >= 1,
+            "first episode should be emitted before the stream ends"
+        );
+        assert!(asm.open_len() <= 1, "only the live episode stays in-flight");
+        let streamed = {
+            let mut v = asm.finish();
+            v.sort_by_key(|r| (r.first_seen, r.tuple));
+            v
+        };
+        let batch = extract_records(&log, &FlowDiffConfig::default());
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn open_records_expose_in_flight_view() {
+        let mut sim = Simulation::new(line_topology(), SimConfig::default(), 1);
+        sim.schedule_flow(
+            Timestamp::from_secs(1),
+            FlowSpec::new(key(4000), 6_000, 5_000),
+        );
+        sim.run_until(Timestamp::from_secs(30));
+        let log = sim.take_log();
+        let mut asm = RecordAssembler::new(&FlowDiffConfig::default());
+        // Feed only the PacketIn/FlowMod prefix (stop at FlowRemoved).
+        for ev in log.events() {
+            if matches!(ev.msg, OfpMessage::FlowRemoved(_)) {
+                break;
+            }
+            asm.observe(ev);
+        }
+        let view = asm.open_records();
+        assert_eq!(view.len(), 1);
+        assert_eq!(view[0].hops.len(), 3, "all hops visible before completion");
+        assert_eq!(view[0].byte_count, 0, "counters not yet attached");
+        assert_eq!(asm.completed_len(), 0);
     }
 
     #[test]

@@ -5,13 +5,17 @@
 //! application's internal structure.
 
 use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
 
 use openflow::types::Timestamp;
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
-use crate::signatures::{DiffCtx, Signature, SignatureInputs, StabilityCtx, StabilityMask};
+use crate::records::FlowRecord;
+use crate::signatures::{
+    DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
+};
 
 /// The connectivity graph of one application group.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -42,20 +46,55 @@ pub struct CgChange {
     pub first_seen: Option<Timestamp>,
 }
 
+/// Incremental CG accumulator: classifies each record's endpoint pair
+/// against the configured special-purpose IPs, exactly as the group
+/// discovery does — member-to-member flows become edges, flows touching
+/// one special node become service edges, special-to-special traffic is
+/// ignored. For a group's own records this reproduces the group's edge
+/// sets precisely.
+#[derive(Debug, Clone, Default)]
+pub struct CgBuilder {
+    special_ips: BTreeSet<Ipv4Addr>,
+    edges: BTreeSet<Edge>,
+    service_edges: BTreeSet<Edge>,
+}
+
+impl SignatureBuilder for CgBuilder {
+    type Output = ConnectivityGraph;
+
+    fn observe(&mut self, record: &FlowRecord) {
+        let (s, d) = (record.tuple.src, record.tuple.dst);
+        let edge = Edge { src: s, dst: d };
+        match (self.special_ips.contains(&s), self.special_ips.contains(&d)) {
+            (false, false) => {
+                self.edges.insert(edge);
+            }
+            (true, true) => {} // service-to-service traffic: not an app flow
+            _ => {
+                self.service_edges.insert(edge);
+            }
+        }
+    }
+
+    fn finalize(&self) -> ConnectivityGraph {
+        ConnectivityGraph {
+            edges: self.edges.clone(),
+            service_edges: self.service_edges.clone(),
+        }
+    }
+}
+
 impl Signature for ConnectivityGraph {
     type Change = CgChange;
+    type Builder = CgBuilder;
     const KIND: SignatureKind = SignatureKind::Cg;
 
-    /// Builds the CG of a group (the group discovery already collected
-    /// the edge sets). Without a group the graph is empty.
-    fn build(inputs: &SignatureInputs<'_>) -> Self {
-        inputs
-            .group
-            .map(|g| ConnectivityGraph {
-                edges: g.edges.clone(),
-                service_edges: g.service_edges.clone(),
-            })
-            .unwrap_or_default()
+    fn builder(inputs: &SignatureInputs<'_>) -> CgBuilder {
+        CgBuilder {
+            special_ips: inputs.config.special_ips.clone(),
+            edges: BTreeSet::new(),
+            service_edges: BTreeSet::new(),
+        }
     }
 
     /// Graph-matching diff (Section IV-A): lists new and missing edges,

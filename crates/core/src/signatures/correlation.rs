@@ -11,8 +11,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
+use crate::records::FlowRecord;
 use crate::signatures::delay::EdgePair;
-use crate::signatures::{DiffCtx, Signature, SignatureInputs, StabilityCtx, StabilityMask};
+use crate::signatures::{
+    DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
+};
 use crate::stats::pearson;
 
 /// The PC signature of one application group.
@@ -40,34 +43,38 @@ impl PcChange {
     }
 }
 
-impl Signature for PartialCorrelation {
-    type Change = PcChange;
-    const KIND: SignatureKind = SignatureKind::Pc;
+/// Incremental PC accumulator: per-edge epoch count series, bucketed on
+/// the fly (the window and epoch grid are fixed at construction), with
+/// the Pearson pairing deferred to `finalize`.
+#[derive(Debug, Clone, Default)]
+pub struct PcBuilder {
+    start: u64,
+    end: u64,
+    epochs: usize,
+    epoch_us: u64,
+    series: BTreeMap<Edge, Vec<f64>>,
+}
 
-    /// Builds the PC signature from a group's records over a log window.
-    fn build(inputs: &SignatureInputs<'_>) -> Self {
-        let config = inputs.config;
-        let start = inputs.span.0.as_micros();
-        let end = inputs.span.1.as_micros().max(start + 1);
-        let epochs = ((end - start).div_ceil(config.epoch_us)).max(1) as usize;
+impl SignatureBuilder for PcBuilder {
+    type Output = PartialCorrelation;
 
-        // Per-edge epoch count series.
-        let mut series: BTreeMap<Edge, Vec<f64>> = BTreeMap::new();
-        for r in inputs.records {
-            let edge = Edge {
-                src: r.tuple.src,
-                dst: r.tuple.dst,
-            };
-            let t = r.first_seen.as_micros();
-            if t < start || t >= end {
-                continue;
-            }
-            let idx = ((t - start) / config.epoch_us) as usize;
-            let s = series.entry(edge).or_insert_with(|| vec![0.0; epochs]);
-            s[idx.min(epochs - 1)] += 1.0;
+    fn observe(&mut self, record: &FlowRecord) {
+        let t = record.first_seen.as_micros();
+        if t < self.start || t >= self.end {
+            return;
         }
+        let edge = Edge {
+            src: record.tuple.src,
+            dst: record.tuple.dst,
+        };
+        let idx = ((t - self.start) / self.epoch_us) as usize;
+        let epochs = self.epochs;
+        let s = self.series.entry(edge).or_insert_with(|| vec![0.0; epochs]);
+        s[idx.min(epochs - 1)] += 1.0;
+    }
 
-        let edges: Vec<Edge> = series.keys().copied().collect();
+    fn finalize(&self) -> PartialCorrelation {
+        let edges: Vec<Edge> = self.series.keys().copied().collect();
         let mut per_pair = BTreeMap::new();
         for in_edge in &edges {
             for out_edge in &edges {
@@ -77,12 +84,30 @@ impl Signature for PartialCorrelation {
                 if in_edge.src == out_edge.dst && in_edge.dst == out_edge.src {
                     continue;
                 }
-                if let Some(r) = pearson(&series[in_edge], &series[out_edge]) {
+                if let Some(r) = pearson(&self.series[in_edge], &self.series[out_edge]) {
                     per_pair.insert((*in_edge, *out_edge), r);
                 }
             }
         }
         PartialCorrelation { per_pair }
+    }
+}
+
+impl Signature for PartialCorrelation {
+    type Change = PcChange;
+    type Builder = PcBuilder;
+    const KIND: SignatureKind = SignatureKind::Pc;
+
+    fn builder(inputs: &SignatureInputs<'_>) -> PcBuilder {
+        let start = inputs.span.0.as_micros();
+        let end = inputs.span.1.as_micros().max(start + 1);
+        PcBuilder {
+            start,
+            end,
+            epochs: ((end - start).div_ceil(inputs.config.epoch_us)).max(1) as usize,
+            epoch_us: inputs.config.epoch_us,
+            series: BTreeMap::new(),
+        }
     }
 
     /// Scalar comparison (Section IV-A): pairs whose coefficient moved by

@@ -12,7 +12,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
-use crate::signatures::{DiffCtx, Signature, SignatureInputs, StabilityCtx, StabilityMask};
+use crate::records::FlowRecord;
+use crate::signatures::{
+    DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
+};
 use crate::stats::{Histogram, MeanStd};
 
 /// An adjacent edge pair `(incoming, outgoing)` sharing a middle node.
@@ -57,30 +60,32 @@ pub struct DdChange {
     pub mean_shift_us: f64,
 }
 
-impl Signature for DelayDistribution {
-    type Change = DdChange;
-    const KIND: SignatureKind = SignatureKind::Dd;
+/// Incremental DD accumulator: raw arrival times per edge. The
+/// quadratic pairing over adjacent edges needs every arrival of both
+/// edges, so it runs at `finalize` over sorted copies.
+#[derive(Debug, Clone, Default)]
+pub struct DdBuilder {
+    dd_bin_us: u64,
+    dd_window_us: u64,
+    per_edge: BTreeMap<Edge, Vec<u64>>,
+}
 
-    /// Builds the DD signature from a group's records.
-    ///
-    /// For each adjacent edge pair, every incoming flow is paired with
-    /// every outgoing flow that starts within `config.dd_window_us` after
-    /// it; the true processing delay emerges as the histogram mode
-    /// (dependent flows recur at a fixed lag, unrelated pairs spread
-    /// uniformly).
-    fn build(inputs: &SignatureInputs<'_>) -> Self {
-        let config = inputs.config;
+impl SignatureBuilder for DdBuilder {
+    type Output = DelayDistribution;
+
+    fn observe(&mut self, record: &FlowRecord) {
+        self.per_edge
+            .entry(Edge {
+                src: record.tuple.src,
+                dst: record.tuple.dst,
+            })
+            .or_default()
+            .push(record.first_seen.as_micros());
+    }
+
+    fn finalize(&self) -> DelayDistribution {
         // Arrivals per edge, sorted by time.
-        let mut per_edge: BTreeMap<Edge, Vec<u64>> = BTreeMap::new();
-        for r in inputs.records {
-            per_edge
-                .entry(Edge {
-                    src: r.tuple.src,
-                    dst: r.tuple.dst,
-                })
-                .or_default()
-                .push(r.first_seen.as_micros());
-        }
+        let mut per_edge = self.per_edge.clone();
         for times in per_edge.values_mut() {
             times.sort_unstable();
         }
@@ -100,7 +105,7 @@ impl Signature for DelayDistribution {
                 }
                 let ins = &per_edge[in_edge];
                 let outs = &per_edge[out_edge];
-                let mut hist = Histogram::new(config.dd_bin_us);
+                let mut hist = Histogram::new(self.dd_bin_us);
                 let mut nearest_samples = Vec::new();
                 let mut start_idx = 0usize;
                 for &t_in in ins {
@@ -111,7 +116,7 @@ impl Signature for DelayDistribution {
                     let mut first = true;
                     for &t_out in &outs[start_idx..] {
                         let d = t_out - t_in;
-                        if d >= config.dd_window_us {
+                        if d >= self.dd_window_us {
                             break;
                         }
                         hist.add(d);
@@ -128,6 +133,25 @@ impl Signature for DelayDistribution {
             }
         }
         DelayDistribution { per_pair, nearest }
+    }
+}
+
+impl Signature for DelayDistribution {
+    type Change = DdChange;
+    type Builder = DdBuilder;
+    const KIND: SignatureKind = SignatureKind::Dd;
+
+    /// For each adjacent edge pair, every incoming flow is paired with
+    /// every outgoing flow that starts within `config.dd_window_us` after
+    /// it; the true processing delay emerges as the histogram mode
+    /// (dependent flows recur at a fixed lag, unrelated pairs spread
+    /// uniformly).
+    fn builder(inputs: &SignatureInputs<'_>) -> DdBuilder {
+        DdBuilder {
+            dd_bin_us: inputs.config.dd_bin_us,
+            dd_window_us: inputs.config.dd_window_us,
+            per_edge: BTreeMap::new(),
+        }
     }
 
     /// Delay-distribution comparison (Section IV-A): reports pairs whose

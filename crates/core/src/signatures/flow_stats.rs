@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
 use crate::records::FlowRecord;
-use crate::signatures::{DiffCtx, Signature, SignatureInputs, StabilityCtx, StabilityMask};
+use crate::signatures::{
+    DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
+};
 use crate::stats::MeanStd;
 
 /// Per-edge flow statistics.
@@ -74,52 +76,76 @@ fn bytes_shifted(reference: &MeanStd, current: &MeanStd) -> bool {
     rel(reference.mean, current.mean) > 0.05 && delta > 5.0 * se
 }
 
+/// Incremental FS accumulator: raw byte/packet/duration samples in
+/// record order, summarized only at `finalize` so the f64 arithmetic
+/// matches the batch build bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct FsBuilder {
+    span_s: f64,
+    bytes: Vec<f64>,
+    packets: Vec<f64>,
+    durations: Vec<f64>,
+    /// Per-edge raw samples: (flow count, byte samples, duration samples).
+    per_edge: BTreeMap<Edge, (usize, Vec<f64>, Vec<f64>)>,
+}
+
+impl SignatureBuilder for FsBuilder {
+    type Output = FlowStatsSig;
+
+    fn observe(&mut self, record: &FlowRecord) {
+        let b = record.byte_count as f64;
+        let d = record.duration_s;
+        self.bytes.push(b);
+        self.packets.push(record.packet_count as f64);
+        self.durations.push(d);
+        let entry = self
+            .per_edge
+            .entry(Edge {
+                src: record.tuple.src,
+                dst: record.tuple.dst,
+            })
+            .or_default();
+        entry.0 += 1;
+        entry.1.push(b);
+        entry.2.push(d);
+    }
+
+    fn finalize(&self) -> FlowStatsSig {
+        FlowStatsSig {
+            flow_count: self.bytes.len(),
+            flows_per_sec: self.bytes.len() as f64 / self.span_s,
+            bytes: MeanStd::of(&self.bytes),
+            packets: MeanStd::of(&self.packets),
+            duration_s: MeanStd::of(&self.durations),
+            per_edge: self
+                .per_edge
+                .iter()
+                .map(|(e, (n, b, d))| {
+                    (
+                        *e,
+                        EdgeStats {
+                            flow_count: *n,
+                            bytes: MeanStd::of(b),
+                            duration_s: MeanStd::of(d),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
 impl Signature for FlowStatsSig {
     type Change = FsChange;
+    type Builder = FsBuilder;
     const KIND: SignatureKind = SignatureKind::Fs;
 
-    /// Builds the FS signature from a group's records over a log window.
-    fn build(inputs: &SignatureInputs<'_>) -> Self {
-        let (records, span) = (inputs.records, inputs.span);
-        let span_s =
-            ((span.1.as_micros().saturating_sub(span.0.as_micros())) as f64 / 1e6).max(1e-6);
-        let bytes: Vec<f64> = records.iter().map(|r| r.byte_count as f64).collect();
-        let packets: Vec<f64> = records.iter().map(|r| r.packet_count as f64).collect();
-        let durations: Vec<f64> = records.iter().map(|r| r.duration_s).collect();
-
-        let mut per_edge: BTreeMap<Edge, Vec<&FlowRecord>> = BTreeMap::new();
-        for r in records {
-            per_edge
-                .entry(Edge {
-                    src: r.tuple.src,
-                    dst: r.tuple.dst,
-                })
-                .or_default()
-                .push(r);
-        }
-        let per_edge = per_edge
-            .into_iter()
-            .map(|(e, rs)| {
-                let b: Vec<f64> = rs.iter().map(|r| r.byte_count as f64).collect();
-                let d: Vec<f64> = rs.iter().map(|r| r.duration_s).collect();
-                (
-                    e,
-                    EdgeStats {
-                        flow_count: rs.len(),
-                        bytes: MeanStd::of(&b),
-                        duration_s: MeanStd::of(&d),
-                    },
-                )
-            })
-            .collect();
-
-        FlowStatsSig {
-            flow_count: records.len(),
-            flows_per_sec: records.len() as f64 / span_s,
-            bytes: MeanStd::of(&bytes),
-            packets: MeanStd::of(&packets),
-            duration_s: MeanStd::of(&durations),
-            per_edge,
+    fn builder(inputs: &SignatureInputs<'_>) -> FsBuilder {
+        let span = inputs.span;
+        FsBuilder {
+            span_s: ((span.1.as_micros().saturating_sub(span.0.as_micros())) as f64 / 1e6)
+                .max(1e-6),
+            ..FsBuilder::default()
         }
     }
 

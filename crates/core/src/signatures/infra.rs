@@ -12,14 +12,15 @@
 //!   *i + 1* estimates the latency between them;
 //! * CRT — the gap between a `PacketIn` and its paired `FlowMod`.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 use openflow::types::{DatapathId, PortNo};
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
-use crate::signatures::{DiffCtx, Signature, SignatureInputs};
+use crate::records::FlowRecord;
+use crate::signatures::{DiffCtx, Signature, SignatureBuilder, SignatureInputs};
 use crate::stats::MeanStd;
 
 /// An inferred switch-to-switch adjacency, with the connecting ports.
@@ -68,39 +69,50 @@ pub enum PtChange {
     SwitchVanished(DatapathId),
 }
 
+/// Incremental PT accumulator: the topology's sets and first-wins
+/// attachment map grow monotonically, so the signature is its own
+/// running state.
+#[derive(Debug, Clone, Default)]
+pub struct PtBuilder {
+    topology: PhysicalTopology,
+}
+
+impl SignatureBuilder for PtBuilder {
+    type Output = PhysicalTopology;
+
+    fn observe(&mut self, record: &FlowRecord) {
+        let t = &mut self.topology;
+        t.live_switches.extend(record.hops.iter().map(|h| h.dpid));
+        if let Some(first) = record.hops.first() {
+            t.host_attachment
+                .entry(record.tuple.src)
+                .or_insert((first.dpid, first.in_port));
+        }
+        for w in record.hops.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if let Some(out_port) = a.out_port {
+                t.adjacencies.insert(SwitchAdjacency {
+                    from: a.dpid,
+                    from_port: out_port,
+                    to: b.dpid,
+                    to_port: b.in_port,
+                });
+            }
+        }
+    }
+
+    fn finalize(&self) -> PhysicalTopology {
+        self.topology.clone()
+    }
+}
+
 impl Signature for PhysicalTopology {
     type Change = PtChange;
+    type Builder = PtBuilder;
     const KIND: SignatureKind = SignatureKind::Pt;
 
-    /// Builds the PT signature from flow records.
-    fn build(inputs: &SignatureInputs<'_>) -> Self {
-        let mut adjacencies = BTreeSet::new();
-        let mut host_attachment = BTreeMap::new();
-        let mut live_switches = BTreeSet::new();
-        for r in inputs.records {
-            live_switches.extend(r.hops.iter().map(|h| h.dpid));
-            if let Some(first) = r.hops.first() {
-                host_attachment
-                    .entry(r.tuple.src)
-                    .or_insert((first.dpid, first.in_port));
-            }
-            for w in r.hops.windows(2) {
-                let (a, b) = (&w[0], &w[1]);
-                if let Some(out_port) = a.out_port {
-                    adjacencies.insert(SwitchAdjacency {
-                        from: a.dpid,
-                        from_port: out_port,
-                        to: b.dpid,
-                        to_port: b.in_port,
-                    });
-                }
-            }
-        }
-        PhysicalTopology {
-            adjacencies,
-            host_attachment,
-            live_switches,
-        }
+    fn builder(_inputs: &SignatureInputs<'_>) -> PtBuilder {
+        PtBuilder::default()
     }
 
     /// Compares two topologies.
@@ -210,33 +222,50 @@ pub struct IslChange {
     pub sigmas: f64,
 }
 
-impl Signature for InterSwitchLatency {
-    type Change = IslChange;
-    const KIND: SignatureKind = SignatureKind::Isl;
+/// Incremental ISL accumulator (Figure 3: `t3 - t2` per consecutive
+/// hop pair). Samples accumulate in a `BTreeMap` so no hash-iteration
+/// order can reach the output.
+#[derive(Debug, Clone, Default)]
+pub struct IslBuilder {
+    samples: BTreeMap<(DatapathId, DatapathId), Vec<f64>>,
+}
 
-    /// Builds the ISL signature from flow records (Figure 3: `t3 - t2`).
-    fn build(inputs: &SignatureInputs<'_>) -> Self {
-        let mut samples: HashMap<(DatapathId, DatapathId), Vec<f64>> = HashMap::new();
-        for r in inputs.records {
-            for w in r.hops.windows(2) {
-                let (a, b) = (&w[0], &w[1]);
-                let Some(fm_ts) = a.flow_mod_ts else {
-                    continue;
-                };
-                if b.ts >= fm_ts {
-                    samples
-                        .entry((a.dpid, b.dpid))
-                        .or_default()
-                        .push((b.ts.as_micros() - fm_ts.as_micros()) as f64);
-                }
+impl SignatureBuilder for IslBuilder {
+    type Output = InterSwitchLatency;
+
+    fn observe(&mut self, record: &FlowRecord) {
+        for w in record.hops.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let Some(fm_ts) = a.flow_mod_ts else {
+                continue;
+            };
+            if b.ts >= fm_ts {
+                self.samples
+                    .entry((a.dpid, b.dpid))
+                    .or_default()
+                    .push((b.ts.as_micros() - fm_ts.as_micros()) as f64);
             }
         }
+    }
+
+    fn finalize(&self) -> InterSwitchLatency {
         InterSwitchLatency {
-            per_pair: samples
-                .into_iter()
-                .map(|(k, v)| (k, MeanStd::of(&v)))
+            per_pair: self
+                .samples
+                .iter()
+                .map(|(k, v)| (*k, MeanStd::of(v)))
                 .collect(),
         }
+    }
+}
+
+impl Signature for InterSwitchLatency {
+    type Change = IslChange;
+    type Builder = IslBuilder;
+    const KIND: SignatureKind = SignatureKind::Isl;
+
+    fn builder(_inputs: &SignatureInputs<'_>) -> IslBuilder {
+        IslBuilder::default()
     }
 
     /// Flags pairs whose mean latency moved beyond `config.isl_sigma`
@@ -328,37 +357,54 @@ pub struct CrtChange {
     pub unanswered: (f64, f64),
 }
 
-impl Signature for ControllerResponse {
-    type Change = CrtChange;
-    const KIND: SignatureKind = SignatureKind::Crt;
+/// Incremental CRT accumulator (Figure 3: `t2 - t1` per `PacketIn`).
+/// Samples accumulate in a `BTreeMap` so no hash-iteration order can
+/// reach the output.
+#[derive(Debug, Clone, Default)]
+pub struct CrtBuilder {
+    all: Vec<f64>,
+    per_switch: BTreeMap<DatapathId, Vec<f64>>,
+    unanswered: usize,
+}
 
-    /// Builds the CRT signature (Figure 3: `t2 - t1` per `PacketIn`).
-    fn build(inputs: &SignatureInputs<'_>) -> Self {
-        let mut all = Vec::new();
-        let mut per_switch: HashMap<DatapathId, Vec<f64>> = HashMap::new();
-        let mut unanswered = 0usize;
-        for r in inputs.records {
-            for h in &r.hops {
-                match h.flow_mod_ts {
-                    Some(fm_ts) if fm_ts >= h.ts => {
-                        let d = (fm_ts.as_micros() - h.ts.as_micros()) as f64;
-                        all.push(d);
-                        per_switch.entry(h.dpid).or_default().push(d);
-                    }
-                    Some(_) => {}
-                    None => unanswered += 1,
+impl SignatureBuilder for CrtBuilder {
+    type Output = ControllerResponse;
+
+    fn observe(&mut self, record: &FlowRecord) {
+        for h in &record.hops {
+            match h.flow_mod_ts {
+                Some(fm_ts) if fm_ts >= h.ts => {
+                    let d = (fm_ts.as_micros() - h.ts.as_micros()) as f64;
+                    self.all.push(d);
+                    self.per_switch.entry(h.dpid).or_default().push(d);
                 }
+                Some(_) => {}
+                None => self.unanswered += 1,
             }
         }
+    }
+
+    fn finalize(&self) -> ControllerResponse {
         ControllerResponse {
-            answered: all.len(),
-            unanswered,
-            overall: MeanStd::of(&all),
-            per_switch: per_switch
-                .into_iter()
-                .map(|(k, v)| (k, MeanStd::of(&v)))
+            answered: self.all.len(),
+            unanswered: self.unanswered,
+            overall: MeanStd::of(&self.all),
+            per_switch: self
+                .per_switch
+                .iter()
+                .map(|(k, v)| (*k, MeanStd::of(v)))
                 .collect(),
         }
+    }
+}
+
+impl Signature for ControllerResponse {
+    type Change = CrtChange;
+    type Builder = CrtBuilder;
+    const KIND: SignatureKind = SignatureKind::Crt;
+
+    fn builder(_inputs: &SignatureInputs<'_>) -> CrtBuilder {
+        CrtBuilder::default()
     }
 
     /// Flags an overall response-time shift beyond `config.crt_sigma`, or

@@ -12,7 +12,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
-use crate::signatures::{DiffCtx, Signature, SignatureInputs, StabilityCtx, StabilityMask};
+use crate::records::FlowRecord;
+use crate::signatures::{
+    DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
+};
 use crate::stats::chi_squared;
 
 /// Flow counts on the edges incident to one node.
@@ -55,28 +58,46 @@ pub struct CiChange {
     pub chi2: f64,
 }
 
+/// Incremental CI accumulator: the per-node edge counts are integers,
+/// so the signature itself is the running state.
+#[derive(Debug, Clone, Default)]
+pub struct CiBuilder {
+    per_node: BTreeMap<Ipv4Addr, NodeInteraction>,
+}
+
+impl SignatureBuilder for CiBuilder {
+    type Output = ComponentInteraction;
+
+    fn observe(&mut self, record: &FlowRecord) {
+        let edge = Edge {
+            src: record.tuple.src,
+            dst: record.tuple.dst,
+        };
+        for node in [record.tuple.src, record.tuple.dst] {
+            *self
+                .per_node
+                .entry(node)
+                .or_default()
+                .edge_counts
+                .entry(edge)
+                .or_insert(0) += 1;
+        }
+    }
+
+    fn finalize(&self) -> ComponentInteraction {
+        ComponentInteraction {
+            per_node: self.per_node.clone(),
+        }
+    }
+}
+
 impl Signature for ComponentInteraction {
     type Change = CiChange;
+    type Builder = CiBuilder;
     const KIND: SignatureKind = SignatureKind::Ci;
 
-    /// Builds the CI signature from a group's records.
-    fn build(inputs: &SignatureInputs<'_>) -> Self {
-        let mut per_node: BTreeMap<Ipv4Addr, NodeInteraction> = BTreeMap::new();
-        for r in inputs.records {
-            let edge = Edge {
-                src: r.tuple.src,
-                dst: r.tuple.dst,
-            };
-            for node in [r.tuple.src, r.tuple.dst] {
-                *per_node
-                    .entry(node)
-                    .or_default()
-                    .edge_counts
-                    .entry(edge)
-                    .or_insert(0) += 1;
-            }
-        }
-        ComponentInteraction { per_node }
+    fn builder(_inputs: &SignatureInputs<'_>) -> CiBuilder {
+        CiBuilder::default()
     }
 
     /// χ² fitness test per node (Section IV-A). Nodes present in only

@@ -35,7 +35,7 @@ use crate::change::{Change, Locus, SignatureKind};
 use crate::config::FlowDiffConfig;
 use crate::groups::AppGroup;
 use crate::records::FlowRecord;
-use netsim::log::ControllerLog;
+use netsim::log::{ControlEvent, ControllerLog};
 
 /// Everything a signature may need to build itself. Each signature picks
 /// the fields it cares about: application signatures use the group and
@@ -158,6 +158,32 @@ impl StabilityMask {
     }
 }
 
+/// The incremental half of a signature: an accumulator that folds flow
+/// records (and, for log-derived signatures, raw control events) one at
+/// a time and can produce the finished signature at any point.
+///
+/// `finalize` borrows rather than consumes so a long-lived builder can
+/// be snapshotted repeatedly at epoch boundaries. A builder must
+/// accumulate *raw samples* in observation order and run the summary
+/// math (means, histogram peaks, correlations) only in `finalize`:
+/// f64 accumulation is order-sensitive, and bit-exact equality with the
+/// batch build is part of the contract.
+pub trait SignatureBuilder {
+    /// The finished signature this builder produces.
+    type Output;
+
+    /// Folds one flow record into the accumulator.
+    fn observe(&mut self, record: &FlowRecord);
+
+    /// Folds one raw control event. Only signatures built from the log
+    /// itself (LU reads port-stats replies) override this; the default
+    /// ignores events.
+    fn observe_event(&mut self, _event: &ControlEvent) {}
+
+    /// Produces the signature from everything observed so far.
+    fn finalize(&self) -> Self::Output;
+}
+
 /// The uniform interface of the nine FlowDiff signatures.
 ///
 /// A signature is a pure function of a log window ([`Self::build`]) that
@@ -166,15 +192,40 @@ impl StabilityMask {
 /// rendered into the shared [`Change`] vocabulary ([`Self::render`]).
 /// The provided [`Self::tagged_diff`] composes diff → stability gate →
 /// render, which is the only path the diff engine uses.
+///
+/// Construction is incremental-first: every signature supplies a
+/// [`SignatureBuilder`] via [`Self::builder`], and the provided
+/// [`Self::build`] is a thin fold over it — there is exactly one
+/// implementation of each signature's construction, shared by the batch
+/// and streaming paths.
 pub trait Signature: Sized {
     /// The signature's typed change (e.g. a peak shift, an edge delta).
     type Change;
 
+    /// The signature's incremental builder.
+    type Builder: SignatureBuilder<Output = Self>;
+
     /// The kind tag attached to rendered changes.
     const KIND: SignatureKind;
 
-    /// Builds the signature from a log window.
-    fn build(inputs: &SignatureInputs<'_>) -> Self;
+    /// Creates an empty builder configured from the inputs (thresholds,
+    /// span, group context — everything except the records themselves).
+    fn builder(inputs: &SignatureInputs<'_>) -> Self::Builder;
+
+    /// Builds the signature from a log window: folds every event and
+    /// record of the window through [`Self::builder`].
+    fn build(inputs: &SignatureInputs<'_>) -> Self {
+        let mut b = Self::builder(inputs);
+        if let Some(log) = inputs.log {
+            for ev in log.events() {
+                b.observe_event(ev);
+            }
+        }
+        for r in inputs.records {
+            b.observe(r);
+        }
+        b.finalize()
+    }
 
     /// Compares `self` (the reference) against `current`.
     fn diff(&self, current: &Self, ctx: &DiffCtx<'_>) -> Vec<Self::Change>;

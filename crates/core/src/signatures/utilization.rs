@@ -6,14 +6,16 @@
 //! (`StatsRequest`/`StatsReply`); the deltas between consecutive polls
 //! give a byte-rate series per switch port, summarized as mean ± std.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
+use netsim::log::ControlEvent;
 use openflow::messages::{OfpMessage, StatsReply};
 use openflow::types::{DatapathId, PortNo, Timestamp};
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
-use crate::signatures::{DiffCtx, Signature, SignatureInputs};
+use crate::records::FlowRecord;
+use crate::signatures::{DiffCtx, Signature, SignatureBuilder, SignatureInputs};
 use crate::stats::MeanStd;
 
 /// The LU signature: transmitted byte-rate summary per switch port.
@@ -36,31 +38,48 @@ pub struct LuChange {
     pub sigmas: f64,
 }
 
-impl Signature for LinkUtilization {
-    type Change = LuChange;
-    const KIND: SignatureKind = SignatureKind::Lu;
+/// Incremental LU accumulator: the only builder fed from raw control
+/// events rather than flow records (port counters never become flow
+/// records). Keeps the cumulative counter series per port; rates are
+/// derived at `finalize`.
+#[derive(Debug, Clone, Default)]
+pub struct LuBuilder {
+    /// (dpid, port) -> [(poll time, cumulative tx bytes)]
+    series: BTreeMap<(DatapathId, PortNo), Vec<(Timestamp, u64)>>,
+}
 
-    /// Builds the LU signature from the port-stats replies in the raw
-    /// log (`inputs.log`; port counters never become flow records).
-    /// Without a log the signature is empty.
-    fn build(inputs: &SignatureInputs<'_>) -> Self {
-        let Some(log) = inputs.log else {
-            return LinkUtilization::default();
-        };
-        // (dpid, port) -> [(poll time, cumulative tx bytes)]
-        let mut series: HashMap<(DatapathId, PortNo), Vec<(Timestamp, u64)>> = HashMap::new();
-        for ev in log.events() {
-            if let OfpMessage::StatsReply(StatsReply::Port(ports)) = &ev.msg {
-                for p in ports {
-                    series
-                        .entry((ev.dpid, p.port_no))
-                        .or_default()
-                        .push((ev.ts, p.tx_bytes));
-                }
+impl LuBuilder {
+    /// Drops counter samples polled before `cutoff` (sliding-window
+    /// online mode). The rate across the dropped/kept boundary is lost
+    /// with the points that defined it.
+    pub fn retire_before(&mut self, cutoff: Timestamp) {
+        self.series.retain(|_, points| {
+            points.retain(|(ts, _)| *ts >= cutoff);
+            !points.is_empty()
+        });
+    }
+}
+
+impl SignatureBuilder for LuBuilder {
+    type Output = LinkUtilization;
+
+    fn observe(&mut self, _record: &FlowRecord) {}
+
+    fn observe_event(&mut self, event: &ControlEvent) {
+        if let OfpMessage::StatsReply(StatsReply::Port(ports)) = &event.msg {
+            for p in ports {
+                self.series
+                    .entry((event.dpid, p.port_no))
+                    .or_default()
+                    .push((event.ts, p.tx_bytes));
             }
         }
-        let per_port = series
-            .into_iter()
+    }
+
+    fn finalize(&self) -> LinkUtilization {
+        let per_port = self
+            .series
+            .iter()
             .filter_map(|(key, points)| {
                 let rates: Vec<f64> = points
                     .windows(2)
@@ -70,10 +89,22 @@ impl Signature for LinkUtilization {
                         (dt > 0.0).then_some(db / dt)
                     })
                     .collect();
-                (!rates.is_empty()).then(|| (key, MeanStd::of(&rates)))
+                (!rates.is_empty()).then(|| (*key, MeanStd::of(&rates)))
             })
             .collect();
         LinkUtilization { per_port }
+    }
+}
+
+impl Signature for LinkUtilization {
+    type Change = LuChange;
+    type Builder = LuBuilder;
+    const KIND: SignatureKind = SignatureKind::Lu;
+
+    /// The builder reads the port-stats replies from the raw log via
+    /// `observe_event`; without a log the signature is empty.
+    fn builder(_inputs: &SignatureInputs<'_>) -> LuBuilder {
+        LuBuilder::default()
     }
 
     /// Flags ports whose mean byte rate moved beyond `config.isl_sigma`

@@ -1,0 +1,325 @@
+//! The streaming pipeline must be indistinguishable from the batch one.
+//!
+//! Three guarantees, in increasing scope:
+//!
+//! 1. A property test feeds randomly interleaved synthetic event streams
+//!    (missing `FlowMod`s, xid collisions, corrupt frames, repeat
+//!    episodes — everything within the eviction horizon) through
+//!    `extract_records` and a hand-driven [`RecordAssembler`], and checks
+//!    both against an in-test copy of the historical whole-log extraction
+//!    algorithm.
+//! 2. Feeding a 320-server tree capture event by event through
+//!    [`RecordAssembler`] + [`IncrementalModelBuilder`] yields a
+//!    [`BehaviorModel`] `PartialEq`-identical to `BehaviorModel::build`.
+//! 3. Two independent batch builds of the same log serialize
+//!    byte-identically — the parallel fan-out and the ordered maps inside
+//!    the signatures leave no nondeterminism behind.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use flowdiff::prelude::*;
+use flowdiff::records::HopReport;
+use openflow::actions::{first_output, Action};
+use openflow::frame;
+use openflow::match_fields::{FlowKey, OfMatch};
+use openflow::messages::{
+    FlowMod, FlowRemoved, FlowRemovedReason, OfpMessage, PacketIn, PacketInReason,
+};
+use openflow::types::{BufferId, Cookie, DatapathId, PortNo, Timestamp, Xid};
+use proptest::prelude::*;
+use workloads::prelude::*;
+
+// ---------------------------------------------------------------------
+// Oracle: the historical batch extraction, kept verbatim as a reference
+// implementation now that `extract_records` wraps the streaming
+// assembler.
+// ---------------------------------------------------------------------
+
+fn oracle_extract(log: &ControllerLog, config: &FlowDiffConfig) -> Vec<FlowRecord> {
+    let mut mods: HashMap<Xid, (Timestamp, Option<PortNo>)> = HashMap::new();
+    for (ts, _, xid, fm) in log.flow_mods() {
+        let out = first_output(&fm.actions);
+        mods.entry(xid).or_insert((ts, out));
+    }
+
+    let mut by_tuple: HashMap<FlowTuple, Vec<FlowRecord>> = HashMap::new();
+    for (ts, dpid, xid, pi) in log.packet_ins() {
+        let Ok(key) = frame::parse_frame(&pi.data) else {
+            continue;
+        };
+        let tuple = FlowTuple::from_key(&key);
+        let (fm_ts, out_port) = match mods.get(&xid) {
+            Some((t, p)) => (Some(*t), *p),
+            None => (None, None),
+        };
+        let hop = HopReport {
+            ts,
+            dpid,
+            in_port: pi.in_port,
+            xid,
+            flow_mod_ts: fm_ts,
+            out_port,
+        };
+        let episodes = by_tuple.entry(tuple).or_default();
+        let start_new = match episodes.last() {
+            Some(ep) => {
+                let last_ts = ep.hops.last().map_or(ep.first_seen, |h| h.ts);
+                ts.saturating_since(last_ts) > config.episode_gap_us
+            }
+            None => true,
+        };
+        if start_new {
+            episodes.push(FlowRecord {
+                tuple,
+                first_seen: ts,
+                hops: vec![hop],
+                byte_count: 0,
+                packet_count: 0,
+                duration_s: 0.0,
+            });
+        } else {
+            episodes.last_mut().expect("just checked").hops.push(hop);
+        }
+    }
+
+    for (ts, _, fr) in log.flow_removeds() {
+        let m = &fr.match_;
+        let tuple = FlowTuple {
+            src: m.nw_src,
+            sport: m.tp_src,
+            dst: m.nw_dst,
+            dport: m.tp_dst,
+            proto: m.nw_proto,
+        };
+        if let Some(episodes) = by_tuple.get_mut(&tuple) {
+            if let Some(ep) = episodes.iter_mut().rev().find(|ep| ep.first_seen <= ts) {
+                ep.byte_count = ep.byte_count.max(fr.byte_count);
+                ep.packet_count = ep.packet_count.max(fr.packet_count);
+                ep.duration_s = ep.duration_s.max(fr.duration_secs_f64());
+            }
+        }
+    }
+
+    let mut records: Vec<FlowRecord> = by_tuple.into_values().flatten().collect();
+    records.sort_by_key(|r| (r.first_seen, r.tuple));
+    records
+}
+
+// ---------------------------------------------------------------------
+// Synthetic stream generation: each u64 seed expands deterministically
+// into one flow script — tuple, hop chain, FlowMod replies (sometimes
+// missing, sometimes preceding their PacketIn), optional FlowRemoved
+// counters, an optional repeat episode, and the occasional corrupt
+// frame. Small value pools force tuple and xid collisions.
+// ---------------------------------------------------------------------
+
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        // splitmix64: a deterministic stream per flow seed.
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn synth_events(seed: u64, events: &mut Vec<ControlEvent>) {
+    let mut rng = Mix(seed);
+    let key = FlowKey::tcp(
+        Ipv4Addr::new(10, 0, 0, 1 + (rng.next() % 4) as u8),
+        1024 + (rng.next() % 8) as u16,
+        Ipv4Addr::new(10, 0, 1, 1 + (rng.next() % 4) as u8),
+        if rng.next().is_multiple_of(2) {
+            80
+        } else {
+            3306
+        },
+    );
+    let start = Timestamp::from_micros(1_000_000 + rng.next() % 30_000_000);
+    let episodes = if rng.next().is_multiple_of(4) { 2 } else { 1 };
+    let n_hops = 1 + (rng.next() % 3) as usize;
+
+    for episode in 0..episodes {
+        // Repeat episodes sit 10 s apart: far past the 2 s episode gap,
+        // well inside the 60 s eviction horizon.
+        let ep_start = start + episode * 10_000_000;
+        let mut ts = ep_start;
+        let mut last_hop_ts = ep_start;
+        for hop in 0..n_hops {
+            ts = ts + rng.next() % 2_000;
+            last_hop_ts = ts;
+            let dpid = DatapathId(1 + rng.next() % 6);
+            let in_port = PortNo(1 + (rng.next() % 4) as u16);
+            // Small xid pool per episode wave: collisions across flows
+            // exercise first-FlowMod-wins on both paths.
+            let xid = Xid(1 + (episode * 100) as u32 + (rng.next() % 24) as u32);
+            let corrupt = rng.next().is_multiple_of(16);
+            let data = if corrupt {
+                vec![0u8; 4]
+            } else {
+                frame::build_frame(&key, 128).to_vec()
+            };
+            events.push(ControlEvent {
+                ts,
+                dpid,
+                direction: Direction::ToController,
+                xid,
+                msg: OfpMessage::PacketIn(PacketIn {
+                    buffer_id: BufferId::NO_BUFFER,
+                    total_len: 128,
+                    in_port,
+                    reason: PacketInReason::NoMatch,
+                    data,
+                }),
+            });
+            if !rng.next().is_multiple_of(4) {
+                // The reply lands up to 1 ms before or 2 ms after its
+                // PacketIn — both orders must pair identically.
+                let skew = rng.next() % 3_000;
+                let mod_ts = Timestamp::from_micros((ts.as_micros() + skew).saturating_sub(1_000));
+                let fm = FlowMod::add(OfMatch::exact(&key, in_port), 100)
+                    .action(Action::output(PortNo(in_port.0 + 1)));
+                events.push(ControlEvent {
+                    ts: mod_ts,
+                    dpid,
+                    direction: Direction::FromController,
+                    xid,
+                    msg: OfpMessage::FlowMod(fm),
+                });
+            }
+            let _ = hop;
+        }
+        if !rng.next().is_multiple_of(3) {
+            let fr_ts = last_hop_ts + 1_000 + rng.next() % 8_000_000;
+            let byte_count = rng.next() % 50_000;
+            events.push(ControlEvent {
+                ts: fr_ts,
+                dpid: DatapathId(1 + rng.next() % 6),
+                direction: Direction::ToController,
+                xid: Xid(0),
+                msg: OfpMessage::FlowRemoved(FlowRemoved {
+                    match_: OfMatch::exact(&key, PortNo(1)),
+                    cookie: Cookie::default(),
+                    priority: 100,
+                    reason: FlowRemovedReason::IdleTimeout,
+                    duration_sec: (rng.next() % 10) as u32,
+                    duration_nsec: (rng.next() % 1_000_000_000) as u32,
+                    idle_timeout: 5,
+                    packet_count: byte_count / 1_000 + 1,
+                    byte_count,
+                }),
+            });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batch wrapper, hand-driven assembler with mid-stream drains, and
+    /// the historical algorithm all agree on every generated stream.
+    #[test]
+    fn streaming_matches_historical_batch(seeds in prop::collection::vec(any::<u64>(), 1..16)) {
+        let mut events = Vec::new();
+        for seed in &seeds {
+            synth_events(*seed, &mut events);
+        }
+        let log: ControllerLog = events.into_iter().collect();
+        let config = FlowDiffConfig::default();
+
+        let expected = oracle_extract(&log, &config);
+        let batch = extract_records(&log, &config);
+        prop_assert_eq!(&batch, &expected);
+
+        // Drive the assembler the way an online consumer does, draining
+        // completed records at arbitrary points mid-stream.
+        let mut asm = RecordAssembler::new(&config);
+        let mut streamed = Vec::new();
+        for (i, ev) in log.events().iter().enumerate() {
+            asm.observe(ev);
+            if i % 5 == 0 {
+                streamed.extend(asm.take_completed());
+            }
+        }
+        streamed.extend(asm.finish());
+        streamed.sort_by_key(|r| (r.first_seen, r.tuple));
+        prop_assert_eq!(&streamed, &expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-model equivalence on the paper's 320-server tree.
+// ---------------------------------------------------------------------
+
+/// A short capture on the 320-server tree (16 racks x 20 servers) with
+/// disjoint three-tier application meshes — a scaled-down cut of the
+/// Fig. 13b workload.
+fn tree_log(n_apps: usize, seed: u64, secs: u64) -> (ControllerLog, FlowDiffConfig) {
+    let topo = Topology::tree(16, 20);
+    let hosts: Vec<Ipv4Addr> = topo.hosts().map(|(id, _)| topo.host_ip(id)).collect();
+    let mut sc = Scenario::new(
+        topo,
+        seed,
+        Timestamp::from_secs(1),
+        Timestamp::from_secs(1 + secs),
+    );
+    for a in 0..n_apps {
+        let pick = |tier: usize, k: usize| hosts[(a * 9 + tier * 3 + k) % hosts.len()];
+        let mut pairs = Vec::new();
+        for tier in 0..2 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    let dport = if tier == 0 { 8080 } else { 3306 };
+                    pairs.push((pick(tier, i), pick(tier + 1, j), dport));
+                }
+            }
+        }
+        sc.mesh(OnOffMesh {
+            pairs,
+            process: OnOffProcess::default(),
+            reuse_prob: 0.6,
+            bytes_per_flow: 30_000,
+        });
+    }
+    (sc.run().log, FlowDiffConfig::default())
+}
+
+#[test]
+fn tree_streamed_model_matches_batch_build() {
+    let (log, config) = tree_log(3, 7, 12);
+    assert!(log.len() > 1_000, "capture should carry real traffic");
+    let batch = BehaviorModel::build(&log, &config);
+
+    let mut assembler = RecordAssembler::new(&config);
+    let mut builder = IncrementalModelBuilder::new(&config);
+    for event in log.events() {
+        assembler.observe(event);
+        builder.observe_event(event);
+        for record in assembler.take_completed() {
+            builder.observe_record(record);
+        }
+    }
+    for record in assembler.finish() {
+        builder.observe_record(record);
+    }
+    if let Some(span) = log.time_range() {
+        builder.set_span(span);
+    }
+    let streamed = builder.into_snapshot();
+
+    assert!(!batch.groups.is_empty(), "tree workload must form groups");
+    assert_eq!(streamed, batch);
+}
+
+#[test]
+fn repeated_builds_serialize_byte_identically() {
+    let (log, config) = tree_log(2, 11, 8);
+    let first = serde::to_vec(&BehaviorModel::build(&log, &config));
+    let second = serde::to_vec(&BehaviorModel::build(&log, &config));
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "model construction must be deterministic");
+}

@@ -175,54 +175,143 @@ impl ControllerLog {
         out
     }
 
-    /// Parses a capture produced by [`ControllerLog::to_wire_bytes`].
+    /// Parses a capture produced by [`ControllerLog::to_wire_bytes`] by
+    /// draining a [`LogStream`] (the one decode implementation) into a
+    /// fully materialized log.
     ///
     /// # Errors
     ///
     /// Returns a [`openflow::error::DecodeError`] on a bad magic header,
     /// truncation, or any malformed embedded message.
     pub fn from_wire_bytes(bytes: &[u8]) -> Result<ControllerLog, openflow::error::DecodeError> {
-        use openflow::error::DecodeError;
+        let mut log = ControllerLog::new();
+        for ev in LogStream::from_wire_bytes(bytes)? {
+            log.push(ev?.into_owned());
+        }
+        log.finish();
+        Ok(log)
+    }
+
+    /// A pull-based stream over this log's events (no decoding, no
+    /// copies).
+    pub fn stream(&self) -> LogStream<'_> {
+        LogStream::from_log(self)
+    }
+}
+
+/// A pull-based event stream: the streaming counterpart of a fully
+/// materialized [`ControllerLog`].
+///
+/// Two sources feed it: an in-memory log (borrowed events, zero copies)
+/// or a wire capture, which is decoded *lazily* — one event per
+/// [`Iterator::next`] call — so an arbitrarily large capture file can be
+/// folded into flow records without ever materializing the whole log.
+/// Events arrive in capture order, which is time order for any capture
+/// written by [`ControllerLog::to_wire_bytes`] (the log sorts on
+/// `finish`).
+pub struct LogStream<'a> {
+    source: StreamSource<'a>,
+}
+
+enum StreamSource<'a> {
+    Memory(std::slice::Iter<'a, ControlEvent>),
+    Wire {
+        rest: &'a [u8],
+        /// Poisoned after the first decode error: the framing is lost,
+        /// so the stream fuses instead of emitting garbage events.
+        failed: bool,
+    },
+}
+
+impl<'a> LogStream<'a> {
+    /// Streams a materialized log's events (borrowed, in log order).
+    pub fn from_log(log: &'a ControllerLog) -> LogStream<'a> {
+        LogStream {
+            source: StreamSource::Memory(log.events.iter()),
+        }
+    }
+
+    /// Streams a wire capture, validating the magic header up front and
+    /// decoding one event per `next` call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`openflow::error::DecodeError`] when the magic header
+    /// is missing or wrong; per-event decode errors surface as `Err`
+    /// items during iteration.
+    pub fn from_wire_bytes(bytes: &'a [u8]) -> Result<LogStream<'a>, openflow::error::DecodeError> {
         if bytes.len() < CAPTURE_MAGIC.len() || &bytes[..8] != CAPTURE_MAGIC {
-            return Err(DecodeError::BadField {
+            return Err(openflow::error::DecodeError::BadField {
                 context: "capture.magic",
                 value: bytes.first().copied().unwrap_or(0) as u64,
             });
         }
-        let mut rest = &bytes[8..];
-        let mut log = ControllerLog::new();
-        while !rest.is_empty() {
-            if rest.len() < 17 {
-                return Err(DecodeError::Truncated {
-                    needed: 17,
-                    available: rest.len(),
-                });
-            }
-            let ts = u64::from_be_bytes(rest[0..8].try_into().expect("8 bytes"));
-            let dpid = u64::from_be_bytes(rest[8..16].try_into().expect("8 bytes"));
-            let direction = match rest[16] {
-                0 => Direction::ToController,
-                1 => Direction::FromController,
-                other => {
-                    return Err(DecodeError::BadField {
-                        context: "capture.direction",
-                        value: other as u64,
-                    })
-                }
-            };
-            rest = &rest[17..];
-            let (msg, xid, used) = openflow::wire::decode(rest)?;
-            rest = &rest[used..];
-            log.push(ControlEvent {
-                ts: Timestamp::from_micros(ts),
-                dpid: DatapathId(dpid),
-                direction,
-                xid,
-                msg,
-            });
+        Ok(LogStream {
+            source: StreamSource::Wire {
+                rest: &bytes[8..],
+                failed: false,
+            },
+        })
+    }
+}
+
+/// Decodes one `[ts][dpid][direction][wire message]` record, returning
+/// the event and the remaining bytes.
+fn decode_event(rest: &[u8]) -> Result<(ControlEvent, &[u8]), openflow::error::DecodeError> {
+    use openflow::error::DecodeError;
+    if rest.len() < 17 {
+        return Err(DecodeError::Truncated {
+            needed: 17,
+            available: rest.len(),
+        });
+    }
+    let ts = u64::from_be_bytes(rest[0..8].try_into().expect("8 bytes"));
+    let dpid = u64::from_be_bytes(rest[8..16].try_into().expect("8 bytes"));
+    let direction = match rest[16] {
+        0 => Direction::ToController,
+        1 => Direction::FromController,
+        other => {
+            return Err(DecodeError::BadField {
+                context: "capture.direction",
+                value: other as u64,
+            })
         }
-        log.finish();
-        Ok(log)
+    };
+    let (msg, xid, used) = openflow::wire::decode(&rest[17..])?;
+    Ok((
+        ControlEvent {
+            ts: Timestamp::from_micros(ts),
+            dpid: DatapathId(dpid),
+            direction,
+            xid,
+            msg,
+        },
+        &rest[17 + used..],
+    ))
+}
+
+impl<'a> Iterator for LogStream<'a> {
+    type Item = Result<std::borrow::Cow<'a, ControlEvent>, openflow::error::DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.source {
+            StreamSource::Memory(iter) => iter.next().map(|e| Ok(std::borrow::Cow::Borrowed(e))),
+            StreamSource::Wire { rest, failed } => {
+                if *failed || rest.is_empty() {
+                    return None;
+                }
+                match decode_event(rest) {
+                    Ok((ev, remaining)) => {
+                        *rest = remaining;
+                        Some(Ok(std::borrow::Cow::Owned(ev)))
+                    }
+                    Err(e) => {
+                        *failed = true;
+                        Some(Err(e))
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -340,6 +429,46 @@ mod tests {
         let log = ControllerLog::new();
         let parsed = ControllerLog::from_wire_bytes(&log.to_wire_bytes()).unwrap();
         assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn memory_stream_yields_borrowed_events_in_order() {
+        let log: ControllerLog = vec![ev(5, 0), ev(10, 1), ev(15, 2)].into_iter().collect();
+        let streamed: Vec<ControlEvent> = log
+            .stream()
+            .map(|r| r.expect("memory stream never errors").into_owned())
+            .collect();
+        assert_eq!(streamed, log.events().to_vec());
+    }
+
+    #[test]
+    fn wire_stream_decodes_lazily_and_matches_batch_parse() {
+        let log: ControllerLog = vec![ev(5, 0), ev(10, 1), ev(15, 2), ev(20, 1)]
+            .into_iter()
+            .collect();
+        let bytes = log.to_wire_bytes();
+        let mut stream = LogStream::from_wire_bytes(&bytes).unwrap();
+        // One event decodes without touching the rest of the buffer.
+        let first = stream.next().unwrap().unwrap().into_owned();
+        assert_eq!(first, log.events()[0]);
+        let rest: Vec<ControlEvent> = stream.map(|r| r.unwrap().into_owned()).collect();
+        assert_eq!(rest, log.events()[1..].to_vec());
+    }
+
+    #[test]
+    fn wire_stream_fuses_after_decode_error() {
+        let log: ControllerLog = vec![ev(5, 1), ev(10, 1)].into_iter().collect();
+        let mut bytes = log.to_wire_bytes();
+        bytes.truncate(bytes.len() - 3);
+        let mut stream = LogStream::from_wire_bytes(&bytes).unwrap();
+        assert!(stream.next().unwrap().is_ok(), "first event intact");
+        assert!(stream.next().unwrap().is_err(), "second event truncated");
+        assert!(stream.next().is_none(), "stream fuses after the error");
+    }
+
+    #[test]
+    fn wire_stream_rejects_bad_magic_up_front() {
+        assert!(LogStream::from_wire_bytes(b"not a capture").is_err());
     }
 
     #[test]
