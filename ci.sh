@@ -29,6 +29,14 @@ if [ "$epochs" -lt 1 ]; then
     exit 1
 fi
 echo "watch emitted $epochs epoch snapshots"
+if ! printf '%s\n' "$watch_out" | grep -q '^stats: .* interned'; then
+    echo "FAIL: watch emitted no stats line" >&2
+    exit 1
+fi
+printf '%s\n' "$watch_out" | grep '^stats: '
+
+step "cargo bench --no-run (benches must compile)"
+cargo bench --no-run -q
 
 step "cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q

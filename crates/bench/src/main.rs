@@ -126,6 +126,14 @@ fn cmd_watch(args: &[String]) -> CliResult {
         baseline.records.len(),
         baseline.groups.len()
     );
+    println!(
+        "stats: {} hosts, {} switches, {} ports interned; model ~{} KiB (catalog ~{} KiB)",
+        baseline.catalog.n_hosts(),
+        baseline.catalog.n_switches(),
+        baseline.catalog.n_ports(),
+        baseline.approx_bytes().div_ceil(1024),
+        baseline.catalog.approx_bytes().div_ceil(1024)
+    );
 
     // The current capture is never materialized: events are decoded one
     // at a time off the wire bytes and fed straight into the differ.

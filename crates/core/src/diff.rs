@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, SignatureKind};
 use crate::config::FlowDiffConfig;
-use crate::groups::match_groups;
+use crate::groups::{match_group_refs, AppGroup};
 use crate::model::{BehaviorModel, IncrementalModelBuilder};
 use crate::records::RecordAssembler;
 use crate::signatures::{DiffCtx, Signature, StabilityMask};
@@ -93,9 +93,9 @@ pub fn compare(
     stability: &StabilityReport,
     config: &FlowDiffConfig,
 ) -> ModelDiff {
-    let ref_groups: Vec<_> = reference.groups.iter().map(|g| g.group.clone()).collect();
-    let cur_groups: Vec<_> = current.groups.iter().map(|g| g.group.clone()).collect();
-    let (pairs, missing_groups, new_groups) = match_groups(&ref_groups, &cur_groups);
+    let ref_groups: Vec<&AppGroup> = reference.groups.iter().map(|g| &g.group).collect();
+    let cur_groups: Vec<&AppGroup> = current.groups.iter().map(|g| &g.group).collect();
+    let (pairs, missing_groups, new_groups) = match_group_refs(&ref_groups, &cur_groups);
     // A current group whose members all belonged to one reference group
     // is a *fragment* of it (e.g. a tier cut off by a failure), not a
     // new application: the per-group CG diff already covers it.
@@ -109,9 +109,13 @@ pub fn compare(
         })
         .collect();
 
+    // The current model carries an edge index built at assembly; the
+    // two models have independent catalogs, so everything crossing the
+    // reference/current boundary is resolved to addresses — IDs never
+    // cross logs.
     let ctx = DiffCtx {
         config,
-        current_records: &current.records,
+        records: &current.edge_index,
     };
 
     let group_diffs = pairs

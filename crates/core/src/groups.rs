@@ -6,12 +6,13 @@
 //! nodes (DNS, NFS, …) stay in separate groups: service edges do not
 //! merge groups, but each group remembers its service edges.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
 
 use crate::config::FlowDiffConfig;
+use crate::ids::{EntityCatalog, HostId, IRecord, InternedLog};
 use crate::records::FlowRecord;
 
 /// A directed application-layer edge: who opens flows to whom.
@@ -121,61 +122,85 @@ impl Dsu {
 /// assert_eq!(groups[0].members.len(), 3);
 /// ```
 pub fn discover_groups(records: &[FlowRecord], config: &FlowDiffConfig) -> Vec<AppGroup> {
-    // Index all non-special endpoint IPs.
-    let mut ip_index: BTreeMap<Ipv4Addr, usize> = BTreeMap::new();
+    let il = InternedLog::of(records);
+    discover_groups_interned(&il.records, &il.catalog, config)
+}
+
+/// [`discover_groups`] over already-interned records: the form the
+/// model builder uses, with union-find running over dense host IDs.
+///
+/// The catalog may know more hosts than the records mention (a
+/// pre-warmed sliding-window catalog after old records were retired);
+/// only hosts appearing as a record endpoint become group members.
+pub fn discover_groups_interned(
+    records: &[IRecord],
+    catalog: &EntityCatalog,
+    config: &FlowDiffConfig,
+) -> Vec<AppGroup> {
+    let n = catalog.n_hosts();
+    let special: Vec<bool> = catalog
+        .hosts()
+        .iter()
+        .map(|&ip| config.is_special(ip))
+        .collect();
+    let mut appears = vec![false; n];
+    let mut dsu = Dsu::new(n);
     for r in records {
-        for ip in [r.tuple.src, r.tuple.dst] {
-            if !config.is_special(ip) {
-                let next = ip_index.len();
-                ip_index.entry(ip).or_insert(next);
-            }
+        let (s, d) = (r.src.index(), r.dst.index());
+        if !special[s] {
+            appears[s] = true;
         }
-    }
-    let mut dsu = Dsu::new(ip_index.len());
-    for r in records {
-        let (s, d) = (r.tuple.src, r.tuple.dst);
-        if let (Some(&a), Some(&b)) = (ip_index.get(&s), ip_index.get(&d)) {
-            dsu.union(a, b);
+        if !special[d] {
+            appears[d] = true;
+        }
+        if !special[s] && !special[d] {
+            dsu.union(s, d);
         }
     }
 
     // Gather groups.
+    let empty = || AppGroup {
+        members: BTreeSet::new(),
+        edges: BTreeSet::new(),
+        service_edges: BTreeSet::new(),
+        record_indices: Vec::new(),
+    };
     let mut by_root: HashMap<usize, AppGroup> = HashMap::new();
-    for (&ip, &idx) in &ip_index {
-        let root = dsu.find(idx);
+    for (h, seen) in appears.iter().enumerate().take(n) {
+        if !seen {
+            continue;
+        }
+        let root = dsu.find(h);
         by_root
             .entry(root)
-            .or_insert_with(|| AppGroup {
-                members: BTreeSet::new(),
-                edges: BTreeSet::new(),
-                service_edges: BTreeSet::new(),
-                record_indices: Vec::new(),
-            })
+            .or_insert_with(empty)
             .members
-            .insert(ip);
+            .insert(catalog.host(HostId(h as u32)));
     }
 
     for (i, r) in records.iter().enumerate() {
-        let (s, d) = (r.tuple.src, r.tuple.dst);
-        let s_special = config.is_special(s);
-        let d_special = config.is_special(d);
-        match (s_special, d_special) {
+        let (s, d) = (r.src.index(), r.dst.index());
+        let edge = || Edge {
+            src: catalog.host(r.src),
+            dst: catalog.host(r.dst),
+        };
+        match (special[s], special[d]) {
             (false, false) => {
-                let root = dsu.find(ip_index[&s]);
+                let root = dsu.find(s);
                 let g = by_root.get_mut(&root).expect("root exists");
-                g.edges.insert(Edge { src: s, dst: d });
+                g.edges.insert(edge());
                 g.record_indices.push(i);
             }
             (false, true) => {
-                let root = dsu.find(ip_index[&s]);
+                let root = dsu.find(s);
                 let g = by_root.get_mut(&root).expect("root exists");
-                g.service_edges.insert(Edge { src: s, dst: d });
+                g.service_edges.insert(edge());
                 g.record_indices.push(i);
             }
             (true, false) => {
-                let root = dsu.find(ip_index[&d]);
+                let root = dsu.find(d);
                 let g = by_root.get_mut(&root).expect("root exists");
-                g.service_edges.insert(Edge { src: s, dst: d });
+                g.service_edges.insert(edge());
                 g.record_indices.push(i);
             }
             (true, true) => {} // service-to-service traffic: not an app flow
@@ -194,6 +219,17 @@ pub fn match_groups(
     reference: &[AppGroup],
     current: &[AppGroup],
 ) -> (Vec<(usize, usize)>, Vec<usize>, Vec<usize>) {
+    let reference: Vec<&AppGroup> = reference.iter().collect();
+    let current: Vec<&AppGroup> = current.iter().collect();
+    match_group_refs(&reference, &current)
+}
+
+/// [`match_groups`] over borrowed groups — the diff and stability
+/// engines use this to match without cloning member sets.
+pub fn match_group_refs(
+    reference: &[&AppGroup],
+    current: &[&AppGroup],
+) -> (Vec<(usize, usize)>, Vec<usize>, Vec<usize>) {
     let mut pairs = Vec::new();
     let mut used_cur = vec![false; current.len()];
     for (ri, r) in reference.iter().enumerate() {
@@ -201,7 +237,7 @@ pub fn match_groups(
             .iter()
             .enumerate()
             .filter(|(ci, _)| !used_cur[*ci])
-            .map(|(ci, c)| (ci, r.similarity(c)))
+            .map(|(ci, &c)| (ci, r.similarity(c)))
             .filter(|(_, s)| *s > 0.0)
             .max_by(|a, b| a.1.total_cmp(&b.1));
         if let Some((ci, _)) = best {

@@ -1,0 +1,522 @@
+//! Dense process-local entity IDs and the catalog that interns them.
+//!
+//! Every signature builder on the hot path used to key its state by raw
+//! `Ipv4Addr`/`DatapathId`/`(DatapathId, PortNo)` in `BTreeMap`s, paying
+//! wide-key comparisons and pointer-chasing per observed record. This
+//! module interns those entities once, on ingest, into small dense
+//! `u32` IDs ([`HostId`], [`SwitchId`], [`PortId`]) so builders can use
+//! `Vec`s and flat hash maps keyed by packed integers instead.
+//!
+//! IDs are **process-local**: they are assignment-order artifacts of one
+//! [`EntityCatalog`] and mean nothing outside it. Two models built from
+//! different logs (or the same log with records ingested in a different
+//! order) may assign entirely different IDs to the same host. For that
+//! reason IDs are never serialized and never rendered — everything that
+//! leaves the pipeline (serialized models, diffs, change descriptions)
+//! resolves IDs back to addresses through the owning catalog, and
+//! diffing two models compares resolved addresses, never raw indices.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use openflow::types::{DatapathId, PortNo, Timestamp};
+
+use crate::groups::Edge;
+use crate::records::FlowRecord;
+
+/// Dense index of one host (an `Ipv4Addr`) in an [`EntityCatalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+/// Dense index of one switch (a `DatapathId`) in an [`EntityCatalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(pub u32);
+
+/// Dense index of one switch port (a `(SwitchId, PortNo)` pair) in an
+/// [`EntityCatalog`]. A `PortId` identifies the port *and* its switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u32);
+
+impl HostId {
+    /// The ID as a `Vec` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SwitchId {
+    /// The ID as a `Vec` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PortId {
+    /// The ID as a `Vec` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Packs a directed host edge into one flat-map key.
+pub fn pack_edge(src: HostId, dst: HostId) -> u64 {
+    (src.0 as u64) << 32 | dst.0 as u64
+}
+
+/// Inverse of [`pack_edge`].
+pub fn unpack_edge(key: u64) -> (HostId, HostId) {
+    (HostId((key >> 32) as u32), HostId(key as u32))
+}
+
+/// Packs an ordered switch pair into one flat-map key.
+pub fn pack_switch_pair(a: SwitchId, b: SwitchId) -> u64 {
+    (a.0 as u64) << 32 | b.0 as u64
+}
+
+/// Inverse of [`pack_switch_pair`].
+pub fn unpack_switch_pair(key: u64) -> (SwitchId, SwitchId) {
+    (SwitchId((key >> 32) as u32), SwitchId(key as u32))
+}
+
+/// Packs an ordered port pair (a directed inter-switch link) into one
+/// flat-map key.
+pub fn pack_port_pair(a: PortId, b: PortId) -> u64 {
+    (a.0 as u64) << 32 | b.0 as u64
+}
+
+/// Inverse of [`pack_port_pair`].
+pub fn unpack_port_pair(key: u64) -> (PortId, PortId) {
+    (PortId((key >> 32) as u32), PortId(key as u32))
+}
+
+/// The entity interner: assigns dense IDs to hosts, switches, and ports
+/// in first-seen order, and resolves them back.
+///
+/// Interners only grow — retiring records from a sliding window leaves
+/// the catalog untouched, so IDs stay valid for the life of the owning
+/// builder/model and re-interning a known entity is a cheap lookup.
+/// The entity namespace of a long-running capture is small (hosts and
+/// switches, not flows), so monotone growth is bounded by the data
+/// center, not by the traffic.
+#[derive(Debug, Clone, Default)]
+pub struct EntityCatalog {
+    hosts: Vec<Ipv4Addr>,
+    host_ids: HashMap<Ipv4Addr, HostId>,
+    switches: Vec<DatapathId>,
+    switch_ids: HashMap<DatapathId, SwitchId>,
+    ports: Vec<(SwitchId, PortNo)>,
+    port_ids: HashMap<(SwitchId, PortNo), PortId>,
+}
+
+impl EntityCatalog {
+    /// An empty catalog.
+    pub fn new() -> EntityCatalog {
+        EntityCatalog::default()
+    }
+
+    /// Interns a host address, returning its dense ID (stable across
+    /// repeat calls).
+    pub fn intern_host(&mut self, ip: Ipv4Addr) -> HostId {
+        if let Some(&id) = self.host_ids.get(&ip) {
+            return id;
+        }
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(ip);
+        self.host_ids.insert(ip, id);
+        id
+    }
+
+    /// Interns a switch, returning its dense ID.
+    pub fn intern_switch(&mut self, dpid: DatapathId) -> SwitchId {
+        if let Some(&id) = self.switch_ids.get(&dpid) {
+            return id;
+        }
+        let id = SwitchId(self.switches.len() as u32);
+        self.switches.push(dpid);
+        self.switch_ids.insert(dpid, id);
+        id
+    }
+
+    /// Interns one port of an (already interned) switch.
+    pub fn intern_port(&mut self, switch: SwitchId, port: PortNo) -> PortId {
+        if let Some(&id) = self.port_ids.get(&(switch, port)) {
+            return id;
+        }
+        let id = PortId(self.ports.len() as u32);
+        self.ports.push((switch, port));
+        self.port_ids.insert((switch, port), id);
+        id
+    }
+
+    /// Looks a host up without interning it. `None` means the catalog
+    /// has never seen the address.
+    pub fn host_id(&self, ip: Ipv4Addr) -> Option<HostId> {
+        self.host_ids.get(&ip).copied()
+    }
+
+    /// Looks a switch up without interning it.
+    pub fn switch_id(&self, dpid: DatapathId) -> Option<SwitchId> {
+        self.switch_ids.get(&dpid).copied()
+    }
+
+    /// Looks a port up without interning it.
+    pub fn port_id(&self, switch: SwitchId, port: PortNo) -> Option<PortId> {
+        self.port_ids.get(&(switch, port)).copied()
+    }
+
+    /// Resolves a host ID back to its address.
+    ///
+    /// # Panics
+    /// On an ID from a different catalog (index out of range).
+    pub fn host(&self, id: HostId) -> Ipv4Addr {
+        self.hosts[id.index()]
+    }
+
+    /// Resolves a switch ID back to its datapath ID.
+    pub fn switch(&self, id: SwitchId) -> DatapathId {
+        self.switches[id.index()]
+    }
+
+    /// Resolves a port ID back to its `(SwitchId, PortNo)` pair.
+    pub fn port(&self, id: PortId) -> (SwitchId, PortNo) {
+        self.ports[id.index()]
+    }
+
+    /// Resolves a port ID to its `(DatapathId, PortNo)` address form.
+    pub fn port_addr(&self, id: PortId) -> (DatapathId, PortNo) {
+        let (sw, port) = self.port(id);
+        (self.switch(sw), port)
+    }
+
+    /// Resolves a packed host edge to its address form.
+    pub fn edge(&self, key: u64) -> Edge {
+        let (s, d) = unpack_edge(key);
+        Edge {
+            src: self.host(s),
+            dst: self.host(d),
+        }
+    }
+
+    /// Number of interned hosts.
+    pub fn n_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of interned switches.
+    pub fn n_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of interned ports.
+    pub fn n_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Interned host addresses in ID order (for iterating dense state).
+    pub fn hosts(&self) -> &[Ipv4Addr] {
+        &self.hosts
+    }
+
+    /// Approximate heap footprint of the catalog in bytes (vectors plus
+    /// reverse-lookup tables; load-factor overhead ignored).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.hosts.len() * (size_of::<Ipv4Addr>() + size_of::<(Ipv4Addr, HostId)>())
+            + self.switches.len() * (size_of::<DatapathId>() + size_of::<(DatapathId, SwitchId)>())
+            + self.ports.len()
+                * (size_of::<(SwitchId, PortNo)>() + size_of::<((SwitchId, PortNo), PortId)>())
+    }
+
+    /// Interns every entity a record mentions (endpoints, switches,
+    /// ports) without building an [`IRecord`] — the ingest-path warm-up
+    /// used by the incremental builder so snapshot-time interning is
+    /// pure lookup.
+    pub fn intern_entities(&mut self, record: &FlowRecord) {
+        self.intern_host(record.tuple.src);
+        self.intern_host(record.tuple.dst);
+        for hop in &record.hops {
+            let sw = self.intern_switch(hop.dpid);
+            self.intern_port(sw, hop.in_port);
+            if let Some(out) = hop.out_port {
+                self.intern_port(sw, out);
+            }
+        }
+    }
+
+    /// Interns a record into its dense form.
+    pub fn intern_record(&mut self, record: &FlowRecord) -> IRecord {
+        IRecord {
+            src: self.intern_host(record.tuple.src),
+            dst: self.intern_host(record.tuple.dst),
+            first_seen: record.first_seen,
+            byte_count: record.byte_count,
+            packet_count: record.packet_count,
+            duration_s: record.duration_s,
+            hops: record
+                .hops
+                .iter()
+                .map(|hop| {
+                    let switch = self.intern_switch(hop.dpid);
+                    IHop {
+                        ts: hop.ts,
+                        switch,
+                        in_port: self.intern_port(switch, hop.in_port),
+                        flow_mod_ts: hop.flow_mod_ts,
+                        out_port: hop.out_port.map(|p| self.intern_port(switch, p)),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One switch hop of an [`IRecord`], in dense-ID form (the counterpart
+/// of [`crate::records::HopReport`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IHop {
+    /// When the switch reported the flow (its `PacketIn` timestamp).
+    pub ts: Timestamp,
+    /// The reporting switch.
+    pub switch: SwitchId,
+    /// The port the flow arrived on.
+    pub in_port: PortId,
+    /// When the controller answered with a `FlowMod`, if it did.
+    pub flow_mod_ts: Option<Timestamp>,
+    /// The port the installed rule forwards out of, if any.
+    pub out_port: Option<PortId>,
+}
+
+/// A flow record in dense-ID form: what the signature builders consume.
+///
+/// Carries exactly the fields the nine builders read — endpoints,
+/// counters, and the switch path — with every entity reference interned
+/// through the owning [`EntityCatalog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IRecord {
+    /// Interned source host.
+    pub src: HostId,
+    /// Interned destination host.
+    pub dst: HostId,
+    /// First time the flow was reported to the controller.
+    pub first_seen: Timestamp,
+    /// Bytes carried (from `FlowRemoved`, when seen).
+    pub byte_count: u64,
+    /// Packets carried.
+    pub packet_count: u64,
+    /// Flow duration in seconds.
+    pub duration_s: f64,
+    /// The switch path, in path order.
+    pub hops: Vec<IHop>,
+}
+
+impl IRecord {
+    /// The packed `(src, dst)` flat-map key of this record's edge.
+    pub fn edge_key(&self) -> u64 {
+        pack_edge(self.src, self.dst)
+    }
+}
+
+/// A batch of address-form records interned into one fresh catalog —
+/// the convenient entry point for building signatures directly from
+/// `FlowRecord`s (tests, standalone `Signature::build` calls).
+#[derive(Debug, Clone, Default)]
+pub struct InternedLog {
+    /// The catalog the records were interned through.
+    pub catalog: EntityCatalog,
+    /// The interned records, in input order.
+    pub records: Vec<IRecord>,
+}
+
+impl InternedLog {
+    /// Interns `records` into a fresh catalog.
+    pub fn of(records: &[FlowRecord]) -> InternedLog {
+        let mut catalog = EntityCatalog::new();
+        let records = records.iter().map(|r| catalog.intern_record(r)).collect();
+        InternedLog { catalog, records }
+    }
+
+    /// The interned records as a reference slice (the shape
+    /// [`crate::signatures::SignatureInputs`] wants).
+    pub fn refs(&self) -> Vec<&IRecord> {
+        self.records.iter().collect()
+    }
+}
+
+/// An edge-indexed view of one model's records, used by the diff engine
+/// to answer "when did this edge first appear in the current capture?"
+/// in O(1) instead of scanning the record list per change.
+///
+/// Owns its own catalog: the diff engine resolves *reference*-side
+/// edges (plain addresses) through it, so cross-log identity is by
+/// address — reference and current models never exchange raw IDs.
+#[derive(Debug, Clone, Default)]
+pub struct RecordIndex {
+    catalog: EntityCatalog,
+    first_seen: HashMap<u64, Timestamp>,
+}
+
+impl RecordIndex {
+    /// Indexes the earliest `first_seen` of every `(src, dst)` pair in
+    /// `records`.
+    pub fn of_records(records: &[FlowRecord]) -> RecordIndex {
+        let mut catalog = EntityCatalog::new();
+        let mut first_seen: HashMap<u64, Timestamp> = HashMap::new();
+        for r in records {
+            let src = catalog.intern_host(r.tuple.src);
+            let dst = catalog.intern_host(r.tuple.dst);
+            first_seen
+                .entry(pack_edge(src, dst))
+                .and_modify(|t| *t = (*t).min(r.first_seen))
+                .or_insert(r.first_seen);
+        }
+        RecordIndex {
+            catalog,
+            first_seen,
+        }
+    }
+
+    /// Indexes records that are already interned through `catalog`,
+    /// which the index takes ownership of. This is the zero-rework path
+    /// for a model snapshot, which holds both halves at assembly time;
+    /// the edges are packed dense IDs, so no address is hashed.
+    pub fn of_interned(catalog: EntityCatalog, irecords: &[IRecord]) -> RecordIndex {
+        let mut first_seen: HashMap<u64, Timestamp> = HashMap::new();
+        for r in irecords {
+            first_seen
+                .entry(r.edge_key())
+                .and_modify(|t| *t = (*t).min(r.first_seen))
+                .or_insert(r.first_seen);
+        }
+        RecordIndex {
+            catalog,
+            first_seen,
+        }
+    }
+
+    /// Earliest record on `edge`, or `None` when no indexed record
+    /// connects the pair (including when either endpoint is unknown).
+    pub fn first_seen(&self, edge: &Edge) -> Option<Timestamp> {
+        let src = self.catalog.host_id(edge.src)?;
+        let dst = self.catalog.host_id(edge.dst)?;
+        self.first_seen.get(&pack_edge(src, dst)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{FlowTuple, HopReport};
+    use openflow::types::{IpProto, Xid};
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    fn record(src: u8, dst: u8, first_seen_us: u64) -> FlowRecord {
+        FlowRecord {
+            tuple: FlowTuple {
+                src: ip(src),
+                sport: 10_000,
+                dst: ip(dst),
+                dport: 80,
+                proto: IpProto::TCP,
+            },
+            first_seen: Timestamp::from_micros(first_seen_us),
+            hops: vec![HopReport {
+                ts: Timestamp::from_micros(first_seen_us),
+                dpid: DatapathId(1),
+                in_port: PortNo(1),
+                xid: Xid(1),
+                flow_mod_ts: None,
+                out_port: Some(PortNo(2)),
+            }],
+            byte_count: 100,
+            packet_count: 1,
+            duration_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn intern_resolve_round_trips() {
+        let mut c = EntityCatalog::new();
+        let a = c.intern_host(ip(1));
+        let b = c.intern_host(ip(2));
+        assert_ne!(a, b);
+        assert_eq!(c.intern_host(ip(1)), a, "re-interning is stable");
+        assert_eq!(c.host(a), ip(1));
+        assert_eq!(c.host(b), ip(2));
+        let sw = c.intern_switch(DatapathId(7));
+        let p = c.intern_port(sw, PortNo(3));
+        assert_eq!(c.switch(sw), DatapathId(7));
+        assert_eq!(c.port(p), (sw, PortNo(3)));
+        assert_eq!(c.port_addr(p), (DatapathId(7), PortNo(3)));
+        assert_eq!((c.n_hosts(), c.n_switches(), c.n_ports()), (2, 1, 1));
+    }
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let (s, d) = (HostId(3), HostId(u32::MAX));
+        assert_eq!(unpack_edge(pack_edge(s, d)), (s, d));
+        let (a, b) = (SwitchId(0), SwitchId(9));
+        assert_eq!(unpack_switch_pair(pack_switch_pair(a, b)), (a, b));
+        let (p, q) = (PortId(1), PortId(2));
+        assert_eq!(unpack_port_pair(pack_port_pair(p, q)), (p, q));
+    }
+
+    #[test]
+    fn intern_record_preserves_fields() {
+        let mut c = EntityCatalog::new();
+        let r = record(1, 2, 5_000);
+        let ir = c.intern_record(&r);
+        assert_eq!(c.host(ir.src), ip(1));
+        assert_eq!(c.host(ir.dst), ip(2));
+        assert_eq!(ir.first_seen, r.first_seen);
+        assert_eq!(ir.byte_count, r.byte_count);
+        assert_eq!(ir.hops.len(), 1);
+        let hop = &ir.hops[0];
+        assert_eq!(c.switch(hop.switch), DatapathId(1));
+        assert_eq!(c.port_addr(hop.in_port), (DatapathId(1), PortNo(1)));
+        assert_eq!(
+            c.port_addr(hop.out_port.unwrap()),
+            (DatapathId(1), PortNo(2))
+        );
+    }
+
+    #[test]
+    fn record_index_answers_min_first_seen_by_edge() {
+        let records = vec![
+            record(1, 2, 5_000),
+            record(1, 2, 2_000),
+            record(2, 1, 9_000),
+        ];
+        let idx = RecordIndex::of_records(&records);
+        let edge = |s: u8, d: u8| Edge {
+            src: ip(s),
+            dst: ip(d),
+        };
+        assert_eq!(
+            idx.first_seen(&edge(1, 2)),
+            Some(Timestamp::from_micros(2_000))
+        );
+        assert_eq!(
+            idx.first_seen(&edge(2, 1)),
+            Some(Timestamp::from_micros(9_000))
+        );
+        assert_eq!(idx.first_seen(&edge(1, 3)), None, "unknown endpoint");
+        assert_eq!(
+            RecordIndex::default().first_seen(&edge(1, 2)),
+            None,
+            "empty index knows nothing"
+        );
+    }
+
+    #[test]
+    fn interned_log_keeps_input_order() {
+        let records = vec![record(3, 4, 1), record(1, 2, 2)];
+        let il = InternedLog::of(&records);
+        assert_eq!(il.records.len(), 2);
+        assert_eq!(il.catalog.host(il.records[0].src), ip(3));
+        assert_eq!(il.catalog.host(il.records[1].src), ip(1));
+        assert_eq!(il.refs().len(), 2);
+    }
+}

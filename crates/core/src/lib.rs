@@ -49,6 +49,7 @@ pub mod config;
 pub mod diagnosis;
 pub mod diff;
 pub mod groups;
+pub mod ids;
 pub mod model;
 pub mod records;
 pub mod signatures;
@@ -65,6 +66,9 @@ pub mod prelude {
     };
     pub use crate::diff::{compare, EpochSnapshot, ModelDiff, OnlineDiffer};
     pub use crate::groups::{discover_groups, AppGroup, Edge};
+    pub use crate::ids::{
+        EntityCatalog, HostId, IRecord, InternedLog, PortId, RecordIndex, SwitchId,
+    };
     pub use crate::model::{BehaviorModel, GroupSignatures, IncrementalModelBuilder};
     pub use crate::records::{extract_records, FlowRecord, FlowTuple, RecordAssembler};
     pub use crate::signatures::{

@@ -24,7 +24,8 @@ use openflow::types::{DatapathId, Timestamp};
 use serde::{Deserialize, Serialize};
 
 use crate::config::FlowDiffConfig;
-use crate::groups::{discover_groups, AppGroup};
+use crate::groups::{discover_groups_interned, AppGroup};
+use crate::ids::{EntityCatalog, IRecord, RecordIndex};
 use crate::records::{FlowRecord, RecordAssembler};
 use crate::signatures::connectivity::ConnectivityGraph;
 use crate::signatures::correlation::PartialCorrelation;
@@ -56,7 +57,7 @@ pub struct GroupSignatures {
 /// The complete behavioral model of a data center over one log window
 /// (Section III): per-group application signatures plus the
 /// infrastructure signatures.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BehaviorModel {
     /// All extracted flow records, time-ordered.
     pub records: Vec<FlowRecord>,
@@ -72,6 +73,78 @@ pub struct BehaviorModel {
     pub utilization: LinkUtilization,
     /// The log's time window.
     pub span: (Timestamp, Timestamp),
+    /// The entity interner the model was built through. IDs are
+    /// process-local (assignment-order artifacts), so the catalog is
+    /// excluded from serialization, equality, and all rendered output —
+    /// it exists to resolve dense IDs and to answer entity-count /
+    /// memory-footprint queries.
+    pub catalog: EntityCatalog,
+    /// Edge-indexed view of `records` ("when did this `(src, dst)`
+    /// pair first appear?"), built once at assembly so the diff engine
+    /// never re-scans the record list. Derived data: excluded from
+    /// serialization and equality, like the catalog.
+    pub edge_index: RecordIndex,
+}
+
+/// Equality ignores the catalog: two models are the same model if every
+/// signature and record agrees, regardless of the interning order their
+/// catalogs happened to assign IDs in.
+impl PartialEq for BehaviorModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+            && self.groups == other.groups
+            && self.topology == other.topology
+            && self.latency == other.latency
+            && self.response == other.response
+            && self.utilization == other.utilization
+            && self.span == other.span
+    }
+}
+
+/// Hand-written (field-order) serialization that skips the catalog:
+/// the byte encoding is identical to the pre-interning derived one, and
+/// IDs never leave the process.
+impl Serialize for BehaviorModel {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.records.serialize(out);
+        self.groups.serialize(out);
+        self.topology.serialize(out);
+        self.latency.serialize(out);
+        self.response.serialize(out);
+        self.utilization.serialize(out);
+        self.span.serialize(out);
+    }
+}
+
+impl Deserialize for BehaviorModel {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, serde::Error> {
+        let records = Vec::<FlowRecord>::deserialize(input)?;
+        let groups = Vec::<GroupSignatures>::deserialize(input)?;
+        let topology = PhysicalTopology::deserialize(input)?;
+        let latency = InterSwitchLatency::deserialize(input)?;
+        let response = ControllerResponse::deserialize(input)?;
+        let utilization = LinkUtilization::deserialize(input)?;
+        let span = <(Timestamp, Timestamp)>::deserialize(input)?;
+        // Rebuild a catalog deterministically from the stored records:
+        // the IDs need not match the writer's (IDs are process-local),
+        // only cover every entity the records mention.
+        let mut catalog = EntityCatalog::new();
+        for record in &records {
+            catalog.intern_entities(record);
+        }
+        let edge_index = RecordIndex::of_records(&records);
+        Ok(BehaviorModel {
+            records,
+            groups,
+            topology,
+            latency,
+            response,
+            utilization,
+            span,
+            catalog,
+            edge_index,
+        })
+    }
 }
 
 /// Application signatures built per group, in task order.
@@ -99,15 +172,17 @@ enum Built {
 fn build_part(
     task: usize,
     groups: &[AppGroup],
-    group_records: &[Vec<&FlowRecord>],
-    all_records: &[&FlowRecord],
+    group_records: &[Vec<&IRecord>],
+    all_records: &[&IRecord],
+    catalog: &EntityCatalog,
     span: (Timestamp, Timestamp),
     config: &FlowDiffConfig,
 ) -> Built {
     let app_tasks = groups.len() * SIGS_PER_GROUP;
     if task < app_tasks {
         let (gi, si) = (task / SIGS_PER_GROUP, task % SIGS_PER_GROUP);
-        let inputs = SignatureInputs::new(&group_records[gi], span, config).with_group(&groups[gi]);
+        let inputs =
+            SignatureInputs::new(&group_records[gi], catalog, span, config).with_group(&groups[gi]);
         match si {
             0 => Built::Cg(ConnectivityGraph::build(&inputs)),
             1 => Built::Fs(FlowStatsSig::build(&inputs)),
@@ -116,7 +191,7 @@ fn build_part(
             _ => Built::Pc(PartialCorrelation::build(&inputs)),
         }
     } else {
-        let inputs = SignatureInputs::new(all_records, span, config);
+        let inputs = SignatureInputs::new(all_records, catalog, span, config);
         match task - app_tasks {
             0 => Built::Pt(PhysicalTopology::build(&inputs)),
             1 => Built::Isl(InterSwitchLatency::build(&inputs)),
@@ -146,17 +221,34 @@ fn assemble(
     config: &FlowDiffConfig,
     workers: usize,
 ) -> BehaviorModel {
-    let groups = discover_groups(&records, config);
-    let group_records: Vec<Vec<&FlowRecord>> = groups
+    // Intern the (sorted) records into a fresh catalog: one pass
+    // assigns every entity its dense ID and produces the records the
+    // signature builders consume. IDs are process-local, so nothing
+    // requires the assignment to be stable across snapshots.
+    let mut catalog = EntityCatalog::new();
+    let mut irecords: Vec<IRecord> = Vec::with_capacity(records.len());
+    irecords.extend(records.iter().map(|r| catalog.intern_record(r)));
+    let groups = discover_groups_interned(&irecords, &catalog, config);
+    let group_records: Vec<Vec<&IRecord>> = groups
         .iter()
-        .map(|g| g.record_indices.iter().map(|&i| &records[i]).collect())
+        .map(|g| g.record_indices.iter().map(|&i| &irecords[i]).collect())
         .collect();
-    let all_records: Vec<&FlowRecord> = records.iter().collect();
+    let all_records: Vec<&IRecord> = irecords.iter().collect();
     let n_tasks = groups.len() * SIGS_PER_GROUP + INFRA_SIGS;
 
     let built: Vec<Built> = if workers <= 1 {
         (0..n_tasks)
-            .map(|t| build_part(t, &groups, &group_records, &all_records, span, config))
+            .map(|t| {
+                build_part(
+                    t,
+                    &groups,
+                    &group_records,
+                    &all_records,
+                    &catalog,
+                    span,
+                    config,
+                )
+            })
             .collect()
     } else {
         let next = AtomicUsize::new(0);
@@ -164,14 +256,15 @@ fn assemble(
         std::thread::scope(|s| {
             for _ in 0..workers.min(n_tasks) {
                 let tx = tx.clone();
-                let (next, groups, group_records, all_records) =
-                    (&next, &groups, &group_records, &all_records);
+                let (next, groups, group_records, all_records, catalog) =
+                    (&next, &groups, &group_records, &all_records, &catalog);
                 s.spawn(move || loop {
                     let t = next.fetch_add(1, Ordering::Relaxed);
                     if t >= n_tasks {
                         break;
                     }
-                    let part = build_part(t, groups, group_records, all_records, span, config);
+                    let part =
+                        build_part(t, groups, group_records, all_records, catalog, span, config);
                     if tx.send((t, part)).is_err() {
                         break;
                     }
@@ -230,6 +323,7 @@ fn assemble(
         unreachable!("task order: CRT last")
     };
 
+    let edge_index = RecordIndex::of_interned(catalog.clone(), &irecords);
     BehaviorModel {
         records,
         groups: group_sigs,
@@ -238,6 +332,8 @@ fn assemble(
         response,
         utilization: LinkUtilization::default(),
         span,
+        catalog,
+        edge_index,
     }
 }
 
@@ -285,7 +381,9 @@ impl IncrementalModelBuilder {
         }
     }
 
-    /// Folds one completed flow record into the model state.
+    /// Folds one completed flow record into the model state. Entity
+    /// interning happens per snapshot (IDs are process-local), so
+    /// ingest is a plain push.
     pub fn observe_record(&mut self, record: FlowRecord) {
         self.records.push(record);
     }
@@ -371,7 +469,7 @@ impl IncrementalModelBuilder {
             .topology
             .live_switches
             .extend(self.live.keys().copied());
-        model.utilization = self.lu.finalize();
+        model.utilization = self.lu.finalize(&model.catalog);
         model
     }
 }
@@ -437,6 +535,13 @@ impl BehaviorModel {
     /// The group containing `ip` as a member, if any.
     pub fn group_of(&self, ip: std::net::Ipv4Addr) -> Option<&GroupSignatures> {
         self.groups.iter().find(|g| g.group.members.contains(&ip))
+    }
+
+    /// Approximate in-memory footprint of the model in bytes: the
+    /// serialized size of the address-keyed signature state plus the
+    /// heap footprint of the (unserialized) entity catalog.
+    pub fn approx_bytes(&self) -> usize {
+        serde::to_vec(self).len() + self.catalog.approx_bytes()
     }
 }
 

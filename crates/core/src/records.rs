@@ -6,7 +6,7 @@
 //! path, the `FlowMod` replies, and the final counters from
 //! `FlowRemoved`.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -168,9 +168,11 @@ pub struct RecordAssembler {
     seen_mods: HashMap<Xid, (Timestamp, Option<PortNo>)>,
     /// xid -> hops still waiting for that FlowMod.
     pending_mods: HashMap<Xid, Vec<PendingHop>>,
-    /// Open episodes per tuple, oldest first. BTreeMap so any
-    /// whole-state iteration is deterministic.
-    open: BTreeMap<FlowTuple, Vec<OpenEpisode>>,
+    /// Open episodes per tuple, oldest first. A flat hash map: every
+    /// consumer of whole-state iteration (`finish`, the snapshot path)
+    /// sorts by `(first_seen, tuple)` afterwards, so map order never
+    /// reaches an output.
+    open: HashMap<FlowTuple, Vec<OpenEpisode>>,
     next_seq: u64,
     completed: Vec<FlowRecord>,
     now: Timestamp,
@@ -186,7 +188,7 @@ impl RecordAssembler {
             horizon_us: config.partial_flow_timeout_us.max(config.episode_gap_us),
             seen_mods: HashMap::new(),
             pending_mods: HashMap::new(),
-            open: BTreeMap::new(),
+            open: HashMap::new(),
             next_seq: 0,
             completed: Vec::new(),
             now: Timestamp::ZERO,

@@ -4,15 +4,14 @@
 //! Robust to workload changes: the edge set depends only on the
 //! application's internal structure.
 
-use std::collections::BTreeSet;
-use std::net::Ipv4Addr;
+use std::collections::{BTreeSet, HashSet};
 
 use openflow::types::Timestamp;
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
-use crate::records::FlowRecord;
+use crate::ids::{EntityCatalog, IRecord};
 use crate::signatures::{
     DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
 };
@@ -52,34 +51,44 @@ pub struct CgChange {
 /// one special node become service edges, special-to-special traffic is
 /// ignored. For a group's own records this reproduces the group's edge
 /// sets precisely.
+///
+/// Hot-path state is dense: a per-host special flag indexed by
+/// [`crate::ids::HostId`] and packed-edge hash sets, resolved back to
+/// address-keyed `BTreeSet`s only at `finalize`.
 #[derive(Debug, Clone, Default)]
 pub struct CgBuilder {
-    special_ips: BTreeSet<Ipv4Addr>,
-    edges: BTreeSet<Edge>,
-    service_edges: BTreeSet<Edge>,
+    special: Vec<bool>,
+    edges: HashSet<u64>,
+    service_edges: HashSet<u64>,
 }
 
 impl SignatureBuilder for CgBuilder {
     type Output = ConnectivityGraph;
 
-    fn observe(&mut self, record: &FlowRecord) {
-        let (s, d) = (record.tuple.src, record.tuple.dst);
-        let edge = Edge { src: s, dst: d };
-        match (self.special_ips.contains(&s), self.special_ips.contains(&d)) {
+    fn observe(&mut self, record: &IRecord) {
+        let key = record.edge_key();
+        match (
+            self.special[record.src.index()],
+            self.special[record.dst.index()],
+        ) {
             (false, false) => {
-                self.edges.insert(edge);
+                self.edges.insert(key);
             }
             (true, true) => {} // service-to-service traffic: not an app flow
             _ => {
-                self.service_edges.insert(edge);
+                self.service_edges.insert(key);
             }
         }
     }
 
-    fn finalize(&self) -> ConnectivityGraph {
+    fn finalize(&self, catalog: &EntityCatalog) -> ConnectivityGraph {
         ConnectivityGraph {
-            edges: self.edges.clone(),
-            service_edges: self.service_edges.clone(),
+            edges: self.edges.iter().map(|&k| catalog.edge(k)).collect(),
+            service_edges: self
+                .service_edges
+                .iter()
+                .map(|&k| catalog.edge(k))
+                .collect(),
         }
     }
 }
@@ -91,9 +100,14 @@ impl Signature for ConnectivityGraph {
 
     fn builder(inputs: &SignatureInputs<'_>) -> CgBuilder {
         CgBuilder {
-            special_ips: inputs.config.special_ips.clone(),
-            edges: BTreeSet::new(),
-            service_edges: BTreeSet::new(),
+            special: inputs
+                .catalog
+                .hosts()
+                .iter()
+                .map(|&ip| inputs.config.is_special(ip))
+                .collect(),
+            edges: HashSet::new(),
+            service_edges: HashSet::new(),
         }
     }
 
@@ -108,13 +122,7 @@ impl Signature for ConnectivityGraph {
     fn diff(&self, current: &Self, ctx: &DiffCtx<'_>) -> Vec<CgChange> {
         let ref_all: BTreeSet<Edge> = self.all_edges().copied().collect();
         let cur_all: BTreeSet<Edge> = current.all_edges().copied().collect();
-        let first_seen_of = |e: &Edge| {
-            ctx.current_records
-                .iter()
-                .filter(|r| r.tuple.src == e.src && r.tuple.dst == e.dst)
-                .map(|r| r.first_seen)
-                .min()
-        };
+        let first_seen_of = |e: &Edge| ctx.records.first_seen(e);
         let mut out: Vec<CgChange> = cur_all
             .difference(&ref_all)
             .map(|e| CgChange {
@@ -184,6 +192,7 @@ impl Signature for ConnectivityGraph {
 mod tests {
     use super::*;
     use crate::config::FlowDiffConfig;
+    use crate::ids::RecordIndex;
     use crate::records::{FlowRecord, FlowTuple};
     use openflow::types::IpProto;
     use std::net::Ipv4Addr;
@@ -229,11 +238,12 @@ mod tests {
         records: &[FlowRecord],
     ) -> Vec<CgChange> {
         let config = FlowDiffConfig::default();
+        let index = RecordIndex::of_records(records);
         reference.diff(
             current,
             &DiffCtx {
                 config: &config,
-                current_records: records,
+                records: &index,
             },
         )
     }
@@ -307,7 +317,9 @@ mod tests {
     #[test]
     fn build_without_group_is_empty() {
         let config = FlowDiffConfig::default();
-        let inputs = SignatureInputs::new(&[], (Timestamp::ZERO, Timestamp::ZERO), &config);
+        let catalog = EntityCatalog::new();
+        let inputs =
+            SignatureInputs::new(&[], &catalog, (Timestamp::ZERO, Timestamp::ZERO), &config);
         let g = ConnectivityGraph::build(&inputs);
         assert!(g.edges.is_empty() && g.service_edges.is_empty());
     }
@@ -317,9 +329,10 @@ mod tests {
         let reference = cg(&[edge(1, 2), edge(2, 3)]);
         let current = cg(&[edge(1, 2)]);
         let config = FlowDiffConfig::default();
+        let index = RecordIndex::default();
         let ctx = DiffCtx {
             config: &config,
-            current_records: &[],
+            records: &index,
         };
         let unstable = StabilityMask::whole(SignatureKind::Cg, false);
         assert!(reference.tagged_diff(&current, &ctx, &unstable).is_empty());

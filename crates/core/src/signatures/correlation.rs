@@ -5,13 +5,13 @@
 //! series, and adjacent edges' series are correlated with Pearson's
 //! coefficient (Section III-B).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
-use crate::records::FlowRecord;
+use crate::ids::{EntityCatalog, IRecord};
 use crate::signatures::delay::EdgePair;
 use crate::signatures::{
     DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
@@ -52,29 +52,35 @@ pub struct PcBuilder {
     end: u64,
     epochs: usize,
     epoch_us: u64,
-    series: BTreeMap<Edge, Vec<f64>>,
+    series: HashMap<u64, Vec<f64>>,
 }
 
 impl SignatureBuilder for PcBuilder {
     type Output = PartialCorrelation;
 
-    fn observe(&mut self, record: &FlowRecord) {
+    fn observe(&mut self, record: &IRecord) {
         let t = record.first_seen.as_micros();
         if t < self.start || t >= self.end {
             return;
         }
-        let edge = Edge {
-            src: record.tuple.src,
-            dst: record.tuple.dst,
-        };
         let idx = ((t - self.start) / self.epoch_us) as usize;
         let epochs = self.epochs;
-        let s = self.series.entry(edge).or_insert_with(|| vec![0.0; epochs]);
+        let s = self
+            .series
+            .entry(record.edge_key())
+            .or_insert_with(|| vec![0.0; epochs]);
         s[idx.min(epochs - 1)] += 1.0;
     }
 
-    fn finalize(&self) -> PartialCorrelation {
-        let edges: Vec<Edge> = self.series.keys().copied().collect();
+    fn finalize(&self, catalog: &EntityCatalog) -> PartialCorrelation {
+        // Resolve to address-keyed series so the pairing loop visits
+        // edges in address order, independent of interning order.
+        let series: BTreeMap<Edge, &Vec<f64>> = self
+            .series
+            .iter()
+            .map(|(&key, s)| (catalog.edge(key), s))
+            .collect();
+        let edges: Vec<Edge> = series.keys().copied().collect();
         let mut per_pair = BTreeMap::new();
         for in_edge in &edges {
             for out_edge in &edges {
@@ -84,7 +90,7 @@ impl SignatureBuilder for PcBuilder {
                 if in_edge.src == out_edge.dst && in_edge.dst == out_edge.src {
                     continue;
                 }
-                if let Some(r) = pearson(&self.series[in_edge], &self.series[out_edge]) {
+                if let Some(r) = pearson(series[in_edge], series[out_edge]) {
                     per_pair.insert((*in_edge, *out_edge), r);
                 }
             }
@@ -106,7 +112,7 @@ impl Signature for PartialCorrelation {
             end,
             epochs: ((end - start).div_ceil(inputs.config.epoch_us)).max(1) as usize,
             epoch_us: inputs.config.epoch_us,
-            series: BTreeMap::new(),
+            series: HashMap::new(),
         }
     }
 
@@ -186,6 +192,7 @@ impl Signature for PartialCorrelation {
 mod tests {
     use super::*;
     use crate::config::FlowDiffConfig;
+    use crate::ids::{InternedLog, RecordIndex};
     use crate::records::{FlowRecord, FlowTuple};
     use openflow::types::{IpProto, Timestamp};
     use std::net::Ipv4Addr;
@@ -238,9 +245,9 @@ mod tests {
     }
 
     fn build_pc(records: &[FlowRecord], sp: (Timestamp, Timestamp)) -> PartialCorrelation {
-        let refs: Vec<&FlowRecord> = records.iter().collect();
+        let il = InternedLog::of(records);
         let config = FlowDiffConfig::default();
-        PartialCorrelation::build(&SignatureInputs::new(&refs, sp, &config))
+        PartialCorrelation::build(&SignatureInputs::new(&il.refs(), &il.catalog, sp, &config))
     }
 
     fn pc_of(records: &[FlowRecord]) -> PartialCorrelation {
@@ -249,11 +256,12 @@ mod tests {
 
     fn diff_pc(a: &PartialCorrelation, b: &PartialCorrelation) -> Vec<PcChange> {
         let config = FlowDiffConfig::default();
+        let index = RecordIndex::default();
         a.diff(
             b,
             &DiffCtx {
                 config: &config,
-                current_records: &[],
+                records: &index,
             },
         )
     }

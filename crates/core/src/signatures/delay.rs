@@ -6,13 +6,13 @@
 //! of the distribution expose the node's processing time; peak shifts
 //! reveal overload, logging misconfigurations, or congestion.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
-use crate::records::FlowRecord;
+use crate::ids::{EntityCatalog, IRecord};
 use crate::signatures::{
     DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
 };
@@ -67,28 +67,33 @@ pub struct DdChange {
 pub struct DdBuilder {
     dd_bin_us: u64,
     dd_window_us: u64,
-    per_edge: BTreeMap<Edge, Vec<u64>>,
+    per_edge: HashMap<u64, Vec<u64>>,
 }
 
 impl SignatureBuilder for DdBuilder {
     type Output = DelayDistribution;
 
-    fn observe(&mut self, record: &FlowRecord) {
+    fn observe(&mut self, record: &IRecord) {
         self.per_edge
-            .entry(Edge {
-                src: record.tuple.src,
-                dst: record.tuple.dst,
-            })
+            .entry(record.edge_key())
             .or_default()
             .push(record.first_seen.as_micros());
     }
 
-    fn finalize(&self) -> DelayDistribution {
-        // Arrivals per edge, sorted by time.
-        let mut per_edge = self.per_edge.clone();
-        for times in per_edge.values_mut() {
-            times.sort_unstable();
-        }
+    fn finalize(&self, catalog: &EntityCatalog) -> DelayDistribution {
+        // Arrivals per edge, resolved to addresses and sorted by time.
+        // The pairing loop below iterates edges in address order (as the
+        // address-keyed builder always did), keeping its output
+        // independent of interning order.
+        let per_edge: BTreeMap<Edge, Vec<u64>> = self
+            .per_edge
+            .iter()
+            .map(|(&key, times)| {
+                let mut times = times.clone();
+                times.sort_unstable();
+                (catalog.edge(key), times)
+            })
+            .collect();
 
         let edges: Vec<Edge> = per_edge.keys().copied().collect();
         let mut per_pair = BTreeMap::new();
@@ -150,7 +155,7 @@ impl Signature for DelayDistribution {
         DdBuilder {
             dd_bin_us: inputs.config.dd_bin_us,
             dd_window_us: inputs.config.dd_window_us,
-            per_edge: BTreeMap::new(),
+            per_edge: HashMap::new(),
         }
     }
 
@@ -262,6 +267,7 @@ impl Signature for DelayDistribution {
 mod tests {
     use super::*;
     use crate::config::FlowDiffConfig;
+    use crate::ids::{InternedLog, RecordIndex};
     use crate::records::{FlowRecord, FlowTuple};
     use openflow::types::{IpProto, Timestamp};
     use std::net::Ipv4Addr;
@@ -305,10 +311,11 @@ mod tests {
     }
 
     fn dd_of(records: &[FlowRecord]) -> DelayDistribution {
-        let refs: Vec<&FlowRecord> = records.iter().collect();
+        let il = InternedLog::of(records);
         let config = FlowDiffConfig::default();
         DelayDistribution::build(&SignatureInputs::new(
-            &refs,
+            &il.refs(),
+            &il.catalog,
             (Timestamp::ZERO, Timestamp::ZERO),
             &config,
         ))
@@ -316,11 +323,12 @@ mod tests {
 
     fn diff_dd(a: &DelayDistribution, b: &DelayDistribution) -> Vec<DdChange> {
         let config = FlowDiffConfig::default();
+        let index = RecordIndex::default();
         a.diff(
             b,
             &DiffCtx {
                 config: &config,
-                current_records: &[],
+                records: &index,
             },
         )
     }
@@ -416,9 +424,10 @@ mod tests {
         let base = dd_of(&chain(100, 60_000, 50_000));
         let slowed = dd_of(&chain(100, 160_000, 50_000));
         let config = FlowDiffConfig::default();
+        let index = RecordIndex::default();
         let ctx = DiffCtx {
             config: &config,
-            current_records: &[],
+            records: &index,
         };
         let stable = base.stable_mask();
         assert_eq!(base.tagged_diff(&slowed, &ctx, &stable).len(), 1);

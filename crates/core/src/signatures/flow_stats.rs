@@ -4,13 +4,13 @@
 //! `FlowRemoved` counters), and flow arrival rates, overall and per edge
 //! (Section III-B).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
-use crate::records::FlowRecord;
+use crate::ids::{EntityCatalog, IRecord};
 use crate::signatures::{
     DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
 };
@@ -85,32 +85,29 @@ pub struct FsBuilder {
     bytes: Vec<f64>,
     packets: Vec<f64>,
     durations: Vec<f64>,
-    /// Per-edge raw samples: (flow count, byte samples, duration samples).
-    per_edge: BTreeMap<Edge, (usize, Vec<f64>, Vec<f64>)>,
+    /// Per-edge raw samples keyed by packed edge: (flow count, byte
+    /// samples, duration samples). Sample order within an edge is
+    /// observation order, so the per-edge summary math is independent
+    /// of the map type.
+    per_edge: HashMap<u64, (usize, Vec<f64>, Vec<f64>)>,
 }
 
 impl SignatureBuilder for FsBuilder {
     type Output = FlowStatsSig;
 
-    fn observe(&mut self, record: &FlowRecord) {
+    fn observe(&mut self, record: &IRecord) {
         let b = record.byte_count as f64;
         let d = record.duration_s;
         self.bytes.push(b);
         self.packets.push(record.packet_count as f64);
         self.durations.push(d);
-        let entry = self
-            .per_edge
-            .entry(Edge {
-                src: record.tuple.src,
-                dst: record.tuple.dst,
-            })
-            .or_default();
+        let entry = self.per_edge.entry(record.edge_key()).or_default();
         entry.0 += 1;
         entry.1.push(b);
         entry.2.push(d);
     }
 
-    fn finalize(&self) -> FlowStatsSig {
+    fn finalize(&self, catalog: &EntityCatalog) -> FlowStatsSig {
         FlowStatsSig {
             flow_count: self.bytes.len(),
             flows_per_sec: self.bytes.len() as f64 / self.span_s,
@@ -120,9 +117,9 @@ impl SignatureBuilder for FsBuilder {
             per_edge: self
                 .per_edge
                 .iter()
-                .map(|(e, (n, b, d))| {
+                .map(|(&key, (n, b, d))| {
                     (
-                        *e,
+                        catalog.edge(key),
                         EdgeStats {
                             flow_count: *n,
                             bytes: MeanStd::of(b),
@@ -274,7 +271,8 @@ impl Signature for FlowStatsSig {
 mod tests {
     use super::*;
     use crate::config::FlowDiffConfig;
-    use crate::records::FlowTuple;
+    use crate::ids::{InternedLog, RecordIndex};
+    use crate::records::{FlowRecord, FlowTuple};
     use openflow::types::{IpProto, Timestamp};
     use std::net::Ipv4Addr;
 
@@ -300,9 +298,14 @@ mod tests {
     }
 
     fn build_fs(records: &[FlowRecord]) -> FlowStatsSig {
-        let refs: Vec<&FlowRecord> = records.iter().collect();
+        let il = InternedLog::of(records);
         let config = FlowDiffConfig::default();
-        FlowStatsSig::build(&SignatureInputs::new(&refs, span(), &config))
+        FlowStatsSig::build(&SignatureInputs::new(
+            &il.refs(),
+            &il.catalog,
+            span(),
+            &config,
+        ))
     }
 
     fn diff_fs(a: &FlowStatsSig, b: &FlowStatsSig, threshold: f64) -> Vec<FsChange> {
@@ -310,11 +313,12 @@ mod tests {
             fs_rel_change: threshold,
             ..FlowDiffConfig::default()
         };
+        let index = RecordIndex::default();
         a.diff(
             b,
             &DiffCtx {
                 config: &config,
-                current_records: &[],
+                records: &index,
             },
         )
     }

@@ -12,14 +12,17 @@
 //!   *i + 1* estimates the latency between them;
 //! * CRT — the gap between a `PacketIn` and its paired `FlowMod`.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 use openflow::types::{DatapathId, PortNo};
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
-use crate::records::FlowRecord;
+use crate::ids::{
+    pack_port_pair, pack_switch_pair, unpack_port_pair, unpack_switch_pair, EntityCatalog, HostId,
+    IRecord, PortId, SwitchId,
+};
 use crate::signatures::{DiffCtx, Signature, SignatureBuilder, SignatureInputs};
 use crate::stats::MeanStd;
 
@@ -69,40 +72,57 @@ pub enum PtChange {
     SwitchVanished(DatapathId),
 }
 
-/// Incremental PT accumulator: the topology's sets and first-wins
-/// attachment map grow monotonically, so the signature is its own
-/// running state.
+/// Incremental PT accumulator: dense sets and a first-wins attachment
+/// map, all monotone. A [`PortId`] already names its switch, so one
+/// packed port pair captures a whole adjacency; everything resolves
+/// back to addresses at `finalize`.
 #[derive(Debug, Clone, Default)]
 pub struct PtBuilder {
-    topology: PhysicalTopology,
+    live: HashSet<SwitchId>,
+    attachment: HashMap<HostId, PortId>,
+    adjacencies: HashSet<u64>,
 }
 
 impl SignatureBuilder for PtBuilder {
     type Output = PhysicalTopology;
 
-    fn observe(&mut self, record: &FlowRecord) {
-        let t = &mut self.topology;
-        t.live_switches.extend(record.hops.iter().map(|h| h.dpid));
+    fn observe(&mut self, record: &IRecord) {
+        self.live.extend(record.hops.iter().map(|h| h.switch));
         if let Some(first) = record.hops.first() {
-            t.host_attachment
-                .entry(record.tuple.src)
-                .or_insert((first.dpid, first.in_port));
+            self.attachment.entry(record.src).or_insert(first.in_port);
         }
         for w in record.hops.windows(2) {
             let (a, b) = (&w[0], &w[1]);
             if let Some(out_port) = a.out_port {
-                t.adjacencies.insert(SwitchAdjacency {
-                    from: a.dpid,
-                    from_port: out_port,
-                    to: b.dpid,
-                    to_port: b.in_port,
-                });
+                self.adjacencies.insert(pack_port_pair(out_port, b.in_port));
             }
         }
     }
 
-    fn finalize(&self) -> PhysicalTopology {
-        self.topology.clone()
+    fn finalize(&self, catalog: &EntityCatalog) -> PhysicalTopology {
+        PhysicalTopology {
+            adjacencies: self
+                .adjacencies
+                .iter()
+                .map(|&key| {
+                    let (from, to) = unpack_port_pair(key);
+                    let (from_sw, from_port) = catalog.port_addr(from);
+                    let (to_sw, to_port) = catalog.port_addr(to);
+                    SwitchAdjacency {
+                        from: from_sw,
+                        from_port,
+                        to: to_sw,
+                        to_port,
+                    }
+                })
+                .collect(),
+            host_attachment: self
+                .attachment
+                .iter()
+                .map(|(&host, &port)| (catalog.host(host), catalog.port_addr(port)))
+                .collect(),
+            live_switches: self.live.iter().map(|&sw| catalog.switch(sw)).collect(),
+        }
     }
 }
 
@@ -223,17 +243,18 @@ pub struct IslChange {
 }
 
 /// Incremental ISL accumulator (Figure 3: `t3 - t2` per consecutive
-/// hop pair). Samples accumulate in a `BTreeMap` so no hash-iteration
-/// order can reach the output.
+/// hop pair). Samples accumulate per packed switch pair; within a pair
+/// they stay in observation order, so the summary is independent of
+/// hash-iteration order.
 #[derive(Debug, Clone, Default)]
 pub struct IslBuilder {
-    samples: BTreeMap<(DatapathId, DatapathId), Vec<f64>>,
+    samples: HashMap<u64, Vec<f64>>,
 }
 
 impl SignatureBuilder for IslBuilder {
     type Output = InterSwitchLatency;
 
-    fn observe(&mut self, record: &FlowRecord) {
+    fn observe(&mut self, record: &IRecord) {
         for w in record.hops.windows(2) {
             let (a, b) = (&w[0], &w[1]);
             let Some(fm_ts) = a.flow_mod_ts else {
@@ -241,19 +262,22 @@ impl SignatureBuilder for IslBuilder {
             };
             if b.ts >= fm_ts {
                 self.samples
-                    .entry((a.dpid, b.dpid))
+                    .entry(pack_switch_pair(a.switch, b.switch))
                     .or_default()
                     .push((b.ts.as_micros() - fm_ts.as_micros()) as f64);
             }
         }
     }
 
-    fn finalize(&self) -> InterSwitchLatency {
+    fn finalize(&self, catalog: &EntityCatalog) -> InterSwitchLatency {
         InterSwitchLatency {
             per_pair: self
                 .samples
                 .iter()
-                .map(|(k, v)| (*k, MeanStd::of(v)))
+                .map(|(&key, v)| {
+                    let (a, b) = unpack_switch_pair(key);
+                    ((catalog.switch(a), catalog.switch(b)), MeanStd::of(v))
+                })
                 .collect(),
         }
     }
@@ -358,25 +382,26 @@ pub struct CrtChange {
 }
 
 /// Incremental CRT accumulator (Figure 3: `t2 - t1` per `PacketIn`).
-/// Samples accumulate in a `BTreeMap` so no hash-iteration order can
-/// reach the output.
+/// The overall series keeps observation order; per-switch series are
+/// keyed by dense [`SwitchId`] and summarized per key, so no
+/// hash-iteration order can reach the output.
 #[derive(Debug, Clone, Default)]
 pub struct CrtBuilder {
     all: Vec<f64>,
-    per_switch: BTreeMap<DatapathId, Vec<f64>>,
+    per_switch: HashMap<SwitchId, Vec<f64>>,
     unanswered: usize,
 }
 
 impl SignatureBuilder for CrtBuilder {
     type Output = ControllerResponse;
 
-    fn observe(&mut self, record: &FlowRecord) {
+    fn observe(&mut self, record: &IRecord) {
         for h in &record.hops {
             match h.flow_mod_ts {
                 Some(fm_ts) if fm_ts >= h.ts => {
                     let d = (fm_ts.as_micros() - h.ts.as_micros()) as f64;
                     self.all.push(d);
-                    self.per_switch.entry(h.dpid).or_default().push(d);
+                    self.per_switch.entry(h.switch).or_default().push(d);
                 }
                 Some(_) => {}
                 None => self.unanswered += 1,
@@ -384,7 +409,7 @@ impl SignatureBuilder for CrtBuilder {
         }
     }
 
-    fn finalize(&self) -> ControllerResponse {
+    fn finalize(&self, catalog: &EntityCatalog) -> ControllerResponse {
         ControllerResponse {
             answered: self.all.len(),
             unanswered: self.unanswered,
@@ -392,7 +417,7 @@ impl SignatureBuilder for CrtBuilder {
             per_switch: self
                 .per_switch
                 .iter()
-                .map(|(k, v)| (*k, MeanStd::of(v)))
+                .map(|(&sw, v)| (catalog.switch(sw), MeanStd::of(v)))
                 .collect(),
         }
     }
@@ -472,6 +497,7 @@ impl Signature for ControllerResponse {
 mod tests {
     use super::*;
     use crate::config::FlowDiffConfig;
+    use crate::ids::{InternedLog, RecordIndex};
     use crate::records::{extract_records, FlowRecord};
     use netsim::config::SimConfig;
     use netsim::engine::Simulation;
@@ -515,10 +541,11 @@ mod tests {
     }
 
     fn sig_of<S: Signature>(records: &[FlowRecord]) -> S {
-        let refs: Vec<&FlowRecord> = records.iter().collect();
+        let il = InternedLog::of(records);
         let config = FlowDiffConfig::default();
         S::build(&SignatureInputs::new(
-            &refs,
+            &il.refs(),
+            &il.catalog,
             (Timestamp::ZERO, Timestamp::ZERO),
             &config,
         ))
@@ -526,11 +553,12 @@ mod tests {
 
     fn diff_of<S: Signature>(a: &S, b: &S) -> Vec<S::Change> {
         let config = FlowDiffConfig::default();
+        let index = RecordIndex::default();
         a.diff(
             b,
             &DiffCtx {
                 config: &config,
-                current_records: &[],
+                records: &index,
             },
         )
     }

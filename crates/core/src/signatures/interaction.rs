@@ -5,14 +5,14 @@
 //! Compared across logs with a χ² fitness test on the flow-count
 //! distributions (Section IV-A).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
-use crate::records::FlowRecord;
+use crate::ids::{EntityCatalog, IRecord};
 use crate::signatures::{
     DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
 };
@@ -58,36 +58,37 @@ pub struct CiChange {
     pub chi2: f64,
 }
 
-/// Incremental CI accumulator: the per-node edge counts are integers,
-/// so the signature itself is the running state.
+/// Incremental CI accumulator: one packed-edge flow counter; the
+/// per-node fan-out (each edge counted under both endpoints) happens at
+/// `finalize`, where IDs resolve back to addresses.
 #[derive(Debug, Clone, Default)]
 pub struct CiBuilder {
-    per_node: BTreeMap<Ipv4Addr, NodeInteraction>,
+    edge_counts: HashMap<u64, u64>,
 }
 
 impl SignatureBuilder for CiBuilder {
     type Output = ComponentInteraction;
 
-    fn observe(&mut self, record: &FlowRecord) {
-        let edge = Edge {
-            src: record.tuple.src,
-            dst: record.tuple.dst,
-        };
-        for node in [record.tuple.src, record.tuple.dst] {
-            *self
-                .per_node
-                .entry(node)
-                .or_default()
-                .edge_counts
-                .entry(edge)
-                .or_insert(0) += 1;
-        }
+    fn observe(&mut self, record: &IRecord) {
+        *self.edge_counts.entry(record.edge_key()).or_insert(0) += 1;
     }
 
-    fn finalize(&self) -> ComponentInteraction {
-        ComponentInteraction {
-            per_node: self.per_node.clone(),
+    fn finalize(&self, catalog: &EntityCatalog) -> ComponentInteraction {
+        let mut per_node: BTreeMap<Ipv4Addr, NodeInteraction> = BTreeMap::new();
+        for (&key, &count) in &self.edge_counts {
+            let edge = catalog.edge(key);
+            // Count the edge under both endpoints; a self-edge counts
+            // twice under its single node, as it always has.
+            for node in [edge.src, edge.dst] {
+                *per_node
+                    .entry(node)
+                    .or_default()
+                    .edge_counts
+                    .entry(edge)
+                    .or_insert(0) += count;
+            }
         }
+        ComponentInteraction { per_node }
     }
 }
 
@@ -201,6 +202,7 @@ pub fn node_chi2(
 mod tests {
     use super::*;
     use crate::config::FlowDiffConfig;
+    use crate::ids::{InternedLog, RecordIndex};
     use crate::records::{FlowRecord, FlowTuple};
     use openflow::types::{IpProto, Timestamp};
 
@@ -232,10 +234,11 @@ mod tests {
     }
 
     fn build_ci(rs: &[FlowRecord]) -> ComponentInteraction {
-        let refs: Vec<&FlowRecord> = rs.iter().collect();
+        let il = InternedLog::of(rs);
         let config = FlowDiffConfig::default();
         ComponentInteraction::build(&SignatureInputs::new(
-            &refs,
+            &il.refs(),
+            &il.catalog,
             (Timestamp::ZERO, Timestamp::ZERO),
             &config,
         ))
@@ -243,11 +246,12 @@ mod tests {
 
     fn diff_ci(a: &ComponentInteraction, b: &ComponentInteraction) -> Vec<CiChange> {
         let config = FlowDiffConfig::default();
+        let index = RecordIndex::default();
         a.diff(
             b,
             &DiffCtx {
                 config: &config,
-                current_records: &[],
+                records: &index,
             },
         )
     }
@@ -315,9 +319,10 @@ mod tests {
         let ci_a = build_ci(&records(&[(1, 2, 50), (2, 3, 50)]));
         let ci_b = build_ci(&records(&[(1, 2, 50), (2, 3, 5)]));
         let config = FlowDiffConfig::default();
+        let index = RecordIndex::default();
         let ctx = DiffCtx {
             config: &config,
-            current_records: &[],
+            records: &index,
         };
         // All shifted nodes stable: every change survives.
         let all = ci_a.tagged_diff(&ci_b, &ctx, &ci_a.stable_mask());

@@ -34,7 +34,7 @@ use serde::{Deserialize, Serialize};
 use crate::change::{Change, Locus, SignatureKind};
 use crate::config::FlowDiffConfig;
 use crate::groups::AppGroup;
-use crate::records::FlowRecord;
+use crate::ids::{EntityCatalog, IRecord, RecordIndex};
 use netsim::log::{ControlEvent, ControllerLog};
 
 /// Everything a signature may need to build itself. Each signature picks
@@ -47,7 +47,11 @@ pub struct SignatureInputs<'a> {
     pub group: Option<&'a AppGroup>,
     /// The records to build from: the group's records for application
     /// signatures, every record in the log for infrastructure ones.
-    pub records: &'a [&'a FlowRecord],
+    /// Already interned through `catalog`.
+    pub records: &'a [&'a IRecord],
+    /// The catalog the records were interned through. Builders resolve
+    /// IDs back to addresses through it at `finalize` time.
+    pub catalog: &'a EntityCatalog,
     /// The log's time window.
     pub span: (Timestamp, Timestamp),
     /// Thresholds and domain knowledge.
@@ -57,15 +61,18 @@ pub struct SignatureInputs<'a> {
 }
 
 impl<'a> SignatureInputs<'a> {
-    /// Inputs with records, span, and config — the common case.
+    /// Inputs with records, their catalog, span, and config — the
+    /// common case.
     pub fn new(
-        records: &'a [&'a FlowRecord],
+        records: &'a [&'a IRecord],
+        catalog: &'a EntityCatalog,
         span: (Timestamp, Timestamp),
         config: &'a FlowDiffConfig,
     ) -> Self {
         SignatureInputs {
             group: None,
             records,
+            catalog,
             span,
             config,
             log: None,
@@ -92,9 +99,11 @@ impl<'a> SignatureInputs<'a> {
 pub struct DiffCtx<'a> {
     /// Thresholds (χ², σ multiples, relative-change bounds, …).
     pub config: &'a FlowDiffConfig,
-    /// The current log's records. CG uses them to distinguish an edge
-    /// that truly vanished from one that merely moved to another group.
-    pub current_records: &'a [FlowRecord],
+    /// An edge index over the current log's records. CG uses it to
+    /// distinguish an edge that truly vanished from one that merely
+    /// moved to another group, and to stamp new edges with their first
+    /// appearance.
+    pub records: &'a RecordIndex,
 }
 
 /// Context for judging one signature's stability across interval models.
@@ -168,20 +177,26 @@ impl StabilityMask {
 /// math (means, histogram peaks, correlations) only in `finalize`:
 /// f64 accumulation is order-sensitive, and bit-exact equality with the
 /// batch build is part of the contract.
+///
+/// Builders speak dense IDs: they fold [`IRecord`]s and key their
+/// accumulators by packed `u32` IDs; only `finalize` resolves IDs back
+/// to addresses (through the catalog the records were interned with)
+/// when it lays out the finished, serializable signature.
 pub trait SignatureBuilder {
     /// The finished signature this builder produces.
     type Output;
 
-    /// Folds one flow record into the accumulator.
-    fn observe(&mut self, record: &FlowRecord);
+    /// Folds one interned flow record into the accumulator.
+    fn observe(&mut self, record: &IRecord);
 
     /// Folds one raw control event. Only signatures built from the log
     /// itself (LU reads port-stats replies) override this; the default
     /// ignores events.
     fn observe_event(&mut self, _event: &ControlEvent) {}
 
-    /// Produces the signature from everything observed so far.
-    fn finalize(&self) -> Self::Output;
+    /// Produces the signature from everything observed so far,
+    /// resolving entity IDs back to addresses through `catalog`.
+    fn finalize(&self, catalog: &EntityCatalog) -> Self::Output;
 }
 
 /// The uniform interface of the nine FlowDiff signatures.
@@ -224,7 +239,7 @@ pub trait Signature: Sized {
         for r in inputs.records {
             b.observe(r);
         }
-        b.finalize()
+        b.finalize(inputs.catalog)
     }
 
     /// Compares `self` (the reference) against `current`.

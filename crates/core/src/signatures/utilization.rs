@@ -6,7 +6,7 @@
 //! (`StatsRequest`/`StatsReply`); the deltas between consecutive polls
 //! give a byte-rate series per switch port, summarized as mean ± std.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use netsim::log::ControlEvent;
 use openflow::messages::{OfpMessage, StatsReply};
@@ -14,7 +14,7 @@ use openflow::types::{DatapathId, PortNo, Timestamp};
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
-use crate::records::FlowRecord;
+use crate::ids::{EntityCatalog, IRecord};
 use crate::signatures::{DiffCtx, Signature, SignatureBuilder, SignatureInputs};
 use crate::stats::MeanStd;
 
@@ -45,7 +45,12 @@ pub struct LuChange {
 #[derive(Debug, Clone, Default)]
 pub struct LuBuilder {
     /// (dpid, port) -> [(poll time, cumulative tx bytes)]
-    series: BTreeMap<(DatapathId, PortNo), Vec<(Timestamp, u64)>>,
+    ///
+    /// Port-stats events never pass through the record assembler, so
+    /// there is no interning opportunity here: the series stays keyed by
+    /// raw addresses in a flat hash map, and `finalize` sorts into the
+    /// output `BTreeMap`.
+    series: HashMap<(DatapathId, PortNo), Vec<(Timestamp, u64)>>,
 }
 
 impl LuBuilder {
@@ -63,7 +68,7 @@ impl LuBuilder {
 impl SignatureBuilder for LuBuilder {
     type Output = LinkUtilization;
 
-    fn observe(&mut self, _record: &FlowRecord) {}
+    fn observe(&mut self, _record: &IRecord) {}
 
     fn observe_event(&mut self, event: &ControlEvent) {
         if let OfpMessage::StatsReply(StatsReply::Port(ports)) = &event.msg {
@@ -76,7 +81,7 @@ impl SignatureBuilder for LuBuilder {
         }
     }
 
-    fn finalize(&self) -> LinkUtilization {
+    fn finalize(&self, _catalog: &EntityCatalog) -> LinkUtilization {
         let per_port = self
             .series
             .iter()
@@ -186,18 +191,21 @@ mod tests {
 
     fn lu_of(log: &ControllerLog) -> LinkUtilization {
         let config = FlowDiffConfig::default();
+        let catalog = EntityCatalog::new();
         LinkUtilization::build(
-            &SignatureInputs::new(&[], (Timestamp::ZERO, Timestamp::ZERO), &config).with_log(log),
+            &SignatureInputs::new(&[], &catalog, (Timestamp::ZERO, Timestamp::ZERO), &config)
+                .with_log(log),
         )
     }
 
     fn diff_lu(a: &LinkUtilization, b: &LinkUtilization) -> Vec<LuChange> {
         let config = FlowDiffConfig::default();
+        let index = crate::ids::RecordIndex::default();
         a.diff(
             b,
             &DiffCtx {
                 config: &config,
-                current_records: &[],
+                records: &index,
             },
         )
     }
@@ -228,8 +236,10 @@ mod tests {
     #[test]
     fn missing_log_builds_empty_signature() {
         let config = FlowDiffConfig::default();
+        let catalog = EntityCatalog::new();
         let lu = LinkUtilization::build(&SignatureInputs::new(
             &[],
+            &catalog,
             (Timestamp::ZERO, Timestamp::ZERO),
             &config,
         ));

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::change::SignatureKind;
 use crate::config::FlowDiffConfig;
-use crate::groups::match_groups;
+use crate::groups::{match_group_refs, AppGroup};
 use crate::model::{BehaviorModel, GroupSignatures};
 use crate::signatures::{Signature, StabilityCtx, StabilityMask};
 use netsim::log::ControllerLog;
@@ -116,11 +116,11 @@ pub fn analyze(
         .iter()
         .map(|full_group| {
             // Locate this group in each interval model.
-            let full_groups = std::slice::from_ref(&full_group.group);
+            let full_groups = [&full_group.group];
             let mut matches: Vec<Option<&GroupSignatures>> = Vec::new();
             for im in &interval_models {
-                let im_groups: Vec<_> = im.groups.iter().map(|g| g.group.clone()).collect();
-                let (pairs, _, _) = match_groups(full_groups, &im_groups);
+                let im_groups: Vec<&AppGroup> = im.groups.iter().map(|g| &g.group).collect();
+                let (pairs, _, _) = match_group_refs(&full_groups, &im_groups);
                 matches.push(pairs.first().map(|(_, ci)| &im.groups[*ci]));
             }
             // A signature can only be judged on intervals where the

@@ -15,8 +15,9 @@ use openflow::types::Timestamp;
 use serde::{Deserialize, Serialize};
 
 use super::automaton::TaskAutomaton;
-use super::common::{HostRef, PortClass, TaskFlow};
+use super::common::{HostRef, PortClass};
 use crate::config::FlowDiffConfig;
+use crate::ids::{EntityCatalog, HostId};
 use crate::records::FlowRecord;
 
 /// One detected task occurrence.
@@ -43,20 +44,72 @@ impl TaskEvent {
     }
 }
 
-/// Host bindings of one matcher (`#k` → concrete IP).
+/// A host reference with concrete addresses pre-resolved to dense IDs
+/// against the live log's catalog, so the unification inner loop
+/// compares `u32`s instead of addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResolvedRef {
+    /// Concrete host. `None` when the automaton's address never appears
+    /// in the live log: such a reference can match no flow.
+    Ip(Option<HostId>),
+    /// A `#k` variable, bound by unification.
+    Masked(u8),
+}
+
+/// One automaton step with host references resolved.
+#[derive(Debug, Clone, Copy)]
+struct ResolvedFlow {
+    src: ResolvedRef,
+    sport: PortClass,
+    dst: ResolvedRef,
+    dport: PortClass,
+}
+
+/// An automaton with its states pre-resolved against one live log.
+struct ResolvedAutomaton<'a> {
+    automaton: &'a TaskAutomaton,
+    states: Vec<Vec<ResolvedFlow>>,
+}
+
+impl<'a> ResolvedAutomaton<'a> {
+    fn new(automaton: &'a TaskAutomaton, catalog: &EntityCatalog) -> ResolvedAutomaton<'a> {
+        let resolve = |r: HostRef| match r {
+            HostRef::Ip(ip) => ResolvedRef::Ip(catalog.host_id(ip)),
+            HostRef::Masked(k) => ResolvedRef::Masked(k),
+        };
+        let states = automaton
+            .states()
+            .iter()
+            .map(|state| {
+                state
+                    .iter()
+                    .map(|f| ResolvedFlow {
+                        src: resolve(f.src),
+                        sport: f.sport,
+                        dst: resolve(f.dst),
+                        dport: f.dport,
+                    })
+                    .collect()
+            })
+            .collect();
+        ResolvedAutomaton { automaton, states }
+    }
+}
+
+/// Host bindings of one matcher (`#k` → interned host).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct Bindings(Vec<(u8, Ipv4Addr)>);
+struct Bindings(Vec<(u8, HostId)>);
 
 impl Bindings {
-    fn unify_host(&mut self, expected: HostRef, actual: Ipv4Addr) -> bool {
+    fn unify_host(&mut self, expected: ResolvedRef, actual: HostId) -> bool {
         match expected {
-            HostRef::Ip(ip) => ip == actual,
-            HostRef::Masked(k) => match self.0.iter().find(|(kk, _)| *kk == k) {
+            ResolvedRef::Ip(id) => id == Some(actual),
+            ResolvedRef::Masked(k) => match self.0.iter().find(|(kk, _)| *kk == k) {
                 Some((_, bound)) => *bound == actual,
                 None => {
                     // a fresh variable must bind a fresh host: two
-                    // different #k must not alias the same IP
-                    if self.0.iter().any(|(_, ip)| *ip == actual) {
+                    // different #k must not alias the same host
+                    if self.0.iter().any(|(_, id)| *id == actual) {
                         return false;
                     }
                     self.0.push((k, actual));
@@ -66,25 +119,25 @@ impl Bindings {
         }
     }
 
-    fn hosts(&self) -> Vec<Ipv4Addr> {
-        self.0.iter().map(|(_, ip)| *ip).collect()
+    fn hosts(&self, catalog: &EntityCatalog) -> Vec<Ipv4Addr> {
+        self.0.iter().map(|(_, id)| catalog.host(*id)).collect()
     }
 }
 
-fn unify(expected: &TaskFlow, actual: &ConcreteFlow, bindings: &mut Bindings) -> bool {
+fn unify(expected: &ResolvedFlow, actual: &ConcreteFlow, bindings: &mut Bindings) -> bool {
     if expected.sport != actual.sport || expected.dport != actual.dport {
         return false;
     }
     bindings.unify_host(expected.src, actual.src) && bindings.unify_host(expected.dst, actual.dst)
 }
 
-/// A live flow, ports already classed.
+/// A live flow, ports already classed and hosts interned.
 #[derive(Debug, Clone, Copy)]
 struct ConcreteFlow {
     ts: Timestamp,
-    src: Ipv4Addr,
+    src: HostId,
     sport: PortClass,
-    dst: Ipv4Addr,
+    dst: HostId,
     dport: PortClass,
 }
 
@@ -101,12 +154,15 @@ struct Matcher {
 /// busy logs.
 const MAX_MATCHERS: usize = 1024;
 
-/// Runs one automaton over a time-ordered flow sequence.
+/// Runs one (pre-resolved) automaton over a time-ordered flow sequence.
 fn detect_one(
-    automaton: &TaskAutomaton,
+    resolved: &ResolvedAutomaton<'_>,
     flows: &[ConcreteFlow],
+    catalog: &EntityCatalog,
     config: &FlowDiffConfig,
 ) -> Vec<TaskEvent> {
+    let automaton = resolved.automaton;
+    let states = &resolved.states;
     let mut active: Vec<Matcher> = Vec::new();
     let mut events: Vec<TaskEvent> = Vec::new();
 
@@ -119,8 +175,8 @@ fn detect_one(
         for m in active.drain(..) {
             let mut advanced = false;
             // Continue inside the current state.
-            if m.offset < automaton.states()[m.state].len() {
-                let expected = &automaton.states()[m.state][m.offset];
+            if m.offset < states[m.state].len() {
+                let expected = &states[m.state][m.offset];
                 let mut b = m.bindings.clone();
                 if unify(expected, flow, &mut b) {
                     let m2 = Matcher {
@@ -130,14 +186,14 @@ fn detect_one(
                         started: m.started,
                         last: flow.ts,
                     };
-                    if m2.offset == automaton.states()[m2.state].len()
+                    if m2.offset == states[m2.state].len()
                         && automaton.final_states().contains(&m2.state)
                     {
                         accepted.get_or_insert(TaskEvent {
                             task: automaton.name.clone(),
                             start: m2.started,
                             end: flow.ts,
-                            hosts: m2.bindings.hosts(),
+                            hosts: m2.bindings.hosts(catalog),
                         });
                     } else {
                         next_active.push(m2);
@@ -147,7 +203,7 @@ fn detect_one(
             } else if let Some(succs) = automaton.next_of(m.state) {
                 // The state is complete: try entering each successor.
                 for &s2 in succs {
-                    let expected = &automaton.states()[s2][0];
+                    let expected = &states[s2][0];
                     let mut b = m.bindings.clone();
                     if unify(expected, flow, &mut b) {
                         let m2 = Matcher {
@@ -157,14 +213,12 @@ fn detect_one(
                             started: m.started,
                             last: flow.ts,
                         };
-                        if m2.offset == automaton.states()[s2].len()
-                            && automaton.final_states().contains(&s2)
-                        {
+                        if m2.offset == states[s2].len() && automaton.final_states().contains(&s2) {
                             accepted.get_or_insert(TaskEvent {
                                 task: automaton.name.clone(),
                                 start: m2.started,
                                 end: flow.ts,
-                                hosts: m2.bindings.hosts(),
+                                hosts: m2.bindings.hosts(catalog),
                             });
                         } else {
                             next_active.push(m2);
@@ -191,7 +245,7 @@ fn detect_one(
         // Spawn new matchers at start states.
         if active.len() < MAX_MATCHERS {
             for &s in automaton.start_states() {
-                let expected = &automaton.states()[s][0];
+                let expected = &states[s][0];
                 let mut b = Bindings::default();
                 if unify(expected, flow, &mut b) {
                     let m = Matcher {
@@ -202,7 +256,7 @@ fn detect_one(
                         last: flow.ts,
                     };
                     // single-flow final state
-                    if automaton.states()[s].len() == 1
+                    if states[s].len() == 1
                         && automaton.final_states().contains(&s)
                         && automaton.state_count() == 1
                     {
@@ -210,7 +264,7 @@ fn detect_one(
                             task: automaton.name.clone(),
                             start: flow.ts,
                             end: flow.ts,
-                            hosts: m.bindings.hosts(),
+                            hosts: m.bindings.hosts(catalog),
                         });
                     } else {
                         active.push(m);
@@ -259,6 +313,10 @@ impl TaskLibrary {
     /// the task time series. Automata are matched in parallel when the
     /// library holds more than one.
     pub fn detect(&self, records: &[FlowRecord], config: &FlowDiffConfig) -> Vec<TaskEvent> {
+        // Intern the live log's endpoints into a local catalog, then
+        // resolve every automaton's host references against it once, so
+        // the per-flow unification loop works on dense `HostId`s.
+        let mut catalog = EntityCatalog::new();
         let flows: Vec<ConcreteFlow> = {
             let mut sorted: Vec<&FlowRecord> = records.iter().collect();
             sorted.sort_by_key(|r| r.first_seen);
@@ -266,25 +324,29 @@ impl TaskLibrary {
                 .iter()
                 .map(|r| ConcreteFlow {
                     ts: r.first_seen,
-                    src: r.tuple.src,
+                    src: catalog.intern_host(r.tuple.src),
                     sport: class(r.tuple.sport, config),
-                    dst: r.tuple.dst,
+                    dst: catalog.intern_host(r.tuple.dst),
                     dport: class(r.tuple.dport, config),
                 })
                 .collect()
         };
+        let resolved: Vec<ResolvedAutomaton<'_>> = self
+            .automata
+            .iter()
+            .map(|a| ResolvedAutomaton::new(a, &catalog))
+            .collect();
 
-        let mut events: Vec<TaskEvent> = if self.automata.len() <= 1 {
-            self.automata
+        let mut events: Vec<TaskEvent> = if resolved.len() <= 1 {
+            resolved
                 .iter()
-                .flat_map(|a| detect_one(a, &flows, config))
+                .flat_map(|a| detect_one(a, &flows, &catalog, config))
                 .collect()
         } else {
             std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .automata
+                let handles: Vec<_> = resolved
                     .iter()
-                    .map(|a| scope.spawn(|| detect_one(a, &flows, config)))
+                    .map(|a| scope.spawn(|| detect_one(a, &flows, &catalog, config)))
                     .collect();
                 handles
                     .into_iter()

@@ -1,0 +1,221 @@
+//! Property-based tests for the entity catalog (`flowdiff::ids`):
+//! intern/resolve round-trips, invariance of derived results under the
+//! catalog's interning order, and the no-aliasing guarantee between
+//! models with disjoint catalogs.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use flowdiff::config::FlowDiffConfig;
+use flowdiff::groups::discover_groups_interned;
+use flowdiff::ids::{EntityCatalog, HostId, IRecord, InternedLog, RecordIndex};
+use flowdiff::records::{FlowRecord, FlowTuple};
+use flowdiff::signatures::connectivity::ConnectivityGraph;
+use flowdiff::signatures::{DiffCtx, Signature, SignatureInputs};
+use openflow::types::{DatapathId, IpProto, PortNo, Timestamp};
+
+fn ip(x: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, x)
+}
+
+fn record(s: u8, d: u8, dport: u16, i: usize) -> FlowRecord {
+    FlowRecord {
+        tuple: FlowTuple {
+            src: ip(s),
+            sport: 20_000 + i as u16,
+            dst: ip(d),
+            dport,
+            proto: IpProto::TCP,
+        },
+        first_seen: Timestamp::from_millis(i as u64),
+        hops: vec![],
+        byte_count: 1_000,
+        packet_count: 10,
+        duration_s: 0.1,
+    }
+}
+
+fn records_of(edges: &[(u8, u8, u16)]) -> Vec<FlowRecord> {
+    edges
+        .iter()
+        .enumerate()
+        .filter(|(_, (s, d, _))| s != d)
+        .map(|(i, (s, d, port))| record(*s, *d, *port, i))
+        .collect()
+}
+
+/// Interns `records` through a catalog pre-warmed with `hosts` in the
+/// given order, so the dense ID assignment differs from first-seen
+/// record order.
+fn intern_with_warmup(records: &[FlowRecord], hosts: &[Ipv4Addr]) -> (EntityCatalog, Vec<IRecord>) {
+    let mut catalog = EntityCatalog::new();
+    for &h in hosts {
+        catalog.intern_host(h);
+    }
+    let irecords = records.iter().map(|r| catalog.intern_record(r)).collect();
+    (catalog, irecords)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn intern_resolve_round_trips(
+        host_bytes in prop::collection::vec(1u8..250, 1..40),
+        dpids in prop::collection::vec(1u64..500, 1..20),
+        ports in prop::collection::vec(1u16..48, 1..20),
+    ) {
+        let mut catalog = EntityCatalog::new();
+        for &b in &host_bytes {
+            let id = catalog.intern_host(ip(b));
+            // resolve inverts intern, and re-interning is stable
+            prop_assert_eq!(catalog.host(id), ip(b));
+            prop_assert_eq!(catalog.intern_host(ip(b)), id);
+            prop_assert_eq!(catalog.host_id(ip(b)), Some(id));
+        }
+        for &d in &dpids {
+            let sw = catalog.intern_switch(DatapathId(d));
+            prop_assert_eq!(catalog.switch(sw), DatapathId(d));
+            prop_assert_eq!(catalog.intern_switch(DatapathId(d)), sw);
+            for &p in &ports {
+                let pid = catalog.intern_port(sw, PortNo(p));
+                prop_assert_eq!(catalog.port(pid), (sw, PortNo(p)));
+                prop_assert_eq!(catalog.port_addr(pid), (DatapathId(d), PortNo(p)));
+                prop_assert_eq!(catalog.intern_port(sw, PortNo(p)), pid);
+            }
+        }
+        // IDs are dense: exactly one per distinct entity, 0..n
+        let distinct_hosts: BTreeSet<u8> = host_bytes.iter().copied().collect();
+        let distinct_dpids: BTreeSet<u64> = dpids.iter().copied().collect();
+        prop_assert_eq!(catalog.n_hosts(), distinct_hosts.len());
+        prop_assert_eq!(catalog.n_switches(), distinct_dpids.len());
+        prop_assert_eq!(
+            catalog.n_ports(),
+            distinct_dpids.len() * ports.iter().copied().collect::<BTreeSet<u16>>().len()
+        );
+        for (i, &addr) in catalog.hosts().iter().enumerate() {
+            prop_assert_eq!(catalog.host_id(addr), Some(HostId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn groups_invariant_under_interning_order(
+        edges in prop::collection::vec((0u8..12, 0u8..12, 1u16..5), 1..30),
+    ) {
+        let config = FlowDiffConfig::default();
+        let records = records_of(&edges);
+        if records.is_empty() {
+            return Ok(());
+        }
+
+        // Catalog A: IDs assigned in first-seen record order.
+        let il = InternedLog::of(&records);
+        let groups_a = discover_groups_interned(&il.records, &il.catalog, &config);
+
+        // Catalog B: IDs assigned by pre-interning every host in
+        // descending address order, then interning the same records.
+        let mut hosts: Vec<Ipv4Addr> = records
+            .iter()
+            .flat_map(|r| [r.tuple.src, r.tuple.dst])
+            .collect();
+        hosts.sort();
+        hosts.dedup();
+        hosts.reverse();
+        let (catalog_b, irecords_b) = intern_with_warmup(&records, &hosts);
+        let groups_b = discover_groups_interned(&irecords_b, &catalog_b, &config);
+
+        // Group discovery resolves IDs back to addresses, so the result
+        // must not depend on how IDs were assigned.
+        prop_assert_eq!(groups_a, groups_b);
+    }
+
+    #[test]
+    fn signature_and_diff_invariant_under_interning_order(
+        edges in prop::collection::vec((0u8..10, 0u8..10, 1u16..4), 1..25),
+    ) {
+        let config = FlowDiffConfig::default();
+        let records = records_of(&edges);
+        if records.is_empty() {
+            return Ok(());
+        }
+        let span = (Timestamp::ZERO, Timestamp::from_secs(60));
+
+        let il = InternedLog::of(&records);
+        let groups_a = discover_groups_interned(&il.records, &il.catalog, &config);
+
+        let mut hosts: Vec<Ipv4Addr> = records
+            .iter()
+            .flat_map(|r| [r.tuple.src, r.tuple.dst])
+            .collect();
+        hosts.sort();
+        hosts.dedup();
+        hosts.reverse();
+        let (catalog_b, irecords_b) = intern_with_warmup(&records, &hosts);
+        let groups_b = discover_groups_interned(&irecords_b, &catalog_b, &config);
+        prop_assert_eq!(&groups_a, &groups_b);
+
+        // Build the first group's connectivity graph under both ID
+        // assignments: the finished signatures are address-keyed and
+        // must be identical, and diffing them must report no changes.
+        let refs_a: Vec<&IRecord> = il.records.iter().collect();
+        let refs_b: Vec<&IRecord> = irecords_b.iter().collect();
+        let cg_a = ConnectivityGraph::build(
+            &SignatureInputs::new(&refs_a, &il.catalog, span, &config).with_group(&groups_a[0]),
+        );
+        let cg_b = ConnectivityGraph::build(
+            &SignatureInputs::new(&refs_b, &catalog_b, span, &config).with_group(&groups_b[0]),
+        );
+        prop_assert_eq!(&cg_a, &cg_b);
+
+        let index = RecordIndex::of_records(&records);
+        let ctx = DiffCtx { config: &config, records: &index };
+        prop_assert!(cg_a.diff(&cg_b, &ctx).is_empty());
+    }
+
+    #[test]
+    fn disjoint_catalogs_never_alias_hosts(
+        raw_a in prop::collection::vec(1u8..120, 1..30),
+        raw_b in prop::collection::vec(130u8..250, 1..30),
+    ) {
+        let set_a: BTreeSet<u8> = raw_a.into_iter().collect();
+        let set_b: BTreeSet<u8> = raw_b.into_iter().collect();
+        // Two models built from different logs have independent
+        // catalogs: the same numeric ID means different hosts, and
+        // cross-model comparison goes through addresses only.
+        let mut cat_a = EntityCatalog::new();
+        let mut cat_b = EntityCatalog::new();
+        for &x in &set_a {
+            cat_a.intern_host(ip(x));
+        }
+        for &x in &set_b {
+            cat_b.intern_host(ip(x));
+        }
+        for i in 0..cat_a.n_hosts() {
+            let addr = cat_a.host(HostId(i as u32));
+            // B has never seen A's addresses…
+            prop_assert_eq!(cat_b.host_id(addr), None);
+            // …and the same dense index resolves to a different host.
+            if i < cat_b.n_hosts() {
+                prop_assert_ne!(cat_b.host(HostId(i as u32)), addr);
+            }
+        }
+
+        // A RecordIndex over A's records cannot answer for B's edges:
+        // unknown endpoints resolve to None, never to an aliased ID.
+        let recs_a: Vec<FlowRecord> = set_a
+            .iter()
+            .zip(set_a.iter().skip(1))
+            .enumerate()
+            .map(|(i, (&s, &d))| record(s, d, 80, i))
+            .collect();
+        let index = RecordIndex::of_records(&recs_a);
+        if set_b.len() >= 2 {
+            let mut it = set_b.iter();
+            let (s, d) = (*it.next().unwrap(), *it.next().unwrap());
+            let edge = flowdiff::groups::Edge { src: ip(s), dst: ip(d) };
+            prop_assert_eq!(index.first_seen(&edge), None);
+        }
+    }
+}

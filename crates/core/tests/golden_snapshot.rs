@@ -1,0 +1,152 @@
+//! Golden-byte snapshots of the 320-server tree capture.
+//!
+//! The internal representation of the model pipeline is free to change
+//! (dense entity IDs, flat maps, …) but the *serialized* form of
+//! [`BehaviorModel`] and [`ModelDiff`] is an on-disk format: these tests
+//! pin the exact bytes produced for a deterministic 320-server tree
+//! capture (the Fig. 13b workload) against snapshots checked in under
+//! `tests/data/`, so any refactor that perturbs serialization — key
+//! order, field order, ID leakage — fails loudly.
+//!
+//! To regenerate the snapshots after an *intentional* format change:
+//!
+//! ```text
+//! cargo test -p flowdiff --test golden_snapshot -- --ignored
+//! ```
+
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+use flowdiff::prelude::*;
+use netsim::log::ControllerLog;
+use netsim::topology::Topology;
+use openflow::types::Timestamp;
+use workloads::prelude::*;
+
+/// Mirror of `flowdiff_bench::tree_capture` (core cannot depend on the
+/// bench crate): `n_apps` disjoint three-tier apps on the paper's
+/// 320-server tree (16 racks x 20 servers), fully seeded.
+fn tree_capture(n_apps: usize, seed: u64, secs: u64) -> (ControllerLog, FlowDiffConfig) {
+    let topo = Topology::tree(16, 20);
+    let hosts: Vec<Ipv4Addr> = topo.hosts().map(|(id, _)| topo.host_ip(id)).collect();
+    let mut sc = Scenario::new(
+        topo,
+        seed,
+        Timestamp::from_secs(1),
+        Timestamp::from_secs(1 + secs),
+    );
+    for a in 0..n_apps {
+        let pick = |tier: usize, k: usize| hosts[(a * 9 + tier * 3 + k) % hosts.len()];
+        let mut pairs = Vec::new();
+        for tier in 0..2 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    let dport = if tier == 0 { 8080 } else { 3306 };
+                    pairs.push((pick(tier, i), pick(tier + 1, j), dport));
+                }
+            }
+        }
+        sc.mesh(OnOffMesh {
+            pairs,
+            process: OnOffProcess::default(),
+            reuse_prob: 0.6,
+            bytes_per_flow: 30_000,
+        });
+    }
+    (sc.run().log, FlowDiffConfig::default())
+}
+
+fn data_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+/// The two models the snapshots are built from: a baseline capture and
+/// a same-workload capture under a different seed.
+fn snapshot_inputs() -> (BehaviorModel, BehaviorModel, FlowDiffConfig) {
+    let (baseline_log, config) = tree_capture(9, 42, 6);
+    let (current_log, _) = tree_capture(9, 43, 6);
+    let baseline = BehaviorModel::build(&baseline_log, &config);
+    let current = BehaviorModel::build(&current_log, &config);
+    (baseline, current, config)
+}
+
+fn model_bytes(model: &BehaviorModel) -> Vec<u8> {
+    serde::to_vec(model)
+}
+
+fn diff_bytes(
+    baseline: &BehaviorModel,
+    current: &BehaviorModel,
+    config: &FlowDiffConfig,
+) -> Vec<u8> {
+    let stability = StabilityReport::all_stable(baseline);
+    let diff = flowdiff::diff::compare(baseline, current, &stability, config);
+    serde::to_vec(&diff)
+}
+
+fn assert_matches_golden(actual: &[u8], file: &str) {
+    let path = data_path(file);
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run \
+             `cargo test -p flowdiff --test golden_snapshot -- --ignored` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden.len(),
+        actual.len(),
+        "{file}: serialized length drifted"
+    );
+    if let Some(at) = golden.iter().zip(actual).position(|(g, a)| g != a) {
+        panic!("{file}: serialized bytes drifted from golden snapshot at offset {at}");
+    }
+}
+
+#[test]
+fn tree320_model_bytes_match_golden_snapshot() {
+    let (baseline, _, _) = snapshot_inputs();
+    assert!(
+        !baseline.records.is_empty() && !baseline.groups.is_empty(),
+        "capture produced an empty model; the snapshot would be vacuous"
+    );
+    assert_matches_golden(&model_bytes(&baseline), "tree320_model.bin");
+}
+
+#[test]
+fn tree320_diff_bytes_match_golden_snapshot() {
+    let (baseline, current, config) = snapshot_inputs();
+    assert_matches_golden(
+        &diff_bytes(&baseline, &current, &config),
+        "tree320_diff.bin",
+    );
+}
+
+/// Serialization must also be a pure function of the model value:
+/// building the same capture twice yields identical bytes (guards
+/// against nondeterministic iteration order leaking into the format).
+#[test]
+fn tree320_model_bytes_are_deterministic() {
+    let (a, _, _) = snapshot_inputs();
+    let (b, _, _) = snapshot_inputs();
+    assert_eq!(model_bytes(&a), model_bytes(&b));
+}
+
+#[test]
+#[ignore = "writes the golden snapshots; run only on intentional format changes"]
+fn regenerate_golden_snapshots() {
+    let (baseline, current, config) = snapshot_inputs();
+    let dir = data_path("");
+    std::fs::create_dir_all(&dir).expect("create tests/data");
+    let model = model_bytes(&baseline);
+    let diff = diff_bytes(&baseline, &current, &config);
+    std::fs::write(data_path("tree320_model.bin"), &model).expect("write model snapshot");
+    std::fs::write(data_path("tree320_diff.bin"), &diff).expect("write diff snapshot");
+    println!(
+        "wrote tree320_model.bin ({} bytes) and tree320_diff.bin ({} bytes)",
+        model.len(),
+        diff.len()
+    );
+}

@@ -188,10 +188,13 @@ impl Simulation {
             let mut fm = FlowMod::add(OfMatch::any(), 1).action(Action::output(PortNo::NORMAL));
             fm.flags.send_flow_rem = false;
             for state in sim.switches.values_mut() {
+                // Invariant: adding one entry to a freshly created table
+                // can only fail if its capacity is zero, which SimConfig
+                // does not allow.
                 state
                     .table
                     .apply(&fm, Timestamp::ZERO)
-                    .expect("proactive install");
+                    .expect("invariant: an empty flow table accepts one entry");
             }
         }
         sim
@@ -272,11 +275,10 @@ impl Simulation {
     /// Runs the event loop until the queue drains or simulated time would
     /// pass `horizon`. Events at exactly `horizon` are processed.
     pub fn run_until(&mut self, horizon: Timestamp) {
-        while let Some(Reverse(q)) = self.queue.peek() {
-            if q.at > horizon {
+        while self.queue.peek().is_some_and(|Reverse(q)| q.at <= horizon) {
+            let Some(Reverse(q)) = self.queue.pop() else {
                 break;
-            }
-            let Reverse(q) = self.queue.pop().expect("peeked");
+            };
             debug_assert!(q.at >= self.now, "time must be monotone");
             self.now = q.at;
             self.handle(q.ev);
@@ -294,6 +296,46 @@ impl Simulation {
     }
 
     // ------------------------------------------------------------ internal
+
+    // The accessors below encode structural invariants of the simulation
+    // rather than recoverable conditions, so they panic on violation
+    // instead of returning errors:
+    //
+    // * `self.switches` is populated once at construction with every
+    //   OpenFlow switch in the topology and never restructured, so for
+    //   any node drawn from it (or from a path's switch hops) `dpid` and
+    //   `switch_state` cannot miss;
+    // * flow paths come from `ControllerModel::route`, which walks
+    //   topology links, so consecutive path nodes are always adjacent
+    //   and `adj_port`/`adj_link` cannot miss.
+
+    /// The datapath id of an OpenFlow switch node.
+    fn dpid(&self, node: NodeId) -> openflow::types::DatapathId {
+        self.topo
+            .dpid_of(node)
+            .expect("invariant: node is an OpenFlow switch")
+    }
+
+    /// The per-switch OpenFlow state of `node`.
+    fn switch_state(&mut self, node: NodeId) -> &mut SwitchState {
+        self.switches
+            .get_mut(&node)
+            .expect("invariant: every OF switch has state")
+    }
+
+    /// The egress port of `node` towards the adjacent `peer`.
+    fn adj_port(&self, node: NodeId, peer: NodeId) -> PortNo {
+        self.topo
+            .port_towards(node, peer)
+            .expect("invariant: consecutive path nodes are adjacent")
+    }
+
+    /// The link between adjacent path nodes `a` and `b`.
+    fn adj_link(&self, a: NodeId, b: NodeId) -> LinkId {
+        self.topo
+            .link_between(a, b)
+            .expect("invariant: consecutive path nodes are adjacent")
+    }
 
     fn push_event(&mut self, at: Timestamp, ev: Ev) {
         self.seq += 1;
@@ -330,7 +372,7 @@ impl Simulation {
             if self.faults.is_switch_failed(node) {
                 continue;
             }
-            let dpid = self.topo.dpid_of(node).expect("of switch");
+            let dpid = self.dpid(node);
             let xid = self.next_xid;
             self.next_xid = xid.next();
             self.log.push(ControlEvent {
@@ -377,7 +419,7 @@ impl Simulation {
             if self.faults.is_switch_failed(node) {
                 continue;
             }
-            let dpid = self.topo.dpid_of(node).expect("of switch");
+            let dpid = self.dpid(node);
             let arrival = self.now + self.ctrl_latency();
             self.log.push(ControlEvent {
                 ts: arrival,
@@ -546,13 +588,15 @@ impl Simulation {
         }
         let in_port = {
             let prev = self.flows[id.0 as usize].path[hop - 1];
-            self.topo.port_towards(node, prev).expect("path adjacency")
+            self.adj_port(node, prev)
         };
         let is_of = self.topo.node(node).is_of_switch();
         if is_of {
-            let table = &mut self.switches.get_mut(&node).expect("switch state").table;
-            let hit = table
-                .match_packet(&key, in_port, self.config.packet_size, self.now)
+            let (now, packet_size) = (self.now, self.config.packet_size);
+            let hit = self
+                .switch_state(node)
+                .table
+                .match_packet(&key, in_port, packet_size, now)
                 .is_some();
             if !hit {
                 self.send_packet_in(id, hop, node, in_port);
@@ -568,7 +612,7 @@ impl Simulation {
             let flow = &self.flows[id.0 as usize];
             (flow.path[hop], flow.path[hop + 1])
         };
-        let link = self.topo.link_between(node, next).expect("path adjacency");
+        let link = self.adj_link(node, next);
         let latency = self.config.switch_proc_us + self.link_latency(link);
         self.push_event(
             self.now + latency,
@@ -580,7 +624,7 @@ impl Simulation {
     }
 
     fn send_packet_in(&mut self, id: FlowId, hop: usize, node: NodeId, in_port: PortNo) {
-        let dpid = self.topo.dpid_of(node).expect("of switch");
+        let dpid = self.dpid(node);
         let key = self.flows[id.0 as usize].spec.key;
         let xid = self.next_xid;
         self.next_xid = xid.next();
@@ -620,9 +664,8 @@ impl Simulation {
 
         // The FlowMod the controller sends back (logged at send time).
         let out_port = {
-            let flow = &self.flows[id.0 as usize];
-            let next = flow.path[hop + 1];
-            self.topo.port_towards(node, next).expect("path adjacency")
+            let next = self.flows[id.0 as usize].path[hop + 1];
+            self.adj_port(node, next)
         };
         let mut fm = self.installed_rule(&key, in_port, out_port);
         fm.buffer_id = buffer_id;
@@ -655,27 +698,23 @@ impl Simulation {
             let flow = &self.flows[id.0 as usize];
             let prev = flow.path[hop - 1];
             let next = flow.path[hop + 1];
-            (
-                self.topo.port_towards(node, prev).expect("adjacency"),
-                self.topo.port_towards(node, next).expect("adjacency"),
-            )
+            (self.adj_port(node, prev), self.adj_port(node, next))
         };
         let fm = self.installed_rule(&key, in_port, out_port);
-        let state = self.switches.get_mut(&node).expect("switch state");
-        match state.table.apply(&fm, self.now) {
+        let (now, packet_size) = (self.now, self.config.packet_size);
+        let state = self.switch_state(node);
+        match state.table.apply(&fm, now) {
             Ok(_) => {
                 // The buffered first packet is released through the new
                 // entry.
-                state
-                    .table
-                    .match_packet(&key, in_port, self.config.packet_size, self.now);
+                state.table.match_packet(&key, in_port, packet_size, now);
                 self.schedule_sweep(node);
             }
             Err(openflow::error::FlowTableError::TableFull { .. }) => {
                 // The switch reports the failed add; the packet is still
                 // released (packet-out semantics) but runs ruleless, so
                 // the next flow misses again.
-                let dpid = self.topo.dpid_of(node).expect("of switch");
+                let dpid = self.dpid(node);
                 let arrival = self.now + self.ctrl_latency();
                 self.log.push(ControlEvent {
                     ts: arrival,
@@ -716,7 +755,8 @@ impl Simulation {
             DeliveredFlow {
                 id,
                 spec: flow.spec.clone(),
-                src: self.topo.host_by_ip(flow.spec.key.nw_src).expect("src"),
+                // path[0] is the source host `on_start` already resolved.
+                src: flow.path[0],
                 dst,
                 started_at: flow.started_at,
                 delivered_at: self.now,
@@ -782,11 +822,8 @@ impl Simulation {
             if !self.topo.node(node).is_of_switch() {
                 continue;
             }
-            let in_port = self.topo.port_towards(node, w[0]).expect("path adjacency");
-            let out_port = self
-                .topo
-                .port_towards(node, path[i + 2])
-                .expect("path adjacency");
+            let in_port = self.adj_port(node, w[0]);
+            let out_port = self.adj_port(node, path[i + 2]);
             if let Some(state) = self.switches.get_mut(&node) {
                 state
                     .table
@@ -800,11 +837,12 @@ impl Simulation {
     }
 
     fn schedule_sweep(&mut self, node: NodeId) {
-        let state = self.switches.get_mut(&node).expect("switch state");
+        let now = self.now;
+        let state = self.switch_state(node);
         let Some(deadline) = state.table.next_deadline() else {
             return;
         };
-        let due = deadline.max(self.now);
+        let due = deadline.max(now);
         if state.sweep_at.is_none_or(|t| due < t) {
             state.sweep_at = Some(due);
             self.push_event(due, Ev::ExpirySweep { node });
@@ -812,10 +850,11 @@ impl Simulation {
     }
 
     fn on_sweep(&mut self, node: NodeId) {
-        let dpid = self.topo.dpid_of(node).expect("of switch");
-        let state = self.switches.get_mut(&node).expect("switch state");
+        let dpid = self.dpid(node);
+        let now = self.now;
+        let state = self.switch_state(node);
         state.sweep_at = None;
-        let removed = state.table.expire(self.now);
+        let removed = state.table.expire(now);
         for fr in removed {
             let arrival = self.now + self.ctrl_latency();
             self.log.push(ControlEvent {

@@ -166,12 +166,20 @@ impl Topology {
 
     /// Adds an OpenFlow switch. The datapath id is derived from the node
     /// index so it is stable and unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already in use.
     pub fn add_of_switch(&mut self, name: &str) -> NodeId {
         let dpid = DatapathId(0x1000 + self.nodes.len() as u64);
         self.push_node(name, NodeKind::OfSwitch { dpid })
     }
 
     /// Adds a legacy (non-OpenFlow) switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already in use.
     pub fn add_legacy_switch(&mut self, name: &str) -> NodeId {
         self.push_node(name, NodeKind::LegacySwitch)
     }
@@ -193,6 +201,10 @@ impl Topology {
 
     /// Connects two nodes with a bidirectional link, assigning the next
     /// free port number on each side.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-link (`a == b`) or an out-of-range node id.
     pub fn connect(&mut self, a: NodeId, b: NodeId, latency_us: u64, capacity_bps: u64) -> LinkId {
         assert_ne!(a, b, "self-links are not allowed");
         let link = LinkId(self.links.len() as u32);
@@ -293,11 +305,20 @@ impl Topology {
 
     /// Neighbors of `n` as `(local port, link, peer)` triples in port
     /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
     pub fn ports_of(&self, n: NodeId) -> &[(PortNo, LinkId, NodeId)] {
         &self.adj[n.idx()].ports
     }
 
-    /// The local port on `from` that leads to adjacent node `to`.
+    /// The local port on `from` that leads to adjacent node `to`, or
+    /// `None` when the nodes are not adjacent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
     pub fn port_towards(&self, from: NodeId, to: NodeId) -> Option<PortNo> {
         self.adj[from.idx()]
             .ports
@@ -306,7 +327,12 @@ impl Topology {
             .map(|(p, _, _)| *p)
     }
 
-    /// The link between two adjacent nodes.
+    /// The link between two adjacent nodes, or `None` when the nodes are
+    /// not adjacent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
         self.adj[a.idx()]
             .ports
