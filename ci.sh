@@ -35,6 +35,15 @@ if ! printf '%s\n' "$watch_out" | grep -q '^stats: .* interned'; then
 fi
 printf '%s\n' "$watch_out" | grep '^stats: '
 
+step "flowdiff-bench chaos smoke test (ingestion fault drill)"
+chaos_out="$(cargo run --release -q -p flowdiff-bench --bin flowdiff-bench -- \
+    chaos --seed 1 --corruption 0.01)"
+printf '%s\n' "$chaos_out"
+if ! printf '%s\n' "$chaos_out" | grep -q '^fidelity: '; then
+    echo "FAIL: chaos drill emitted no fidelity line" >&2
+    exit 1
+fi
+
 step "cargo bench --no-run (benches must compile)"
 cargo bench --no-run -q
 

@@ -1,7 +1,8 @@
 //! Index of the experiment harness: lists the binaries that regenerate
 //! each table and figure of the paper — plus `watch`, the online diff
-//! mode over on-disk captures.
+//! mode over on-disk captures, and `chaos`, the ingestion fault drill.
 
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 use flowdiff::prelude::*;
@@ -12,6 +13,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("watch") => match cmd_watch(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Some("chaos") => match cmd_chaos(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -33,7 +41,9 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: flowdiff-bench [watch <baseline.fcap> <current.fcap> \
-         [--special ip,ip] [--epoch-secs N] [--window-secs N]]"
+         [--special ip,ip] [--epoch-secs N] [--window-secs N]]\n       \
+         flowdiff-bench [chaos [--seed N] [--corruption RATE] \
+         [--skew-us N] [--jitter-us N]]"
     );
 }
 
@@ -78,6 +88,9 @@ fn print_index() {
     println!("Online mode over captures (see flowdiff_cli demo to make them):");
     println!("  cargo run --release -p flowdiff-bench -- watch baseline.fcap current.fcap");
     println!();
+    println!("Ingestion fault drill (chaos-mangled 320-server capture):");
+    println!("  cargo run --release -p flowdiff-bench -- chaos --seed 1 --corruption 0.01");
+    println!();
     println!("Criterion benchmarks: cargo bench --workspace");
 }
 
@@ -114,6 +127,9 @@ fn cmd_watch(args: &[String]) -> CliResult {
             other => return Err(format!("unknown flag: {other}").into()),
         }
     }
+    // A live tap reads possibly-corrupt bytes: quarantine timestamps
+    // jumping past the eviction horizon instead of trusting them.
+    config.max_time_jump_us = config.partial_flow_timeout_us.max(config.episode_gap_us);
 
     let baseline_bytes = std::fs::read(&args[0]).map_err(|e| format!("{}: {e}", args[0]))?;
     let baseline_log =
@@ -137,22 +153,162 @@ fn cmd_watch(args: &[String]) -> CliResult {
 
     // The current capture is never materialized: events are decoded one
     // at a time off the wire bytes and fed straight into the differ.
+    // Corrupt frames are skipped (the stream resynchronizes) and
+    // tallied, not fatal: a live tap must survive a bad write.
     let current_bytes = std::fs::read(&args[1]).map_err(|e| format!("{}: {e}", args[1]))?;
-    let mut differ = OnlineDiffer::new(baseline, stability, &config);
-    for event in
-        LogStream::from_wire_bytes(&current_bytes).map_err(|e| format!("{}: {e}", args[1]))?
-    {
-        let event = event.map_err(|e| format!("{}: {e}", args[1]))?;
-        for snapshot in differ.observe(event.as_ref()) {
-            report(&snapshot, &config);
+    let mut differ = OnlineDiffer::try_new(baseline, stability, &config)?;
+    let mut stream =
+        LogStream::from_wire_bytes(&current_bytes).map_err(|e| format!("{}: {e}", args[1]))?;
+    for event in stream.by_ref() {
+        match event {
+            Ok(event) => {
+                for snapshot in differ.observe(event.as_ref()) {
+                    report(&snapshot, &config);
+                }
+            }
+            Err(e) => eprintln!("warning: {}: {e} (resynchronized)", args[1]),
         }
     }
+    let mut health = *differ.health();
+    health.absorb_stream(stream.stats());
     if let Some(snapshot) = differ.finish() {
         report(&snapshot, &config);
     } else {
         return Err(format!("{}: capture holds no events", args[1]).into());
     }
+    println!("stats: ingest {health}");
     Ok(())
+}
+
+/// `chaos`: regenerate the paper's 320-server tree capture, mangle it
+/// with a seeded fault injector, stream both the clean and the mangled
+/// bytes through the online differ against the same baseline, and
+/// report how much of the clean run's diff survived the damage.
+fn cmd_chaos(args: &[String]) -> CliResult {
+    let mut seed: u64 = 1;
+    let mut corruption: f64 = 0.01;
+    let mut skew_us: u64 = 0;
+    let mut jitter_us: u64 = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().ok_or("--seed needs a number")?.parse()?,
+            "--corruption" => {
+                corruption = it.next().ok_or("--corruption needs a rate")?.parse()?;
+                if !(0.0..=1.0).contains(&corruption) {
+                    return Err("--corruption must be in [0, 1]".into());
+                }
+            }
+            "--skew-us" => skew_us = it.next().ok_or("--skew-us needs a number")?.parse()?,
+            "--jitter-us" => jitter_us = it.next().ok_or("--jitter-us needs a number")?.parse()?,
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+    }
+
+    let (baseline_log, mut config) = flowdiff_bench::tree_capture(9, 42, 6);
+    let (current_log, _) = flowdiff_bench::tree_capture(9, 43, 6);
+    // Give the reorder buffer enough slack to absorb whatever timing
+    // damage the injector is configured to do, and quarantine the
+    // far-future timestamps bit flips mint.
+    config.reorder_slack_us = jitter_us + 2 * skew_us;
+    config.max_time_jump_us = config.partial_flow_timeout_us.max(config.episode_gap_us);
+    config.validate()?;
+    let baseline = BehaviorModel::build(&baseline_log, &config);
+    let stability = analyze(&baseline_log, &baseline, &config);
+
+    let chaos = ChannelChaos {
+        reorder_jitter_us: jitter_us,
+        clock_skew_us: skew_us,
+        seed,
+        ..ChannelChaos::corruption(corruption, seed)
+    };
+    println!(
+        "chaos: seed {seed}, corruption {:.2}% (drop {:.2}% dup {:.2}% truncate {:.2}% \
+         flip {:.2}%), skew ±{skew_us}us, jitter {jitter_us}us",
+        corruption * 100.0,
+        chaos.drop_prob * 100.0,
+        chaos.duplicate_prob * 100.0,
+        chaos.truncate_prob * 100.0,
+        chaos.bit_flip_prob * 100.0,
+    );
+
+    let clean_bytes = current_log.to_wire_bytes();
+    let (mangled_bytes, report) = chaos.mangle(&current_log);
+    println!(
+        "mangled: {} frames -> {} dropped, {} duplicated, {} truncated, \
+         {} bit-flipped, {} reordered",
+        report.total_frames,
+        report.dropped,
+        report.duplicated,
+        report.truncated,
+        report.bit_flipped,
+        report.reordered,
+    );
+
+    let (clean_keys, clean_health) =
+        stream_changes(&clean_bytes, baseline.clone(), stability.clone(), &config)?;
+    println!(
+        "clean:   {} confirmed changes; ingest {clean_health}",
+        clean_keys.len()
+    );
+    let (chaos_keys, chaos_health) = stream_changes(&mangled_bytes, baseline, stability, &config)?;
+    println!("stats: ingest {chaos_health}");
+
+    let recovered = clean_keys.intersection(&chaos_keys).count();
+    let fidelity = if clean_keys.is_empty() {
+        1.0
+    } else {
+        recovered as f64 / clean_keys.len() as f64
+    };
+    println!(
+        "fidelity: {:.1}% ({recovered}/{} confirmed changes recovered)",
+        fidelity * 100.0,
+        clean_keys.len()
+    );
+    Ok(())
+}
+
+/// Streams capture bytes through an [`OnlineDiffer`] and returns the
+/// union over all epochs of confirmed change keys, plus the ingestion
+/// health counters. Decode errors are tolerated (the stream
+/// resynchronizes); they show up in the health counters.
+fn stream_changes(
+    bytes: &[u8],
+    baseline: BehaviorModel,
+    stability: StabilityReport,
+    config: &FlowDiffConfig,
+) -> Result<(BTreeSet<String>, flowdiff::records::IngestHealth), Box<dyn std::error::Error>> {
+    let mut differ = OnlineDiffer::try_new(baseline, stability, config)?;
+    let mut keys = BTreeSet::new();
+    let mut stream = LogStream::from_wire_bytes(bytes)?;
+    // Decode errors are tallied in the stream's own counters.
+    for event in stream.by_ref().flatten() {
+        for snapshot in differ.observe(event.as_ref()) {
+            collect_keys(&snapshot.diff, &mut keys);
+        }
+    }
+    let mut health = *differ.health();
+    health.absorb_stream(stream.stats());
+    if let Some(snapshot) = differ.finish() {
+        collect_keys(&snapshot.diff, &mut keys);
+    }
+    Ok((keys, health))
+}
+
+/// Keys a diff's changes by signature, direction, and implicated
+/// components — stable identifiers that survive magnitude jitter.
+fn collect_keys(diff: &ModelDiff, keys: &mut BTreeSet<String>) {
+    for change in diff
+        .group_diffs
+        .iter()
+        .flat_map(|g| g.changes.iter())
+        .chain(diff.infra.iter())
+    {
+        keys.insert(format!(
+            "{:?} {:?} {:?}",
+            change.kind, change.direction, change.components
+        ));
+    }
 }
 
 /// One status line per epoch snapshot.

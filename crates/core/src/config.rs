@@ -63,6 +63,26 @@ pub struct FlowDiffConfig {
     /// is clamped to at least `episode_gap_us` so eviction can never
     /// merge what the batch extractor would split.
     pub partial_flow_timeout_us: u64,
+    /// Streaming record assembly: events arriving up to this much out of
+    /// time order are re-sequenced through a bounded buffer before
+    /// assembly (useful when merging taps with clock skew). `0` — the
+    /// default — disables buffering: events pass straight through and
+    /// disorder is only *counted* (see
+    /// [`IngestHealth`](crate::records::IngestHealth)). Unlike
+    /// `partial_flow_timeout_us`, which bounds how long a flow may stay
+    /// open, this bounds how long an *event* may be held back, so it
+    /// should stay small (milliseconds, not seconds).
+    pub reorder_slack_us: u64,
+    /// Streaming record assembly: an event whose timestamp jumps more
+    /// than this far beyond every timestamp seen so far is treated as a
+    /// corrupt clock reading — dropped and counted
+    /// ([`IngestHealth::time_jumps`](crate::records::IngestHealth)) —
+    /// instead of fast-forwarding the eviction horizon and the online
+    /// epoch clock into the far future. `0` — the default — disables
+    /// the check (any gap is trusted, as befits archived batch logs);
+    /// live taps reading possibly-corrupt bytes should set it to
+    /// roughly the eviction horizon.
+    pub max_time_jump_us: u64,
     /// Online mode: how often the live window is snapshotted and diffed
     /// against the baseline, microseconds.
     pub online_epoch_us: u64,
@@ -92,11 +112,30 @@ impl Default for FlowDiffConfig {
             ephemeral_port_floor: 9_999,
             min_samples: 5,
             partial_flow_timeout_us: 60_000_000,
+            reorder_slack_us: 0,
+            max_time_jump_us: 0,
             online_epoch_us: 5_000_000,
             online_window_us: 30_000_000,
         }
     }
 }
+
+/// A rejected [`FlowDiffConfig`]: which field is out of range and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Name of the offending field.
+    pub field: &'static str,
+    /// What the constraint is.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid config: {} {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl FlowDiffConfig {
     /// Sets the special-purpose node list (builder style).
@@ -109,6 +148,56 @@ impl FlowDiffConfig {
     /// True if `ip` is a marked special-purpose node.
     pub fn is_special(&self, ip: Ipv4Addr) -> bool {
         self.special_ips.contains(&ip)
+    }
+
+    /// Checks the config for values that would make analysis nonsensical
+    /// or panic deep inside the pipeline (zero histogram bins, an online
+    /// window shorter than its epoch, vacuous support thresholds).
+    /// Called by `OnlineDiffer::try_new` and the bench CLI; batch
+    /// callers constructing configs by hand should call it too.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found, naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn nonzero(field: &'static str, v: u64) -> Result<(), ConfigError> {
+            if v == 0 {
+                return Err(ConfigError {
+                    field,
+                    reason: "must be nonzero",
+                });
+            }
+            Ok(())
+        }
+        fn fraction(field: &'static str, v: f64) -> Result<(), ConfigError> {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(ConfigError {
+                    field,
+                    reason: "must be in (0, 1]",
+                });
+            }
+            Ok(())
+        }
+        nonzero("epoch_us", self.epoch_us)?;
+        nonzero("dd_bin_us", self.dd_bin_us)?;
+        nonzero("episode_gap_us", self.episode_gap_us)?;
+        nonzero("online_epoch_us", self.online_epoch_us)?;
+        if self.stability_intervals == 0 {
+            return Err(ConfigError {
+                field: "stability_intervals",
+                reason: "must be nonzero",
+            });
+        }
+        fraction("min_sup", self.min_sup)?;
+        fraction("stability_quorum", self.stability_quorum)?;
+        if self.online_window_us < self.online_epoch_us {
+            return Err(ConfigError {
+                field: "online_window_us",
+                reason: "must be at least online_epoch_us",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -130,5 +219,88 @@ mod tests {
             .with_special_ips([Ipv4Addr::new(10, 200, 0, 1), Ipv4Addr::new(10, 200, 0, 2)]);
         assert!(c.is_special(Ipv4Addr::new(10, 200, 0, 1)));
         assert!(!c.is_special(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(FlowDiffConfig::default().validate(), Ok(()));
+    }
+
+    fn rejected_field(c: FlowDiffConfig) -> &'static str {
+        c.validate().expect_err("config should be rejected").field
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_field() {
+        let base = FlowDiffConfig::default;
+        assert_eq!(
+            rejected_field(FlowDiffConfig {
+                epoch_us: 0,
+                ..base()
+            }),
+            "epoch_us"
+        );
+        assert_eq!(
+            rejected_field(FlowDiffConfig {
+                dd_bin_us: 0,
+                ..base()
+            }),
+            "dd_bin_us"
+        );
+        assert_eq!(
+            rejected_field(FlowDiffConfig {
+                episode_gap_us: 0,
+                ..base()
+            }),
+            "episode_gap_us"
+        );
+        assert_eq!(
+            rejected_field(FlowDiffConfig {
+                online_epoch_us: 0,
+                ..base()
+            }),
+            "online_epoch_us"
+        );
+        assert_eq!(
+            rejected_field(FlowDiffConfig {
+                stability_intervals: 0,
+                ..base()
+            }),
+            "stability_intervals"
+        );
+        for bad in [0.0, -0.25, 1.5] {
+            assert_eq!(
+                rejected_field(FlowDiffConfig {
+                    min_sup: bad,
+                    ..base()
+                }),
+                "min_sup"
+            );
+            assert_eq!(
+                rejected_field(FlowDiffConfig {
+                    stability_quorum: bad,
+                    ..base()
+                }),
+                "stability_quorum"
+            );
+        }
+        assert_eq!(
+            rejected_field(FlowDiffConfig {
+                online_epoch_us: 10_000_000,
+                online_window_us: 5_000_000,
+                ..base()
+            }),
+            "online_window_us"
+        );
+    }
+
+    #[test]
+    fn validate_accepts_boundary_fractions() {
+        let c = FlowDiffConfig {
+            min_sup: 1.0,
+            stability_quorum: 1.0,
+            ..FlowDiffConfig::default()
+        };
+        assert_eq!(c.validate(), Ok(()));
     }
 }

@@ -11,7 +11,7 @@ use openflow::types::Timestamp;
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, SignatureKind};
-use crate::config::FlowDiffConfig;
+use crate::config::{ConfigError, FlowDiffConfig};
 use crate::groups::{match_group_refs, AppGroup};
 use crate::model::{BehaviorModel, IncrementalModelBuilder};
 use crate::records::RecordAssembler;
@@ -232,12 +232,33 @@ pub struct OnlineDiffer {
 impl OnlineDiffer {
     /// A differ against `reference`, gated by `stability` (use
     /// [`StabilityReport::all_stable`] to diff ungated).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config fails [`FlowDiffConfig::validate`]; use
+    /// [`OnlineDiffer::try_new`] to handle invalid configs gracefully.
     pub fn new(
         reference: BehaviorModel,
         stability: StabilityReport,
         config: &FlowDiffConfig,
     ) -> OnlineDiffer {
-        OnlineDiffer {
+        OnlineDiffer::try_new(reference, stability, config).expect("invalid FlowDiffConfig")
+    }
+
+    /// Like [`OnlineDiffer::new`], but rejects nonsensical configs
+    /// (zero epochs, a window shorter than its epoch, …) instead of
+    /// letting them panic deep inside the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`FlowDiffConfig::validate`].
+    pub fn try_new(
+        reference: BehaviorModel,
+        stability: StabilityReport,
+        config: &FlowDiffConfig,
+    ) -> Result<OnlineDiffer, ConfigError> {
+        config.validate()?;
+        Ok(OnlineDiffer {
             reference,
             stability,
             config: config.clone(),
@@ -247,23 +268,61 @@ impl OnlineDiffer {
             window_us: config.online_window_us.max(1),
             next_boundary: None,
             epoch: 0,
-        }
+        })
+    }
+
+    /// Event-level ingestion health accumulated so far (out-of-order
+    /// events, duplicate xids, orphans, evictions). Frame-level decode
+    /// counters live with the [`LogStream`](netsim::log::LogStream)
+    /// feeding this differ; fold them in with
+    /// [`IngestHealth::absorb_stream`](crate::records::IngestHealth::absorb_stream).
+    pub fn health(&self) -> &crate::records::IngestHealth {
+        self.assembler.health()
     }
 
     /// Feeds one event; returns the snapshots of every epoch boundary
     /// the event's timestamp crossed (usually none, one if the stream
-    /// just entered a new epoch, several after a quiet stretch).
+    /// just entered a new epoch, several after a quiet stretch — but
+    /// never more than one window's worth: boundaries whose window had
+    /// already drained are skipped, their epoch indices consumed, so a
+    /// quiet day or a corrupt far-future timestamp cannot force one
+    /// model build per crossed epoch).
     pub fn observe(&mut self, event: &ControlEvent) -> Vec<EpochSnapshot> {
+        // A quarantined timestamp must not drive the epoch clock either.
+        if self.assembler.quarantines(event.ts) {
+            let admitted = self.assembler.observe(event);
+            debug_assert!(!admitted, "quarantines() and observe() disagree");
+            return Vec::new();
+        }
         if self.next_boundary.is_none() {
             self.next_boundary = Some(event.ts + self.epoch_us);
         }
+        // After this many boundaries with no new events, the sliding
+        // window has fully drained and every further snapshot before
+        // the event would model the same empty window.
+        let drain_epochs = self.window_us.div_ceil(self.epoch_us) + 1;
+        let mut emitted = 0;
         let mut out = Vec::new();
         while let Some(boundary) = self.next_boundary {
             if event.ts < boundary {
                 break;
             }
-            out.push(self.snapshot_at(boundary));
-            self.next_boundary = Some(boundary + self.epoch_us);
+            if emitted < drain_epochs {
+                out.push(self.snapshot_at(boundary));
+                emitted += 1;
+                self.next_boundary = Some(boundary + self.epoch_us);
+            } else {
+                // Jump the epoch grid to the first boundary beyond the
+                // event, consuming the skipped indices.
+                let behind = event.ts.as_micros() - boundary.as_micros();
+                let skipped = behind / self.epoch_us + 1;
+                self.epoch += skipped;
+                self.next_boundary = Some(Timestamp::from_micros(
+                    boundary
+                        .as_micros()
+                        .saturating_add(skipped.saturating_mul(self.epoch_us)),
+                ));
+            }
         }
         self.assembler.observe(event);
         self.builder.observe_event(event);
@@ -516,5 +575,69 @@ mod tests {
             "app -> db edge must disappear: {:#?}",
             g.changes
         );
+    }
+
+    fn hello_at(ts: Timestamp) -> ControlEvent {
+        ControlEvent {
+            ts,
+            dpid: openflow::types::DatapathId(1),
+            direction: netsim::log::Direction::ToController,
+            xid: openflow::types::Xid(0),
+            msg: openflow::messages::OfpMessage::Hello,
+        }
+    }
+
+    #[test]
+    fn far_future_event_cannot_flood_the_epoch_clock() {
+        let config = FlowDiffConfig::default();
+        let empty = netsim::log::ControllerLog::new();
+        let reference = crate::model::BehaviorModel::build(&empty, &config);
+        let stability = crate::stability::StabilityReport::all_stable(&reference);
+        let mut differ = OnlineDiffer::try_new(reference, stability, &config).unwrap();
+
+        assert!(differ
+            .observe(&hello_at(Timestamp::from_secs(1)))
+            .is_empty());
+        // 10 000 epochs ahead: one snapshot per crossed epoch would be
+        // 10 000 model builds. Only the draining window may be modeled.
+        let jump = Timestamp::from_micros(1_000_000 + 10_000 * config.online_epoch_us);
+        let flood = differ.observe(&hello_at(jump));
+        let drain = config.online_window_us.div_ceil(config.online_epoch_us) + 1;
+        assert!(
+            (flood.len() as u64) <= drain,
+            "{} snapshots for one quiet stretch",
+            flood.len()
+        );
+        // The skipped boundaries still consume epoch indices, and the
+        // differ keeps answering afterwards.
+        let next = differ.observe(&hello_at(jump + config.online_epoch_us));
+        assert_eq!(next.len(), 1);
+        assert!(next[0].epoch >= 10_000, "epoch index reflects log time");
+    }
+
+    #[test]
+    fn quarantined_timestamp_leaves_the_epoch_clock_alone() {
+        let config = FlowDiffConfig {
+            max_time_jump_us: 60_000_000,
+            ..FlowDiffConfig::default()
+        };
+        let empty = netsim::log::ControllerLog::new();
+        let reference = crate::model::BehaviorModel::build(&empty, &config);
+        let stability = crate::stability::StabilityReport::all_stable(&reference);
+        let mut differ = OnlineDiffer::try_new(reference, stability, &config).unwrap();
+
+        assert!(differ
+            .observe(&hello_at(Timestamp::from_secs(1)))
+            .is_empty());
+        let corrupt = Timestamp::from_micros(1_000_000 + (1 << 50));
+        assert!(
+            differ.observe(&hello_at(corrupt)).is_empty(),
+            "corrupt timestamp must not emit snapshots"
+        );
+        assert_eq!(differ.health().time_jumps, 1);
+        // The epoch clock still follows honest time.
+        let honest = differ.observe(&hello_at(Timestamp::from_secs(7)));
+        assert_eq!(honest.len(), 1);
+        assert_eq!(honest[0].epoch, 0);
     }
 }

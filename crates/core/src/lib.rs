@@ -60,7 +60,7 @@ pub mod tasks;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::change::Locus;
-    pub use crate::config::FlowDiffConfig;
+    pub use crate::config::{ConfigError, FlowDiffConfig};
     pub use crate::diagnosis::{
         diagnose, Change, Component, DiagnosisReport, ProblemClass, SignatureKind,
     };
@@ -70,7 +70,9 @@ pub mod prelude {
         EntityCatalog, HostId, IRecord, InternedLog, PortId, RecordIndex, SwitchId,
     };
     pub use crate::model::{BehaviorModel, GroupSignatures, IncrementalModelBuilder};
-    pub use crate::records::{extract_records, FlowRecord, FlowTuple, RecordAssembler};
+    pub use crate::records::{
+        extract_records, FlowRecord, FlowTuple, IngestAnomaly, IngestHealth, RecordAssembler,
+    };
     pub use crate::signatures::{
         DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
     };

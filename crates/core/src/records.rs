@@ -6,7 +6,7 @@
 //! path, the `FlowMod` replies, and the final counters from
 //! `FlowRemoved`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -17,6 +17,121 @@ use openflow::types::{DatapathId, IpProto, PortNo, Timestamp, Xid};
 use serde::{Deserialize, Serialize};
 
 use crate::config::FlowDiffConfig;
+
+/// One countable irregularity in the control-event stream.
+///
+/// These are the event-level counterparts of the frame-level
+/// [`netsim::log::DecodeError`]: the frame decoded fine, but the event
+/// doesn't fit the protocol conversation the assembler expects. None of
+/// them stop ingestion — the assembler counts the anomaly in its
+/// [`IngestHealth`] and continues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestAnomaly {
+    /// An event arrived with a timestamp earlier than an already-seen
+    /// event (reordered capture or clock skew between taps).
+    OutOfOrder,
+    /// A second `FlowMod` reused an in-flight xid; the first one wins.
+    DuplicateXid,
+    /// A `FlowMod` whose xid never matched any `PacketIn` before it
+    /// aged out.
+    OrphanFlowMod,
+    /// A `FlowRemoved` for a tuple with no open episode started before
+    /// it.
+    OrphanFlowRemoved,
+    /// A `FlowMod` reply that arrived after its episode was already
+    /// evicted past `partial_flow_timeout_us`.
+    StaleAttach,
+    /// An event whose timestamp jumped further beyond everything seen
+    /// so far than `max_time_jump_us` allows (a corrupt clock reading);
+    /// the event was dropped.
+    TimeJump,
+}
+
+/// Ingestion health counters: how much of the input decoded cleanly and
+/// what kinds of protocol irregularities were tolerated along the way.
+///
+/// The frame-level counters are filled from
+/// [`netsim::log::StreamStats`] via [`IngestHealth::absorb_stream`];
+/// the event-level counters accumulate inside [`RecordAssembler`]. On a
+/// clean, time-sorted capture every field is zero except
+/// `frames_decoded`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestHealth {
+    /// Wire frames decoded into events.
+    pub frames_decoded: u64,
+    /// Corrupt wire regions skipped during resynchronization.
+    pub frames_skipped: u64,
+    /// Bytes discarded while resynchronizing.
+    pub bytes_skipped: u64,
+    /// Events that arrived out of time order.
+    pub events_reordered: u64,
+    /// Episodes evicted (emitted early) after idling past the horizon.
+    pub episodes_evicted: u64,
+    /// `FlowMod`s rejected for reusing an in-flight xid.
+    pub duplicate_xids: u64,
+    /// `FlowMod`s that never matched a `PacketIn`.
+    pub orphan_flow_mods: u64,
+    /// `FlowRemoved`s with no open episode to attach to.
+    pub orphan_flow_removeds: u64,
+    /// `FlowMod` replies that arrived after their episode was evicted.
+    pub stale_attaches: u64,
+    /// Events dropped for an implausible forward timestamp jump.
+    pub time_jumps: u64,
+}
+
+impl IngestHealth {
+    /// Counts one anomaly.
+    pub fn record(&mut self, anomaly: IngestAnomaly) {
+        match anomaly {
+            IngestAnomaly::OutOfOrder => self.events_reordered += 1,
+            IngestAnomaly::DuplicateXid => self.duplicate_xids += 1,
+            IngestAnomaly::OrphanFlowMod => self.orphan_flow_mods += 1,
+            IngestAnomaly::OrphanFlowRemoved => self.orphan_flow_removeds += 1,
+            IngestAnomaly::StaleAttach => self.stale_attaches += 1,
+            IngestAnomaly::TimeJump => self.time_jumps += 1,
+        }
+    }
+
+    /// Folds a [`LogStream`](netsim::log::LogStream)'s frame counters
+    /// into the health picture.
+    pub fn absorb_stream(&mut self, stats: netsim::log::StreamStats) {
+        self.frames_decoded += stats.frames_decoded;
+        self.frames_skipped += stats.frames_skipped;
+        self.bytes_skipped += stats.bytes_skipped;
+    }
+
+    /// Total event-level anomalies (excludes frame skips and episode
+    /// evictions, which are reported separately).
+    pub fn anomalies(&self) -> u64 {
+        self.events_reordered
+            + self.duplicate_xids
+            + self.orphan_flow_mods
+            + self.orphan_flow_removeds
+            + self.stale_attaches
+            + self.time_jumps
+    }
+}
+
+impl fmt::Display for IngestHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} frames decoded, {} skipped ({} B); {} reordered, \
+             {} dup xids, {} orphan mods, {} orphan removals, \
+             {} stale attaches, {} time jumps; {} episodes evicted",
+            self.frames_decoded,
+            self.frames_skipped,
+            self.bytes_skipped,
+            self.events_reordered,
+            self.duplicate_xids,
+            self.orphan_flow_mods,
+            self.orphan_flow_removeds,
+            self.stale_attaches,
+            self.time_jumps,
+            self.episodes_evicted,
+        )
+    }
+}
 
 /// A transport 5-tuple identifying a flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -113,6 +228,15 @@ pub fn extract_records(log: &ControllerLog, config: &FlowDiffConfig) -> Vec<Flow
     for ev in log.events() {
         asm.observe(ev);
     }
+    // A materialized log is time-sorted (`ControllerLog::finish`), so
+    // any out-of-order count here means the assembler miscounted — a
+    // bug, not bad input. (Other anomaly kinds are legitimate even in
+    // sorted logs: xid collisions, orphan removals, and the like.)
+    debug_assert_eq!(
+        asm.health().events_reordered,
+        0,
+        "sorted log must never count out-of-order events"
+    );
     asm.finish()
 }
 
@@ -153,19 +277,29 @@ struct PendingHop {
 /// - **pending hops** — hops whose `FlowMod` has not arrived yet,
 ///   patched in place when it does.
 ///
-/// Input events must be in non-decreasing time order (a
-/// [`ControllerLog`] guarantees this). The result is identical to the
-/// historical whole-log extraction as long as every event pairing with
-/// a flow arrives within the horizon of the flow's last activity; a
-/// `FlowMod` or `FlowRemoved` straggling in later than that no longer
-/// attaches. Because the horizon is at least the episode gap, eviction
-/// can never merge two episodes the batch extractor would split.
+/// Input events should be in non-decreasing time order (a
+/// [`ControllerLog`] guarantees this); disordered input is *tolerated* —
+/// counted in [`IngestHealth::events_reordered`] and, when
+/// `reorder_slack_us > 0`, re-sequenced through a bounded buffer before
+/// assembly. The result is identical to the historical whole-log
+/// extraction as long as every event pairing with a flow arrives within
+/// the horizon of the flow's last activity; a `FlowMod` or `FlowRemoved`
+/// straggling in later than that no longer attaches. Because the
+/// horizon is at least the episode gap, eviction can never merge two
+/// episodes the batch extractor would split.
 #[derive(Debug, Clone)]
 pub struct RecordAssembler {
     episode_gap_us: u64,
     horizon_us: u64,
-    /// xid -> (flow_mod send ts, installed output port); first wins.
-    seen_mods: HashMap<Xid, (Timestamp, Option<PortNo>)>,
+    /// Events within this much of the newest arrival are re-sequenced
+    /// before assembly; `0` disables buffering entirely (zero-cost
+    /// passthrough).
+    reorder_slack_us: u64,
+    /// Events jumping further than this beyond `max_arrival` are
+    /// dropped as corrupt clock readings; `0` disables the check.
+    max_time_jump_us: u64,
+    /// xid -> first FlowMod seen for it; first wins.
+    seen_mods: HashMap<Xid, SeenMod>,
     /// xid -> hops still waiting for that FlowMod.
     pending_mods: HashMap<Xid, Vec<PendingHop>>,
     /// Open episodes per tuple, oldest first. A flat hash map: every
@@ -177,15 +311,37 @@ pub struct RecordAssembler {
     completed: Vec<FlowRecord>,
     now: Timestamp,
     last_prune: Timestamp,
+    /// Newest *arrival* timestamp (as opposed to `now`, the newest
+    /// *processed* timestamp); drives out-of-order detection and the
+    /// reorder buffer's release watermark.
+    max_arrival: Timestamp,
+    /// Held-back events awaiting re-sequencing, keyed by
+    /// `(ts, arrival_seq)` so simultaneous events keep arrival order.
+    /// Empty whenever `reorder_slack_us == 0`.
+    reorder_buf: BTreeMap<(Timestamp, u64), ControlEvent>,
+    arrival_seq: u64,
+    health: IngestHealth,
+}
+
+/// The first `FlowMod` seen for an xid.
+#[derive(Debug, Clone, Copy)]
+struct SeenMod {
+    ts: Timestamp,
+    out: Option<PortNo>,
+    /// True once the mod matched at least one `PacketIn` hop; entries
+    /// pruned without ever matching count as orphan FlowMods.
+    used: bool,
 }
 
 impl RecordAssembler {
-    /// New assembler using `config.episode_gap_us` and
-    /// `config.partial_flow_timeout_us`.
+    /// New assembler using `config.episode_gap_us`,
+    /// `config.partial_flow_timeout_us`, and `config.reorder_slack_us`.
     pub fn new(config: &FlowDiffConfig) -> RecordAssembler {
         RecordAssembler {
             episode_gap_us: config.episode_gap_us,
             horizon_us: config.partial_flow_timeout_us.max(config.episode_gap_us),
+            reorder_slack_us: config.reorder_slack_us,
+            max_time_jump_us: config.max_time_jump_us,
             seen_mods: HashMap::new(),
             pending_mods: HashMap::new(),
             open: HashMap::new(),
@@ -193,11 +349,77 @@ impl RecordAssembler {
             completed: Vec::new(),
             now: Timestamp::ZERO,
             last_prune: Timestamp::ZERO,
+            max_arrival: Timestamp::ZERO,
+            reorder_buf: BTreeMap::new(),
+            arrival_seq: 0,
+            health: IngestHealth::default(),
         }
     }
 
-    /// Feeds one control event through the state machine.
-    pub fn observe(&mut self, ev: &ControlEvent) {
+    /// Ingestion health counters accumulated so far (event-level only;
+    /// callers streaming from wire bytes fold in their
+    /// [`LogStream`](netsim::log::LogStream) stats via
+    /// [`IngestHealth::absorb_stream`]).
+    pub fn health(&self) -> &IngestHealth {
+        &self.health
+    }
+
+    /// True when `observe` would drop an event at `ts` as a corrupt
+    /// clock reading (see `max_time_jump_us`). Callers that schedule
+    /// work off event timestamps — the `OnlineDiffer`'s epoch clock —
+    /// consult this *before* trusting the timestamp.
+    pub fn quarantines(&self, ts: Timestamp) -> bool {
+        self.max_time_jump_us > 0
+            && ts
+                .checked_since(self.max_arrival)
+                .is_some_and(|jump| jump > self.max_time_jump_us)
+    }
+
+    /// Feeds one control event in, returning `false` when the event was
+    /// quarantined (dropped for an implausible timestamp) instead of
+    /// assembled. With `reorder_slack_us == 0` an admitted event goes
+    /// straight through the state machine; otherwise it is held in the
+    /// reorder buffer until the arrival watermark moves
+    /// `reorder_slack_us` past its timestamp, so slightly disordered
+    /// input is assembled in time order.
+    pub fn observe(&mut self, ev: &ControlEvent) -> bool {
+        if self.quarantines(ev.ts) {
+            self.health.record(IngestAnomaly::TimeJump);
+            return false;
+        }
+        if ev.ts < self.max_arrival {
+            self.health.record(IngestAnomaly::OutOfOrder);
+        } else {
+            self.max_arrival = ev.ts;
+        }
+        if self.reorder_slack_us == 0 {
+            self.process(ev);
+            return true;
+        }
+        // Even a too-late event goes through the buffer: it is below
+        // the release watermark, so it flushes right back out in this
+        // call, sequenced as well as possible against its peers.
+        self.reorder_buf
+            .insert((ev.ts, self.arrival_seq), ev.clone());
+        self.arrival_seq += 1;
+        let release = Timestamp::from_micros(
+            self.max_arrival
+                .as_micros()
+                .saturating_sub(self.reorder_slack_us),
+        );
+        while let Some(entry) = self.reorder_buf.first_entry() {
+            if entry.key().0 > release {
+                break;
+            }
+            let buffered = entry.remove();
+            self.process(&buffered);
+        }
+        true
+    }
+
+    /// Runs one event through the assembly state machine (post
+    /// re-sequencing).
+    fn process(&mut self, ev: &ControlEvent) {
         if ev.ts > self.now {
             self.now = ev.ts;
         }
@@ -246,8 +468,11 @@ impl RecordAssembler {
         in_port: PortNo,
         tuple: FlowTuple,
     ) {
-        let (fm_ts, out_port) = match self.seen_mods.get(&xid) {
-            Some((t, p)) => (Some(*t), *p),
+        let (fm_ts, out_port) = match self.seen_mods.get_mut(&xid) {
+            Some(sm) => {
+                sm.used = true;
+                (Some(sm.ts), sm.out)
+            }
             None => (None, None),
         };
         let hop = HopReport {
@@ -306,17 +531,30 @@ impl RecordAssembler {
         use std::collections::hash_map::Entry;
         // First FlowMod per xid wins, matching the batch pre-scan.
         let Entry::Vacant(slot) = self.seen_mods.entry(xid) else {
+            self.health.record(IngestAnomaly::DuplicateXid);
             return;
         };
-        slot.insert((ts, out));
+        slot.insert(SeenMod {
+            ts,
+            out,
+            used: false,
+        });
         let Some(waiting) = self.pending_mods.remove(&xid) else {
             return;
         };
+        // The xid matched real hops (even if some were since evicted):
+        // this mod is not an orphan.
+        if let Some(sm) = self.seen_mods.get_mut(&xid) {
+            sm.used = true;
+        }
         for p in waiting {
             let Some(episodes) = self.open.get_mut(&p.tuple) else {
-                continue; // episode already evicted: tolerated straggler
+                // episode already evicted: tolerated straggler
+                self.health.record(IngestAnomaly::StaleAttach);
+                continue;
             };
             let Some(ep) = episodes.iter_mut().find(|e| e.seq == p.seq) else {
+                self.health.record(IngestAnomaly::StaleAttach);
                 continue;
             };
             if let Some(h) = ep.record.hops.get_mut(p.hop_idx) {
@@ -340,6 +578,7 @@ impl RecordAssembler {
         // Attach to the latest episode started before the removal;
         // counters merge with max over per-switch FlowRemoveds.
         let Some(episodes) = self.open.get_mut(&tuple) else {
+            self.health.record(IngestAnomaly::OrphanFlowRemoved);
             return;
         };
         let Some(ep) = episodes
@@ -347,6 +586,7 @@ impl RecordAssembler {
             .rev()
             .find(|ep| ep.record.first_seen <= ts)
         else {
+            self.health.record(IngestAnomaly::OrphanFlowRemoved);
             return;
         };
         ep.record.byte_count = ep.record.byte_count.max(byte_count);
@@ -374,9 +614,19 @@ impl RecordAssembler {
             }
             !episodes.is_empty()
         });
+        self.health.episodes_evicted += evicted.len() as u64;
         self.completed.extend(evicted);
-        self.seen_mods
-            .retain(|_, (ts, _)| now.saturating_since(*ts) <= horizon);
+        let mut orphaned = 0u64;
+        self.seen_mods.retain(|_, sm| {
+            let keep = now.saturating_since(sm.ts) <= horizon;
+            if !keep && !sm.used {
+                orphaned += 1;
+            }
+            keep
+        });
+        for _ in 0..orphaned {
+            self.health.record(IngestAnomaly::OrphanFlowMod);
+        }
         self.pending_mods.retain(|_, hops| {
             hops.retain(|p| now.saturating_since(p.registered) <= horizon);
             !hops.is_empty()
@@ -410,10 +660,16 @@ impl RecordAssembler {
         self.completed.len()
     }
 
-    /// Drains everything: remaining open episodes are finalized and the
-    /// full record set is returned in `(first_seen, tuple)` order —
-    /// exactly the batch extraction order.
+    /// Drains everything: the reorder buffer is flushed, remaining open
+    /// episodes are finalized, and the full record set is returned in
+    /// `(first_seen, tuple)` order — exactly the batch extraction order.
     pub fn finish(mut self) -> Vec<FlowRecord> {
+        let held: Vec<ControlEvent> = std::mem::take(&mut self.reorder_buf)
+            .into_values()
+            .collect();
+        for ev in &held {
+            self.process(ev);
+        }
         let mut records = std::mem::take(&mut self.completed);
         records.extend(
             std::mem::take(&mut self.open)
@@ -636,6 +892,50 @@ mod tests {
         assert_eq!(view[0].hops.len(), 3, "all hops visible before completion");
         assert_eq!(view[0].byte_count, 0, "counters not yet attached");
         assert_eq!(asm.completed_len(), 0);
+    }
+
+    #[test]
+    fn time_jump_quarantine_drops_corrupt_clock_readings() {
+        let mut sim = Simulation::new(line_topology(), SimConfig::default(), 1);
+        sim.schedule_flow(
+            Timestamp::from_secs(1),
+            FlowSpec::new(key(4000), 6_000, 5_000),
+        );
+        sim.run_until(Timestamp::from_secs(30));
+        let log = sim.take_log();
+        let batch = extract_records(&log, &FlowDiffConfig::default());
+
+        // A bit flip in a wire timestamp mints an event eons ahead.
+        let mut corrupt = log.events()[0].clone();
+        corrupt.ts = Timestamp::from_micros(corrupt.ts.as_micros() + (1 << 50));
+
+        let guarded = FlowDiffConfig {
+            max_time_jump_us: 60_000_000,
+            ..FlowDiffConfig::default()
+        };
+        let mut asm = RecordAssembler::new(&guarded);
+        for (i, ev) in log.events().iter().enumerate() {
+            assert!(asm.observe(ev), "clean events must be admitted");
+            if i == 0 {
+                assert!(asm.quarantines(corrupt.ts));
+                assert!(!asm.observe(&corrupt), "insane jump must be dropped");
+            }
+        }
+        assert_eq!(asm.health().time_jumps, 1);
+        assert_eq!(
+            asm.health().events_reordered,
+            0,
+            "a dropped jump must not poison the arrival watermark"
+        );
+        let mut streamed = asm.finish();
+        streamed.sort_by_key(|r| (r.first_seen, r.tuple));
+        assert_eq!(streamed, batch, "records unaffected by the dropped event");
+
+        // Disabled (the default), the same event is admitted.
+        let mut unguarded = RecordAssembler::new(&FlowDiffConfig::default());
+        assert!(!unguarded.quarantines(corrupt.ts));
+        assert!(unguarded.observe(&corrupt));
+        assert_eq!(unguarded.health().time_jumps, 0);
     }
 
     #[test]

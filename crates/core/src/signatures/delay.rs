@@ -120,7 +120,12 @@ impl SignatureBuilder for DdBuilder {
                     }
                     let mut first = true;
                     for &t_out in &outs[start_idx..] {
-                        let d = t_out - t_in;
+                        // The scan above guarantees t_out >= t_in for
+                        // sorted input; checked_sub keeps a disordered
+                        // series from wrapping into a huge fake delay.
+                        let Some(d) = t_out.checked_sub(t_in) else {
+                            continue;
+                        };
                         if d >= self.dd_window_us {
                             break;
                         }

@@ -260,12 +260,17 @@ impl SignatureBuilder for IslBuilder {
             let Some(fm_ts) = a.flow_mod_ts else {
                 continue;
             };
-            if b.ts >= fm_ts {
-                self.samples
-                    .entry(pack_switch_pair(a.switch, b.switch))
-                    .or_default()
-                    .push((b.ts.as_micros() - fm_ts.as_micros()) as f64);
-            }
+            // Checked difference: a PacketIn timestamped before its
+            // upstream FlowMod (reordered capture, clock skew) yields
+            // no sample instead of a wrapped ~1.8e19 µs "latency" that
+            // would poison the pair's baseline.
+            let Some(delta) = b.ts.checked_since(fm_ts) else {
+                continue;
+            };
+            self.samples
+                .entry(pack_switch_pair(a.switch, b.switch))
+                .or_default()
+                .push(delta as f64);
         }
     }
 
@@ -398,12 +403,16 @@ impl SignatureBuilder for CrtBuilder {
     fn observe(&mut self, record: &IRecord) {
         for h in &record.hops {
             match h.flow_mod_ts {
-                Some(fm_ts) if fm_ts >= h.ts => {
-                    let d = (fm_ts.as_micros() - h.ts.as_micros()) as f64;
-                    self.all.push(d);
-                    self.per_switch.entry(h.switch).or_default().push(d);
+                // Checked difference: a FlowMod stamped before its
+                // PacketIn (reply reordered past its request) yields no
+                // sample rather than an underflowed response time.
+                Some(fm_ts) => {
+                    if let Some(d) = fm_ts.checked_since(h.ts) {
+                        let d = d as f64;
+                        self.all.push(d);
+                        self.per_switch.entry(h.switch).or_default().push(d);
+                    }
                 }
-                Some(_) => {}
                 None => self.unanswered += 1,
             }
         }
@@ -713,5 +722,62 @@ mod tests {
             .collect();
         assert_eq!(vanished, vec![s2_dpid]);
         assert!(d.iter().any(|c| matches!(c, PtChange::AdjacencyAdded(_))));
+    }
+
+    #[test]
+    fn reordered_timestamps_never_poison_latency_baselines() {
+        use crate::records::{FlowTuple, HopReport};
+        use openflow::types::{IpProto, PortNo, Xid};
+
+        // A two-event inversion, both flavors at once: the downstream
+        // PacketIn (hop 2, ts 1500) is stamped *before* hop 1's FlowMod
+        // (ts 2000), and hop 2's own FlowMod (ts 1200) is stamped before
+        // its PacketIn. Raw u64 subtraction would panic in debug and
+        // produce ~1.8e19 µs samples in release; checked_since must
+        // simply yield no sample.
+        let record = FlowRecord {
+            tuple: FlowTuple {
+                src: Ipv4Addr::new(10, 0, 0, 1),
+                sport: 10_000,
+                dst: Ipv4Addr::new(10, 0, 0, 2),
+                dport: 80,
+                proto: IpProto::TCP,
+            },
+            first_seen: Timestamp::from_micros(1_000),
+            hops: vec![
+                HopReport {
+                    ts: Timestamp::from_micros(1_000),
+                    dpid: DatapathId(1),
+                    in_port: PortNo(1),
+                    xid: Xid(7),
+                    flow_mod_ts: Some(Timestamp::from_micros(2_000)),
+                    out_port: Some(PortNo(2)),
+                },
+                HopReport {
+                    ts: Timestamp::from_micros(1_500),
+                    dpid: DatapathId(2),
+                    in_port: PortNo(1),
+                    xid: Xid(8),
+                    flow_mod_ts: Some(Timestamp::from_micros(1_200)),
+                    out_port: Some(PortNo(2)),
+                },
+            ],
+            byte_count: 0,
+            packet_count: 0,
+            duration_s: 0.0,
+        };
+        let records = vec![record];
+
+        let isl: InterSwitchLatency = sig_of(&records);
+        assert!(
+            isl.per_pair.is_empty(),
+            "inverted hop pair must contribute no ISL sample, got {:?}",
+            isl.per_pair
+        );
+
+        let crt: ControllerResponse = sig_of(&records);
+        assert_eq!(crt.answered, 1, "only the sane hop 1 pairing counts");
+        assert_eq!(crt.unanswered, 0, "an inverted reply is not unanswered");
+        assert!((crt.overall.mean - 1_000.0).abs() < 1e-9);
     }
 }

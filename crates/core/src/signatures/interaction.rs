@@ -107,10 +107,12 @@ impl Signature for ComponentInteraction {
     fn diff(&self, current: &Self, ctx: &DiffCtx<'_>) -> Vec<CiChange> {
         let mut out = Vec::new();
         for node in self.per_node.keys() {
-            if !current.per_node.contains_key(node) {
+            // `node_chi2` returns None for nodes missing on either side;
+            // the CG diff covers those more precisely, and a profile
+            // damaged by hostile input must degrade, not abort the diff.
+            let Some(chi2) = node_chi2(self, current, *node) else {
                 continue;
-            }
-            let chi2 = node_chi2(self, current, *node).expect("node present in both");
+            };
             if chi2 > ctx.config.chi2_threshold {
                 out.push(CiChange { node: *node, chi2 });
             }

@@ -74,12 +74,15 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 /// (Section IV-A). Expected counts are rescaled to the observed total so
 /// only the *shape* of the distribution matters. Cells with zero expected
 /// count contribute their observed count directly.
+///
+/// Distributions of unequal length never panic: the shorter side is
+/// treated as zero-padded, so mass the other side has in the extra cells
+/// degrades the fit instead of aborting a diff (a malformed histogram is
+/// exactly the kind of input a sick network produces).
 pub fn chi_squared(observed: &[f64], expected: &[f64]) -> f64 {
-    assert_eq!(
-        observed.len(),
-        expected.len(),
-        "chi² needs equal-length distributions"
-    );
+    let cells = observed.len().max(expected.len());
+    let obs = |i: usize| observed.get(i).copied().unwrap_or(0.0);
+    let exp = |i: usize| expected.get(i).copied().unwrap_or(0.0);
     let obs_total: f64 = observed.iter().sum();
     let exp_total: f64 = expected.iter().sum();
     if exp_total <= 0.0 {
@@ -87,12 +90,12 @@ pub fn chi_squared(observed: &[f64], expected: &[f64]) -> f64 {
     }
     let scale = obs_total / exp_total;
     let mut chi2 = 0.0;
-    for (o, e) in observed.iter().zip(expected) {
-        let e = e * scale;
+    for i in 0..cells {
+        let e = exp(i) * scale;
         if e > 0.0 {
-            chi2 += (o - e).powi(2) / e;
+            chi2 += (obs(i) - e).powi(2) / e;
         } else {
-            chi2 += *o;
+            chi2 += obs(i);
         }
     }
     chi2
@@ -245,6 +248,22 @@ mod tests {
     fn chi_squared_handles_zero_expected() {
         assert!(chi_squared(&[5.0, 0.0], &[0.0, 5.0]) > 0.0);
         assert_eq!(chi_squared(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn chi_squared_tolerates_unequal_lengths() {
+        // Shorter side is zero-padded: identical to passing the padding
+        // explicitly, and never a panic.
+        let padded = chi_squared(&[10.0, 20.0, 5.0], &[1.0, 2.0, 0.0]);
+        let implicit = chi_squared(&[10.0, 20.0, 5.0], &[1.0, 2.0]);
+        assert!((padded - implicit).abs() < 1e-12);
+        let sym = chi_squared(&[1.0, 2.0], &[1.0, 2.0, 4.0]);
+        assert!(
+            sym.is_finite() && sym > 0.0,
+            "extra expected mass degrades fit"
+        );
+        assert_eq!(chi_squared(&[], &[]), 0.0);
+        assert_eq!(chi_squared(&[3.0], &[]), 3.0, "no expectation: worst case");
     }
 
     #[test]

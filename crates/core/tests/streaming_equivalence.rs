@@ -323,3 +323,185 @@ fn repeated_builds_serialize_byte_identically() {
     assert!(!first.is_empty());
     assert_eq!(first, second, "model construction must be deterministic");
 }
+
+// ---------------------------------------------------------------------
+// Chaos: the ingestion path must survive arbitrary wire damage, and the
+// health counters must agree with the injector's ground-truth tally.
+// ---------------------------------------------------------------------
+
+fn synth_log(seeds: &[u64]) -> ControllerLog {
+    let mut events = Vec::new();
+    for seed in seeds {
+        synth_events(*seed, &mut events);
+    }
+    events.into_iter().collect()
+}
+
+/// Bumps duplicate timestamps so every event has a distinct one: the
+/// reorder-restoration property is only exact when the original order is
+/// recoverable from timestamps alone.
+fn with_distinct_timestamps(log: &ControllerLog) -> ControllerLog {
+    let mut events = log.events().to_vec();
+    let mut prev: Option<Timestamp> = None;
+    for ev in &mut events {
+        if let Some(p) = prev {
+            if ev.ts <= p {
+                ev.ts = Timestamp::from_micros(p.as_micros() + 1);
+            }
+        }
+        prev = Some(ev.ts);
+    }
+    events.into_iter().collect()
+}
+
+/// Streams wire bytes through a [`RecordAssembler`], tolerating decode
+/// errors, and returns the records plus the merged health counters.
+fn ingest_wire(bytes: &[u8], config: &FlowDiffConfig) -> (Vec<FlowRecord>, IngestHealth) {
+    let mut asm = RecordAssembler::new(config);
+    let mut stream = netsim::log::LogStream::from_wire_bytes(bytes).expect("magic intact");
+    for ev in stream.by_ref().flatten() {
+        asm.observe(ev.as_ref());
+    }
+    let mut health = *asm.health();
+    health.absorb_stream(stream.stats());
+    let mut records = asm.finish();
+    records.sort_by_key(|r| (r.first_seen, r.tuple));
+    (records, health)
+}
+
+#[test]
+fn truncated_captures_never_panic_at_any_offset() {
+    let log = synth_log(&[1, 2]);
+    let config = FlowDiffConfig::default();
+    let bytes = log.to_wire_bytes();
+    assert!(bytes.len() > 100, "capture should carry several frames");
+    for cut in 0..bytes.len() {
+        match netsim::log::LogStream::from_wire_bytes(&bytes[..cut]) {
+            Ok(mut stream) => {
+                let mut asm = RecordAssembler::new(&config);
+                for ev in stream.by_ref().flatten() {
+                    asm.observe(ev.as_ref());
+                }
+                assert!(stream.stats().frames_decoded <= log.len() as u64);
+                let _ = asm.finish();
+            }
+            Err(e) => {
+                assert!(cut < 8, "only a truncated magic may reject the capture");
+                assert!(matches!(e, netsim::log::DecodeError::BadMagic));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Drops and duplications change the frame count by exactly what the
+    /// injector reports; nothing else is lost or skipped.
+    #[test]
+    fn drop_and_duplicate_accounting_is_exact(
+        seeds in prop::collection::vec(any::<u64>(), 1..8),
+        chaos_seed in any::<u64>(),
+        drop_prob in 0.0..0.4f64,
+        duplicate_prob in 0.0..0.4f64,
+    ) {
+        let log = synth_log(&seeds);
+        let chaos = ChannelChaos {
+            drop_prob,
+            duplicate_prob,
+            ..ChannelChaos::corruption(0.0, chaos_seed)
+        };
+        let (bytes, report) = chaos.mangle(&log);
+        let (_, health) = ingest_wire(&bytes, &FlowDiffConfig::default());
+        prop_assert_eq!(report.total_frames, log.len() as u64);
+        prop_assert_eq!(
+            health.frames_decoded,
+            report.total_frames - report.dropped + report.duplicated
+        );
+        prop_assert_eq!(health.frames_skipped, 0);
+        prop_assert_eq!(health.bytes_skipped, 0);
+    }
+
+    /// Truncations and bit flips never panic the decoder or the
+    /// assembler, never mint frames out of thin air, and leave an intact
+    /// capture untouched.
+    #[test]
+    fn truncation_and_bit_flips_never_panic(
+        seeds in prop::collection::vec(any::<u64>(), 1..8),
+        chaos_seed in any::<u64>(),
+        truncate_prob in 0.0..0.3f64,
+        bit_flip_prob in 0.0..0.3f64,
+    ) {
+        let log = synth_log(&seeds);
+        let chaos = ChannelChaos {
+            truncate_prob,
+            bit_flip_prob,
+            ..ChannelChaos::corruption(0.0, chaos_seed)
+        };
+        let (bytes, report) = chaos.mangle(&log);
+        let (_, health) = ingest_wire(&bytes, &FlowDiffConfig::default());
+        prop_assert!(health.frames_decoded <= report.total_frames);
+        if report.truncated + report.bit_flipped == 0 {
+            prop_assert_eq!(health.frames_decoded, report.total_frames);
+            prop_assert_eq!(health.frames_skipped, 0);
+        }
+    }
+
+    /// A bounded shuffle absorbed by an equal reorder slack yields the
+    /// exact records of the clean capture, and the assembler's disorder
+    /// count agrees with the injector's.
+    #[test]
+    fn bounded_shuffle_with_slack_restores_batch_records(
+        seeds in prop::collection::vec(any::<u64>(), 1..8),
+        chaos_seed in any::<u64>(),
+        jitter_us in 0u64..5_000,
+    ) {
+        let log = with_distinct_timestamps(&synth_log(&seeds));
+        let config = FlowDiffConfig::default();
+        let expected = extract_records(&log, &config);
+        let chaos = ChannelChaos {
+            reorder_jitter_us: jitter_us,
+            ..ChannelChaos::corruption(0.0, chaos_seed)
+        };
+        let (bytes, report) = chaos.mangle(&log);
+        let mut slack_config = config.clone();
+        slack_config.reorder_slack_us = jitter_us;
+        let (records, health) = ingest_wire(&bytes, &slack_config);
+        prop_assert_eq!(health.events_reordered, report.reordered);
+        prop_assert_eq!(records, expected);
+    }
+}
+
+/// A clean simulated capture round-trips with every anomaly counter at
+/// zero, and the model built off the decoded stream serializes
+/// byte-identically to the batch build — damage tolerance costs nothing
+/// when there is no damage.
+#[test]
+fn clean_capture_reports_zero_anomalies_and_identical_model() {
+    let (log, config) = tree_log(2, 11, 8);
+    let (records, health) = ingest_wire(&log.to_wire_bytes(), &config);
+    assert_eq!(health.frames_decoded, log.len() as u64);
+    assert_eq!(health.frames_skipped, 0);
+    assert_eq!(
+        health.anomalies(),
+        0,
+        "clean capture must count no anomalies"
+    );
+    assert_eq!(health.episodes_evicted, 0);
+
+    let mut batch = extract_records(&log, &config);
+    batch.sort_by_key(|r| (r.first_seen, r.tuple));
+    assert_eq!(records, batch);
+
+    let wire = log.to_wire_bytes();
+    let decoded: ControllerLog = netsim::log::LogStream::from_wire_bytes(&wire)
+        .unwrap()
+        .map(|r| r.unwrap().into_owned())
+        .collect();
+    let first = serde::to_vec(&BehaviorModel::build(&log, &config));
+    let second = serde::to_vec(&BehaviorModel::build(&decoded, &config));
+    assert_eq!(
+        first, second,
+        "decoded capture must rebuild the exact model"
+    );
+}

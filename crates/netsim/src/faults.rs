@@ -7,8 +7,11 @@
 
 use std::collections::{HashMap, HashSet};
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::log::{encode_event, ControllerLog, CAPTURE_MAGIC};
 use crate::topology::{LinkId, NodeId};
 
 /// A fault to inject at a point in simulated time.
@@ -191,6 +194,155 @@ impl ActiveFaults {
     }
 }
 
+/// A control-channel fault injector: mangles a clean capture into the
+/// kind of telemetry a sick tap produces.
+///
+/// Unlike [`Fault`], which perturbs the *simulated data center*,
+/// `ChannelChaos` perturbs the *capture itself* — the wire bytes between
+/// the tap and FlowDiff. Each frame independently rolls one of four
+/// corruptions (drop, duplicate, truncate, bit flip); on top of that,
+/// every switch gets a deterministic clock skew and every frame a
+/// bounded serialization jitter, so the mangled capture is also mildly
+/// disordered. Everything is seeded: the same chaos config on the same
+/// log yields the same bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelChaos {
+    /// Probability a frame is dropped entirely.
+    pub drop_prob: f64,
+    /// Probability a frame is emitted twice back to back.
+    pub duplicate_prob: f64,
+    /// Probability a frame is cut short mid-bytes.
+    pub truncate_prob: f64,
+    /// Probability one random bit of a frame is flipped.
+    pub bit_flip_prob: f64,
+    /// Bound on per-frame serialization jitter, microseconds: each
+    /// frame's position in the capture is re-sorted by `ts + U[0, bound]`,
+    /// so frames are displaced at most this far in time.
+    pub reorder_jitter_us: u64,
+    /// Bound on per-switch clock skew, microseconds: each dpid gets a
+    /// fixed offset drawn from `[-bound, +bound]` added to all its
+    /// timestamps.
+    pub clock_skew_us: u64,
+    /// RNG seed; drives every roll above.
+    pub seed: u64,
+}
+
+/// What [`ChannelChaos::mangle`] actually did to a capture — the ground
+/// truth a robustness test compares `IngestHealth` counters against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Frames in the clean capture.
+    pub total_frames: u64,
+    /// Frames dropped.
+    pub dropped: u64,
+    /// Frames emitted twice.
+    pub duplicated: u64,
+    /// Frames cut short.
+    pub truncated: u64,
+    /// Frames with one bit flipped.
+    pub bit_flipped: u64,
+    /// Frames emitted with a timestamp below an earlier frame's (the
+    /// disorder the skew + jitter introduced, as an ingester counts it).
+    pub reordered: u64,
+}
+
+impl ChannelChaos {
+    /// Chaos with `rate` total frame-corruption probability, split
+    /// evenly across drop/duplicate/truncate/bit-flip, and no
+    /// reorder/skew. The knob the `flowdiff-bench chaos` fidelity sweep
+    /// turns.
+    pub fn corruption(rate: f64, seed: u64) -> ChannelChaos {
+        let p = (rate / 4.0).clamp(0.0, 0.25);
+        ChannelChaos {
+            drop_prob: p,
+            duplicate_prob: p,
+            truncate_prob: p,
+            bit_flip_prob: p,
+            reorder_jitter_us: 0,
+            clock_skew_us: 0,
+            seed,
+        }
+    }
+
+    /// Serializes `log` to wire bytes with chaos applied, returning the
+    /// mangled capture and the ground-truth tally of what was done.
+    pub fn mangle(&self, log: &ControllerLog) -> (Vec<u8>, ChaosReport) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut report = ChaosReport {
+            total_frames: log.len() as u64,
+            ..ChaosReport::default()
+        };
+
+        // Per-switch clock skew, then bounded per-frame jitter on the
+        // serialization order.
+        let mut skew_of: HashMap<u64, i64> = HashMap::new();
+        let mut keyed: Vec<(u64, usize, crate::log::ControlEvent)> = Vec::with_capacity(log.len());
+        for (idx, ev) in log.events().iter().enumerate() {
+            let mut ev = ev.clone();
+            if self.clock_skew_us > 0 {
+                let bound = self.clock_skew_us as i64;
+                let skew = *skew_of
+                    .entry(ev.dpid.0)
+                    .or_insert_with(|| rng.gen_range(-bound..=bound));
+                ev.ts = openflow::types::Timestamp::from_micros(
+                    ev.ts.as_micros().saturating_add_signed(skew),
+                );
+            }
+            let jitter = if self.reorder_jitter_us > 0 {
+                rng.gen_range(0..=self.reorder_jitter_us)
+            } else {
+                0
+            };
+            keyed.push((ev.ts.as_micros().saturating_add(jitter), idx, ev));
+        }
+        // Stable by (jittered ts, original index): displacement is
+        // bounded by the jitter window, ties keep capture order.
+        keyed.sort_by_key(|(key, idx, _)| (*key, *idx));
+
+        let mut out = Vec::with_capacity(32 * log.len() + 8);
+        out.extend_from_slice(CAPTURE_MAGIC);
+        let mut frame = Vec::new();
+        let mut last_emitted_ts: Option<u64> = None;
+        for (_, _, ev) in &keyed {
+            let roll: f64 = rng.gen();
+            let drop_at = self.drop_prob;
+            let dup_at = drop_at + self.duplicate_prob;
+            let trunc_at = dup_at + self.truncate_prob;
+            let flip_at = trunc_at + self.bit_flip_prob;
+            if roll < drop_at {
+                report.dropped += 1;
+                continue;
+            }
+            frame.clear();
+            encode_event(ev, &mut frame);
+            if roll < dup_at {
+                report.duplicated += 1;
+                out.extend_from_slice(&frame);
+                out.extend_from_slice(&frame);
+            } else if roll < trunc_at {
+                report.truncated += 1;
+                let cut = rng.gen_range(1..frame.len());
+                out.extend_from_slice(&frame[..cut]);
+            } else if roll < flip_at {
+                report.bit_flipped += 1;
+                let byte = rng.gen_range(0..frame.len());
+                let bit = rng.gen_range(0u32..8);
+                frame[byte] ^= 1 << bit;
+                out.extend_from_slice(&frame);
+            } else {
+                out.extend_from_slice(&frame);
+            }
+            let ts = ev.ts.as_micros();
+            if last_emitted_ts.is_some_and(|prev| ts < prev) {
+                report.reordered += 1;
+            } else {
+                last_emitted_ts = Some(ts);
+            }
+        }
+        (out, report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +419,97 @@ mod tests {
         assert!(!f.is_host_down(NodeId(5)));
         f.apply(&fault);
         assert!(f.is_host_down(NodeId(5)));
+    }
+
+    mod chaos {
+        use super::super::*;
+        use crate::log::{ControlEvent, Direction};
+        use openflow::match_fields::OfMatch;
+        use openflow::messages::{FlowMod, OfpMessage};
+        use openflow::types::{DatapathId, Timestamp, Xid};
+
+        fn sample_log(n: u64) -> ControllerLog {
+            (0..n)
+                .map(|i| ControlEvent {
+                    ts: Timestamp::from_micros(1_000 + i * 500),
+                    dpid: DatapathId(1 + i % 3),
+                    direction: if i % 2 == 0 {
+                        Direction::ToController
+                    } else {
+                        Direction::FromController
+                    },
+                    xid: Xid(i as u32),
+                    msg: if i % 2 == 0 {
+                        OfpMessage::Hello
+                    } else {
+                        OfpMessage::FlowMod(FlowMod::add(OfMatch::any(), 1))
+                    },
+                })
+                .collect()
+        }
+
+        #[test]
+        fn zero_chaos_is_the_identity() {
+            let log = sample_log(40);
+            let chaos = ChannelChaos::corruption(0.0, 1);
+            let (bytes, report) = chaos.mangle(&log);
+            assert_eq!(bytes, log.to_wire_bytes());
+            assert_eq!(report.total_frames, 40);
+            assert_eq!(
+                report.dropped + report.duplicated + report.truncated + report.bit_flipped,
+                0
+            );
+            assert_eq!(report.reordered, 0);
+        }
+
+        #[test]
+        fn mangle_is_deterministic_per_seed() {
+            let log = sample_log(60);
+            let chaos = ChannelChaos {
+                reorder_jitter_us: 2_000,
+                clock_skew_us: 300,
+                ..ChannelChaos::corruption(0.2, 7)
+            };
+            assert_eq!(chaos.mangle(&log), chaos.mangle(&log));
+            let other = ChannelChaos { seed: 8, ..chaos };
+            assert_ne!(chaos.mangle(&log).0, other.mangle(&log).0);
+        }
+
+        #[test]
+        fn heavy_corruption_reports_what_it_did() {
+            let log = sample_log(200);
+            let chaos = ChannelChaos::corruption(0.5, 42);
+            let (bytes, report) = chaos.mangle(&log);
+            let touched =
+                report.dropped + report.duplicated + report.truncated + report.bit_flipped;
+            assert!(touched > 0, "0.5 corruption on 200 frames must hit some");
+            assert!(touched < 200, "and must leave some intact");
+            // The mangled capture still has the magic header and decodes
+            // at least the untouched frames.
+            let stream = crate::log::LogStream::from_wire_bytes(&bytes).unwrap();
+            let decoded = stream.filter(Result::is_ok).count() as u64;
+            assert!(decoded >= 200 - touched - report.reordered);
+        }
+
+        #[test]
+        fn skew_and_jitter_disorder_the_capture() {
+            let log = sample_log(120);
+            let chaos = ChannelChaos {
+                reorder_jitter_us: 5_000,
+                clock_skew_us: 2_000,
+                ..ChannelChaos::corruption(0.0, 3)
+            };
+            let (bytes, report) = chaos.mangle(&log);
+            assert!(report.reordered > 0, "jitter this large must displace");
+            let stream = crate::log::LogStream::from_wire_bytes(&bytes).unwrap();
+            let ts: Vec<u64> = stream
+                .map(|r| r.expect("no corruption configured").ts.as_micros())
+                .collect();
+            assert_eq!(ts.len(), 120, "no frame lost to reordering");
+            assert!(
+                ts.windows(2).any(|w| w[1] < w[0]),
+                "decoded capture is actually out of order"
+            );
+        }
     }
 }

@@ -41,9 +41,9 @@ pub mod prelude {
     pub use crate::apps::{AppCtx, AppLogic};
     pub use crate::config::SimConfig;
     pub use crate::engine::{SimStats, Simulation};
-    pub use crate::faults::Fault;
+    pub use crate::faults::{ChannelChaos, ChaosReport, Fault};
     pub use crate::flows::{DeliveredFlow, FlowId, FlowPhase, FlowSpec};
-    pub use crate::log::{ControlEvent, ControllerLog, Direction};
+    pub use crate::log::{ControlEvent, ControllerLog, DecodeError, Direction, LogStream};
     pub use crate::topology::{LinkId, NodeId, Topology};
     pub use openflow::types::Timestamp;
 }

@@ -151,39 +151,153 @@ impl ControllerLog {
 }
 
 /// Magic bytes of the capture file format.
-const CAPTURE_MAGIC: &[u8; 8] = b"FDIFFCAP";
+pub const CAPTURE_MAGIC: &[u8; 8] = b"FDIFFCAP";
+
+/// Bytes of the per-event preamble: `[ts: u64][dpid: u64][direction: u8]`.
+const PREAMBLE_LEN: usize = 17;
+
+/// Smallest possible frame: the preamble plus the 8-byte OpenFlow header.
+const MIN_FRAME_LEN: usize = PREAMBLE_LEN + openflow::wire::HEADER_LEN;
+
+/// Why a point in a wire capture failed to decode.
+///
+/// Every variant except [`DecodeError::BadMagic`] carries the absolute
+/// byte offset of the offending frame, so corruption can be localized in
+/// the capture file. A [`LogStream`] reports these as `Err` items and
+/// then *resynchronizes* to the next plausible frame boundary —
+/// corruption costs the damaged frames, never the rest of the capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The capture does not start with the `FDIFFCAP` magic header.
+    BadMagic,
+    /// The capture ends mid-frame: fewer bytes remain than the smallest
+    /// possible frame (preamble + OpenFlow header).
+    TruncatedFrame {
+        /// Absolute offset of the truncated frame.
+        offset: usize,
+        /// Bytes remaining at that offset.
+        available: usize,
+    },
+    /// A tag byte holds a value outside its domain: the capture
+    /// direction byte, the OpenFlow version, or the message type code.
+    BadEventTag {
+        /// Absolute offset of the frame.
+        offset: usize,
+        /// Which tag was bad.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// The embedded OpenFlow header claims a length shorter than its own
+    /// header or extending past the end of the capture.
+    LengthOverflow {
+        /// Absolute offset of the frame.
+        offset: usize,
+        /// The claimed message length.
+        claimed: usize,
+        /// Bytes actually available for the message.
+        available: usize,
+    },
+    /// The framing was sound but the OpenFlow message body failed
+    /// structural decoding.
+    BadMessage {
+        /// Absolute offset of the frame.
+        offset: usize,
+        /// The underlying protocol decode error.
+        source: openflow::error::DecodeError,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a FDIFFCAP capture (bad magic header)"),
+            DecodeError::TruncatedFrame { offset, available } => write!(
+                f,
+                "truncated frame at offset {offset}: {available} bytes left, \
+                 at least {MIN_FRAME_LEN} needed"
+            ),
+            DecodeError::BadEventTag {
+                offset,
+                field,
+                value,
+            } => write!(f, "bad {field} tag {value:#x} at offset {offset}"),
+            DecodeError::LengthOverflow {
+                offset,
+                claimed,
+                available,
+            } => write!(
+                f,
+                "message length {claimed} at offset {offset} overflows the \
+                 {available} bytes available"
+            ),
+            DecodeError::BadMessage { offset, source } => {
+                write!(f, "bad message at offset {offset}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::BadMessage { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Frame-level counters for one [`LogStream`] pass: how much of the
+/// capture decoded and how much was discarded while resynchronizing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Frames successfully decoded into events.
+    pub frames_decoded: u64,
+    /// Corruption sites skipped (one per `Err` item yielded).
+    pub frames_skipped: u64,
+    /// Bytes discarded while scanning for the next frame boundary.
+    pub bytes_skipped: u64,
+}
+
+/// Appends one event's wire frame —
+/// `[ts: u64][dpid: u64][direction: u8][openflow wire message]`, all
+/// integers big-endian — to `out`. This is the per-frame encoder behind
+/// [`ControllerLog::to_wire_bytes`], exposed so fault injectors can
+/// mangle captures frame by frame.
+pub fn encode_event(ev: &ControlEvent, out: &mut Vec<u8>) {
+    out.extend_from_slice(&ev.ts.as_micros().to_be_bytes());
+    out.extend_from_slice(&ev.dpid.0.to_be_bytes());
+    out.push(match ev.direction {
+        Direction::ToController => 0,
+        Direction::FromController => 1,
+    });
+    out.extend_from_slice(&openflow::wire::encode(&ev.msg, ev.xid));
+}
 
 impl ControllerLog {
     /// Serializes the capture to a self-contained binary format: a magic
-    /// header followed by one record per event —
-    /// `[ts: u64][dpid: u64][direction: u8][openflow wire message]` —
-    /// with all integers big-endian and the message length taken from the
-    /// OpenFlow header. Suitable for writing to disk and re-analyzing
-    /// later.
+    /// header followed by one [`encode_event`] frame per event. Suitable
+    /// for writing to disk and re-analyzing later.
     pub fn to_wire_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(32 * self.events.len() + 8);
         out.extend_from_slice(CAPTURE_MAGIC);
         for ev in &self.events {
-            out.extend_from_slice(&ev.ts.as_micros().to_be_bytes());
-            out.extend_from_slice(&ev.dpid.0.to_be_bytes());
-            out.push(match ev.direction {
-                Direction::ToController => 0,
-                Direction::FromController => 1,
-            });
-            out.extend_from_slice(&openflow::wire::encode(&ev.msg, ev.xid));
+            encode_event(ev, &mut out);
         }
         out
     }
 
     /// Parses a capture produced by [`ControllerLog::to_wire_bytes`] by
     /// draining a [`LogStream`] (the one decode implementation) into a
-    /// fully materialized log.
+    /// fully materialized log. This is the *strict* entry point: any
+    /// corruption aborts the parse. Lossy consumers iterate the stream
+    /// themselves and count the `Err` items instead.
     ///
     /// # Errors
     ///
-    /// Returns a [`openflow::error::DecodeError`] on a bad magic header,
-    /// truncation, or any malformed embedded message.
-    pub fn from_wire_bytes(bytes: &[u8]) -> Result<ControllerLog, openflow::error::DecodeError> {
+    /// Returns a [`DecodeError`] on a bad magic header, truncation, or
+    /// any malformed frame.
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<ControllerLog, DecodeError> {
         let mut log = ControllerLog::new();
         for ev in LogStream::from_wire_bytes(bytes)? {
             log.push(ev?.into_owned());
@@ -209,17 +323,26 @@ impl ControllerLog {
 /// Events arrive in capture order, which is time order for any capture
 /// written by [`ControllerLog::to_wire_bytes`] (the log sorts on
 /// `finish`).
+///
+/// Corruption does not end the stream: each damaged region yields one
+/// `Err` item, after which iteration resumes at the next byte sequence
+/// that looks like a frame boundary (valid direction byte, OpenFlow
+/// version, known type code, and a claimed length that fits the
+/// capture). [`LogStream::stats`] reports how much was decoded vs.
+/// skipped.
 pub struct LogStream<'a> {
     source: StreamSource<'a>,
+    stats: StreamStats,
 }
 
 enum StreamSource<'a> {
     Memory(std::slice::Iter<'a, ControlEvent>),
     Wire {
-        rest: &'a [u8],
-        /// Poisoned after the first decode error: the framing is lost,
-        /// so the stream fuses instead of emitting garbage events.
-        failed: bool,
+        /// The whole capture, magic header included, so yielded offsets
+        /// are absolute file offsets.
+        buf: &'a [u8],
+        /// Decode cursor; starts just past the magic header.
+        pos: usize,
     },
 }
 
@@ -228,6 +351,7 @@ impl<'a> LogStream<'a> {
     pub fn from_log(log: &'a ControllerLog) -> LogStream<'a> {
         LogStream {
             source: StreamSource::Memory(log.events.iter()),
+            stats: StreamStats::default(),
         }
     }
 
@@ -236,32 +360,73 @@ impl<'a> LogStream<'a> {
     ///
     /// # Errors
     ///
-    /// Returns a [`openflow::error::DecodeError`] when the magic header
-    /// is missing or wrong; per-event decode errors surface as `Err`
-    /// items during iteration.
-    pub fn from_wire_bytes(bytes: &'a [u8]) -> Result<LogStream<'a>, openflow::error::DecodeError> {
+    /// Returns [`DecodeError::BadMagic`] when the magic header is
+    /// missing or wrong; per-frame decode errors surface as `Err` items
+    /// during iteration (followed by resynchronization, not fusing).
+    pub fn from_wire_bytes(bytes: &'a [u8]) -> Result<LogStream<'a>, DecodeError> {
         if bytes.len() < CAPTURE_MAGIC.len() || &bytes[..8] != CAPTURE_MAGIC {
-            return Err(openflow::error::DecodeError::BadField {
-                context: "capture.magic",
-                value: bytes.first().copied().unwrap_or(0) as u64,
-            });
+            return Err(DecodeError::BadMagic);
         }
         Ok(LogStream {
             source: StreamSource::Wire {
-                rest: &bytes[8..],
-                failed: false,
+                buf: bytes,
+                pos: CAPTURE_MAGIC.len(),
             },
+            stats: StreamStats::default(),
         })
+    }
+
+    /// Frame-level counters for the bytes consumed so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
     }
 }
 
-/// Decodes one `[ts][dpid][direction][wire message]` record, returning
-/// the event and the remaining bytes.
-fn decode_event(rest: &[u8]) -> Result<(ControlEvent, &[u8]), openflow::error::DecodeError> {
-    use openflow::error::DecodeError;
-    if rest.len() < 17 {
-        return Err(DecodeError::Truncated {
-            needed: 17,
+/// True for the fifteen message type codes OpenFlow 1.0 defines and this
+/// crate decodes (the resync scan uses this to tell a frame boundary
+/// from payload bytes).
+fn is_known_type_code(code: u8) -> bool {
+    matches!(code, 0..=3 | 5 | 6 | 10..=14 | 16..=19)
+}
+
+/// Checks whether `buf[pos..]` starts with a *plausible* frame: a valid
+/// direction byte followed by an OpenFlow header with the right version,
+/// a known type code, and a claimed length that fits within the capture.
+/// Used only for resynchronization; the real decoder still validates the
+/// body.
+fn plausible_frame_at(buf: &[u8], pos: usize) -> bool {
+    if buf.len() - pos < MIN_FRAME_LEN {
+        return false;
+    }
+    let of = pos + PREAMBLE_LEN;
+    let claimed = u16::from_be_bytes([buf[of + 2], buf[of + 3]]) as usize;
+    buf[pos + PREAMBLE_LEN - 1] <= 1
+        && buf[of] == openflow::wire::OFP_VERSION
+        && is_known_type_code(buf[of + 1])
+        && claimed >= openflow::wire::HEADER_LEN
+        && of + claimed <= buf.len()
+}
+
+/// Scans forward from `from` for the next plausible frame boundary,
+/// returning the end of the buffer when none remains.
+fn resync(buf: &[u8], from: usize) -> usize {
+    let mut pos = from;
+    while pos < buf.len() {
+        if plausible_frame_at(buf, pos) {
+            return pos;
+        }
+        pos += 1;
+    }
+    buf.len()
+}
+
+/// Decodes one `[ts][dpid][direction][wire message]` frame at absolute
+/// offset `pos`, returning the event and the offset just past it.
+fn decode_event_at(buf: &[u8], pos: usize) -> Result<(ControlEvent, usize), DecodeError> {
+    let rest = &buf[pos..];
+    if rest.len() < MIN_FRAME_LEN {
+        return Err(DecodeError::TruncatedFrame {
+            offset: pos,
             available: rest.len(),
         });
     }
@@ -271,13 +436,41 @@ fn decode_event(rest: &[u8]) -> Result<(ControlEvent, &[u8]), openflow::error::D
         0 => Direction::ToController,
         1 => Direction::FromController,
         other => {
-            return Err(DecodeError::BadField {
-                context: "capture.direction",
+            return Err(DecodeError::BadEventTag {
+                offset: pos,
+                field: "capture.direction",
                 value: other as u64,
             })
         }
     };
-    let (msg, xid, used) = openflow::wire::decode(&rest[17..])?;
+    let of = &rest[PREAMBLE_LEN..];
+    if of[0] != openflow::wire::OFP_VERSION {
+        return Err(DecodeError::BadEventTag {
+            offset: pos,
+            field: "openflow.version",
+            value: of[0] as u64,
+        });
+    }
+    if !is_known_type_code(of[1]) {
+        return Err(DecodeError::BadEventTag {
+            offset: pos,
+            field: "openflow.type",
+            value: of[1] as u64,
+        });
+    }
+    let claimed = u16::from_be_bytes([of[2], of[3]]) as usize;
+    if claimed < openflow::wire::HEADER_LEN || claimed > of.len() {
+        return Err(DecodeError::LengthOverflow {
+            offset: pos,
+            claimed,
+            available: of.len(),
+        });
+    }
+    let (msg, xid, used) =
+        openflow::wire::decode(of).map_err(|source| DecodeError::BadMessage {
+            offset: pos,
+            source,
+        })?;
     Ok((
         ControlEvent {
             ts: Timestamp::from_micros(ts),
@@ -286,27 +479,38 @@ fn decode_event(rest: &[u8]) -> Result<(ControlEvent, &[u8]), openflow::error::D
             xid,
             msg,
         },
-        &rest[17 + used..],
+        pos + PREAMBLE_LEN + used,
     ))
 }
 
 impl<'a> Iterator for LogStream<'a> {
-    type Item = Result<std::borrow::Cow<'a, ControlEvent>, openflow::error::DecodeError>;
+    type Item = Result<std::borrow::Cow<'a, ControlEvent>, DecodeError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         match &mut self.source {
-            StreamSource::Memory(iter) => iter.next().map(|e| Ok(std::borrow::Cow::Borrowed(e))),
-            StreamSource::Wire { rest, failed } => {
-                if *failed || rest.is_empty() {
+            StreamSource::Memory(iter) => {
+                let ev = iter.next()?;
+                self.stats.frames_decoded += 1;
+                Some(Ok(std::borrow::Cow::Borrowed(ev)))
+            }
+            StreamSource::Wire { buf, pos } => {
+                if *pos >= buf.len() {
                     return None;
                 }
-                match decode_event(rest) {
-                    Ok((ev, remaining)) => {
-                        *rest = remaining;
+                match decode_event_at(buf, *pos) {
+                    Ok((ev, next_pos)) => {
+                        *pos = next_pos;
+                        self.stats.frames_decoded += 1;
                         Some(Ok(std::borrow::Cow::Owned(ev)))
                     }
                     Err(e) => {
-                        *failed = true;
+                        // Lost the framing: skip to the next plausible
+                        // frame boundary and surface one error for the
+                        // whole damaged region.
+                        let next_pos = resync(buf, *pos + 1);
+                        self.stats.frames_skipped += 1;
+                        self.stats.bytes_skipped += (next_pos - *pos) as u64;
+                        *pos = next_pos;
                         Some(Err(e))
                     }
                 }
@@ -456,19 +660,90 @@ mod tests {
     }
 
     #[test]
-    fn wire_stream_fuses_after_decode_error() {
+    fn wire_stream_reports_truncated_tail_then_ends() {
         let log: ControllerLog = vec![ev(5, 1), ev(10, 1)].into_iter().collect();
         let mut bytes = log.to_wire_bytes();
         bytes.truncate(bytes.len() - 3);
         let mut stream = LogStream::from_wire_bytes(&bytes).unwrap();
         assert!(stream.next().unwrap().is_ok(), "first event intact");
-        assert!(stream.next().unwrap().is_err(), "second event truncated");
-        assert!(stream.next().is_none(), "stream fuses after the error");
+        let err = stream.next().unwrap().unwrap_err();
+        assert!(
+            matches!(err, DecodeError::LengthOverflow { .. }),
+            "truncated FlowMod body reports a length overflow, got {err:?}"
+        );
+        assert!(stream.next().is_none(), "nothing decodable after the tail");
+        let stats = stream.stats();
+        assert_eq!(stats.frames_decoded, 1);
+        assert_eq!(stats.frames_skipped, 1);
+        assert!(stats.bytes_skipped > 0);
+    }
+
+    #[test]
+    fn wire_stream_resynchronizes_past_corrupt_frame() {
+        let log: ControllerLog = vec![ev(5, 1), ev(10, 1), ev(15, 2), ev(20, 0)]
+            .into_iter()
+            .collect();
+        let mut bytes = log.to_wire_bytes();
+        // Find where the second frame starts and stomp its OpenFlow
+        // version byte so only that frame is damaged.
+        let mut frame = Vec::new();
+        encode_event(&log.events()[0], &mut frame);
+        let second = CAPTURE_MAGIC.len() + frame.len();
+        bytes[second + 17] = 0xEE;
+        let mut stream = LogStream::from_wire_bytes(&bytes).unwrap();
+        let mut ok = Vec::new();
+        let mut errs = Vec::new();
+        for item in stream.by_ref() {
+            match item {
+                Ok(e) => ok.push(e.into_owned()),
+                Err(e) => errs.push(e),
+            }
+        }
+        assert_eq!(
+            ok,
+            vec![
+                log.events()[0].clone(),
+                log.events()[2].clone(),
+                log.events()[3].clone()
+            ],
+            "stream recovers every frame after the corrupt one"
+        );
+        assert_eq!(errs.len(), 1, "one error for the damaged region");
+        assert!(matches!(
+            errs[0],
+            DecodeError::BadEventTag {
+                field: "openflow.version",
+                ..
+            }
+        ));
+        assert_eq!(stream.stats().frames_decoded, 3);
+        assert_eq!(stream.stats().frames_skipped, 1);
+    }
+
+    #[test]
+    fn wire_stream_classifies_bad_direction_byte() {
+        let log: ControllerLog = vec![ev(5, 0), ev(10, 0)].into_iter().collect();
+        let mut bytes = log.to_wire_bytes();
+        bytes[CAPTURE_MAGIC.len() + 16] = 7;
+        let stream = LogStream::from_wire_bytes(&bytes).unwrap();
+        let errs: Vec<DecodeError> = stream.filter_map(Result::err).collect();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(
+            errs[0],
+            DecodeError::BadEventTag {
+                field: "capture.direction",
+                value: 7,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn wire_stream_rejects_bad_magic_up_front() {
-        assert!(LogStream::from_wire_bytes(b"not a capture").is_err());
+        match LogStream::from_wire_bytes(b"not a capture") {
+            Err(e) => assert_eq!(e, DecodeError::BadMagic),
+            Ok(_) => panic!("bad magic must be rejected"),
+        }
     }
 
     #[test]

@@ -341,6 +341,16 @@ impl Timestamp {
         self.0.saturating_sub(earlier.0)
     }
 
+    /// Checked difference `self - earlier` in microseconds: `None` when
+    /// `earlier` is actually later (a reordered or clock-skewed pair).
+    ///
+    /// Ingestion code uses this instead of raw subtraction so hostile
+    /// timestamps surface as a countable anomaly, never as a panic or a
+    /// wrapped ~1.8e19 µs "latency".
+    pub fn checked_since(self, earlier: Timestamp) -> Option<u64> {
+        self.0.checked_sub(earlier.0)
+    }
+
     /// Checked addition of a microsecond delta.
     pub fn checked_add_micros(self, us: u64) -> Option<Timestamp> {
         self.0.checked_add(us).map(Timestamp)
@@ -435,6 +445,15 @@ mod tests {
         assert_eq!(Timestamp::from_secs(2).as_secs_f64(), 2.0);
         assert_eq!(Timestamp::ZERO.saturating_since(t), 0);
         assert_eq!(t.saturating_since(Timestamp::ZERO), 1_500);
+    }
+
+    #[test]
+    fn timestamp_checked_since_rejects_reordered_pairs() {
+        let early = Timestamp::from_micros(100);
+        let late = Timestamp::from_micros(350);
+        assert_eq!(late.checked_since(early), Some(250));
+        assert_eq!(early.checked_since(late), None);
+        assert_eq!(early.checked_since(early), Some(0));
     }
 
     #[test]
