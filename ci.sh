@@ -44,6 +44,15 @@ if ! printf '%s\n' "$chaos_out" | grep -q '^fidelity: '; then
     exit 1
 fi
 
+step "flowdiff-bench crashdrill smoke test (kill + checkpoint recovery)"
+drill_out="$(cargo run --release -q -p flowdiff-bench --bin flowdiff-bench -- \
+    crashdrill --seed 1 --kills 3)"
+printf '%s\n' "$drill_out"
+if ! printf '%s\n' "$drill_out" | grep -q '^recovery: 100.0% fidelity'; then
+    echo "FAIL: crashdrill did not report full recovery fidelity" >&2
+    exit 1
+fi
+
 step "cargo bench --no-run (benches must compile)"
 cargo bench --no-run -q
 

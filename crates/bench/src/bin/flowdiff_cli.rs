@@ -85,8 +85,10 @@ fn cmd_demo(args: &[String]) -> CliResult {
     );
     let base_path = format!("{dir}/baseline.fcap");
     let cur_path = format!("{dir}/current.fcap");
-    std::fs::write(&base_path, baseline.to_wire_bytes())?;
-    std::fs::write(&cur_path, current.to_wire_bytes())?;
+    // Atomic (tmp + fsync + rename): a crash mid-demo can't leave a
+    // torn capture behind for a later watch run to choke on.
+    flowdiff::checkpoint::atomic_write(base_path.as_ref(), &baseline.to_wire_bytes())?;
+    flowdiff::checkpoint::atomic_write(cur_path.as_ref(), &current.to_wire_bytes())?;
     let specials = env
         .catalog
         .special_ips()

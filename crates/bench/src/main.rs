@@ -1,31 +1,30 @@
 //! Index of the experiment harness: lists the binaries that regenerate
-//! each table and figure of the paper — plus `watch`, the online diff
-//! mode over on-disk captures, and `chaos`, the ingestion fault drill.
+//! each table and figure of the paper — plus `watch`, the supervised
+//! online diff mode over on-disk captures, `chaos`, the ingestion fault
+//! drill, and `crashdrill`, the crash-recovery drill.
 
 use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use flowdiff::checkpoint::{BASELINE_MAGIC, CHECKPOINT_MAGIC};
 use flowdiff::prelude::*;
 use netsim::log::LogStream;
 use netsim::prelude::*;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let run = |r: CliResult| match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    };
     match args.first().map(String::as_str) {
-        Some("watch") => match cmd_watch(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::from(2)
-            }
-        },
-        Some("chaos") => match cmd_chaos(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::from(2)
-            }
-        },
+        Some("watch") => run(cmd_watch(&args[1..])),
+        Some("chaos") => run(cmd_chaos(&args[1..])),
+        Some("crashdrill") => run(cmd_crashdrill(&args[1..])),
         Some(other) => {
             eprintln!("unknown subcommand: {other}");
             usage();
@@ -40,10 +39,13 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: flowdiff-bench [watch <baseline.fcap> <current.fcap> \
-         [--special ip,ip] [--epoch-secs N] [--window-secs N]]\n       \
+        "usage: flowdiff-bench [watch <baseline.fcap|baseline.fbas> <current.fcap> \
+         [--special ip,ip] [--epoch-secs N] [--window-secs N] \
+         [--save-baseline <path>] [--checkpoint <path>] [--checkpoint-every N] \
+         [--resume <path>]]\n       \
          flowdiff-bench [chaos [--seed N] [--corruption RATE] \
-         [--skew-us N] [--jitter-us N]]"
+         [--skew-us N] [--jitter-us N]]\n       \
+         flowdiff-bench [crashdrill [--seed N] [--kills N]]"
     );
 }
 
@@ -91,20 +93,65 @@ fn print_index() {
     println!("Ingestion fault drill (chaos-mangled 320-server capture):");
     println!("  cargo run --release -p flowdiff-bench -- chaos --seed 1 --corruption 0.01");
     println!();
+    println!("Crash-recovery drill (kill + checkpoint-restore on the 320-server capture):");
+    println!("  cargo run --release -p flowdiff-bench -- crashdrill --seed 1 --kills 3");
+    println!();
     println!("Criterion benchmarks: cargo bench --workspace");
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
-/// `watch`: model a baseline capture, then stream the current capture
-/// through the online differ, printing one line per epoch as each
-/// sliding-window model is diffed against the baseline.
+/// Loads the baseline argument of `watch`: either a wire capture
+/// (`FDIFFCAP`, model built and judged here) or a precomputed
+/// [`BaselineBundle`] (`FDIFFBAS`, validated magic/version/CRC). A file
+/// that is neither — including a checkpoint offered as a baseline — is
+/// a typed error before any diffing happens.
+fn load_baseline(
+    path: &str,
+    config: &FlowDiffConfig,
+) -> Result<(BehaviorModel, StabilityReport), Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.starts_with(&BASELINE_MAGIC) {
+        let bundle = BaselineBundle::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "baseline: restored bundle, {} flows, {} groups",
+            bundle.model.records.len(),
+            bundle.model.groups.len()
+        );
+        return Ok((bundle.model, bundle.stability));
+    }
+    if bytes.starts_with(&CHECKPOINT_MAGIC) {
+        return Err(format!(
+            "{path}: this is a checkpoint (FDIFFCKP), not a baseline; pass it to --resume"
+        )
+        .into());
+    }
+    let log = ControllerLog::from_wire_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let model = BehaviorModel::build(&log, config);
+    let stability = analyze(&log, &model, config);
+    println!(
+        "baseline: {} events, {} flows, {} groups",
+        log.len(),
+        model.records.len(),
+        model.groups.len()
+    );
+    Ok((model, stability))
+}
+
+/// `watch`: model a baseline capture (or load a prebuilt bundle), then
+/// stream the current capture through a *supervised* online differ —
+/// every observation runs inside `catch_unwind`, panics restore the
+/// last durable checkpoint and replay, and each epoch line is printed
+/// exactly once no matter how many restarts it took.
 fn cmd_watch(args: &[String]) -> CliResult {
     if args.len() < 2 {
         usage();
-        return Err("watch needs <baseline.fcap> <current.fcap>".into());
+        return Err("watch needs <baseline.fcap|.fbas> <current.fcap>".into());
     }
     let mut config = FlowDiffConfig::default();
+    let mut save_baseline: Option<PathBuf> = None;
+    let mut checkpoint_path: Option<PathBuf> = None;
+    let mut resume_path: Option<PathBuf> = None;
     let mut it = args[2..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -124,24 +171,30 @@ fn cmd_watch(args: &[String]) -> CliResult {
                 let n: u64 = it.next().ok_or("--window-secs needs a number")?.parse()?;
                 config.online_window_us = n.max(1) * 1_000_000;
             }
+            "--save-baseline" => {
+                save_baseline = Some(it.next().ok_or("--save-baseline needs a path")?.into());
+            }
+            "--checkpoint" => {
+                checkpoint_path = Some(it.next().ok_or("--checkpoint needs a path")?.into());
+            }
+            "--checkpoint-every" => {
+                config.checkpoint_every_epochs = it
+                    .next()
+                    .ok_or("--checkpoint-every needs an epoch count")?
+                    .parse()?;
+            }
+            "--resume" => {
+                resume_path = Some(it.next().ok_or("--resume needs a path")?.into());
+            }
             other => return Err(format!("unknown flag: {other}").into()),
         }
     }
     // A live tap reads possibly-corrupt bytes: quarantine timestamps
     // jumping past the eviction horizon instead of trusting them.
     config.max_time_jump_us = config.partial_flow_timeout_us.max(config.episode_gap_us);
+    config.validate()?;
 
-    let baseline_bytes = std::fs::read(&args[0]).map_err(|e| format!("{}: {e}", args[0]))?;
-    let baseline_log =
-        ControllerLog::from_wire_bytes(&baseline_bytes).map_err(|e| format!("{}: {e}", args[0]))?;
-    let baseline = BehaviorModel::build(&baseline_log, &config);
-    let stability = analyze(&baseline_log, &baseline, &config);
-    println!(
-        "baseline: {} events, {} flows, {} groups",
-        baseline_log.len(),
-        baseline.records.len(),
-        baseline.groups.len()
-    );
+    let (baseline, stability) = load_baseline(&args[0], &config)?;
     println!(
         "stats: {} hosts, {} switches, {} ports interned; model ~{} KiB (catalog ~{} KiB)",
         baseline.catalog.n_hosts(),
@@ -150,34 +203,172 @@ fn cmd_watch(args: &[String]) -> CliResult {
         baseline.approx_bytes().div_ceil(1024),
         baseline.catalog.approx_bytes().div_ceil(1024)
     );
+    if let Some(path) = &save_baseline {
+        BaselineBundle {
+            model: baseline.clone(),
+            stability: stability.clone(),
+        }
+        .save(path)?;
+        println!("stats: baseline bundle saved to {}", path.display());
+    }
 
-    // The current capture is never materialized: events are decoded one
-    // at a time off the wire bytes and fed straight into the differ.
+    // Decode the whole current capture up front: the supervised loop
+    // needs random access to replay from a checkpoint's event offset.
     // Corrupt frames are skipped (the stream resynchronizes) and
     // tallied, not fatal: a live tap must survive a bad write.
     let current_bytes = std::fs::read(&args[1]).map_err(|e| format!("{}: {e}", args[1]))?;
-    let mut differ = OnlineDiffer::try_new(baseline, stability, &config)?;
     let mut stream =
         LogStream::from_wire_bytes(&current_bytes).map_err(|e| format!("{}: {e}", args[1]))?;
+    let mut events: Vec<ControlEvent> = Vec::new();
     for event in stream.by_ref() {
         match event {
-            Ok(event) => {
-                for snapshot in differ.observe(event.as_ref()) {
-                    report(&snapshot, &config);
-                }
-            }
+            Ok(event) => events.push(event.as_ref().clone()),
             Err(e) => eprintln!("warning: {}: {e} (resynchronized)", args[1]),
         }
     }
-    let mut health = *differ.health();
-    health.absorb_stream(stream.stats());
-    if let Some(snapshot) = differ.finish() {
-        report(&snapshot, &config);
-    } else {
+    let stream_stats = stream.stats();
+    if events.is_empty() {
         return Err(format!("{}: capture holds no events", args[1]).into());
+    }
+
+    let fresh = || -> Result<(OnlineDiffer, u64), Box<dyn std::error::Error>> {
+        match &resume_path {
+            Some(path) => {
+                let (differ, at) = Checkpoint::load(path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?
+                    .resume(&config)?;
+                println!(
+                    "stats: resumed from {} at event {at}, epoch {}",
+                    path.display(),
+                    differ.epoch()
+                );
+                Ok((differ, at))
+            }
+            None => Ok((
+                OnlineDiffer::try_new(baseline.clone(), stability.clone(), &config)?,
+                0,
+            )),
+        }
+    };
+    let (last, mut health, restarts) = supervised_run(
+        &events,
+        &fresh,
+        &config,
+        checkpoint_path.as_deref(),
+        None,
+        |snapshot| report(snapshot, &config),
+    )?;
+    health.absorb_stream(stream_stats);
+    if let Some(snapshot) = &last {
+        report(snapshot, &config);
+    }
+    if restarts > 0 {
+        println!(
+            "stats: survived {restarts} restart(s) within a budget of {}",
+            config.restart_budget
+        );
     }
     println!("stats: ingest {health}");
     Ok(())
+}
+
+/// Drives `events` through a supervised online differ.
+///
+/// Every observation runs inside `catch_unwind`; on a panic the loop
+/// restores the last durable checkpoint (or calls `fresh` again when
+/// none was written yet), replays from its event offset, and retries
+/// after an exponential backoff — up to `config.restart_budget`
+/// restarts total. Epoch snapshots reach `on_snapshot` exactly once
+/// each, in order, no matter how many times the stream is replayed.
+///
+/// `plan` injects deterministic deaths for the crash drill: when an
+/// observation emits an epoch the plan wants dead, the kill is consumed
+/// ([`CrashPlan::take`]) and the closure panics *before* the snapshot
+/// is delivered — exactly what a power cut between compute and output
+/// looks like.
+///
+/// Returns the final flushed snapshot, the ingestion health of the
+/// (last incarnation of the) differ, and how many restarts were spent.
+fn supervised_run(
+    events: &[ControlEvent],
+    fresh: &dyn Fn() -> Result<(OnlineDiffer, u64), Box<dyn std::error::Error>>,
+    config: &FlowDiffConfig,
+    checkpoint_path: Option<&Path>,
+    mut plan: Option<&mut CrashPlan>,
+    mut on_snapshot: impl FnMut(&EpochSnapshot),
+) -> Result<(Option<EpochSnapshot>, flowdiff::records::IngestHealth, u32), Box<dyn std::error::Error>>
+{
+    let (mut differ, start) = fresh()?;
+    let mut idx = start as usize;
+    // Epochs below this watermark were already delivered (possibly by a
+    // previous process incarnation): a replay skips them.
+    let mut emitted: u64 = differ.epoch();
+    let mut restarts: u32 = 0;
+    let mut epochs_since_ckpt: u64 = 0;
+    while idx < events.len() {
+        let event = &events[idx];
+        let observed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let snaps = differ.observe(event);
+            if let Some(plan) = plan.as_deref_mut() {
+                for snap in &snaps {
+                    if snap.epoch >= emitted && plan.take(snap.epoch) {
+                        panic!("crashdrill: killed at epoch {}", snap.epoch);
+                    }
+                }
+            }
+            snaps
+        }));
+        match observed {
+            Ok(snaps) => {
+                let mut fresh_epochs = 0u64;
+                for snap in &snaps {
+                    if snap.epoch >= emitted {
+                        on_snapshot(snap);
+                        emitted = snap.epoch + 1;
+                        fresh_epochs += 1;
+                    }
+                }
+                idx += 1;
+                if fresh_epochs > 0 {
+                    epochs_since_ckpt += fresh_epochs;
+                    if let Some(path) = checkpoint_path {
+                        if epochs_since_ckpt >= config.checkpoint_every_epochs {
+                            // `idx` was just advanced: the checkpoint
+                            // records that events[..idx] are consumed.
+                            Checkpoint::capture(&differ, idx as u64, config).save(path)?;
+                            epochs_since_ckpt = 0;
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                restarts += 1;
+                if restarts > config.restart_budget {
+                    return Err(format!(
+                        "restart budget exhausted: panicked {restarts} times, budget {}",
+                        config.restart_budget
+                    )
+                    .into());
+                }
+                let backoff = config
+                    .restart_backoff_us
+                    .saturating_mul(1u64 << (restarts - 1).min(20));
+                std::thread::sleep(std::time::Duration::from_micros(backoff));
+                let (restored, at) = match checkpoint_path {
+                    Some(path) if path.exists() => Checkpoint::load(path)
+                        .map_err(|e| format!("{}: {e}", path.display()))?
+                        .resume(config)?,
+                    _ => fresh()?,
+                };
+                differ = restored;
+                idx = at as usize;
+                epochs_since_ckpt = 0;
+            }
+        }
+    }
+    let health = *differ.health();
+    let last = differ.finish();
+    Ok((last, health, restarts))
 }
 
 /// `chaos`: regenerate the paper's 320-server tree capture, mangle it
@@ -268,6 +459,173 @@ fn cmd_chaos(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// One epoch of a drill run, reduced to what recovery fidelity is
+/// judged on: the epoch index, an FNV-1a hash of the snapshot's
+/// serialized bytes (byte-identity), and its confirmed change keys.
+#[derive(Debug, Clone, PartialEq)]
+struct EpochTrace {
+    epoch: u64,
+    hash: u64,
+    keys: BTreeSet<String>,
+}
+
+impl EpochTrace {
+    fn of(snapshot: &EpochSnapshot) -> EpochTrace {
+        let bytes = serde::to_vec(snapshot);
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut keys = BTreeSet::new();
+        collect_keys(&snapshot.diff, &mut keys);
+        EpochTrace {
+            epoch: snapshot.epoch,
+            hash,
+            keys,
+        }
+    }
+}
+
+/// `crashdrill`: run the 320-server capture through the supervised
+/// differ twice — once uninterrupted, once with a seeded [`CrashPlan`]
+/// killing the process at chosen epochs (checkpoint + restore + replay
+/// in between) — and report how faithfully the interrupted run
+/// recovered the clean run's per-epoch snapshots.
+fn cmd_crashdrill(args: &[String]) -> CliResult {
+    let mut seed: u64 = 1;
+    let mut kills: usize = 3;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().ok_or("--seed needs a number")?.parse()?,
+            "--kills" => kills = it.next().ok_or("--kills needs a count")?.parse()?,
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+    }
+
+    let (baseline_log, mut config) = flowdiff_bench::tree_capture(9, 42, 6);
+    let (current_log, _) = flowdiff_bench::tree_capture(9, 43, 6);
+    config.max_time_jump_us = config.partial_flow_timeout_us.max(config.episode_gap_us);
+    // Short epochs give the short drill capture enough boundaries to
+    // kill at; checkpoint at every one so recovery loses nothing.
+    config.online_epoch_us = 1_000_000;
+    config.online_window_us = 5_000_000;
+    config.checkpoint_every_epochs = 1;
+    // Each planned kill spends one restart; keep the drill fast.
+    config.restart_budget = kills as u32;
+    config.restart_backoff_us = 1_000;
+    config.validate()?;
+    let baseline = BehaviorModel::build(&baseline_log, &config);
+    let stability = analyze(&baseline_log, &baseline, &config);
+    let events: Vec<ControlEvent> = current_log.events().to_vec();
+    println!(
+        "drill: seed {seed}, {kills} kill(s) over {} events, checkpoint every {} epoch(s)",
+        events.len(),
+        config.checkpoint_every_epochs
+    );
+
+    // Uninterrupted reference run.
+    let fresh = || -> Result<(OnlineDiffer, u64), Box<dyn std::error::Error>> {
+        Ok((
+            OnlineDiffer::try_new(baseline.clone(), stability.clone(), &config)?,
+            0,
+        ))
+    };
+    let mut clean: Vec<EpochTrace> = Vec::new();
+    let (clean_last, _, clean_restarts) =
+        supervised_run(&events, &fresh, &config, None, None, |snap| {
+            clean.push(EpochTrace::of(snap))
+        })?;
+    assert_eq!(clean_restarts, 0, "the clean run must not panic");
+    if let Some(snap) = &clean_last {
+        clean.push(EpochTrace::of(snap));
+    }
+
+    // Interrupted run: seeded kills, checkpoint + restore + replay. The
+    // final flush epoch runs outside the supervised region, so kills
+    // are drawn from the observe-emitted epochs only.
+    let observe_epochs = clean.len().saturating_sub(1) as u64;
+    let mut plan = CrashPlan::seeded(seed, kills, observe_epochs);
+    println!("plan: kill at epochs {:?}", plan.kill_epochs());
+    let ckpt_dir = std::env::temp_dir().join(format!("flowdiff-crashdrill-{}", std::process::id()));
+    std::fs::create_dir_all(&ckpt_dir)?;
+    let ckpt_path = ckpt_dir.join(format!("drill-{seed}.ckpt"));
+    let planned = plan.kill_epochs().len();
+    let mut drilled: Vec<EpochTrace> = Vec::new();
+    // The drill panics on purpose; keep the default hook's backtrace
+    // chatter out of the report.
+    let orig_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = supervised_run(
+        &events,
+        &fresh,
+        &config,
+        Some(&ckpt_path),
+        Some(&mut plan),
+        |snap| drilled.push(EpochTrace::of(snap)),
+    );
+    std::panic::set_hook(orig_hook);
+    let (drill_last, _, restarts) = outcome?;
+    if let Some(snap) = &drill_last {
+        drilled.push(EpochTrace::of(snap));
+    }
+    println!("drill: {restarts} of {planned} planned kill(s) fired; each restored from the last checkpoint");
+
+    let matched = clean.iter().zip(&drilled).filter(|(a, b)| a == b).count();
+    let keys_clean: BTreeSet<&String> = clean.iter().flat_map(|t| &t.keys).collect();
+    let keys_drill: BTreeSet<&String> = drilled.iter().flat_map(|t| &t.keys).collect();
+    let keys_recovered = keys_clean.intersection(&keys_drill).count();
+    let fidelity = if clean.is_empty() {
+        1.0
+    } else {
+        matched as f64 / clean.len() as f64
+    };
+    println!(
+        "recovery: {:.1}% fidelity ({matched}/{} epoch snapshots byte-identical, \
+         {keys_recovered}/{} confirmed changes recovered, {restarts} kill(s) survived)",
+        fidelity * 100.0,
+        clean.len(),
+        keys_clean.len()
+    );
+
+    // Bonus demonstration: a *lossy* restore (checkpoint loaded, replay
+    // skipped) must not flood — the differ holds every signature at
+    // Warming until `restore_warmup_us` of log time passes.
+    let (mut half, _) = fresh()?;
+    let cut = events.len() / 2;
+    for event in &events[..cut] {
+        half.observe(event);
+    }
+    let mid_ckpt = Checkpoint::capture(&half, cut as u64, &config);
+    let (mut lossy, at) = Checkpoint::from_bytes(&mid_ckpt.to_bytes())?.resume(&config)?;
+    lossy.mark_lossy_restore();
+    // Skip half the remaining stream instead of replaying it: data loss.
+    let tail_start = (at as usize) + (events.len() - at as usize) / 2;
+    let mut first_gated: Option<EpochSnapshot> = None;
+    for event in &events[tail_start..] {
+        for snap in lossy.observe(event) {
+            if first_gated.is_none() {
+                first_gated = Some(snap);
+            }
+        }
+    }
+    if let Some(snap) = first_gated {
+        let kinds: Vec<String> = snap
+            .suppressed()
+            .map(|(k, h)| format!("{k:?}={h}"))
+            .collect();
+        println!(
+            "lossy: resume without replay at epoch {} suppresses {} signature(s): {}",
+            snap.epoch,
+            kinds.len(),
+            kinds.first().cloned().unwrap_or_default()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    Ok(())
+}
+
 /// Streams capture bytes through an [`OnlineDiffer`] and returns the
 /// union over all epochs of confirmed change keys, plus the ingestion
 /// health counters. Decode errors are tolerated (the stream
@@ -323,7 +681,8 @@ fn report(snapshot: &EpochSnapshot, config: &FlowDiffConfig) {
         + snapshot.diff.infra.len()
         + snapshot.diff.new_groups.len()
         + snapshot.diff.missing_groups.len();
-    let verdict = if diagnosis.is_healthy() {
+    let gated = snapshot.suppressed().count();
+    let mut verdict = if diagnosis.is_healthy() {
         "healthy".to_string()
     } else {
         let problems = diagnosis
@@ -341,6 +700,14 @@ fn report(snapshot: &EpochSnapshot, config: &FlowDiffConfig) {
             .join(" ");
         format!("ALARM [{problems}] suspects: {suspects}")
     };
+    if gated > 0 {
+        let sample = snapshot
+            .suppressed()
+            .next()
+            .map(|(k, h)| format!("{k:?} {h}"))
+            .unwrap_or_default();
+        verdict.push_str(&format!("  ({gated} signature(s) suppressed: {sample})"));
+    }
     println!(
         "epoch {:>3}  [{:>7.1}s .. {:>7.1}s]  {:>5} flows  {:>3} changes  {}",
         snapshot.epoch,
@@ -350,4 +717,155 @@ fn report(snapshot: &EpochSnapshot, config: &FlowDiffConfig) {
         changes,
         verdict
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("flowdiff-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn watch_rejects_future_version_baseline_bundle() {
+        // A bundle stamped with a version this build cannot read must be
+        // refused before any diffing, not decoded on faith.
+        let config = FlowDiffConfig::default();
+        let log = ControllerLog::new();
+        let model = BehaviorModel::build(&log, &config);
+        let bundle = BaselineBundle {
+            model,
+            stability: StabilityReport::all_stable(&BehaviorModel::build(&log, &config)),
+        };
+        let mut bytes = bundle.to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let path = tmp("future-version.fbas");
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_baseline(path.to_str().unwrap(), &config).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported format version 99"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn watch_rejects_checkpoint_offered_as_baseline() {
+        let config = FlowDiffConfig::default();
+        let log = ControllerLog::new();
+        let model = BehaviorModel::build(&log, &config);
+        let stability = StabilityReport::all_stable(&model);
+        let differ = OnlineDiffer::try_new(model, stability, &config).unwrap();
+        let path = tmp("not-a-baseline.ckpt");
+        Checkpoint::capture(&differ, 0, &config)
+            .save(&path)
+            .unwrap();
+        let err = load_baseline(path.to_str().unwrap(), &config).unwrap_err();
+        assert!(err.to_string().contains("checkpoint"), "got: {err}");
+    }
+
+    #[test]
+    fn watch_rejects_corrupt_baseline_bundle() {
+        let config = FlowDiffConfig::default();
+        let log = ControllerLog::new();
+        let model = BehaviorModel::build(&log, &config);
+        let stability = StabilityReport::all_stable(&model);
+        let bundle = BaselineBundle { model, stability };
+        let mut bytes = bundle.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let path = tmp("corrupt.fbas");
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_baseline(path.to_str().unwrap(), &config).unwrap_err();
+        assert!(err.to_string().contains("CRC mismatch"), "got: {err}");
+        // Truncation is caught too.
+        std::fs::write(&path, &bundle.to_bytes()[..16]).unwrap();
+        let err = load_baseline(path.to_str().unwrap(), &config).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "got: {err}");
+    }
+
+    #[test]
+    fn supervised_run_survives_planned_kills_byte_identically() {
+        // Tiny end-to-end drill: a lab-scale capture, two planned kills,
+        // recovery must reproduce the uninterrupted epochs exactly.
+        let (log, mut config) = flowdiff_bench::tree_capture(2, 7, 4);
+        config.online_epoch_us = 1_000_000;
+        config.online_window_us = 5_000_000;
+        config.checkpoint_every_epochs = 1;
+        config.restart_budget = 2;
+        config.restart_backoff_us = 1_000;
+        let baseline = BehaviorModel::build(&log, &config);
+        let stability = analyze(&log, &baseline, &config);
+        let (current, _) = flowdiff_bench::tree_capture(2, 8, 4);
+        let events: Vec<ControlEvent> = current.events().to_vec();
+        let fresh = || -> Result<(OnlineDiffer, u64), Box<dyn std::error::Error>> {
+            Ok((
+                OnlineDiffer::try_new(baseline.clone(), stability.clone(), &config)?,
+                0,
+            ))
+        };
+        let mut clean = Vec::new();
+        let (clean_last, _, r) = supervised_run(&events, &fresh, &config, None, None, |s| {
+            clean.push(EpochTrace::of(s))
+        })
+        .unwrap();
+        assert_eq!(r, 0);
+        clean.extend(clean_last.as_ref().map(EpochTrace::of));
+        assert!(clean.len() >= 3, "drill needs epochs to kill at");
+
+        let mut plan = CrashPlan::seeded(11, 2, clean.len() as u64 - 1);
+        let kills = plan.kill_epochs().len();
+        let path = tmp("supervised.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut drilled = Vec::new();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = supervised_run(
+            &events,
+            &fresh,
+            &config,
+            Some(&path),
+            Some(&mut plan),
+            |s| drilled.push(EpochTrace::of(s)),
+        );
+        std::panic::set_hook(hook);
+        let (drill_last, _, restarts) = outcome.unwrap();
+        drilled.extend(drill_last.as_ref().map(EpochTrace::of));
+        assert_eq!(restarts as usize, kills, "every planned kill fired");
+        assert_eq!(plan.remaining(), 0);
+        assert_eq!(clean, drilled, "recovered run == uninterrupted run");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn supervised_run_fails_fast_when_budget_exhausted() {
+        let (log, mut config) = flowdiff_bench::tree_capture(2, 7, 3);
+        config.online_epoch_us = 1_000_000;
+        config.online_window_us = 5_000_000;
+        config.checkpoint_every_epochs = 1;
+        config.restart_budget = 0;
+        config.restart_backoff_us = 1_000;
+        let baseline = BehaviorModel::build(&log, &config);
+        let stability = StabilityReport::all_stable(&baseline);
+        let events: Vec<ControlEvent> = log.events().to_vec();
+        let fresh = || -> Result<(OnlineDiffer, u64), Box<dyn std::error::Error>> {
+            Ok((
+                OnlineDiffer::try_new(baseline.clone(), stability.clone(), &config)?,
+                0,
+            ))
+        };
+        let mut plan = CrashPlan::seeded(3, 1, 3);
+        assert!(!plan.kill_epochs().is_empty());
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = supervised_run(&events, &fresh, &config, None, Some(&mut plan), |_| {});
+        std::panic::set_hook(hook);
+        let err = outcome.unwrap_err();
+        assert!(
+            err.to_string().contains("restart budget exhausted"),
+            "got: {err}"
+        );
+    }
 }

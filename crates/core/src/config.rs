@@ -89,6 +89,28 @@ pub struct FlowDiffConfig {
     /// Online mode: length of the sliding window the live model is
     /// built over, microseconds.
     pub online_window_us: u64,
+    /// Crash safety: how many epochs pass between durable checkpoints
+    /// of the streaming state in supervised online mode. `1` (the
+    /// default) checkpoints at every epoch boundary — the tightest
+    /// replay window; larger values trade replay work for checkpoint
+    /// I/O. Must be nonzero (a watcher that never checkpoints simply
+    /// doesn't pass `--checkpoint`).
+    pub checkpoint_every_epochs: u64,
+    /// Crash safety: how many times the supervised watch loop restarts
+    /// the pipeline after a panic before giving up. `0` is valid and
+    /// means fail-fast: the first panic is fatal.
+    pub restart_budget: u32,
+    /// Crash safety: base delay between supervised restarts,
+    /// microseconds of wall time; doubles on every consecutive restart
+    /// (exponential backoff). Must be nonzero so a crash loop cannot
+    /// spin hot.
+    pub restart_backoff_us: u64,
+    /// Graceful degradation: after a *lossy* restore
+    /// ([`OnlineDiffer::mark_lossy_restore`](crate::diff::OnlineDiffer::mark_lossy_restore)),
+    /// every signature reports `Warming` — diffs suppressed — until
+    /// this much log time passes the restore point. `0` disables the
+    /// warm-up. Lossless checkpoint-plus-replay resume never warms.
+    pub restore_warmup_us: u64,
 }
 
 impl Default for FlowDiffConfig {
@@ -116,6 +138,10 @@ impl Default for FlowDiffConfig {
             max_time_jump_us: 0,
             online_epoch_us: 5_000_000,
             online_window_us: 30_000_000,
+            checkpoint_every_epochs: 1,
+            restart_budget: 3,
+            restart_backoff_us: 500_000,
+            restore_warmup_us: 30_000_000,
         }
     }
 }
@@ -197,6 +223,13 @@ impl FlowDiffConfig {
                 reason: "must be at least online_epoch_us",
             });
         }
+        // A checkpoint cadence of zero epochs would checkpoint in a
+        // tight loop (or divide by zero in cadence math); restart
+        // backoff of zero would let a crash loop spin hot. A restart
+        // budget of 0 and a warm-up of 0 are both meaningful (fail
+        // fast / no warm-up) and deliberately pass.
+        nonzero("checkpoint_every_epochs", self.checkpoint_every_epochs)?;
+        nonzero("restart_backoff_us", self.restart_backoff_us)?;
         Ok(())
     }
 }
@@ -292,6 +325,33 @@ mod tests {
             }),
             "online_window_us"
         );
+        assert_eq!(
+            rejected_field(FlowDiffConfig {
+                checkpoint_every_epochs: 0,
+                ..base()
+            }),
+            "checkpoint_every_epochs"
+        );
+        assert_eq!(
+            rejected_field(FlowDiffConfig {
+                restart_backoff_us: 0,
+                ..base()
+            }),
+            "restart_backoff_us"
+        );
+    }
+
+    #[test]
+    fn zero_restart_budget_and_warmup_are_valid() {
+        // budget 0 = fail fast on the first panic; warm-up 0 = lossy
+        // restores never suppress. Both are deliberate operating points,
+        // not misconfigurations.
+        let c = FlowDiffConfig {
+            restart_budget: 0,
+            restore_warmup_us: 0,
+            ..FlowDiffConfig::default()
+        };
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! concrete change types — adding a tenth signature means implementing
 //! the trait, not editing this file.
 
+use std::collections::BTreeSet;
+use std::fmt;
+
 use openflow::types::Timestamp;
 use serde::{Deserialize, Serialize};
 
@@ -186,6 +189,47 @@ pub fn compare(
     }
 }
 
+/// Health of one signature's input feed at an epoch boundary.
+///
+/// A detector whose inputs are starved, or whose state was just
+/// restored with data loss, should lower its confidence rather than
+/// flood the operator with false "missing behavior" alarms. The
+/// [`OnlineDiffer`] judges every signature at each boundary and
+/// *suppresses* the diffs of non-healthy kinds: the changes are
+/// stripped from the [`EpochSnapshot`] and the verdict recorded in
+/// [`EpochSnapshot::gating`] instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SignatureHealth {
+    /// Inputs flowing; diffs emitted normally.
+    Healthy,
+    /// The signature's input feed produced nothing this window while
+    /// the reference expects it — diffing would report everything the
+    /// reference knows as "missing".
+    Starved {
+        /// What input is missing.
+        reason: String,
+    },
+    /// The differ was restored from a checkpoint *with data loss* less
+    /// than `restore_warmup_us` of log time ago; incremental state may
+    /// be missing recent history, so diffs are held back.
+    Warming {
+        /// Log time remaining until the warm-up ends, microseconds.
+        remaining_us: u64,
+    },
+}
+
+impl fmt::Display for SignatureHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureHealth::Healthy => write!(f, "healthy"),
+            SignatureHealth::Starved { reason } => write!(f, "starved: {reason}"),
+            SignatureHealth::Warming { remaining_us } => {
+                write!(f, "warming: {:.1}s left", *remaining_us as f64 / 1e6)
+            }
+        }
+    }
+}
+
 /// One sliding-window comparison emitted by the [`OnlineDiffer`] at an
 /// epoch boundary: the model of the trailing window and its diff
 /// against the reference.
@@ -199,8 +243,97 @@ pub struct EpochSnapshot {
     pub records: usize,
     /// The window's behavior model.
     pub model: BehaviorModel,
-    /// Its diff against the reference model.
+    /// Its diff against the reference model, with suppressed kinds'
+    /// changes already stripped (see [`EpochSnapshot::gating`]).
     pub diff: ModelDiff,
+    /// Signatures whose diffs were suppressed this epoch and why; a
+    /// kind not listed here is [`SignatureHealth::Healthy`].
+    pub gating: Vec<(SignatureKind, SignatureHealth)>,
+}
+
+impl EpochSnapshot {
+    /// The health verdict of one signature kind this epoch.
+    pub fn health_of(&self, kind: SignatureKind) -> SignatureHealth {
+        self.gating
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, h)| h.clone())
+            .unwrap_or(SignatureHealth::Healthy)
+    }
+
+    /// The suppressed kinds with their reasons (empty when all healthy).
+    pub fn suppressed(&self) -> impl Iterator<Item = (SignatureKind, &SignatureHealth)> {
+        self.gating.iter().map(|(k, h)| (*k, h))
+    }
+}
+
+/// Signatures built from flow records — everything except LU, which
+/// feeds on polled port counters instead.
+const RECORD_FED: [SignatureKind; 8] = [
+    SignatureKind::Cg,
+    SignatureKind::Fs,
+    SignatureKind::Ci,
+    SignatureKind::Dd,
+    SignatureKind::Pc,
+    SignatureKind::Pt,
+    SignatureKind::Isl,
+    SignatureKind::Crt,
+];
+
+/// Judges every signature's input feed for the window ending at `end`
+/// and strips the suppressed kinds' changes out of `diff`. Returns the
+/// non-healthy verdicts.
+fn gate_diff(
+    reference: &BehaviorModel,
+    model: &BehaviorModel,
+    warm_until: Option<Timestamp>,
+    end: Timestamp,
+    diff: &mut ModelDiff,
+) -> Vec<(SignatureKind, SignatureHealth)> {
+    let mut gating: Vec<(SignatureKind, SignatureHealth)> = Vec::new();
+    if let Some(until) = warm_until {
+        if end < until {
+            let remaining_us = until.saturating_since(end);
+            for kind in RECORD_FED.into_iter().chain([SignatureKind::Lu]) {
+                gating.push((kind, SignatureHealth::Warming { remaining_us }));
+            }
+        }
+    }
+    if gating.is_empty() {
+        if model.records.is_empty() && !reference.records.is_empty() {
+            for kind in RECORD_FED {
+                gating.push((
+                    kind,
+                    SignatureHealth::Starved {
+                        reason: "no flow records in window".to_string(),
+                    },
+                ));
+            }
+        }
+        if model.utilization.per_port.is_empty() && !reference.utilization.per_port.is_empty() {
+            gating.push((
+                SignatureKind::Lu,
+                SignatureHealth::Starved {
+                    reason: "no port-counter samples in window".to_string(),
+                },
+            ));
+        }
+    }
+    if !gating.is_empty() {
+        let kinds: BTreeSet<SignatureKind> = gating.iter().map(|(k, _)| *k).collect();
+        for g in &mut diff.group_diffs {
+            g.changes.retain(|c| !kinds.contains(&c.kind));
+        }
+        diff.infra.retain(|c| !kinds.contains(&c.kind));
+        if kinds.contains(&SignatureKind::Cg) {
+            // With connectivity gated, whole-group appearance and
+            // disappearance is an input artifact, not an application
+            // change.
+            diff.missing_groups.clear();
+            diff.new_groups.clear();
+        }
+    }
+    gating
 }
 
 /// Online diff mode (the streaming counterpart of one-shot
@@ -216,7 +349,14 @@ pub struct EpochSnapshot {
 /// episodes are added to the clone, so long-running flows show up in
 /// window models without disturbing (or double-counting in) the real
 /// accumulation.
-#[derive(Debug, Clone)]
+///
+/// The differ serializes wholesale — reference model, stability report,
+/// config, assembler, builder, epoch grid, warm-up state — which is
+/// exactly the complete streaming state an online
+/// [`checkpoint`](crate::checkpoint) needs: restore a differ, replay
+/// the events after the checkpoint offset, and every subsequent
+/// snapshot is byte-identical to an uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OnlineDiffer {
     reference: BehaviorModel,
     stability: StabilityReport,
@@ -227,6 +367,10 @@ pub struct OnlineDiffer {
     window_us: u64,
     next_boundary: Option<Timestamp>,
     epoch: u64,
+    /// Set by [`mark_lossy_restore`](Self::mark_lossy_restore): every
+    /// signature reports [`SignatureHealth::Warming`] for boundaries
+    /// before this log time.
+    warm_until: Option<Timestamp>,
 }
 
 impl OnlineDiffer {
@@ -268,7 +412,32 @@ impl OnlineDiffer {
             window_us: config.online_window_us.max(1),
             next_boundary: None,
             epoch: 0,
+            warm_until: None,
         })
+    }
+
+    /// The zero-based index of the next epoch to be emitted.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Declares that this differ was restored from a checkpoint
+    /// *without* replaying the events between the checkpoint and the
+    /// live stream — its incremental state is missing history. Every
+    /// signature is held at [`SignatureHealth::Warming`] (diffs
+    /// suppressed) until `config.restore_warmup_us` of log time passes
+    /// the restore point; `0` disables the warm-up entirely.
+    ///
+    /// A *lossless* resume — restore plus replay from the checkpoint's
+    /// event offset — must NOT call this: replayed state is exactly the
+    /// uninterrupted state, and warming it would break the
+    /// byte-identical recovery contract.
+    pub fn mark_lossy_restore(&mut self) {
+        let now = self.assembler.max_arrival();
+        self.warm_until = Some(Timestamp::from_micros(
+            now.as_micros()
+                .saturating_add(self.config.restore_warmup_us),
+        ));
     }
 
     /// Event-level ingestion health accumulated so far (out-of-order
@@ -343,6 +512,7 @@ impl OnlineDiffer {
             mut builder,
             window_us,
             epoch,
+            warm_until,
             ..
         } = self;
         let (_, end) = builder.observed_span()?;
@@ -353,13 +523,15 @@ impl OnlineDiffer {
         builder.retire_before(start);
         builder.set_span((start, end));
         let model = builder.into_snapshot();
-        let diff = compare(&reference, &model, &stability, &config);
+        let mut diff = compare(&reference, &model, &stability, &config);
+        let gating = gate_diff(&reference, &model, warm_until, end, &mut diff);
         Some(EpochSnapshot {
             epoch,
             window: (start, end),
             records: model.records.len(),
             model,
             diff,
+            gating,
         })
     }
 
@@ -381,13 +553,21 @@ impl OnlineDiffer {
         probe.retire_before(start);
         probe.set_span((start, boundary));
         let model = probe.into_snapshot();
-        let diff = compare(&self.reference, &model, &self.stability, &self.config);
+        let mut diff = compare(&self.reference, &model, &self.stability, &self.config);
+        let gating = gate_diff(
+            &self.reference,
+            &model,
+            self.warm_until,
+            boundary,
+            &mut diff,
+        );
         let snapshot = EpochSnapshot {
             epoch: self.epoch,
             window: (start, boundary),
             records: model.records.len(),
             model,
             diff,
+            gating,
         };
         self.epoch += 1;
         snapshot
@@ -639,5 +819,123 @@ mod tests {
         let honest = differ.observe(&hello_at(Timestamp::from_secs(7)));
         assert_eq!(honest.len(), 1);
         assert_eq!(honest[0].epoch, 0);
+    }
+
+    #[test]
+    fn starved_window_suppresses_missing_flow_flood() {
+        // A rich reference, but the live stream delivers only
+        // keepalives: every baseline flow would read as "missing"
+        // without input-health gating.
+        let (log, config) = scenario_log(1, None);
+        let reference = crate::model::BehaviorModel::build(&log, &config);
+        assert!(!reference.records.is_empty());
+        let stability = crate::stability::analyze(&log, &reference, &config);
+        let mut differ = OnlineDiffer::new(reference, stability, &config);
+        let mut snaps = Vec::new();
+        for s in 0..7u64 {
+            snaps.extend(differ.observe(&hello_at(Timestamp::from_secs(1 + 5 * s))));
+        }
+        assert!(!snaps.is_empty());
+        for snap in &snaps {
+            assert!(
+                snap.diff.is_empty(),
+                "starved epoch {} must not flood: {:#?}",
+                snap.epoch,
+                snap.diff
+            );
+            assert_eq!(
+                snap.health_of(SignatureKind::Fs),
+                SignatureHealth::Starved {
+                    reason: "no flow records in window".to_string()
+                }
+            );
+            assert!(
+                snap.suppressed().count() >= RECORD_FED.len(),
+                "all record-fed signatures are suppressed"
+            );
+            assert!(snap.diff.missing_groups.is_empty());
+        }
+    }
+
+    #[test]
+    fn lossy_restore_warms_then_recovers() {
+        let config = FlowDiffConfig {
+            restore_warmup_us: 30_000_000,
+            ..FlowDiffConfig::default()
+        };
+        let empty = netsim::log::ControllerLog::new();
+        let reference = crate::model::BehaviorModel::build(&empty, &config);
+        let stability = crate::stability::StabilityReport::all_stable(&reference);
+        let mut differ = OnlineDiffer::try_new(reference, stability, &config).unwrap();
+        assert!(differ
+            .observe(&hello_at(Timestamp::from_secs(1)))
+            .is_empty());
+        // Restored without replay at t=1s: hold diffs until t=31s.
+        differ.mark_lossy_restore();
+        let early = differ.observe(&hello_at(Timestamp::from_secs(6)));
+        assert_eq!(early.len(), 1);
+        assert_eq!(
+            early[0].health_of(SignatureKind::Dd),
+            SignatureHealth::Warming {
+                remaining_us: 25_000_000
+            }
+        );
+        let late = differ.observe(&hello_at(Timestamp::from_secs(40)));
+        assert!(!late.is_empty());
+        for snap in &late {
+            let expected = if snap.window.1 < Timestamp::from_secs(31) {
+                matches!(
+                    snap.health_of(SignatureKind::Dd),
+                    SignatureHealth::Warming { .. }
+                )
+            } else {
+                snap.health_of(SignatureKind::Dd) == SignatureHealth::Healthy
+            };
+            assert!(
+                expected,
+                "boundary {:?}: wrong verdict {:?}",
+                snap.window.1,
+                snap.health_of(SignatureKind::Dd)
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointed_differ_resumes_mid_stream_identically() {
+        let (log1, config) = scenario_log(1, None);
+        let m1 = crate::model::BehaviorModel::build(&log1, &config);
+        let stability = crate::stability::analyze(&log1, &m1, &config);
+        let (log2, _) = scenario_log(2, None);
+        let events: Vec<ControlEvent> = log2.events().to_vec();
+        let cut = events.len() / 2;
+
+        let mut straight = OnlineDiffer::new(m1.clone(), stability.clone(), &config);
+        let mut interrupted = OnlineDiffer::new(m1, stability, &config);
+        let mut straight_snaps = Vec::new();
+        let mut resumed_snaps = Vec::new();
+        for event in &events[..cut] {
+            straight_snaps.extend(straight.observe(event));
+            resumed_snaps.extend(interrupted.observe(event));
+        }
+        // Kill: serialize, forget, restore through the guarded format.
+        let ckpt = crate::checkpoint::Checkpoint::capture(&interrupted, cut as u64, &config);
+        drop(interrupted);
+        let restored = crate::checkpoint::Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        let (mut resumed, offset) = restored.resume(&config).unwrap();
+        assert_eq!(offset as usize, cut);
+        assert_eq!(resumed, straight, "restored state == uninterrupted state");
+        for event in &events[cut..] {
+            straight_snaps.extend(straight.observe(event));
+            resumed_snaps.extend(resumed.observe(event));
+        }
+        let a = straight.finish().unwrap();
+        let b = resumed.finish().unwrap();
+        assert_eq!(straight_snaps, resumed_snaps);
+        assert_eq!(a, b);
+        assert_eq!(
+            serde::to_vec(&a),
+            serde::to_vec(&b),
+            "final snapshots serialize byte-identically"
+        );
     }
 }

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod change;
+pub mod checkpoint;
 pub mod config;
 pub mod diagnosis;
 pub mod diff;
@@ -60,11 +61,12 @@ pub mod tasks;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::change::Locus;
+    pub use crate::checkpoint::{BaselineBundle, Checkpoint, PersistError};
     pub use crate::config::{ConfigError, FlowDiffConfig};
     pub use crate::diagnosis::{
         diagnose, Change, Component, DiagnosisReport, ProblemClass, SignatureKind,
     };
-    pub use crate::diff::{compare, EpochSnapshot, ModelDiff, OnlineDiffer};
+    pub use crate::diff::{compare, EpochSnapshot, ModelDiff, OnlineDiffer, SignatureHealth};
     pub use crate::groups::{discover_groups, AppGroup, Edge};
     pub use crate::ids::{
         EntityCatalog, HostId, IRecord, InternedLog, PortId, RecordIndex, SwitchId,

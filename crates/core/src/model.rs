@@ -352,7 +352,13 @@ fn assemble(
 /// "what the model would be if the in-flight flows completed now"
 /// without disturbing the real accumulation, and supports
 /// [`retire_before`](Self::retire_before) for sliding-window operation.
-#[derive(Debug, Clone)]
+///
+/// The builder also serializes (records, span bookkeeping, liveness
+/// proofs, the LU counter series) as part of an online
+/// [`checkpoint`](crate::checkpoint); the nine signature builders need
+/// no state of their own here because they are constructed fresh per
+/// snapshot from the records the builder holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IncrementalModelBuilder {
     config: FlowDiffConfig,
     records: Vec<FlowRecord>,

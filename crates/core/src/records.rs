@@ -55,7 +55,7 @@ pub enum IngestAnomaly {
 /// the event-level counters accumulate inside [`RecordAssembler`]. On a
 /// clean, time-sorted capture every field is zero except
 /// `frames_decoded`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IngestHealth {
     /// Wire frames decoded into events.
     pub frames_decoded: u64,
@@ -241,7 +241,7 @@ pub fn extract_records(log: &ControllerLog, config: &FlowDiffConfig) -> Vec<Flow
 }
 
 /// One in-flight flow episode inside the assembler.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct OpenEpisode {
     /// Creation sequence number; pairs pending `FlowMod` patches with
     /// the episode they belong to even after sibling episodes close.
@@ -253,7 +253,7 @@ struct OpenEpisode {
 }
 
 /// Location of a hop that is still waiting for its `FlowMod` reply.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct PendingHop {
     tuple: FlowTuple,
     seq: u64,
@@ -287,7 +287,13 @@ struct PendingHop {
 /// straggling in later than that no longer attaches. Because the
 /// horizon is at least the episode gap, eviction can never merge two
 /// episodes the batch extractor would split.
-#[derive(Debug, Clone)]
+///
+/// The assembler is the first of the three pieces of streaming state a
+/// [`checkpoint`](crate::checkpoint) must capture, so the whole struct
+/// — in-flight episodes, xid bookkeeping, the reorder buffer, health
+/// counters — serializes; a deserialized assembler continues exactly
+/// where the original stopped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecordAssembler {
     episode_gap_us: u64,
     horizon_us: u64,
@@ -324,7 +330,7 @@ pub struct RecordAssembler {
 }
 
 /// The first `FlowMod` seen for an xid.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct SeenMod {
     ts: Timestamp,
     out: Option<PortNo>,
@@ -362,6 +368,13 @@ impl RecordAssembler {
     /// [`IngestHealth::absorb_stream`]).
     pub fn health(&self) -> &IngestHealth {
         &self.health
+    }
+
+    /// Newest arrival timestamp seen so far (`Timestamp::ZERO` before
+    /// the first event) — the assembler's notion of "now" on the
+    /// arrival clock, used by restore-time bookkeeping.
+    pub fn max_arrival(&self) -> Timestamp {
+        self.max_arrival
     }
 
     /// True when `observe` would drop an event at `ts` as a corrupt

@@ -41,8 +41,10 @@ pub struct LuChange {
 /// Incremental LU accumulator: the only builder fed from raw control
 /// events rather than flow records (port counters never become flow
 /// records). Keeps the cumulative counter series per port; rates are
-/// derived at `finalize`.
-#[derive(Debug, Clone, Default)]
+/// derived at `finalize`. The series serializes with the rest of the
+/// streaming state so an online checkpoint restores mid-poll without
+/// losing the rate across the restart boundary.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LuBuilder {
     /// (dpid, port) -> [(poll time, cumulative tx bytes)]
     ///

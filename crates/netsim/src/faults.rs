@@ -343,6 +343,62 @@ impl ChannelChaos {
     }
 }
 
+/// A seeded process-kill schedule for crash-recovery drills: picks a
+/// set of epoch indices at which the consumer of a capture should die
+/// (panic, `kill -9`, power cut — the drill decides the mechanism).
+///
+/// Each planned kill fires **once**: [`CrashPlan::take`] consumes the
+/// epoch, so a supervisor that restores a checkpoint and replays
+/// through the same epoch is not killed again. Everything is seeded —
+/// the same `(seed, kills, total_epochs)` yields the same schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashPlan {
+    pending: std::collections::BTreeSet<u64>,
+    planned: Vec<u64>,
+}
+
+impl CrashPlan {
+    /// Plans up to `kills` distinct kill epochs drawn uniformly from
+    /// `[1, total_epochs)` — epoch 0 is spared so every drill has at
+    /// least one clean snapshot before the first death.
+    pub fn seeded(seed: u64, kills: usize, total_epochs: u64) -> CrashPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pending = std::collections::BTreeSet::new();
+        if total_epochs > 1 {
+            let want = kills.min((total_epochs - 1) as usize);
+            // Distinct draws; the range is tiny, so rejection converges
+            // immediately.
+            while pending.len() < want {
+                pending.insert(rng.gen_range(1..total_epochs));
+            }
+        }
+        let planned = pending.iter().copied().collect();
+        CrashPlan { pending, planned }
+    }
+
+    /// Every epoch the plan will (or did) kill at, ascending.
+    pub fn kill_epochs(&self) -> &[u64] {
+        &self.planned
+    }
+
+    /// True when a kill is still scheduled at `epoch`.
+    pub fn should_kill(&self, epoch: u64) -> bool {
+        self.pending.contains(&epoch)
+    }
+
+    /// Consumes the kill scheduled at `epoch`; returns whether one was
+    /// pending. Call *before* dying so the post-restore replay of the
+    /// same epoch passes through.
+    pub fn take(&mut self, epoch: u64) -> bool {
+        self.pending.remove(&epoch)
+    }
+
+    /// Kills not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.pending.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,6 +566,41 @@ mod tests {
                 ts.windows(2).any(|w| w[1] < w[0]),
                 "decoded capture is actually out of order"
             );
+        }
+    }
+
+    mod crash_plan {
+        use super::*;
+
+        #[test]
+        fn seeded_plans_are_deterministic_and_bounded() {
+            let a = CrashPlan::seeded(7, 3, 20);
+            let b = CrashPlan::seeded(7, 3, 20);
+            assert_eq!(a, b, "same seed, same schedule");
+            assert_eq!(a.kill_epochs().len(), 3);
+            assert!(a.kill_epochs().iter().all(|&e| (1..20).contains(&e)));
+            assert!(a.kill_epochs().windows(2).all(|w| w[0] < w[1]));
+            let c = CrashPlan::seeded(8, 3, 20);
+            assert_ne!(a, c, "different seed, different schedule");
+        }
+
+        #[test]
+        fn each_kill_fires_exactly_once() {
+            let mut plan = CrashPlan::seeded(1, 2, 10);
+            let epoch = plan.kill_epochs()[0];
+            assert!(plan.should_kill(epoch));
+            assert!(plan.take(epoch), "first pass through the epoch dies");
+            assert!(!plan.should_kill(epoch));
+            assert!(!plan.take(epoch), "the replay survives it");
+            assert_eq!(plan.remaining(), 1);
+        }
+
+        #[test]
+        fn plan_never_kills_epoch_zero_and_caps_at_available_epochs() {
+            let plan = CrashPlan::seeded(5, 50, 4);
+            assert_eq!(plan.kill_epochs(), &[1, 2, 3]);
+            let empty = CrashPlan::seeded(5, 3, 1);
+            assert!(empty.kill_epochs().is_empty());
         }
     }
 }

@@ -41,7 +41,7 @@ pub mod prelude {
     pub use crate::apps::{AppCtx, AppLogic};
     pub use crate::config::SimConfig;
     pub use crate::engine::{SimStats, Simulation};
-    pub use crate::faults::{ChannelChaos, ChaosReport, Fault};
+    pub use crate::faults::{ChannelChaos, ChaosReport, CrashPlan, Fault};
     pub use crate::flows::{DeliveredFlow, FlowId, FlowPhase, FlowSpec};
     pub use crate::log::{ControlEvent, ControllerLog, DecodeError, Direction, LogStream};
     pub use crate::topology::{LinkId, NodeId, Topology};
