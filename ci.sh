@@ -35,6 +35,17 @@ if ! printf '%s\n' "$watch_out" | grep -q '^stats: .* interned'; then
 fi
 printf '%s\n' "$watch_out" | grep '^stats: '
 
+step "flowdiff-bench sharded watch (epoch lines identical to single shard)"
+sharded_out="$(cargo run --release -q -p flowdiff-bench --bin flowdiff-bench -- \
+    watch "$demo_dir/baseline.fcap" "$demo_dir/current.fcap" --shards 4)"
+printf '%s\n' "$sharded_out" | grep '^stats: '
+if ! diff <(printf '%s\n' "$watch_out" | grep '^epoch ') \
+          <(printf '%s\n' "$sharded_out" | grep '^epoch '); then
+    echo "FAIL: --shards 4 watch epoch lines differ from --shards 1" >&2
+    exit 1
+fi
+echo "sharded watch epoch lines byte-identical to single shard"
+
 step "flowdiff-bench chaos smoke test (ingestion fault drill)"
 chaos_out="$(cargo run --release -q -p flowdiff-bench --bin flowdiff-bench -- \
     chaos --seed 1 --corruption 0.01)"
@@ -51,6 +62,38 @@ printf '%s\n' "$drill_out"
 if ! printf '%s\n' "$drill_out" | grep -q '^recovery: 100.0% fidelity'; then
     echo "FAIL: crashdrill did not report full recovery fidelity" >&2
     exit 1
+fi
+
+step "flowdiff-bench sharded crashdrill (segmented v2 checkpoint recovery)"
+sharded_drill_out="$(cargo run --release -q -p flowdiff-bench --bin flowdiff-bench -- \
+    crashdrill --seed 1 --kills 3 --shards 4)"
+printf '%s\n' "$sharded_drill_out"
+if ! printf '%s\n' "$sharded_drill_out" | grep -q '^recovery: 100.0% fidelity'; then
+    echo "FAIL: sharded crashdrill did not report full recovery fidelity" >&2
+    exit 1
+fi
+
+step "flowdiff-bench shardbench (byte-identity gate + BENCH_shard.json)"
+shardbench_out="$(cargo run --release -q -p flowdiff-bench --bin flowdiff-bench -- \
+    shardbench --shards 4)"
+printf '%s\n' "$shardbench_out"
+if ! printf '%s\n' "$shardbench_out" | grep -q '^identity: ok'; then
+    echo "FAIL: shardbench snapshots not byte-identical across shard counts" >&2
+    exit 1
+fi
+if [ ! -s BENCH_shard.json ]; then
+    echo "FAIL: shardbench did not write BENCH_shard.json" >&2
+    exit 1
+fi
+cores="$(nproc 2>/dev/null || echo 1)"
+if [ "$cores" -ge 4 ]; then
+    # Parallel speedup is only a fair ask when the runner has the cores.
+    if ! awk -F': ' '/"speedup"/ { gsub(/,/, "", $2); exit !($2 >= 1.0) }' BENCH_shard.json; then
+        echo "FAIL: sharded throughput below single-shard on a ${cores}-core runner" >&2
+        exit 1
+    fi
+else
+    echo "INFO: ${cores} core(s); skipping speedup assertion (identity still gated)"
 fi
 
 step "cargo bench --no-run (benches must compile)"

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! flowdiff_cli demo <dir>                  generate demo captures (healthy
-//!                                          baseline.fcap + faulty current.fcap)
+//!     [--scale lab|datacenter]             baseline.fcap + faulty current.fcap);
+//!                                          datacenter = the paper's 320-server tree
 //! flowdiff_cli model <capture.fcap>        summarize one capture's model
 //! flowdiff_cli diff <baseline> <current>   diagnose current against baseline
 //!     [--special ip,ip,...]                mark special-purpose service IPs
@@ -44,7 +45,33 @@ type CliResult = Result<(), Box<dyn std::error::Error>>;
 /// Generates a healthy baseline and a faulty current capture in `dir`.
 fn cmd_demo(args: &[String]) -> CliResult {
     let dir = args.first().ok_or("demo needs a target directory")?;
+    let mut scale = "lab";
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().map(String::as_str) {
+                Some(s @ ("lab" | "datacenter")) => scale = s,
+                other => return Err(format!("--scale lab|datacenter, got {other:?}").into()),
+            },
+            other => return Err(format!("unknown demo flag {other}").into()),
+        }
+    }
     std::fs::create_dir_all(dir)?;
+    if scale == "datacenter" {
+        // The paper's 320-server tree (16 racks x 20 servers): two
+        // captures of the same nine-app workload under different seeds,
+        // the pair the shardbench and scale-out docs exercise.
+        let (baseline, _) = flowdiff_bench::tree_capture(9, 42, 6);
+        let (current, _) = flowdiff_bench::tree_capture(9, 43, 6);
+        let base_path = format!("{dir}/baseline.fcap");
+        let cur_path = format!("{dir}/current.fcap");
+        flowdiff::checkpoint::atomic_write(base_path.as_ref(), &baseline.to_wire_bytes())?;
+        flowdiff::checkpoint::atomic_write(cur_path.as_ref(), &current.to_wire_bytes())?;
+        println!("wrote {base_path} ({} events)", baseline.len());
+        println!("wrote {cur_path} ({} events)", current.len());
+        println!("\ntry:\n  flowdiff-bench watch {base_path} {cur_path} --shards 4");
+        return Ok(());
+    }
     let env = LabEnv::new();
 
     let capture = |seed: u64, fault: Option<Fault>| -> ControllerLog {

@@ -25,6 +25,7 @@ fn main() -> ExitCode {
         Some("watch") => run(cmd_watch(&args[1..])),
         Some("chaos") => run(cmd_chaos(&args[1..])),
         Some("crashdrill") => run(cmd_crashdrill(&args[1..])),
+        Some("shardbench") => run(cmd_shardbench(&args[1..])),
         Some(other) => {
             eprintln!("unknown subcommand: {other}");
             usage();
@@ -40,12 +41,13 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: flowdiff-bench [watch <baseline.fcap|baseline.fbas> <current.fcap> \
-         [--special ip,ip] [--epoch-secs N] [--window-secs N] \
+         [--special ip,ip] [--epoch-secs N] [--window-secs N] [--shards N] \
          [--save-baseline <path>] [--checkpoint <path>] [--checkpoint-every N] \
          [--resume <path>]]\n       \
          flowdiff-bench [chaos [--seed N] [--corruption RATE] \
-         [--skew-us N] [--jitter-us N]]\n       \
-         flowdiff-bench [crashdrill [--seed N] [--kills N]]"
+         [--skew-us N] [--jitter-us N] [--shards N]]\n       \
+         flowdiff-bench [crashdrill [--seed N] [--kills N] [--shards N]]\n       \
+         flowdiff-bench [shardbench [--shards N] [--out <path>]]"
     );
 }
 
@@ -95,6 +97,9 @@ fn print_index() {
     println!();
     println!("Crash-recovery drill (kill + checkpoint-restore on the 320-server capture):");
     println!("  cargo run --release -p flowdiff-bench -- crashdrill --seed 1 --kills 3");
+    println!();
+    println!("Sharding benchmark (byte-identity + throughput, writes BENCH_shard.json):");
+    println!("  cargo run --release -p flowdiff-bench -- shardbench --shards 4");
     println!();
     println!("Criterion benchmarks: cargo bench --workspace");
 }
@@ -152,9 +157,16 @@ fn cmd_watch(args: &[String]) -> CliResult {
     let mut save_baseline: Option<PathBuf> = None;
     let mut checkpoint_path: Option<PathBuf> = None;
     let mut resume_path: Option<PathBuf> = None;
+    let mut n_shards: usize = 1;
     let mut it = args[2..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--shards" => {
+                n_shards = it.next().ok_or("--shards needs a count")?.parse()?;
+                if n_shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
             "--special" => {
                 let list = it.next().ok_or("--special needs a comma-separated list")?;
                 let mut specials = Vec::new();
@@ -231,12 +243,12 @@ fn cmd_watch(args: &[String]) -> CliResult {
         return Err(format!("{}: capture holds no events", args[1]).into());
     }
 
-    let fresh = || -> Result<(OnlineDiffer, u64), Box<dyn std::error::Error>> {
+    let fresh = || -> Result<(Differ, u64), Box<dyn std::error::Error>> {
         match &resume_path {
             Some(path) => {
-                let (differ, at) = Checkpoint::load(path)
-                    .map_err(|e| format!("{}: {e}", path.display()))?
-                    .resume(&config)?;
+                let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+                let (differ, at) = restore_checkpoint(&bytes, &config)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
                 println!(
                     "stats: resumed from {} at event {at}, epoch {}",
                     path.display(),
@@ -244,13 +256,26 @@ fn cmd_watch(args: &[String]) -> CliResult {
                 );
                 Ok((differ, at))
             }
+            None if n_shards > 1 => Ok((
+                Differ::Sharded(ShardedDiffer::try_new(
+                    baseline.clone(),
+                    stability.clone(),
+                    &config,
+                    n_shards,
+                )?),
+                0,
+            )),
             None => Ok((
-                OnlineDiffer::try_new(baseline.clone(), stability.clone(), &config)?,
+                Differ::Single(OnlineDiffer::try_new(
+                    baseline.clone(),
+                    stability.clone(),
+                    &config,
+                )?),
                 0,
             )),
         }
     };
-    let (last, mut health, restarts) = supervised_run(
+    let (last, mut health, restarts, shard_report) = supervised_run(
         &events,
         &fresh,
         &config,
@@ -268,11 +293,125 @@ fn cmd_watch(args: &[String]) -> CliResult {
             config.restart_budget
         );
     }
+    if let Some((stats, merge_us)) = shard_report {
+        let per_shard = stats
+            .iter()
+            .map(|s| format!("{}:{}r/{}e", s.shard, s.records, s.open_episodes))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "stats: {} shard(s), merge {merge_us} us total; final load (records/episodes) {per_shard}",
+            stats.len()
+        );
+    }
     println!("stats: ingest {health}");
     Ok(())
 }
 
-/// Drives `events` through a supervised online differ.
+/// The watch loop's pipeline, in either deployment shape. `--shards 1`
+/// (the default) is the exact legacy [`OnlineDiffer`] code path — no
+/// routing, no chunking; `--shards N` for N > 1 is the partitioned
+/// [`ShardedDiffer`]. Both shapes promise byte-identical epoch
+/// snapshots, so everything downstream of this enum is shape-blind.
+enum Differ {
+    Single(OnlineDiffer),
+    Sharded(ShardedDiffer),
+}
+
+impl Differ {
+    fn observe(&mut self, event: &ControlEvent) -> Vec<EpochSnapshot> {
+        match self {
+            Differ::Single(d) => d.observe(event),
+            Differ::Sharded(d) => d.observe(event),
+        }
+    }
+
+    fn finish(self) -> Option<EpochSnapshot> {
+        match self {
+            Differ::Single(d) => d.finish(),
+            Differ::Sharded(d) => d.finish(),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        match self {
+            Differ::Single(d) => d.epoch(),
+            Differ::Sharded(d) => d.epoch(),
+        }
+    }
+
+    fn health(&self) -> flowdiff::records::IngestHealth {
+        match self {
+            Differ::Single(d) => *d.health(),
+            Differ::Sharded(d) => d.health(),
+        }
+    }
+
+    fn mark_lossy_restore(&mut self) {
+        match self {
+            Differ::Single(d) => d.mark_lossy_restore(),
+            Differ::Sharded(d) => d.mark_lossy_restore(),
+        }
+    }
+
+    /// Per-shard worker load and cumulative merge time; `None` for the
+    /// single-pipeline shape.
+    fn shard_report(&self) -> Option<(Vec<ShardStats>, u64)> {
+        match self {
+            Differ::Single(_) => None,
+            Differ::Sharded(d) => Some((d.shard_stats(), d.merge_micros())),
+        }
+    }
+
+    /// Serializes into the checkpoint layout matching the shape: v1
+    /// for the single pipeline, v2 (segmented) for the sharded one.
+    fn checkpoint_bytes(&self, events_consumed: u64, config: &FlowDiffConfig) -> Vec<u8> {
+        match self {
+            Differ::Single(d) => Checkpoint::capture(d, events_consumed, config).to_bytes(),
+            Differ::Sharded(d) => ShardedCheckpoint::capture(d, events_consumed, config).to_bytes(),
+        }
+    }
+
+    fn save_checkpoint(
+        &self,
+        events_consumed: u64,
+        config: &FlowDiffConfig,
+        path: &Path,
+    ) -> Result<(), PersistError> {
+        match self {
+            Differ::Single(d) => Checkpoint::capture(d, events_consumed, config).save(path),
+            Differ::Sharded(d) => ShardedCheckpoint::capture(d, events_consumed, config).save(path),
+        }
+    }
+}
+
+/// Restores a checkpoint of either layout into a running [`Differ`].
+/// Corrupt per-shard segments in a v2 file salvage to fresh workers
+/// (reported on stderr) rather than failing the whole restore.
+fn restore_checkpoint(
+    bytes: &[u8],
+    config: &FlowDiffConfig,
+) -> Result<(Differ, u64), Box<dyn std::error::Error>> {
+    match AnyCheckpoint::from_bytes_salvaging(bytes)? {
+        AnyCheckpoint::Single(c) => {
+            let (differ, at) = c.resume(config)?;
+            Ok((Differ::Single(differ), at))
+        }
+        AnyCheckpoint::Sharded(c) => {
+            if !c.salvaged_shards.is_empty() {
+                eprintln!(
+                    "warning: salvaged corrupt checkpoint segment(s) for shard(s) {:?}; \
+                     those workers restart fresh under warm-up gating",
+                    c.salvaged_shards
+                );
+            }
+            let (differ, at) = c.resume(config)?;
+            Ok((Differ::Sharded(differ), at))
+        }
+    }
+}
+
+/// Drives `events` through a supervised online differ (either shape).
 ///
 /// Every observation runs inside `catch_unwind`; on a panic the loop
 /// restores the last durable checkpoint (or calls `fresh` again when
@@ -288,16 +427,25 @@ fn cmd_watch(args: &[String]) -> CliResult {
 /// looks like.
 ///
 /// Returns the final flushed snapshot, the ingestion health of the
-/// (last incarnation of the) differ, and how many restarts were spent.
+/// (last incarnation of the) differ, how many restarts were spent, and
+/// the shard report (worker loads + merge time) when running sharded.
+#[allow(clippy::type_complexity)]
 fn supervised_run(
     events: &[ControlEvent],
-    fresh: &dyn Fn() -> Result<(OnlineDiffer, u64), Box<dyn std::error::Error>>,
+    fresh: &dyn Fn() -> Result<(Differ, u64), Box<dyn std::error::Error>>,
     config: &FlowDiffConfig,
     checkpoint_path: Option<&Path>,
     mut plan: Option<&mut CrashPlan>,
     mut on_snapshot: impl FnMut(&EpochSnapshot),
-) -> Result<(Option<EpochSnapshot>, flowdiff::records::IngestHealth, u32), Box<dyn std::error::Error>>
-{
+) -> Result<
+    (
+        Option<EpochSnapshot>,
+        flowdiff::records::IngestHealth,
+        u32,
+        Option<(Vec<ShardStats>, u64)>,
+    ),
+    Box<dyn std::error::Error>,
+> {
     let (mut differ, start) = fresh()?;
     let mut idx = start as usize;
     // Epochs below this watermark were already delivered (possibly by a
@@ -335,7 +483,7 @@ fn supervised_run(
                         if epochs_since_ckpt >= config.checkpoint_every_epochs {
                             // `idx` was just advanced: the checkpoint
                             // records that events[..idx] are consumed.
-                            Checkpoint::capture(&differ, idx as u64, config).save(path)?;
+                            differ.save_checkpoint(idx as u64, config, path)?;
                             epochs_since_ckpt = 0;
                         }
                     }
@@ -355,9 +503,12 @@ fn supervised_run(
                     .saturating_mul(1u64 << (restarts - 1).min(20));
                 std::thread::sleep(std::time::Duration::from_micros(backoff));
                 let (restored, at) = match checkpoint_path {
-                    Some(path) if path.exists() => Checkpoint::load(path)
-                        .map_err(|e| format!("{}: {e}", path.display()))?
-                        .resume(config)?,
+                    Some(path) if path.exists() => {
+                        let bytes =
+                            std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+                        restore_checkpoint(&bytes, config)
+                            .map_err(|e| format!("{}: {e}", path.display()))?
+                    }
                     _ => fresh()?,
                 };
                 differ = restored;
@@ -366,9 +517,10 @@ fn supervised_run(
             }
         }
     }
-    let health = *differ.health();
+    let health = differ.health();
+    let shard_report = differ.shard_report();
     let last = differ.finish();
-    Ok((last, health, restarts))
+    Ok((last, health, restarts, shard_report))
 }
 
 /// `chaos`: regenerate the paper's 320-server tree capture, mangle it
@@ -380,6 +532,7 @@ fn cmd_chaos(args: &[String]) -> CliResult {
     let mut corruption: f64 = 0.01;
     let mut skew_us: u64 = 0;
     let mut jitter_us: u64 = 0;
+    let mut n_shards: usize = 1;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -392,6 +545,12 @@ fn cmd_chaos(args: &[String]) -> CliResult {
             }
             "--skew-us" => skew_us = it.next().ok_or("--skew-us needs a number")?.parse()?,
             "--jitter-us" => jitter_us = it.next().ok_or("--jitter-us needs a number")?.parse()?,
+            "--shards" => {
+                n_shards = it.next().ok_or("--shards needs a count")?.parse()?;
+                if n_shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag: {other}").into()),
         }
     }
@@ -436,13 +595,19 @@ fn cmd_chaos(args: &[String]) -> CliResult {
         report.reordered,
     );
 
-    let (clean_keys, clean_health) =
-        stream_changes(&clean_bytes, baseline.clone(), stability.clone(), &config)?;
+    let (clean_keys, clean_health) = stream_changes(
+        &clean_bytes,
+        baseline.clone(),
+        stability.clone(),
+        &config,
+        n_shards,
+    )?;
     println!(
         "clean:   {} confirmed changes; ingest {clean_health}",
         clean_keys.len()
     );
-    let (chaos_keys, chaos_health) = stream_changes(&mangled_bytes, baseline, stability, &config)?;
+    let (chaos_keys, chaos_health) =
+        stream_changes(&mangled_bytes, baseline, stability, &config, n_shards)?;
     println!("stats: ingest {chaos_health}");
 
     let recovered = clean_keys.intersection(&chaos_keys).count();
@@ -495,11 +660,18 @@ impl EpochTrace {
 fn cmd_crashdrill(args: &[String]) -> CliResult {
     let mut seed: u64 = 1;
     let mut kills: usize = 3;
+    let mut n_shards: usize = 1;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--seed" => seed = it.next().ok_or("--seed needs a number")?.parse()?,
             "--kills" => kills = it.next().ok_or("--kills needs a count")?.parse()?,
+            "--shards" => {
+                n_shards = it.next().ok_or("--shards needs a count")?.parse()?;
+                if n_shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag: {other}").into()),
         }
     }
@@ -520,20 +692,34 @@ fn cmd_crashdrill(args: &[String]) -> CliResult {
     let stability = analyze(&baseline_log, &baseline, &config);
     let events: Vec<ControlEvent> = current_log.events().to_vec();
     println!(
-        "drill: seed {seed}, {kills} kill(s) over {} events, checkpoint every {} epoch(s)",
+        "drill: seed {seed}, {kills} kill(s) over {} events, {n_shards} shard(s), \
+         checkpoint every {} epoch(s)",
         events.len(),
         config.checkpoint_every_epochs
     );
 
     // Uninterrupted reference run.
-    let fresh = || -> Result<(OnlineDiffer, u64), Box<dyn std::error::Error>> {
+    let fresh = || -> Result<(Differ, u64), Box<dyn std::error::Error>> {
         Ok((
-            OnlineDiffer::try_new(baseline.clone(), stability.clone(), &config)?,
+            if n_shards > 1 {
+                Differ::Sharded(ShardedDiffer::try_new(
+                    baseline.clone(),
+                    stability.clone(),
+                    &config,
+                    n_shards,
+                )?)
+            } else {
+                Differ::Single(OnlineDiffer::try_new(
+                    baseline.clone(),
+                    stability.clone(),
+                    &config,
+                )?)
+            },
             0,
         ))
     };
     let mut clean: Vec<EpochTrace> = Vec::new();
-    let (clean_last, _, clean_restarts) =
+    let (clean_last, _, clean_restarts, _) =
         supervised_run(&events, &fresh, &config, None, None, |snap| {
             clean.push(EpochTrace::of(snap))
         })?;
@@ -566,7 +752,7 @@ fn cmd_crashdrill(args: &[String]) -> CliResult {
         |snap| drilled.push(EpochTrace::of(snap)),
     );
     std::panic::set_hook(orig_hook);
-    let (drill_last, _, restarts) = outcome?;
+    let (drill_last, _, restarts, _) = outcome?;
     if let Some(snap) = &drill_last {
         drilled.push(EpochTrace::of(snap));
     }
@@ -597,8 +783,8 @@ fn cmd_crashdrill(args: &[String]) -> CliResult {
     for event in &events[..cut] {
         half.observe(event);
     }
-    let mid_ckpt = Checkpoint::capture(&half, cut as u64, &config);
-    let (mut lossy, at) = Checkpoint::from_bytes(&mid_ckpt.to_bytes())?.resume(&config)?;
+    let mid_ckpt = half.checkpoint_bytes(cut as u64, &config);
+    let (mut lossy, at) = restore_checkpoint(&mid_ckpt, &config)?;
     lossy.mark_lossy_restore();
     // Skip half the remaining stream instead of replaying it: data loss.
     let tail_start = (at as usize) + (events.len() - at as usize) / 2;
@@ -626,17 +812,152 @@ fn cmd_crashdrill(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// Streams capture bytes through an [`OnlineDiffer`] and returns the
-/// union over all epochs of confirmed change keys, plus the ingestion
-/// health counters. Decode errors are tolerated (the stream
-/// resynchronizes); they show up in the health counters.
+/// `shardbench`: stream the 320-server capture through the single
+/// pipeline and through `--shards N` workers, assert every epoch
+/// snapshot is byte-identical between the two, and write the
+/// throughput/merge/memory figures to `BENCH_shard.json`.
+fn cmd_shardbench(args: &[String]) -> CliResult {
+    let mut n_shards: usize = 4;
+    let mut out = PathBuf::from("BENCH_shard.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shards" => {
+                n_shards = it.next().ok_or("--shards needs a count")?.parse()?;
+                if n_shards < 2 {
+                    return Err("--shards must be at least 2 (1 is the single baseline)".into());
+                }
+            }
+            "--out" => out = it.next().ok_or("--out needs a path")?.into(),
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+    }
+
+    let (baseline_log, config) = flowdiff_bench::tree_capture(9, 42, 6);
+    let (current_log, _) = flowdiff_bench::tree_capture(9, 43, 6);
+    config.validate()?;
+    let baseline = BehaviorModel::build(&baseline_log, &config);
+    let stability = analyze(&baseline_log, &baseline, &config);
+    let events: Vec<ControlEvent> = current_log.events().to_vec();
+    println!(
+        "shardbench: {} events, 320-server tree capture, 1 vs {n_shards} shard(s)",
+        events.len()
+    );
+
+    // Single-pipeline reference pass, timed.
+    let mut single = OnlineDiffer::try_new(baseline.clone(), stability.clone(), &config)?;
+    let t0 = std::time::Instant::now();
+    let mut single_snaps: Vec<Vec<u8>> = Vec::new();
+    for event in &events {
+        for snap in single.observe(event) {
+            single_snaps.push(serde::to_vec(&snap));
+        }
+    }
+    if let Some(last) = single.finish() {
+        single_snaps.push(serde::to_vec(&last));
+    }
+    let single_secs = t0.elapsed().as_secs_f64();
+
+    // Sharded pass, timed, sampling worker load at each boundary.
+    let mut sharded = ShardedDiffer::try_new(baseline, stability, &config, n_shards)?;
+    let t0 = std::time::Instant::now();
+    let mut sharded_snaps: Vec<Vec<u8>> = Vec::new();
+    let mut peak_open_episodes: usize = 0;
+    for event in &events {
+        let snaps = sharded.observe(event);
+        if !snaps.is_empty() {
+            let open: usize = sharded.shard_stats().iter().map(|s| s.open_episodes).sum();
+            peak_open_episodes = peak_open_episodes.max(open);
+        }
+        for snap in snaps {
+            sharded_snaps.push(serde::to_vec(&snap));
+        }
+    }
+    let merge_us = sharded.merge_micros();
+    if let Some(last) = sharded.finish() {
+        sharded_snaps.push(serde::to_vec(&last));
+    }
+    let sharded_secs = t0.elapsed().as_secs_f64();
+
+    if single_snaps != sharded_snaps {
+        let first_bad = single_snaps
+            .iter()
+            .zip(&sharded_snaps)
+            .position(|(a, b)| a != b)
+            .unwrap_or(single_snaps.len().min(sharded_snaps.len()));
+        return Err(format!(
+            "identity: FAILED — {n_shards}-shard snapshots diverge from single-shard \
+             at epoch {first_bad} ({} vs {} snapshots)",
+            single_snaps.len(),
+            sharded_snaps.len()
+        )
+        .into());
+    }
+    println!(
+        "identity: ok ({} epoch snapshots byte-identical across 1 and {n_shards} shard(s))",
+        single_snaps.len()
+    );
+
+    let single_eps = events.len() as f64 / single_secs;
+    let sharded_eps = events.len() as f64 / sharded_secs;
+    println!(
+        "throughput: single {single_eps:.0} events/s, sharded({n_shards}) {sharded_eps:.0} \
+         events/s (x{:.2}); merge {merge_us} us total",
+        sharded_eps / single_eps
+    );
+    let vm_hwm_kb = vm_hwm_kb();
+    if let Some(kb) = vm_hwm_kb {
+        println!("memory: peak RSS {kb} KiB; peak open episodes {peak_open_episodes}");
+    }
+
+    let json = format!(
+        "{{\n  \"events\": {},\n  \"epoch_snapshots\": {},\n  \"shards\": {n_shards},\n  \
+         \"single_events_per_sec\": {single_eps:.1},\n  \
+         \"sharded_events_per_sec\": {sharded_eps:.1},\n  \
+         \"speedup\": {:.3},\n  \"merge_us_total\": {merge_us},\n  \
+         \"peak_open_episodes\": {peak_open_episodes},\n  \"vm_hwm_kb\": {}\n}}\n",
+        events.len(),
+        single_snaps.len(),
+        sharded_eps / single_eps,
+        vm_hwm_kb
+            .map(|kb| kb.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+    );
+    flowdiff::checkpoint::atomic_write(&out, json.as_bytes())?;
+    println!("shardbench: wrote {}", out.display());
+    Ok(())
+}
+
+/// Peak resident set size of this process in KiB, from
+/// `/proc/self/status` (`None` off Linux).
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse().ok())
+}
+
+/// Streams capture bytes through an online differ (single or sharded,
+/// per `n_shards`) and returns the union over all epochs of confirmed
+/// change keys, plus the ingestion health counters. Decode errors are
+/// tolerated (the stream resynchronizes); they show up in the health
+/// counters.
 fn stream_changes(
     bytes: &[u8],
     baseline: BehaviorModel,
     stability: StabilityReport,
     config: &FlowDiffConfig,
+    n_shards: usize,
 ) -> Result<(BTreeSet<String>, flowdiff::records::IngestHealth), Box<dyn std::error::Error>> {
-    let mut differ = OnlineDiffer::try_new(baseline, stability, config)?;
+    let mut differ = if n_shards > 1 {
+        Differ::Sharded(ShardedDiffer::try_new(
+            baseline, stability, config, n_shards,
+        )?)
+    } else {
+        Differ::Single(OnlineDiffer::try_new(baseline, stability, config)?)
+    };
     let mut keys = BTreeSet::new();
     let mut stream = LogStream::from_wire_bytes(bytes)?;
     // Decode errors are tallied in the stream's own counters.
@@ -645,7 +966,7 @@ fn stream_changes(
             collect_keys(&snapshot.diff, &mut keys);
         }
     }
-    let mut health = *differ.health();
+    let mut health = differ.health();
     health.absorb_stream(stream.stats());
     if let Some(snapshot) = differ.finish() {
         collect_keys(&snapshot.diff, &mut keys);
@@ -800,14 +1121,18 @@ mod tests {
         let stability = analyze(&log, &baseline, &config);
         let (current, _) = flowdiff_bench::tree_capture(2, 8, 4);
         let events: Vec<ControlEvent> = current.events().to_vec();
-        let fresh = || -> Result<(OnlineDiffer, u64), Box<dyn std::error::Error>> {
+        let fresh = || -> Result<(Differ, u64), Box<dyn std::error::Error>> {
             Ok((
-                OnlineDiffer::try_new(baseline.clone(), stability.clone(), &config)?,
+                Differ::Single(OnlineDiffer::try_new(
+                    baseline.clone(),
+                    stability.clone(),
+                    &config,
+                )?),
                 0,
             ))
         };
         let mut clean = Vec::new();
-        let (clean_last, _, r) = supervised_run(&events, &fresh, &config, None, None, |s| {
+        let (clean_last, _, r, _) = supervised_run(&events, &fresh, &config, None, None, |s| {
             clean.push(EpochTrace::of(s))
         })
         .unwrap();
@@ -831,11 +1156,88 @@ mod tests {
             |s| drilled.push(EpochTrace::of(s)),
         );
         std::panic::set_hook(hook);
-        let (drill_last, _, restarts) = outcome.unwrap();
+        let (drill_last, _, restarts, _) = outcome.unwrap();
         drilled.extend(drill_last.as_ref().map(EpochTrace::of));
         assert_eq!(restarts as usize, kills, "every planned kill fired");
         assert_eq!(plan.remaining(), 0);
         assert_eq!(clean, drilled, "recovered run == uninterrupted run");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_supervised_run_recovers_the_single_shard_epochs() {
+        // The strongest cross-shape claim in one drill: a 3-shard
+        // supervised run with planned kills (v2 segmented checkpoints,
+        // restore, replay) reproduces the *single-shard* uninterrupted
+        // run's epoch traces byte for byte.
+        let (log, mut config) = flowdiff_bench::tree_capture(2, 7, 4);
+        config.online_epoch_us = 1_000_000;
+        config.online_window_us = 5_000_000;
+        config.checkpoint_every_epochs = 1;
+        config.restart_budget = 2;
+        config.restart_backoff_us = 1_000;
+        let baseline = BehaviorModel::build(&log, &config);
+        let stability = analyze(&log, &baseline, &config);
+        let (current, _) = flowdiff_bench::tree_capture(2, 8, 4);
+        let events: Vec<ControlEvent> = current.events().to_vec();
+
+        let single = || -> Result<(Differ, u64), Box<dyn std::error::Error>> {
+            Ok((
+                Differ::Single(OnlineDiffer::try_new(
+                    baseline.clone(),
+                    stability.clone(),
+                    &config,
+                )?),
+                0,
+            ))
+        };
+        let mut clean = Vec::new();
+        let (clean_last, _, r, report) =
+            supervised_run(&events, &single, &config, None, None, |s| {
+                clean.push(EpochTrace::of(s))
+            })
+            .unwrap();
+        assert_eq!(r, 0);
+        assert!(report.is_none(), "single pipeline has no shard report");
+        clean.extend(clean_last.as_ref().map(EpochTrace::of));
+        assert!(clean.len() >= 3, "drill needs epochs to kill at");
+
+        let sharded = || -> Result<(Differ, u64), Box<dyn std::error::Error>> {
+            Ok((
+                Differ::Sharded(ShardedDiffer::try_new(
+                    baseline.clone(),
+                    stability.clone(),
+                    &config,
+                    3,
+                )?),
+                0,
+            ))
+        };
+        let mut plan = CrashPlan::seeded(11, 2, clean.len() as u64 - 1);
+        let kills = plan.kill_epochs().len();
+        let path = tmp("sharded-supervised.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut drilled = Vec::new();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = supervised_run(
+            &events,
+            &sharded,
+            &config,
+            Some(&path),
+            Some(&mut plan),
+            |s| drilled.push(EpochTrace::of(s)),
+        );
+        std::panic::set_hook(hook);
+        let (drill_last, _, restarts, report) = outcome.unwrap();
+        drilled.extend(drill_last.as_ref().map(EpochTrace::of));
+        assert_eq!(restarts as usize, kills, "every planned kill fired");
+        let (stats, _) = report.expect("sharded run reports worker loads");
+        assert_eq!(stats.len(), 3);
+        assert_eq!(
+            clean, drilled,
+            "killed 3-shard run == uninterrupted 1-shard run"
+        );
         let _ = std::fs::remove_file(&path);
     }
 
@@ -850,9 +1252,13 @@ mod tests {
         let baseline = BehaviorModel::build(&log, &config);
         let stability = StabilityReport::all_stable(&baseline);
         let events: Vec<ControlEvent> = log.events().to_vec();
-        let fresh = || -> Result<(OnlineDiffer, u64), Box<dyn std::error::Error>> {
+        let fresh = || -> Result<(Differ, u64), Box<dyn std::error::Error>> {
             Ok((
-                OnlineDiffer::try_new(baseline.clone(), stability.clone(), &config)?,
+                Differ::Single(OnlineDiffer::try_new(
+                    baseline.clone(),
+                    stability.clone(),
+                    &config,
+                )?),
                 0,
             ))
         };

@@ -15,9 +15,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, SignatureKind};
 use crate::config::{ConfigError, FlowDiffConfig};
+use crate::epoch::EpochClock;
 use crate::groups::{match_group_refs, AppGroup};
-use crate::model::{BehaviorModel, IncrementalModelBuilder};
-use crate::records::RecordAssembler;
+use crate::model::{BehaviorModel, IncrementalModelBuilder, ShardModel};
+use crate::records::{EventClass, RecordAssembler, RoutedEvent, ShardRouter};
 use crate::signatures::{DiffCtx, Signature, StabilityMask};
 use crate::stability::StabilityReport;
 use netsim::log::ControlEvent;
@@ -363,10 +364,7 @@ pub struct OnlineDiffer {
     config: FlowDiffConfig,
     assembler: RecordAssembler,
     builder: IncrementalModelBuilder,
-    epoch_us: u64,
-    window_us: u64,
-    next_boundary: Option<Timestamp>,
-    epoch: u64,
+    clock: EpochClock,
     /// Set by [`mark_lossy_restore`](Self::mark_lossy_restore): every
     /// signature reports [`SignatureHealth::Warming`] for boundaries
     /// before this log time.
@@ -408,17 +406,14 @@ impl OnlineDiffer {
             config: config.clone(),
             assembler: RecordAssembler::new(config),
             builder: IncrementalModelBuilder::new(config),
-            epoch_us: config.online_epoch_us.max(1),
-            window_us: config.online_window_us.max(1),
-            next_boundary: None,
-            epoch: 0,
+            clock: EpochClock::new(config.online_epoch_us, config.online_window_us),
             warm_until: None,
         })
     }
 
     /// The zero-based index of the next epoch to be emitted.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.clock.epoch()
     }
 
     /// Declares that this differ was restored from a checkpoint
@@ -463,35 +458,9 @@ impl OnlineDiffer {
             debug_assert!(!admitted, "quarantines() and observe() disagree");
             return Vec::new();
         }
-        if self.next_boundary.is_none() {
-            self.next_boundary = Some(event.ts + self.epoch_us);
-        }
-        // After this many boundaries with no new events, the sliding
-        // window has fully drained and every further snapshot before
-        // the event would model the same empty window.
-        let drain_epochs = self.window_us.div_ceil(self.epoch_us) + 1;
-        let mut emitted = 0;
         let mut out = Vec::new();
-        while let Some(boundary) = self.next_boundary {
-            if event.ts < boundary {
-                break;
-            }
-            if emitted < drain_epochs {
-                out.push(self.snapshot_at(boundary));
-                emitted += 1;
-                self.next_boundary = Some(boundary + self.epoch_us);
-            } else {
-                // Jump the epoch grid to the first boundary beyond the
-                // event, consuming the skipped indices.
-                let behind = event.ts.as_micros() - boundary.as_micros();
-                let skipped = behind / self.epoch_us + 1;
-                self.epoch += skipped;
-                self.next_boundary = Some(Timestamp::from_micros(
-                    boundary
-                        .as_micros()
-                        .saturating_add(skipped.saturating_mul(self.epoch_us)),
-                ));
-            }
+        for (epoch, boundary) in self.clock.advance(event.ts) {
+            out.push(self.snapshot_at(epoch, boundary));
         }
         self.assembler.observe(event);
         self.builder.observe_event(event);
@@ -510,16 +479,15 @@ impl OnlineDiffer {
             config,
             assembler,
             mut builder,
-            window_us,
-            epoch,
+            clock,
             warm_until,
-            ..
         } = self;
         let (_, end) = builder.observed_span()?;
         for record in assembler.finish() {
             builder.observe_record(record);
         }
-        let start = Timestamp::from_micros(end.as_micros().saturating_sub(window_us));
+        let epoch = clock.epoch();
+        let start = Timestamp::from_micros(end.as_micros().saturating_sub(clock.window_us()));
         builder.retire_before(start);
         builder.set_span((start, end));
         let model = builder.into_snapshot();
@@ -536,12 +504,13 @@ impl OnlineDiffer {
     }
 
     /// Models the window ending at `boundary` and diffs it against the
-    /// reference.
-    fn snapshot_at(&mut self, boundary: Timestamp) -> EpochSnapshot {
+    /// reference, as epoch `epoch`.
+    fn snapshot_at(&mut self, epoch: u64, boundary: Timestamp) -> EpochSnapshot {
         for record in self.assembler.take_completed() {
             self.builder.observe_record(record);
         }
-        let start = Timestamp::from_micros(boundary.as_micros().saturating_sub(self.window_us));
+        let start =
+            Timestamp::from_micros(boundary.as_micros().saturating_sub(self.clock.window_us()));
         self.builder.retire_before(start);
         // Snapshot through a clone with the in-flight episodes added:
         // they belong in this window's picture, but must complete into
@@ -561,17 +530,524 @@ impl OnlineDiffer {
             boundary,
             &mut diff,
         );
-        let snapshot = EpochSnapshot {
-            epoch: self.epoch,
+        EpochSnapshot {
+            epoch,
             window: (start, boundary),
             records: model.records.len(),
             model,
             diff,
             gating,
-        };
-        self.epoch += 1;
-        snapshot
+        }
     }
+}
+
+/// One shard worker's streaming state: its slice of the record
+/// assembly, and the model builder fed its slice of the raw events.
+///
+/// The shard's assembler runs with `reorder_slack_us = 0` and
+/// `max_time_jump_us = 0` — re-sequencing and quarantine are the
+/// splitter's job, and double-applying either would diverge from the
+/// single-shard pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardState {
+    assembler: RecordAssembler,
+    builder: IncrementalModelBuilder,
+}
+
+impl ShardState {
+    /// A fresh shard worker (also the degraded-restore replacement when
+    /// one shard's checkpoint segment is corrupt).
+    pub fn fresh(config: &FlowDiffConfig) -> ShardState {
+        let shard_config = FlowDiffConfig {
+            reorder_slack_us: 0,
+            max_time_jump_us: 0,
+            ..config.clone()
+        };
+        ShardState {
+            assembler: RecordAssembler::new(&shard_config),
+            builder: IncrementalModelBuilder::new(config),
+        }
+    }
+
+    /// Consumes one released event the way the single-shard assembler
+    /// would, from shard `me`'s point of view:
+    ///
+    /// - every `FlowMod` is processed in full on every shard, so each
+    ///   shard's xid table is an identical replica (xids collide across
+    ///   tuples, and pairing is global-by-xid — the paired send time and
+    ///   output port are in the record bytes),
+    /// - an owned event runs the full state machine,
+    /// - an unparseable `PacketIn` advances the clock *without* a prune
+    ///   check on every shard (the single-shard early-return quirk),
+    /// - everything else advances the clock with the prune check, so
+    ///   every shard evicts idle state on exactly the single-shard
+    ///   schedule (eviction timing decides which straggling replies
+    ///   still patch their episode — it is visible in record bytes).
+    fn feed(&mut self, me: u32, routed: &RoutedEvent) {
+        match routed.class {
+            EventClass::FlowMod => {
+                self.assembler.observe(&routed.event);
+            }
+            EventClass::OpaquePacketIn => self.assembler.advance_now(routed.event.ts),
+            _ if routed.shard == me => {
+                self.assembler.observe(&routed.event);
+            }
+            _ => self.assembler.advance_clock(routed.event.ts),
+        }
+    }
+
+    /// Epoch-boundary extraction, mirroring [`OnlineDiffer::snapshot_at`]
+    /// per shard: completed records drain into the builder, state older
+    /// than `start` retires, and a probe clone with the in-flight
+    /// episodes added becomes this shard's merge input.
+    fn extract(&mut self, start: Timestamp) -> ShardModel {
+        for record in self.assembler.take_completed() {
+            self.builder.observe_record(record);
+        }
+        self.builder.retire_before(start);
+        let mut probe = self.builder.clone();
+        for record in self.assembler.open_records() {
+            probe.observe_record(record);
+        }
+        probe.retire_before(start);
+        probe.into_shard_model()
+    }
+}
+
+/// Per-shard load figures for the watch `stats:` line.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Records currently held in the shard's window builder.
+    pub records: usize,
+    /// In-flight episodes in the shard's assembler.
+    pub open_episodes: usize,
+}
+
+/// The sharded online differ: N shard workers behind a
+/// [`ShardRouter`], merged into one model (and diffed once) at every
+/// epoch boundary.
+///
+/// The contract is exact equivalence: for any shard count, every
+/// emitted [`EpochSnapshot`] is `PartialEq`- and
+/// serialization-byte-identical to the single-shard
+/// [`OnlineDiffer`]'s. The pieces that make that hold:
+///
+/// - the **splitter** owns everything arrival-ordered (quarantine,
+///   out-of-order accounting, the reorder buffer) plus a release-order
+///   xid ledger for the global-by-xid health counts,
+/// - **model builders are fed at arrival** (owner shard only), exactly
+///   when the single-shard builder sees each event,
+/// - **assemblers are fed at release**, batched into a chunk that is
+///   flushed to all workers at each epoch boundary over
+///   `std::thread::scope` (each worker scans the whole chunk and
+///   applies the per-event rule: own flow → full observe, foreign
+///   `FlowMod` → full observe, opaque `PacketIn` → clock advance to
+///   now, anything else foreign → plain clock advance),
+/// - at a boundary, per-shard partials merge via
+///   [`IncrementalModelBuilder::merge`] through the same
+///   sort-and-assemble core the single-shard snapshot uses.
+///
+/// `new(.., 1)` is a valid degenerate configuration, but callers
+/// wanting the exact legacy code path (no routing, no chunking) should
+/// keep using [`OnlineDiffer`].
+///
+/// The differ serializes for checkpointing in two granularities: whole
+/// (`Serialize`), or split into a shared core plus per-shard segments
+/// (the FDIFFCKP v2 layout, so one shard's corrupt segment doesn't
+/// lose the fleet — see [`crate::checkpoint::ShardedCheckpoint`]).
+#[derive(Debug, Clone)]
+pub struct ShardedDiffer {
+    reference: BehaviorModel,
+    stability: StabilityReport,
+    config: FlowDiffConfig,
+    splitter: ShardRouter,
+    shards: Vec<ShardState>,
+    /// Released-but-not-yet-flushed events; grows to at most one
+    /// epoch's worth between boundaries.
+    chunk: Vec<RoutedEvent>,
+    clock: EpochClock,
+    warm_until: Option<Timestamp>,
+    /// Cumulative time spent in boundary merges (diagnostics only:
+    /// excluded from equality and serialization).
+    merge_micros: u64,
+}
+
+impl ShardedDiffer {
+    /// A sharded differ over `n_shards` workers (clamped to at least
+    /// one). The shard count is a runtime deployment choice, not part
+    /// of [`FlowDiffConfig`] — checkpoint fingerprints stay comparable
+    /// across shard counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config fails [`FlowDiffConfig::validate`]; use
+    /// [`ShardedDiffer::try_new`] to handle invalid configs gracefully.
+    pub fn new(
+        reference: BehaviorModel,
+        stability: StabilityReport,
+        config: &FlowDiffConfig,
+        n_shards: usize,
+    ) -> ShardedDiffer {
+        ShardedDiffer::try_new(reference, stability, config, n_shards)
+            .expect("invalid FlowDiffConfig")
+    }
+
+    /// Like [`ShardedDiffer::new`], but reports invalid configs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`FlowDiffConfig::validate`].
+    pub fn try_new(
+        reference: BehaviorModel,
+        stability: StabilityReport,
+        config: &FlowDiffConfig,
+        n_shards: usize,
+    ) -> Result<ShardedDiffer, ConfigError> {
+        config.validate()?;
+        let n = n_shards.max(1);
+        Ok(ShardedDiffer {
+            reference,
+            stability,
+            config: config.clone(),
+            splitter: ShardRouter::new(config, n),
+            shards: (0..n).map(|_| ShardState::fresh(config)).collect(),
+            chunk: Vec::new(),
+            clock: EpochClock::new(config.online_epoch_us, config.online_window_us),
+            warm_until: None,
+            merge_micros: 0,
+        })
+    }
+
+    /// Number of shard workers.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The zero-based index of the next epoch to be emitted.
+    pub fn epoch(&self) -> u64 {
+        self.clock.epoch()
+    }
+
+    /// Cumulative microseconds spent merging shard partials at epoch
+    /// boundaries.
+    pub fn merge_micros(&self) -> u64 {
+        self.merge_micros
+    }
+
+    /// Global ingestion health: the splitter's arrival/ledger counters
+    /// plus the shard-local counters (evictions, orphan removals, stale
+    /// attaches) summed across workers. Shard-local copies of the
+    /// global-by-xid counters are ignored — every shard sees every
+    /// `FlowMod`, so summing those would multiply them by N.
+    ///
+    /// Events still sitting in the pending chunk have not reached the
+    /// workers yet, so the shard-summed counters lag by at most one
+    /// epoch until the next boundary flush.
+    pub fn health(&self) -> crate::records::IngestHealth {
+        let mut health = *self.splitter.health();
+        for shard in &self.shards {
+            let sh = shard.assembler.health();
+            health.episodes_evicted += sh.episodes_evicted;
+            health.orphan_flow_removeds += sh.orphan_flow_removeds;
+            health.stale_attaches += sh.stale_attaches;
+        }
+        health
+    }
+
+    /// Folds frame-level decode counters into the global health.
+    pub fn absorb_stream(&mut self, stats: netsim::log::StreamStats) {
+        self.splitter.absorb_stream(stats);
+    }
+
+    /// Per-shard load figures (records held, in-flight episodes).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardStats {
+                shard,
+                records: s.builder.record_count(),
+                open_episodes: s.assembler.open_len(),
+            })
+            .collect()
+    }
+
+    /// Rough heap footprint of the sharded pipeline's own state (the
+    /// splitter, the pending chunk, and every shard's builder).
+    pub fn approx_bytes(&self) -> usize {
+        self.splitter.approx_bytes()
+            + self.chunk.len() * std::mem::size_of::<RoutedEvent>()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.builder.approx_bytes())
+                .sum::<usize>()
+    }
+
+    /// Declares a restore without replay — same contract as
+    /// [`OnlineDiffer::mark_lossy_restore`], keyed off the splitter's
+    /// arrival clock.
+    pub fn mark_lossy_restore(&mut self) {
+        let now = self.splitter.max_arrival();
+        self.warm_until = Some(Timestamp::from_micros(
+            now.as_micros()
+                .saturating_add(self.config.restore_warmup_us),
+        ));
+    }
+
+    /// Feeds one event — the sharded mirror of
+    /// [`OnlineDiffer::observe`]: boundary snapshots are emitted from
+    /// state *before* this event, then the event is admitted, routed,
+    /// and its owner's builder fed at arrival.
+    pub fn observe(&mut self, event: &ControlEvent) -> Vec<EpochSnapshot> {
+        // A quarantined timestamp must not drive the epoch clock either.
+        if self.splitter.quarantines(event.ts) {
+            let admitted = self.splitter.admit(event, &mut self.chunk);
+            debug_assert!(admitted.is_none(), "quarantines() and admit() disagree");
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (epoch, boundary) in self.clock.advance(event.ts) {
+            out.push(self.snapshot_at(epoch, boundary));
+        }
+        if let Some(owner) = self.splitter.admit(event, &mut self.chunk) {
+            self.shards[owner as usize].builder.observe_event(event);
+        }
+        out
+    }
+
+    /// Flushes the final partial epoch across all shards. None when no
+    /// event was ever observed.
+    pub fn finish(mut self) -> Option<EpochSnapshot> {
+        let drained = self.splitter.drain();
+        self.chunk.extend(drained);
+        self.flush_chunk();
+        let end = self
+            .shards
+            .iter()
+            .filter_map(|s| s.builder.observed_span())
+            .map(|(_, hi)| hi)
+            .max()?;
+        let epoch = self.clock.epoch();
+        let start = Timestamp::from_micros(end.as_micros().saturating_sub(self.clock.window_us()));
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for shard in std::mem::take(&mut self.shards) {
+            let ShardState {
+                assembler,
+                mut builder,
+            } = shard;
+            for record in assembler.finish() {
+                builder.observe_record(record);
+            }
+            builder.retire_before(start);
+            parts.push(builder.into_shard_model());
+        }
+        let model =
+            IncrementalModelBuilder::merge(parts, Some((start, end)), &self.config, workers());
+        let mut diff = compare(&self.reference, &model, &self.stability, &self.config);
+        let gating = gate_diff(&self.reference, &model, self.warm_until, end, &mut diff);
+        Some(EpochSnapshot {
+            epoch,
+            window: (start, end),
+            records: model.records.len(),
+            model,
+            diff,
+            gating,
+        })
+    }
+
+    /// Delivers the pending chunk to every shard worker: each worker
+    /// scans the whole chunk (owned events run the full state machine,
+    /// foreign ones advance the clock — see [`ShardState::feed`]), in
+    /// parallel over scoped threads.
+    fn flush_chunk(&mut self) {
+        if self.chunk.is_empty() {
+            return;
+        }
+        let chunk = std::mem::take(&mut self.chunk);
+        if self.shards.len() == 1 {
+            for routed in &chunk {
+                self.shards[0].feed(0, routed);
+            }
+            return;
+        }
+        let chunk = &chunk;
+        std::thread::scope(|scope| {
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    for routed in chunk {
+                        shard.feed(i as u32, routed);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Boundary: flush the chunk, extract every shard's partial, merge
+    /// once, diff once.
+    fn snapshot_at(&mut self, epoch: u64, boundary: Timestamp) -> EpochSnapshot {
+        self.flush_chunk();
+        let start =
+            Timestamp::from_micros(boundary.as_micros().saturating_sub(self.clock.window_us()));
+        let parts: Vec<ShardModel> = if self.shards.len() == 1 {
+            vec![self.shards[0].extract(start)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| scope.spawn(move || shard.extract(start)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard extraction panicked"))
+                    .collect()
+            })
+        };
+        let merge_start = std::time::Instant::now();
+        let model =
+            IncrementalModelBuilder::merge(parts, Some((start, boundary)), &self.config, workers());
+        self.merge_micros += merge_start.elapsed().as_micros() as u64;
+        let mut diff = compare(&self.reference, &model, &self.stability, &self.config);
+        let gating = gate_diff(
+            &self.reference,
+            &model,
+            self.warm_until,
+            boundary,
+            &mut diff,
+        );
+        EpochSnapshot {
+            epoch,
+            window: (start, boundary),
+            records: model.records.len(),
+            model,
+            diff,
+            gating,
+        }
+    }
+
+    /// The shared-core half of the FDIFFCKP v2 split: everything except
+    /// the per-shard worker states.
+    pub(crate) fn core_to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.reference.serialize(&mut out);
+        self.stability.serialize(&mut out);
+        self.config.serialize(&mut out);
+        self.splitter.serialize(&mut out);
+        self.chunk.serialize(&mut out);
+        self.clock.serialize(&mut out);
+        self.warm_until.serialize(&mut out);
+        out
+    }
+
+    /// The per-shard halves of the FDIFFCKP v2 split.
+    pub(crate) fn shards_to_bytes(&self) -> Vec<Vec<u8>> {
+        self.shards.iter().map(serde::to_vec).collect()
+    }
+
+    /// Reassembles a differ from a decoded core and per-shard states,
+    /// positionally. A `None` slot is a salvaged (corrupt) segment and
+    /// comes back as a [`ShardState::fresh`] worker; the caller decides
+    /// whether that warrants [`ShardedDiffer::mark_lossy_restore`].
+    pub(crate) fn from_core_and_shards(
+        core: &[u8],
+        shards: Vec<Option<ShardState>>,
+    ) -> Result<ShardedDiffer, serde::Error> {
+        let mut input = core;
+        let reference = BehaviorModel::deserialize(&mut input)?;
+        let stability = StabilityReport::deserialize(&mut input)?;
+        let config = FlowDiffConfig::deserialize(&mut input)?;
+        let splitter = ShardRouter::deserialize(&mut input)?;
+        let chunk = Vec::<RoutedEvent>::deserialize(&mut input)?;
+        let clock = EpochClock::deserialize(&mut input)?;
+        let warm_until = Option::<Timestamp>::deserialize(&mut input)?;
+        if !input.is_empty() {
+            return Err(serde::Error::custom(format!(
+                "{} trailing bytes in sharded core",
+                input.len()
+            )));
+        }
+        if shards.len() != splitter.n_shards() {
+            return Err(serde::Error::custom(format!(
+                "shard count mismatch: core routes {} ways, {} segments",
+                splitter.n_shards(),
+                shards.len()
+            )));
+        }
+        let shards = shards
+            .into_iter()
+            .map(|s| s.unwrap_or_else(|| ShardState::fresh(&config)))
+            .collect();
+        Ok(ShardedDiffer {
+            reference,
+            stability,
+            config,
+            splitter,
+            shards,
+            chunk,
+            clock,
+            warm_until,
+            merge_micros: 0,
+        })
+    }
+}
+
+/// Equality over the streaming state; the merge-time diagnostic is a
+/// wall-clock artifact and excluded.
+impl PartialEq for ShardedDiffer {
+    fn eq(&self, other: &ShardedDiffer) -> bool {
+        self.reference == other.reference
+            && self.stability == other.stability
+            && self.config == other.config
+            && self.splitter == other.splitter
+            && self.shards == other.shards
+            && self.chunk == other.chunk
+            && self.clock == other.clock
+            && self.warm_until == other.warm_until
+    }
+}
+
+impl Serialize for ShardedDiffer {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.core_to_bytes());
+        self.shards.serialize(out);
+    }
+}
+
+impl Deserialize for ShardedDiffer {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, serde::Error> {
+        let reference = BehaviorModel::deserialize(input)?;
+        let stability = StabilityReport::deserialize(input)?;
+        let config = FlowDiffConfig::deserialize(input)?;
+        let splitter = ShardRouter::deserialize(input)?;
+        let chunk = Vec::<RoutedEvent>::deserialize(input)?;
+        let clock = EpochClock::deserialize(input)?;
+        let warm_until = Option::<Timestamp>::deserialize(input)?;
+        let shards = Vec::<ShardState>::deserialize(input)?;
+        if shards.len() != splitter.n_shards() {
+            return Err(serde::Error::custom("shard count mismatch"));
+        }
+        Ok(ShardedDiffer {
+            reference,
+            stability,
+            config,
+            splitter,
+            shards,
+            chunk,
+            clock,
+            warm_until,
+            merge_micros: 0,
+        })
+    }
+}
+
+/// Worker threads for a merge's signature fan-out.
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -921,6 +1397,117 @@ mod tests {
         let ckpt = crate::checkpoint::Checkpoint::capture(&interrupted, cut as u64, &config);
         drop(interrupted);
         let restored = crate::checkpoint::Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        let (mut resumed, offset) = restored.resume(&config).unwrap();
+        assert_eq!(offset as usize, cut);
+        assert_eq!(resumed, straight, "restored state == uninterrupted state");
+        for event in &events[cut..] {
+            straight_snaps.extend(straight.observe(event));
+            resumed_snaps.extend(resumed.observe(event));
+        }
+        let a = straight.finish().unwrap();
+        let b = resumed.finish().unwrap();
+        assert_eq!(straight_snaps, resumed_snaps);
+        assert_eq!(a, b);
+        assert_eq!(
+            serde::to_vec(&a),
+            serde::to_vec(&b),
+            "final snapshots serialize byte-identically"
+        );
+    }
+
+    #[test]
+    fn sharded_differ_matches_single_shard_byte_for_byte() {
+        // A fault in the live stream makes the per-epoch diffs
+        // non-empty, so equality covers the change lists, not just
+        // empty-vs-empty.
+        let (log1, config) = scenario_log(1, None);
+        let mut topo = Topology::lab();
+        let (_, _) = install_services(&mut topo, "of7");
+        let s4 = topo.node_by_name("S4").unwrap();
+        let (log2, _) = scenario_log(
+            2,
+            Some((
+                Timestamp::ZERO,
+                Fault::HostSlowdown {
+                    host: s4,
+                    extra_us: 150_000,
+                },
+            )),
+        );
+        let m1 = crate::model::BehaviorModel::build(&log1, &config);
+        let stability = crate::stability::analyze(&log1, &m1, &config);
+
+        let mut single = OnlineDiffer::new(m1.clone(), stability.clone(), &config);
+        let mut single_snaps = Vec::new();
+        for event in log2.events() {
+            single_snaps.extend(single.observe(event));
+        }
+        let single_health = *single.health();
+        let single_last = single.finish().unwrap();
+        assert!(
+            single_snaps.iter().any(|s| !s.diff.is_empty()),
+            "the faulted stream must produce non-trivial diffs"
+        );
+
+        for n_shards in [1usize, 2, 3] {
+            let mut sharded = ShardedDiffer::new(m1.clone(), stability.clone(), &config, n_shards);
+            let mut snaps = Vec::new();
+            for event in log2.events() {
+                snaps.extend(sharded.observe(event));
+            }
+            assert_eq!(
+                sharded.health(),
+                single_health,
+                "{n_shards}-shard health rollup == single-shard health"
+            );
+            let last = sharded.finish().unwrap();
+            assert_eq!(
+                snaps, single_snaps,
+                "{n_shards}-shard snapshots == single-shard snapshots"
+            );
+            assert_eq!(last, single_last, "{n_shards}-shard final flush");
+            assert_eq!(
+                serde::to_vec(&last),
+                serde::to_vec(&single_last),
+                "{n_shards}-shard final snapshot serializes byte-identically"
+            );
+            for (a, b) in snaps.iter().zip(&single_snaps) {
+                assert_eq!(
+                    serde::to_vec(a),
+                    serde::to_vec(b),
+                    "epoch {} serializes byte-identically under {n_shards} shards",
+                    a.epoch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_checkpoint_resumes_mid_stream_identically() {
+        let (log1, config) = scenario_log(1, None);
+        let m1 = crate::model::BehaviorModel::build(&log1, &config);
+        let stability = crate::stability::analyze(&log1, &m1, &config);
+        let (log2, _) = scenario_log(2, None);
+        let events: Vec<ControlEvent> = log2.events().to_vec();
+        let cut = events.len() / 2;
+
+        let mut straight = ShardedDiffer::new(m1.clone(), stability.clone(), &config, 3);
+        let mut interrupted = ShardedDiffer::new(m1, stability, &config, 3);
+        let mut straight_snaps = Vec::new();
+        let mut resumed_snaps = Vec::new();
+        for event in &events[..cut] {
+            straight_snaps.extend(straight.observe(event));
+            resumed_snaps.extend(interrupted.observe(event));
+        }
+        // Kill mid-epoch: serialize through the v2 segmented format,
+        // restore via the version-dispatching entry point.
+        let ckpt = crate::checkpoint::ShardedCheckpoint::capture(&interrupted, cut as u64, &config);
+        drop(interrupted);
+        let restored = match crate::checkpoint::AnyCheckpoint::from_bytes(&ckpt.to_bytes()) {
+            Ok(crate::checkpoint::AnyCheckpoint::Sharded(c)) => c,
+            other => panic!("expected a sharded checkpoint, got {other:?}"),
+        };
+        assert!(restored.salvaged_shards.is_empty());
         let (mut resumed, offset) = restored.resume(&config).unwrap();
         assert_eq!(offset as usize, cut);
         assert_eq!(resumed, straight, "restored state == uninterrupted state");

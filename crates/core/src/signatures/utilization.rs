@@ -65,6 +65,26 @@ impl LuBuilder {
             !points.is_empty()
         });
     }
+
+    /// Folds another builder's series into this one — the shard-merge
+    /// path. A port's stats replies all carry the same `dpid`, so the
+    /// splitter keeps each `(dpid, port)` series whole on one shard and
+    /// the union here is disjoint: appending preserves the per-key
+    /// observation order of the single-shard run exactly.
+    pub fn absorb(&mut self, other: LuBuilder) {
+        for (key, points) in other.series {
+            self.series.entry(key).or_default().extend(points);
+        }
+    }
+
+    /// Rough heap footprint of the counter series.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.series
+            .values()
+            .map(|v| size_of::<(DatapathId, PortNo)>() + v.len() * size_of::<(Timestamp, u64)>())
+            .sum()
+    }
 }
 
 impl SignatureBuilder for LuBuilder {
