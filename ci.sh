@@ -96,6 +96,34 @@ else
     echo "INFO: ${cores} core(s); skipping speedup assertion (identity still gated)"
 fi
 
+step "flowdiff-bench hotpathbench (perf trajectory + no-regression gate)"
+hotpath_out="$(cargo run --release -q -p flowdiff-bench --bin flowdiff-bench -- \
+    hotpathbench)"
+printf '%s\n' "$hotpath_out" | tail -n 6
+if [ ! -s BENCH_hotpath.json ]; then
+    echo "FAIL: hotpathbench did not write BENCH_hotpath.json" >&2
+    exit 1
+fi
+entries="$(grep -c '"schema"' BENCH_hotpath.json || true)"
+if [ "$entries" -lt 1 ]; then
+    echo "FAIL: BENCH_hotpath.json holds no trajectory entries" >&2
+    exit 1
+fi
+if [ "$cores" -ge 2 ] && [ "$entries" -ge 2 ]; then
+    # The fresh entry must hold at least 80% of the previous recording's
+    # events/s. Single-core runners time-share the benchmark with
+    # everything else and are too noisy to gate on; the trajectory is
+    # still recorded there.
+    if ! awk -F'"events_per_sec": ' '/"events_per_sec"/ { sub(/,.*/, "", $2); v[n++] = $2 } \
+            END { exit !(n >= 2 && v[n-1] >= 0.8 * v[n-2]) }' BENCH_hotpath.json; then
+        echo "FAIL: hotpathbench events/s regressed >20% vs the previous entry" >&2
+        exit 1
+    fi
+    echo "hotpath throughput within tolerance of the previous entry ($entries entries)"
+else
+    echo "INFO: ${cores} core(s), ${entries} entries; skipping hotpath regression gate"
+fi
+
 step "cargo bench --no-run (benches must compile)"
 cargo bench --no-run -q
 

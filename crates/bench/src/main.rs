@@ -26,6 +26,7 @@ fn main() -> ExitCode {
         Some("chaos") => run(cmd_chaos(&args[1..])),
         Some("crashdrill") => run(cmd_crashdrill(&args[1..])),
         Some("shardbench") => run(cmd_shardbench(&args[1..])),
+        Some("hotpathbench") => run(cmd_hotpathbench(&args[1..])),
         Some(other) => {
             eprintln!("unknown subcommand: {other}");
             usage();
@@ -47,7 +48,8 @@ fn usage() {
          flowdiff-bench [chaos [--seed N] [--corruption RATE] \
          [--skew-us N] [--jitter-us N] [--shards N]]\n       \
          flowdiff-bench [crashdrill [--seed N] [--kills N] [--shards N]]\n       \
-         flowdiff-bench [shardbench [--shards N] [--out <path>]]"
+         flowdiff-bench [shardbench [--shards N] [--out <path>]]\n       \
+         flowdiff-bench [hotpathbench [--out <path>]]"
     );
 }
 
@@ -100,6 +102,9 @@ fn print_index() {
     println!();
     println!("Sharding benchmark (byte-identity + throughput, writes BENCH_shard.json):");
     println!("  cargo run --release -p flowdiff-bench -- shardbench --shards 4");
+    println!();
+    println!("Hot-path benchmark (incremental snapshots, appends to BENCH_hotpath.json):");
+    println!("  cargo run --release -p flowdiff-bench -- hotpathbench");
     println!();
     println!("Criterion benchmarks: cargo bench --workspace");
 }
@@ -281,7 +286,10 @@ fn cmd_watch(args: &[String]) -> CliResult {
         &config,
         checkpoint_path.as_deref(),
         None,
-        |snapshot| report(snapshot, &config),
+        |snapshot, timings| {
+            report(snapshot, &config);
+            report_latency(snapshot.epoch, timings);
+        },
     )?;
     health.absorb_stream(stream_stats);
     if let Some(snapshot) = &last {
@@ -313,6 +321,9 @@ fn cmd_watch(args: &[String]) -> CliResult {
 /// routing, no chunking; `--shards N` for N > 1 is the partitioned
 /// [`ShardedDiffer`]. Both shapes promise byte-identical epoch
 /// snapshots, so everything downstream of this enum is shape-blind.
+// One value lives for the whole watch run; the variant size skew does
+// not justify boxing every access.
+#[allow(clippy::large_enum_variant)]
 enum Differ {
     Single(OnlineDiffer),
     Sharded(ShardedDiffer),
@@ -351,6 +362,15 @@ impl Differ {
         match self {
             Differ::Single(d) => d.mark_lossy_restore(),
             Differ::Sharded(d) => d.mark_lossy_restore(),
+        }
+    }
+
+    /// Drains the per-stage wall-clock spent since the last call (see
+    /// [`OnlineDiffer::take_timings`] for the sharded stage mapping).
+    fn take_timings(&mut self) -> EpochTimings {
+        match self {
+            Differ::Single(d) => d.take_timings(),
+            Differ::Sharded(d) => d.take_timings(),
         }
     }
 
@@ -436,7 +456,7 @@ fn supervised_run(
     config: &FlowDiffConfig,
     checkpoint_path: Option<&Path>,
     mut plan: Option<&mut CrashPlan>,
-    mut on_snapshot: impl FnMut(&EpochSnapshot),
+    mut on_snapshot: impl FnMut(&EpochSnapshot, EpochTimings),
 ) -> Result<
     (
         Option<EpochSnapshot>,
@@ -469,9 +489,17 @@ fn supervised_run(
         match observed {
             Ok(snaps) => {
                 let mut fresh_epochs = 0u64;
+                // The stage timings accumulated since the last boundary
+                // belong to this observe round's epochs; a multi-epoch
+                // advance attributes the sum to the first fresh one.
+                let mut timings = if snaps.is_empty() {
+                    EpochTimings::default()
+                } else {
+                    differ.take_timings()
+                };
                 for snap in &snaps {
                     if snap.epoch >= emitted {
-                        on_snapshot(snap);
+                        on_snapshot(snap, std::mem::take(&mut timings));
                         emitted = snap.epoch + 1;
                         fresh_epochs += 1;
                     }
@@ -720,7 +748,7 @@ fn cmd_crashdrill(args: &[String]) -> CliResult {
     };
     let mut clean: Vec<EpochTrace> = Vec::new();
     let (clean_last, _, clean_restarts, _) =
-        supervised_run(&events, &fresh, &config, None, None, |snap| {
+        supervised_run(&events, &fresh, &config, None, None, |snap, _| {
             clean.push(EpochTrace::of(snap))
         })?;
     assert_eq!(clean_restarts, 0, "the clean run must not panic");
@@ -749,7 +777,7 @@ fn cmd_crashdrill(args: &[String]) -> CliResult {
         &config,
         Some(&ckpt_path),
         Some(&mut plan),
-        |snap| drilled.push(EpochTrace::of(snap)),
+        |snap, _| drilled.push(EpochTrace::of(snap)),
     );
     std::panic::set_hook(orig_hook);
     let (drill_last, _, restarts, _) = outcome?;
@@ -911,11 +939,14 @@ fn cmd_shardbench(args: &[String]) -> CliResult {
     }
 
     let json = format!(
-        "{{\n  \"events\": {},\n  \"epoch_snapshots\": {},\n  \"shards\": {n_shards},\n  \
+        "{{\n  \"schema\": \"flowdiff.shardbench/2\",\n  \
+         \"capture\": \"{BENCH_CAPTURE}\",\n  \"nproc\": {},\n  \
+         \"events\": {},\n  \"epoch_snapshots\": {},\n  \"shards\": {n_shards},\n  \
          \"single_events_per_sec\": {single_eps:.1},\n  \
          \"sharded_events_per_sec\": {sharded_eps:.1},\n  \
          \"speedup\": {:.3},\n  \"merge_us_total\": {merge_us},\n  \
          \"peak_open_episodes\": {peak_open_episodes},\n  \"vm_hwm_kb\": {}\n}}\n",
+        nproc(),
         events.len(),
         single_snaps.len(),
         sharded_eps / single_eps,
@@ -926,6 +957,166 @@ fn cmd_shardbench(args: &[String]) -> CliResult {
     flowdiff::checkpoint::atomic_write(&out, json.as_bytes())?;
     println!("shardbench: wrote {}", out.display());
     Ok(())
+}
+
+/// Name of the capture both throughput benchmarks run on, recorded in
+/// their JSON output so trajectory entries are only compared like for
+/// like.
+const BENCH_CAPTURE: &str = "tree16x20-9apps-6s";
+
+/// Schema tag for [`cmd_hotpathbench`]'s trajectory entries.
+const HOTPATH_SCHEMA: &str = "flowdiff.hotpath/1";
+
+/// `hotpathbench`: measure the single-pipeline hot path on the
+/// 320-server capture — zero-copy wire decode feeding the incremental
+/// online differ — and append one machine-readable entry to the
+/// `BENCH_hotpath.json` trajectory: events/s (from pre-decoded events,
+/// comparable across entries, and end-to-end from wire bytes), the
+/// per-epoch stage averages from [`OnlineDiffer::take_timings`], and
+/// the average snapshot cost at 1x and 4x the analysis window (flat
+/// when snapshots are deltas, linear when each epoch remodels).
+fn cmd_hotpathbench(args: &[String]) -> CliResult {
+    let mut out = PathBuf::from("BENCH_hotpath.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().ok_or("--out needs a path")?.into(),
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+    }
+
+    let (baseline_log, config) = flowdiff_bench::tree_capture(9, 42, 6);
+    let (current_log, _) = flowdiff_bench::tree_capture(9, 43, 6);
+    config.validate()?;
+    let baseline = BehaviorModel::build(&baseline_log, &config);
+    let stability = analyze(&baseline_log, &baseline, &config);
+    let wire = bytes::Bytes::from(current_log.to_wire_bytes());
+    let events: Vec<ControlEvent> = current_log.events().to_vec();
+    println!(
+        "hotpathbench: {} events ({} KiB on the wire), capture {BENCH_CAPTURE}",
+        events.len(),
+        wire.len().div_ceil(1024)
+    );
+
+    // Pass 1: observe-only over pre-decoded events. This is the figure
+    // the trajectory gates on — it isolates the differ hot path and is
+    // directly comparable to shardbench's single-pipeline number.
+    let mut differ = OnlineDiffer::try_new(baseline.clone(), stability.clone(), &config)?;
+    let t0 = std::time::Instant::now();
+    let mut epochs = 0u64;
+    let mut stage_sum = EpochTimings::default();
+    for event in &events {
+        let snaps = differ.observe(event);
+        if !snaps.is_empty() {
+            epochs += snaps.len() as u64;
+            stage_sum.add(differ.take_timings());
+        }
+    }
+    let _ = differ.finish();
+    let events_per_sec = events.len() as f64 / t0.elapsed().as_secs_f64();
+
+    // Pass 2: end to end from wire bytes through the shared-buffer
+    // zero-copy decoder — what a deployed tap actually pays.
+    let mut differ = OnlineDiffer::try_new(baseline.clone(), stability.clone(), &config)?;
+    let t0 = std::time::Instant::now();
+    let mut decoded = 0u64;
+    for event in LogStream::from_wire_capture(wire.clone())?.flatten() {
+        differ.observe(event.as_ref());
+        decoded += 1;
+    }
+    let _ = differ.finish();
+    let wire_events_per_sec = decoded as f64 / t0.elapsed().as_secs_f64();
+
+    // Pass 3: snapshot cost vs window size. A remodel-per-epoch design
+    // scales with the window; the delta path must stay flat.
+    let snapshot_us_at = |mult: u64| -> Result<u64, Box<dyn std::error::Error>> {
+        let mut wide = config.clone();
+        wide.online_window_us *= mult;
+        wide.validate()?;
+        let mut differ = OnlineDiffer::try_new(baseline.clone(), stability.clone(), &wide)?;
+        let mut sum = EpochTimings::default();
+        let mut n = 0u64;
+        for event in &events {
+            let snaps = differ.observe(event);
+            if !snaps.is_empty() {
+                n += snaps.len() as u64;
+                sum.add(differ.take_timings());
+            }
+        }
+        Ok(sum.snapshot_us / n.max(1))
+    };
+    let snapshot_us_w1 = snapshot_us_at(1)?;
+    let snapshot_us_w4 = snapshot_us_at(4)?;
+
+    let avg = |us: u64| us / epochs.max(1);
+    println!(
+        "throughput: {events_per_sec:.0} events/s observe-only, {wire_events_per_sec:.0} \
+         events/s from wire ({epochs} epochs)"
+    );
+    println!(
+        "latency avg/epoch: retire_us {} observe_us {} snapshot_us {} diff_us {}",
+        avg(stage_sum.retire_us),
+        avg(stage_sum.observe_us),
+        avg(stage_sum.snapshot_us),
+        avg(stage_sum.diff_us)
+    );
+    println!(
+        "window scaling: snapshot {snapshot_us_w1} us at 1x window, {snapshot_us_w4} us at 4x"
+    );
+    let vm_hwm = vm_hwm_kb();
+    if let Some(kb) = vm_hwm {
+        println!("memory: peak RSS {kb} KiB");
+    }
+
+    let entry = format!(
+        "{{\"schema\": \"{HOTPATH_SCHEMA}\", \"capture\": \"{BENCH_CAPTURE}\", \
+         \"nproc\": {}, \"events\": {}, \"epochs\": {epochs}, \
+         \"events_per_sec\": {events_per_sec:.1}, \
+         \"wire_events_per_sec\": {wire_events_per_sec:.1}, \
+         \"avg_retire_us\": {}, \"avg_observe_us\": {}, \"avg_snapshot_us\": {}, \
+         \"avg_diff_us\": {}, \"snapshot_us_window_x1\": {snapshot_us_w1}, \
+         \"snapshot_us_window_x4\": {snapshot_us_w4}, \"vm_hwm_kb\": {}}}",
+        nproc(),
+        events.len(),
+        avg(stage_sum.retire_us),
+        avg(stage_sum.observe_us),
+        avg(stage_sum.snapshot_us),
+        avg(stage_sum.diff_us),
+        vm_hwm
+            .map(|kb| kb.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+    );
+    let appended = append_trajectory(&out, &entry)?;
+    println!(
+        "hotpathbench: appended entry {appended} to {}",
+        out.display()
+    );
+    Ok(())
+}
+
+/// Appends one single-line JSON object to a JSON-array trajectory file
+/// (created on first use), keeping every entry on its own line so shell
+/// tooling can gate on the latest two with `grep`/`awk`. Returns the
+/// new entry count.
+fn append_trajectory(path: &Path, entry: &str) -> Result<usize, Box<dyn std::error::Error>> {
+    let mut entries: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line.starts_with('{') {
+                entries.push(line.to_string());
+            }
+        }
+    }
+    entries.push(entry.to_string());
+    let body = entries.join(",\n");
+    flowdiff::checkpoint::atomic_write(path, format!("[\n{body}\n]\n").as_bytes())?;
+    Ok(entries.len())
+}
+
+/// Worker threads available to this process.
+fn nproc() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Peak resident set size of this process in KiB, from
@@ -988,6 +1179,16 @@ fn collect_keys(diff: &ModelDiff, keys: &mut BTreeSet<String>) {
             change.kind, change.direction, change.components
         ));
     }
+}
+
+/// One per-epoch latency breakdown line. Deliberately NOT prefixed
+/// `epoch ` — wall-clock differs between deployment shapes, and CI
+/// diffs the `epoch ` lines of single vs sharded runs byte-for-byte.
+fn report_latency(epoch: u64, timings: EpochTimings) {
+    println!(
+        "latency epoch {epoch:>3}  retire_us {} observe_us {} snapshot_us {} diff_us {}",
+        timings.retire_us, timings.observe_us, timings.snapshot_us, timings.diff_us
+    );
 }
 
 /// One status line per epoch snapshot.
@@ -1132,7 +1333,7 @@ mod tests {
             ))
         };
         let mut clean = Vec::new();
-        let (clean_last, _, r, _) = supervised_run(&events, &fresh, &config, None, None, |s| {
+        let (clean_last, _, r, _) = supervised_run(&events, &fresh, &config, None, None, |s, _| {
             clean.push(EpochTrace::of(s))
         })
         .unwrap();
@@ -1153,7 +1354,7 @@ mod tests {
             &config,
             Some(&path),
             Some(&mut plan),
-            |s| drilled.push(EpochTrace::of(s)),
+            |s, _| drilled.push(EpochTrace::of(s)),
         );
         std::panic::set_hook(hook);
         let (drill_last, _, restarts, _) = outcome.unwrap();
@@ -1193,7 +1394,7 @@ mod tests {
         };
         let mut clean = Vec::new();
         let (clean_last, _, r, report) =
-            supervised_run(&events, &single, &config, None, None, |s| {
+            supervised_run(&events, &single, &config, None, None, |s, _| {
                 clean.push(EpochTrace::of(s))
             })
             .unwrap();
@@ -1226,7 +1427,7 @@ mod tests {
             &config,
             Some(&path),
             Some(&mut plan),
-            |s| drilled.push(EpochTrace::of(s)),
+            |s, _| drilled.push(EpochTrace::of(s)),
         );
         std::panic::set_hook(hook);
         let (drill_last, _, restarts, report) = outcome.unwrap();
@@ -1266,7 +1467,7 @@ mod tests {
         assert!(!plan.kill_epochs().is_empty());
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let outcome = supervised_run(&events, &fresh, &config, None, Some(&mut plan), |_| {});
+        let outcome = supervised_run(&events, &fresh, &config, None, Some(&mut plan), |_, _| {});
         std::panic::set_hook(hook);
         let err = outcome.unwrap_err();
         assert!(

@@ -3,57 +3,125 @@
 //! The build environment is offline, so the real `bytes` crate is
 //! unavailable; this crate supplies the subset its users need:
 //! `BytesMut` as a growable write buffer with network-order (big
-//! endian) `put_*` methods, `Bytes` as an immutable result of
-//! `freeze`, and the `Buf`/`BufMut` traits with the read/write
-//! methods the OpenFlow wire codec calls. Reads panic on underflow,
-//! matching the real crate's contract (callers guard with
-//! `remaining()`).
+//! endian) `put_*` methods, `Bytes` as an immutable refcounted view
+//! supporting zero-copy `slice`, and the `Buf`/`BufMut` traits with
+//! the read/write methods the OpenFlow wire codec calls. Reads panic
+//! on underflow, matching the real crate's contract (callers guard
+//! with `remaining()`).
 
-use std::ops::{Deref, DerefMut};
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut, Range};
+use std::sync::Arc;
 
-/// Immutable byte container (`Vec<u8>`-backed; no refcounted zero-copy
-/// slicing — nothing in the workspace relies on it).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+use serde::{Deserialize, Serialize};
+
+/// Immutable refcounted byte view: an `Arc<Vec<u8>>` plus a window
+/// into it. [`slice`](Bytes::slice) shares the backing allocation, so
+/// a decoder can hand out payload views into a capture buffer without
+/// copying. Equality, ordering, and hashing are over the viewed
+/// contents only — a shared slice and an owned copy of the same bytes
+/// are equal and hash alike, as with the real crate.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
     pub fn new() -> Self {
-        Bytes { data: Vec::new() }
+        Bytes::from(Vec::new())
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            data: data.to_vec(),
-        }
+        Bytes::from(data.to_vec())
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
+    }
+
+    /// A zero-copy subview of `range` (indices relative to this view).
+    /// Shares the backing allocation; no bytes move.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is inverted or out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {}..{} out of bounds of {}",
+            range.start,
+            range.end,
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Shortens the view to `len` bytes, keeping the prefix. No-op when
+    /// already shorter. The backing allocation is untouched.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.end = self.start + len;
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bytes").field("data", &&**self).finish()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (**self).hash(state);
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data }
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -66,8 +134,26 @@ impl From<&[u8]> for Bytes {
 impl IntoIterator for Bytes {
     type Item = u8;
     type IntoIter = std::vec::IntoIter<u8>;
+    // The returned iterator must own its data (`self` is consumed), so
+    // the copy into a `Vec` is load-bearing, not `unnecessary_to_owned`.
+    #[allow(clippy::unnecessary_to_owned)]
     fn into_iter(self) -> Self::IntoIter {
-        self.data.into_iter()
+        self.to_vec().into_iter()
+    }
+}
+
+/// Serializes exactly like `Vec<u8>` (u64-LE length + raw bytes), so
+/// switching a payload field between the two is wire-compatible.
+impl Serialize for Bytes {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).serialize(out);
+        out.extend_from_slice(self);
+    }
+}
+
+impl Deserialize for Bytes {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, serde::Error> {
+        Ok(Bytes::from(Vec::<u8>::deserialize(input)?))
     }
 }
 
@@ -109,7 +195,7 @@ impl BytesMut {
     }
 
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data }
+        Bytes::from(self.data)
     }
 }
 
@@ -261,5 +347,59 @@ mod tests {
     fn underflow_panics() {
         let mut cursor: &[u8] = &[1u8];
         let _ = cursor.get_u16();
+    }
+
+    #[test]
+    fn slice_shares_without_copying() {
+        let whole = Bytes::from(b"abcdefgh".to_vec());
+        let mid = whole.slice(2..6);
+        assert_eq!(&*mid, b"cdef");
+        // Slices of slices compose, still against the same backing.
+        let inner = mid.slice(1..3);
+        assert_eq!(&*inner, b"de");
+        assert_eq!(inner, Bytes::copy_from_slice(b"de"));
+        // The original view is untouched.
+        assert_eq!(&*whole, b"abcdefgh");
+    }
+
+    #[test]
+    fn equality_and_hash_are_content_based() {
+        use std::collections::HashSet;
+        let whole = Bytes::from(b"xxyzxx".to_vec());
+        let shared = whole.slice(2..4);
+        let owned = Bytes::copy_from_slice(b"yz");
+        assert_eq!(shared, owned);
+        let mut set = HashSet::new();
+        set.insert(shared);
+        assert!(set.contains(&owned));
+    }
+
+    #[test]
+    fn truncate_shortens_view() {
+        let mut b = Bytes::from(b"abcdef".to_vec()).slice(1..5);
+        b.truncate(2);
+        assert_eq!(&*b, b"bc");
+        b.truncate(10); // longer than the view: no-op
+        assert_eq!(&*b, b"bc");
+    }
+
+    #[test]
+    fn serde_matches_vec_wire_format() {
+        let payload = b"payload bytes".to_vec();
+        let shared = Bytes::from(b"xx payload bytes".to_vec()).slice(3..16);
+        let mut as_vec = Vec::new();
+        let mut as_bytes = Vec::new();
+        serde::Serialize::serialize(&payload, &mut as_vec);
+        serde::Serialize::serialize(&shared, &mut as_bytes);
+        assert_eq!(as_vec, as_bytes);
+        let back: Bytes = serde::from_slice(&as_bytes).unwrap();
+        assert_eq!(back, shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.slice(1..5);
     }
 }

@@ -621,6 +621,9 @@ impl ShardedCheckpoint {
 /// A checkpoint of either layout, dispatched on the version stamped in
 /// the file header — the watch loop's restore path accepts whatever
 /// the previous incarnation wrote, whether it ran sharded or not.
+// A transient dispatch wrapper (one lives per load), so the variant
+// size skew is not worth an indirection on every restore-path access.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnyCheckpoint {
     /// A v1 single-pipeline checkpoint.

@@ -337,6 +337,41 @@ fn gate_diff(
     gating
 }
 
+/// Cumulative per-stage epoch-boundary timings, microseconds. Wall-clock
+/// diagnostics only — excluded from differ equality and serialization —
+/// read by the watch loop's per-epoch breakdown line and the hot-path
+/// bench via [`OnlineDiffer::take_timings`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochTimings {
+    /// Retiring expired state out of the sliding windows.
+    pub retire_us: u64,
+    /// Folding boundary-drained completed records into the builder.
+    pub observe_us: u64,
+    /// Building the window model (the incremental epoch snapshot; for
+    /// the sharded differ, the per-shard extraction plus the merge).
+    pub snapshot_us: u64,
+    /// Comparing against the reference and gating the diff.
+    pub diff_us: u64,
+}
+
+impl EpochTimings {
+    /// Accumulates another sample (for averaging across epochs).
+    pub fn add(&mut self, other: EpochTimings) {
+        self.retire_us += other.retire_us;
+        self.observe_us += other.observe_us;
+        self.snapshot_us += other.snapshot_us;
+        self.diff_us += other.diff_us;
+    }
+}
+
+/// Runs `f`, adding its wall-clock duration in microseconds to `slot`.
+fn timed<T>(slot: &mut u64, f: impl FnOnce() -> T) -> T {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    *slot += t0.elapsed().as_micros() as u64;
+    out
+}
+
 /// Online diff mode (the streaming counterpart of one-shot
 /// [`compare`]): feed control events as they arrive; every
 /// `config.online_epoch_us` of log time it models the trailing
@@ -346,10 +381,12 @@ fn gate_diff(
 /// Internally an incremental pipeline — a [`RecordAssembler`] turns
 /// events into flow records, an [`IncrementalModelBuilder`] accumulates
 /// them, and `retire_before` keeps memory proportional to the window.
-/// At each boundary the builder is cloned and the assembler's in-flight
-/// episodes are added to the clone, so long-running flows show up in
-/// window models without disturbing (or double-counting in) the real
-/// accumulation.
+/// At each boundary the builder snapshots through its maintained window
+/// state ([`IncrementalModelBuilder::epoch_snapshot`]), overlaying the
+/// assembler's in-flight episodes and unwinding them afterwards, so
+/// long-running flows show up in window models without disturbing (or
+/// double-counting in) the real accumulation — and without cloning and
+/// rebuilding the whole window every epoch.
 ///
 /// The differ serializes wholesale — reference model, stability report,
 /// config, assembler, builder, epoch grid, warm-up state — which is
@@ -357,7 +394,7 @@ fn gate_diff(
 /// [`checkpoint`](crate::checkpoint) needs: restore a differ, replay
 /// the events after the checkpoint offset, and every subsequent
 /// snapshot is byte-identical to an uninterrupted run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OnlineDiffer {
     reference: BehaviorModel,
     stability: StabilityReport,
@@ -369,6 +406,53 @@ pub struct OnlineDiffer {
     /// signature reports [`SignatureHealth::Warming`] for boundaries
     /// before this log time.
     warm_until: Option<Timestamp>,
+    /// Per-stage boundary timings since the last
+    /// [`take_timings`](Self::take_timings) (diagnostics only: excluded
+    /// from equality and serialization).
+    timings: EpochTimings,
+}
+
+/// Equality over the streaming state; wall-clock timings are excluded.
+impl PartialEq for OnlineDiffer {
+    fn eq(&self, other: &OnlineDiffer) -> bool {
+        self.reference == other.reference
+            && self.stability == other.stability
+            && self.config == other.config
+            && self.assembler == other.assembler
+            && self.builder == other.builder
+            && self.clock == other.clock
+            && self.warm_until == other.warm_until
+    }
+}
+
+/// Hand-written (field-order) serialization that skips the timing
+/// diagnostics — the wire format matches what the field-order derive
+/// produced before timings existed, so checkpoints stay compatible.
+impl Serialize for OnlineDiffer {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.reference.serialize(out);
+        self.stability.serialize(out);
+        self.config.serialize(out);
+        self.assembler.serialize(out);
+        self.builder.serialize(out);
+        self.clock.serialize(out);
+        self.warm_until.serialize(out);
+    }
+}
+
+impl Deserialize for OnlineDiffer {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, serde::Error> {
+        Ok(OnlineDiffer {
+            reference: BehaviorModel::deserialize(input)?,
+            stability: StabilityReport::deserialize(input)?,
+            config: FlowDiffConfig::deserialize(input)?,
+            assembler: RecordAssembler::deserialize(input)?,
+            builder: IncrementalModelBuilder::deserialize(input)?,
+            clock: EpochClock::deserialize(input)?,
+            warm_until: Option::<Timestamp>::deserialize(input)?,
+            timings: EpochTimings::default(),
+        })
+    }
 }
 
 impl OnlineDiffer {
@@ -408,7 +492,15 @@ impl OnlineDiffer {
             builder: IncrementalModelBuilder::new(config),
             clock: EpochClock::new(config.online_epoch_us, config.online_window_us),
             warm_until: None,
+            timings: EpochTimings::default(),
         })
+    }
+
+    /// Returns the per-stage boundary timings accumulated since the
+    /// last call (or construction) and resets them — one call per
+    /// emitted snapshot gives the per-epoch latency breakdown.
+    pub fn take_timings(&mut self) -> EpochTimings {
+        std::mem::take(&mut self.timings)
     }
 
     /// The zero-based index of the next epoch to be emitted.
@@ -481,6 +573,7 @@ impl OnlineDiffer {
             mut builder,
             clock,
             warm_until,
+            timings: _,
         } = self;
         let (_, end) = builder.observed_span()?;
         for record in assembler.finish() {
@@ -506,30 +599,45 @@ impl OnlineDiffer {
     /// Models the window ending at `boundary` and diffs it against the
     /// reference, as epoch `epoch`.
     fn snapshot_at(&mut self, epoch: u64, boundary: Timestamp) -> EpochSnapshot {
-        for record in self.assembler.take_completed() {
-            self.builder.observe_record(record);
+        let drained = self.assembler.take_completed();
+        if !drained.is_empty() {
+            timed(&mut self.timings.observe_us, || {
+                for record in drained {
+                    self.builder.observe_record(record);
+                }
+            });
         }
         let start =
             Timestamp::from_micros(boundary.as_micros().saturating_sub(self.clock.window_us()));
-        self.builder.retire_before(start);
-        // Snapshot through a clone with the in-flight episodes added:
-        // they belong in this window's picture, but must complete into
-        // the real builder exactly once.
-        let mut probe = self.builder.clone();
-        for record in self.assembler.open_records() {
-            probe.observe_record(record);
-        }
-        probe.retire_before(start);
-        probe.set_span((start, boundary));
-        let model = probe.into_snapshot();
-        let mut diff = compare(&self.reference, &model, &self.stability, &self.config);
-        let gating = gate_diff(
-            &self.reference,
-            &model,
-            self.warm_until,
-            boundary,
-            &mut diff,
-        );
+        timed(&mut self.timings.retire_us, || {
+            self.builder.retire_before(start);
+        });
+        // Overlay the in-flight episodes onto the maintained window
+        // state: they belong in this window's picture, but must complete
+        // into the real builder exactly once, so `epoch_snapshot`
+        // unwinds them after modeling. Episodes that began before the
+        // window start are excluded — the historical probe clone
+        // retired them right after adding.
+        let opens: Vec<_> = self
+            .assembler
+            .open_records()
+            .into_iter()
+            .filter(|r| r.first_seen >= start)
+            .collect();
+        let model = timed(&mut self.timings.snapshot_us, || {
+            self.builder.epoch_snapshot((start, boundary), opens)
+        });
+        let (diff, gating) = timed(&mut self.timings.diff_us, || {
+            let mut diff = compare(&self.reference, &model, &self.stability, &self.config);
+            let gating = gate_diff(
+                &self.reference,
+                &model,
+                self.warm_until,
+                boundary,
+                &mut diff,
+            );
+            (diff, gating)
+        });
         EpochSnapshot {
             epoch,
             window: (start, boundary),
@@ -598,19 +706,21 @@ impl ShardState {
 
     /// Epoch-boundary extraction, mirroring [`OnlineDiffer::snapshot_at`]
     /// per shard: completed records drain into the builder, state older
-    /// than `start` retires, and a probe clone with the in-flight
-    /// episodes added becomes this shard's merge input.
+    /// than `start` retires, and the builder's held window plus the
+    /// still-in-window in-flight episodes becomes this shard's merge
+    /// input — no probe clone, no per-epoch rebuild.
     fn extract(&mut self, start: Timestamp) -> ShardModel {
         for record in self.assembler.take_completed() {
             self.builder.observe_record(record);
         }
         self.builder.retire_before(start);
-        let mut probe = self.builder.clone();
-        for record in self.assembler.open_records() {
-            probe.observe_record(record);
-        }
-        probe.retire_before(start);
-        probe.into_shard_model()
+        let opens: Vec<_> = self
+            .assembler
+            .open_records()
+            .into_iter()
+            .filter(|r| r.first_seen >= start)
+            .collect();
+        self.builder.shard_model_with_opens(opens)
     }
 }
 
@@ -672,6 +782,10 @@ pub struct ShardedDiffer {
     /// Cumulative time spent in boundary merges (diagnostics only:
     /// excluded from equality and serialization).
     merge_micros: u64,
+    /// Per-stage boundary timings since the last
+    /// [`take_timings`](Self::take_timings) (diagnostics only: excluded
+    /// from equality and serialization).
+    timings: EpochTimings,
 }
 
 impl ShardedDiffer {
@@ -717,6 +831,7 @@ impl ShardedDiffer {
             clock: EpochClock::new(config.online_epoch_us, config.online_window_us),
             warm_until: None,
             merge_micros: 0,
+            timings: EpochTimings::default(),
         })
     }
 
@@ -734,6 +849,16 @@ impl ShardedDiffer {
     /// boundaries.
     pub fn merge_micros(&self) -> u64 {
         self.merge_micros
+    }
+
+    /// Per-stage boundary timings since the last call, reset on read —
+    /// the sharded mirror of [`OnlineDiffer::take_timings`]. Here
+    /// `observe_us` covers the boundary chunk flush into the workers,
+    /// `snapshot_us` the parallel shard extraction plus the merge, and
+    /// `retire_us` stays zero (retirement happens inside the parallel
+    /// extraction and is counted with it).
+    pub fn take_timings(&mut self) -> EpochTimings {
+        std::mem::take(&mut self.timings)
     }
 
     /// Global ingestion health: the splitter's arrival/ledger counters
@@ -888,9 +1013,12 @@ impl ShardedDiffer {
     /// Boundary: flush the chunk, extract every shard's partial, merge
     /// once, diff once.
     fn snapshot_at(&mut self, epoch: u64, boundary: Timestamp) -> EpochSnapshot {
+        let flush_start = std::time::Instant::now();
         self.flush_chunk();
+        self.timings.observe_us += flush_start.elapsed().as_micros() as u64;
         let start =
             Timestamp::from_micros(boundary.as_micros().saturating_sub(self.clock.window_us()));
+        let extract_start = std::time::Instant::now();
         let parts: Vec<ShardModel> = if self.shards.len() == 1 {
             vec![self.shards[0].extract(start)]
         } else {
@@ -906,18 +1034,24 @@ impl ShardedDiffer {
                     .collect()
             })
         };
+        self.timings.snapshot_us += extract_start.elapsed().as_micros() as u64;
         let merge_start = std::time::Instant::now();
         let model =
             IncrementalModelBuilder::merge(parts, Some((start, boundary)), &self.config, workers());
-        self.merge_micros += merge_start.elapsed().as_micros() as u64;
-        let mut diff = compare(&self.reference, &model, &self.stability, &self.config);
-        let gating = gate_diff(
-            &self.reference,
-            &model,
-            self.warm_until,
-            boundary,
-            &mut diff,
-        );
+        let merged_us = merge_start.elapsed().as_micros() as u64;
+        self.merge_micros += merged_us;
+        self.timings.snapshot_us += merged_us;
+        let (diff, gating) = timed(&mut self.timings.diff_us, || {
+            let mut diff = compare(&self.reference, &model, &self.stability, &self.config);
+            let gating = gate_diff(
+                &self.reference,
+                &model,
+                self.warm_until,
+                boundary,
+                &mut diff,
+            );
+            (diff, gating)
+        });
         EpochSnapshot {
             epoch,
             window: (start, boundary),
@@ -990,6 +1124,7 @@ impl ShardedDiffer {
             clock,
             warm_until,
             merge_micros: 0,
+            timings: EpochTimings::default(),
         })
     }
 }
@@ -1039,6 +1174,7 @@ impl Deserialize for ShardedDiffer {
             clock,
             warm_until,
             merge_micros: 0,
+            timings: EpochTimings::default(),
         })
     }
 }

@@ -123,7 +123,7 @@ impl Dsu {
 /// ```
 pub fn discover_groups(records: &[FlowRecord], config: &FlowDiffConfig) -> Vec<AppGroup> {
     let il = InternedLog::of(records);
-    discover_groups_interned(&il.records, &il.catalog, config)
+    discover_groups_interned(&il.refs(), &il.catalog, config)
 }
 
 /// [`discover_groups`] over already-interned records: the form the
@@ -133,7 +133,7 @@ pub fn discover_groups(records: &[FlowRecord], config: &FlowDiffConfig) -> Vec<A
 /// pre-warmed sliding-window catalog after old records were retired);
 /// only hosts appearing as a record endpoint become group members.
 pub fn discover_groups_interned(
-    records: &[IRecord],
+    records: &[&IRecord],
     catalog: &EntityCatalog,
     config: &FlowDiffConfig,
 ) -> Vec<AppGroup> {

@@ -22,7 +22,7 @@ use std::net::Ipv4Addr;
 use openflow::types::{DatapathId, PortNo, Timestamp};
 
 use crate::groups::Edge;
-use crate::records::FlowRecord;
+use crate::records::{FlowRecord, FlowTuple};
 
 /// Dense index of one host (an `Ipv4Addr`) in an [`EntityCatalog`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -293,6 +293,7 @@ impl EntityCatalog {
         IRecord {
             src: self.intern_host(record.tuple.src),
             dst: self.intern_host(record.tuple.dst),
+            tuple: record.tuple,
             first_seen: record.first_seen,
             byte_count: record.byte_count,
             packet_count: record.packet_count,
@@ -342,6 +343,11 @@ pub struct IRecord {
     pub src: HostId,
     /// Interned destination host.
     pub dst: HostId,
+    /// The original five-tuple: kept alongside the dense endpoint IDs
+    /// because the sliding window orders records by
+    /// `(first_seen, tuple)` — the same key the batch path sorts by —
+    /// and retirement has to find a record under that exact key.
+    pub tuple: FlowTuple,
     /// First time the flow was reported to the controller.
     pub first_seen: Timestamp,
     /// Bytes carried (from `FlowRemoved`, when seen).
@@ -423,8 +429,10 @@ impl RecordIndex {
     /// Indexes records that are already interned through `catalog`,
     /// which the index takes ownership of. This is the zero-rework path
     /// for a model snapshot, which holds both halves at assembly time;
-    /// the edges are packed dense IDs, so no address is hashed.
-    pub fn of_interned(catalog: EntityCatalog, irecords: &[IRecord]) -> RecordIndex {
+    /// the edges are packed dense IDs, so no address is hashed. Takes
+    /// record references so the incremental window (which holds its
+    /// records keyed, not flat) can index without cloning them out.
+    pub fn of_interned(catalog: EntityCatalog, irecords: &[&IRecord]) -> RecordIndex {
         let mut first_seen: HashMap<u64, Timestamp> = HashMap::new();
         for r in irecords {
             first_seen

@@ -70,7 +70,8 @@ pub mod prelude {
         diagnose, Change, Component, DiagnosisReport, ProblemClass, SignatureKind,
     };
     pub use crate::diff::{
-        compare, EpochSnapshot, ModelDiff, OnlineDiffer, ShardStats, ShardedDiffer, SignatureHealth,
+        compare, EpochSnapshot, EpochTimings, ModelDiff, OnlineDiffer, ShardStats, ShardedDiffer,
+        SignatureHealth,
     };
     pub use crate::epoch::EpochClock;
     pub use crate::groups::{discover_groups, AppGroup, Edge};

@@ -26,12 +26,15 @@ use serde::{Deserialize, Serialize};
 use crate::config::FlowDiffConfig;
 use crate::groups::{discover_groups_interned, AppGroup};
 use crate::ids::{EntityCatalog, IRecord, RecordIndex};
-use crate::records::{FlowRecord, RecordAssembler};
+use crate::records::{FlowRecord, FlowTuple, RecordAssembler};
 use crate::signatures::connectivity::ConnectivityGraph;
 use crate::signatures::correlation::PartialCorrelation;
 use crate::signatures::delay::DelayDistribution;
 use crate::signatures::flow_stats::FlowStatsSig;
-use crate::signatures::infra::{ControllerResponse, InterSwitchLatency, PhysicalTopology};
+use crate::signatures::infra::{
+    ControllerResponse, CrtBuilder, CrtLinear, InterSwitchLatency, IslBuilder, IslLinear,
+    PhysicalTopology, PtBuilder, PtLinear,
+};
 use crate::signatures::interaction::ComponentInteraction;
 use crate::signatures::utilization::{LinkUtilization, LuBuilder};
 use crate::signatures::{Signature, SignatureBuilder, SignatureInputs};
@@ -191,11 +194,33 @@ fn build_part(
             _ => Built::Pc(PartialCorrelation::build(&inputs)),
         }
     } else {
-        let inputs = SignatureInputs::new(all_records, catalog, span, config);
+        // The batch feed is sorted, retires nothing, and is dropped
+        // after finalize — exactly what the append-only linear
+        // accumulators are for. The retire-capable keyed builders
+        // produce identical output but pay a keyed insert per record,
+        // which measurably drags every full assembly.
         match task - app_tasks {
-            0 => Built::Pt(PhysicalTopology::build(&inputs)),
-            1 => Built::Isl(InterSwitchLatency::build(&inputs)),
-            _ => Built::Crt(ControllerResponse::build(&inputs)),
+            0 => {
+                let mut b = PtLinear::default();
+                for r in all_records {
+                    b.observe(r);
+                }
+                Built::Pt(b.finalize(catalog))
+            }
+            1 => {
+                let mut b = IslLinear::default();
+                for r in all_records {
+                    b.observe(r);
+                }
+                Built::Isl(b.finalize(catalog))
+            }
+            _ => {
+                let mut b = CrtLinear::default();
+                for r in all_records {
+                    b.observe(r);
+                }
+                Built::Crt(b.finalize(catalog))
+            }
         }
     }
 }
@@ -228,12 +253,12 @@ fn assemble(
     let mut catalog = EntityCatalog::new();
     let mut irecords: Vec<IRecord> = Vec::with_capacity(records.len());
     irecords.extend(records.iter().map(|r| catalog.intern_record(r)));
-    let groups = discover_groups_interned(&irecords, &catalog, config);
+    let all_records: Vec<&IRecord> = irecords.iter().collect();
+    let groups = discover_groups_interned(&all_records, &catalog, config);
     let group_records: Vec<Vec<&IRecord>> = groups
         .iter()
         .map(|g| g.record_indices.iter().map(|&i| &irecords[i]).collect())
         .collect();
-    let all_records: Vec<&IRecord> = irecords.iter().collect();
     let n_tasks = groups.len() * SIGS_PER_GROUP + INFRA_SIGS;
 
     let built: Vec<Built> = if workers <= 1 {
@@ -323,7 +348,7 @@ fn assemble(
         unreachable!("task order: CRT last")
     };
 
-    let edge_index = RecordIndex::of_interned(catalog.clone(), &irecords);
+    let edge_index = RecordIndex::of_interned(catalog.clone(), &all_records);
     BehaviorModel {
         records,
         groups: group_sigs,
@@ -334,6 +359,87 @@ fn assemble(
         span,
         catalog,
         edge_index,
+    }
+}
+
+/// The builder's held records, keyed by the canonical window order
+/// `(first_seen, tuple)` — the same key the batch snapshot core sorts
+/// by — so flat iteration is always already in snapshot order and
+/// sliding the window forward is a prefix removal, not a retain scan.
+/// Records sharing a key (two episodes of one tuple can never share a
+/// first `PacketIn`, but hostile inputs can collide) keep arrival order
+/// in a tie list, matching the batch core's *stable* sort exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct RecordWindow {
+    map: BTreeMap<(Timestamp, FlowTuple), Vec<FlowRecord>>,
+    len: usize,
+}
+
+impl RecordWindow {
+    fn push(&mut self, record: FlowRecord) {
+        self.map
+            .entry((record.first_seen, record.tuple))
+            .or_default()
+            .push(record);
+        self.len += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Flat iteration in `(first_seen, tuple)` order, ties in arrival
+    /// order — the batch core's sorted order.
+    fn iter(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.map.values().flatten()
+    }
+
+    /// Drops every record first seen before `cutoff` — a prefix of the
+    /// key space, so the walk touches only what it removes.
+    fn retire_before(&mut self, cutoff: Timestamp) {
+        while let Some(entry) = self.map.first_entry() {
+            if entry.key().0 >= cutoff {
+                break;
+            }
+            self.len -= entry.remove().len();
+        }
+    }
+
+    /// The records as a sorted flat list (cloned).
+    fn to_flat_vec(&self) -> Vec<FlowRecord> {
+        let mut out = Vec::with_capacity(self.len);
+        out.extend(self.iter().cloned());
+        out
+    }
+
+    /// Consumes the window into a sorted flat list.
+    fn into_flat_vec(self) -> Vec<FlowRecord> {
+        let mut out = Vec::with_capacity(self.len);
+        out.extend(self.map.into_values().flatten());
+        out
+    }
+}
+
+/// On the wire a window is exactly what the old flat `Vec<FlowRecord>`
+/// field was — a count plus the records — just always in sorted order,
+/// so a window roundtrips through old-format checkpoints unchanged.
+impl Serialize for RecordWindow {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (self.len as u64).serialize(out);
+        for record in self.iter() {
+            record.serialize(out);
+        }
+    }
+}
+
+impl Deserialize for RecordWindow {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, serde::Error> {
+        let records = Vec::<FlowRecord>::deserialize(input)?;
+        let mut window = RecordWindow::default();
+        for record in records {
+            window.push(record);
+        }
+        Ok(window)
     }
 }
 
@@ -376,10 +482,10 @@ pub struct ShardModel {
 /// [`checkpoint`](crate::checkpoint); the nine signature builders need
 /// no state of their own here because they are constructed fresh per
 /// snapshot from the records the builder holds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IncrementalModelBuilder {
     config: FlowDiffConfig,
-    records: Vec<FlowRecord>,
+    records: RecordWindow,
     /// Span forced by the caller (batch wrappers use the log's time
     /// range; the online differ uses the window bounds).
     span_override: Option<(Timestamp, Timestamp)>,
@@ -389,6 +495,109 @@ pub struct IncrementalModelBuilder {
     live: BTreeMap<DatapathId, Timestamp>,
     /// Port-counter series for the LU signature.
     lu: LuBuilder,
+    /// Lazily built incremental-snapshot state (persistent catalog,
+    /// interned window, maintained infrastructure builders). Purely
+    /// derived from `records`, so it is excluded from equality and
+    /// serialization and rebuilt on first use after a restore.
+    ws: Option<WindowState>,
+    /// Keys of completions accepted since the last snapshot and not yet
+    /// folded into `ws`. Syncing lazily — at snapshot time, after the
+    /// caller's retirement pass — means a record that ages out of the
+    /// window within one epoch (the common fate of late-evicted
+    /// episodes, whose `first_seen` predates the window) never touches
+    /// the keyed builders at all. Derived state, like `ws`.
+    pending: Vec<(Timestamp, FlowTuple)>,
+}
+
+/// Equality ignores the derived window state: two builders are the same
+/// builder if the durable facts agree.
+impl PartialEq for IncrementalModelBuilder {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.records == other.records
+            && self.span_override == other.span_override
+            && self.observed_span == other.observed_span
+            && self.live == other.live
+            && self.lu == other.lu
+    }
+}
+
+/// Hand-written (field-order) serialization that skips the derived
+/// window state — the wire format matches what the field-order derive
+/// produced before `ws` existed, so checkpoints stay compatible.
+impl Serialize for IncrementalModelBuilder {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.config.serialize(out);
+        self.records.serialize(out);
+        self.span_override.serialize(out);
+        self.observed_span.serialize(out);
+        self.live.serialize(out);
+        self.lu.serialize(out);
+    }
+}
+
+impl Deserialize for IncrementalModelBuilder {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, serde::Error> {
+        Ok(IncrementalModelBuilder {
+            config: FlowDiffConfig::deserialize(input)?,
+            records: RecordWindow::deserialize(input)?,
+            span_override: Option::<(Timestamp, Timestamp)>::deserialize(input)?,
+            observed_span: Option::<(Timestamp, Timestamp)>::deserialize(input)?,
+            live: BTreeMap::<DatapathId, Timestamp>::deserialize(input)?,
+            lu: LuBuilder::deserialize(input)?,
+            ws: None,
+            pending: Vec::new(),
+        })
+    }
+}
+
+/// The incremental-snapshot state: a persistent entity catalog, the
+/// held records re-interned through it (same shape as [`RecordWindow`],
+/// dense IDs instead of addresses), and the three record-fed
+/// infrastructure builders maintained across epochs by
+/// observe/retire instead of being rebuilt per snapshot.
+///
+/// The catalog only ever grows — dense IDs are process-local and
+/// excluded from every output, so stale entries from retired records
+/// are harmless — which is what lets the interned window and the
+/// maintained builders keep their IDs stable across epochs.
+#[derive(Debug, Clone, Default)]
+struct WindowState {
+    catalog: EntityCatalog,
+    window: BTreeMap<(Timestamp, FlowTuple), Vec<IRecord>>,
+    pt: PtBuilder,
+    isl: IslBuilder,
+    crt: CrtBuilder,
+}
+
+impl WindowState {
+    /// Interns one record and folds it into the maintained state.
+    fn observe(&mut self, record: &FlowRecord) {
+        let ir = self.catalog.intern_record(record);
+        self.pt.observe(&ir);
+        self.isl.observe(&ir);
+        self.crt.observe(&ir);
+        self.window
+            .entry((record.first_seen, record.tuple))
+            .or_default()
+            .push(ir);
+    }
+
+    /// Withdraws every record first seen before `cutoff` from the
+    /// maintained builders and drops it from the interned window. Ties
+    /// under one key retire newest-first, per the builder contract.
+    fn retire_before(&mut self, cutoff: Timestamp) {
+        while let Some(entry) = self.window.first_entry() {
+            if entry.key().0 >= cutoff {
+                break;
+            }
+            for ir in entry.remove().iter().rev() {
+                self.pt.retire(ir);
+                self.isl.retire(ir);
+                self.crt.retire(ir);
+            }
+        }
+    }
 }
 
 impl IncrementalModelBuilder {
@@ -397,18 +606,25 @@ impl IncrementalModelBuilder {
     pub fn new(config: &FlowDiffConfig) -> IncrementalModelBuilder {
         IncrementalModelBuilder {
             config: config.clone(),
-            records: Vec::new(),
+            records: RecordWindow::default(),
             span_override: None,
             observed_span: None,
             live: BTreeMap::new(),
             lu: LuBuilder::default(),
+            ws: None,
+            pending: Vec::new(),
         }
     }
 
-    /// Folds one completed flow record into the model state. Entity
-    /// interning happens per snapshot (IDs are process-local), so
-    /// ingest is a plain push.
+    /// Folds one completed flow record into the model state. Until the
+    /// first [`epoch_snapshot`](Self::epoch_snapshot) this is a plain
+    /// keyed insert; afterwards the record's key is also queued so the
+    /// next snapshot can fold whatever survives retirement into the
+    /// maintained window state.
     pub fn observe_record(&mut self, record: FlowRecord) {
+        if self.ws.is_some() {
+            self.pending.push((record.first_seen, record.tuple));
+        }
         self.records.push(record);
     }
 
@@ -446,7 +662,10 @@ impl IncrementalModelBuilder {
     /// refreshed since. This is what keeps a sliding-window online
     /// builder's memory proportional to the window, not the stream.
     pub fn retire_before(&mut self, cutoff: Timestamp) {
-        self.records.retain(|r| r.first_seen >= cutoff);
+        self.records.retire_before(cutoff);
+        if let Some(ws) = &mut self.ws {
+            ws.retire_before(cutoff);
+        }
         self.lu.retire_before(cutoff);
         self.live.retain(|_, ts| *ts >= cutoff);
     }
@@ -469,9 +688,11 @@ impl IncrementalModelBuilder {
     }
 
     /// Snapshots with an explicit worker count (clones the held
-    /// records; the builder keeps accumulating afterwards).
+    /// records; the builder keeps accumulating afterwards). This is the
+    /// rebuild-from-scratch oracle the incremental
+    /// [`epoch_snapshot`](Self::epoch_snapshot) is verified against.
     pub fn snapshot_with(&self, workers: usize) -> BehaviorModel {
-        self.finish_records(self.records.clone(), workers)
+        self.finish_records(self.records.to_flat_vec(), workers)
     }
 
     /// Consumes the builder into a final snapshot without cloning the
@@ -482,18 +703,36 @@ impl IncrementalModelBuilder {
 
     /// [`Self::into_snapshot`] with an explicit worker count.
     pub fn into_snapshot_with(mut self, workers: usize) -> BehaviorModel {
-        let records = std::mem::take(&mut self.records);
+        let records = std::mem::take(&mut self.records).into_flat_vec();
         self.finish_records(records, workers)
     }
 
     /// Extracts this builder's accumulated state as one mergeable shard
-    /// partial, consuming the builder (the epoch-boundary path clones a
-    /// probe first, so nothing is lost).
+    /// partial, consuming the builder. The records come out in window
+    /// order, which the merge's stable sort preserves.
     pub fn into_shard_model(self) -> ShardModel {
         ShardModel {
-            records: self.records,
+            records: self.records.into_flat_vec(),
             live: self.live,
             lu: self.lu,
+            observed_span: self.observed_span,
+        }
+    }
+
+    /// Clones the accumulated state into one mergeable shard partial
+    /// without consuming the builder, appending `opens` (the caller's
+    /// still-in-window in-flight episodes) after the held window. The
+    /// merge's stable sort puts every record — held or open, from any
+    /// shard — exactly where the single-shard snapshot's sort would, so
+    /// ties keep held-before-open order and byte-identity holds without
+    /// the historical per-epoch probe clone.
+    pub fn shard_model_with_opens(&self, opens: Vec<FlowRecord>) -> ShardModel {
+        let mut records = self.records.to_flat_vec();
+        records.extend(opens);
+        ShardModel {
+            records,
+            live: self.live.clone(),
+            lu: self.lu.clone(),
             observed_span: self.observed_span,
         }
     }
@@ -524,10 +763,10 @@ impl IncrementalModelBuilder {
         if let Some(span) = span {
             builder.set_span(span);
         }
-        let total: usize = parts.iter().map(|p| p.records.len()).sum();
-        builder.records.reserve(total);
         for part in parts {
-            builder.records.extend(part.records);
+            for record in part.records {
+                builder.records.push(record);
+            }
             for (dpid, ts) in part.live {
                 let newest = builder.live.entry(dpid).or_insert(ts);
                 if ts > *newest {
@@ -560,6 +799,168 @@ impl IncrementalModelBuilder {
             .sum::<usize>()
             + self.live.len() * size_of::<(DatapathId, Timestamp)>()
             + self.lu.approx_bytes()
+    }
+
+    /// Snapshots the model for one epoch via the maintained window
+    /// state — the online differ's delta path. `opens` are the
+    /// assembler's still-open flows, overlaid as if they completed now:
+    /// they are interned through the shared catalog but observed into
+    /// *fresh* overlay builders, and the infrastructure signatures come
+    /// out of a merged finalize over `(maintained, overlay)`. The
+    /// maintained state is never mutated, so there is nothing to unwind
+    /// — the historical observe-then-retire round trip through the
+    /// maintained builders cost more than a full remodel whenever the
+    /// window was dominated by in-flight episodes. The result is
+    /// `PartialEq`- and serialization-byte-identical to
+    /// [`Self::snapshot`] over the same records with the same span, but
+    /// costs one fan-out over *groups* plus work proportional to the
+    /// opens — nothing re-sorts, re-interns, or re-feeds the held
+    /// window.
+    pub fn epoch_snapshot(
+        &mut self,
+        span: (Timestamp, Timestamp),
+        mut opens: Vec<FlowRecord>,
+    ) -> BehaviorModel {
+        if let Some(ws) = &mut self.ws {
+            // Fold completions accepted since the last snapshot into
+            // the maintained state. This runs after the caller's
+            // retirement pass, so keys already gone from the owned
+            // window are skipped without ever feeding the keyed
+            // builders. The count-based tail sync keeps the two windows
+            // in lockstep even if a retired key was re-observed in
+            // between (the queued key then resolves to the new tie
+            // list, of which `ws` holds a prefix).
+            for key in self.pending.drain(..) {
+                if let Some(ties) = self.records.map.get(&key) {
+                    let have = ws.window.get(&key).map_or(0, |t| t.len());
+                    for record in &ties[have..] {
+                        ws.observe(record);
+                    }
+                }
+            }
+        } else {
+            let mut ws = WindowState::default();
+            for record in self.records.iter() {
+                ws.observe(record);
+            }
+            self.ws = Some(ws);
+            self.pending.clear();
+        }
+
+        // Canonical batch order for the overlay; the sort is stable, so
+        // same-key opens keep their assembler iteration order — exactly
+        // where the batch core's stable sort would leave them.
+        opens.sort_by_key(|r| (r.first_seen, r.tuple));
+
+        // Intern the opens through the shared (growing) catalog, but
+        // observe them into fresh overlay builders so the maintained
+        // ones keep only durable records.
+        let ws = self.ws.as_mut().expect("ensured above");
+        let mut over_pt = PtLinear::default();
+        let mut over_isl = IslLinear::default();
+        let mut over_crt = CrtLinear::default();
+        let mut open_irs: Vec<IRecord> = Vec::with_capacity(opens.len());
+        for record in &opens {
+            open_irs.push(ws.catalog.intern_record(record));
+        }
+        // One tight pass per accumulator, not one interleaved pass, so
+        // each accumulator's working set stays cache-hot — mirroring
+        // the batch core's per-signature task loops.
+        for ir in &open_irs {
+            over_pt.observe(ir);
+        }
+        for ir in &open_irs {
+            over_isl.observe(ir);
+        }
+        for ir in &open_irs {
+            over_crt.observe(ir);
+        }
+
+        // One merge drives both views of the window: the owned record
+        // list the model carries and the interned refs the signature
+        // builds consume, kept positionally aligned (group record
+        // indices index into `refs`). Held records come first on a
+        // shared key, matching the batch core's stable sort of
+        // window-then-opens.
+        let ws = self.ws.as_ref().expect("ensured above");
+        let total = self.records.len() + open_irs.len();
+        let mut records: Vec<FlowRecord> = Vec::with_capacity(total);
+        let mut refs: Vec<&IRecord> = Vec::with_capacity(total);
+        let mut open_iter = opens.into_iter();
+        let mut next_open = open_iter.next();
+        let mut oi = 0;
+        for ((key, held), (wkey, irs)) in self.records.map.iter().zip(ws.window.iter()) {
+            debug_assert_eq!(key, wkey, "owned and interned windows diverged");
+            while let Some(open) = &next_open {
+                if (open.first_seen, open.tuple) >= *key {
+                    break;
+                }
+                records.push(next_open.take().expect("checked above"));
+                refs.push(&open_irs[oi]);
+                oi += 1;
+                next_open = open_iter.next();
+            }
+            records.extend(held.iter().cloned());
+            refs.extend(irs.iter());
+        }
+        while let Some(open) = next_open {
+            records.push(open);
+            refs.push(&open_irs[oi]);
+            oi += 1;
+            next_open = open_iter.next();
+        }
+        debug_assert_eq!(records.len(), refs.len());
+
+        let groups = discover_groups_interned(&refs, &ws.catalog, &self.config);
+
+        let group_sigs: Vec<GroupSignatures> = groups
+            .into_iter()
+            .map(|group| {
+                let group_records: Vec<&IRecord> =
+                    group.record_indices.iter().map(|&i| refs[i]).collect();
+                let inputs = SignatureInputs::new(&group_records, &ws.catalog, span, &self.config)
+                    .with_group(&group);
+                // CG is exactly the group's own edge classification,
+                // already computed by discovery — cloned, not rebuilt.
+                let connectivity = ConnectivityGraph {
+                    edges: group.edges.clone(),
+                    service_edges: group.service_edges.clone(),
+                };
+                let flow_stats = FlowStatsSig::build(&inputs);
+                let interaction = ComponentInteraction::build(&inputs);
+                let delay = DelayDistribution::build(&inputs);
+                let correlation = PartialCorrelation::build(&inputs);
+                GroupSignatures {
+                    group,
+                    connectivity,
+                    flow_stats,
+                    interaction,
+                    delay,
+                    correlation,
+                }
+            })
+            .collect();
+
+        let mut topology = ws.pt.finalize_merged(&over_pt, &ws.catalog);
+        let latency = ws.isl.finalize_merged(&over_isl, &ws.catalog);
+        let response = ws.crt.finalize_merged(&over_crt, &ws.catalog);
+        topology.live_switches.extend(self.live.keys().copied());
+        let edge_index = RecordIndex::of_interned(ws.catalog.clone(), &refs);
+        let catalog = ws.catalog.clone();
+        drop(refs);
+        let utilization = self.lu.finalize(&catalog);
+
+        BehaviorModel {
+            records,
+            groups: group_sigs,
+            topology,
+            latency,
+            response,
+            utilization,
+            span,
+            catalog,
+            edge_index,
+        }
     }
 
     /// The snapshot core: canonicalizes record order (streaming

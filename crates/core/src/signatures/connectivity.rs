@@ -4,7 +4,7 @@
 //! Robust to workload changes: the edge set depends only on the
 //! application's internal structure.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use openflow::types::Timestamp;
 use serde::{Deserialize, Serialize};
@@ -53,13 +53,30 @@ pub struct CgChange {
 /// sets precisely.
 ///
 /// Hot-path state is dense: a per-host special flag indexed by
-/// [`crate::ids::HostId`] and packed-edge hash sets, resolved back to
+/// [`crate::ids::HostId`] and packed-edge refcount maps (how many live
+/// records assert each edge, so retiring a record can drop the edge
+/// exactly when its last witness expires), resolved back to
 /// address-keyed `BTreeSet`s only at `finalize`.
 #[derive(Debug, Clone, Default)]
 pub struct CgBuilder {
     special: Vec<bool>,
-    edges: HashSet<u64>,
-    service_edges: HashSet<u64>,
+    edges: HashMap<u64, u32>,
+    service_edges: HashMap<u64, u32>,
+}
+
+impl CgBuilder {
+    /// The refcount map a record's edge belongs to, by endpoint
+    /// classification — `None` for special-to-special traffic.
+    fn bucket_of(&mut self, record: &IRecord) -> Option<&mut HashMap<u64, u32>> {
+        match (
+            self.special[record.src.index()],
+            self.special[record.dst.index()],
+        ) {
+            (false, false) => Some(&mut self.edges),
+            (true, true) => None, // service-to-service traffic: not an app flow
+            _ => Some(&mut self.service_edges),
+        }
+    }
 }
 
 impl SignatureBuilder for CgBuilder {
@@ -67,26 +84,29 @@ impl SignatureBuilder for CgBuilder {
 
     fn observe(&mut self, record: &IRecord) {
         let key = record.edge_key();
-        match (
-            self.special[record.src.index()],
-            self.special[record.dst.index()],
-        ) {
-            (false, false) => {
-                self.edges.insert(key);
-            }
-            (true, true) => {} // service-to-service traffic: not an app flow
-            _ => {
-                self.service_edges.insert(key);
+        if let Some(bucket) = self.bucket_of(record) {
+            *bucket.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    fn retire(&mut self, record: &IRecord) {
+        let key = record.edge_key();
+        if let Some(bucket) = self.bucket_of(record) {
+            if let Some(count) = bucket.get_mut(&key) {
+                *count -= 1;
+                if *count == 0 {
+                    bucket.remove(&key);
+                }
             }
         }
     }
 
     fn finalize(&self, catalog: &EntityCatalog) -> ConnectivityGraph {
         ConnectivityGraph {
-            edges: self.edges.iter().map(|&k| catalog.edge(k)).collect(),
+            edges: self.edges.keys().map(|&k| catalog.edge(k)).collect(),
             service_edges: self
                 .service_edges
-                .iter()
+                .keys()
                 .map(|&k| catalog.edge(k))
                 .collect(),
         }
@@ -106,8 +126,8 @@ impl Signature for ConnectivityGraph {
                 .iter()
                 .map(|&ip| inputs.config.is_special(ip))
                 .collect(),
-            edges: HashSet::new(),
-            service_edges: HashSet::new(),
+            edges: HashMap::new(),
+            service_edges: HashMap::new(),
         }
     }
 

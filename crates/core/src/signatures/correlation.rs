@@ -72,6 +72,22 @@ impl SignatureBuilder for PcBuilder {
         s[idx.min(epochs - 1)] += 1.0;
     }
 
+    fn retire(&mut self, record: &IRecord) {
+        let t = record.first_seen.as_micros();
+        if t < self.start || t >= self.end {
+            return; // never observed: outside the grid
+        }
+        let idx = (((t - self.start) / self.epoch_us) as usize).min(self.epochs - 1);
+        if let Some(s) = self.series.get_mut(&record.edge_key()) {
+            // Counts are small integers held in f64, so subtraction is
+            // exact and a drained bucket is exactly 0.0.
+            s[idx] -= 1.0;
+            if s.iter().all(|&v| v == 0.0) {
+                self.series.remove(&record.edge_key());
+            }
+        }
+    }
+
     fn finalize(&self, catalog: &EntityCatalog) -> PartialCorrelation {
         // Resolve to address-keyed series so the pairing loop visits
         // edges in address order, independent of interning order.

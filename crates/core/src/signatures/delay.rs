@@ -80,6 +80,24 @@ impl SignatureBuilder for DdBuilder {
             .push(record.first_seen.as_micros());
     }
 
+    fn retire(&mut self, record: &IRecord) {
+        let key = record.edge_key();
+        if let Some(times) = self.per_edge.get_mut(&key) {
+            // Any occurrence of the arrival time will do: `finalize`
+            // works on a sorted copy, so equal values are fungible and
+            // `swap_remove` keeps retirement O(1) per record.
+            if let Some(idx) = times
+                .iter()
+                .position(|&t| t == record.first_seen.as_micros())
+            {
+                times.swap_remove(idx);
+            }
+            if times.is_empty() {
+                self.per_edge.remove(&key);
+            }
+        }
+    }
+
     fn finalize(&self, catalog: &EntityCatalog) -> DelayDistribution {
         // Arrivals per edge, resolved to addresses and sorted by time.
         // The pairing loop below iterates edges in address order (as the

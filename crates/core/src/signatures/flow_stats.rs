@@ -6,11 +6,13 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use openflow::types::Timestamp;
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
 use crate::groups::Edge;
 use crate::ids::{EntityCatalog, IRecord};
+use crate::records::FlowTuple;
 use crate::signatures::{
     DiffCtx, Signature, SignatureBuilder, SignatureInputs, StabilityCtx, StabilityMask,
 };
@@ -76,46 +78,76 @@ fn bytes_shifted(reference: &MeanStd, current: &MeanStd) -> bool {
     rel(reference.mean, current.mean) > 0.05 && delta > 5.0 * se
 }
 
-/// Incremental FS accumulator: raw byte/packet/duration samples in
-/// record order, summarized only at `finalize` so the f64 arithmetic
-/// matches the batch build bit for bit.
+/// One record's contribution to FS, stored raw under its window key.
+#[derive(Debug, Clone, Copy)]
+struct FsSample {
+    edge: u64,
+    bytes: f64,
+    packets: f64,
+    duration_s: f64,
+}
+
+/// Incremental FS accumulator: raw byte/packet/duration samples keyed
+/// by the window order `(first_seen, tuple)` — the same key the batch
+/// path sorts records by — so `finalize` can walk them in sorted order
+/// and run the summary math exactly as a batch build over the sorted
+/// window would. Keyed storage is what makes [`FsBuilder::retire`]
+/// exact: a retired record's samples are removed from the tail of its
+/// key's list, leaving the survivors in sorted order. `MeanStd` over
+/// f64 samples is order-sensitive, and bit-exact equality with the
+/// batch build is part of the contract.
 #[derive(Debug, Clone, Default)]
 pub struct FsBuilder {
     span_s: f64,
-    bytes: Vec<f64>,
-    packets: Vec<f64>,
-    durations: Vec<f64>,
-    /// Per-edge raw samples keyed by packed edge: (flow count, byte
-    /// samples, duration samples). Sample order within an edge is
-    /// observation order, so the per-edge summary math is independent
-    /// of the map type.
-    per_edge: HashMap<u64, (usize, Vec<f64>, Vec<f64>)>,
+    samples: BTreeMap<(Timestamp, FlowTuple), Vec<FsSample>>,
 }
 
 impl SignatureBuilder for FsBuilder {
     type Output = FlowStatsSig;
 
     fn observe(&mut self, record: &IRecord) {
-        let b = record.byte_count as f64;
-        let d = record.duration_s;
-        self.bytes.push(b);
-        self.packets.push(record.packet_count as f64);
-        self.durations.push(d);
-        let entry = self.per_edge.entry(record.edge_key()).or_default();
-        entry.0 += 1;
-        entry.1.push(b);
-        entry.2.push(d);
+        self.samples
+            .entry((record.first_seen, record.tuple))
+            .or_default()
+            .push(FsSample {
+                edge: record.edge_key(),
+                bytes: record.byte_count as f64,
+                packets: record.packet_count as f64,
+                duration_s: record.duration_s,
+            });
+    }
+
+    fn retire(&mut self, record: &IRecord) {
+        let key = (record.first_seen, record.tuple);
+        if let Some(list) = self.samples.get_mut(&key) {
+            list.pop();
+            if list.is_empty() {
+                self.samples.remove(&key);
+            }
+        }
     }
 
     fn finalize(&self, catalog: &EntityCatalog) -> FlowStatsSig {
+        let mut bytes = Vec::new();
+        let mut packets = Vec::new();
+        let mut durations = Vec::new();
+        let mut per_edge: HashMap<u64, (usize, Vec<f64>, Vec<f64>)> = HashMap::new();
+        for s in self.samples.values().flatten() {
+            bytes.push(s.bytes);
+            packets.push(s.packets);
+            durations.push(s.duration_s);
+            let entry = per_edge.entry(s.edge).or_default();
+            entry.0 += 1;
+            entry.1.push(s.bytes);
+            entry.2.push(s.duration_s);
+        }
         FlowStatsSig {
-            flow_count: self.bytes.len(),
-            flows_per_sec: self.bytes.len() as f64 / self.span_s,
-            bytes: MeanStd::of(&self.bytes),
-            packets: MeanStd::of(&self.packets),
-            duration_s: MeanStd::of(&self.durations),
-            per_edge: self
-                .per_edge
+            flow_count: bytes.len(),
+            flows_per_sec: bytes.len() as f64 / self.span_s,
+            bytes: MeanStd::of(&bytes),
+            packets: MeanStd::of(&packets),
+            duration_s: MeanStd::of(&durations),
+            per_edge: per_edge
                 .iter()
                 .map(|(&key, (n, b, d))| {
                     (

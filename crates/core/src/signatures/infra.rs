@@ -12,10 +12,10 @@
 //!   *i + 1* estimates the latency between them;
 //! * CRT — the gap between a `PacketIn` and its paired `FlowMod`.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
-use openflow::types::{DatapathId, PortNo};
+use openflow::types::{DatapathId, PortNo, Timestamp};
 use serde::{Deserialize, Serialize};
 
 use crate::change::{Change, ChangeDirection, Component, Locus, SignatureKind};
@@ -23,8 +23,17 @@ use crate::ids::{
     pack_port_pair, pack_switch_pair, unpack_port_pair, unpack_switch_pair, EntityCatalog, HostId,
     IRecord, PortId, SwitchId,
 };
+use crate::records::FlowTuple;
 use crate::signatures::{DiffCtx, Signature, SignatureBuilder, SignatureInputs};
 use crate::stats::MeanStd;
+
+/// A record's window key — `(first_seen, tuple)`, the batch sort key
+/// shared by every keyed builder and the sorted overlay feeds.
+type WinKey = (Timestamp, FlowTuple);
+
+/// One record's ISL contribution: a `(directed pair key, latency µs)`
+/// sample per adjacent hop pair, in hop order.
+type PairSamples = Vec<(u64, f64)>;
 
 /// An inferred switch-to-switch adjacency, with the connecting ports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -72,29 +81,84 @@ pub enum PtChange {
     SwitchVanished(DatapathId),
 }
 
-/// Incremental PT accumulator: dense sets and a first-wins attachment
-/// map, all monotone. A [`PortId`] already names its switch, so one
+/// Incremental PT accumulator. Liveness and adjacency evidence are
+/// refcounted per packed ID — how many live hop observations assert
+/// each — so retiring a record withdraws exactly its contribution and
+/// an entry disappears when its last witness expires. The attachment
+/// map keeps every candidate ingress port keyed by the window order
+/// `(first_seen, tuple)`, so the winner is always the earliest
+/// surviving record — reproducing the first-wins insert a sorted batch
+/// feed would make. A [`PortId`] already names its switch, so one
 /// packed port pair captures a whole adjacency; everything resolves
 /// back to addresses at `finalize`.
 #[derive(Debug, Clone, Default)]
 pub struct PtBuilder {
-    live: HashSet<SwitchId>,
-    attachment: HashMap<HostId, PortId>,
-    adjacencies: HashSet<u64>,
+    live: HashMap<SwitchId, u32>,
+    attachment: HashMap<HostId, BTreeMap<(Timestamp, FlowTuple), Vec<PortId>>>,
+    adjacencies: HashMap<u64, u32>,
 }
 
 impl SignatureBuilder for PtBuilder {
     type Output = PhysicalTopology;
 
     fn observe(&mut self, record: &IRecord) {
-        self.live.extend(record.hops.iter().map(|h| h.switch));
+        for h in &record.hops {
+            *self.live.entry(h.switch).or_insert(0) += 1;
+        }
         if let Some(first) = record.hops.first() {
-            self.attachment.entry(record.src).or_insert(first.in_port);
+            self.attachment
+                .entry(record.src)
+                .or_default()
+                .entry((record.first_seen, record.tuple))
+                .or_default()
+                .push(first.in_port);
         }
         for w in record.hops.windows(2) {
             let (a, b) = (&w[0], &w[1]);
             if let Some(out_port) = a.out_port {
-                self.adjacencies.insert(pack_port_pair(out_port, b.in_port));
+                *self
+                    .adjacencies
+                    .entry(pack_port_pair(out_port, b.in_port))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn retire(&mut self, record: &IRecord) {
+        for h in &record.hops {
+            if let Some(count) = self.live.get_mut(&h.switch) {
+                *count -= 1;
+                if *count == 0 {
+                    self.live.remove(&h.switch);
+                }
+            }
+        }
+        // Only records with hops deposited a candidate, so only those
+        // pop one back off; ties under a key retire newest-first.
+        if !record.hops.is_empty() {
+            if let Some(candidates) = self.attachment.get_mut(&record.src) {
+                let key = (record.first_seen, record.tuple);
+                if let Some(ports) = candidates.get_mut(&key) {
+                    ports.pop();
+                    if ports.is_empty() {
+                        candidates.remove(&key);
+                    }
+                }
+                if candidates.is_empty() {
+                    self.attachment.remove(&record.src);
+                }
+            }
+        }
+        for w in record.hops.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if let Some(out_port) = a.out_port {
+                let key = pack_port_pair(out_port, b.in_port);
+                if let Some(count) = self.adjacencies.get_mut(&key) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.adjacencies.remove(&key);
+                    }
+                }
             }
         }
     }
@@ -103,7 +167,7 @@ impl SignatureBuilder for PtBuilder {
         PhysicalTopology {
             adjacencies: self
                 .adjacencies
-                .iter()
+                .keys()
                 .map(|&key| {
                     let (from, to) = unpack_port_pair(key);
                     let (from_sw, from_port) = catalog.port_addr(from);
@@ -119,9 +183,231 @@ impl SignatureBuilder for PtBuilder {
             host_attachment: self
                 .attachment
                 .iter()
-                .map(|(&host, &port)| (catalog.host(host), catalog.port_addr(port)))
+                .filter_map(|(&host, candidates)| {
+                    // The earliest surviving record's ingress port: the
+                    // same winner a first-wins insert over the sorted
+                    // window would pick.
+                    let port = *candidates.values().next()?.first()?;
+                    Some((catalog.host(host), catalog.port_addr(port)))
+                })
                 .collect(),
-            live_switches: self.live.iter().map(|&sw| catalog.switch(sw)).collect(),
+            live_switches: self.live.keys().map(|&sw| catalog.switch(sw)).collect(),
+        }
+    }
+}
+
+/// Visits the maintained map's tie lists and the overlay's per-record
+/// entries in ascending key order, maintained first on a shared key —
+/// the order a batch feed over the sorted window (held records before
+/// same-key opens) would produce. The snapshot overlay uses this to
+/// finalize `maintained + opens` without mutating (or cloning) the
+/// maintained builder.
+enum Merged<'a, A, B> {
+    /// One maintained-window tie list.
+    Held(&'a A),
+    /// One overlay record's contribution.
+    Open(&'a B),
+}
+
+fn merge_visit<'a, K: Ord, A, B>(
+    held: &'a BTreeMap<K, A>,
+    overlay: &'a [(K, B)],
+    mut f: impl FnMut(Merged<'a, A, B>),
+) {
+    let mut h = held.iter().peekable();
+    let mut o = overlay.iter().peekable();
+    loop {
+        match (h.peek(), o.peek()) {
+            (Some((hk, _)), Some((ok, _))) => {
+                if *hk <= ok {
+                    f(Merged::Held(h.next().expect("peeked").1));
+                } else {
+                    f(Merged::Open(&o.next().expect("peeked").1));
+                }
+            }
+            (Some(_), None) => f(Merged::Held(h.next().expect("peeked").1)),
+            (None, Some(_)) => f(Merged::Open(&o.next().expect("peeked").1)),
+            (None, None) => break,
+        }
+    }
+}
+
+/// Append-only PT accumulator for a feed already in `(first_seen,
+/// tuple)` order: batch assembly and the per-epoch opens overlay. The
+/// retire-capable [`PtBuilder`] pays a refcount map entry and a keyed
+/// candidate insert per record so any record can later be withdrawn;
+/// a sorted linear feed never retires, so first-wins attachment is one
+/// map probe and the evidence sets are plain counters.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PtLinear {
+    live: HashMap<SwitchId, u32>,
+    attachment: HashMap<HostId, ((Timestamp, FlowTuple), PortId)>,
+    adjacencies: HashMap<u64, u32>,
+}
+
+impl PtLinear {
+    pub(crate) fn observe(&mut self, record: &IRecord) {
+        for h in &record.hops {
+            *self.live.entry(h.switch).or_insert(0) += 1;
+        }
+        if let Some(first) = record.hops.first() {
+            // Sorted feed: the first record seen for a host carries the
+            // minimal window key, which is exactly the winner the keyed
+            // builder's first-candidate scan picks.
+            self.attachment
+                .entry(record.src)
+                .or_insert(((record.first_seen, record.tuple), first.in_port));
+        }
+        for w in record.hops.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if let Some(out_port) = a.out_port {
+                *self
+                    .adjacencies
+                    .entry(pack_port_pair(out_port, b.in_port))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    pub(crate) fn finalize(&self, catalog: &EntityCatalog) -> PhysicalTopology {
+        PtBuilder::default().finalize_merged(self, catalog)
+    }
+}
+
+/// Append-only ISL accumulator for a sorted feed; per-record sample
+/// batches are kept in feed order, which for a sorted feed *is* the
+/// key order the retire-capable [`IslBuilder`] flattens in.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IslLinear {
+    samples: Vec<(WinKey, PairSamples)>,
+}
+
+impl IslLinear {
+    pub(crate) fn observe(&mut self, record: &IRecord) {
+        let mut mine = Vec::new();
+        for w in record.hops.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let Some(fm_ts) = a.flow_mod_ts else {
+                continue;
+            };
+            let Some(delta) = b.ts.checked_since(fm_ts) else {
+                continue;
+            };
+            mine.push((pack_switch_pair(a.switch, b.switch), delta as f64));
+        }
+        // Sample-less records contribute nothing to any summary; unlike
+        // the retire-capable builder there is no tie list to keep
+        // poppable, so they are simply skipped.
+        if !mine.is_empty() {
+            self.samples.push(((record.first_seen, record.tuple), mine));
+        }
+    }
+
+    pub(crate) fn finalize(&self, catalog: &EntityCatalog) -> InterSwitchLatency {
+        IslBuilder::default().finalize_merged(self, catalog)
+    }
+}
+
+/// Append-only CRT accumulator for a sorted feed; contributions stay in
+/// feed order, matching the keyed builder's key-order flatten.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CrtLinear {
+    window: Vec<((Timestamp, FlowTuple), CrtContribution)>,
+}
+
+impl CrtLinear {
+    pub(crate) fn observe(&mut self, record: &IRecord) {
+        let mut mine = CrtContribution::default();
+        for h in &record.hops {
+            match h.flow_mod_ts {
+                Some(fm_ts) => {
+                    if let Some(d) = fm_ts.checked_since(h.ts) {
+                        mine.samples.push((h.switch, d as f64));
+                    }
+                }
+                None => mine.unanswered += 1,
+            }
+        }
+        if !mine.samples.is_empty() || mine.unanswered > 0 {
+            self.window.push(((record.first_seen, record.tuple), mine));
+        }
+    }
+
+    pub(crate) fn finalize(&self, catalog: &EntityCatalog) -> ControllerResponse {
+        CrtBuilder::default().finalize_merged(self, catalog)
+    }
+}
+
+impl PtBuilder {
+    /// Finalizes `self + overlay` as if every record the overlay saw had
+    /// also been observed by `self` — without mutating either side.
+    /// All three outputs are key-unions: liveness and adjacency are
+    /// witness sets, and a host's attachment point is the ingress port
+    /// of the earliest surviving record across both sides (held wins
+    /// a shared window key, matching the batch feed order).
+    pub(crate) fn finalize_merged(
+        &self,
+        overlay: &PtLinear,
+        catalog: &EntityCatalog,
+    ) -> PhysicalTopology {
+        let adjacency = |&key: &u64| {
+            let (from, to) = unpack_port_pair(key);
+            let (from_sw, from_port) = catalog.port_addr(from);
+            let (to_sw, to_port) = catalog.port_addr(to);
+            SwitchAdjacency {
+                from: from_sw,
+                from_port,
+                to: to_sw,
+                to_port,
+            }
+        };
+        let attach =
+            |(&host, candidates): (&HostId, &BTreeMap<(Timestamp, FlowTuple), Vec<PortId>>)| {
+                let held_min = candidates
+                    .iter()
+                    .next()
+                    .and_then(|(key, ports)| Some((*key, *ports.first()?)));
+                let over_min = overlay.attachment.get(&host).copied();
+                let port = match (held_min, over_min) {
+                    (Some(h), Some(o)) => {
+                        if h.0 <= o.0 {
+                            h.1
+                        } else {
+                            o.1
+                        }
+                    }
+                    (Some(h), None) => h.1,
+                    (None, Some(o)) => o.1,
+                    (None, None) => return None,
+                };
+                Some((catalog.host(host), catalog.port_addr(port)))
+            };
+        PhysicalTopology {
+            adjacencies: self
+                .adjacencies
+                .keys()
+                .chain(overlay.adjacencies.keys())
+                .map(adjacency)
+                .collect(),
+            host_attachment: self
+                .attachment
+                .iter()
+                .filter_map(attach)
+                .chain(overlay.attachment.iter().filter_map(|(&host, &(_, port))| {
+                    // Hosts only the overlay saw; shared hosts were
+                    // already resolved (identically) above.
+                    if self.attachment.contains_key(&host) {
+                        return None;
+                    }
+                    Some((catalog.host(host), catalog.port_addr(port)))
+                }))
+                .collect(),
+            live_switches: self
+                .live
+                .keys()
+                .chain(overlay.live.keys())
+                .map(|&sw| catalog.switch(sw))
+                .collect(),
         }
     }
 }
@@ -243,18 +529,21 @@ pub struct IslChange {
 }
 
 /// Incremental ISL accumulator (Figure 3: `t3 - t2` per consecutive
-/// hop pair). Samples accumulate per packed switch pair; within a pair
-/// they stay in observation order, so the summary is independent of
-/// hash-iteration order.
+/// hop pair). Each record's samples stay together, in hop order, under
+/// its window key `(first_seen, tuple)`; `finalize` flattens them in
+/// key order — exactly the order a batch feed over the sorted window
+/// produces, so the floating-point summaries are byte-identical.
+/// Records sharing a key append to a tie list and retire newest-first.
 #[derive(Debug, Clone, Default)]
 pub struct IslBuilder {
-    samples: HashMap<u64, Vec<f64>>,
+    samples: BTreeMap<WinKey, Vec<PairSamples>>,
 }
 
 impl SignatureBuilder for IslBuilder {
     type Output = InterSwitchLatency;
 
     fn observe(&mut self, record: &IRecord) {
+        let mut mine = Vec::new();
         for w in record.hops.windows(2) {
             let (a, b) = (&w[0], &w[1]);
             let Some(fm_ts) = a.flow_mod_ts else {
@@ -267,17 +556,65 @@ impl SignatureBuilder for IslBuilder {
             let Some(delta) = b.ts.checked_since(fm_ts) else {
                 continue;
             };
-            self.samples
-                .entry(pack_switch_pair(a.switch, b.switch))
-                .or_default()
-                .push(delta as f64);
+            mine.push((pack_switch_pair(a.switch, b.switch), delta as f64));
+        }
+        // Even a sample-less record deposits its (empty) contribution,
+        // so retirement can pop the tie list unconditionally.
+        self.samples
+            .entry((record.first_seen, record.tuple))
+            .or_default()
+            .push(mine);
+    }
+
+    fn retire(&mut self, record: &IRecord) {
+        let key = (record.first_seen, record.tuple);
+        if let Some(ties) = self.samples.get_mut(&key) {
+            ties.pop();
+            if ties.is_empty() {
+                self.samples.remove(&key);
+            }
         }
     }
 
     fn finalize(&self, catalog: &EntityCatalog) -> InterSwitchLatency {
+        let mut per_pair: HashMap<u64, Vec<f64>> = HashMap::new();
+        for &(pair, delta) in self.samples.values().flatten().flatten() {
+            per_pair.entry(pair).or_default().push(delta);
+        }
         InterSwitchLatency {
-            per_pair: self
-                .samples
+            per_pair: per_pair
+                .iter()
+                .map(|(&key, v)| {
+                    let (a, b) = unpack_switch_pair(key);
+                    ((catalog.switch(a), catalog.switch(b)), MeanStd::of(v))
+                })
+                .collect(),
+        }
+    }
+}
+
+impl IslBuilder {
+    /// Finalizes `self + overlay` without mutating either side. The
+    /// per-pair sample vectors are accumulated in merged key order
+    /// (held first on a shared key), so the floating-point summaries
+    /// are byte-identical to a batch feed over the sorted union.
+    pub(crate) fn finalize_merged(
+        &self,
+        overlay: &IslLinear,
+        catalog: &EntityCatalog,
+    ) -> InterSwitchLatency {
+        let mut per_pair: HashMap<u64, Vec<f64>> = HashMap::new();
+        merge_visit(&self.samples, &overlay.samples, |item| {
+            let mut push = |&(pair, delta): &(u64, f64)| {
+                per_pair.entry(pair).or_default().push(delta);
+            };
+            match item {
+                Merged::Held(ties) => ties.iter().flatten().for_each(&mut push),
+                Merged::Open(mine) => mine.iter().for_each(&mut push),
+            }
+        });
+        InterSwitchLatency {
+            per_pair: per_pair
                 .iter()
                 .map(|(&key, v)| {
                     let (a, b) = unpack_switch_pair(key);
@@ -386,21 +723,30 @@ pub struct CrtChange {
     pub unanswered: (f64, f64),
 }
 
+/// One record's CRT contribution: response-time samples in hop order,
+/// plus the count of hops whose `PacketIn` never got a reply.
+#[derive(Debug, Clone, Default)]
+struct CrtContribution {
+    samples: Vec<(SwitchId, f64)>,
+    unanswered: usize,
+}
+
 /// Incremental CRT accumulator (Figure 3: `t2 - t1` per `PacketIn`).
-/// The overall series keeps observation order; per-switch series are
-/// keyed by dense [`SwitchId`] and summarized per key, so no
-/// hash-iteration order can reach the output.
+/// Per-record contributions are kept under the window key
+/// `(first_seen, tuple)` and flattened in key order at `finalize`, so
+/// the overall series matches a batch feed over the sorted window
+/// sample for sample. Records sharing a key append to a tie list and
+/// retire newest-first.
 #[derive(Debug, Clone, Default)]
 pub struct CrtBuilder {
-    all: Vec<f64>,
-    per_switch: HashMap<SwitchId, Vec<f64>>,
-    unanswered: usize,
+    window: BTreeMap<(Timestamp, FlowTuple), Vec<CrtContribution>>,
 }
 
 impl SignatureBuilder for CrtBuilder {
     type Output = ControllerResponse;
 
     fn observe(&mut self, record: &IRecord) {
+        let mut mine = CrtContribution::default();
         for h in &record.hops {
             match h.flow_mod_ts {
                 // Checked difference: a FlowMod stamped before its
@@ -408,23 +754,84 @@ impl SignatureBuilder for CrtBuilder {
                 // sample rather than an underflowed response time.
                 Some(fm_ts) => {
                     if let Some(d) = fm_ts.checked_since(h.ts) {
-                        let d = d as f64;
-                        self.all.push(d);
-                        self.per_switch.entry(h.switch).or_default().push(d);
+                        mine.samples.push((h.switch, d as f64));
                     }
                 }
-                None => self.unanswered += 1,
+                None => mine.unanswered += 1,
+            }
+        }
+        // Even a hop-less record deposits its (empty) contribution, so
+        // retirement can pop the tie list unconditionally.
+        self.window
+            .entry((record.first_seen, record.tuple))
+            .or_default()
+            .push(mine);
+    }
+
+    fn retire(&mut self, record: &IRecord) {
+        let key = (record.first_seen, record.tuple);
+        if let Some(ties) = self.window.get_mut(&key) {
+            ties.pop();
+            if ties.is_empty() {
+                self.window.remove(&key);
             }
         }
     }
 
     fn finalize(&self, catalog: &EntityCatalog) -> ControllerResponse {
+        let mut all = Vec::new();
+        let mut per_switch: HashMap<SwitchId, Vec<f64>> = HashMap::new();
+        let mut unanswered = 0;
+        for c in self.window.values().flatten() {
+            for &(sw, d) in &c.samples {
+                all.push(d);
+                per_switch.entry(sw).or_default().push(d);
+            }
+            unanswered += c.unanswered;
+        }
         ControllerResponse {
-            answered: self.all.len(),
-            unanswered: self.unanswered,
-            overall: MeanStd::of(&self.all),
-            per_switch: self
-                .per_switch
+            answered: all.len(),
+            unanswered,
+            overall: MeanStd::of(&all),
+            per_switch: per_switch
+                .iter()
+                .map(|(&sw, v)| (catalog.switch(sw), MeanStd::of(v)))
+                .collect(),
+        }
+    }
+}
+
+impl CrtBuilder {
+    /// Finalizes `self + overlay` without mutating either side,
+    /// flattening contributions in merged key order (held first on a
+    /// shared key) so the overall floating-point series matches a batch
+    /// feed over the sorted union sample for sample.
+    pub(crate) fn finalize_merged(
+        &self,
+        overlay: &CrtLinear,
+        catalog: &EntityCatalog,
+    ) -> ControllerResponse {
+        let mut all = Vec::new();
+        let mut per_switch: HashMap<SwitchId, Vec<f64>> = HashMap::new();
+        let mut unanswered = 0;
+        merge_visit(&self.window, &overlay.window, |item| {
+            let mut fold = |c: &CrtContribution| {
+                for &(sw, d) in &c.samples {
+                    all.push(d);
+                    per_switch.entry(sw).or_default().push(d);
+                }
+                unanswered += c.unanswered;
+            };
+            match item {
+                Merged::Held(ties) => ties.iter().for_each(&mut fold),
+                Merged::Open(c) => fold(c),
+            }
+        });
+        ControllerResponse {
+            answered: all.len(),
+            unanswered,
+            overall: MeanStd::of(&all),
+            per_switch: per_switch
                 .iter()
                 .map(|(&sw, v)| (catalog.switch(sw), MeanStd::of(v)))
                 .collect(),

@@ -73,6 +73,15 @@ impl SignatureBuilder for CiBuilder {
         *self.edge_counts.entry(record.edge_key()).or_insert(0) += 1;
     }
 
+    fn retire(&mut self, record: &IRecord) {
+        if let Some(count) = self.edge_counts.get_mut(&record.edge_key()) {
+            *count -= 1;
+            if *count == 0 {
+                self.edge_counts.remove(&record.edge_key());
+            }
+        }
+    }
+
     fn finalize(&self, catalog: &EntityCatalog) -> ComponentInteraction {
         let mut per_node: BTreeMap<Ipv4Addr, NodeInteraction> = BTreeMap::new();
         for (&key, &count) in &self.edge_counts {

@@ -194,6 +194,21 @@ pub trait SignatureBuilder {
     /// ignores events.
     fn observe_event(&mut self, _event: &ControlEvent) {}
 
+    /// Removes one previously observed record from the accumulator — the
+    /// exact inverse of [`SignatureBuilder::observe`], used to slide the
+    /// online window forward without rebuilding from scratch.
+    ///
+    /// Contract: after any interleaving of observes and retires, the
+    /// builder's `finalize` output must be byte-identical to a fresh
+    /// builder fed only the surviving records in `(first_seen, tuple)`
+    /// order. Records sharing a `(first_seen, tuple)` key must be
+    /// retired newest-first (reverse observation order), so builders
+    /// that keep per-key sample lists can pop from the tail.
+    ///
+    /// Event-fed builders (LU) ignore record retirement; they expire
+    /// state by timestamp instead.
+    fn retire(&mut self, record: &IRecord);
+
     /// Produces the signature from everything observed so far,
     /// resolving entity IDs back to addresses through `catalog`.
     fn finalize(&self, catalog: &EntityCatalog) -> Self::Output;

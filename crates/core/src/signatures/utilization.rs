@@ -92,6 +92,11 @@ impl SignatureBuilder for LuBuilder {
 
     fn observe(&mut self, _record: &IRecord) {}
 
+    /// LU never observes flow records, so record retirement is a no-op;
+    /// the counter series expires by timestamp via the inherent
+    /// [`LuBuilder::retire_before`] instead.
+    fn retire(&mut self, _record: &IRecord) {}
+
     fn observe_event(&mut self, event: &ControlEvent) {
         if let OfpMessage::StatsReply(StatsReply::Port(ports)) = &event.msg {
             for p in ports {

@@ -112,7 +112,7 @@ proptest! {
 
         // Catalog A: IDs assigned in first-seen record order.
         let il = InternedLog::of(&records);
-        let groups_a = discover_groups_interned(&il.records, &il.catalog, &config);
+        let groups_a = discover_groups_interned(&il.refs(), &il.catalog, &config);
 
         // Catalog B: IDs assigned by pre-interning every host in
         // descending address order, then interning the same records.
@@ -124,7 +124,8 @@ proptest! {
         hosts.dedup();
         hosts.reverse();
         let (catalog_b, irecords_b) = intern_with_warmup(&records, &hosts);
-        let groups_b = discover_groups_interned(&irecords_b, &catalog_b, &config);
+        let refs_b: Vec<&IRecord> = irecords_b.iter().collect();
+        let groups_b = discover_groups_interned(&refs_b, &catalog_b, &config);
 
         // Group discovery resolves IDs back to addresses, so the result
         // must not depend on how IDs were assigned.
@@ -143,7 +144,8 @@ proptest! {
         let span = (Timestamp::ZERO, Timestamp::from_secs(60));
 
         let il = InternedLog::of(&records);
-        let groups_a = discover_groups_interned(&il.records, &il.catalog, &config);
+        let refs_a: Vec<&IRecord> = il.records.iter().collect();
+        let groups_a = discover_groups_interned(&refs_a, &il.catalog, &config);
 
         let mut hosts: Vec<Ipv4Addr> = records
             .iter()
@@ -153,14 +155,13 @@ proptest! {
         hosts.dedup();
         hosts.reverse();
         let (catalog_b, irecords_b) = intern_with_warmup(&records, &hosts);
-        let groups_b = discover_groups_interned(&irecords_b, &catalog_b, &config);
+        let refs_b: Vec<&IRecord> = irecords_b.iter().collect();
+        let groups_b = discover_groups_interned(&refs_b, &catalog_b, &config);
         prop_assert_eq!(&groups_a, &groups_b);
 
         // Build the first group's connectivity graph under both ID
         // assignments: the finished signatures are address-keyed and
         // must be identical, and diffing them must report no changes.
-        let refs_a: Vec<&IRecord> = il.records.iter().collect();
-        let refs_b: Vec<&IRecord> = irecords_b.iter().collect();
         let cg_a = ConnectivityGraph::build(
             &SignatureInputs::new(&refs_a, &il.catalog, span, &config).with_group(&groups_a[0]),
         );

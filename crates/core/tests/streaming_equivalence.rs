@@ -159,9 +159,9 @@ fn synth_events(seed: u64, events: &mut Vec<ControlEvent>) {
             let xid = Xid(1 + (episode * 100) as u32 + (rng.next() % 24) as u32);
             let corrupt = rng.next().is_multiple_of(16);
             let data = if corrupt {
-                vec![0u8; 4]
+                vec![0u8; 4].into()
             } else {
-                frame::build_frame(&key, 128).to_vec()
+                frame::build_frame(&key, 128)
             };
             events.push(ControlEvent {
                 ts,
@@ -582,6 +582,104 @@ proptest! {
             .zip(resumed_snaps.iter().chain(&last_b))
         {
             prop_assert_eq!(serde::to_vec(a), serde::to_vec(b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental hot path: the per-epoch delta snapshot (retire the main
+// builder, overlay opens, unwind) must be indistinguishable from the
+// historical remodel that cloned the whole builder every epoch.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every epoch snapshot the incremental [`OnlineDiffer`] emits is
+    /// `PartialEq`-identical and serializes byte-identically to the
+    /// historical clone-probe remodel (clone the builder, observe the
+    /// open episodes, retire everything before the window, rebuild from
+    /// scratch via the `snapshot_with` oracle) — across random
+    /// interleaved streams, chaos-mangled wire bytes, and with a 4-shard
+    /// [`ShardedDiffer`] held to the same snapshots.
+    #[test]
+    fn incremental_epochs_match_clone_probe_remodel(
+        ref_seeds in prop::collection::vec(any::<u64>(), 1..5),
+        cur_seeds in prop::collection::vec(any::<u64>(), 1..6),
+        chaos_seed in any::<u64>(),
+        corruption in 0.0..0.08f64,
+    ) {
+        let config = FlowDiffConfig::default();
+        let ref_log = synth_log(&ref_seeds);
+        let reference = BehaviorModel::build(&ref_log, &config);
+        let stability = StabilityReport::all_stable(&reference);
+
+        let chaos = ChannelChaos::corruption(corruption, chaos_seed);
+        let (wire, _) = chaos.mangle(&synth_log(&cur_seeds));
+        let mut stream = netsim::log::LogStream::from_wire_bytes(&wire).expect("magic intact");
+        let events: Vec<ControlEvent> =
+            stream.by_ref().flatten().map(|e| e.into_owned()).collect();
+        if events.is_empty() {
+            return Ok(());
+        }
+
+        let mut differ = OnlineDiffer::try_new(reference.clone(), stability.clone(), &config)
+            .expect("config valid");
+        let mut sharded = ShardedDiffer::try_new(reference, stability, &config, 4)
+            .expect("config valid");
+        // The oracle pipeline is never retired between epochs: it holds
+        // the full stream, exactly like the differ's builder did before
+        // snapshots went incremental.
+        let mut oracle_asm = RecordAssembler::new(&config);
+        let mut oracle_builder = IncrementalModelBuilder::new(&config);
+        let remodel = |builder: &IncrementalModelBuilder,
+                       asm: &RecordAssembler,
+                       window: (Timestamp, Timestamp)| {
+            let mut probe = builder.clone();
+            for open in asm.open_records() {
+                probe.observe_record(open);
+            }
+            probe.retire_before(window.0);
+            probe.set_span(window);
+            probe.snapshot_with(1)
+        };
+
+        for event in &events {
+            let snaps = differ.observe(event);
+            let shard_snaps = sharded.observe(event);
+            prop_assert_eq!(&shard_snaps, &snaps, "4-shard snapshots diverge");
+            // Boundaries fire before the event is ingested, so the
+            // oracle models its epochs before observing the event too.
+            for snap in &snaps {
+                let expected = remodel(&oracle_builder, &oracle_asm, snap.window);
+                prop_assert_eq!(&expected, &snap.model, "epoch {} model", snap.epoch);
+                prop_assert_eq!(
+                    serde::to_vec(&expected),
+                    serde::to_vec(&snap.model),
+                    "epoch {} model bytes", snap.epoch
+                );
+            }
+            oracle_asm.observe(event);
+            oracle_builder.observe_event(event);
+            for record in oracle_asm.take_completed() {
+                oracle_builder.observe_record(record);
+            }
+        }
+
+        // The final flush: completed in-flight episodes join the window,
+        // then the same retire-and-remodel applies.
+        for record in oracle_asm.finish() {
+            oracle_builder.observe_record(record);
+        }
+        let last = differ.finish();
+        prop_assert_eq!(&sharded.finish(), &last, "4-shard final snapshot diverges");
+        if let Some(last) = last {
+            let mut probe = oracle_builder.clone();
+            probe.retire_before(last.window.0);
+            probe.set_span(last.window);
+            let expected = probe.into_snapshot();
+            prop_assert_eq!(&expected, &last.model, "final model");
+            prop_assert_eq!(serde::to_vec(&expected), serde::to_vec(&last.model));
         }
     }
 }

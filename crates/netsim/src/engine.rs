@@ -426,7 +426,7 @@ impl Simulation {
                 dpid,
                 direction: Direction::ToController,
                 xid: Xid(0),
-                msg: OfpMessage::EchoReply(Vec::new()),
+                msg: OfpMessage::EchoReply(Vec::new().into()),
             });
         }
         let next = self.now + self.config.echo_interval_s * 1_000_000;
@@ -631,7 +631,7 @@ impl Simulation {
         let buffer_id = BufferId(self.next_buffer);
         self.next_buffer = self.next_buffer.wrapping_add(1).max(1);
 
-        let capture = frame::build_frame(&key, self.config.miss_send_len as usize).to_vec();
+        let capture = frame::build_frame(&key, self.config.miss_send_len as usize);
         let arrival = self.now + self.ctrl_latency();
         self.log.push(ControlEvent {
             ts: arrival,

@@ -5,6 +5,7 @@
 //! controller, exactly what a passive tap on the OpenFlow control channel
 //! would capture (Section III-A of the paper).
 
+use bytes::Bytes;
 use openflow::messages::OfpMessage;
 use openflow::types::{DatapathId, Timestamp, Xid};
 use serde::{Deserialize, Serialize};
@@ -344,6 +345,15 @@ enum StreamSource<'a> {
         /// Decode cursor; starts just past the magic header.
         pos: usize,
     },
+    /// Like `Wire`, but over a shared refcounted buffer: clean
+    /// payload-carrying frames borrow their payload from the capture
+    /// as zero-copy [`Bytes`] slices instead of copying it out.
+    WireShared {
+        /// The whole capture, shared with every decoded payload.
+        buf: Bytes,
+        /// Decode cursor; starts just past the magic header.
+        pos: usize,
+    },
 }
 
 impl<'a> LogStream<'a> {
@@ -379,6 +389,33 @@ impl<'a> LogStream<'a> {
     /// Frame-level counters for the bytes consumed so far.
     pub fn stats(&self) -> StreamStats {
         self.stats
+    }
+}
+
+impl LogStream<'static> {
+    /// Streams a wire capture held in a shared refcounted buffer —
+    /// the zero-copy counterpart of [`LogStream::from_wire_bytes`]:
+    /// clean payload-carrying frames (`PacketIn`, `PacketOut`, echo,
+    /// error) slice their payload out of `capture` without copying,
+    /// so decoding a clean capture never materializes an owned
+    /// payload. Damaged frames resynchronize exactly as the borrowed
+    /// source does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BadMagic`] when the magic header is
+    /// missing or wrong.
+    pub fn from_wire_capture(capture: Bytes) -> Result<LogStream<'static>, DecodeError> {
+        if capture.len() < CAPTURE_MAGIC.len() || &capture[..8] != CAPTURE_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        Ok(LogStream {
+            source: StreamSource::WireShared {
+                buf: capture,
+                pos: CAPTURE_MAGIC.len(),
+            },
+            stats: StreamStats::default(),
+        })
     }
 }
 
@@ -420,9 +457,14 @@ fn resync(buf: &[u8], from: usize) -> usize {
     buf.len()
 }
 
-/// Decodes one `[ts][dpid][direction][wire message]` frame at absolute
-/// offset `pos`, returning the event and the offset just past it.
-fn decode_event_at(buf: &[u8], pos: usize) -> Result<(ControlEvent, usize), DecodeError> {
+/// Validates the `[ts][dpid][direction]` preamble and the embedded
+/// OpenFlow header of the frame at absolute offset `pos`, classifying
+/// framing damage precisely (truncation, bad tag, length overflow).
+/// Returns the preamble fields; the message body is left to the codec.
+fn validate_frame_at(
+    buf: &[u8],
+    pos: usize,
+) -> Result<(Timestamp, DatapathId, Direction), DecodeError> {
     let rest = &buf[pos..];
     if rest.len() < MIN_FRAME_LEN {
         return Err(DecodeError::TruncatedFrame {
@@ -466,15 +508,48 @@ fn decode_event_at(buf: &[u8], pos: usize) -> Result<(ControlEvent, usize), Deco
             available: of.len(),
         });
     }
+    Ok((Timestamp::from_micros(ts), DatapathId(dpid), direction))
+}
+
+/// Decodes one `[ts][dpid][direction][wire message]` frame at absolute
+/// offset `pos`, returning the event and the offset just past it.
+fn decode_event_at(buf: &[u8], pos: usize) -> Result<(ControlEvent, usize), DecodeError> {
+    let (ts, dpid, direction) = validate_frame_at(buf, pos)?;
     let (msg, xid, used) =
-        openflow::wire::decode(of).map_err(|source| DecodeError::BadMessage {
-            offset: pos,
-            source,
+        openflow::wire::decode(&buf[pos + PREAMBLE_LEN..]).map_err(|source| {
+            DecodeError::BadMessage {
+                offset: pos,
+                source,
+            }
         })?;
     Ok((
         ControlEvent {
-            ts: Timestamp::from_micros(ts),
-            dpid: DatapathId(dpid),
+            ts,
+            dpid,
+            direction,
+            xid,
+            msg,
+        },
+        pos + PREAMBLE_LEN + used,
+    ))
+}
+
+/// [`decode_event_at`] over a shared buffer: the message decode goes
+/// through [`openflow::wire::decode_shared`], so payloads come out as
+/// zero-copy slices of `buf`.
+fn decode_event_shared_at(buf: &Bytes, pos: usize) -> Result<(ControlEvent, usize), DecodeError> {
+    let (ts, dpid, direction) = validate_frame_at(buf, pos)?;
+    let (msg, xid, used) =
+        openflow::wire::decode_shared(buf, pos + PREAMBLE_LEN).map_err(|source| {
+            DecodeError::BadMessage {
+                offset: pos,
+                source,
+            }
+        })?;
+    Ok((
+        ControlEvent {
+            ts,
+            dpid,
             direction,
             xid,
             msg,
@@ -507,6 +582,25 @@ impl<'a> Iterator for LogStream<'a> {
                         // Lost the framing: skip to the next plausible
                         // frame boundary and surface one error for the
                         // whole damaged region.
+                        let next_pos = resync(buf, *pos + 1);
+                        self.stats.frames_skipped += 1;
+                        self.stats.bytes_skipped += (next_pos - *pos) as u64;
+                        *pos = next_pos;
+                        Some(Err(e))
+                    }
+                }
+            }
+            StreamSource::WireShared { buf, pos } => {
+                if *pos >= buf.len() {
+                    return None;
+                }
+                match decode_event_shared_at(buf, *pos) {
+                    Ok((ev, next_pos)) => {
+                        *pos = next_pos;
+                        self.stats.frames_decoded += 1;
+                        Some(Ok(std::borrow::Cow::Owned(ev)))
+                    }
+                    Err(e) => {
                         let next_pos = resync(buf, *pos + 1);
                         self.stats.frames_skipped += 1;
                         self.stats.bytes_skipped += (next_pos - *pos) as u64;
@@ -718,6 +812,89 @@ mod tests {
         ));
         assert_eq!(stream.stats().frames_decoded, 3);
         assert_eq!(stream.stats().frames_skipped, 1);
+    }
+
+    #[test]
+    fn shared_stream_matches_borrowed_stream_with_resync() {
+        use openflow::messages::{PacketIn, PacketInReason};
+        use openflow::types::{BufferId, PortNo};
+        let mut log: ControllerLog = vec![ev(5, 1), ev(10, 1), ev(15, 2), ev(20, 0)]
+            .into_iter()
+            .collect();
+        log.push(ControlEvent {
+            ts: Timestamp::from_micros(25),
+            dpid: DatapathId(2),
+            direction: Direction::ToController,
+            xid: Xid(9),
+            msg: OfpMessage::PacketIn(PacketIn {
+                buffer_id: BufferId::NO_BUFFER,
+                total_len: 6,
+                in_port: PortNo(3),
+                reason: PacketInReason::NoMatch,
+                data: b"abcdef".to_vec().into(),
+            }),
+        });
+        log.finish();
+        let mut bytes = log.to_wire_bytes();
+        // Damage the second frame's OpenFlow version byte so both
+        // streams have to resynchronize mid-capture.
+        let mut frame = Vec::new();
+        encode_event(&log.events()[0], &mut frame);
+        bytes[CAPTURE_MAGIC.len() + frame.len() + 17] = 0xEE;
+
+        let mut borrowed = LogStream::from_wire_bytes(&bytes).unwrap();
+        let borrowed_items: Vec<_> = borrowed.by_ref().collect();
+        let mut shared = LogStream::from_wire_capture(Bytes::from(bytes.clone())).unwrap();
+        let shared_items: Vec<_> = shared.by_ref().collect();
+
+        assert_eq!(borrowed_items.len(), shared_items.len());
+        for (b, s) in borrowed_items.iter().zip(&shared_items) {
+            match (b, s) {
+                (Ok(be), Ok(se)) => assert_eq!(be.as_ref(), se.as_ref()),
+                (Err(be), Err(se)) => assert_eq!(format!("{be:?}"), format!("{se:?}")),
+                other => panic!("streams disagree on ok/err: {other:?}"),
+            }
+        }
+        assert_eq!(borrowed.stats(), shared.stats());
+    }
+
+    #[test]
+    fn shared_stream_payloads_alias_the_capture_buffer() {
+        use openflow::messages::{PacketIn, PacketInReason};
+        use openflow::types::{BufferId, PortNo};
+        let log: ControllerLog = vec![ControlEvent {
+            ts: Timestamp::from_micros(1),
+            dpid: DatapathId(1),
+            direction: Direction::ToController,
+            xid: Xid(1),
+            msg: OfpMessage::PacketIn(PacketIn {
+                buffer_id: BufferId::NO_BUFFER,
+                total_len: 8,
+                in_port: PortNo(1),
+                reason: PacketInReason::NoMatch,
+                data: b"payload!".to_vec().into(),
+            }),
+        }]
+        .into_iter()
+        .collect();
+        let capture = Bytes::from(log.to_wire_bytes());
+        let cap_lo = capture.as_ptr() as usize;
+        let cap_hi = cap_lo + capture.len();
+        let event = LogStream::from_wire_capture(capture.clone())
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .into_owned();
+        let OfpMessage::PacketIn(pi) = &event.msg else {
+            panic!("expected a PacketIn, got {:?}", event.msg);
+        };
+        assert_eq!(&*pi.data, b"payload!");
+        let p = pi.data.as_ptr() as usize;
+        assert!(
+            p >= cap_lo && p + pi.data.len() <= cap_hi,
+            "payload must be a view into the capture buffer, not a copy"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use crate::actions::Action;
@@ -36,7 +37,9 @@ pub struct PacketIn {
     /// Why the packet was sent to the controller.
     pub reason: PacketInReason,
     /// The captured frame bytes (possibly truncated to `miss_send_len`).
-    pub data: Vec<u8>,
+    /// A [`Bytes`] view: the streaming decoder shares the capture
+    /// buffer here instead of copying each payload out.
+    pub data: Bytes,
 }
 
 /// A controller instruction to emit a packet from a switch.
@@ -49,7 +52,7 @@ pub struct PacketOut {
     /// Actions applied to the packet (typically one `Output`).
     pub actions: Vec<Action>,
     /// Raw frame when not buffered.
-    pub data: Vec<u8>,
+    pub data: Bytes,
 }
 
 /// Flow-mod commands (`ofp_flow_mod_command`).
@@ -345,7 +348,7 @@ pub struct ErrorMsg {
     pub code: u16,
     /// The offending request's bytes (at least 64 bytes per the spec;
     /// the simulator stores what it has).
-    pub data: Vec<u8>,
+    pub data: Bytes,
 }
 
 impl ErrorMsg {
@@ -355,7 +358,7 @@ impl ErrorMsg {
         ErrorMsg {
             err_type: 3,
             code: 0,
-            data: Vec::new(),
+            data: Bytes::new(),
         }
     }
 
@@ -384,9 +387,9 @@ pub enum OfpMessage {
     /// Switch-reported error.
     Error(ErrorMsg),
     /// Liveness probe carrying arbitrary payload.
-    EchoRequest(Vec<u8>),
+    EchoRequest(Bytes),
     /// Echo response; must carry the request payload.
-    EchoReply(Vec<u8>),
+    EchoReply(Bytes),
     /// Ask the switch for its features.
     FeaturesRequest,
     /// The switch handshake response.
@@ -537,7 +540,7 @@ mod tests {
                 total_len: 0,
                 in_port: PortNo(1),
                 reason: PacketInReason::NoMatch,
-                data: vec![],
+                data: Bytes::new(),
             })
             .type_code(),
             10

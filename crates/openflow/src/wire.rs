@@ -9,7 +9,7 @@
 //! use openflow::prelude::*;
 //! use openflow::wire;
 //!
-//! let msg = OfpMessage::EchoRequest(vec![1, 2, 3]);
+//! let msg = OfpMessage::EchoRequest(vec![1, 2, 3].into());
 //! let bytes = wire::encode(&msg, Xid(7));
 //! let (decoded, xid, used) = wire::decode(&bytes)?;
 //! assert_eq!(decoded, msg);
@@ -65,6 +65,15 @@ pub fn encode(msg: &OfpMessage, xid: Xid) -> Bytes {
 /// Returns a [`DecodeError`] when the input is truncated, has the wrong
 /// version, or contains an unknown type code or malformed structure.
 pub fn decode(input: &[u8]) -> Result<(OfpMessage, Xid, usize), DecodeError> {
+    let (type_code, length, xid) = decode_header(input)?;
+    let body = &input[HEADER_LEN..length];
+    let msg = decode_body(type_code, body)?;
+    Ok((msg, xid, length))
+}
+
+/// Parses and validates the common 8-byte header, checking that the
+/// whole framed message is available.
+fn decode_header(input: &[u8]) -> Result<(u8, usize, Xid), DecodeError> {
     if input.len() < HEADER_LEN {
         return Err(DecodeError::Truncated {
             needed: HEADER_LEN,
@@ -91,8 +100,48 @@ pub fn decode(input: &[u8]) -> Result<(OfpMessage, Xid, usize), DecodeError> {
             available: input.len(),
         });
     }
-    let body = &input[HEADER_LEN..length];
-    let msg = decode_body(type_code, body)?;
+    Ok((type_code, length, xid))
+}
+
+/// Decodes one message at offset `pos` of a shared capture buffer.
+///
+/// Identical to [`decode`] on `&input[pos..]`, except that the
+/// payload-carrying messages (`Error`, `EchoRequest`, `EchoReply`,
+/// `PacketIn`, `PacketOut`) borrow their payload as zero-copy
+/// [`Bytes`] slices of `input` instead of copying it out, so the
+/// clean streaming-decode path never materializes an owned payload.
+///
+/// # Errors
+///
+/// Returns the same [`DecodeError`]s as [`decode`].
+pub fn decode_shared(input: &Bytes, pos: usize) -> Result<(OfpMessage, Xid, usize), DecodeError> {
+    let avail = &input[pos..];
+    let (type_code, length, xid) = decode_header(avail)?;
+    let body = &avail[HEADER_LEN..length];
+    let body_start = pos + HEADER_LEN;
+    let end = pos + length;
+    let msg = match type_code {
+        1 => {
+            let mut b = body;
+            need(b, 4, "error")?;
+            let err_type = b.get_u16();
+            let code = b.get_u16();
+            OfpMessage::Error(ErrorMsg {
+                err_type,
+                code,
+                data: input.slice(body_start + 4..end),
+            })
+        }
+        2 => OfpMessage::EchoRequest(input.slice(body_start..end)),
+        3 => OfpMessage::EchoReply(input.slice(body_start..end)),
+        10 => OfpMessage::PacketIn(decode_packet_in_at(body, |off| {
+            input.slice(body_start + off..end)
+        })?),
+        13 => OfpMessage::PacketOut(decode_packet_out_at(body, |off| {
+            input.slice(body_start + off..end)
+        })?),
+        other => decode_body(other, body)?,
+    };
     Ok((msg, xid, length))
 }
 
@@ -132,11 +181,11 @@ fn decode_body(type_code: u8, body: &[u8]) -> Result<OfpMessage, DecodeError> {
             Ok(OfpMessage::Error(ErrorMsg {
                 err_type,
                 code,
-                data: b.to_vec(),
+                data: b.into(),
             }))
         }
-        2 => Ok(OfpMessage::EchoRequest(body.to_vec())),
-        3 => Ok(OfpMessage::EchoReply(body.to_vec())),
+        2 => Ok(OfpMessage::EchoRequest(body.into())),
+        3 => Ok(OfpMessage::EchoReply(body.into())),
         5 => Ok(OfpMessage::FeaturesRequest),
         6 => decode_features(body).map(OfpMessage::FeaturesReply),
         10 => decode_packet_in(body).map(OfpMessage::PacketIn),
@@ -338,7 +387,18 @@ fn encode_packet_in(pi: &PacketIn, buf: &mut BytesMut) {
     buf.put_slice(&pi.data);
 }
 
-fn decode_packet_in(mut body: &[u8]) -> Result<PacketIn, DecodeError> {
+fn decode_packet_in(body: &[u8]) -> Result<PacketIn, DecodeError> {
+    decode_packet_in_at(body, |off| body[off..].into())
+}
+
+/// Parses the fixed `packet_in` prefix; `payload(off)` supplies the
+/// frame bytes, given the payload's offset within `body` — the shared
+/// decode path slices the capture buffer there instead of copying.
+fn decode_packet_in_at(
+    mut body: &[u8],
+    payload: impl FnOnce(usize) -> Bytes,
+) -> Result<PacketIn, DecodeError> {
+    let full = body.len();
     need(body, 10, "packet_in")?;
     let buffer_id = BufferId(body.get_u32());
     let total_len = body.get_u16();
@@ -354,12 +414,13 @@ fn decode_packet_in(mut body: &[u8]) -> Result<PacketIn, DecodeError> {
         }
     };
     body.advance(1);
+    let off = full - body.len();
     Ok(PacketIn {
         buffer_id,
         total_len,
         in_port,
         reason,
-        data: body.to_vec(),
+        data: payload(off),
     })
 }
 
@@ -374,7 +435,17 @@ fn encode_packet_out(po: &PacketOut, buf: &mut BytesMut) {
     buf.put_slice(&po.data);
 }
 
-fn decode_packet_out(mut body: &[u8]) -> Result<PacketOut, DecodeError> {
+fn decode_packet_out(body: &[u8]) -> Result<PacketOut, DecodeError> {
+    decode_packet_out_at(body, |off| body[off..].into())
+}
+
+/// Parses the `packet_out` prefix and actions; `payload(off)` supplies
+/// the raw frame, given its offset within `body`.
+fn decode_packet_out_at(
+    mut body: &[u8],
+    payload: impl FnOnce(usize) -> Bytes,
+) -> Result<PacketOut, DecodeError> {
+    let full = body.len();
     need(body, 8, "packet_out")?;
     let buffer_id = BufferId(body.get_u32());
     let in_port = PortNo(body.get_u16());
@@ -382,11 +453,12 @@ fn decode_packet_out(mut body: &[u8]) -> Result<PacketOut, DecodeError> {
     need(body, actions_len, "packet_out.actions")?;
     let actions = decode_actions(&body[..actions_len])?;
     body.advance(actions_len);
+    let off = full - body.len();
     Ok(PacketOut {
         buffer_id,
         in_port,
         actions,
-        data: body.to_vec(),
+        data: payload(off),
     })
 }
 
@@ -834,8 +906,8 @@ mod tests {
 
     #[test]
     fn roundtrip_echo() {
-        roundtrip(OfpMessage::EchoRequest(vec![0xde, 0xad]));
-        roundtrip(OfpMessage::EchoReply(vec![]));
+        roundtrip(OfpMessage::EchoRequest(vec![0xde, 0xad].into()));
+        roundtrip(OfpMessage::EchoReply(Bytes::new()));
     }
 
     #[test]
@@ -844,7 +916,7 @@ mod tests {
         roundtrip(OfpMessage::Error(ErrorMsg {
             err_type: 2,
             code: 5,
-            data: vec![1, 2, 3, 4],
+            data: vec![1, 2, 3, 4].into(),
         }));
         assert!(ErrorMsg::table_full().is_table_full());
     }
@@ -857,7 +929,7 @@ mod tests {
             total_len: 96,
             in_port: PortNo(7),
             reason: PacketInReason::NoMatch,
-            data: frame.to_vec(),
+            data: frame,
         }));
     }
 
@@ -867,7 +939,7 @@ mod tests {
             buffer_id: BufferId::NO_BUFFER,
             in_port: PortNo(3),
             actions: vec![Action::output(PortNo(5)), Action::SetNwTos(8)],
-            data: vec![1, 2, 3, 4],
+            data: vec![1, 2, 3, 4].into(),
         }));
     }
 
@@ -1011,7 +1083,7 @@ mod tests {
     #[test]
     fn decode_stream_of_messages() {
         let a = encode(&OfpMessage::Hello, Xid(1));
-        let b = encode(&OfpMessage::EchoRequest(vec![7]), Xid(2));
+        let b = encode(&OfpMessage::EchoRequest(vec![7].into()), Xid(2));
         let mut stream = Vec::new();
         stream.extend_from_slice(&a);
         stream.extend_from_slice(&b);
@@ -1019,7 +1091,7 @@ mod tests {
         assert_eq!(m1, OfpMessage::Hello);
         assert_eq!(x1, Xid(1));
         let (m2, x2, used2) = decode(&stream[used1..]).unwrap();
-        assert_eq!(m2, OfpMessage::EchoRequest(vec![7]));
+        assert_eq!(m2, OfpMessage::EchoRequest(vec![7].into()));
         assert_eq!(x2, Xid(2));
         assert_eq!(used1 + used2, stream.len());
     }
@@ -1060,7 +1132,7 @@ mod tests {
 
     #[test]
     fn header_length_is_total_message_length() {
-        let msg = OfpMessage::EchoRequest(vec![0; 10]);
+        let msg = OfpMessage::EchoRequest(vec![0; 10].into());
         let bytes = encode(&msg, Xid(0));
         let claimed = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
         assert_eq!(claimed, bytes.len());

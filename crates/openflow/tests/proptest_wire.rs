@@ -91,7 +91,7 @@ proptest! {
     #[test]
     fn wire_roundtrip_packet_in(key in arb_flow_key(), port in any::<u16>(),
                                 total in 62u16..1500, buffered in any::<bool>()) {
-        let data = frame::build_frame(&key, total as usize).to_vec();
+        let data = frame::build_frame(&key, total as usize);
         let msg = OfpMessage::PacketIn(PacketIn {
             buffer_id: if buffered { BufferId(1) } else { BufferId::NO_BUFFER },
             total_len: total,
