@@ -73,7 +73,16 @@ if ! printf '%s\n' "$sharded_drill_out" | grep -q '^recovery: 100.0% fidelity'; 
     exit 1
 fi
 
-step "flowdiff-bench shardbench (byte-identity gate + BENCH_shard.json)"
+step "flowdiff-bench worker-kill drill (poisoned shard worker + restart)"
+worker_drill_out="$(cargo run --release -q -p flowdiff-bench --bin flowdiff-bench -- \
+    crashdrill --seed 1 --kills 2 --shards 4 --kill-worker)"
+printf '%s\n' "$worker_drill_out"
+if ! printf '%s\n' "$worker_drill_out" | grep -q '^recovery: 100.0% fidelity'; then
+    echo "FAIL: worker-kill drill did not report full recovery fidelity" >&2
+    exit 1
+fi
+
+step "flowdiff-bench shardbench (persistent pipeline, byte-identity gate + BENCH_shard.json)"
 shardbench_out="$(cargo run --release -q -p flowdiff-bench --bin flowdiff-bench -- \
     shardbench --shards 4)"
 printf '%s\n' "$shardbench_out"
@@ -83,6 +92,10 @@ if ! printf '%s\n' "$shardbench_out" | grep -q '^identity: ok'; then
 fi
 if [ ! -s BENCH_shard.json ]; then
     echo "FAIL: shardbench did not write BENCH_shard.json" >&2
+    exit 1
+fi
+if ! grep -q '"pipeline": "persistent"' BENCH_shard.json; then
+    echo "FAIL: BENCH_shard.json does not record the persistent pipeline" >&2
     exit 1
 fi
 cores="$(nproc 2>/dev/null || echo 1)"

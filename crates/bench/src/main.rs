@@ -47,7 +47,7 @@ fn usage() {
          [--resume <path>]]\n       \
          flowdiff-bench [chaos [--seed N] [--corruption RATE] \
          [--skew-us N] [--jitter-us N] [--shards N]]\n       \
-         flowdiff-bench [crashdrill [--seed N] [--kills N] [--shards N]]\n       \
+         flowdiff-bench [crashdrill [--seed N] [--kills N] [--shards N] [--kill-worker]]\n       \
          flowdiff-bench [shardbench [--shards N] [--out <path>]]\n       \
          flowdiff-bench [hotpathbench [--out <path>]]"
     );
@@ -99,6 +99,7 @@ fn print_index() {
     println!();
     println!("Crash-recovery drill (kill + checkpoint-restore on the 320-server capture):");
     println!("  cargo run --release -p flowdiff-bench -- crashdrill --seed 1 --kills 3");
+    println!("  cargo run --release -p flowdiff-bench -- crashdrill --shards 4 --kill-worker");
     println!();
     println!("Sharding benchmark (byte-identity + throughput, writes BENCH_shard.json):");
     println!("  cargo run --release -p flowdiff-bench -- shardbench --shards 4");
@@ -286,6 +287,7 @@ fn cmd_watch(args: &[String]) -> CliResult {
         &config,
         checkpoint_path.as_deref(),
         None,
+        false,
         |snapshot, timings| {
             report(snapshot, &config);
             report_latency(snapshot.epoch, timings);
@@ -403,6 +405,18 @@ impl Differ {
             Differ::Sharded(d) => ShardedCheckpoint::capture(d, events_consumed, config).save(path),
         }
     }
+
+    /// Injects a poison message into one long-lived shard worker (the
+    /// crash drill's worker-death mode). The worker panics when it
+    /// dequeues the message; the coordinator notices at its next
+    /// flush/quiesce. No-op for the single pipeline, which has no
+    /// worker threads to kill.
+    fn poison_worker(&mut self, shard: usize) {
+        match self {
+            Differ::Single(_) => {}
+            Differ::Sharded(d) => d.poison_worker(shard),
+        }
+    }
 }
 
 /// Restores a checkpoint of either layout into a running [`Differ`].
@@ -444,7 +458,11 @@ fn restore_checkpoint(
 /// observation emits an epoch the plan wants dead, the kill is consumed
 /// ([`CrashPlan::take`]) and the closure panics *before* the snapshot
 /// is delivered — exactly what a power cut between compute and output
-/// looks like.
+/// looks like. With `kill_workers` set, the plan poisons one long-lived
+/// shard worker instead of panicking on the coordinator: the worker
+/// dies when it dequeues the poison, and the loop only notices at the
+/// next flush/quiesce (usually the checkpoint capture), exercising the
+/// channel-propagation path end to end.
 ///
 /// Returns the final flushed snapshot, the ingestion health of the
 /// (last incarnation of the) differ, how many restarts were spent, and
@@ -456,6 +474,7 @@ fn supervised_run(
     config: &FlowDiffConfig,
     checkpoint_path: Option<&Path>,
     mut plan: Option<&mut CrashPlan>,
+    kill_workers: bool,
     mut on_snapshot: impl FnMut(&EpochSnapshot, EpochTimings),
 ) -> Result<
     (
@@ -473,82 +492,124 @@ fn supervised_run(
     let mut emitted: u64 = differ.epoch();
     let mut restarts: u32 = 0;
     let mut epochs_since_ckpt: u64 = 0;
-    while idx < events.len() {
-        let event = &events[idx];
-        let observed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let snaps = differ.observe(event);
-            if let Some(plan) = plan.as_deref_mut() {
-                for snap in &snaps {
-                    if snap.epoch >= emitted && plan.take(snap.epoch) {
-                        panic!("crashdrill: killed at epoch {}", snap.epoch);
-                    }
-                }
+    // One restart: spend budget, back off, restore the last durable
+    // checkpoint (or start fresh when none was written yet).
+    let restart = |restarts: &mut u32| -> Result<(Differ, u64), Box<dyn std::error::Error>> {
+        *restarts += 1;
+        if *restarts > config.restart_budget {
+            return Err(format!(
+                "restart budget exhausted: panicked {restarts} times, budget {}",
+                config.restart_budget
+            )
+            .into());
+        }
+        let backoff = config
+            .restart_backoff_us
+            .saturating_mul(1u64 << (*restarts - 1).min(20));
+        std::thread::sleep(std::time::Duration::from_micros(backoff));
+        match checkpoint_path {
+            Some(path) if path.exists() => {
+                let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+                Ok(restore_checkpoint(&bytes, config)
+                    .map_err(|e| format!("{}: {e}", path.display()))?)
             }
-            snaps
-        }));
-        match observed {
-            Ok(snaps) => {
-                let mut fresh_epochs = 0u64;
-                // The stage timings accumulated since the last boundary
-                // belong to this observe round's epochs; a multi-epoch
-                // advance attributes the sum to the first fresh one.
-                let mut timings = if snaps.is_empty() {
-                    EpochTimings::default()
-                } else {
-                    differ.take_timings()
-                };
-                for snap in &snaps {
-                    if snap.epoch >= emitted {
-                        on_snapshot(snap, std::mem::take(&mut timings));
-                        emitted = snap.epoch + 1;
-                        fresh_epochs += 1;
-                    }
-                }
-                idx += 1;
-                if fresh_epochs > 0 {
-                    epochs_since_ckpt += fresh_epochs;
-                    if let Some(path) = checkpoint_path {
-                        if epochs_since_ckpt >= config.checkpoint_every_epochs {
-                            // `idx` was just advanced: the checkpoint
-                            // records that events[..idx] are consumed.
-                            differ.save_checkpoint(idx as u64, config, path)?;
-                            epochs_since_ckpt = 0;
+            _ => fresh(),
+        }
+    };
+    'run: loop {
+        while idx < events.len() {
+            let event = &events[idx];
+            let observed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let snaps = differ.observe(event);
+                if let Some(plan) = plan.as_deref_mut() {
+                    for snap in &snaps {
+                        if snap.epoch >= emitted && plan.take(snap.epoch) {
+                            if kill_workers {
+                                differ.poison_worker(snap.epoch as usize);
+                            } else {
+                                panic!("crashdrill: killed at epoch {}", snap.epoch);
+                            }
                         }
                     }
                 }
+                snaps
+            }));
+            match observed {
+                Ok(snaps) => {
+                    let mut fresh_epochs = 0u64;
+                    // The stage timings accumulated since the last boundary
+                    // belong to this observe round's epochs; a multi-epoch
+                    // advance attributes the sum to the first fresh one.
+                    let mut timings = if snaps.is_empty() {
+                        EpochTimings::default()
+                    } else {
+                        differ.take_timings()
+                    };
+                    for snap in &snaps {
+                        if snap.epoch >= emitted {
+                            on_snapshot(snap, std::mem::take(&mut timings));
+                            emitted = snap.epoch + 1;
+                            fresh_epochs += 1;
+                        }
+                    }
+                    idx += 1;
+                    if fresh_epochs > 0 {
+                        epochs_since_ckpt += fresh_epochs;
+                        if let Some(path) = checkpoint_path {
+                            if epochs_since_ckpt >= config.checkpoint_every_epochs {
+                                // `idx` was just advanced: the checkpoint
+                                // records that events[..idx] are consumed.
+                                // Capture quiesces the pipeline, so a
+                                // worker poisoned this round panics here
+                                // instead of snapshotting a dead pipeline.
+                                let saved =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        differ.save_checkpoint(idx as u64, config, path)
+                                    }));
+                                match saved {
+                                    Ok(result) => {
+                                        result?;
+                                        epochs_since_ckpt = 0;
+                                    }
+                                    Err(_) => {
+                                        let (restored, at) = restart(&mut restarts)?;
+                                        differ = restored;
+                                        idx = at as usize;
+                                        epochs_since_ckpt = 0;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    let (restored, at) = restart(&mut restarts)?;
+                    differ = restored;
+                    idx = at as usize;
+                    epochs_since_ckpt = 0;
+                }
+            }
+        }
+        // health()/shard_stats() quiesce the pipeline, so a worker
+        // poisoned during the final observe rounds surfaces here; treat
+        // it like any other crash and replay from the checkpoint.
+        let finale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (differ.health(), differ.shard_report())
+        }));
+        match finale {
+            Ok((health, shard_report)) => {
+                let last = differ.finish();
+                return Ok((last, health, restarts, shard_report));
             }
             Err(_) => {
-                restarts += 1;
-                if restarts > config.restart_budget {
-                    return Err(format!(
-                        "restart budget exhausted: panicked {restarts} times, budget {}",
-                        config.restart_budget
-                    )
-                    .into());
-                }
-                let backoff = config
-                    .restart_backoff_us
-                    .saturating_mul(1u64 << (restarts - 1).min(20));
-                std::thread::sleep(std::time::Duration::from_micros(backoff));
-                let (restored, at) = match checkpoint_path {
-                    Some(path) if path.exists() => {
-                        let bytes =
-                            std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
-                        restore_checkpoint(&bytes, config)
-                            .map_err(|e| format!("{}: {e}", path.display()))?
-                    }
-                    _ => fresh()?,
-                };
+                let (restored, at) = restart(&mut restarts)?;
                 differ = restored;
                 idx = at as usize;
                 epochs_since_ckpt = 0;
+                continue 'run;
             }
         }
     }
-    let health = differ.health();
-    let shard_report = differ.shard_report();
-    let last = differ.finish();
-    Ok((last, health, restarts, shard_report))
 }
 
 /// `chaos`: regenerate the paper's 320-server tree capture, mangle it
@@ -689,6 +750,7 @@ fn cmd_crashdrill(args: &[String]) -> CliResult {
     let mut seed: u64 = 1;
     let mut kills: usize = 3;
     let mut n_shards: usize = 1;
+    let mut kill_workers = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -700,8 +762,14 @@ fn cmd_crashdrill(args: &[String]) -> CliResult {
                     return Err("--shards must be at least 1".into());
                 }
             }
+            "--kill-worker" => kill_workers = true,
             other => return Err(format!("unknown flag: {other}").into()),
         }
+    }
+    if kill_workers && n_shards < 2 {
+        return Err("--kill-worker needs --shards 2 or more (the single \
+                    pipeline has no worker threads to kill)"
+            .into());
     }
 
     let (baseline_log, mut config) = flowdiff_bench::tree_capture(9, 42, 6);
@@ -720,8 +788,13 @@ fn cmd_crashdrill(args: &[String]) -> CliResult {
     let stability = analyze(&baseline_log, &baseline, &config);
     let events: Vec<ControlEvent> = current_log.events().to_vec();
     println!(
-        "drill: seed {seed}, {kills} kill(s) over {} events, {n_shards} shard(s), \
+        "drill: seed {seed}, {kills} {} over {} events, {n_shards} shard(s), \
          checkpoint every {} epoch(s)",
+        if kill_workers {
+            "worker poisoning(s)"
+        } else {
+            "kill(s)"
+        },
         events.len(),
         config.checkpoint_every_epochs
     );
@@ -748,7 +821,7 @@ fn cmd_crashdrill(args: &[String]) -> CliResult {
     };
     let mut clean: Vec<EpochTrace> = Vec::new();
     let (clean_last, _, clean_restarts, _) =
-        supervised_run(&events, &fresh, &config, None, None, |snap, _| {
+        supervised_run(&events, &fresh, &config, None, None, false, |snap, _| {
             clean.push(EpochTrace::of(snap))
         })?;
     assert_eq!(clean_restarts, 0, "the clean run must not panic");
@@ -777,6 +850,7 @@ fn cmd_crashdrill(args: &[String]) -> CliResult {
         &config,
         Some(&ckpt_path),
         Some(&mut plan),
+        kill_workers,
         |snap, _| drilled.push(EpochTrace::of(snap)),
     );
     std::panic::set_hook(orig_hook);
@@ -784,7 +858,14 @@ fn cmd_crashdrill(args: &[String]) -> CliResult {
     if let Some(snap) = &drill_last {
         drilled.push(EpochTrace::of(snap));
     }
-    println!("drill: {restarts} of {planned} planned kill(s) fired; each restored from the last checkpoint");
+    println!(
+        "drill: {restarts} of {planned} planned {} fired; each restored from the last checkpoint",
+        if kill_workers {
+            "worker poisoning(s)"
+        } else {
+            "kill(s)"
+        }
+    );
 
     let matched = clean.iter().zip(&drilled).filter(|(a, b)| a == b).count();
     let keys_clean: BTreeSet<&String> = clean.iter().flat_map(|t| &t.keys).collect();
@@ -886,14 +967,22 @@ fn cmd_shardbench(args: &[String]) -> CliResult {
     }
     let single_secs = t0.elapsed().as_secs_f64();
 
-    // Sharded pass, timed, sampling worker load at each boundary.
+    // Sharded pass, timed, sampling worker load and the persistent
+    // pipeline's channel gauges at each boundary.
     let mut sharded = ShardedDiffer::try_new(baseline, stability, &config, n_shards)?;
     let t0 = std::time::Instant::now();
     let mut sharded_snaps: Vec<Vec<u8>> = Vec::new();
     let mut peak_open_episodes: usize = 0;
+    let mut queue_depth_peak: u64 = 0;
+    let mut busy_sum: u64 = 0;
+    let mut busy_samples: u64 = 0;
     for event in &events {
         let snaps = sharded.observe(event);
         if !snaps.is_empty() {
+            let timings = sharded.take_timings();
+            queue_depth_peak = queue_depth_peak.max(timings.queue_depth_peak);
+            busy_sum += timings.worker_busy_pct;
+            busy_samples += 1;
             let open: usize = sharded.shard_stats().iter().map(|s| s.open_episodes).sum();
             peak_open_episodes = peak_open_episodes.max(open);
         }
@@ -928,23 +1017,39 @@ fn cmd_shardbench(args: &[String]) -> CliResult {
 
     let single_eps = events.len() as f64 / single_secs;
     let sharded_eps = events.len() as f64 / sharded_secs;
+    let worker_busy_pct_avg = busy_sum.checked_div(busy_samples).unwrap_or(0);
     println!(
         "throughput: single {single_eps:.0} events/s, sharded({n_shards}) {sharded_eps:.0} \
          events/s (x{:.2}); merge {merge_us} us total",
         sharded_eps / single_eps
     );
+    println!(
+        "pipeline: persistent ({n_shards} long-lived workers); queue depth peak \
+         {queue_depth_peak} batch(es), busiest worker avg {worker_busy_pct_avg}% of epoch wall"
+    );
+    if nproc() < 4 {
+        println!(
+            "INFO: only {} core(s) visible — a parallel speedup is not expected below \
+             4 cores, so read the x-figure as overhead, not scaling; CI gates byte \
+             identity unconditionally and speedup only when nproc >= 4",
+            nproc()
+        );
+    }
     let vm_hwm_kb = vm_hwm_kb();
     if let Some(kb) = vm_hwm_kb {
         println!("memory: peak RSS {kb} KiB; peak open episodes {peak_open_episodes}");
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"flowdiff.shardbench/2\",\n  \
-         \"capture\": \"{BENCH_CAPTURE}\",\n  \"nproc\": {},\n  \
+        "{{\n  \"schema\": \"flowdiff.shardbench/3\",\n  \
+         \"capture\": \"{BENCH_CAPTURE}\",\n  \"pipeline\": \"persistent\",\n  \
+         \"nproc\": {},\n  \
          \"events\": {},\n  \"epoch_snapshots\": {},\n  \"shards\": {n_shards},\n  \
          \"single_events_per_sec\": {single_eps:.1},\n  \
          \"sharded_events_per_sec\": {sharded_eps:.1},\n  \
          \"speedup\": {:.3},\n  \"merge_us_total\": {merge_us},\n  \
+         \"queue_depth_peak\": {queue_depth_peak},\n  \
+         \"worker_busy_pct_avg\": {worker_busy_pct_avg},\n  \
          \"peak_open_episodes\": {peak_open_episodes},\n  \"vm_hwm_kb\": {}\n}}\n",
         nproc(),
         events.len(),
@@ -1186,8 +1291,15 @@ fn collect_keys(diff: &ModelDiff, keys: &mut BTreeSet<String>) {
 /// diffs the `epoch ` lines of single vs sharded runs byte-for-byte.
 fn report_latency(epoch: u64, timings: EpochTimings) {
     println!(
-        "latency epoch {epoch:>3}  retire_us {} observe_us {} snapshot_us {} diff_us {}",
-        timings.retire_us, timings.observe_us, timings.snapshot_us, timings.diff_us
+        "latency epoch {epoch:>3}  retire_us {} observe_us {} snapshot_us {} merge_us {} \
+         diff_us {}  queue_peak {} busy {}%",
+        timings.retire_us,
+        timings.observe_us,
+        timings.snapshot_us,
+        timings.merge_us,
+        timings.diff_us,
+        timings.queue_depth_peak,
+        timings.worker_busy_pct
     );
 }
 
@@ -1333,10 +1445,11 @@ mod tests {
             ))
         };
         let mut clean = Vec::new();
-        let (clean_last, _, r, _) = supervised_run(&events, &fresh, &config, None, None, |s, _| {
-            clean.push(EpochTrace::of(s))
-        })
-        .unwrap();
+        let (clean_last, _, r, _) =
+            supervised_run(&events, &fresh, &config, None, None, false, |s, _| {
+                clean.push(EpochTrace::of(s))
+            })
+            .unwrap();
         assert_eq!(r, 0);
         clean.extend(clean_last.as_ref().map(EpochTrace::of));
         assert!(clean.len() >= 3, "drill needs epochs to kill at");
@@ -1354,6 +1467,7 @@ mod tests {
             &config,
             Some(&path),
             Some(&mut plan),
+            false,
             |s, _| drilled.push(EpochTrace::of(s)),
         );
         std::panic::set_hook(hook);
@@ -1394,7 +1508,7 @@ mod tests {
         };
         let mut clean = Vec::new();
         let (clean_last, _, r, report) =
-            supervised_run(&events, &single, &config, None, None, |s, _| {
+            supervised_run(&events, &single, &config, None, None, false, |s, _| {
                 clean.push(EpochTrace::of(s))
             })
             .unwrap();
@@ -1427,6 +1541,7 @@ mod tests {
             &config,
             Some(&path),
             Some(&mut plan),
+            false,
             |s, _| drilled.push(EpochTrace::of(s)),
         );
         std::panic::set_hook(hook);
@@ -1438,6 +1553,94 @@ mod tests {
         assert_eq!(
             clean, drilled,
             "killed 3-shard run == uninterrupted 1-shard run"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_and_recovers_exactly_once() {
+        // The persistent-pipeline drill: poisoning a long-lived shard
+        // worker mid-epoch must propagate through the channels into the
+        // supervised restart path (the coordinator only notices at its
+        // next flush/quiesce), restore from the last checkpoint, and
+        // still deliver every epoch exactly once — byte-identical to
+        // the uninterrupted single-shard run.
+        let (log, mut config) = flowdiff_bench::tree_capture(2, 7, 4);
+        config.online_epoch_us = 1_000_000;
+        config.online_window_us = 5_000_000;
+        config.checkpoint_every_epochs = 1;
+        config.restart_budget = 2;
+        config.restart_backoff_us = 1_000;
+        let baseline = BehaviorModel::build(&log, &config);
+        let stability = analyze(&log, &baseline, &config);
+        let (current, _) = flowdiff_bench::tree_capture(2, 8, 4);
+        let events: Vec<ControlEvent> = current.events().to_vec();
+
+        let single = || -> Result<(Differ, u64), Box<dyn std::error::Error>> {
+            Ok((
+                Differ::Single(OnlineDiffer::try_new(
+                    baseline.clone(),
+                    stability.clone(),
+                    &config,
+                )?),
+                0,
+            ))
+        };
+        let mut clean = Vec::new();
+        let (clean_last, _, r, _) =
+            supervised_run(&events, &single, &config, None, None, false, |s, _| {
+                clean.push(EpochTrace::of(s))
+            })
+            .unwrap();
+        assert_eq!(r, 0);
+        clean.extend(clean_last.as_ref().map(EpochTrace::of));
+        assert!(clean.len() >= 3, "drill needs epochs to kill at");
+
+        let sharded = || -> Result<(Differ, u64), Box<dyn std::error::Error>> {
+            Ok((
+                Differ::Sharded(ShardedDiffer::try_new(
+                    baseline.clone(),
+                    stability.clone(),
+                    &config,
+                    3,
+                )?),
+                0,
+            ))
+        };
+        let mut plan = CrashPlan::seeded(17, 2, clean.len() as u64 - 1);
+        let kills = plan.kill_epochs().len();
+        assert!(kills >= 1, "the plan must poison at least one worker");
+        let path = tmp("worker-panic.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut drilled = Vec::new();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = supervised_run(
+            &events,
+            &sharded,
+            &config,
+            Some(&path),
+            Some(&mut plan),
+            true,
+            |s, _| drilled.push(EpochTrace::of(s)),
+        );
+        std::panic::set_hook(hook);
+        let (drill_last, _, restarts, report) = outcome.unwrap();
+        drilled.extend(drill_last.as_ref().map(EpochTrace::of));
+        // A poisoned worker never kills the coordinator synchronously,
+        // so two poisonings in one observe round can surface as a
+        // single crash — at least one restart, at most one per kill.
+        assert!(restarts >= 1, "a worker death must surface as a restart");
+        assert!(
+            restarts as usize <= kills,
+            "each poisoning costs at most one restart"
+        );
+        assert_eq!(plan.remaining(), 0, "every planned poisoning was injected");
+        let (stats, _) = report.expect("sharded run reports worker loads");
+        assert_eq!(stats.len(), 3);
+        assert_eq!(
+            clean, drilled,
+            "worker-killed 3-shard run == uninterrupted 1-shard run"
         );
         let _ = std::fs::remove_file(&path);
     }
@@ -1467,7 +1670,15 @@ mod tests {
         assert!(!plan.kill_epochs().is_empty());
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let outcome = supervised_run(&events, &fresh, &config, None, Some(&mut plan), |_, _| {});
+        let outcome = supervised_run(
+            &events,
+            &fresh,
+            &config,
+            None,
+            Some(&mut plan),
+            false,
+            |_, _| {},
+        );
         std::panic::set_hook(hook);
         let err = outcome.unwrap_err();
         assert!(

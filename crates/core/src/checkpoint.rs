@@ -429,7 +429,12 @@ pub struct ShardedCheckpoint {
 
 impl ShardedCheckpoint {
     /// Captures the differ's current state (cloned; the live differ
-    /// keeps running) with the given replay offset.
+    /// keeps running) with the given replay offset. The clone quiesces
+    /// the persistent worker pool first — every buffered step is
+    /// drained through the channels before any shard is copied — so
+    /// the captured segments are exactly the stop-the-world states and
+    /// the clone itself carries no threads (a restored differ respawns
+    /// its own pool lazily).
     pub fn capture(differ: &ShardedDiffer, events_consumed: u64, config: &FlowDiffConfig) -> Self {
         ShardedCheckpoint {
             config_fingerprint: config_fingerprint(config),

@@ -59,6 +59,15 @@ impl EpochClock {
         self.epoch
     }
 
+    /// The start of the sliding window whose snapshot is due at
+    /// `boundary` — the window models `[window_start(b), b)`. The
+    /// persistent sharded pipeline ships exactly this timestamp in its
+    /// in-band barrier messages, so every worker extracts the same
+    /// window the single-shard differ would.
+    pub fn window_start(&self, boundary: Timestamp) -> Timestamp {
+        Timestamp::from_micros(boundary.as_micros().saturating_sub(self.window_us))
+    }
+
     /// Boundaries after which the sliding window has fully drained:
     /// past this many empty epochs every further snapshot would model
     /// the same empty window.

@@ -726,6 +726,13 @@ impl IncrementalModelBuilder {
     /// shard — exactly where the single-shard snapshot's sort would, so
     /// ties keep held-before-open order and byte-identity holds without
     /// the historical per-epoch probe clone.
+    ///
+    /// This is also what bounds the persistent pipeline's quiesce
+    /// window: each worker runs this extraction inside its barrier
+    /// handler and ships the partial back, so the world is only
+    /// stopped per shard for one clone — the expensive merge runs on
+    /// the coordinator while the workers are already back to draining
+    /// their queues.
     pub fn shard_model_with_opens(&self, opens: Vec<FlowRecord>) -> ShardModel {
         let mut records = self.records.to_flat_vec();
         records.extend(opens);

@@ -753,8 +753,11 @@ pub enum EventClass {
 }
 
 /// One admitted control event, annotated with its owning shard and
-/// pre-computed [`EventClass`]. This is what the splitter releases and
-/// what a pending epoch chunk (and therefore a checkpoint) holds.
+/// pre-computed [`EventClass`]. This is what the splitter releases —
+/// the persistent pipeline wraps each release into a broadcast step
+/// batch for its worker channels — and what a checkpoint's pending
+/// chunk holds (a restored chunk is replayed into the fresh worker
+/// pool as its first batch).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoutedEvent {
     /// Index of the shard that owns this event's state machine work.
@@ -776,7 +779,10 @@ struct LedgerMod {
 
 /// The splitter in front of N shard [`RecordAssembler`]s: admits decoded
 /// events, routes each to its owning shard, and keeps the *global*
-/// ingest accounting that no single shard can see.
+/// ingest accounting that no single shard can see. It is the single
+/// serial stage of the persistent pipeline — everything downstream of
+/// its release order is replicated per worker, so admission here can
+/// overlap the workers draining their queues.
 ///
 /// The router owns everything arrival-ordered — the time-jump
 /// quarantine, the out-of-order count, and the reorder buffer — so the
