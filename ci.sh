@@ -55,6 +55,46 @@ if ! printf '%s\n' "$chaos_out" | grep -q '^fidelity: '; then
     exit 1
 fi
 
+step "flowdiff-bench serve/publish smoke test (live TCP ingest, epoch lines identical to watch)"
+# The prebuilt binary is used directly: serve runs in the background
+# while publish runs in the foreground, and two concurrent `cargo run`s
+# would fight over the build lock.
+bench_bin="target/release/flowdiff-bench"
+serve_out="$demo_dir/serve.out"
+"$bench_bin" serve "$demo_dir/baseline.fcap" --listen 127.0.0.1:0 --publishers 2 \
+    > "$serve_out" 2>"$demo_dir/serve.err" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on \([^ ]*\) .*/\1/p' "$serve_out" 2>/dev/null)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: serve never printed its listening line" >&2
+    cat "$demo_dir/serve.err" >&2 || true
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+"$bench_bin" publish "$demo_dir/current.fcap" --connect "$addr" --connections 2
+wait "$serve_pid"
+grep '^stats: conn ' "$serve_out"
+grep '^stats: ingest ' "$serve_out"
+if ! diff <(printf '%s\n' "$watch_out" | grep '^epoch ') \
+          <(grep '^epoch ' "$serve_out"); then
+    echo "FAIL: served epoch lines differ from file-based watch" >&2
+    exit 1
+fi
+echo "served epoch lines byte-identical to file-based watch"
+
+step "flowdiff-bench chaos --wire (loopback publisher fidelity drill)"
+wire_out="$("$bench_bin" chaos --seed 1 --corruption 0.01 --wire --connections 2)"
+printf '%s\n' "$wire_out"
+if ! printf '%s\n' "$wire_out" | grep -q '^fidelity: '; then
+    echo "FAIL: wire chaos drill emitted no fidelity line" >&2
+    exit 1
+fi
+
 step "flowdiff-bench crashdrill smoke test (kill + checkpoint recovery)"
 drill_out="$(cargo run --release -q -p flowdiff-bench --bin flowdiff-bench -- \
     crashdrill --seed 1 --kills 3)"

@@ -23,6 +23,8 @@ fn main() -> ExitCode {
     };
     match args.first().map(String::as_str) {
         Some("watch") => run(cmd_watch(&args[1..])),
+        Some("serve") => run(cmd_serve(&args[1..])),
+        Some("publish") => run(cmd_publish(&args[1..])),
         Some("chaos") => run(cmd_chaos(&args[1..])),
         Some("crashdrill") => run(cmd_crashdrill(&args[1..])),
         Some("shardbench") => run(cmd_shardbench(&args[1..])),
@@ -45,8 +47,14 @@ fn usage() {
          [--special ip,ip] [--epoch-secs N] [--window-secs N] [--shards N] \
          [--save-baseline <path>] [--checkpoint <path>] [--checkpoint-every N] \
          [--resume <path>]]\n       \
+         flowdiff-bench [serve <baseline.fcap|baseline.fbas> --listen HOST:PORT \
+         [--publishers N] [--queue N] [--slack-ms N] [--special ip,ip] [--epoch-secs N] \
+         [--window-secs N] [--shards N] [--checkpoint <path>] [--checkpoint-every N] \
+         [--resume <path>]]\n       \
+         flowdiff-bench [publish <current.fcap> --connect HOST:PORT [--connections N] \
+         [--chaos RATE] [--seed N] [--skew-us N] [--jitter-us N]]\n       \
          flowdiff-bench [chaos [--seed N] [--corruption RATE] \
-         [--skew-us N] [--jitter-us N] [--shards N]]\n       \
+         [--skew-us N] [--jitter-us N] [--shards N] [--wire] [--connections N]]\n       \
          flowdiff-bench [crashdrill [--seed N] [--kills N] [--shards N] [--kill-worker]]\n       \
          flowdiff-bench [shardbench [--shards N] [--out <path>]]\n       \
          flowdiff-bench [hotpathbench [--out <path>]]"
@@ -93,6 +101,15 @@ fn print_index() {
     println!();
     println!("Online mode over captures (see flowdiff_cli demo to make them):");
     println!("  cargo run --release -p flowdiff-bench -- watch baseline.fcap current.fcap");
+    println!();
+    println!("Served mode (diagnose live control-log publishers over TCP):");
+    println!(
+        "  cargo run --release -p flowdiff-bench -- serve baseline.fcap --listen 127.0.0.1:7654"
+    );
+    println!(
+        "  cargo run --release -p flowdiff-bench -- publish current.fcap \
+         --connect 127.0.0.1:7654 --connections 4"
+    );
     println!();
     println!("Ingestion fault drill (chaos-mangled 320-server capture):");
     println!("  cargo run --release -p flowdiff-bench -- chaos --seed 1 --corruption 0.01");
@@ -315,6 +332,312 @@ fn cmd_watch(args: &[String]) -> CliResult {
         );
     }
     println!("stats: ingest {health}");
+    Ok(())
+}
+
+/// `serve`: `watch` with the current capture arriving over TCP. Binds a
+/// listen socket, waits for `--publishers` connections speaking the
+/// `.fcap` wire format (8-byte magic handshake, then frames), decodes
+/// each connection incrementally with resynchronization, re-sequences
+/// the streams through a `(timestamp, connection)` merge, and drives
+/// the same supervised differ as `watch` — for publishers produced by
+/// `flowdiff-bench publish` the `epoch ` lines are byte-identical to a
+/// file-based run over the interleaved capture.
+fn cmd_serve(args: &[String]) -> CliResult {
+    if args.is_empty() {
+        usage();
+        return Err("serve needs <baseline.fcap|.fbas> --listen HOST:PORT".into());
+    }
+    let mut config = FlowDiffConfig::default();
+    let mut listen: Option<String> = None;
+    let mut publishers: usize = 1;
+    let mut checkpoint_path: Option<PathBuf> = None;
+    let mut resume_path: Option<PathBuf> = None;
+    let mut n_shards: usize = 1;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => listen = Some(it.next().ok_or("--listen needs HOST:PORT")?.clone()),
+            "--publishers" => {
+                publishers = it.next().ok_or("--publishers needs a count")?.parse()?;
+                if publishers == 0 {
+                    return Err("--publishers must be at least 1".into());
+                }
+            }
+            "--queue" => {
+                config.ingest_queue_events =
+                    it.next().ok_or("--queue needs an event count")?.parse()?;
+            }
+            "--slack-ms" => {
+                let n: u64 = it.next().ok_or("--slack-ms needs a number")?.parse()?;
+                config.reorder_slack_us = n * 1_000;
+            }
+            "--shards" => {
+                n_shards = it.next().ok_or("--shards needs a count")?.parse()?;
+                if n_shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--special" => {
+                let list = it.next().ok_or("--special needs a comma-separated list")?;
+                let mut specials = Vec::new();
+                for ip in list.split(',') {
+                    specials.push(ip.trim().parse::<std::net::Ipv4Addr>()?);
+                }
+                config = config.with_special_ips(specials);
+            }
+            "--epoch-secs" => {
+                let n: u64 = it.next().ok_or("--epoch-secs needs a number")?.parse()?;
+                config.online_epoch_us = n.max(1) * 1_000_000;
+            }
+            "--window-secs" => {
+                let n: u64 = it.next().ok_or("--window-secs needs a number")?.parse()?;
+                config.online_window_us = n.max(1) * 1_000_000;
+            }
+            "--checkpoint" => {
+                checkpoint_path = Some(it.next().ok_or("--checkpoint needs a path")?.into());
+            }
+            "--checkpoint-every" => {
+                config.checkpoint_every_epochs = it
+                    .next()
+                    .ok_or("--checkpoint-every needs an epoch count")?
+                    .parse()?;
+            }
+            "--resume" => {
+                resume_path = Some(it.next().ok_or("--resume needs a path")?.into());
+            }
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+    }
+    let listen = listen.ok_or("serve needs --listen HOST:PORT")?;
+    // Same trust posture as `watch` over a possibly-corrupt file, only
+    // more so: these bytes come straight off sockets.
+    config.max_time_jump_us = config.partial_flow_timeout_us.max(config.episode_gap_us);
+    config.validate()?;
+
+    let (baseline, stability) = load_baseline(&args[0], &config)?;
+    println!(
+        "stats: {} hosts, {} switches, {} ports interned; model ~{} KiB (catalog ~{} KiB)",
+        baseline.catalog.n_hosts(),
+        baseline.catalog.n_switches(),
+        baseline.catalog.n_ports(),
+        baseline.approx_bytes().div_ceil(1024),
+        baseline.catalog.approx_bytes().div_ceil(1024)
+    );
+
+    let server = IngestServer::bind(listen.as_str()).map_err(|e| format!("{listen}: {e}"))?;
+    let addr = server.local_addr()?;
+    // The line CI (and any supervisor) polls for before launching
+    // publishers; with `--listen host:0` it carries the chosen port.
+    println!("listening on {addr} for {publishers} publisher(s)");
+    let conns = server
+        .accept_publishers(publishers, config.ingest_queue_events)
+        .map_err(|e| format!("accept: {e}"))?;
+    // Drain the merge up front: the supervised loop needs random access
+    // to replay from a checkpoint's event offset, exactly like `watch`
+    // over a capture file. Backpressure still holds while the streams
+    // are live — each connection feeds a bounded queue, so a publisher
+    // far ahead of the merge blocks on TCP, not on server memory.
+    let (events, reports) = conns.collect();
+    for r in &reports {
+        for e in &r.first_errors {
+            eprintln!("warning: conn {}: {e} (resynchronized)", r.index);
+        }
+        println!(
+            "stats: conn {} {} handshake {}, {} bytes, {} events, \
+             {} skipped frame(s) ({} bytes)",
+            r.index,
+            r.peer,
+            if r.handshake_ok { "ok" } else { "FAILED" },
+            r.bytes_read,
+            r.events,
+            r.stats.frames_skipped,
+            r.stats.bytes_skipped
+        );
+    }
+    if events.is_empty() {
+        return Err("publishers delivered no events".into());
+    }
+
+    let fresh = || -> Result<(Differ, u64), Box<dyn std::error::Error>> {
+        match &resume_path {
+            Some(path) => {
+                let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+                let (differ, at) = restore_checkpoint(&bytes, &config)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                println!(
+                    "stats: resumed from {} at event {at}, epoch {}",
+                    path.display(),
+                    differ.epoch()
+                );
+                Ok((differ, at))
+            }
+            None if n_shards > 1 => Ok((
+                Differ::Sharded(ShardedDiffer::try_new(
+                    baseline.clone(),
+                    stability.clone(),
+                    &config,
+                    n_shards,
+                )?),
+                0,
+            )),
+            None => Ok((
+                Differ::Single(OnlineDiffer::try_new(
+                    baseline.clone(),
+                    stability.clone(),
+                    &config,
+                )?),
+                0,
+            )),
+        }
+    };
+    let (last, mut health, restarts, shard_report) = supervised_run(
+        &events,
+        &fresh,
+        &config,
+        checkpoint_path.as_deref(),
+        None,
+        false,
+        |snapshot, timings| {
+            report(snapshot, &config);
+            report_latency(snapshot.epoch, timings);
+        },
+    )?;
+    for r in &reports {
+        health.absorb_stream(r.stats);
+    }
+    if let Some(snapshot) = &last {
+        report(snapshot, &config);
+    }
+    if restarts > 0 {
+        println!(
+            "stats: survived {restarts} restart(s) within a budget of {}",
+            config.restart_budget
+        );
+    }
+    if let Some((stats, merge_us)) = shard_report {
+        let per_shard = stats
+            .iter()
+            .map(|s| format!("{}:{}r/{}e", s.shard, s.records, s.open_episodes))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "stats: {} shard(s), merge {merge_us} us total; final load (records/episodes) {per_shard}",
+            stats.len()
+        );
+    }
+    println!("stats: ingest {health}");
+    Ok(())
+}
+
+/// `publish`: the replay client for `serve`. Reads a capture, deals it
+/// across `--connections` publisher streams (equal-timestamp runs never
+/// straddle streams, so the server's merge reconstructs the capture
+/// order exactly), and replays every stream concurrently over TCP —
+/// optionally through the seeded [`ChannelChaos`] network-fault proxy
+/// (each connection gets its own derived seed).
+fn cmd_publish(args: &[String]) -> CliResult {
+    if args.is_empty() {
+        usage();
+        return Err("publish needs <current.fcap> --connect HOST:PORT".into());
+    }
+    let mut connect: Option<String> = None;
+    let mut connections: usize = 1;
+    let mut chaos_rate: f64 = 0.0;
+    let mut seed: u64 = 1;
+    let mut skew_us: u64 = 0;
+    let mut jitter_us: u64 = 0;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = Some(it.next().ok_or("--connect needs HOST:PORT")?.clone()),
+            "--connections" => {
+                connections = it.next().ok_or("--connections needs a count")?.parse()?;
+                if connections == 0 {
+                    return Err("--connections must be at least 1".into());
+                }
+            }
+            "--chaos" => {
+                chaos_rate = it.next().ok_or("--chaos needs a rate")?.parse()?;
+                if !(0.0..=1.0).contains(&chaos_rate) {
+                    return Err("--chaos must be in [0, 1]".into());
+                }
+            }
+            "--seed" => seed = it.next().ok_or("--seed needs a number")?.parse()?,
+            "--skew-us" => skew_us = it.next().ok_or("--skew-us needs a number")?.parse()?,
+            "--jitter-us" => jitter_us = it.next().ok_or("--jitter-us needs a number")?.parse()?,
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+    }
+    let connect = connect.ok_or("publish needs --connect HOST:PORT")?;
+
+    // Tolerant decode, like `watch`: a capture with a bad write is
+    // replayed minus the corrupt frames, not rejected.
+    let bytes = std::fs::read(&args[0]).map_err(|e| format!("{}: {e}", args[0]))?;
+    let mut stream = LogStream::from_wire_bytes(&bytes).map_err(|e| format!("{}: {e}", args[0]))?;
+    let mut events: Vec<ControlEvent> = Vec::new();
+    for event in stream.by_ref() {
+        match event {
+            Ok(event) => events.push(event.into_owned()),
+            Err(e) => eprintln!("warning: {}: {e} (resynchronized)", args[0]),
+        }
+    }
+    if events.is_empty() {
+        return Err(format!("{}: capture holds no events", args[0]).into());
+    }
+    let log: ControllerLog = events.into_iter().collect();
+
+    let base_chaos = if chaos_rate > 0.0 || skew_us > 0 || jitter_us > 0 {
+        Some(ChannelChaos {
+            reorder_jitter_us: jitter_us,
+            clock_skew_us: skew_us,
+            seed,
+            ..ChannelChaos::corruption(chaos_rate, seed)
+        })
+    } else {
+        None
+    };
+    let mut handles = Vec::new();
+    for (i, part) in split_capture(&log, connections).into_iter().enumerate() {
+        let addr = connect.clone();
+        let chaos = base_chaos.clone().map(|mut c| {
+            c.seed = c.seed.wrapping_add(i as u64);
+            c
+        });
+        handles.push(std::thread::spawn(move || {
+            publish_capture(addr.as_str(), &part, chaos.as_ref())
+        }));
+    }
+    let mut total = PublishReport::default();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let r = handle
+            .join()
+            .expect("publisher thread must not panic")
+            .map_err(|e| format!("conn {i}: {e}"))?;
+        match &r.chaos {
+            Some(c) => println!(
+                "publish: conn {i} sent {} bytes, {} events (chaos: {} dropped, \
+                 {} duplicated, {} truncated, {} bit-flipped, {} reordered)",
+                r.bytes_sent,
+                r.events,
+                c.dropped,
+                c.duplicated,
+                c.truncated,
+                c.bit_flipped,
+                c.reordered
+            ),
+            None => println!(
+                "publish: conn {i} sent {} bytes, {} events",
+                r.bytes_sent, r.events
+            ),
+        }
+        total.bytes_sent += r.bytes_sent;
+        total.events += r.events;
+    }
+    println!(
+        "publish: {connections} connection(s), {} bytes, {} events total",
+        total.bytes_sent, total.events
+    );
     Ok(())
 }
 
@@ -622,10 +945,19 @@ fn cmd_chaos(args: &[String]) -> CliResult {
     let mut skew_us: u64 = 0;
     let mut jitter_us: u64 = 0;
     let mut n_shards: usize = 1;
+    let mut wire = false;
+    let mut connections: usize = 2;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--seed" => seed = it.next().ok_or("--seed needs a number")?.parse()?,
+            "--wire" => wire = true,
+            "--connections" => {
+                connections = it.next().ok_or("--connections needs a count")?.parse()?;
+                if connections == 0 {
+                    return Err("--connections must be at least 1".into());
+                }
+            }
             "--corruption" => {
                 corruption = it.next().ok_or("--corruption needs a rate")?.parse()?;
                 if !(0.0..=1.0).contains(&corruption) {
@@ -671,32 +1003,69 @@ fn cmd_chaos(args: &[String]) -> CliResult {
         chaos.bit_flip_prob * 100.0,
     );
 
-    let clean_bytes = current_log.to_wire_bytes();
-    let (mangled_bytes, report) = chaos.mangle(&current_log);
-    println!(
-        "mangled: {} frames -> {} dropped, {} duplicated, {} truncated, \
-         {} bit-flipped, {} reordered",
-        report.total_frames,
-        report.dropped,
-        report.duplicated,
-        report.truncated,
-        report.bit_flipped,
-        report.reordered,
-    );
-
-    let (clean_keys, clean_health) = stream_changes(
-        &clean_bytes,
-        baseline.clone(),
-        stability.clone(),
-        &config,
-        n_shards,
-    )?;
+    let (clean_keys, clean_health, chaos_keys, chaos_health) = if wire {
+        // Wire drill: both runs go through an in-process loopback
+        // serve pipeline — split across `connections` publisher
+        // streams, the chaos run mangling each stream independently
+        // (per-connection derived seeds), like real skewed taps would.
+        println!("wire: loopback ingest over {connections} publisher connection(s)");
+        let (chaos_keys, chaos_health, mangled) = wire_changes(
+            &current_log,
+            Some(&chaos),
+            connections,
+            baseline.clone(),
+            stability.clone(),
+            &config,
+            n_shards,
+        )?;
+        println!(
+            "mangled: {} frames -> {} dropped, {} duplicated, {} truncated, \
+             {} bit-flipped, {} reordered",
+            mangled.total_frames,
+            mangled.dropped,
+            mangled.duplicated,
+            mangled.truncated,
+            mangled.bit_flipped,
+            mangled.reordered,
+        );
+        let (clean_keys, clean_health, _) = wire_changes(
+            &current_log,
+            None,
+            connections,
+            baseline,
+            stability,
+            &config,
+            n_shards,
+        )?;
+        (clean_keys, clean_health, chaos_keys, chaos_health)
+    } else {
+        let clean_bytes = current_log.to_wire_bytes();
+        let (mangled_bytes, report) = chaos.mangle(&current_log);
+        println!(
+            "mangled: {} frames -> {} dropped, {} duplicated, {} truncated, \
+             {} bit-flipped, {} reordered",
+            report.total_frames,
+            report.dropped,
+            report.duplicated,
+            report.truncated,
+            report.bit_flipped,
+            report.reordered,
+        );
+        let (clean_keys, clean_health) = stream_changes(
+            &clean_bytes,
+            baseline.clone(),
+            stability.clone(),
+            &config,
+            n_shards,
+        )?;
+        let (chaos_keys, chaos_health) =
+            stream_changes(&mangled_bytes, baseline, stability, &config, n_shards)?;
+        (clean_keys, clean_health, chaos_keys, chaos_health)
+    };
     println!(
         "clean:   {} confirmed changes; ingest {clean_health}",
         clean_keys.len()
     );
-    let (chaos_keys, chaos_health) =
-        stream_changes(&mangled_bytes, baseline, stability, &config, n_shards)?;
     println!("stats: ingest {chaos_health}");
 
     let recovered = clean_keys.intersection(&chaos_keys).count();
@@ -1268,6 +1637,82 @@ fn stream_changes(
         collect_keys(&snapshot.diff, &mut keys);
     }
     Ok((keys, health))
+}
+
+/// Like [`stream_changes`], but over the wire: deals the capture
+/// across `connections` loopback publisher threads (each optionally
+/// behind its own seeded [`ChannelChaos`] proxy), ingests through
+/// [`IngestServer`], and feeds the `(timestamp, connection)` merge
+/// straight into the differ — events are diffed as they arrive, bounded
+/// by the per-connection queues. Returns the confirmed-change keys, the
+/// health counters (per-connection stream stats absorbed), and the
+/// summed ground-truth chaos report.
+fn wire_changes(
+    log: &ControllerLog,
+    chaos: Option<&ChannelChaos>,
+    connections: usize,
+    baseline: BehaviorModel,
+    stability: StabilityReport,
+    config: &FlowDiffConfig,
+    n_shards: usize,
+) -> Result<
+    (
+        BTreeSet<String>,
+        flowdiff::records::IngestHealth,
+        ChaosReport,
+    ),
+    Box<dyn std::error::Error>,
+> {
+    let server = IngestServer::bind("127.0.0.1:0")?;
+    let addr = server.local_addr()?;
+    let mut publishers = Vec::new();
+    for (i, part) in split_capture(log, connections).into_iter().enumerate() {
+        let chaos = chaos.cloned().map(|mut c| {
+            c.seed = c.seed.wrapping_add(i as u64);
+            c
+        });
+        publishers.push(std::thread::spawn(move || {
+            publish_capture(addr, &part, chaos.as_ref())
+        }));
+    }
+    let conns = server.accept_publishers(connections, config.ingest_queue_events)?;
+    let (merge, joins) = conns.into_merge();
+    let mut differ = if n_shards > 1 {
+        Differ::Sharded(ShardedDiffer::try_new(
+            baseline, stability, config, n_shards,
+        )?)
+    } else {
+        Differ::Single(OnlineDiffer::try_new(baseline, stability, config)?)
+    };
+    let mut keys = BTreeSet::new();
+    for event in merge {
+        for snapshot in differ.observe(&event) {
+            collect_keys(&snapshot.diff, &mut keys);
+        }
+    }
+    let mut health = differ.health();
+    for join in joins {
+        health.absorb_stream(join.join().stats);
+    }
+    let mut mangled = ChaosReport::default();
+    for publisher in publishers {
+        let sent = publisher
+            .join()
+            .expect("publisher thread must not panic")
+            .map_err(|e| format!("publish: {e}"))?;
+        if let Some(c) = sent.chaos {
+            mangled.total_frames += c.total_frames;
+            mangled.dropped += c.dropped;
+            mangled.duplicated += c.duplicated;
+            mangled.truncated += c.truncated;
+            mangled.bit_flipped += c.bit_flipped;
+            mangled.reordered += c.reordered;
+        }
+    }
+    if let Some(snapshot) = differ.finish() {
+        collect_keys(&snapshot.diff, &mut keys);
+    }
+    Ok((keys, health, mangled))
 }
 
 /// Keys a diff's changes by signature, direction, and implicated

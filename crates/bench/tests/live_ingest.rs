@@ -1,0 +1,218 @@
+//! End-to-end tests for the live TCP ingest path: loopback publishers
+//! feeding [`IngestServer`], merged and diffed exactly like `flowdiff-bench
+//! serve` does.
+//!
+//! The contract under test, in increasing strictness:
+//!
+//! 1. Epoch snapshots produced from N loopback publisher connections
+//!    serialize **byte-identically** to the single-file run over the
+//!    interleaved capture, for N = 1 and N = 4.
+//! 2. Per-connection ingest accounting is *exact*: each connection's
+//!    [`ConnReport`](netsim::net::ConnReport) stats equal what a batch
+//!    [`LogStream`] reports over the same (chaos-mangled) bytes.
+//! 3. A slow consumer bounds memory: with a small event queue, a
+//!    publisher pushing tens of megabytes blocks on TCP until the merge
+//!    drains — backpressure, not buffering.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use flowdiff::prelude::*;
+use netsim::log::LogStream;
+use netsim::prelude::*;
+use openflow::messages::{OfpMessage, PacketIn, PacketInReason};
+use openflow::types::{BufferId, DatapathId, Timestamp, Xid};
+
+/// Small instance of the paper's 320-server tree workload.
+fn captures() -> (ControllerLog, ControllerLog, FlowDiffConfig) {
+    let (baseline, mut config) = flowdiff_bench::tree_capture(2, 7, 4);
+    let (current, _) = flowdiff_bench::tree_capture(2, 8, 4);
+    // Same trust posture as `watch`/`serve` over wire bytes.
+    config.max_time_jump_us = config.partial_flow_timeout_us.max(config.episode_gap_us);
+    config.validate().expect("config must validate");
+    (baseline, current, config)
+}
+
+/// Runs `events` through a fresh differ and returns every epoch
+/// snapshot's serialized bytes (finish included) plus the health.
+fn diff_events(
+    events: &[ControlEvent],
+    baseline: &BehaviorModel,
+    stability: &StabilityReport,
+    config: &FlowDiffConfig,
+) -> (Vec<Vec<u8>>, flowdiff::records::IngestHealth) {
+    let mut differ = OnlineDiffer::try_new(baseline.clone(), stability.clone(), config)
+        .expect("differ must construct");
+    let mut snaps = Vec::new();
+    for event in events {
+        for snap in differ.observe(event) {
+            snaps.push(serde::to_vec(&snap));
+        }
+    }
+    let health = *differ.health();
+    if let Some(snap) = differ.finish() {
+        snaps.push(serde::to_vec(&snap));
+    }
+    (snaps, health)
+}
+
+/// Publishes `log` over `n` loopback connections (split so the merge
+/// restores capture order) and returns the merged event sequence plus
+/// the per-connection reports.
+fn serve_loopback(
+    log: &ControllerLog,
+    n: usize,
+    queue: usize,
+) -> (Vec<ControlEvent>, Vec<netsim::net::ConnReport>) {
+    let server = IngestServer::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let mut publishers = Vec::new();
+    for part in split_capture(log, n) {
+        publishers.push(std::thread::spawn(move || {
+            publish_capture(addr, &part, None).expect("publish")
+        }));
+    }
+    let conns = server.accept_publishers(n, queue).expect("accept");
+    let (events, reports) = conns.collect();
+    for p in publishers {
+        p.join().expect("publisher thread");
+    }
+    (events, reports)
+}
+
+#[test]
+fn served_epochs_byte_identical_to_file_run_for_1_and_4_publishers() {
+    let (baseline_log, current_log, config) = captures();
+    let baseline = BehaviorModel::build(&baseline_log, &config);
+    let stability = analyze(&baseline_log, &baseline, &config);
+
+    let (file_snaps, mut file_health) =
+        diff_events(current_log.events(), &baseline, &stability, &config);
+    assert!(
+        !file_snaps.is_empty(),
+        "workload must produce at least one epoch"
+    );
+    // The file-based health picture: differ counters plus the batch
+    // stream's frame stats over the capture bytes.
+    let capture_bytes = current_log.to_wire_bytes();
+    let mut file_stream = LogStream::from_wire_bytes(&capture_bytes).expect("magic intact");
+    assert_eq!(file_stream.by_ref().flatten().count(), current_log.len());
+    file_health.absorb_stream(file_stream.stats());
+
+    for n in [1usize, 4] {
+        let (events, reports) = serve_loopback(&current_log, n, 64);
+        assert_eq!(
+            events,
+            current_log.events().to_vec(),
+            "{n} publishers: merge must restore capture order"
+        );
+        let (wire_snaps, mut wire_health) = diff_events(&events, &baseline, &stability, &config);
+        assert_eq!(
+            wire_snaps, file_snaps,
+            "{n} publishers: epoch snapshots must serialize byte-identically"
+        );
+        // The served health picture folds per-connection frame stats in,
+        // exactly like `serve` does; a clean wire run must then match
+        // the file run's counters field for field.
+        let mut frames = 0;
+        for r in &reports {
+            assert!(r.handshake_ok, "conn {} handshake", r.index);
+            assert_eq!(r.stats.frames_skipped, 0);
+            assert_eq!(r.stats.bytes_skipped, 0);
+            frames += r.stats.frames_decoded;
+            wire_health.absorb_stream(r.stats);
+        }
+        assert_eq!(frames, current_log.len() as u64);
+        assert_eq!(
+            wire_health, file_health,
+            "{n} publishers: health counters must match the file run"
+        );
+    }
+}
+
+#[test]
+fn chaos_connection_accounting_matches_batch_decode_exactly() {
+    let (_, current_log, _) = captures();
+    let server = IngestServer::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+
+    for (i, part) in split_capture(&current_log, 2).into_iter().enumerate() {
+        let chaos = ChannelChaos {
+            reorder_jitter_us: 500,
+            ..ChannelChaos::corruption(0.05, 9 + i as u64)
+        };
+        // The injector is seeded: mangling locally yields the exact
+        // bytes the publisher puts on the wire.
+        let (expected_bytes, _) = chaos.mangle(&part);
+        let mut batch = LogStream::from_wire_bytes(&expected_bytes).expect("magic intact");
+        let expected_events = batch.by_ref().flatten().count() as u64;
+        let expected_stats = batch.stats();
+
+        let publisher = std::thread::spawn(move || {
+            publish_capture(addr, &part, Some(&chaos)).expect("publish")
+        });
+        // One connection at a time: no accept-order ambiguity.
+        let conns = server.accept_publishers(1, 64).expect("accept");
+        let (events, reports) = conns.collect();
+        let sent = publisher.join().expect("publisher thread");
+
+        assert_eq!(sent.bytes_sent, expected_bytes.len() as u64);
+        let r = &reports[0];
+        assert!(r.handshake_ok);
+        assert_eq!(r.bytes_read, expected_bytes.len() as u64, "conn {i}");
+        assert_eq!(r.stats, expected_stats, "conn {i}: frame accounting");
+        assert_eq!(r.events, expected_events, "conn {i}: events forwarded");
+        assert_eq!(events.len() as u64, expected_events);
+    }
+}
+
+#[test]
+fn slow_consumer_backpressure_bounds_memory_not_correctness() {
+    // ~48 MiB of 32 KiB PacketIn frames: far beyond what the kernel
+    // socket buffers plus a 4-event queue can absorb, so the publisher
+    // can only finish once the consumer drains.
+    let payload = vec![0xAB; 32 * 1024];
+    let log: ControllerLog = (0..1_500u64)
+        .map(|i| ControlEvent {
+            ts: Timestamp::from_micros(1_000 + i),
+            dpid: DatapathId(1),
+            direction: Direction::ToController,
+            xid: Xid(i as u32),
+            msg: OfpMessage::PacketIn(PacketIn {
+                buffer_id: BufferId::NO_BUFFER,
+                total_len: payload.len() as u16,
+                in_port: openflow::types::PortNo(1),
+                reason: PacketInReason::NoMatch,
+                data: payload.clone().into(),
+            }),
+        })
+        .collect();
+
+    let server = IngestServer::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let done = Arc::new(AtomicBool::new(false));
+    let publisher = std::thread::spawn({
+        let log = log.clone();
+        let done = done.clone();
+        move || {
+            let sent = publish_capture(addr, &log, None).expect("publish");
+            done.store(true, Ordering::SeqCst);
+            sent
+        }
+    });
+    let conns = server.accept_publishers(1, 4).expect("accept");
+    // Hold the merge undrained: the bounded queue + full socket buffers
+    // must stall the publisher well short of completion.
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    assert!(
+        !done.load(Ordering::SeqCst),
+        "publisher must be blocked by backpressure while the merge is undrained"
+    );
+    let (events, reports) = conns.collect();
+    let sent = publisher.join().expect("publisher thread");
+    assert!(done.load(Ordering::SeqCst));
+    assert_eq!(events.len(), log.len());
+    assert_eq!(reports[0].events, log.len() as u64);
+    assert_eq!(reports[0].bytes_read, sent.bytes_sent);
+    assert_eq!(reports[0].stats.frames_skipped, 0);
+}

@@ -105,6 +105,16 @@ pub struct FlowDiffConfig {
     /// (exponential backoff). Must be nonzero so a crash loop cannot
     /// spin hot.
     pub restart_backoff_us: u64,
+    /// Live ingest: capacity, in events, of each publisher
+    /// connection's bounded decode queue. This is the backpressure
+    /// knob of served mode — a slow diagnosis pipeline blocks the
+    /// connection readers once their queues fill, which fills the
+    /// kernel socket buffers, which stalls the publishers over TCP, so
+    /// server-side memory stays bounded at roughly `connections ×
+    /// ingest_queue_events` in-flight events. Must be nonzero (a
+    /// zero-capacity rendezvous queue would deadlock a single-threaded
+    /// consumer).
+    pub ingest_queue_events: usize,
     /// Graceful degradation: after a *lossy* restore
     /// ([`OnlineDiffer::mark_lossy_restore`](crate::diff::OnlineDiffer::mark_lossy_restore)),
     /// every signature reports `Warming` — diffs suppressed — until
@@ -141,6 +151,7 @@ impl Default for FlowDiffConfig {
             checkpoint_every_epochs: 1,
             restart_budget: 3,
             restart_backoff_us: 500_000,
+            ingest_queue_events: 1_024,
             restore_warmup_us: 30_000_000,
         }
     }
@@ -230,6 +241,7 @@ impl FlowDiffConfig {
         // fast / no warm-up) and deliberately pass.
         nonzero("checkpoint_every_epochs", self.checkpoint_every_epochs)?;
         nonzero("restart_backoff_us", self.restart_backoff_us)?;
+        nonzero("ingest_queue_events", self.ingest_queue_events as u64)?;
         Ok(())
     }
 }
@@ -338,6 +350,13 @@ mod tests {
                 ..base()
             }),
             "restart_backoff_us"
+        );
+        assert_eq!(
+            rejected_field(FlowDiffConfig {
+                ingest_queue_events: 0,
+                ..base()
+            }),
+            "ingest_queue_events"
         );
     }
 

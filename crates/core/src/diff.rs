@@ -1446,16 +1446,18 @@ impl ShardedDiffer {
             }
         }
         self.timings.snapshot_us += barrier_start.elapsed().as_micros() as u64;
-        let wall_us = self
-            .epoch_wall
-            .map(|t| t.elapsed().as_micros() as u64)
-            .unwrap_or(0)
-            .max(1);
+        // The busy gauge needs a real wall-clock span. With no prior
+        // mark (a differ restored from a checkpoint or deserialized
+        // mid-stream), fabricating a 1µs wall would saturate the gauge
+        // to a spurious 100% — skip the update and just seed the mark.
+        if let Some(prev) = self.epoch_wall {
+            let wall_us = (prev.elapsed().as_micros() as u64).max(1);
+            self.timings.worker_busy_pct = self
+                .timings
+                .worker_busy_pct
+                .max(busy_peak_us.min(wall_us) * 100 / wall_us);
+        }
         self.epoch_wall = Some(std::time::Instant::now());
-        self.timings.worker_busy_pct = self
-            .timings
-            .worker_busy_pct
-            .max(busy_peak_us.min(wall_us) * 100 / wall_us);
         {
             let mut pending = self.pending.lock().expect("pending steps poisoned");
             self.timings.queue_depth_peak =
@@ -1864,6 +1866,35 @@ mod tests {
             xid: openflow::types::Xid(0),
             msg: openflow::messages::OfpMessage::Hello,
         }
+    }
+
+    #[test]
+    fn first_epoch_busy_gauge_is_not_saturated_under_light_load() {
+        // Regression: the first epoch barrier used to fabricate a 1µs
+        // wall when `epoch_wall` was unseeded, saturating
+        // `worker_busy_pct` to 100 on an almost idle pipeline. Two
+        // hellos and a deliberate 10ms pause are nowhere near a busy
+        // epoch, so the first-epoch gauge must stay well under 100.
+        let config = FlowDiffConfig::default();
+        let empty = netsim::log::ControllerLog::new();
+        let reference = crate::model::BehaviorModel::build(&empty, &config);
+        let stability = crate::stability::StabilityReport::all_stable(&reference);
+        let mut differ = ShardedDiffer::new(reference, stability, &config, 2);
+
+        assert!(differ
+            .observe(&hello_at(Timestamp::from_secs(1)))
+            .is_empty());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let snaps = differ.observe(&hello_at(Timestamp::from_micros(
+            1_000_000 + config.online_epoch_us,
+        )));
+        assert_eq!(snaps.len(), 1, "crossing one epoch boundary snapshots");
+        let timings = differ.take_timings();
+        assert!(
+            timings.worker_busy_pct < 100,
+            "first-epoch busy gauge spuriously saturated: {}%",
+            timings.worker_busy_pct
+        );
     }
 
     #[test]

@@ -369,6 +369,35 @@ fn ingest_wire(bytes: &[u8], config: &FlowDiffConfig) -> (Vec<FlowRecord>, Inges
     (records, health)
 }
 
+/// Same ingest as [`ingest_wire`], but the bytes arrive in `chunk`-byte
+/// pieces through the incremental [`FrameDecoder`](netsim::log::FrameDecoder)
+/// — the served-mode decode path. Records and health must match the
+/// batch path exactly.
+fn ingest_wire_chunked(
+    bytes: &[u8],
+    config: &FlowDiffConfig,
+    chunk: usize,
+) -> (Vec<FlowRecord>, IngestHealth) {
+    let mut asm = RecordAssembler::new(config);
+    let mut dec = netsim::log::FrameDecoder::new();
+    let mut items = Vec::new();
+    for piece in bytes.chunks(chunk.max(1)) {
+        dec.push(piece, &mut items);
+        for ev in items.drain(..).flatten() {
+            asm.observe(&ev);
+        }
+    }
+    dec.finish(&mut items);
+    for ev in items.drain(..).flatten() {
+        asm.observe(&ev);
+    }
+    let mut health = *asm.health();
+    health.absorb_stream(dec.stats());
+    let mut records = asm.finish();
+    records.sort_by_key(|r| (r.first_seen, r.tuple));
+    (records, health)
+}
+
 #[test]
 fn truncated_captures_never_panic_at_any_offset() {
     let log = synth_log(&[1, 2]);
@@ -469,6 +498,27 @@ proptest! {
         let (records, health) = ingest_wire(&bytes, &slack_config);
         prop_assert_eq!(health.events_reordered, report.reordered);
         prop_assert_eq!(records, expected);
+    }
+
+    /// The served-mode decode path through the resync sites: the same
+    /// chaos-mangled bytes pushed through the incremental decoder in
+    /// arbitrary-size chunks yield exactly the records and health
+    /// counters of the batch stream — skip accounting included.
+    #[test]
+    fn chunked_wire_ingest_matches_batch(
+        seeds in prop::collection::vec(any::<u64>(), 1..6),
+        chaos_seed in any::<u64>(),
+        corruption in 0.0..0.2f64,
+        chunk in 1usize..5_000,
+    ) {
+        let log = synth_log(&seeds);
+        let chaos = ChannelChaos::corruption(corruption, chaos_seed);
+        let (bytes, _) = chaos.mangle(&log);
+        let config = FlowDiffConfig::default();
+        let (batch_records, batch_health) = ingest_wire(&bytes, &config);
+        let (chunk_records, chunk_health) = ingest_wire_chunked(&bytes, &config, chunk);
+        prop_assert_eq!(chunk_records, batch_records);
+        prop_assert_eq!(chunk_health, batch_health);
     }
 }
 

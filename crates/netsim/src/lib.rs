@@ -34,6 +34,7 @@ pub mod engine;
 pub mod faults;
 pub mod flows;
 pub mod log;
+pub mod net;
 pub mod topology;
 
 /// Convenient re-exports of the most commonly used items.
@@ -43,7 +44,10 @@ pub mod prelude {
     pub use crate::engine::{SimStats, Simulation};
     pub use crate::faults::{ChannelChaos, ChaosReport, CrashPlan, Fault};
     pub use crate::flows::{DeliveredFlow, FlowId, FlowPhase, FlowSpec};
-    pub use crate::log::{ControlEvent, ControllerLog, DecodeError, Direction, LogStream};
+    pub use crate::log::{
+        ControlEvent, ControllerLog, DecodeError, Direction, FrameDecoder, LogStream,
+    };
+    pub use crate::net::{publish_capture, split_capture, IngestServer, PublishReport};
     pub use crate::topology::{LinkId, NodeId, Topology};
     pub use openflow::types::Timestamp;
 }

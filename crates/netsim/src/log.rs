@@ -457,6 +457,13 @@ fn resync(buf: &[u8], from: usize) -> usize {
     buf.len()
 }
 
+/// Reads a big-endian `u64` at `at`, or `None` when fewer than eight
+/// bytes remain.
+fn read_u64_be(buf: &[u8], at: usize) -> Option<u64> {
+    let bytes: [u8; 8] = buf.get(at..at + 8)?.try_into().ok()?;
+    Some(u64::from_be_bytes(bytes))
+}
+
 /// Validates the `[ts][dpid][direction]` preamble and the embedded
 /// OpenFlow header of the frame at absolute offset `pos`, classifying
 /// framing damage precisely (truncation, bad tag, length overflow).
@@ -472,8 +479,15 @@ fn validate_frame_at(
             available: rest.len(),
         });
     }
-    let ts = u64::from_be_bytes(rest[0..8].try_into().expect("8 bytes"));
-    let dpid = u64::from_be_bytes(rest[8..16].try_into().expect("8 bytes"));
+    // Checked reads: the guard above covers these, but a short frame
+    // must never be able to slice out of bounds even if the guard and
+    // the preamble layout drift apart.
+    let (Some(ts), Some(dpid)) = (read_u64_be(rest, 0), read_u64_be(rest, 8)) else {
+        return Err(DecodeError::TruncatedFrame {
+            offset: pos,
+            available: rest.len(),
+        });
+    };
     let direction = match rest[16] {
         0 => Direction::ToController,
         1 => Direction::FromController,
@@ -609,6 +623,356 @@ impl<'a> Iterator for LogStream<'a> {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Translates a relative-offset decode error to absolute capture
+/// coordinates (the incremental decoder works on a compacted window).
+fn shift_offset(err: DecodeError, by: usize) -> DecodeError {
+    match err {
+        DecodeError::BadMagic => DecodeError::BadMagic,
+        DecodeError::TruncatedFrame { offset, available } => DecodeError::TruncatedFrame {
+            offset: offset + by,
+            available,
+        },
+        DecodeError::BadEventTag {
+            offset,
+            field,
+            value,
+        } => DecodeError::BadEventTag {
+            offset: offset + by,
+            field,
+            value,
+        },
+        DecodeError::LengthOverflow {
+            offset,
+            claimed,
+            available,
+        } => DecodeError::LengthOverflow {
+            offset: offset + by,
+            claimed,
+            available,
+        },
+        DecodeError::BadMessage { offset, source } => DecodeError::BadMessage {
+            offset: offset + by,
+            source,
+        },
+    }
+}
+
+/// Where an incremental decode stands between chunks.
+#[derive(Debug)]
+enum DecoderState {
+    /// Waiting for the 8-byte `FDIFFCAP` magic header.
+    Magic,
+    /// Expecting a frame at the window start.
+    Frame,
+    /// Lost the framing at `err_at`: scanning from `scan` for the next
+    /// plausible frame boundary before surfacing `err`, exactly like
+    /// [`resync`] but resumable mid-scan.
+    Resync {
+        err: DecodeError,
+        err_at: usize,
+        scan: usize,
+    },
+    /// Rejected (bad magic) or fully drained after end-of-stream.
+    Done,
+}
+
+/// An incremental `FDIFFCAP` decoder for byte streams that arrive in
+/// arbitrary chunks — a TCP connection, a pipe — instead of as one
+/// buffer.
+///
+/// Feed chunks with [`push`](FrameDecoder::push) and signal
+/// end-of-stream with [`finish`](FrameDecoder::finish): the decoder
+/// emits the **same event sequence, error sites, and
+/// [`StreamStats`]** that a [`LogStream`] over the complete capture
+/// would produce, regardless of how the bytes were chunked. That
+/// equivalence is what lets a socket ingest path reuse every batch-mode
+/// robustness guarantee (resynchronization, typed [`DecodeError`]s,
+/// exact skip accounting) without a second decoder implementation.
+///
+/// Two windows of divergence are inherent to not knowing the stream
+/// length up front, and both are confined to *fields of error values*,
+/// never to events, error ordering, or counters: a
+/// [`DecodeError::LengthOverflow`] reported before end-of-stream
+/// carries the bytes available *at the decode attempt* in `available`
+/// (batch mode reports the bytes to the end of the capture), and an
+/// incomplete trailing frame is held back until `finish` because more
+/// bytes could still complete it.
+///
+/// Memory is bounded: the window holds at most one pending frame (a
+/// claimed OpenFlow length is a `u16`, so ≤ [`CAPTURE_MAGIC`]-header +
+/// preamble + 64 KiB) plus one read chunk; consumed and skipped bytes
+/// are compacted away as soon as their fate is decided.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    /// Unconsumed bytes; `buf[0]` sits at absolute offset `base`.
+    buf: Vec<u8>,
+    base: usize,
+    state: DecoderState,
+    stats: StreamStats,
+    eof: bool,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> FrameDecoder {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder expecting a fresh capture stream (magic header first).
+    pub fn new() -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            base: 0,
+            state: DecoderState::Magic,
+            stats: StreamStats::default(),
+            eof: false,
+        }
+    }
+
+    /// Frame-level counters for the bytes consumed so far; equals the
+    /// batch [`LogStream::stats`] once the stream is finished.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Bytes currently buffered awaiting a decodable boundary (at most
+    /// one frame plus one chunk — see the type docs).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True once the stream was rejected (bad magic) or fully drained
+    /// after [`finish`](FrameDecoder::finish).
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, DecoderState::Done)
+    }
+
+    /// Feeds one chunk, appending every newly determinable event or
+    /// error to `out` in stream order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`finish`](FrameDecoder::finish).
+    pub fn push(&mut self, chunk: &[u8], out: &mut Vec<Result<ControlEvent, DecodeError>>) {
+        assert!(!self.eof, "push after finish");
+        self.buf.extend_from_slice(chunk);
+        self.drain(out);
+    }
+
+    /// Signals end-of-stream and drains everything still pending (the
+    /// held-back trailing frame, an unfinished resync scan).
+    pub fn finish(&mut self, out: &mut Vec<Result<ControlEvent, DecodeError>>) {
+        self.eof = true;
+        self.drain(out);
+    }
+
+    /// Drops the window prefix up to absolute offset `to`.
+    fn consume_to(&mut self, to: usize) {
+        self.buf.drain(..to - self.base);
+        self.base = to;
+    }
+
+    fn drain(&mut self, out: &mut Vec<Result<ControlEvent, DecodeError>>) {
+        loop {
+            match std::mem::replace(&mut self.state, DecoderState::Done) {
+                DecoderState::Done => return,
+                DecoderState::Magic => {
+                    if self.buf.len() >= CAPTURE_MAGIC.len() {
+                        if &self.buf[..CAPTURE_MAGIC.len()] == CAPTURE_MAGIC {
+                            self.consume_to(CAPTURE_MAGIC.len());
+                            self.state = DecoderState::Frame;
+                        } else {
+                            out.push(Err(DecodeError::BadMagic));
+                            return;
+                        }
+                    } else if self.eof {
+                        out.push(Err(DecodeError::BadMagic));
+                        return;
+                    } else {
+                        self.state = DecoderState::Magic;
+                        return;
+                    }
+                }
+                DecoderState::Frame => {
+                    if !self.step_frame(out) {
+                        return;
+                    }
+                }
+                DecoderState::Resync { err, err_at, scan } => {
+                    if !self.step_resync(err, err_at, scan, out) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One attempt to decode the frame at the window start. Returns
+    /// whether the drain loop should keep going (`self.state` is set
+    /// either way; `false` means "need more bytes" or end-of-stream).
+    fn step_frame(&mut self, out: &mut Vec<Result<ControlEvent, DecodeError>>) -> bool {
+        let avail = self.buf.len();
+        if avail == 0 {
+            if !self.eof {
+                self.state = DecoderState::Frame;
+            }
+            return false;
+        }
+        if avail < MIN_FRAME_LEN {
+            if !self.eof {
+                self.state = DecoderState::Frame;
+                return false;
+            }
+            // The tail cannot hold a frame: classify it exactly as the
+            // batch decoder does, then let the resync scan account it.
+            self.begin_resync(DecodeError::TruncatedFrame {
+                offset: self.base,
+                available: avail,
+            });
+            return true;
+        }
+        // Tag and length-sanity checks that need only the fixed-size
+        // prefix — mirrored from `validate_frame_at`, in the same
+        // order, so the error variant at each site matches batch mode.
+        let direction = self.buf[PREAMBLE_LEN - 1];
+        let version = self.buf[PREAMBLE_LEN];
+        let type_code = self.buf[PREAMBLE_LEN + 1];
+        let claimed =
+            u16::from_be_bytes([self.buf[PREAMBLE_LEN + 2], self.buf[PREAMBLE_LEN + 3]]) as usize;
+        let tag_error = if direction > 1 {
+            Some(DecodeError::BadEventTag {
+                offset: self.base,
+                field: "capture.direction",
+                value: direction as u64,
+            })
+        } else if version != openflow::wire::OFP_VERSION {
+            Some(DecodeError::BadEventTag {
+                offset: self.base,
+                field: "openflow.version",
+                value: version as u64,
+            })
+        } else if !is_known_type_code(type_code) {
+            Some(DecodeError::BadEventTag {
+                offset: self.base,
+                field: "openflow.type",
+                value: type_code as u64,
+            })
+        } else if claimed < openflow::wire::HEADER_LEN {
+            Some(DecodeError::LengthOverflow {
+                offset: self.base,
+                claimed,
+                available: avail - PREAMBLE_LEN,
+            })
+        } else {
+            None
+        };
+        if let Some(err) = tag_error {
+            self.begin_resync(err);
+            return true;
+        }
+        if PREAMBLE_LEN + claimed > avail {
+            if !self.eof {
+                // The claimed length is plausible; wait for the frame
+                // to finish buffering.
+                self.state = DecoderState::Frame;
+                return false;
+            }
+            self.begin_resync(DecodeError::LengthOverflow {
+                offset: self.base,
+                claimed,
+                available: avail - PREAMBLE_LEN,
+            });
+            return true;
+        }
+        match decode_event_at(&self.buf, 0) {
+            Ok((ev, used)) => {
+                self.stats.frames_decoded += 1;
+                let next = self.base + used;
+                self.consume_to(next);
+                out.push(Ok(ev));
+                self.state = DecoderState::Frame;
+                true
+            }
+            Err(e) => {
+                self.begin_resync(shift_offset(e, self.base));
+                true
+            }
+        }
+    }
+
+    fn begin_resync(&mut self, err: DecodeError) {
+        self.state = DecoderState::Resync {
+            err_at: self.base,
+            scan: self.base + 1,
+            err,
+        };
+    }
+
+    /// Resumable [`resync`]: advances `scan` until a plausible frame
+    /// boundary fits the window, waiting (not skipping) at any
+    /// candidate that more bytes could still complete, so the boundary
+    /// found is the one the batch scan would find on the whole capture.
+    fn step_resync(
+        &mut self,
+        err: DecodeError,
+        err_at: usize,
+        mut scan: usize,
+        out: &mut Vec<Result<ControlEvent, DecodeError>>,
+    ) -> bool {
+        loop {
+            // Skipped bytes are dead weight: compact them away so a
+            // long corrupt region cannot grow the window.
+            if scan > self.base {
+                self.consume_to(scan);
+            }
+            let avail = self.buf.len();
+            if avail < MIN_FRAME_LEN {
+                if !self.eof {
+                    self.state = DecoderState::Resync { err, err_at, scan };
+                    return false;
+                }
+                // End of stream: nothing after `scan` can start a
+                // frame, so the damaged region runs to the end.
+                let end = self.base + avail;
+                self.stats.frames_skipped += 1;
+                self.stats.bytes_skipped += (end - err_at) as u64;
+                self.consume_to(end);
+                out.push(Err(err));
+                self.state = DecoderState::Frame;
+                return true;
+            }
+            let of = PREAMBLE_LEN;
+            let claimed = u16::from_be_bytes([self.buf[of + 2], self.buf[of + 3]]) as usize;
+            let locally_plausible = self.buf[PREAMBLE_LEN - 1] <= 1
+                && self.buf[of] == openflow::wire::OFP_VERSION
+                && is_known_type_code(self.buf[of + 1])
+                && claimed >= openflow::wire::HEADER_LEN;
+            if !locally_plausible {
+                scan += 1;
+                continue;
+            }
+            if PREAMBLE_LEN + claimed <= avail {
+                // Found the boundary: surface the damage with exact
+                // skip accounting and resume decoding here.
+                self.stats.frames_skipped += 1;
+                self.stats.bytes_skipped += (scan - err_at) as u64;
+                out.push(Err(err));
+                self.state = DecoderState::Frame;
+                return true;
+            }
+            if self.eof {
+                // The candidate's claimed length overruns the final
+                // capture end — not plausible, same as the batch scan.
+                scan += 1;
+                continue;
+            }
+            self.state = DecoderState::Resync { err, err_at, scan };
+            return false;
         }
     }
 }
@@ -921,6 +1285,157 @@ mod tests {
             Err(e) => assert_eq!(e, DecodeError::BadMagic),
             Ok(_) => panic!("bad magic must be rejected"),
         }
+    }
+
+    /// Drains `bytes` through a [`FrameDecoder`] in `chunk`-byte steps,
+    /// returning the emitted items and the final stats.
+    fn chunked_decode(
+        bytes: &[u8],
+        chunk: usize,
+    ) -> (Vec<Result<ControlEvent, DecodeError>>, StreamStats) {
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in bytes.chunks(chunk.max(1)) {
+            if dec.is_done() {
+                break;
+            }
+            dec.push(piece, &mut out);
+        }
+        if !dec.is_done() {
+            dec.finish(&mut out);
+        }
+        (out, dec.stats())
+    }
+
+    /// Batch reference: the item and stats sequence of a [`LogStream`]
+    /// over the whole buffer (bad magic becomes a single `Err` item to
+    /// match the incremental decoder's shape).
+    fn batch_decode(bytes: &[u8]) -> (Vec<Result<ControlEvent, DecodeError>>, StreamStats) {
+        match LogStream::from_wire_bytes(bytes) {
+            Ok(mut stream) => {
+                let items = stream.by_ref().map(|r| r.map(Cow::into_owned)).collect();
+                (items, stream.stats())
+            }
+            Err(e) => (vec![Err(e)], StreamStats::default()),
+        }
+    }
+
+    /// Error equality up to the one documented divergence: a
+    /// length-overflow's `available` field reflects the local window
+    /// when reported before end-of-stream.
+    fn errors_equivalent(a: &DecodeError, b: &DecodeError) -> bool {
+        match (a, b) {
+            (
+                DecodeError::LengthOverflow {
+                    offset: ao,
+                    claimed: ac,
+                    ..
+                },
+                DecodeError::LengthOverflow {
+                    offset: bo,
+                    claimed: bc,
+                    ..
+                },
+            ) => ao == bo && ac == bc,
+            _ => a == b,
+        }
+    }
+
+    fn assert_chunked_matches_batch(bytes: &[u8], chunk: usize) {
+        let (batch_items, batch_stats) = batch_decode(bytes);
+        let (inc_items, inc_stats) = chunked_decode(bytes, chunk);
+        assert_eq!(
+            inc_items.len(),
+            batch_items.len(),
+            "item count, chunk size {chunk}"
+        );
+        for (i, (inc, batch)) in inc_items.iter().zip(&batch_items).enumerate() {
+            match (inc, batch) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "event {i}, chunk size {chunk}"),
+                (Err(a), Err(b)) => assert!(
+                    errors_equivalent(a, b),
+                    "error {i}, chunk size {chunk}: {a:?} vs {b:?}"
+                ),
+                other => panic!("item {i} disagrees on ok/err (chunk size {chunk}): {other:?}"),
+            }
+        }
+        assert_eq!(inc_stats, batch_stats, "stats, chunk size {chunk}");
+    }
+
+    use std::borrow::Cow;
+
+    #[test]
+    fn frame_decoder_matches_batch_on_clean_capture_at_any_chunking() {
+        let log: ControllerLog = vec![ev(5, 0), ev(10, 1), ev(15, 2), ev(20, 1)]
+            .into_iter()
+            .collect();
+        let bytes = log.to_wire_bytes();
+        for chunk in [1, 2, 3, 7, 16, 64, bytes.len()] {
+            assert_chunked_matches_batch(&bytes, chunk);
+        }
+    }
+
+    #[test]
+    fn frame_decoder_matches_batch_through_resync() {
+        let log: ControllerLog = vec![ev(5, 1), ev(10, 1), ev(15, 2), ev(20, 0), ev(25, 1)]
+            .into_iter()
+            .collect();
+        let mut bytes = log.to_wire_bytes();
+        // Stomp the second frame's OpenFlow version byte so every
+        // chunking has to resynchronize mid-stream.
+        let mut frame = Vec::new();
+        encode_event(&log.events()[0], &mut frame);
+        bytes[CAPTURE_MAGIC.len() + frame.len() + PREAMBLE_LEN] = 0xEE;
+        for chunk in [1, 2, 3, 7, 16, 64, bytes.len()] {
+            assert_chunked_matches_batch(&bytes, chunk);
+        }
+    }
+
+    #[test]
+    fn frame_decoder_matches_batch_on_truncated_tail() {
+        let log: ControllerLog = vec![ev(5, 1), ev(10, 1)].into_iter().collect();
+        let full = log.to_wire_bytes();
+        for cut in 0..full.len() {
+            for chunk in [1, 5, full.len().max(1)] {
+                assert_chunked_matches_batch(&full[..cut], chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_decoder_rejects_bad_magic_and_fuses() {
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        dec.push(b"not a capture at all", &mut out);
+        assert_eq!(out, vec![Err(DecodeError::BadMagic)]);
+        assert!(dec.is_done());
+        // A short prefix only fails once the stream ends.
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        dec.push(b"FDIFF", &mut out);
+        assert!(out.is_empty(), "a magic prefix may still complete");
+        dec.finish(&mut out);
+        assert_eq!(out, vec![Err(DecodeError::BadMagic)]);
+    }
+
+    #[test]
+    fn frame_decoder_window_stays_bounded() {
+        // 200 frames pushed in one call still compact down to nothing
+        // once consumed; mid-frame pushes hold at most that frame.
+        let log: ControllerLog = (0..200u64).map(|i| ev(i, 1)).collect();
+        let bytes = log.to_wire_bytes();
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        dec.push(&bytes, &mut out);
+        assert_eq!(dec.buffered(), 0, "fully decodable input leaves no tail");
+        assert_eq!(out.len(), 200);
+        let mut frame = Vec::new();
+        encode_event(&log.events()[0], &mut frame);
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        dec.push(&bytes[..CAPTURE_MAGIC.len() + frame.len() + 5], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(dec.buffered(), 5, "only the partial frame is held");
     }
 
     #[test]

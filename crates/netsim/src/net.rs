@@ -1,0 +1,458 @@
+//! Live TCP ingest: the wire between control-log publishers and a
+//! FlowDiff diagnosis process.
+//!
+//! The transport reuses the `.fcap` capture format verbatim — each
+//! connection is one capture stream: the 8-byte `FDIFFCAP` magic as the
+//! handshake, then [`encode_event`](crate::log::encode_event) frames.
+//! A publisher is therefore trivial (write the capture bytes), and the
+//! server-side decode path is *the same decoder* the file path uses:
+//! every per-connection byte stream runs through a
+//! [`FrameDecoder`], so resynchronization,
+//! typed [`DecodeError`]s, and exact [`StreamStats`] accounting carry
+//! over from batch mode unchanged.
+//!
+//! Flow control is end-to-end and allocation-free: each connection's
+//! reader thread pushes decoded events into a **bounded** channel, so a
+//! slow consumer blocks the reader, the kernel socket buffers fill, and
+//! TCP pushes back on the publisher — memory on the ingest side stays
+//! bounded by `connections × (queue capacity + one frame + one read
+//! chunk)` no matter how far ahead the publishers are.
+//!
+//! Cross-stream ordering is handled by [`EventMerge`], a blocking
+//! k-way merge by `(timestamp, connection index)`. For publishers
+//! created by [`split_capture`] (which confines every equal-timestamp
+//! run to a single stream) the merged sequence is *exactly* the
+//! original capture's event order, which is what makes served epoch
+//! snapshots byte-identical to the file-based run. Real skewed
+//! publishers lean on the downstream `reorder_slack_us` buffer instead,
+//! just like a disordered capture file.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use crate::faults::{ChannelChaos, ChaosReport};
+use crate::log::{ControlEvent, ControllerLog, DecodeError, FrameDecoder, StreamStats};
+
+/// Read-chunk size for connection reader threads: large enough to
+/// amortize syscalls, small enough that backpressure stays tight.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Write-chunk size for [`publish_capture`]: deliberately not a
+/// multiple of any frame size, so served streams always exercise the
+/// incremental decoder's mid-frame resume path.
+const WRITE_CHUNK: usize = 8_192 - 7;
+
+/// How many leading decode errors a [`ConnReport`] retains verbatim
+/// (every error is still *counted* in the stats).
+const KEPT_ERRORS: usize = 8;
+
+/// What one publisher connection delivered, reported by its reader
+/// thread when the connection closes.
+#[derive(Debug)]
+pub struct ConnReport {
+    /// Connection index in accept order (also the merge tie-breaker).
+    pub index: usize,
+    /// The publisher's remote address.
+    pub peer: SocketAddr,
+    /// True when the stream opened with the `FDIFFCAP` magic.
+    pub handshake_ok: bool,
+    /// Raw bytes read off the socket, magic included.
+    pub bytes_read: u64,
+    /// Events decoded and forwarded to the merge.
+    pub events: u64,
+    /// Frame-level decode/skip counters — exactly what a batch
+    /// [`LogStream`](crate::log::LogStream) over the same bytes reports.
+    pub stats: StreamStats,
+    /// The first `KEPT_ERRORS` decode errors, for operator logs.
+    pub first_errors: Vec<DecodeError>,
+}
+
+/// One accepted publisher connection: a bounded event queue fed by a
+/// reader thread.
+struct Conn {
+    rx: Receiver<ControlEvent>,
+    reader: JoinHandle<ConnReport>,
+}
+
+/// A blocking TCP ingest server for `.fcap`-framed control-log streams.
+pub struct IngestServer {
+    listener: TcpListener,
+}
+
+impl IngestServer {
+    /// Binds the listen socket (use port 0 to let the OS pick).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<IngestServer> {
+        Ok(IngestServer {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address — the one to print when listening on port 0.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts exactly `publishers` connections, spawning one reader
+    /// thread per connection with a `queue`-event bounded channel, and
+    /// returns the merge stage over all of them. Blocks until every
+    /// expected publisher has connected.
+    pub fn accept_publishers(
+        &self,
+        publishers: usize,
+        queue: usize,
+    ) -> std::io::Result<IngestConnections> {
+        let mut conns = Vec::with_capacity(publishers);
+        for index in 0..publishers {
+            let (stream, peer) = self.listener.accept()?;
+            let (tx, rx) = sync_channel(queue.max(1));
+            let reader = std::thread::Builder::new()
+                .name(format!("ingest-conn-{index}"))
+                .spawn(move || read_connection(index, peer, stream, tx))
+                .expect("spawn ingest reader thread");
+            conns.push(Conn { rx, reader });
+        }
+        Ok(IngestConnections { conns })
+    }
+}
+
+/// The accepted publisher set, ready to merge.
+pub struct IngestConnections {
+    conns: Vec<Conn>,
+}
+
+impl IngestConnections {
+    /// Splits into the merging event iterator and the per-connection
+    /// join handles (reports become available once the merge drains —
+    /// i.e. once every connection has closed).
+    pub fn into_merge(self) -> (EventMerge, Vec<ConnJoin>) {
+        let mut rxs = Vec::with_capacity(self.conns.len());
+        let mut joins = Vec::with_capacity(self.conns.len());
+        for conn in self.conns {
+            rxs.push(Some(conn.rx));
+            joins.push(ConnJoin {
+                reader: conn.reader,
+            });
+        }
+        let heads = rxs.iter().map(|_| None).collect();
+        (EventMerge { rxs, heads }, joins)
+    }
+
+    /// Convenience: drains the merge to completion and joins every
+    /// reader, returning the merged event sequence and all reports.
+    pub fn collect(self) -> (Vec<ControlEvent>, Vec<ConnReport>) {
+        let (merge, joins) = self.into_merge();
+        let events: Vec<ControlEvent> = merge.collect();
+        let reports = joins.into_iter().map(ConnJoin::join).collect();
+        (events, reports)
+    }
+}
+
+/// A pending reader-thread report.
+pub struct ConnJoin {
+    reader: JoinHandle<ConnReport>,
+}
+
+impl ConnJoin {
+    /// Waits for the connection's reader thread and returns its report.
+    pub fn join(self) -> ConnReport {
+        self.reader
+            .join()
+            .expect("ingest reader thread must not panic")
+    }
+}
+
+/// Blocking k-way merge of per-connection event streams by
+/// `(timestamp, connection index)`.
+///
+/// An event is released only once every still-open stream has a head
+/// buffered, so no later-arriving stream can hold an earlier timestamp
+/// back — this is what restores the single-capture order from
+/// [`split_capture`]d publishers. The price is that one stalled
+/// publisher stalls the merge; the bounded queues upstream make that a
+/// flow-control property, not a memory leak.
+pub struct EventMerge {
+    /// `None` once a stream has closed and drained.
+    rxs: Vec<Option<Receiver<ControlEvent>>>,
+    heads: Vec<Option<ControlEvent>>,
+}
+
+impl Iterator for EventMerge {
+    type Item = ControlEvent;
+
+    fn next(&mut self) -> Option<ControlEvent> {
+        for (head, rx_slot) in self.heads.iter_mut().zip(&mut self.rxs) {
+            if head.is_none() {
+                if let Some(rx) = rx_slot {
+                    match rx.recv() {
+                        Ok(ev) => *head = Some(ev),
+                        Err(_) => *rx_slot = None,
+                    }
+                }
+            }
+        }
+        let next = self
+            .heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.as_ref().map(|ev| (ev.ts, i)))
+            .min()?
+            .1;
+        self.heads[next].take()
+    }
+}
+
+/// Reader-thread body: handshake + chunked reads through a
+/// [`FrameDecoder`] into the bounded channel.
+fn read_connection(
+    index: usize,
+    peer: SocketAddr,
+    mut stream: TcpStream,
+    tx: SyncSender<ControlEvent>,
+) -> ConnReport {
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = [0u8; READ_CHUNK];
+    let mut items = Vec::new();
+    let mut report = ConnReport {
+        index,
+        peer,
+        handshake_ok: false,
+        bytes_read: 0,
+        events: 0,
+        stats: StreamStats::default(),
+        first_errors: Vec::new(),
+    };
+    let mut receiver_gone = false;
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                report.bytes_read += n as u64;
+                decoder.push(&chunk[..n], &mut items);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+        if !drain_items(&mut items, &tx, &mut report, &mut receiver_gone) {
+            break;
+        }
+        if decoder.is_done() {
+            // Bad magic: the handshake failed, drop the connection.
+            break;
+        }
+    }
+    if !decoder.is_done() {
+        decoder.finish(&mut items);
+    }
+    drain_items(&mut items, &tx, &mut report, &mut receiver_gone);
+    report.handshake_ok = !report
+        .first_errors
+        .iter()
+        .any(|e| matches!(e, DecodeError::BadMagic))
+        && report.bytes_read >= crate::log::CAPTURE_MAGIC.len() as u64;
+    report.stats = decoder.stats();
+    report
+}
+
+/// Forwards decoded items: events into the (blocking, bounded) channel,
+/// errors into the report. Returns false once the merge side hung up.
+fn drain_items(
+    items: &mut Vec<Result<ControlEvent, DecodeError>>,
+    tx: &SyncSender<ControlEvent>,
+    report: &mut ConnReport,
+    receiver_gone: &mut bool,
+) -> bool {
+    for item in items.drain(..) {
+        match item {
+            Ok(ev) => {
+                if *receiver_gone {
+                    continue;
+                }
+                if tx.send(ev).is_err() {
+                    *receiver_gone = true;
+                } else {
+                    report.events += 1;
+                }
+            }
+            Err(e) => {
+                if report.first_errors.len() < KEPT_ERRORS {
+                    report.first_errors.push(e);
+                }
+            }
+        }
+    }
+    !*receiver_gone
+}
+
+/// What [`publish_capture`] sent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PublishReport {
+    /// Bytes written to the socket, magic included.
+    pub bytes_sent: u64,
+    /// Events in the (pre-mangle) stream.
+    pub events: u64,
+    /// Ground truth of any chaos applied mid-wire.
+    pub chaos: Option<ChaosReport>,
+}
+
+/// Connects to `addr` and replays `log` as one publisher stream,
+/// optionally mangling the bytes through a [`ChannelChaos`] proxy (the
+/// network-fault model: dropped, duplicated, truncated, bit-flipped
+/// frames plus skew/jitter). Writes in `WRITE_CHUNK`-byte pieces so
+/// the receiving decoder always sees frames split across reads.
+pub fn publish_capture<A: ToSocketAddrs>(
+    addr: A,
+    log: &ControllerLog,
+    chaos: Option<&ChannelChaos>,
+) -> std::io::Result<PublishReport> {
+    let (bytes, chaos_report) = match chaos {
+        Some(chaos) => {
+            let (bytes, report) = chaos.mangle(log);
+            (bytes, Some(report))
+        }
+        None => (log.to_wire_bytes(), None),
+    };
+    let mut stream = TcpStream::connect(addr)?;
+    for piece in bytes.chunks(WRITE_CHUNK) {
+        stream.write_all(piece)?;
+    }
+    stream.flush()?;
+    drop(stream);
+    Ok(PublishReport {
+        bytes_sent: bytes.len() as u64,
+        events: log.len() as u64,
+        chaos: chaos_report,
+    })
+}
+
+/// Deals a capture across `n` publisher streams such that the
+/// `(timestamp, stream index)` merge of the streams reproduces the
+/// capture's event order exactly.
+///
+/// Events are distributed round-robin **run by run**: each maximal run
+/// of equal timestamps stays on one stream, so no timestamp tie ever
+/// straddles two streams and the merge tie-breaker (stream index)
+/// never has to guess the original order.
+pub fn split_capture(log: &ControllerLog, n: usize) -> Vec<ControllerLog> {
+    let n = n.max(1);
+    let mut parts = vec![ControllerLog::new(); n];
+    let mut turn = 0usize;
+    let mut run_ts = None;
+    for ev in log.events() {
+        if run_ts != Some(ev.ts) {
+            if run_ts.is_some() {
+                turn = (turn + 1) % n;
+            }
+            run_ts = Some(ev.ts);
+        }
+        parts[turn].push(ev.clone());
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::Direction;
+    use openflow::messages::OfpMessage;
+    use openflow::types::{DatapathId, Timestamp, Xid};
+
+    fn ev(ts_us: u64, xid: u32) -> ControlEvent {
+        ControlEvent {
+            ts: Timestamp::from_micros(ts_us),
+            dpid: DatapathId(1),
+            direction: Direction::ToController,
+            xid: Xid(xid),
+            msg: OfpMessage::Hello,
+        }
+    }
+
+    #[test]
+    fn split_capture_confines_timestamp_runs_to_one_stream() {
+        // Ties at 10 and 30 must each land whole on a single stream.
+        let log: ControllerLog = vec![
+            ev(10, 0),
+            ev(10, 1),
+            ev(20, 2),
+            ev(30, 3),
+            ev(30, 4),
+            ev(30, 5),
+            ev(40, 6),
+        ]
+        .into_iter()
+        .collect();
+        let parts = split_capture(&log, 3);
+        assert_eq!(parts.iter().map(ControllerLog::len).sum::<usize>(), 7);
+        for part in &parts {
+            for w in part.events().windows(2) {
+                assert!(w[0].ts <= w[1].ts, "streams stay time-ordered");
+            }
+        }
+        for ts in [10u64, 30] {
+            let holders = parts
+                .iter()
+                .filter(|p| p.events().iter().any(|e| e.ts.as_micros() == ts))
+                .count();
+            assert_eq!(holders, 1, "run at {ts}µs must not straddle streams");
+        }
+    }
+
+    #[test]
+    fn merge_of_split_streams_restores_capture_order() {
+        let log: ControllerLog = (0..100u64).map(|i| ev(10 + i / 3, i as u32)).collect();
+        for n in [1usize, 2, 4, 7] {
+            let parts = split_capture(&log, n);
+            // Feed the merge through real channels, pre-loaded.
+            let mut rxs = Vec::new();
+            for part in &parts {
+                let (tx, rx) = sync_channel(200);
+                for e in part.events() {
+                    tx.send(e.clone()).unwrap();
+                }
+                drop(tx);
+                rxs.push(Some(rx));
+            }
+            let heads = rxs.iter().map(|_| None).collect();
+            let merged: Vec<ControlEvent> = EventMerge { rxs, heads }.collect();
+            assert_eq!(merged, log.events().to_vec(), "{n} streams");
+        }
+    }
+
+    #[test]
+    fn loopback_roundtrip_single_publisher() {
+        let log: ControllerLog = (0..50u64).map(|i| ev(100 + i, i as u32)).collect();
+        let server = IngestServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let publisher = std::thread::spawn({
+            let log = log.clone();
+            move || publish_capture(addr, &log, None).unwrap()
+        });
+        let conns = server.accept_publishers(1, 16).unwrap();
+        let (events, reports) = conns.collect();
+        let sent = publisher.join().unwrap();
+        assert_eq!(events, log.events().to_vec());
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].handshake_ok);
+        assert_eq!(reports[0].events, 50);
+        assert_eq!(reports[0].bytes_read, sent.bytes_sent);
+        assert_eq!(reports[0].stats.frames_decoded, 50);
+        assert_eq!(reports[0].stats.frames_skipped, 0);
+    }
+
+    #[test]
+    fn handshake_failure_is_reported_not_fatal() {
+        let server = IngestServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let publisher = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"HTTP/1.1 GET / please").unwrap();
+        });
+        let conns = server.accept_publishers(1, 16).unwrap();
+        let (events, reports) = conns.collect();
+        publisher.join().unwrap();
+        assert!(events.is_empty());
+        assert!(!reports[0].handshake_ok);
+        assert!(matches!(reports[0].first_errors[0], DecodeError::BadMagic));
+    }
+}

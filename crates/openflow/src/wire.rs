@@ -333,6 +333,9 @@ fn decode_action(buf: &mut &[u8]) -> Result<Action, DecodeError> {
         2 => Action::SetVlanPcp(body.get_u8()),
         3 => Action::StripVlan,
         4 | 5 => {
+            // len = 8 passes the multiple-of-8 gate but leaves only 4
+            // body bytes; the 6-byte MAC read must be length-checked.
+            need(body, 6, "action.dl_addr")?;
             let mut mac = [0u8; 6];
             body.copy_to_slice(&mut mac);
             if type_code == 4 {
@@ -347,6 +350,9 @@ fn decode_action(buf: &mut &[u8]) -> Result<Action, DecodeError> {
         9 => Action::SetTpSrc(body.get_u16()),
         10 => Action::SetTpDst(body.get_u16()),
         11 => {
+            // Enqueue needs port(2) + pad(6) + queue_id(4) = 12 bytes,
+            // but any multiple-of-8 length ≥ 8 reaches this arm.
+            need(body, 12, "action.enqueue")?;
             let port = PortNo(body.get_u16());
             body.advance(6);
             Action::Enqueue {
@@ -986,6 +992,28 @@ mod tests {
             },
         ];
         roundtrip(OfpMessage::FlowMod(fm));
+    }
+
+    #[test]
+    fn short_action_bodies_error_instead_of_panicking() {
+        // A SetVlanVid action occupies 8 wire bytes, the smallest
+        // length the multiple-of-8 gate accepts. Rewriting its type
+        // code to SetDlSrc/SetDlDst (6-byte MAC) or Enqueue (12-byte
+        // body) leaves a structurally valid header over a too-short
+        // body, which must decode to an error rather than slicing out
+        // of bounds.
+        let mut fm = FlowMod::add(OfMatch::any(), 1);
+        fm.actions = vec![Action::SetVlanVid(VlanId(7))];
+        let bytes = encode(&OfpMessage::FlowMod(fm), Xid(1));
+        // FlowMod body: match(40) + fixed fields(24), then actions.
+        let action_at = HEADER_LEN + 64;
+        assert_eq!(bytes.len(), action_at + 8, "one 8-byte action");
+        for bad_type in [4u16, 5, 11] {
+            let mut mutated = bytes.to_vec();
+            mutated[action_at..action_at + 2].copy_from_slice(&bad_type.to_be_bytes());
+            let err = decode(&mutated).expect_err("short action body must be rejected");
+            assert!(matches!(err, DecodeError::Truncated { .. }), "{err:?}");
+        }
     }
 
     #[test]

@@ -146,6 +146,22 @@ proptest! {
     }
 
     #[test]
+    fn decode_never_panics_on_corrupted_actions(
+        m in arb_match(), actions in arb_actions(),
+        flip_at in any::<usize>(), flip_bits in any::<u8>()) {
+        // The no-actions variant above never exercises the per-action
+        // arms; this one corrupts messages that carry action lists, so
+        // a flipped action type code over a short body (e.g. SetVlanVid
+        // rewritten to SetDlSrc) must error instead of panicking.
+        let mut fm = FlowMod::add(m, 5);
+        fm.actions = actions;
+        let mut bytes = wire::encode(&OfpMessage::FlowMod(fm), Xid(1)).to_vec();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= flip_bits;
+        let _ = wire::decode(&bytes);
+    }
+
+    #[test]
     fn exact_match_always_matches_own_key(key in arb_flow_key(), port in 1u16..1000) {
         let m = OfMatch::exact(&key, PortNo(port));
         prop_assert!(m.matches(&key, PortNo(port)));
