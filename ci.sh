@@ -95,6 +95,67 @@ if ! printf '%s\n' "$wire_out" | grep -q '^fidelity: '; then
     exit 1
 fi
 
+step "flowdiff-bench flapdrill (connection-fault drill, fidelity gated)"
+# Session publishers behind seeded flaps/stalls/trickle against a strict
+# merge: resume is lossless and FIFO, so recovery must be exact. The
+# gate is tight on purpose — anything under 99.9% means the session
+# layer dropped or reordered events.
+flap_out="$("$bench_bin" flapdrill --seed 1 --flaps 2 --stalls 1 --trickles 1 --connections 2)"
+printf '%s\n' "$flap_out"
+if ! printf '%s\n' "$flap_out" | grep -q ' resume(s)'; then
+    echo "FAIL: flapdrill conn lines report no resume counters" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$flap_out" | \
+        awk -F'[:%]' '/^fidelity: / { found = 1; exit !($2 + 0 >= 99.9) } END { if (!found) exit 1 }'; then
+    echo "FAIL: flapdrill fidelity below 99.9% (or missing)" >&2
+    exit 1
+fi
+
+step "flowdiff-bench serve with a permanently stalled publisher (stall budget liveness)"
+# Conn 0 wedges for 3s mid-stream against a 200ms stall budget and a
+# 200ms heartbeat: the merge must waive it, epochs must keep flowing
+# with its diffs suppressed, and the reaper must kill the dead socket —
+# the run completes while the publisher is still asleep.
+stall_out="$demo_dir/serve_stall.out"
+"$bench_bin" serve "$demo_dir/baseline.fcap" --listen 127.0.0.1:0 --publishers 2 \
+    --stall-ms 200 --heartbeat-ms 200 \
+    > "$stall_out" 2>"$demo_dir/serve_stall.err" &
+stall_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on \([^ ]*\) .*/\1/p' "$stall_out" 2>/dev/null)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: stalled-publisher serve never printed its listening line" >&2
+    cat "$demo_dir/serve_stall.err" >&2 || true
+    kill "$stall_pid" 2>/dev/null || true
+    exit 1
+fi
+# The stalled conn's write fails once the reaper cuts it, so publish
+# exits nonzero by design.
+"$bench_bin" publish "$demo_dir/current.fcap" --connect "$addr" --connections 2 \
+    --stall-after 20000 --stall-ms 3000 || true
+wait "$stall_pid"
+grep '^stats: conn ' "$stall_out"
+grep '^stats: ingest ' "$stall_out"
+stall_epochs="$(grep -c '^epoch ' "$stall_out" || true)"
+if [ "$stall_epochs" -lt 1 ]; then
+    echo "FAIL: stalled publisher blocked all epoch emission" >&2
+    exit 1
+fi
+if ! grep '^stats: ingest ' "$stall_out" | grep -q ' conn stalls'; then
+    echo "FAIL: ingest health never counted the connection stall" >&2
+    exit 1
+fi
+if ! grep -q 'ingest degraded' "$stall_out"; then
+    echo "FAIL: no epoch was gated on the degraded ingest" >&2
+    exit 1
+fi
+echo "merge released $stall_epochs epochs past the wedged publisher"
+
 step "flowdiff-bench crashdrill smoke test (kill + checkpoint recovery)"
 drill_out="$(cargo run --release -q -p flowdiff-bench --bin flowdiff-bench -- \
     crashdrill --seed 1 --kills 3)"

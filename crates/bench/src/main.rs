@@ -26,6 +26,7 @@ fn main() -> ExitCode {
         Some("serve") => run(cmd_serve(&args[1..])),
         Some("publish") => run(cmd_publish(&args[1..])),
         Some("chaos") => run(cmd_chaos(&args[1..])),
+        Some("flapdrill") => run(cmd_flapdrill(&args[1..])),
         Some("crashdrill") => run(cmd_crashdrill(&args[1..])),
         Some("shardbench") => run(cmd_shardbench(&args[1..])),
         Some("hotpathbench") => run(cmd_hotpathbench(&args[1..])),
@@ -48,13 +49,18 @@ fn usage() {
          [--save-baseline <path>] [--checkpoint <path>] [--checkpoint-every N] \
          [--resume <path>]]\n       \
          flowdiff-bench [serve <baseline.fcap|baseline.fbas> --listen HOST:PORT \
-         [--publishers N] [--queue N] [--slack-ms N] [--special ip,ip] [--epoch-secs N] \
+         [--publishers N] [--queue N] [--slack-ms N] [--stall-ms N] [--heartbeat-ms N] \
+         [--special ip,ip] [--epoch-secs N] \
          [--window-secs N] [--shards N] [--checkpoint <path>] [--checkpoint-every N] \
          [--resume <path>]]\n       \
          flowdiff-bench [publish <current.fcap> --connect HOST:PORT [--connections N] \
-         [--chaos RATE] [--seed N] [--skew-us N] [--jitter-us N]]\n       \
+         [--chaos RATE] [--seed N] [--skew-us N] [--jitter-us N] [--session] \
+         [--retry-budget N] [--backoff-ms N] [--flaps N] \
+         [--stall-after BYTES --stall-ms N]]\n       \
          flowdiff-bench [chaos [--seed N] [--corruption RATE] \
          [--skew-us N] [--jitter-us N] [--shards N] [--wire] [--connections N]]\n       \
+         flowdiff-bench [flapdrill [--seed N] [--flaps N] [--stalls N] [--trickles N] \
+         [--connections N] [--shards N] [--merge-stall-ms N]]\n       \
          flowdiff-bench [crashdrill [--seed N] [--kills N] [--shards N] [--kill-worker]]\n       \
          flowdiff-bench [shardbench [--shards N] [--out <path>]]\n       \
          flowdiff-bench [hotpathbench [--out <path>]]"
@@ -113,6 +119,9 @@ fn print_index() {
     println!();
     println!("Ingestion fault drill (chaos-mangled 320-server capture):");
     println!("  cargo run --release -p flowdiff-bench -- chaos --seed 1 --corruption 0.01");
+    println!();
+    println!("Connection fault drill (flapping/stalling session publishers vs clean wire run):");
+    println!("  cargo run --release -p flowdiff-bench -- flapdrill --seed 1 --flaps 2");
     println!();
     println!("Crash-recovery drill (kill + checkpoint-restore on the 320-server capture):");
     println!("  cargo run --release -p flowdiff-bench -- crashdrill --seed 1 --kills 3");
@@ -372,6 +381,14 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 let n: u64 = it.next().ok_or("--slack-ms needs a number")?.parse()?;
                 config.reorder_slack_us = n * 1_000;
             }
+            "--stall-ms" => {
+                let n: u64 = it.next().ok_or("--stall-ms needs a number")?.parse()?;
+                config.ingest_stall_timeout_us = n * 1_000;
+            }
+            "--heartbeat-ms" => {
+                let n: u64 = it.next().ok_or("--heartbeat-ms needs a number")?.parse()?;
+                config.ingest_heartbeat_us = n * 1_000;
+            }
             "--shards" => {
                 n_shards = it.next().ok_or("--shards needs a count")?.parse()?;
                 if n_shards == 0 {
@@ -430,34 +447,40 @@ fn cmd_serve(args: &[String]) -> CliResult {
     // The line CI (and any supervisor) polls for before launching
     // publishers; with `--listen host:0` it carries the chosen port.
     println!("listening on {addr} for {publishers} publisher(s)");
-    let conns = server
-        .accept_publishers(publishers, config.ingest_queue_events)
+    let mut live = server
+        .live(
+            publishers,
+            config.ingest_queue_events,
+            LiveOptions {
+                stall_timeout_us: config.ingest_stall_timeout_us,
+                heartbeat_us: config.ingest_heartbeat_us,
+            },
+        )
         .map_err(|e| format!("accept: {e}"))?;
-    // Drain the merge up front: the supervised loop needs random access
-    // to replay from a checkpoint's event offset, exactly like `watch`
-    // over a capture file. Backpressure still holds while the streams
-    // are live — each connection feeds a bounded queue, so a publisher
-    // far ahead of the merge blocks on TCP, not on server memory.
-    let (events, reports) = conns.collect();
-    for r in &reports {
-        for e in &r.first_errors {
-            eprintln!("warning: conn {}: {e} (resynchronized)", r.index);
+    // The merge is pulled *on demand*: epochs are diffed and printed
+    // while publishers are still connected, and every event is retained
+    // so a checkpoint replay can re-read from any offset, exactly like
+    // `watch` over a capture file. Backpressure still holds — each
+    // connection feeds a bounded queue, so a publisher far ahead of the
+    // merge blocks on TCP, not on server memory.
+    let mut feed = Feed::live(live.take_merge());
+    // While any stream is stalled or dead its share of the window is
+    // missing; the differ gates those epochs' diffs to Suppressed
+    // instead of alarming on behavior the wire never delivered.
+    let gauges = live.gauges();
+    let degraded_probe = move || -> Option<String> {
+        let down: Vec<String> = gauges
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.is_degraded())
+            .map(|(i, g)| format!("conn {i} {}", g.state()))
+            .collect();
+        if down.is_empty() {
+            None
+        } else {
+            Some(down.join(", "))
         }
-        println!(
-            "stats: conn {} {} handshake {}, {} bytes, {} events, \
-             {} skipped frame(s) ({} bytes)",
-            r.index,
-            r.peer,
-            if r.handshake_ok { "ok" } else { "FAILED" },
-            r.bytes_read,
-            r.events,
-            r.stats.frames_skipped,
-            r.stats.bytes_skipped
-        );
-    }
-    if events.is_empty() {
-        return Err("publishers delivered no events".into());
-    }
+    };
 
     let fresh = || -> Result<(Differ, u64), Box<dyn std::error::Error>> {
         match &resume_path {
@@ -491,20 +514,30 @@ fn cmd_serve(args: &[String]) -> CliResult {
             )),
         }
     };
-    let (last, mut health, restarts, shard_report) = supervised_run(
-        &events,
+    let (last, mut health, restarts, shard_report) = supervised_feed(
+        &mut feed,
         &fresh,
         &config,
         checkpoint_path.as_deref(),
         None,
         false,
+        Some(&degraded_probe),
         |snapshot, timings| {
             report(snapshot, &config);
             report_latency(snapshot.epoch, timings);
         },
     )?;
+    let reports = live.finish();
     for r in &reports {
+        for e in &r.first_errors {
+            eprintln!("warning: conn {}: {e} (resynchronized)", r.index);
+        }
+        println!("stats: conn {}", conn_line(r));
         health.absorb_stream(r.stats);
+        health.absorb_conn(r.stalls, r.disconnects, r.resumes);
+    }
+    if feed.delivered() == 0 {
+        return Err("publishers delivered no events".into());
     }
     if let Some(snapshot) = &last {
         report(snapshot, &config);
@@ -547,6 +580,12 @@ fn cmd_publish(args: &[String]) -> CliResult {
     let mut seed: u64 = 1;
     let mut skew_us: u64 = 0;
     let mut jitter_us: u64 = 0;
+    let mut session = false;
+    let mut retry_budget: u32 = 0;
+    let mut backoff_ms: u64 = 200;
+    let mut flaps: usize = 0;
+    let mut stall_after: u64 = 0;
+    let mut stall_ms: u64 = 0;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -566,10 +605,37 @@ fn cmd_publish(args: &[String]) -> CliResult {
             "--seed" => seed = it.next().ok_or("--seed needs a number")?.parse()?,
             "--skew-us" => skew_us = it.next().ok_or("--skew-us needs a number")?.parse()?,
             "--jitter-us" => jitter_us = it.next().ok_or("--jitter-us needs a number")?.parse()?,
+            "--session" => session = true,
+            "--retry-budget" => {
+                retry_budget = it.next().ok_or("--retry-budget needs a count")?.parse()?;
+            }
+            "--backoff-ms" => {
+                backoff_ms = it.next().ok_or("--backoff-ms needs a number")?.parse()?;
+            }
+            "--flaps" => flaps = it.next().ok_or("--flaps needs a count")?.parse()?,
+            "--stall-after" => {
+                stall_after = it
+                    .next()
+                    .ok_or("--stall-after needs a byte count")?
+                    .parse()?;
+            }
+            "--stall-ms" => stall_ms = it.next().ok_or("--stall-ms needs a number")?.parse()?,
             other => return Err(format!("unknown flag: {other}").into()),
         }
     }
     let connect = connect.ok_or("publish needs --connect HOST:PORT")?;
+    // `--retry-budget`/`--flaps` only make sense on resumable streams.
+    let session = session || retry_budget > 0 || flaps > 0;
+    if session && (chaos_rate > 0.0 || skew_us > 0 || jitter_us > 0) {
+        return Err("--chaos/--skew-us/--jitter-us mangle legacy streams; \
+                    they cannot combine with --session/--flaps/--retry-budget"
+            .into());
+    }
+    if session && stall_after > 0 {
+        return Err("--stall-after paces a legacy stream; \
+                    use --flaps for session-mode faults"
+            .into());
+    }
 
     // Tolerant decode, like `watch`: a capture with a bad write is
     // replayed minus the corrupt frames, not rejected.
@@ -600,20 +666,48 @@ fn cmd_publish(args: &[String]) -> CliResult {
     let mut handles = Vec::new();
     for (i, part) in split_capture(&log, connections).into_iter().enumerate() {
         let addr = connect.clone();
-        let chaos = base_chaos.clone().map(|mut c| {
-            c.seed = c.seed.wrapping_add(i as u64);
-            c
-        });
-        handles.push(std::thread::spawn(move || {
-            publish_capture(addr.as_str(), &part, chaos.as_ref())
-        }));
+        if session {
+            let opts = SessionOptions {
+                session: seed.wrapping_mul(0x10_000).wrapping_add(i as u64),
+                retry_budget,
+                backoff_us: backoff_ms.saturating_mul(1_000),
+                plan: (flaps > 0).then(|| {
+                    ConnChaos::flapping(flaps, seed).plan_for(i as u64, part.len() as u64)
+                }),
+            };
+            handles.push(std::thread::spawn(move || {
+                publish_session(addr.as_str(), &part, &opts)
+            }));
+        } else {
+            let chaos = base_chaos.clone().map(|mut c| {
+                c.seed = c.seed.wrapping_add(i as u64);
+                c
+            });
+            // Only the first connection is paced: one wedged publisher
+            // among healthy siblings is exactly the stalled-source
+            // scenario the serve smoke drills.
+            let stall = (stall_after > 0 && i == 0)
+                .then(|| (stall_after, std::time::Duration::from_millis(stall_ms)));
+            handles.push(std::thread::spawn(move || {
+                publish_capture_paced(addr.as_str(), &part, chaos.as_ref(), stall)
+            }));
+        }
     }
     let mut total = PublishReport::default();
+    let mut first_err: Option<String> = None;
     for (i, handle) in handles.into_iter().enumerate() {
-        let r = handle
-            .join()
-            .expect("publisher thread must not panic")
-            .map_err(|e| format!("conn {i}: {e}"))?;
+        let r = match handle.join().expect("publisher thread must not panic") {
+            Ok(r) => r,
+            Err(e) => {
+                // Keep joining: sibling connections must finish (or
+                // fail on their own terms) before the process exits.
+                println!("publish: conn {i} FAILED: {e}");
+                if first_err.is_none() {
+                    first_err = Some(format!("conn {i}: {e}"));
+                }
+                continue;
+            }
+        };
         match &r.chaos {
             Some(c) => println!(
                 "publish: conn {i} sent {} bytes, {} events (chaos: {} dropped, \
@@ -625,6 +719,11 @@ fn cmd_publish(args: &[String]) -> CliResult {
                 c.truncated,
                 c.bit_flipped,
                 c.reordered
+            ),
+            None if session => println!(
+                "publish: conn {i} sent {} bytes, {} events ({} connect(s), \
+                 {} resume(s), {} retry(s), {} fault(s))",
+                r.bytes_sent, r.events, r.connects, r.resumes, r.retries, r.faults
             ),
             None => println!(
                 "publish: conn {i} sent {} bytes, {} events",
@@ -638,7 +737,10 @@ fn cmd_publish(args: &[String]) -> CliResult {
         "publish: {connections} connection(s), {} bytes, {} events total",
         total.bytes_sent, total.events
     );
-    Ok(())
+    match first_err {
+        Some(e) => Err(e.into()),
+        None => Ok(()),
+    }
 }
 
 /// The watch loop's pipeline, in either deployment shape. `--shards 1`
@@ -687,6 +789,17 @@ impl Differ {
         match self {
             Differ::Single(d) => d.mark_lossy_restore(),
             Differ::Sharded(d) => d.mark_lossy_restore(),
+        }
+    }
+
+    /// Marks (or clears) a degraded-ingest condition: while set, every
+    /// snapshot gates its diffs to Suppressed (see
+    /// [`OnlineDiffer::set_ingest_degraded`]) instead of alarming on
+    /// behavior a stalled or dead source never delivered.
+    fn set_ingest_degraded(&mut self, reason: Option<String>) {
+        match self {
+            Differ::Single(d) => d.set_ingest_degraded(reason),
+            Differ::Sharded(d) => d.set_ingest_degraded(reason),
         }
     }
 
@@ -768,6 +881,66 @@ fn restore_checkpoint(
     }
 }
 
+/// The supervised loop's event source.
+///
+/// `Slice` is the batch shape (`watch`, the drills, the tests): the
+/// capture fully decoded up front. `Live` pulls from a wire
+/// [`EventMerge`] *on demand* — an epoch is diffed and printed while
+/// publishers are still connected — and retains every pulled event so
+/// a checkpoint replay can re-read from any earlier offset, exactly
+/// like a file. Retention is what `serve` already paid when it
+/// collected the merge up front; it buys crash recovery, and with a
+/// stall-tolerant merge it is also what keeps a silent stream from
+/// wedging epoch emission: `get` returns whatever the merge releases
+/// past the stalled source.
+enum Feed<'a> {
+    Slice(&'a [ControlEvent]),
+    Live {
+        merge: EventMerge,
+        buffered: Vec<ControlEvent>,
+        done: bool,
+    },
+}
+
+impl Feed<'_> {
+    fn live(merge: EventMerge) -> Feed<'static> {
+        Feed::Live {
+            merge,
+            buffered: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// The event at `idx`, pulling from the live merge as needed;
+    /// `None` once the stream is exhausted.
+    fn get(&mut self, idx: usize) -> Option<&ControlEvent> {
+        match self {
+            Feed::Slice(events) => events.get(idx),
+            Feed::Live {
+                merge,
+                buffered,
+                done,
+            } => {
+                while !*done && buffered.len() <= idx {
+                    match merge.next() {
+                        Some(event) => buffered.push(event),
+                        None => *done = true,
+                    }
+                }
+                buffered.get(idx)
+            }
+        }
+    }
+
+    /// Events seen so far (the full length for `Slice`).
+    fn delivered(&self) -> usize {
+        match self {
+            Feed::Slice(events) => events.len(),
+            Feed::Live { buffered, .. } => buffered.len(),
+        }
+    }
+}
+
 /// Drives `events` through a supervised online differ (either shape).
 ///
 /// Every observation runs inside `catch_unwind`; on a panic the loop
@@ -796,8 +969,44 @@ fn supervised_run(
     fresh: &dyn Fn() -> Result<(Differ, u64), Box<dyn std::error::Error>>,
     config: &FlowDiffConfig,
     checkpoint_path: Option<&Path>,
+    plan: Option<&mut CrashPlan>,
+    kill_workers: bool,
+    on_snapshot: impl FnMut(&EpochSnapshot, EpochTimings),
+) -> Result<
+    (
+        Option<EpochSnapshot>,
+        flowdiff::records::IngestHealth,
+        u32,
+        Option<(Vec<ShardStats>, u64)>,
+    ),
+    Box<dyn std::error::Error>,
+> {
+    supervised_feed(
+        &mut Feed::Slice(events),
+        fresh,
+        config,
+        checkpoint_path,
+        plan,
+        kill_workers,
+        None,
+        on_snapshot,
+    )
+}
+
+/// [`supervised_run`] over any [`Feed`], with an optional degraded-
+/// ingest probe. The probe is polled once per event (cheap atomic
+/// reads) and its verdict is applied to the differ *before* the
+/// observation, so an epoch that closes while a source is stalled or
+/// dead gates its diffs instead of alarming on the missing share.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn supervised_feed(
+    feed: &mut Feed<'_>,
+    fresh: &dyn Fn() -> Result<(Differ, u64), Box<dyn std::error::Error>>,
+    config: &FlowDiffConfig,
+    checkpoint_path: Option<&Path>,
     mut plan: Option<&mut CrashPlan>,
     kill_workers: bool,
+    degraded: Option<&dyn Fn() -> Option<String>>,
     mut on_snapshot: impl FnMut(&EpochSnapshot, EpochTimings),
 ) -> Result<
     (
@@ -840,8 +1049,13 @@ fn supervised_run(
         }
     };
     'run: loop {
-        while idx < events.len() {
-            let event = &events[idx];
+        // Pull (possibly blocking on the live merge) *before* probing:
+        // a stall the merge just waived to release this event is
+        // visible to the probe that gates its epoch.
+        while let Some(event) = feed.get(idx) {
+            if let Some(probe) = degraded {
+                differ.set_ingest_degraded(probe());
+            }
             let observed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let snaps = differ.observe(event);
                 if let Some(plan) = plan.as_deref_mut() {
@@ -1069,6 +1283,117 @@ fn cmd_chaos(args: &[String]) -> CliResult {
     println!("stats: ingest {chaos_health}");
 
     let recovered = clean_keys.intersection(&chaos_keys).count();
+    let fidelity = if clean_keys.is_empty() {
+        1.0
+    } else {
+        recovered as f64 / clean_keys.len() as f64
+    };
+    println!(
+        "fidelity: {:.1}% ({recovered}/{} confirmed changes recovered)",
+        fidelity * 100.0,
+        clean_keys.len()
+    );
+    Ok(())
+}
+
+/// `flapdrill`: the connection-fault drill. Replays the 320-server
+/// capture twice through a loopback live-session ingest — once clean,
+/// once with every publisher behind a seeded [`ConnChaos`] plan
+/// (mid-stream disconnects that reconnect and resume from the server's
+/// watermark, write stalls, slow-loris trickle) — and reports how much
+/// of the clean run's confirmed diff the faulted run recovered.
+///
+/// With the default strict merge (no stall budget) a faulted run must
+/// recover 100%: resume is lossless (the watermark counts events
+/// actually queued, the next attempt re-sends from there, FIFO order
+/// per stream holds) and the merge simply waits out each fault. A
+/// nonzero `--merge-stall-ms` trades that certainty for liveness; the
+/// fidelity line then measures what the trade cost.
+fn cmd_flapdrill(args: &[String]) -> CliResult {
+    let mut seed: u64 = 1;
+    let mut flaps: usize = 2;
+    let mut stalls: usize = 1;
+    let mut trickles: usize = 1;
+    let mut connections: usize = 2;
+    let mut n_shards: usize = 1;
+    let mut merge_stall_ms: u64 = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().ok_or("--seed needs a number")?.parse()?,
+            "--flaps" => flaps = it.next().ok_or("--flaps needs a count")?.parse()?,
+            "--stalls" => stalls = it.next().ok_or("--stalls needs a count")?.parse()?,
+            "--trickles" => trickles = it.next().ok_or("--trickles needs a count")?.parse()?,
+            "--connections" => {
+                connections = it.next().ok_or("--connections needs a count")?.parse()?;
+                if connections == 0 {
+                    return Err("--connections must be at least 1".into());
+                }
+            }
+            "--shards" => {
+                n_shards = it.next().ok_or("--shards needs a count")?.parse()?;
+                if n_shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--merge-stall-ms" => {
+                merge_stall_ms = it
+                    .next()
+                    .ok_or("--merge-stall-ms needs a number")?
+                    .parse()?;
+            }
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+    }
+
+    let (baseline_log, mut config) = flowdiff_bench::tree_capture(9, 42, 6);
+    let (current_log, _) = flowdiff_bench::tree_capture(9, 43, 6);
+    config.max_time_jump_us = config.partial_flow_timeout_us.max(config.episode_gap_us);
+    config.ingest_stall_timeout_us = merge_stall_ms * 1_000;
+    config.validate()?;
+    let baseline = BehaviorModel::build(&baseline_log, &config);
+    let stability = analyze(&baseline_log, &baseline, &config);
+    let chaos = ConnChaos {
+        stalls,
+        stall_ms: 40,
+        trickles,
+        trickle_events: 32,
+        ..ConnChaos::flapping(flaps, seed)
+    };
+    println!(
+        "flapdrill: seed {seed}, per conn {flaps} flap(s) + {stalls} stall(s) + \
+         {trickles} trickle(s), {connections} connection(s), merge stall budget \
+         {merge_stall_ms} ms, {n_shards} shard(s)"
+    );
+
+    let (clean_keys, clean_health, _) = wire_session_changes(
+        &current_log,
+        None,
+        connections,
+        baseline.clone(),
+        stability.clone(),
+        &config,
+        n_shards,
+    )?;
+    let (drill_keys, drill_health, reports) = wire_session_changes(
+        &current_log,
+        Some(&chaos),
+        connections,
+        baseline,
+        stability,
+        &config,
+        n_shards,
+    )?;
+    for r in &reports {
+        println!("stats: conn {}", conn_line(r));
+    }
+    println!(
+        "clean:   {} confirmed changes; ingest {clean_health}",
+        clean_keys.len()
+    );
+    println!("stats: ingest {drill_health}");
+
+    let recovered = clean_keys.intersection(&drill_keys).count();
     let fidelity = if clean_keys.is_empty() {
         1.0
     } else {
@@ -1665,6 +1990,11 @@ fn wire_changes(
 > {
     let server = IngestServer::bind("127.0.0.1:0")?;
     let addr = server.local_addr()?;
+    let mut live = server.live(
+        connections,
+        config.ingest_queue_events,
+        LiveOptions::default(),
+    )?;
     let mut publishers = Vec::new();
     for (i, part) in split_capture(log, connections).into_iter().enumerate() {
         let chaos = chaos.cloned().map(|mut c| {
@@ -1675,24 +2005,10 @@ fn wire_changes(
             publish_capture(addr, &part, chaos.as_ref())
         }));
     }
-    let conns = server.accept_publishers(connections, config.ingest_queue_events)?;
-    let (merge, joins) = conns.into_merge();
-    let mut differ = if n_shards > 1 {
-        Differ::Sharded(ShardedDiffer::try_new(
-            baseline, stability, config, n_shards,
-        )?)
-    } else {
-        Differ::Single(OnlineDiffer::try_new(baseline, stability, config)?)
-    };
-    let mut keys = BTreeSet::new();
-    for event in merge {
-        for snapshot in differ.observe(&event) {
-            collect_keys(&snapshot.diff, &mut keys);
-        }
-    }
-    let mut health = differ.health();
-    for join in joins {
-        health.absorb_stream(join.join().stats);
+    let (keys, mut health) = drain_merge(live.take_merge(), baseline, stability, config, n_shards)?;
+    for r in live.finish() {
+        health.absorb_stream(r.stats);
+        health.absorb_conn(r.stalls, r.disconnects, r.resumes);
     }
     let mut mangled = ChaosReport::default();
     for publisher in publishers {
@@ -1709,10 +2025,96 @@ fn wire_changes(
             mangled.reordered += c.reordered;
         }
     }
+    Ok((keys, health, mangled))
+}
+
+/// Drains a live merge through a fresh differ (single or sharded) and
+/// returns the union of confirmed change keys plus the differ's health.
+fn drain_merge(
+    merge: EventMerge,
+    baseline: BehaviorModel,
+    stability: StabilityReport,
+    config: &FlowDiffConfig,
+    n_shards: usize,
+) -> Result<(BTreeSet<String>, flowdiff::records::IngestHealth), Box<dyn std::error::Error>> {
+    let mut differ = if n_shards > 1 {
+        Differ::Sharded(ShardedDiffer::try_new(
+            baseline, stability, config, n_shards,
+        )?)
+    } else {
+        Differ::Single(OnlineDiffer::try_new(baseline, stability, config)?)
+    };
+    let mut keys = BTreeSet::new();
+    for event in merge {
+        for snapshot in differ.observe(&event) {
+            collect_keys(&snapshot.diff, &mut keys);
+        }
+    }
+    let health = differ.health();
     if let Some(snapshot) = differ.finish() {
         collect_keys(&snapshot.diff, &mut keys);
     }
-    Ok((keys, health, mangled))
+    Ok((keys, health))
+}
+
+/// Like [`wire_changes`], but with **session** publishers — resumable
+/// streams with bounded retry — each optionally behind a seeded
+/// [`ConnChaos`] connection-fault plan (mid-stream disconnects that
+/// resume from the server's watermark, write stalls, slow-loris
+/// trickle). Returns the confirmed-change keys, the folded health, and
+/// the per-stream connection reports.
+#[allow(clippy::type_complexity)]
+fn wire_session_changes(
+    log: &ControllerLog,
+    chaos: Option<&ConnChaos>,
+    connections: usize,
+    baseline: BehaviorModel,
+    stability: StabilityReport,
+    config: &FlowDiffConfig,
+    n_shards: usize,
+) -> Result<
+    (
+        BTreeSet<String>,
+        flowdiff::records::IngestHealth,
+        Vec<netsim::net::ConnReport>,
+    ),
+    Box<dyn std::error::Error>,
+> {
+    let server = IngestServer::bind("127.0.0.1:0")?;
+    let addr = server.local_addr()?;
+    let mut live = server.live(
+        connections,
+        config.ingest_queue_events,
+        LiveOptions {
+            stall_timeout_us: config.ingest_stall_timeout_us,
+            heartbeat_us: config.ingest_heartbeat_us,
+        },
+    )?;
+    let mut publishers = Vec::new();
+    for (i, part) in split_capture(log, connections).into_iter().enumerate() {
+        let opts = SessionOptions {
+            session: 0xF1A9_0000 + i as u64,
+            retry_budget: config.publish_retry_budget.max(2),
+            backoff_us: config.publish_backoff_us,
+            plan: chaos.map(|c| c.plan_for(i as u64, part.len() as u64)),
+        };
+        publishers.push(std::thread::spawn(move || {
+            publish_session(addr, &part, &opts)
+        }));
+    }
+    let (keys, mut health) = drain_merge(live.take_merge(), baseline, stability, config, n_shards)?;
+    let reports = live.finish();
+    for r in &reports {
+        health.absorb_stream(r.stats);
+        health.absorb_conn(r.stalls, r.disconnects, r.resumes);
+    }
+    for publisher in publishers {
+        publisher
+            .join()
+            .expect("publisher thread must not panic")
+            .map_err(|e| format!("publish: {e}"))?;
+    }
+    Ok((keys, health, reports))
 }
 
 /// Keys a diff's changes by signature, direction, and implicated
@@ -1729,6 +2131,39 @@ fn collect_keys(diff: &ModelDiff, keys: &mut BTreeSet<String>) {
             change.kind, change.direction, change.components
         ));
     }
+}
+
+/// The body of one `stats: conn` line: lifetime accounting for a
+/// logical ingest stream, final state and disconnect cause included.
+fn conn_line(r: &netsim::net::ConnReport) -> String {
+    let peer = r
+        .peer
+        .map(|p| p.to_string())
+        .unwrap_or_else(|| "-".to_string());
+    let session = r
+        .session
+        .map(|s| format!(" session {s:#x}"))
+        .unwrap_or_default();
+    let cause = r
+        .cause
+        .map(|c| c.to_string())
+        .unwrap_or_else(|| "never connected".to_string());
+    format!(
+        "{} {peer}{session} handshake {}, {} bytes, {} events, \
+         {} skipped frame(s) ({} bytes), state {} ({cause}), \
+         {} connect(s), {} resume(s), {} stall(s), {} drop(s)",
+        r.index,
+        if r.handshake_ok { "ok" } else { "FAILED" },
+        r.bytes_read,
+        r.events,
+        r.stats.frames_skipped,
+        r.stats.bytes_skipped,
+        r.state,
+        r.connects,
+        r.resumes,
+        r.stalls,
+        r.disconnects
+    )
 }
 
 /// One per-epoch latency breakdown line. Deliberately NOT prefixed

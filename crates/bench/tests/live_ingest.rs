@@ -66,14 +66,17 @@ fn serve_loopback(
 ) -> (Vec<ControlEvent>, Vec<netsim::net::ConnReport>) {
     let server = IngestServer::bind("127.0.0.1:0").expect("bind loopback");
     let addr = server.local_addr().expect("local addr");
+    let mut live = server
+        .live(n, queue, LiveOptions::default())
+        .expect("live ingest");
     let mut publishers = Vec::new();
     for part in split_capture(log, n) {
         publishers.push(std::thread::spawn(move || {
             publish_capture(addr, &part, None).expect("publish")
         }));
     }
-    let conns = server.accept_publishers(n, queue).expect("accept");
-    let (events, reports) = conns.collect();
+    let events: Vec<ControlEvent> = live.take_merge().collect();
+    let reports = live.finish();
     for p in publishers {
         p.join().expect("publisher thread");
     }
@@ -152,8 +155,11 @@ fn chaos_connection_accounting_matches_batch_decode_exactly() {
             publish_capture(addr, &part, Some(&chaos)).expect("publish")
         });
         // One connection at a time: no accept-order ambiguity.
-        let conns = server.accept_publishers(1, 64).expect("accept");
-        let (events, reports) = conns.collect();
+        let mut live = server
+            .live(1, 64, LiveOptions::default())
+            .expect("live ingest");
+        let events: Vec<ControlEvent> = live.take_merge().collect();
+        let reports = live.finish();
         let sent = publisher.join().expect("publisher thread");
 
         assert_eq!(sent.bytes_sent, expected_bytes.len() as u64);
@@ -200,7 +206,9 @@ fn slow_consumer_backpressure_bounds_memory_not_correctness() {
             sent
         }
     });
-    let conns = server.accept_publishers(1, 4).expect("accept");
+    let mut live = server
+        .live(1, 4, LiveOptions::default())
+        .expect("live ingest");
     // Hold the merge undrained: the bounded queue + full socket buffers
     // must stall the publisher well short of completion.
     std::thread::sleep(std::time::Duration::from_millis(500));
@@ -208,7 +216,8 @@ fn slow_consumer_backpressure_bounds_memory_not_correctness() {
         !done.load(Ordering::SeqCst),
         "publisher must be blocked by backpressure while the merge is undrained"
     );
-    let (events, reports) = conns.collect();
+    let events: Vec<ControlEvent> = live.take_merge().collect();
+    let reports = live.finish();
     let sent = publisher.join().expect("publisher thread");
     assert!(done.load(Ordering::SeqCst));
     assert_eq!(events.len(), log.len());

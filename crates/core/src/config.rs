@@ -121,6 +121,34 @@ pub struct FlowDiffConfig {
     /// this much log time passes the restore point. `0` disables the
     /// warm-up. Lossless checkpoint-plus-replay resume never warms.
     pub restore_warmup_us: u64,
+    /// Live ingest: how long (wall time) the cross-connection merge
+    /// waits on a silent stream before releasing events past it. This
+    /// is the detection-time vs. ordering-confidence knob of served
+    /// mode: `0` — the default — disables the budget entirely and the
+    /// merge blocks forever on every open stream (the strict ordering
+    /// semantics every byte-identity test runs under); a nonzero budget
+    /// bounds how long one stalled publisher can wedge epoch emission,
+    /// at the price that a late burst from the stalled stream leans on
+    /// `reorder_slack_us` to re-sequence. When nonzero it must be at
+    /// least `ingest_heartbeat_us`, else healthy-but-quiet publishers
+    /// are routinely waived.
+    pub ingest_stall_timeout_us: u64,
+    /// Live ingest: publishers send a heartbeat record at least this
+    /// often (wall time) when they have no data, and the server treats
+    /// a session silent for well past this as dead-but-open rather
+    /// than quiet. `0` disables heartbeats (legacy PR 9 publishers
+    /// never send them).
+    pub ingest_heartbeat_us: u64,
+    /// Live publish: how many times a publisher retries a failed
+    /// connect/write (with resume) before giving up. `0` is valid and
+    /// means fail-fast: the first connection failure is final.
+    pub publish_retry_budget: u32,
+    /// Live publish: base delay between publisher retries, microseconds
+    /// of wall time; doubles on every consecutive retry (exponential
+    /// backoff) plus a seeded jitter so a fleet of publishers does not
+    /// reconnect in lockstep. Must be nonzero so a flapping server
+    /// cannot be hammered in a hot loop.
+    pub publish_backoff_us: u64,
 }
 
 impl Default for FlowDiffConfig {
@@ -153,6 +181,10 @@ impl Default for FlowDiffConfig {
             restart_backoff_us: 500_000,
             ingest_queue_events: 1_024,
             restore_warmup_us: 30_000_000,
+            ingest_stall_timeout_us: 0,
+            ingest_heartbeat_us: 0,
+            publish_retry_budget: 0,
+            publish_backoff_us: 200_000,
         }
     }
 }
@@ -242,6 +274,21 @@ impl FlowDiffConfig {
         nonzero("checkpoint_every_epochs", self.checkpoint_every_epochs)?;
         nonzero("restart_backoff_us", self.restart_backoff_us)?;
         nonzero("ingest_queue_events", self.ingest_queue_events as u64)?;
+        // Publisher backoff of zero would let a flapping server be
+        // hammered in a hot loop; a retry budget of 0 is meaningful
+        // (fail fast) and deliberately passes. A stall budget shorter
+        // than the heartbeat cadence would waive healthy-but-quiet
+        // publishers between beats; both zero (disabled) is the default
+        // and preserves strict blocking-merge semantics.
+        nonzero("publish_backoff_us", self.publish_backoff_us)?;
+        if self.ingest_stall_timeout_us > 0
+            && self.ingest_stall_timeout_us < self.ingest_heartbeat_us
+        {
+            return Err(ConfigError {
+                field: "ingest_stall_timeout_us",
+                reason: "must be at least ingest_heartbeat_us when nonzero",
+            });
+        }
         Ok(())
     }
 }
@@ -358,6 +405,40 @@ mod tests {
             }),
             "ingest_queue_events"
         );
+        assert_eq!(
+            rejected_field(FlowDiffConfig {
+                publish_backoff_us: 0,
+                ..base()
+            }),
+            "publish_backoff_us"
+        );
+        assert_eq!(
+            rejected_field(FlowDiffConfig {
+                ingest_stall_timeout_us: 50_000,
+                ingest_heartbeat_us: 200_000,
+                ..base()
+            }),
+            "ingest_stall_timeout_us"
+        );
+    }
+
+    #[test]
+    fn stall_budget_zero_is_disabled_regardless_of_heartbeat() {
+        // 0 = strict blocking merge (the PR 9 semantics); the
+        // stall >= heartbeat cross-check only binds when the budget is
+        // actually on.
+        let c = FlowDiffConfig {
+            ingest_stall_timeout_us: 0,
+            ingest_heartbeat_us: 200_000,
+            ..FlowDiffConfig::default()
+        };
+        assert_eq!(c.validate(), Ok(()));
+        let on = FlowDiffConfig {
+            ingest_stall_timeout_us: 200_000,
+            ingest_heartbeat_us: 200_000,
+            ..FlowDiffConfig::default()
+        };
+        assert_eq!(on.validate(), Ok(()));
     }
 
     #[test]

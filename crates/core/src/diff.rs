@@ -292,6 +292,7 @@ fn gate_diff(
     model: &BehaviorModel,
     warm_until: Option<Timestamp>,
     end: Timestamp,
+    degraded: Option<&str>,
     diff: &mut ModelDiff,
 ) -> Vec<(SignatureKind, SignatureHealth)> {
     let mut gating: Vec<(SignatureKind, SignatureHealth)> = Vec::new();
@@ -300,6 +301,22 @@ fn gate_diff(
             let remaining_us = until.saturating_since(end);
             for kind in RECORD_FED.into_iter().chain([SignatureKind::Lu]) {
                 gating.push((kind, SignatureHealth::Warming { remaining_us }));
+            }
+        }
+    }
+    if gating.is_empty() {
+        if let Some(reason) = degraded {
+            // The transport says a source is stalled or dead: part of
+            // the window's behavior is simply missing, so every
+            // signature's diff is suppressed rather than flooding
+            // "missing flow" alarms against a starved input.
+            for kind in RECORD_FED.into_iter().chain([SignatureKind::Lu]) {
+                gating.push((
+                    kind,
+                    SignatureHealth::Starved {
+                        reason: format!("ingest degraded: {reason}"),
+                    },
+                ));
             }
         }
     }
@@ -431,6 +448,12 @@ pub struct OnlineDiffer {
     /// signature reports [`SignatureHealth::Warming`] for boundaries
     /// before this log time.
     warm_until: Option<Timestamp>,
+    /// Transient transport-degradation note set by the serving loop
+    /// (a stalled or dead publisher): while set, every signature gates
+    /// [`SignatureHealth::Starved`]. A live transport condition, not
+    /// stream state — excluded from equality and serialization like
+    /// the timing diagnostics.
+    ingest_degraded: Option<String>,
     /// Per-stage boundary timings since the last
     /// [`take_timings`](Self::take_timings) (diagnostics only: excluded
     /// from equality and serialization).
@@ -475,6 +498,7 @@ impl Deserialize for OnlineDiffer {
             builder: IncrementalModelBuilder::deserialize(input)?,
             clock: EpochClock::deserialize(input)?,
             warm_until: Option::<Timestamp>::deserialize(input)?,
+            ingest_degraded: None,
             timings: EpochTimings::default(),
         })
     }
@@ -517,6 +541,7 @@ impl OnlineDiffer {
             builder: IncrementalModelBuilder::new(config),
             clock: EpochClock::new(config.online_epoch_us, config.online_window_us),
             warm_until: None,
+            ingest_degraded: None,
             timings: EpochTimings::default(),
         })
     }
@@ -550,6 +575,15 @@ impl OnlineDiffer {
             now.as_micros()
                 .saturating_add(self.config.restore_warmup_us),
         ));
+    }
+
+    /// Sets (or clears) the transport-degradation note: while set,
+    /// every signature is gated [`SignatureHealth::Starved`] with this
+    /// reason — the serving loop calls this when a publisher stream
+    /// goes stalled or dead, and clears it when the stream revives.
+    /// Transient: never serialized, never part of differ equality.
+    pub fn set_ingest_degraded(&mut self, reason: Option<String>) {
+        self.ingest_degraded = reason;
     }
 
     /// Event-level ingestion health accumulated so far (out-of-order
@@ -598,6 +632,7 @@ impl OnlineDiffer {
             mut builder,
             clock,
             warm_until,
+            ingest_degraded,
             timings: _,
         } = self;
         let (_, end) = builder.observed_span()?;
@@ -610,7 +645,14 @@ impl OnlineDiffer {
         builder.set_span((start, end));
         let model = builder.into_snapshot();
         let mut diff = compare(&reference, &model, &stability, &config);
-        let gating = gate_diff(&reference, &model, warm_until, end, &mut diff);
+        let gating = gate_diff(
+            &reference,
+            &model,
+            warm_until,
+            end,
+            ingest_degraded.as_deref(),
+            &mut diff,
+        );
         Some(EpochSnapshot {
             epoch,
             window: (start, end),
@@ -659,6 +701,7 @@ impl OnlineDiffer {
                 &model,
                 self.warm_until,
                 boundary,
+                self.ingest_degraded.as_deref(),
                 &mut diff,
             );
             (diff, gating)
@@ -1023,6 +1066,10 @@ pub struct ShardedDiffer {
     pipeline: Option<Pipeline>,
     clock: EpochClock,
     warm_until: Option<Timestamp>,
+    /// Transient transport-degradation note (see
+    /// [`OnlineDiffer::set_ingest_degraded`]); excluded from equality
+    /// and serialization.
+    ingest_degraded: Option<String>,
     /// Cumulative time spent in boundary merges (diagnostics only:
     /// excluded from equality and serialization).
     merge_micros: u64,
@@ -1081,6 +1128,7 @@ impl ShardedDiffer {
             pipeline: None,
             clock: EpochClock::new(config.online_epoch_us, config.online_window_us),
             warm_until: None,
+            ingest_degraded: None,
             merge_micros: 0,
             timings: EpochTimings::default(),
             epoch_wall: None,
@@ -1198,6 +1246,12 @@ impl ShardedDiffer {
         ));
     }
 
+    /// Sets (or clears) the transport-degradation note — same contract
+    /// as [`OnlineDiffer::set_ingest_degraded`].
+    pub fn set_ingest_degraded(&mut self, reason: Option<String>) {
+        self.ingest_degraded = reason;
+    }
+
     /// Feeds one event — the sharded mirror of
     /// [`OnlineDiffer::observe`]: boundary snapshots are emitted from
     /// state *before* this event, then the event is admitted, routed,
@@ -1308,7 +1362,14 @@ impl ShardedDiffer {
         let model =
             IncrementalModelBuilder::merge(parts, Some((start, end)), &self.config, workers());
         let mut diff = compare(&self.reference, &model, &self.stability, &self.config);
-        let gating = gate_diff(&self.reference, &model, self.warm_until, end, &mut diff);
+        let gating = gate_diff(
+            &self.reference,
+            &model,
+            self.warm_until,
+            end,
+            self.ingest_degraded.as_deref(),
+            &mut diff,
+        );
         Some(EpochSnapshot {
             epoch,
             window: (start, end),
@@ -1477,6 +1538,7 @@ impl ShardedDiffer {
                 &model,
                 self.warm_until,
                 boundary,
+                self.ingest_degraded.as_deref(),
                 &mut diff,
             );
             (diff, gating)
@@ -1563,6 +1625,7 @@ impl ShardedDiffer {
             pipeline: None,
             clock,
             warm_until,
+            ingest_degraded: None,
             merge_micros: 0,
             timings: EpochTimings::default(),
             epoch_wall: None,
@@ -1614,6 +1677,7 @@ impl Clone for ShardedDiffer {
             pipeline: None,
             clock: self.clock.clone(),
             warm_until: self.warm_until,
+            ingest_degraded: self.ingest_degraded.clone(),
             merge_micros: self.merge_micros,
             timings: self.timings,
             epoch_wall: None,
@@ -1661,6 +1725,7 @@ impl Deserialize for ShardedDiffer {
             pipeline: None,
             clock,
             warm_until,
+            ingest_degraded: None,
             merge_micros: 0,
             timings: EpochTimings::default(),
             epoch_wall: None,

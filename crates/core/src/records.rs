@@ -78,6 +78,14 @@ pub struct IngestHealth {
     pub stale_attaches: u64,
     /// Events dropped for an implausible forward timestamp jump.
     pub time_jumps: u64,
+    /// Publisher streams waived past the ingest stall budget (live
+    /// transport only; see [`IngestHealth::absorb_conn`]).
+    pub conn_stalls: u64,
+    /// Abrupt publisher connection losses (resets, idle-timeout kills —
+    /// not clean EOFs).
+    pub conn_disconnects: u64,
+    /// Publisher reconnects that resumed a session mid-stream.
+    pub conn_resumes: u64,
 }
 
 impl IngestHealth {
@@ -99,6 +107,16 @@ impl IngestHealth {
         self.frames_decoded += stats.frames_decoded;
         self.frames_skipped += stats.frames_skipped;
         self.bytes_skipped += stats.bytes_skipped;
+    }
+
+    /// Folds one live connection's lifecycle counters (stall waivers,
+    /// abrupt losses, resumed reconnects) into the health picture. A
+    /// clean wire run — or a file run, which has no connections —
+    /// contributes zeros, so served and file health stay comparable.
+    pub fn absorb_conn(&mut self, stalls: u64, disconnects: u64, resumes: u64) {
+        self.conn_stalls += stalls;
+        self.conn_disconnects += disconnects;
+        self.conn_resumes += resumes;
     }
 
     /// Total event-level anomalies (excludes frame skips and episode
@@ -130,7 +148,15 @@ impl fmt::Display for IngestHealth {
             self.stale_attaches,
             self.time_jumps,
             self.episodes_evicted,
-        )
+        )?;
+        if self.conn_stalls + self.conn_disconnects + self.conn_resumes > 0 {
+            write!(
+                f,
+                "; {} conn stalls, {} conn drops, {} resumes",
+                self.conn_stalls, self.conn_disconnects, self.conn_resumes,
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -399,6 +399,140 @@ impl CrashPlan {
     }
 }
 
+/// One planned connection-level fault, fired by a session publisher at
+/// a specific event offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Abrupt mid-stream death: flush what is framed, drop the socket
+    /// without `End`, reconnect, and resume from the server's
+    /// watermark.
+    Disconnect,
+    /// Write pause with the socket open for `ms` milliseconds — the
+    /// healthy-but-wedged publisher the stall budget exists for.
+    Stall { ms: u64 },
+    /// Slow-loris: the next `events` events drip out in tiny records
+    /// instead of full write chunks.
+    Trickle { events: u64 },
+}
+
+/// A per-connection schedule of [`ConnFault`]s keyed by *events sent*.
+/// Each entry fires **once** ([`ConnPlan::fire_at`] consumes it), so a
+/// resumed attempt that replays past the same offset is not faulted
+/// again — the same one-shot semantics as [`CrashPlan`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConnPlan {
+    at: Vec<(u64, ConnFault)>,
+}
+
+impl ConnPlan {
+    /// A plan from explicit `(events_sent, fault)` pairs.
+    pub fn at(mut faults: Vec<(u64, ConnFault)>) -> ConnPlan {
+        faults.sort_by_key(|&(idx, _)| idx);
+        ConnPlan { at: faults }
+    }
+
+    /// The scheduled `(events_sent, fault)` pairs, ascending, not yet
+    /// fired.
+    pub fn pending(&self) -> &[(u64, ConnFault)] {
+        &self.at
+    }
+
+    /// True when nothing is left to fire.
+    pub fn is_empty(&self) -> bool {
+        self.at.is_empty()
+    }
+
+    /// Consumes and returns every fault scheduled at exactly `sent`
+    /// events.
+    pub fn fire_at(&mut self, sent: u64) -> Vec<ConnFault> {
+        let mut fired = Vec::new();
+        self.at.retain(|&(idx, fault)| {
+            if idx == sent {
+                fired.push(fault);
+                false
+            } else {
+                true
+            }
+        });
+        fired
+    }
+}
+
+/// A seeded connection-fault injector — the connection-lifecycle layer
+/// over [`ChannelChaos`]'s byte-level mangling. Where `ChannelChaos`
+/// corrupts what travels *inside* a connection, `ConnChaos` breaks the
+/// connections themselves: mid-stream disconnects (flaps that exercise
+/// session resume), write stalls (wedged-but-alive publishers), and
+/// slow-loris trickle. Everything is derived from the seed: the same
+/// `(ConnChaos, conn, total_events)` always yields the same
+/// [`ConnPlan`], so a drill can be replayed bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnChaos {
+    /// Mid-stream disconnects per connection.
+    pub flaps: usize,
+    /// Write stalls per connection.
+    pub stalls: usize,
+    /// Duration of each stall, milliseconds.
+    pub stall_ms: u64,
+    /// Slow-loris episodes per connection.
+    pub trickles: usize,
+    /// Events dripped per trickle episode.
+    pub trickle_events: u64,
+    /// Master seed; per-connection plans derive from it.
+    pub seed: u64,
+}
+
+impl ConnChaos {
+    /// A flap-only injector: `flaps` seeded mid-stream disconnects per
+    /// connection, nothing else.
+    pub fn flapping(flaps: usize, seed: u64) -> ConnChaos {
+        ConnChaos {
+            flaps,
+            stalls: 0,
+            stall_ms: 0,
+            trickles: 0,
+            trickle_events: 0,
+            seed,
+        }
+    }
+
+    /// The deterministic fault plan for connection `conn` over a stream
+    /// of `total_events` events. Fault offsets are distinct draws from
+    /// `[1, total_events)` — never before the first event or after the
+    /// last, so every fault lands mid-stream.
+    pub fn plan_for(&self, conn: u64, total_events: u64) -> ConnPlan {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let want = self.flaps + self.stalls + self.trickles;
+        if total_events < 2 || want == 0 {
+            return ConnPlan::default();
+        }
+        let mut offsets = std::collections::BTreeSet::new();
+        let want = want.min((total_events - 1) as usize);
+        while offsets.len() < want {
+            offsets.insert(rng.gen_range(1..total_events));
+        }
+        // Deal the drawn offsets to fault kinds in a seeded shuffle so
+        // flaps, stalls, and trickles interleave across the stream.
+        let mut kinds = Vec::with_capacity(want);
+        for _ in 0..self.flaps {
+            kinds.push(ConnFault::Disconnect);
+        }
+        for _ in 0..self.stalls {
+            kinds.push(ConnFault::Stall { ms: self.stall_ms });
+        }
+        for _ in 0..self.trickles {
+            kinds.push(ConnFault::Trickle {
+                events: self.trickle_events,
+            });
+        }
+        kinds.truncate(want);
+        for i in (1..kinds.len()).rev() {
+            kinds.swap(i, rng.gen_range(0..=i));
+        }
+        ConnPlan::at(offsets.into_iter().zip(kinds).collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,6 +700,58 @@ mod tests {
                 ts.windows(2).any(|w| w[1] < w[0]),
                 "decoded capture is actually out of order"
             );
+        }
+    }
+
+    mod conn_chaos {
+        use super::*;
+
+        #[test]
+        fn plans_are_deterministic_per_seed_and_conn() {
+            let chaos = ConnChaos {
+                flaps: 2,
+                stalls: 1,
+                stall_ms: 40,
+                trickles: 1,
+                trickle_events: 16,
+                seed: 11,
+            };
+            assert_eq!(chaos.plan_for(0, 500), chaos.plan_for(0, 500));
+            assert_ne!(
+                chaos.plan_for(0, 500),
+                chaos.plan_for(1, 500),
+                "connections get distinct plans"
+            );
+            let other = ConnChaos { seed: 12, ..chaos };
+            assert_ne!(chaos.plan_for(0, 500), other.plan_for(0, 500));
+            let plan = chaos.plan_for(0, 500);
+            assert_eq!(plan.pending().len(), 4);
+            assert!(plan.pending().iter().all(|&(i, _)| (1..500).contains(&i)));
+            assert!(plan.pending().windows(2).all(|w| w[0].0 < w[1].0));
+        }
+
+        #[test]
+        fn faults_fire_exactly_once_at_their_offset() {
+            let mut plan = ConnPlan::at(vec![
+                (10, ConnFault::Disconnect),
+                (10, ConnFault::Stall { ms: 5 }),
+                (20, ConnFault::Trickle { events: 8 }),
+            ]);
+            assert!(plan.fire_at(9).is_empty());
+            let at10 = plan.fire_at(10);
+            assert_eq!(at10.len(), 2);
+            assert!(plan.fire_at(10).is_empty(), "one-shot");
+            assert_eq!(plan.fire_at(20), vec![ConnFault::Trickle { events: 8 }]);
+            assert!(plan.is_empty());
+        }
+
+        #[test]
+        fn tiny_streams_cap_the_fault_count() {
+            let chaos = ConnChaos::flapping(10, 3);
+            let plan = chaos.plan_for(0, 3);
+            assert_eq!(plan.pending().len(), 2, "only offsets 1 and 2 exist");
+            assert!(chaos.plan_for(0, 1).is_empty());
+            assert!(ConnChaos::flapping(0, 3).plan_for(0, 100).is_empty());
         }
     }
 

@@ -42,12 +42,18 @@ pub mod prelude {
     pub use crate::apps::{AppCtx, AppLogic};
     pub use crate::config::SimConfig;
     pub use crate::engine::{SimStats, Simulation};
-    pub use crate::faults::{ChannelChaos, ChaosReport, CrashPlan, Fault};
+    pub use crate::faults::{
+        ChannelChaos, ChaosReport, ConnChaos, ConnFault, ConnPlan, CrashPlan, Fault,
+    };
     pub use crate::flows::{DeliveredFlow, FlowId, FlowPhase, FlowSpec};
     pub use crate::log::{
         ControlEvent, ControllerLog, DecodeError, Direction, FrameDecoder, LogStream,
     };
-    pub use crate::net::{publish_capture, split_capture, IngestServer, PublishReport};
+    pub use crate::net::{
+        publish_capture, publish_capture_paced, publish_session, split_capture, ConnState,
+        DisconnectCause, EventMerge, IngestServer, LiveIngest, LiveOptions, PublishReport,
+        SessionGauge, SessionOptions,
+    };
     pub use crate::topology::{LinkId, NodeId, Topology};
     pub use openflow::types::Timestamp;
 }
